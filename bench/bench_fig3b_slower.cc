@@ -1,0 +1,65 @@
+// Figure 3(b): precision vs. explanation width for the
+// WhySlowerDespiteSameNumInstances query (job level), comparing
+// PerfXplain against the RuleOfThumb and SimButDiff baselines.
+//
+// Protocol (§6.1): 2-fold random split repeated 10 times; explanations are
+// generated from the training log and their precision is measured over the
+// test log. Expected shape: PerfXplain's precision is highest at every
+// width and exceeds the baselines by >= ~40% at width 3.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace px = perfxplain;
+using px::bench::Fixture;
+using px::bench::HarnessOptions;
+using px::bench::Series;
+
+int main() {
+  HarnessOptions options;
+  px::bench::PrintHeader(
+      "Figure 3(b): WhySlowerDespiteSameNumInstances, precision vs width",
+      "precision of the explanation over the held-out test log "
+      "(mean +- stddev over 10 runs)");
+  Fixture fixture = Fixture::JobLevel(options);
+  std::printf("pair of interest: %s (slower) vs %s\n\n",
+              fixture.poi_first_id().c_str(),
+              fixture.poi_second_id().c_str());
+
+  const std::vector<px::Technique> techniques = {
+      px::Technique::kPerfXplain, px::Technique::kRuleOfThumb,
+      px::Technique::kSimButDiff};
+  const std::vector<std::size_t> widths = {0, 1, 2, 3, 4, 5};
+
+  px::bench::PrintRow({"width", "PerfXplain", "RuleOfThumb", "SimButDiff"});
+  std::string sample_explanation;
+  for (std::size_t width : widths) {
+    std::vector<Series> series(techniques.size());
+    for (int run = 0; run < options.runs; ++run) {
+      const Fixture::SplitLogs logs = fixture.Split(run);
+      for (std::size_t t = 0; t < techniques.size(); ++t) {
+        auto metrics = px::bench::RunOnce(fixture, logs, techniques[t], width);
+        if (metrics.has_value()) {
+          series[t].Add(metrics->precision);
+        }
+        if (width == 3 && run == 0 &&
+            techniques[t] == px::Technique::kPerfXplain) {
+          px::PerfXplain system(logs.train);
+          auto explanation =
+              system.ExplainWith(px::Technique::kPerfXplain, fixture.query(),
+                                 width);
+          if (explanation.ok()) {
+            sample_explanation = explanation->ToString();
+          }
+        }
+      }
+    }
+    std::vector<std::string> row = {std::to_string(width)};
+    for (auto& s : series) row.push_back(s.ToString());
+    px::bench::PrintRow(row);
+  }
+  std::printf("\nsample width-3 PerfXplain explanation (run 0):\n%s\n",
+              sample_explanation.c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 3(d): effect of the training-log size (§6.6).
+//
+// x% of the jobs (x in 10..50) form the training log; precision of width-3
+// explanations is measured over a fixed held-out half. Expected shape:
+// PerfXplain's precision rises gently with the log size and is already
+// high (~0.84 in the paper) at 10%, with a larger standard deviation
+// there; the baselines are mostly insensitive to log size.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace px = perfxplain;
+using px::bench::Fixture;
+using px::bench::HarnessOptions;
+using px::bench::Series;
+
+int main() {
+  HarnessOptions options;
+  px::bench::PrintHeader(
+      "Figure 3(d): WhySlowerDespiteSameNumInstances, precision vs "
+      "training-log fraction (width 3)",
+      "x% of jobs train the explainer; precision over the complementary "
+      "half (mean +- stddev over 10 runs)");
+  Fixture fixture = Fixture::JobLevel(options);
+
+  const std::vector<px::Technique> techniques = {
+      px::Technique::kPerfXplain, px::Technique::kRuleOfThumb,
+      px::Technique::kSimButDiff};
+  const std::size_t width = 3;
+
+  px::bench::PrintRow({"log fraction", "PerfXplain", "RuleOfThumb",
+                       "SimButDiff"});
+  for (int percent : {10, 20, 30, 40, 50}) {
+    std::vector<Series> series(techniques.size());
+    for (int run = 0; run < options.runs; ++run) {
+      // Fixed 50% test half; the training log is a nested sub-sample of the
+      // other half sized 2*percent of it (so "50%" uses the entire half).
+      Fixture::SplitLogs logs = fixture.Split(run);
+      px::Rng rng(options.split_seed + 777 * static_cast<std::uint64_t>(run) +
+                  static_cast<std::uint64_t>(percent));
+      const double keep = static_cast<double>(percent) / 50.0;
+      px::ExecutionLog shrunk = logs.train.Filter(
+          [&](const px::ExecutionRecord&) { return rng.Bernoulli(keep); });
+      PX_CHECK(shrunk
+                   .EnsureRecords(fixture.full_log(),
+                                  {fixture.poi_first_id(),
+                                   fixture.poi_second_id()})
+                   .ok());
+      logs.train = std::move(shrunk);
+      for (std::size_t t = 0; t < techniques.size(); ++t) {
+        auto metrics = px::bench::RunOnce(fixture, logs, techniques[t], width);
+        if (metrics.has_value()) {
+          series[t].Add(metrics->precision);
+        }
+      }
+    }
+    std::vector<std::string> row = {std::to_string(percent) + "%"};
+    for (auto& s : series) row.push_back(s.ToString());
+    px::bench::PrintRow(row);
+  }
+  return 0;
+}

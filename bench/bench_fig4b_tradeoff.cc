@@ -1,0 +1,50 @@
+// Figure 4(b): precision versus generality trade-off (§6.7) for the
+// WhySlowerDespiteSameNumInstances query. Each technique contributes one
+// (generality, precision) point per width 1..5, averaged over 10 runs.
+// Expected shape: PerfXplain's points sit higher and further right —
+// Pareto-dominating the baselines.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "harness.h"
+
+namespace px = perfxplain;
+using px::bench::Fixture;
+using px::bench::HarnessOptions;
+using px::bench::Series;
+
+int main() {
+  HarnessOptions options;
+  px::bench::PrintHeader(
+      "Figure 4(b): precision vs generality, "
+      "WhySlowerDespiteSameNumInstances",
+      "per technique and width: mean generality and precision over the "
+      "test log (10 runs)");
+  Fixture fixture = Fixture::JobLevel(options);
+
+  const std::vector<px::Technique> techniques = {
+      px::Technique::kPerfXplain, px::Technique::kRuleOfThumb,
+      px::Technique::kSimButDiff};
+  px::bench::PrintRow({"technique", "width", "generality", "precision"}, 18);
+  for (px::Technique technique : techniques) {
+    for (std::size_t width = 1; width <= 5; ++width) {
+      Series generality;
+      Series precision;
+      for (int run = 0; run < options.runs; ++run) {
+        const Fixture::SplitLogs logs = fixture.Split(run);
+        auto metrics = px::bench::RunOnce(fixture, logs, technique, width);
+        if (metrics.has_value()) {
+          generality.Add(metrics->generality);
+          precision.Add(metrics->precision);
+        }
+      }
+      px::bench::PrintRow({px::TechniqueToString(technique),
+                           std::to_string(width),
+                           px::StrFormat("%.3f", generality.mean()),
+                           px::StrFormat("%.3f", precision.mean())},
+                          18);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark) of the pieces behind PerfXplain's
+// interactive response time (§4.3 motivates sampling with explanation
+// latency): pair-feature computation, training-example construction with
+// balanced sampling, clause generation at several sample sizes, and
+// explanation evaluation. Also an ablation of the percentile-rank score
+// normalization (DESIGN.md decision 1).
+
+#include <benchmark/benchmark.h>
+
+#include "core/pair_enumeration.h"
+#include "core/perfxplain.h"
+#include "common/string_util.h"
+#include "harness.h"
+#include "simulator/trace_generator.h"
+
+namespace px = perfxplain;
+
+namespace {
+
+/// Shared fixture: one moderate job trace + query 2 with a pair of
+/// interest. Built once.
+struct MicroFixture {
+  px::ExecutionLog log;
+  px::Query query;
+
+  static const MicroFixture& Get() {
+    static const MicroFixture& fixture = *new MicroFixture(Build());
+    return fixture;
+  }
+
+  static MicroFixture Build() {
+    px::bench::HarnessOptions options;
+    px::bench::Fixture base = px::bench::Fixture::JobLevel(options);
+    MicroFixture fixture;
+    fixture.log = base.full_log();
+    fixture.query = base.query();
+    return fixture;
+  }
+};
+
+void BM_SimulateJob(benchmark::State& state) {
+  px::ClusterConfig cluster;
+  px::SimCostModel costs;
+  px::ExciteStats stats;
+  px::JobConfig config;
+  config.num_instances = static_cast<int>(state.range(0));
+  config.input_size_bytes = 1.3 * 1024 * 1024 * 1024;
+  config.block_size_bytes = 64.0 * 1024 * 1024;
+  px::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        px::SimulateJob(config, cluster, stats, costs, rng));
+  }
+}
+BENCHMARK(BM_SimulateJob)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_PairFeatureVector(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  px::PairSchema schema(fixture.log.schema());
+  px::PairFeatureOptions options;
+  px::PairFeatureView view(&schema, &fixture.log.at(0), &fixture.log.at(1),
+                           &options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.Materialize());
+  }
+}
+BENCHMARK(BM_PairFeatureVector);
+
+void BM_CountRelatedPairs(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  px::PairSchema schema(fixture.log.schema());
+  px::Query bound = fixture.query;
+  PX_CHECK(bound.Bind(schema).ok());
+  px::PairFeatureOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        px::CountRelatedPairs(fixture.log, schema, bound, options));
+  }
+}
+BENCHMARK(BM_CountRelatedPairs);
+
+void BM_ExplainWidth3(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  px::PerfXplain::Options options;
+  options.explainer.sampler.sample_size =
+      static_cast<std::size_t>(state.range(0));
+  px::PerfXplain system(fixture.log, options);
+  for (auto _ : state) {
+    auto explanation = system.Explain(fixture.query);
+    PX_CHECK(explanation.ok());
+    benchmark::DoNotOptimize(explanation);
+  }
+  state.SetLabel("sample_size=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ExplainWidth3)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_EvaluateExplanation(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  px::PerfXplain system(fixture.log);
+  auto explanation = system.Explain(fixture.query);
+  PX_CHECK(explanation.ok());
+  for (auto _ : state) {
+    auto metrics = system.Evaluate(fixture.query, *explanation);
+    PX_CHECK(metrics.ok());
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_EvaluateExplanation);
+
+/// Ablation: precision_weight = 1.0 disables the generality term entirely
+/// (and with a single criterion the percentile normalization is moot),
+/// exposing how much of the explanation quality the blended, normalized
+/// score contributes. Reported as a label, not a timing difference.
+void BM_ScoreBlendAblation(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const double weight = static_cast<double>(state.range(0)) / 100.0;
+  px::PerfXplain::Options options;
+  options.explainer.precision_weight = weight;
+  px::PerfXplain system(fixture.log, options);
+  double generality = 0.0;
+  double precision = 0.0;
+  for (auto _ : state) {
+    auto explanation = system.Explain(fixture.query);
+    PX_CHECK(explanation.ok());
+    auto metrics = system.Evaluate(fixture.query, *explanation);
+    PX_CHECK(metrics.ok());
+    generality = metrics->generality;
+    precision = metrics->precision;
+  }
+  state.SetLabel(px::StrFormat("w=%.2f precision=%.3f generality=%.4f",
+                               weight, precision, generality));
+}
+BENCHMARK(BM_ScoreBlendAblation)->Arg(100)->Arg(80)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

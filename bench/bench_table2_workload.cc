@@ -1,0 +1,80 @@
+// Table 2: the experimental workload — the parameter grid the evaluation
+// log is collected from, plus summary statistics of the trace our simulator
+// produces for it (sanity-checking the substrate: more instances -> faster,
+// more input -> slower, bigger blocks -> fewer map tasks).
+
+#include <cstdio>
+#include <map>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "harness.h"
+#include "log/catalog.h"
+
+namespace px = perfxplain;
+
+int main() {
+  px::bench::PrintHeader(
+      "Table 2: varied parameters and values",
+      "the paper's evaluation grid; 540 = 5*2*3*3*3*2 configurations");
+  const px::Table2Parameters params;
+  auto join_ints = [](const std::vector<int>& xs) {
+    std::string out;
+    for (int x : xs) out += (out.empty() ? "" : ", ") + std::to_string(x);
+    return out;
+  };
+  std::printf("%-22s %s\n", "Number of instances",
+              join_ints(params.num_instances).c_str());
+  std::printf("%-22s 1.3 GB, 2.6 GB\n", "Input file size");
+  std::printf("%-22s 64 MB, 256 MB, 1024 MB\n", "DFS block size");
+  std::printf("%-22s 1.0, 1.5, 2.0\n", "Reduce tasks factor");
+  std::printf("%-22s %s\n", "IO sort factor",
+              join_ints(params.io_sort_factors).c_str());
+  std::printf("%-22s simple-filter.pig, simple-groupby.pig\n", "Pig script");
+
+  px::TraceOptions options;
+  options.seed = 42;
+  const px::Trace trace = px::GenerateTrace(options);
+  std::printf("\nsimulated trace: %zu jobs, %zu tasks\n",
+              trace.job_log.size(), trace.task_log.size());
+
+  const px::Schema& schema = trace.job_log.schema();
+  const std::size_t f_duration =
+      schema.IndexOf(px::feature_names::kDuration);
+  const std::size_t f_instances =
+      schema.IndexOf(px::feature_names::kNumInstances);
+  const std::size_t f_input =
+      schema.IndexOf(px::feature_names::kInputSize);
+  const std::size_t f_block =
+      schema.IndexOf(px::feature_names::kBlockSize);
+  const std::size_t f_script =
+      schema.IndexOf(px::feature_names::kPigScript);
+
+  std::map<std::pair<double, double>, px::RunningStat> by_inst_input;
+  std::map<std::pair<std::string, double>, px::RunningStat> by_script_block;
+  for (const auto& record : trace.job_log.records()) {
+    const double duration = record.values[f_duration].number();
+    by_inst_input[{record.values[f_instances].number(),
+                   record.values[f_input].number() / (1 << 30)}]
+        .Add(duration);
+    by_script_block[{record.values[f_script].nominal(),
+                     record.values[f_block].number() / (1 << 20)}]
+        .Add(duration);
+  }
+  std::printf("\nmean job duration (s) by instances x input size:\n");
+  std::printf("%10s %10s %10s\n", "instances", "1.3GB", "2.6GB");
+  for (int instances : params.num_instances) {
+    std::printf("%10d %10.0f %10.0f\n", instances,
+                by_inst_input[{static_cast<double>(instances), 1.3}].mean(),
+                by_inst_input[{static_cast<double>(instances), 2.6}].mean());
+  }
+  std::printf("\nmean job duration (s) by script x block size:\n");
+  std::printf("%22s %8s %8s %8s\n", "", "64MB", "256MB", "1024MB");
+  for (const auto& script : params.pig_scripts) {
+    std::printf("%22s %8.0f %8.0f %8.0f\n", script.c_str(),
+                by_script_block[{script, 64.0}].mean(),
+                by_script_block[{script, 256.0}].mean(),
+                by_script_block[{script, 1024.0}].mean());
+  }
+  return 0;
+}

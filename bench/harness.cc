@@ -1,0 +1,189 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "core/pair_enumeration.h"
+#include "log/catalog.h"
+#include "pxql/parser.h"
+
+namespace perfxplain::bench {
+
+Query WhyLastTaskFasterQuery() {
+  auto query = ParseQuery(
+      "DESPITE jobID_isSame = T AND inputsize_compare = SIM AND "
+      "hostname_isSame = T "
+      "OBSERVED duration_compare = LT "
+      "EXPECTED duration_compare = SIM");
+  PX_CHECK(query.ok()) << query.status().ToString();
+  return std::move(query).value();
+}
+
+Query WhySlowerDespiteSameNumInstancesQuery() {
+  auto query = ParseQuery(
+      "DESPITE numinstances_isSame = T AND pigscript_isSame = T "
+      "OBSERVED duration_compare = GT "
+      "EXPECTED duration_compare = SIM");
+  PX_CHECK(query.ok()) << query.status().ToString();
+  return std::move(query).value();
+}
+
+Query StripDespite(const Query& query) {
+  Query stripped = query;
+  stripped.despite = Predicate::True();
+  return stripped;
+}
+
+void Fixture::SetQuery(Query query) {
+  query.first_id = poi_first_id_;
+  query.second_id = poi_second_id_;
+  query_ = std::move(query);
+}
+
+namespace {
+
+/// Picks the pair of interest: the first pair satisfying the query's
+/// des AND obs plus an extra finder-only constraint.
+void PickPairOfInterest(const ExecutionLog& log, Query& query,
+                        const std::string& finder_extra,
+                        std::string& first_id, std::string& second_id) {
+  PairSchema schema(log.schema());
+  Query finder = query;
+  if (!finder_extra.empty()) {
+    auto extra = ParsePredicate(finder_extra);
+    PX_CHECK(extra.ok()) << extra.status().ToString();
+    finder.despite = finder.despite.And(extra.value());
+  }
+  PX_CHECK(finder.Bind(schema).ok());
+  PairFeatureOptions pair_options;
+  auto poi = FindPairOfInterest(log, schema, finder, pair_options);
+  PX_CHECK(poi.ok()) << "no pair of interest: " << poi.status().ToString();
+  first_id = log.at(poi->first).id;
+  second_id = log.at(poi->second).id;
+  query.first_id = first_id;
+  query.second_id = second_id;
+}
+
+}  // namespace
+
+Fixture Fixture::JobLevel(const HarnessOptions& options,
+                          const std::string& poi_finder_extra) {
+  Fixture fixture;
+  fixture.options_ = options;
+  TraceOptions trace_options;
+  trace_options.seed = options.trace_seed;
+  Trace trace = GenerateTrace(trace_options);
+  fixture.full_log_ = std::move(trace.job_log);
+  fixture.query_ = WhySlowerDespiteSameNumInstancesQuery();
+  const std::string extra = poi_finder_extra.empty()
+                                ? "inputsize_compare = GT AND "
+                                  "pigscript = simple-filter.pig"
+                                : poi_finder_extra;
+  PickPairOfInterest(fixture.full_log_, fixture.query_, extra,
+                     fixture.poi_first_id_, fixture.poi_second_id_);
+  return fixture;
+}
+
+Fixture Fixture::TaskLevel(const HarnessOptions& options) {
+  Fixture fixture;
+  fixture.options_ = options;
+  TraceOptions trace_options;
+  trace_options.seed = options.trace_seed;
+  Trace trace = GenerateTrace(trace_options);
+
+  // Keep tasks from multi-wave jobs only (where the last-task effect
+  // exists), capped at task_jobs_limit jobs for tractable O(n^2) pair
+  // enumeration.
+  const Schema& job_schema = trace.job_log.schema();
+  const std::size_t f_maps = job_schema.IndexOf(feature_names::kNumMapTasks);
+  const std::size_t f_instances =
+      job_schema.IndexOf(feature_names::kNumInstances);
+  std::set<std::string> keep_jobs;
+  for (const auto& record : trace.job_log.records()) {
+    if (keep_jobs.size() >= options.task_jobs_limit) break;
+    const double maps = record.values[f_maps].number();
+    const double instances = record.values[f_instances].number();
+    // At least three waves of map tasks and a non-trivial cluster.
+    if (instances >= 2 && maps >= 3 * 2 * instances) {
+      keep_jobs.insert(record.id);
+    }
+  }
+  const Schema& task_schema = trace.task_log.schema();
+  const std::size_t f_job = task_schema.IndexOf(feature_names::kJobId);
+  const std::size_t f_type = task_schema.IndexOf(feature_names::kTaskType);
+  fixture.full_log_ =
+      trace.task_log.Filter([&](const ExecutionRecord& record) {
+        return record.values[f_type].nominal() == "map" &&
+               keep_jobs.count(record.values[f_job].nominal()) > 0;
+      });
+  PX_CHECK(!fixture.full_log_.empty()) << "no multi-wave tasks in trace";
+
+  fixture.query_ = WhyLastTaskFasterQuery();
+  // The paper's anecdote: the last task ran alone on its instance while the
+  // earlier task shared it with a second concurrent task — visible as a
+  // lower average CPU/process load during the faster task.
+  PickPairOfInterest(fixture.full_log_, fixture.query_,
+                     "wave_index_compare = GT AND "
+                     "avg_cpu_user_compare = LT",
+                     fixture.poi_first_id_, fixture.poi_second_id_);
+  return fixture;
+}
+
+Fixture::SplitLogs Fixture::Split(int run) const {
+  return SplitWith(run, options_.train_fraction,
+                   [](const ExecutionRecord&) { return true; });
+}
+
+Fixture::SplitLogs Fixture::SplitWith(
+    int run, double train_fraction,
+    const std::function<bool(const ExecutionRecord&)>& keep_train) const {
+  Rng rng(options_.split_seed + static_cast<std::uint64_t>(run) * 1000003);
+  auto [train, test] = full_log_.RandomSplit(train_fraction, rng);
+  ExecutionLog filtered_train = train.Filter(keep_train);
+  // The training log always contains the pair of interest (§6.5: "plus the
+  // pair of interest").
+  PX_CHECK(filtered_train
+               .EnsureRecords(full_log_, {poi_first_id_, poi_second_id_})
+               .ok());
+  return {std::move(filtered_train), std::move(test)};
+}
+
+double Series::mean() const { return Mean(values); }
+double Series::stddev() const { return StdDev(values); }
+
+std::string Series::ToString() const {
+  return StrFormat("%.3f +- %.3f", mean(), stddev());
+}
+
+std::optional<ExplanationMetrics> RunOnce(const Fixture& fixture,
+                                          const Fixture::SplitLogs& logs,
+                                          Technique technique,
+                                          std::size_t width,
+                                          const PerfXplain::Options& options) {
+  PerfXplain system(logs.train, options);
+  Explanation explanation;  // width 0: empty (true) explanation
+  if (width > 0) {
+    auto result = system.ExplainWith(technique, fixture.query(), width);
+    if (!result.ok()) return std::nullopt;
+    explanation = std::move(result).value();
+  }
+  auto metrics = system.EvaluateOn(logs.test, fixture.query(), explanation);
+  if (!metrics.ok()) return std::nullopt;
+  return metrics.value();
+}
+
+void PrintHeader(const std::string& title, const std::string& description) {
+  std::printf("== %s ==\n%s\n\n", title.c_str(), description.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells, int cell_width) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", cell_width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace perfxplain::bench

@@ -1,0 +1,90 @@
+// Quickstart: simulate a small MapReduce job log, ask PerfXplain why one
+// job was slower than another despite running on the same number of
+// instances, and print the generated explanation with its quality metrics.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/pair_enumeration.h"
+#include "core/perfxplain.h"
+#include "log/catalog.h"
+#include "simulator/trace_generator.h"
+
+namespace px = perfxplain;
+
+int main() {
+  // 1. Generate a log of past executions. In a real deployment this log
+  //    comes from Hadoop log files + Ganglia; here the bundled simulator
+  //    produces it. We use a slice of the paper's Table 2 grid: both Pig
+  //    scripts, three cluster sizes, two input sizes.
+  px::TraceOptions trace_options;
+  trace_options.seed = 7;
+  for (int instances : {2, 4, 8}) {
+    for (double input_gb : {1.3, 2.6}) {
+      for (double block_mb : {64.0, 256.0}) {
+        for (const char* script :
+             {"simple-filter.pig", "simple-groupby.pig"}) {
+          px::JobConfig config;
+          config.job_id = px::StrFormat(
+              "job_%03zu", trace_options.jobs.size());
+          config.num_instances = instances;
+          config.input_size_bytes = input_gb * 1024 * 1024 * 1024;
+          config.block_size_bytes = block_mb * 1024 * 1024;
+          config.pig_script = script;
+          trace_options.jobs.push_back(config);
+        }
+      }
+    }
+  }
+  px::Trace trace = px::GenerateTrace(trace_options);
+  std::printf("simulated %zu jobs (%zu tasks)\n", trace.job_log.size(),
+              trace.task_log.size());
+
+  // 2. Hand the job log to PerfXplain.
+  px::PerfXplain system(std::move(trace.job_log));
+
+  // 3. Express the performance question in PXQL. We first locate a pair of
+  //    interest that matches the question: J1 much slower than J2 even
+  //    though both ran the same script on the same number of instances.
+  auto query_or = px::ParseQuery(
+      "DESPITE numinstances_isSame = T AND pigscript_isSame = T "
+      "OBSERVED duration_compare = GT "
+      "EXPECTED duration_compare = SIM");
+  if (!query_or.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 query_or.status().ToString().c_str());
+    return 1;
+  }
+  px::Query query = std::move(query_or).value();
+  if (!query.Bind(system.pair_schema()).ok()) return 1;
+  auto poi = px::FindPairOfInterest(system.log(), system.pair_schema(), query,
+                                    px::PairFeatureOptions());
+  if (!poi.ok()) {
+    std::fprintf(stderr, "%s\n", poi.status().ToString().c_str());
+    return 1;
+  }
+  query.first_id = system.log().at(poi->first).id;
+  query.second_id = system.log().at(poi->second).id;
+  std::printf("\nPXQL query:\n%s\n", query.ToString().c_str());
+
+  // 4. Generate and print the explanation.
+  auto explanation = system.Explain(query);
+  if (!explanation.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 explanation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nexplanation:\n%s\n", explanation->ToString().c_str());
+
+  // 5. Score it against the log (Definitions 4-6).
+  auto metrics = system.Evaluate(query, *explanation);
+  if (!metrics.ok()) return 1;
+  std::printf(
+      "\nrelevance  %.3f\nprecision  %.3f\ngenerality %.3f\n",
+      metrics->relevance, metrics->precision, metrics->generality);
+  return 0;
+}

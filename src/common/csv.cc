@@ -1,0 +1,97 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace perfxplain {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string CsvEncodeRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += NeedsQuoting(fields[i]) ? QuoteField(fields[i]) : fields[i];
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> CsvParseRow(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF endings.
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote in CSV row: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const auto& row : rows) {
+    out << CsvEncodeRow(row) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    auto row = CsvParseRow(line);
+    if (!row.ok()) return row.status();
+    rows.push_back(std::move(row).value());
+  }
+  return rows;
+}
+
+}  // namespace perfxplain

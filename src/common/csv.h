@@ -1,0 +1,31 @@
+#ifndef PERFXPLAIN_COMMON_CSV_H_
+#define PERFXPLAIN_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace perfxplain {
+
+/// Minimal RFC-4180-style CSV support used for persisting execution logs.
+/// Fields containing commas, quotes or newlines are quoted; embedded quotes
+/// are doubled.
+
+/// Encodes one row.
+std::string CsvEncodeRow(const std::vector<std::string>& fields);
+
+/// Parses one physical line into fields. Fails on unterminated quotes.
+Result<std::vector<std::string>> CsvParseRow(const std::string& line);
+
+/// Writes all rows to `path`, overwriting it.
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+/// Reads all rows from `path`. Blank lines are skipped.
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_COMMON_CSV_H_

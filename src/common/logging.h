@@ -1,0 +1,52 @@
+#ifndef PERFXPLAIN_COMMON_LOGGING_H_
+#define PERFXPLAIN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace perfxplain {
+namespace internal_logging {
+
+/// Collects a fatal-error message via stream syntax and aborts the process
+/// when destroyed. Used only by the PX_CHECK family of macros below.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace perfxplain
+
+/// Aborts with a diagnostic message unless `condition` holds. Additional
+/// context can be streamed: PX_CHECK(a == b) << "a=" << a;
+#define PX_CHECK(condition)                                               \
+  if (!(condition))                                                       \
+  ::perfxplain::internal_logging::FatalMessage(__FILE__, __LINE__,        \
+                                               #condition)               \
+      .stream()
+
+#define PX_CHECK_EQ(a, b) PX_CHECK((a) == (b))
+#define PX_CHECK_NE(a, b) PX_CHECK((a) != (b))
+#define PX_CHECK_LT(a, b) PX_CHECK((a) < (b))
+#define PX_CHECK_LE(a, b) PX_CHECK((a) <= (b))
+#define PX_CHECK_GT(a, b) PX_CHECK((a) > (b))
+#define PX_CHECK_GE(a, b) PX_CHECK((a) >= (b))
+
+#endif  // PERFXPLAIN_COMMON_LOGGING_H_

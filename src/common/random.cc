@@ -1,0 +1,7 @@
+#include "common/random.h"
+
+// Rng is header-only; this translation unit exists so the library has a
+// stable archive member for the component and a place for future
+// out-of-line additions.
+
+namespace perfxplain {}  // namespace perfxplain

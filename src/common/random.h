@@ -1,0 +1,81 @@
+#ifndef PERFXPLAIN_COMMON_RANDOM_H_
+#define PERFXPLAIN_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace perfxplain {
+
+/// Deterministic pseudo-random source. Every stochastic component of the
+/// library (simulator noise, balanced sampling, train/test splits) draws
+/// from an explicitly seeded Rng so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    PX_CHECK_LE(lo, hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    PX_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Gaussian clamped to [lo, hi]; used for bounded noise factors.
+  double ClampedGaussian(double mean, double stddev, double lo, double hi) {
+    double v = Gaussian(mean, stddev);
+    if (v < lo) v = lo;
+    if (v > hi) v = hi;
+    return v;
+  }
+
+  /// Exponential draw with the given mean (mean = 1/lambda).
+  double Exponential(double mean) {
+    PX_CHECK_GT(mean, 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child seed; lets components fork their own
+  /// deterministic streams.
+  std::uint64_t Fork() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_COMMON_RANDOM_H_

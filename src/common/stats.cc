@@ -1,0 +1,72 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace perfxplain {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) {
+  return std::sqrt(Variance(xs));
+}
+
+double Percentile(std::vector<double> xs, double q) {
+  PX_CHECK(!xs.empty());
+  PX_CHECK_GE(q, 0.0);
+  PX_CHECK_LE(q, 1.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double TwoClassEntropy(std::size_t positives, std::size_t total) {
+  if (total == 0) return 0.0;
+  return BinaryEntropy(static_cast<double>(positives) /
+                       static_cast<double>(total));
+}
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,50 @@
+#ifndef PERFXPLAIN_COMMON_STATS_H_
+#define PERFXPLAIN_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace perfxplain {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& xs);
+
+/// Population variance helper used by StdDev.
+double Variance(const std::vector<double>& xs);
+
+/// Linear-interpolation percentile, q in [0, 1]. Crashes on empty input.
+double Percentile(std::vector<double> xs, double q);
+
+/// Binary Shannon entropy of a Bernoulli(p) source, in bits.
+/// Returns 0 for p <= 0 or p >= 1.
+double BinaryEntropy(double p);
+
+/// Entropy (bits) of a two-class set with `positives` positive examples out
+/// of `total`. Returns 0 when total == 0.
+double TwoClassEntropy(std::size_t positives, std::size_t total);
+
+/// Online accumulator for mean / stddev / min / max of a stream.
+class RunningStat {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample standard deviation; 0 for fewer than 2 observations.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_COMMON_STATS_H_

@@ -1,0 +1,122 @@
+#ifndef PERFXPLAIN_COMMON_STATUS_H_
+#define PERFXPLAIN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace perfxplain {
+
+/// Coarse error category carried by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g., "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight error-or-success result, used instead of exceptions across
+/// library boundaries. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse
+  /// (mirrors absl::StatusOr).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    PX_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  /// Crashes if this Result holds an error; check ok() first.
+  const T& value() const& {
+    PX_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    PX_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    PX_CHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define PX_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::perfxplain::Status _px_status = (expr);    \
+    if (!_px_status.ok()) return _px_status;     \
+  } while (false)
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef PERFXPLAIN_COMMON_STRING_UTIL_H_
+#define PERFXPLAIN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace perfxplain {
+
+/// Splits `text` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// True if `text` starts with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strict double / int64 parsing of the full string.
+Result<double> ParseDouble(std::string_view text);
+Result<long long> ParseInt(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_COMMON_STRING_UTIL_H_

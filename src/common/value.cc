@@ -1,0 +1,122 @@
+#include "common/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace perfxplain {
+
+double Value::number() const {
+  PX_CHECK(is_numeric()) << "number() on non-numeric value " << ToString();
+  return num_;
+}
+
+const std::string& Value::nominal() const {
+  PX_CHECK(is_nominal()) << "nominal() on non-nominal value " << ToString();
+  return str_;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kMissing:
+      return "?";
+    case ValueKind::kNominal:
+      return str_;
+    case ValueKind::kNumeric: {
+      // Integers print without a decimal point; other values use %.17g and
+      // are trimmed so that e.g. 0.5 prints as "0.5".
+      if (std::isfinite(num_) && num_ == std::floor(num_) &&
+          std::abs(num_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", num_);
+        return buf;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", num_);
+      // Try progressively shorter representations that round-trip.
+      for (int precision = 1; precision <= 17; ++precision) {
+        char candidate[64];
+        std::snprintf(candidate, sizeof(candidate), "%.*g", precision, num_);
+        double parsed = 0.0;
+        auto [ptr, ec] = std::from_chars(
+            candidate, candidate + std::char_traits<char>::length(candidate),
+            parsed);
+        (void)ptr;
+        if (ec == std::errc() && parsed == num_) return candidate;
+      }
+      return buf;
+    }
+  }
+  return "?";
+}
+
+Value Value::FromString(std::string_view text, ValueKind kind) {
+  if (text.empty() || text == "?") return Missing();
+  if (kind == ValueKind::kNominal) return Nominal(std::string(text));
+  double parsed = 0.0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   parsed);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Missing();
+  }
+  return Number(parsed);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case ValueKind::kMissing:
+      return true;
+    case ValueKind::kNumeric:
+      return a.num_ == b.num_;
+    case ValueKind::kNominal:
+      return a.str_ == b.str_;
+  }
+  return false;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) {
+    return static_cast<int>(a.kind_) < static_cast<int>(b.kind_);
+  }
+  switch (a.kind_) {
+    case ValueKind::kMissing:
+      return false;
+    case ValueKind::kNumeric:
+      return a.num_ < b.num_;
+    case ValueKind::kNominal:
+      return a.str_ < b.str_;
+  }
+  return false;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+bool Value::WithinFraction(const Value& a, const Value& b, double fraction) {
+  if (!a.is_numeric() || !b.is_numeric()) return false;
+  const double x = a.num_;
+  const double y = b.num_;
+  if (x == y) return true;
+  const double scale = std::max(std::abs(x), std::abs(y));
+  return std::abs(x - y) <= fraction * scale;
+}
+
+std::size_t Value::Hash() const {
+  switch (kind_) {
+    case ValueKind::kMissing:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueKind::kNumeric:
+      return std::hash<double>()(num_) * 3 + 1;
+    case ValueKind::kNominal:
+      return std::hash<std::string>()(str_) * 3 + 2;
+  }
+  return 0;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,100 @@
+#ifndef PERFXPLAIN_COMMON_VALUE_H_
+#define PERFXPLAIN_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace perfxplain {
+
+/// Kind of a feature value. PerfXplain features are either numeric
+/// (configuration parameters, counters, Ganglia metrics) or nominal
+/// (script names, host names, categorical levels such as LT/SIM/GT).
+/// A value may also be missing: Table 1 of the paper defines several pair
+/// features that are undefined for some raw-feature types (e.g., `compare`
+/// for nominal features) or undefined for a particular pair (base features
+/// when the two jobs disagree).
+enum class ValueKind : std::uint8_t {
+  kMissing = 0,
+  kNumeric = 1,
+  kNominal = 2,
+};
+
+/// A single feature value: missing, a double, or a nominal string.
+///
+/// Value is a small regular type (copyable, movable, equality-comparable,
+/// hashable) used throughout the log, pair-feature and PXQL layers.
+class Value {
+ public:
+  /// Constructs a missing value.
+  Value() : kind_(ValueKind::kMissing), num_(0.0) {}
+
+  static Value Missing() { return Value(); }
+  static Value Number(double v) {
+    Value out;
+    out.kind_ = ValueKind::kNumeric;
+    out.num_ = v;
+    return out;
+  }
+  static Value Nominal(std::string v) {
+    Value out;
+    out.kind_ = ValueKind::kNominal;
+    out.str_ = std::move(v);
+    return out;
+  }
+  /// Convenience for the boolean-valued isSame features ("T"/"F").
+  static Value Boolean(bool v) { return Nominal(v ? "T" : "F"); }
+
+  ValueKind kind() const { return kind_; }
+  bool is_missing() const { return kind_ == ValueKind::kMissing; }
+  bool is_numeric() const { return kind_ == ValueKind::kNumeric; }
+  bool is_nominal() const { return kind_ == ValueKind::kNominal; }
+
+  /// Numeric payload; only meaningful when is_numeric().
+  double number() const;
+  /// Nominal payload; only meaningful when is_nominal().
+  const std::string& nominal() const;
+
+  /// Renders the value for display and CSV output: numerics with shortest
+  /// round-trip formatting, nominals verbatim, missing as "?".
+  std::string ToString() const;
+
+  /// Parses a CSV cell: "?" (or empty) -> missing; otherwise numeric when
+  /// `kind` is kNumeric, nominal when kNominal.
+  static Value FromString(std::string_view text, ValueKind kind);
+
+  /// Exact equality. Missing compares equal only to missing; numerics
+  /// compare bitwise-equal by value; nominals by string.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order used for sorting domains: missing < numeric < nominal,
+  /// numerics by value, nominals lexicographically.
+  friend bool operator<(const Value& a, const Value& b);
+
+  friend std::ostream& operator<<(std::ostream& os, const Value& v);
+
+  /// Returns true if both values are numeric and within `fraction` (e.g.,
+  /// 0.10) of each other, the similarity notion from footnote 1 of the
+  /// paper: |a - b| <= fraction * max(|a|, |b|). Two exact zeros are similar.
+  static bool WithinFraction(const Value& a, const Value& b, double fraction);
+
+  /// Hash compatible with operator==.
+  std::size_t Hash() const;
+
+ private:
+  ValueKind kind_;
+  double num_;
+  std::string str_;
+};
+
+}  // namespace perfxplain
+
+template <>
+struct std::hash<perfxplain::Value> {
+  std::size_t operator()(const perfxplain::Value& v) const { return v.Hash(); }
+};
+
+#endif  // PERFXPLAIN_COMMON_VALUE_H_

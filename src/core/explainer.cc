@@ -1,0 +1,332 @@
+#include "core/explainer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/pair_enumeration.h"
+#include "ml/split.h"
+
+namespace perfxplain {
+
+namespace {
+
+/// Percentile rank of `value` within `all` (average rank for ties), in
+/// [0, 1]. This is the normalizeScore step of Algorithm 1 (line 11-12):
+/// raw precision and generality values are replaced by their percentile
+/// ranks so that neither dominates the blended score.
+double PercentileRank(double value, const std::vector<double>& all) {
+  if (all.empty()) return 0.0;
+  std::size_t less = 0;
+  std::size_t equal = 0;
+  for (double v : all) {
+    if (v < value) ++less;
+    else if (v == value) ++equal;
+  }
+  return (static_cast<double>(less) + 0.5 * static_cast<double>(equal)) /
+         static_cast<double>(all.size());
+}
+
+}  // namespace
+
+Explainer::Explainer(const ExecutionLog* log, ExplainerOptions options)
+    : log_(log), options_(options), schema_(log->schema()) {
+  PX_CHECK(log != nullptr);
+}
+
+Result<Query> Explainer::PrepareQuery(const Query& query) const {
+  Query bound = query;
+  PX_RETURN_IF_ERROR(bound.Bind(schema_));
+  PX_RETURN_IF_ERROR(bound.Validate());
+  if (bound.first_id.empty() || bound.second_id.empty()) {
+    return Status::InvalidArgument(
+        "query must identify the pair of interest (FOR ... WHERE)");
+  }
+  auto first = log_->Find(bound.first_id);
+  if (!first.ok()) return first.status();
+  auto second = log_->Find(bound.second_id);
+  if (!second.ok()) return second.status();
+  // Definition 1: des(J1,J2) and obs(J1,J2) must hold; exp(J1,J2) must not.
+  PairFeatureView view(&schema_, &log_->at(first.value()),
+                       &log_->at(second.value()), &options_.pair);
+  if (!bound.despite.Eval(view)) {
+    return Status::FailedPrecondition(
+        "the pair of interest does not satisfy the DESPITE clause");
+  }
+  if (!bound.observed.Eval(view)) {
+    return Status::FailedPrecondition(
+        "the pair of interest does not satisfy the OBSERVED clause");
+  }
+  if (bound.expected.Eval(view)) {
+    return Status::FailedPrecondition(
+        "the pair of interest satisfies the EXPECTED clause; there is "
+        "nothing to explain");
+  }
+  return bound;
+}
+
+std::vector<std::size_t> Explainer::ExcludedRawFeatures(
+    const Query& bound_query) const {
+  std::set<std::size_t> raw;
+  for (const Predicate* predicate :
+       {&bound_query.observed, &bound_query.expected}) {
+    for (const Atom& atom : predicate->atoms()) {
+      PX_CHECK(atom.bound());
+      raw.insert(schema_.RawIndexOf(atom.pair_index()));
+    }
+  }
+  return {raw.begin(), raw.end()};
+}
+
+Result<std::vector<TrainingExample>> Explainer::BuildExamples(
+    const Query& bound_query, std::size_t poi_first,
+    std::size_t poi_second) const {
+  Rng rng(options_.seed);
+  auto examples = BuildTrainingExamples(
+      *log_, schema_, bound_query, poi_first, poi_second, options_.pair,
+      options_.sampler, rng, options_.balanced_sampling);
+  if (!examples.ok() || options_.max_pairs_per_record == 0) return examples;
+  return EnforceRecordDiversity(std::move(examples).value(),
+                                options_.max_pairs_per_record,
+                                /*keep_first=*/true);
+}
+
+std::vector<ExplanationAtom> Explainer::GenerateClause(
+    std::vector<TrainingExample> examples, std::size_t width,
+    bool target_expected, const std::vector<std::size_t>& excluded_raw,
+    const std::vector<Atom>& redundant_atoms) const {
+  std::vector<ExplanationAtom> trace;
+  if (examples.empty()) return trace;
+  const std::vector<Value> poi_features = examples[0].features;
+  const std::set<std::size_t> excluded(excluded_raw.begin(),
+                                       excluded_raw.end());
+  std::set<std::size_t> used_raw;
+
+  // Working set P: examples satisfying the clause built so far. When
+  // generating a des' clause, the "positive" label whose conditional
+  // probability we maximize is `expected`; flip labels so the shared
+  // machinery (which treats TrainingExample::observed as positive) measures
+  // relevance instead of precision (line 6 of Algorithm 1 and its §4.2
+  /// variant).
+  std::vector<TrainingExample> working = std::move(examples);
+  if (target_expected) {
+    for (TrainingExample& example : working) {
+      example.observed = !example.observed;
+    }
+  }
+
+  SplitOptions split_options;
+  split_options.constrain_to_pair = true;
+
+  for (std::size_t step = 0; step < width; ++step) {
+    // Candidates isolating (almost) nothing but the pair of interest look
+    // perfectly precise on the sample yet do not generalize; require a
+    // sliver of support.
+    split_options.min_support =
+        std::max<std::size_t>(3, working.size() / 100);
+    // Line 5: best (max info gain) predicate per feature.
+    struct Candidate {
+      SplitCandidate split;
+      std::size_t raw_index;
+      double metric = 0.0;      ///< P(target | p, X) over working set
+      double generality = 0.0;  ///< P(p | X) over working set
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t f = 0; f < schema_.size(); ++f) {
+      if (!schema_.InLevel(f, options_.level)) continue;
+      if (!schema_.IsDefined(f)) continue;
+      const std::size_t raw_index = schema_.RawIndexOf(f);
+      if (excluded.count(raw_index) > 0) continue;
+      if (used_raw.count(f) > 0) continue;
+      auto split = BestPredicateForFeature(schema_, working, f,
+                                           poi_features[f], split_options);
+      if (!split.has_value()) continue;
+      // Atoms every related pair satisfies by construction (they restate
+      // the query's despite clause) carry no information.
+      bool redundant = false;
+      for (const Atom& atom : redundant_atoms) {
+        if (atom == split->atom) {
+          redundant = true;
+          break;
+        }
+      }
+      if (redundant) continue;
+      Candidate candidate;
+      candidate.split = std::move(split).value();
+      candidate.raw_index = f;
+      candidates.push_back(std::move(candidate));
+    }
+    if (candidates.empty()) break;
+
+    // Lines 6-7: precision (or relevance) and generality of each winner.
+    for (Candidate& candidate : candidates) {
+      std::size_t satisfy = 0;
+      std::size_t satisfy_target = 0;
+      for (const TrainingExample& example : working) {
+        if (!candidate.split.atom.Eval(example.features)) continue;
+        ++satisfy;
+        if (example.observed) ++satisfy_target;
+      }
+      candidate.generality =
+          working.empty() ? 0.0
+                          : static_cast<double>(satisfy) /
+                                static_cast<double>(working.size());
+      candidate.metric = satisfy == 0
+                             ? 0.0
+                             : static_cast<double>(satisfy_target) /
+                                   static_cast<double>(satisfy);
+    }
+
+    // Lines 8-14: percentile-rank normalization and weighted blend.
+    std::vector<double> metrics;
+    std::vector<double> generalities;
+    metrics.reserve(candidates.size());
+    generalities.reserve(candidates.size());
+    for (const Candidate& candidate : candidates) {
+      metrics.push_back(candidate.metric);
+      generalities.push_back(candidate.generality);
+    }
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const double score =
+          options_.normalize_scores
+              ? options_.precision_weight *
+                        PercentileRank(candidates[c].metric, metrics) +
+                    (1.0 - options_.precision_weight) *
+                        PercentileRank(candidates[c].generality,
+                                       generalities)
+              : options_.precision_weight * candidates[c].metric +
+                    (1.0 - options_.precision_weight) *
+                        candidates[c].generality;
+      const bool better =
+          score > best_score ||
+          (score == best_score &&
+           (candidates[c].metric > candidates[best].metric ||
+            (candidates[c].metric == candidates[best].metric &&
+             candidates[c].split.gain > candidates[best].split.gain)));
+      if (c == 0 || better) {
+        best = c;
+        best_score = score;
+      }
+    }
+
+    // Lines 16-17: extend the clause and keep only satisfying examples.
+    ExplanationAtom chosen;
+    chosen.atom = candidates[best].split.atom;
+    chosen.info_gain = candidates[best].split.gain;
+    chosen.score = best_score;
+    used_raw.insert(candidates[best].raw_index);
+
+    std::vector<TrainingExample> next;
+    next.reserve(working.size());
+    std::size_t target_count = 0;
+    for (TrainingExample& example : working) {
+      if (chosen.atom.Eval(example.features)) {
+        if (example.observed) ++target_count;
+        next.push_back(std::move(example));
+      }
+    }
+    chosen.generality_after =
+        working.empty() ? 0.0
+                        : static_cast<double>(next.size()) /
+                              static_cast<double>(working.size());
+    chosen.metric_after = next.empty()
+                              ? 0.0
+                              : static_cast<double>(target_count) /
+                                    static_cast<double>(next.size());
+    trace.push_back(std::move(chosen));
+    working = std::move(next);
+    PX_CHECK(!working.empty());  // the pair of interest always satisfies X
+  }
+  return trace;
+}
+
+Predicate Explainer::ClauseToPredicate(
+    const std::vector<ExplanationAtom>& trace) {
+  Predicate predicate;
+  for (const ExplanationAtom& atom : trace) {
+    predicate.Append(atom.atom);
+  }
+  return predicate;
+}
+
+Result<Explanation> Explainer::Explain(const Query& query) const {
+  auto bound = PrepareQuery(query);
+  if (!bound.ok()) return bound.status();
+  const std::size_t poi_first = log_->Find(bound->first_id).value();
+  const std::size_t poi_second = log_->Find(bound->second_id).value();
+  auto examples = BuildExamples(*bound, poi_first, poi_second);
+  if (!examples.ok()) return examples.status();
+
+  Explanation explanation;
+  explanation.because_trace = GenerateClause(
+      std::move(examples).value(), options_.width,
+      /*target_expected=*/false, ExcludedRawFeatures(*bound),
+      bound->despite.atoms());
+  explanation.because = ClauseToPredicate(explanation.because_trace);
+  if (explanation.because.is_true()) {
+    return Status::Internal("no applicable because clause could be built");
+  }
+  return explanation;
+}
+
+Result<Predicate> Explainer::GenerateDespite(const Query& query,
+                                             std::size_t width) const {
+  auto bound = PrepareQuery(query);
+  if (!bound.ok()) return bound.status();
+  const std::size_t poi_first = log_->Find(bound->first_id).value();
+  const std::size_t poi_second = log_->Find(bound->second_id).value();
+  auto examples = BuildExamples(*bound, poi_first, poi_second);
+  if (!examples.ok()) return examples.status();
+  const std::vector<ExplanationAtom> trace = GenerateClause(
+      std::move(examples).value(), width,
+      /*target_expected=*/true, ExcludedRawFeatures(*bound),
+      bound->despite.atoms());
+  return ClauseToPredicate(trace);
+}
+
+Result<Explanation> Explainer::ExplainWithAutoDespite(
+    const Query& query) const {
+  auto bound = PrepareQuery(query);
+  if (!bound.ok()) return bound.status();
+  const std::size_t poi_first = log_->Find(bound->first_id).value();
+  const std::size_t poi_second = log_->Find(bound->second_id).value();
+  auto examples = BuildExamples(*bound, poi_first, poi_second);
+  if (!examples.ok()) return examples.status();
+
+  // des' clause first, truncated at the relevance threshold.
+  std::vector<ExplanationAtom> despite_trace = GenerateClause(
+      examples.value(), options_.despite_width,
+      /*target_expected=*/true, ExcludedRawFeatures(*bound),
+      bound->despite.atoms());
+  std::size_t keep = despite_trace.size();
+  for (std::size_t i = 0; i < despite_trace.size(); ++i) {
+    if (despite_trace[i].metric_after >=
+        options_.despite_relevance_threshold) {
+      keep = i + 1;
+      break;
+    }
+  }
+  despite_trace.resize(keep);
+
+  Explanation explanation;
+  explanation.despite_trace = despite_trace;
+  explanation.despite = ClauseToPredicate(despite_trace);
+
+  // bec clause in the context of des AND des'.
+  Query extended = *bound;
+  extended.despite = extended.despite.And(explanation.despite);
+  auto extended_examples = BuildExamples(extended, poi_first, poi_second);
+  if (!extended_examples.ok()) return extended_examples.status();
+  explanation.because_trace = GenerateClause(
+      std::move(extended_examples).value(), options_.width,
+      /*target_expected=*/false, ExcludedRawFeatures(extended),
+      extended.despite.atoms());
+  explanation.because = ClauseToPredicate(explanation.because_trace);
+  if (explanation.because.is_true()) {
+    return Status::Internal("no applicable because clause could be built");
+  }
+  return explanation;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,134 @@
+#ifndef PERFXPLAIN_CORE_EXPLAINER_H_
+#define PERFXPLAIN_CORE_EXPLAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/explanation.h"
+#include "features/pair_features.h"
+#include "features/pair_schema.h"
+#include "log/execution_log.h"
+#include "ml/sampler.h"
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Tunables of the PerfXplain explanation generator (Algorithm 1).
+struct ExplainerOptions {
+  /// Number of atomic predicates in the because clause (w in Algorithm 1).
+  std::size_t width = 3;
+
+  /// Blend between the normalized precision and generality scores
+  /// (line 13; the paper uses 0.8, favoring precision).
+  double precision_weight = 0.8;
+
+  /// Balanced-sampling parameters (§4.3; sample size 2000 in the paper).
+  SamplerOptions sampler;
+
+  /// Pair-feature computation (10% similarity threshold).
+  PairFeatureOptions pair;
+
+  /// Which pair features the explanation may use (§6.8). Level 3 = all.
+  FeatureLevel level = FeatureLevel::kLevel3;
+
+  /// Width of machine-generated despite clauses (§6.4 uses 3).
+  std::size_t despite_width = 3;
+
+  /// ExplainWithAutoDespite stops extending the despite clause once its
+  /// relevance over the training sample reaches this threshold (§4.2:
+  /// "an easy modification is to set a relevance threshold r").
+  double despite_relevance_threshold = 0.95;
+
+  /// When non-zero, caps how many sampled training pairs any single
+  /// execution may participate in — the diversity-biased sampling the
+  /// paper suggests as future work (§4.3). 0 disables the cap.
+  std::size_t max_pairs_per_record = 0;
+
+  /// Percentile-rank normalization of the precision/generality scores
+  /// before blending (lines 11-12 of Algorithm 1). Disabling reverts to
+  /// the paper's earlier implementation, which the authors report let
+  /// precision drown out generality. Ablated in bench_ablation.
+  bool normalize_scores = true;
+
+  /// Balanced sampling (§4.3). Disabling samples related pairs uniformly,
+  /// which on skewed logs lets the majority label dominate training.
+  /// Ablated in bench_ablation.
+  bool balanced_sampling = true;
+
+  /// Seed of the per-call sampling Rng; explanations are deterministic
+  /// given (log, query, options).
+  std::uint64_t seed = 17;
+};
+
+/// Generates PerfXplain explanations from a log of past executions.
+///
+/// The despite and because clauses are built symmetrically (§4.2): a greedy
+/// loop picks, at each step, the max-information-gain predicate per feature
+/// (restricted to predicates the pair of interest satisfies, so the result
+/// is applicable per Definition 3), scores the per-feature winners by a
+/// weighted blend of percentile-normalized precision (bec) or relevance
+/// (des') and generality, appends the best atom, and recurses on the
+/// examples that satisfy the clause so far. Features mentioned by the
+/// observed/expected clauses (the runtime metric itself) are excluded from
+/// explanations.
+class Explainer {
+ public:
+  /// `log` must outlive the explainer.
+  Explainer(const ExecutionLog* log, ExplainerOptions options);
+
+  const PairSchema& pair_schema() const { return schema_; }
+  const ExplainerOptions& options() const { return options_; }
+
+  /// Resolves the pair of interest from the query's ids, checks Definition 1
+  /// (des and obs hold for the pair, exp does not) and returns the bound
+  /// query. Exposed for callers that drive the pieces separately.
+  Result<Query> PrepareQuery(const Query& query) const;
+
+  /// Default mode: generates only the bec clause (§4.2: "by default,
+  /// PerfXplain generates only the bec clause").
+  Result<Explanation> Explain(const Query& query) const;
+
+  /// Generates a des' clause of width `width` for the query (the user asks
+  /// for a despite clause explicitly, §6.4).
+  Result<Predicate> GenerateDespite(const Query& query,
+                                    std::size_t width) const;
+
+  /// Generates a des' clause (stopping early at the relevance threshold),
+  /// folds it into the query, then generates the bec clause in its context.
+  Result<Explanation> ExplainWithAutoDespite(const Query& query) const;
+
+  /// Lower-level entry point used by the experiments: generates one clause
+  /// from already-materialized training examples. The first example must be
+  /// the pair of interest. `target_expected` selects des' mode (optimize
+  /// relevance) versus bec mode (optimize precision). Atoms appearing
+  /// verbatim in `redundant_atoms` (the query's despite clause, which every
+  /// related pair satisfies) are never proposed.
+  std::vector<ExplanationAtom> GenerateClause(
+      std::vector<TrainingExample> examples, std::size_t width,
+      bool target_expected, const std::vector<std::size_t>& excluded_raw,
+      const std::vector<Atom>& redundant_atoms = {}) const;
+
+  /// Raw-feature indexes mentioned by the query's observed/expected clauses
+  /// (excluded from candidate explanation features).
+  std::vector<std::size_t> ExcludedRawFeatures(const Query& bound_query)
+      const;
+
+  /// Builds (and balanced-samples) the training examples for `bound_query`
+  /// with the pair of interest first. Exposed for experiments.
+  Result<std::vector<TrainingExample>> BuildExamples(
+      const Query& bound_query, std::size_t poi_first,
+      std::size_t poi_second) const;
+
+ private:
+  static Predicate ClauseToPredicate(
+      const std::vector<ExplanationAtom>& trace);
+
+  const ExecutionLog* log_;
+  ExplainerOptions options_;
+  PairSchema schema_;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_CORE_EXPLAINER_H_

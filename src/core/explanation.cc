@@ -1,0 +1,14 @@
+#include "core/explanation.h"
+
+namespace perfxplain {
+
+std::string Explanation::ToString() const {
+  std::string out;
+  if (!despite.is_true()) {
+    out += "DESPITE " + despite.ToString() + "\n";
+  }
+  out += "BECAUSE " + because.ToString();
+  return out;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,41 @@
+#ifndef PERFXPLAIN_CORE_EXPLANATION_H_
+#define PERFXPLAIN_CORE_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "pxql/ast.h"
+
+namespace perfxplain {
+
+/// Diagnostics recorded for each atom as it was greedily appended to a
+/// clause: the information gain that selected it and the clause's precision
+/// (or relevance, for despite clauses) and generality right after adding it.
+/// Atoms appear in selection order, so "the important predicates appear
+/// first" (§3.3).
+struct ExplanationAtom {
+  Atom atom;
+  double info_gain = 0.0;
+  double metric_after = 0.0;      ///< precision (bec) / relevance (des')
+  double generality_after = 0.0;
+  double score = 0.0;             ///< blended normalized score (line 13)
+};
+
+/// A candidate explanation (Definition 2): a pair of predicates
+/// (des', bec). `despite` holds only the machine-generated extension; the
+/// user's original despite clause lives in the query.
+struct Explanation {
+  Predicate despite;
+  Predicate because;
+
+  /// Per-atom selection diagnostics, in clause order.
+  std::vector<ExplanationAtom> despite_trace;
+  std::vector<ExplanationAtom> because_trace;
+
+  /// "DESPITE <des'>\nBECAUSE <bec>" (DESPITE omitted when empty).
+  std::string ToString() const;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_CORE_EXPLANATION_H_

@@ -1,0 +1,173 @@
+#include "core/formatter.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "features/pair_schema.h"
+
+namespace perfxplain {
+
+namespace {
+
+/// Splits a pair-feature name into (raw feature, suffix kind).
+struct ParsedName {
+  std::string raw;
+  enum class Kind { kIsSame, kCompare, kDiff, kBase } kind = Kind::kBase;
+};
+
+ParsedName ParseFeatureName(const std::string& name) {
+  ParsedName parsed;
+  if (EndsWith(name, "_isSame")) {
+    parsed.kind = ParsedName::Kind::kIsSame;
+    parsed.raw = name.substr(0, name.size() - 7);
+  } else if (EndsWith(name, "_compare")) {
+    parsed.kind = ParsedName::Kind::kCompare;
+    parsed.raw = name.substr(0, name.size() - 8);
+  } else if (EndsWith(name, "_diff")) {
+    parsed.kind = ParsedName::Kind::kDiff;
+    parsed.raw = name.substr(0, name.size() - 5);
+  } else {
+    parsed.raw = name;
+  }
+  return parsed;
+}
+
+bool LooksLikeBytes(const std::string& feature) {
+  return feature.find("size") != std::string::npos ||
+         feature.find("bytes") != std::string::npos;
+}
+
+const char* OpProse(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "was";
+    case CompareOp::kNe:
+      return "was not";
+    case CompareOp::kLt:
+      return "was less than";
+    case CompareOp::kLe:
+      return "was at most";
+    case CompareOp::kGt:
+      return "was greater than";
+    case CompareOp::kGe:
+      return "was at least";
+  }
+  return "was";
+}
+
+}  // namespace
+
+std::string FormatConstant(const std::string& feature, const Value& value) {
+  if (value.is_numeric() && LooksLikeBytes(feature)) {
+    const double bytes = value.number();
+    const struct {
+      double scale;
+      const char* unit;
+    } kUnits[] = {{1024.0 * 1024 * 1024 * 1024, "TB"},
+                  {1024.0 * 1024 * 1024, "GB"},
+                  {1024.0 * 1024, "MB"},
+                  {1024.0, "KB"}};
+    for (const auto& unit : kUnits) {
+      if (std::abs(bytes) >= unit.scale) {
+        const double scaled = bytes / unit.scale;
+        if (scaled == std::floor(scaled)) {
+          return StrFormat("%.0f %s", scaled, unit.unit);
+        }
+        return StrFormat("%.1f %s", scaled, unit.unit);
+      }
+    }
+  }
+  return value.ToString();
+}
+
+std::string RenderAtomProse(const Atom& atom) {
+  const ParsedName parsed = ParseFeatureName(atom.feature());
+  const bool equality = atom.op() == CompareOp::kEq;
+  switch (parsed.kind) {
+    case ParsedName::Kind::kIsSame:
+      if (equality && atom.constant() == Value::Nominal("T")) {
+        return "the two executions had the same " + parsed.raw;
+      }
+      if (equality && atom.constant() == Value::Nominal("F")) {
+        return "the two executions differed on " + parsed.raw;
+      }
+      break;
+    case ParsedName::Kind::kCompare:
+      if (equality && atom.constant() == Value::Nominal("GT")) {
+        return "J1's " + parsed.raw + " was much greater than J2's";
+      }
+      if (equality && atom.constant() == Value::Nominal("LT")) {
+        return "J1's " + parsed.raw + " was much less than J2's";
+      }
+      if (equality && atom.constant() == Value::Nominal("SIM")) {
+        return "the two executions had a similar " + parsed.raw;
+      }
+      break;
+    case ParsedName::Kind::kDiff:
+      if (equality) {
+        return parsed.raw + " changed as " + atom.constant().ToString();
+      }
+      break;
+    case ParsedName::Kind::kBase:
+      return parsed.raw + " " + std::string(OpProse(atom.op())) + " " +
+             FormatConstant(parsed.raw, atom.constant());
+  }
+  // Fallback: the PXQL text itself.
+  return atom.ToString();
+}
+
+namespace {
+
+std::string RenderClauseProse(const Predicate& predicate) {
+  std::string out;
+  const auto& atoms = predicate.atoms();
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) {
+      out += (i + 1 == atoms.size()) ? ", and " : ", ";
+    }
+    out += RenderAtomProse(atoms[i]);
+  }
+  return out;
+}
+
+/// Describes what the user observed, from the observed clause.
+std::string RenderObserved(const Predicate& observed) {
+  for (const Atom& atom : observed.atoms()) {
+    const ParsedName parsed = ParseFeatureName(atom.feature());
+    if (parsed.raw == "duration" &&
+        parsed.kind == ParsedName::Kind::kCompare &&
+        atom.op() == CompareOp::kEq) {
+      if (atom.constant() == Value::Nominal("GT")) {
+        return "J1 took much longer than J2";
+      }
+      if (atom.constant() == Value::Nominal("LT")) {
+        return "J1 was much faster than J2";
+      }
+      if (atom.constant() == Value::Nominal("SIM")) {
+        return "the two executions took about the same time";
+      }
+    }
+  }
+  return "the pair performed as observed (" + observed.ToString() + ")";
+}
+
+}  // namespace
+
+std::string RenderExplanationProse(const Query& query,
+                                   const Explanation& explanation) {
+  std::string out;
+  const Predicate full_despite = query.despite.And(explanation.despite);
+  if (!full_despite.is_true()) {
+    out += "Even though " + RenderClauseProse(full_despite) + ", ";
+    out += RenderObserved(query.observed);
+  } else {
+    const std::string observed = RenderObserved(query.observed);
+    out += static_cast<char>(std::toupper(observed[0]));
+    out += observed.substr(1);
+  }
+  out += " most likely because: " + RenderClauseProse(explanation.because) +
+         ".";
+  return out;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,36 @@
+#ifndef PERFXPLAIN_CORE_FORMATTER_H_
+#define PERFXPLAIN_CORE_FORMATTER_H_
+
+#include <string>
+
+#include "core/explanation.h"
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Renders explanations the way the paper's prose does (§1): "even though
+/// <despite>, J1 was <observed> most likely because <because>". The goal
+/// is that non-expert users — the paper's target audience — can read an
+/// answer without knowing the pair-feature encoding.
+///
+/// Example output:
+///   Even though the two executions processed a similar amount of input
+///   data, job J1 took much longer most likely because: its input size was
+///   much greater, its avg_load_five was much greater, and numinstances
+///   was at most 12.
+std::string RenderExplanationProse(const Query& query,
+                                   const Explanation& explanation);
+
+/// One atom in English ("the two executions have the same blocksize",
+/// "J1's inputsize was much greater", "blocksize was at least 128 MB").
+std::string RenderAtomProse(const Atom& atom);
+
+/// Formats byte-valued constants with binary units (e.g., "128 MB") and
+/// everything else via Value::ToString. Used by RenderAtomProse for
+/// features whose name suggests a byte quantity (contains "size" or
+/// "bytes").
+std::string FormatConstant(const std::string& feature, const Value& value);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_CORE_FORMATTER_H_

@@ -1,0 +1,70 @@
+#include "core/metrics.h"
+
+namespace perfxplain {
+
+ExplanationMetrics EvaluateExplanation(const ExecutionLog& log,
+                                       const PairSchema& schema,
+                                       const Query& bound_query,
+                                       const Explanation& explanation,
+                                       const PairFeatureOptions& options) {
+  // Per §4.2 of the paper, all three probabilities are measured over the
+  // pairs *related* to the query — those satisfying des AND (obs OR exp)
+  // (Definition 7). Pairs exhibiting some third behavior (neither observed
+  // nor expected) are not part of the population.
+  ExplanationMetrics metrics;
+  ForEachOrderedPair(
+      log, schema, options,
+      [&](std::size_t, std::size_t, const PairFeatureView& view) {
+        const PairLabel label = ClassifyPair(bound_query, view);
+        if (label == PairLabel::kUnrelated) return true;
+        if (!explanation.despite.Eval(view)) return true;
+        ++metrics.pairs_despite;
+        if (label == PairLabel::kExpected) ++metrics.pairs_despite_exp;
+        if (explanation.because.Eval(view)) {
+          ++metrics.pairs_because;
+          if (label == PairLabel::kObserved) ++metrics.pairs_because_obs;
+        }
+        return true;
+      });
+  if (metrics.pairs_despite > 0) {
+    metrics.relevance = static_cast<double>(metrics.pairs_despite_exp) /
+                        static_cast<double>(metrics.pairs_despite);
+    metrics.generality = static_cast<double>(metrics.pairs_because) /
+                         static_cast<double>(metrics.pairs_despite);
+  }
+  if (metrics.pairs_because > 0) {
+    metrics.precision = static_cast<double>(metrics.pairs_because_obs) /
+                        static_cast<double>(metrics.pairs_because);
+  }
+  return metrics;
+}
+
+double EvaluateDespiteRelevance(const ExecutionLog& log,
+                                const PairSchema& schema,
+                                const Query& bound_query,
+                                const Predicate& despite_ext,
+                                const PairFeatureOptions& options) {
+  std::size_t matching = 0;
+  std::size_t expected = 0;
+  ForEachOrderedPair(
+      log, schema, options,
+      [&](std::size_t, std::size_t, const PairFeatureView& view) {
+        const PairLabel label = ClassifyPair(bound_query, view);
+        if (label == PairLabel::kUnrelated) return true;
+        if (!despite_ext.Eval(view)) return true;
+        ++matching;
+        if (label == PairLabel::kExpected) ++expected;
+        return true;
+      });
+  if (matching == 0) return 0.0;
+  return static_cast<double>(expected) / static_cast<double>(matching);
+}
+
+bool IsApplicable(const Explanation& explanation, const PairSchema& schema,
+                  const ExecutionRecord& first, const ExecutionRecord& second,
+                  const PairFeatureOptions& options) {
+  PairFeatureView view(&schema, &first, &second, &options);
+  return explanation.despite.Eval(view) && explanation.because.Eval(view);
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,147 @@
+#include "core/pair_enumeration.h"
+
+#include <algorithm>
+
+namespace perfxplain {
+
+void ForEachOrderedPair(
+    const ExecutionLog& log, const PairSchema& schema,
+    const PairFeatureOptions& options,
+    const std::function<bool(std::size_t, std::size_t,
+                             const PairFeatureView&)>& fn) {
+  const std::size_t n = log.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      PairFeatureView view(&schema, &log.at(i), &log.at(j), &options);
+      if (!fn(i, j, view)) return;
+    }
+  }
+}
+
+PairLabel ClassifyPair(const Query& bound_query, const PairFeatureView& view) {
+  if (!bound_query.despite.Eval(view)) return PairLabel::kUnrelated;
+  if (bound_query.observed.Eval(view)) return PairLabel::kObserved;
+  if (bound_query.expected.Eval(view)) return PairLabel::kExpected;
+  return PairLabel::kUnrelated;
+}
+
+RelatedCounts CountRelatedPairs(const ExecutionLog& log,
+                                const PairSchema& schema,
+                                const Query& bound_query,
+                                const PairFeatureOptions& options) {
+  RelatedCounts counts;
+  ForEachOrderedPair(log, schema, options,
+                     [&](std::size_t, std::size_t,
+                         const PairFeatureView& view) {
+                       switch (ClassifyPair(bound_query, view)) {
+                         case PairLabel::kObserved:
+                           ++counts.observed;
+                           break;
+                         case PairLabel::kExpected:
+                           ++counts.expected;
+                           break;
+                         case PairLabel::kUnrelated:
+                           break;
+                       }
+                       return true;
+                     });
+  return counts;
+}
+
+Result<std::vector<TrainingExample>> BuildTrainingExamples(
+    const ExecutionLog& log, const PairSchema& schema,
+    const Query& bound_query, std::size_t poi_first, std::size_t poi_second,
+    const PairFeatureOptions& pair_options,
+    const SamplerOptions& sampler_options, Rng& rng, bool balanced) {
+  if (poi_first >= log.size() || poi_second >= log.size() ||
+      poi_first == poi_second) {
+    return Status::InvalidArgument("pair of interest indexes out of range");
+  }
+  // Pass 1: label counts for the §4.3 acceptance probabilities.
+  const RelatedCounts counts =
+      CountRelatedPairs(log, schema, bound_query, pair_options);
+  if (counts.total() == 0) {
+    return Status::FailedPrecondition(
+        "no pairs in the log are related to the query");
+  }
+  const double m = static_cast<double>(sampler_options.sample_size);
+  double p_observed;
+  double p_expected;
+  if (balanced) {
+    p_observed =
+        counts.observed == 0
+            ? 0.0
+            : std::min(1.0, m / (2.0 * static_cast<double>(counts.observed)));
+    p_expected =
+        counts.expected == 0
+            ? 0.0
+            : std::min(1.0,
+                       m / (2.0 * static_cast<double>(counts.expected)));
+  } else {
+    const double uniform =
+        std::min(1.0, m / static_cast<double>(counts.total()));
+    p_observed = uniform;
+    p_expected = uniform;
+  }
+
+  // Pass 2: sample and materialize. The pair of interest goes first.
+  std::vector<TrainingExample> examples;
+  {
+    PairFeatureView poi_view(&schema, &log.at(poi_first), &log.at(poi_second),
+                             &pair_options);
+    TrainingExample poi;
+    poi.first = poi_first;
+    poi.second = poi_second;
+    poi.observed = true;
+    poi.features = poi_view.Materialize();
+    examples.push_back(std::move(poi));
+  }
+  ForEachOrderedPair(
+      log, schema, pair_options,
+      [&](std::size_t i, std::size_t j, const PairFeatureView& view) {
+        if (i == poi_first && j == poi_second) return true;  // already added
+        const PairLabel label = ClassifyPair(bound_query, view);
+        if (label == PairLabel::kUnrelated) return true;
+        const bool observed = label == PairLabel::kObserved;
+        if (!rng.Bernoulli(observed ? p_observed : p_expected)) return true;
+        TrainingExample example;
+        example.first = i;
+        example.second = j;
+        example.observed = observed;
+        example.features = view.Materialize();
+        examples.push_back(std::move(example));
+        return true;
+      });
+  return examples;
+}
+
+Result<std::pair<std::size_t, std::size_t>> FindPairOfInterest(
+    const ExecutionLog& log, const PairSchema& schema,
+    const Query& bound_query, const PairFeatureOptions& options,
+    std::size_t skip) {
+  std::size_t remaining = skip;
+  std::pair<std::size_t, std::size_t> found{0, 0};
+  bool ok = false;
+  ForEachOrderedPair(
+      log, schema, options,
+      [&](std::size_t i, std::size_t j, const PairFeatureView& view) {
+        if (ClassifyPair(bound_query, view) != PairLabel::kObserved) {
+          return true;
+        }
+        if (remaining > 0) {
+          --remaining;
+          return true;
+        }
+        found = {i, j};
+        ok = true;
+        return false;
+      });
+  if (!ok) {
+    return Status::NotFound(
+        "no pair in the log satisfies DESPITE and OBSERVED");
+  }
+  return found;
+}
+
+}  // namespace perfxplain

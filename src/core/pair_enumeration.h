@@ -1,0 +1,76 @@
+#ifndef PERFXPLAIN_CORE_PAIR_ENUMERATION_H_
+#define PERFXPLAIN_CORE_PAIR_ENUMERATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "features/pair_features.h"
+#include "features/pair_schema.h"
+#include "log/execution_log.h"
+#include "ml/sampler.h"
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Invokes `fn` for every ordered pair (i, j), i != j, of records in `log`
+/// with a lazy feature view. Enumeration is row-major and deterministic.
+/// `fn` returning false stops the enumeration early.
+void ForEachOrderedPair(
+    const ExecutionLog& log, const PairSchema& schema,
+    const PairFeatureOptions& options,
+    const std::function<bool(std::size_t, std::size_t,
+                             const PairFeatureView&)>& fn);
+
+/// Classification of one pair with respect to a query (Definitions 7-9).
+enum class PairLabel {
+  kUnrelated,  ///< fails des, or satisfies neither obs nor exp
+  kObserved,   ///< des && obs
+  kExpected,   ///< des && exp
+};
+
+/// Labels the pair via lazy evaluation (des first, so unrelated pairs cost
+/// only the des atoms).
+PairLabel ClassifyPair(const Query& bound_query, const PairFeatureView& view);
+
+/// Counts of related pairs by label.
+struct RelatedCounts {
+  std::size_t observed = 0;
+  std::size_t expected = 0;
+  std::size_t total() const { return observed + expected; }
+};
+
+/// One pass over all ordered pairs counting Definition 8/9 labels.
+RelatedCounts CountRelatedPairs(const ExecutionLog& log,
+                                const PairSchema& schema,
+                                const Query& bound_query,
+                                const PairFeatureOptions& options);
+
+/// constructTrainingExamples + sample (lines 1-2 of Algorithm 1): labels
+/// every ordered pair, keeps related ones with the balanced-sampling
+/// acceptance probabilities of §4.3, and materializes the kept pairs'
+/// feature vectors. The pair of interest (poi_first, poi_second) — which by
+/// Definition 1 performs as observed — is always included, as the first
+/// example.
+/// When `balanced` is false the §4.3 label-balancing acceptance
+/// probabilities are replaced by a single uniform probability m/|related|
+/// (ablation of the balanced-sampling design decision).
+Result<std::vector<TrainingExample>> BuildTrainingExamples(
+    const ExecutionLog& log, const PairSchema& schema,
+    const Query& bound_query, std::size_t poi_first, std::size_t poi_second,
+    const PairFeatureOptions& pair_options,
+    const SamplerOptions& sampler_options, Rng& rng, bool balanced = true);
+
+/// Finds a pair of interest for the query: an ordered pair satisfying
+/// des AND obs (and therefore, by Definition 1, not exp). `skip` ordered
+/// pairs matching the condition are passed over first, so callers can pick
+/// different exemplars. Returns (first, second) record indexes.
+Result<std::pair<std::size_t, std::size_t>> FindPairOfInterest(
+    const ExecutionLog& log, const PairSchema& schema,
+    const Query& bound_query, const PairFeatureOptions& options,
+    std::size_t skip = 0);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_CORE_PAIR_ENUMERATION_H_

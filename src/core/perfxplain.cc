@@ -1,0 +1,94 @@
+#include "core/perfxplain.h"
+
+namespace perfxplain {
+
+const char* TechniqueToString(Technique technique) {
+  switch (technique) {
+    case Technique::kPerfXplain:
+      return "PerfXplain";
+    case Technique::kRuleOfThumb:
+      return "RuleOfThumb";
+    case Technique::kSimButDiff:
+      return "SimButDiff";
+  }
+  return "?";
+}
+
+PerfXplain::PerfXplain(ExecutionLog log, Options options)
+    : log_(std::move(log)), options_(options) {
+  explainer_ = std::make_unique<Explainer>(&log_, options_.explainer);
+  sim_but_diff_ =
+      std::make_unique<SimButDiff>(&log_, options_.sim_but_diff);
+}
+
+Result<Explanation> PerfXplain::ExplainText(const std::string& pxql) const {
+  auto query = ParseQuery(pxql);
+  if (!query.ok()) return query.status();
+  return Explain(query.value());
+}
+
+Result<Explanation> PerfXplain::Explain(const Query& query) const {
+  return explainer_->Explain(query);
+}
+
+Result<Predicate> PerfXplain::GenerateDespiteText(
+    const std::string& pxql) const {
+  auto query = ParseQuery(pxql);
+  if (!query.ok()) return query.status();
+  return GenerateDespite(query.value());
+}
+
+Result<Predicate> PerfXplain::GenerateDespite(const Query& query) const {
+  return explainer_->GenerateDespite(query,
+                                     options_.explainer.despite_width);
+}
+
+Result<Explanation> PerfXplain::ExplainWithAutoDespite(
+    const Query& query) const {
+  return explainer_->ExplainWithAutoDespite(query);
+}
+
+Result<Explanation> PerfXplain::ExplainWith(Technique technique,
+                                            const Query& query,
+                                            std::size_t width) const {
+  switch (technique) {
+    case Technique::kPerfXplain: {
+      ExplainerOptions explainer_options = options_.explainer;
+      explainer_options.width = width;
+      Explainer explainer(&log_, explainer_options);
+      return explainer.Explain(query);
+    }
+    case Technique::kRuleOfThumb: {
+      if (rule_of_thumb_ == nullptr) {
+        rule_of_thumb_ =
+            std::make_unique<RuleOfThumb>(&log_, options_.rule_of_thumb);
+      }
+      return rule_of_thumb_->Explain(query, width);
+    }
+    case Technique::kSimButDiff:
+      return sim_but_diff_->Explain(query, width);
+  }
+  return Status::InvalidArgument("unknown technique");
+}
+
+Result<ExplanationMetrics> PerfXplain::Evaluate(
+    const Query& query, const Explanation& explanation) const {
+  return EvaluateOn(log_, query, explanation);
+}
+
+Result<ExplanationMetrics> PerfXplain::EvaluateOn(
+    const ExecutionLog& test_log, const Query& query,
+    const Explanation& explanation) const {
+  if (!(test_log.schema() == log_.schema())) {
+    return Status::InvalidArgument("test log schema differs from training");
+  }
+  Query bound = query;
+  PX_RETURN_IF_ERROR(bound.Bind(pair_schema()));
+  Explanation bound_explanation = explanation;
+  PX_RETURN_IF_ERROR(bound_explanation.despite.Bind(pair_schema()));
+  PX_RETURN_IF_ERROR(bound_explanation.because.Bind(pair_schema()));
+  return EvaluateExplanation(test_log, pair_schema(), bound,
+                             bound_explanation, options_.explainer.pair);
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,91 @@
+#ifndef PERFXPLAIN_CORE_PERFXPLAIN_H_
+#define PERFXPLAIN_CORE_PERFXPLAIN_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/explainer.h"
+#include "core/explanation.h"
+#include "core/metrics.h"
+#include "core/rule_of_thumb.h"
+#include "core/sim_but_diff.h"
+#include "log/execution_log.h"
+#include "pxql/parser.h"
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Which explanation-generation technique to run (§4 and §5).
+enum class Technique {
+  kPerfXplain,
+  kRuleOfThumb,
+  kSimButDiff,
+};
+
+const char* TechniqueToString(Technique technique);
+
+/// Top-level facade: owns a log of past executions (jobs or tasks) and
+/// answers PXQL queries against it.
+///
+/// Typical use:
+///   PerfXplain system(std::move(job_log));
+///   auto explanation = system.ExplainText(
+///       "FOR J1, J2 WHERE J1.JobID = 'job_000001' AND "
+///       "J2.JobID = 'job_000002' "
+///       "DESPITE numinstances_isSame = T "
+///       "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+class PerfXplain {
+ public:
+  struct Options {
+    ExplainerOptions explainer;
+    RuleOfThumbOptions rule_of_thumb;
+    SimButDiffOptions sim_but_diff;
+  };
+
+  explicit PerfXplain(ExecutionLog log, Options options = {});
+
+  PerfXplain(const PerfXplain&) = delete;
+  PerfXplain& operator=(const PerfXplain&) = delete;
+
+  const ExecutionLog& log() const { return log_; }
+  const PairSchema& pair_schema() const { return explainer_->pair_schema(); }
+  const Explainer& explainer() const { return *explainer_; }
+
+  /// Parses and answers a PXQL query with the PerfXplain technique
+  /// (because clause only, the default mode).
+  Result<Explanation> ExplainText(const std::string& pxql) const;
+  Result<Explanation> Explain(const Query& query) const;
+
+  /// Explicitly requests a machine-generated despite clause (§6.4).
+  Result<Predicate> GenerateDespiteText(const std::string& pxql) const;
+  Result<Predicate> GenerateDespite(const Query& query) const;
+
+  /// des' + bec in one shot.
+  Result<Explanation> ExplainWithAutoDespite(const Query& query) const;
+
+  /// Runs one of the three techniques at the given width.
+  Result<Explanation> ExplainWith(Technique technique, const Query& query,
+                                  std::size_t width) const;
+
+  /// Measures an explanation's metrics over this system's log.
+  Result<ExplanationMetrics> Evaluate(const Query& query,
+                                      const Explanation& explanation) const;
+
+  /// Measures an explanation over a different log (e.g., the held-out test
+  /// log of the §6.1 protocol), which must share this log's schema.
+  Result<ExplanationMetrics> EvaluateOn(const ExecutionLog& test_log,
+                                        const Query& query,
+                                        const Explanation& explanation) const;
+
+ private:
+  ExecutionLog log_;
+  Options options_;
+  std::unique_ptr<Explainer> explainer_;
+  mutable std::unique_ptr<RuleOfThumb> rule_of_thumb_;  // built lazily
+  std::unique_ptr<SimButDiff> sim_but_diff_;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_CORE_PERFXPLAIN_H_

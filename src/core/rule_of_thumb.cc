@@ -1,0 +1,63 @@
+#include "core/rule_of_thumb.h"
+
+#include "features/pair_features.h"
+#include "log/catalog.h"
+
+namespace perfxplain {
+
+RuleOfThumb::RuleOfThumb(const ExecutionLog* log, RuleOfThumbOptions options)
+    : log_(log), options_(options), schema_(log->schema()) {
+  PX_CHECK(log != nullptr);
+  const std::size_t target = log_->schema().IndexOf(feature_names::kDuration);
+  PX_CHECK_NE(target, Schema::kNotFound)
+      << "log schema lacks a duration feature";
+  Rng rng(options_.seed);
+  ranking_ =
+      RankFeaturesByImportance(*log_, target, options_.relief, rng);
+}
+
+Result<Explanation> RuleOfThumb::Explain(const Query& query,
+                                         std::size_t width) const {
+  Query bound = query;
+  PX_RETURN_IF_ERROR(bound.Bind(schema_));
+  auto first = log_->Find(bound.first_id);
+  if (!first.ok()) return first.status();
+  auto second = log_->Find(bound.second_id);
+  if (!second.ok()) return second.status();
+  PairFeatureView view(&schema_, &log_->at(first.value()),
+                       &log_->at(second.value()), &options_.pair);
+
+  // Raw features the query's obs/exp mention (the runtime metric) never
+  // belong in an explanation.
+  std::vector<bool> excluded(schema_.raw_size(), false);
+  for (const Predicate* predicate : {&bound.observed, &bound.expected}) {
+    for (const Atom& atom : predicate->atoms()) {
+      excluded[schema_.RawIndexOf(atom.pair_index())] = true;
+    }
+  }
+
+  Explanation explanation;
+  for (std::size_t raw : ranking_) {
+    if (explanation.because.width() >= width) break;
+    if (excluded[raw]) continue;
+    const std::size_t is_same =
+        schema_.IndexOf(PairFeatureKind::kIsSame, raw);
+    const Value value = view.Get(is_same);
+    // Explain with the top-ranked features the two executions disagree on.
+    if (value == Value::Nominal(pair_values::kFalse)) {
+      ExplanationAtom atom;
+      atom.atom = Atom::Bound(schema_, is_same, CompareOp::kEq,
+                              Value::Nominal(pair_values::kFalse));
+      explanation.because.Append(atom.atom);
+      explanation.because_trace.push_back(std::move(atom));
+    }
+  }
+  if (explanation.because.is_true()) {
+    return Status::FailedPrecondition(
+        "the pair of interest agrees on every important feature; "
+        "RuleOfThumb has no explanation");
+  }
+  return explanation;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,49 @@
+#ifndef PERFXPLAIN_CORE_RULE_OF_THUMB_H_
+#define PERFXPLAIN_CORE_RULE_OF_THUMB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/explanation.h"
+#include "features/pair_schema.h"
+#include "log/execution_log.h"
+#include "ml/relief.h"
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Options of the RuleOfThumb baseline.
+struct RuleOfThumbOptions {
+  ReliefOptions relief;
+  PairFeatureOptions pair;
+  std::uint64_t seed = 29;
+};
+
+/// The RuleOfThumb baseline (§5.1): a one-time RReliefF pass ranks raw
+/// features by their impact on duration in general; a query is then
+/// answered with the top-w important features on which the pair of
+/// interest *disagrees*, as `f_isSame = F` atoms. The technique ignores
+/// the PXQL query entirely (beyond the pair of interest), which is exactly
+/// the weakness the evaluation exposes.
+class RuleOfThumb {
+ public:
+  /// Ranks features once over `log` (which must outlive this object).
+  RuleOfThumb(const ExecutionLog* log, RuleOfThumbOptions options);
+
+  /// Feature ranking (raw-schema indexes, most important first).
+  const std::vector<std::size_t>& ranking() const { return ranking_; }
+
+  /// Builds the width-w explanation for the query's pair of interest.
+  Result<Explanation> Explain(const Query& query, std::size_t width) const;
+
+ private:
+  const ExecutionLog* log_;
+  RuleOfThumbOptions options_;
+  PairSchema schema_;
+  std::vector<std::size_t> ranking_;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_CORE_RULE_OF_THUMB_H_

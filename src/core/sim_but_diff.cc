@@ -1,0 +1,134 @@
+#include "core/sim_but_diff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pair_enumeration.h"
+
+namespace perfxplain {
+
+SimButDiff::SimButDiff(const ExecutionLog* log, SimButDiffOptions options)
+    : log_(log), options_(options), schema_(log->schema()) {
+  PX_CHECK(log != nullptr);
+}
+
+Result<Explanation> SimButDiff::Explain(const Query& query,
+                                        std::size_t width) const {
+  Query bound = query;
+  PX_RETURN_IF_ERROR(bound.Bind(schema_));
+  PX_RETURN_IF_ERROR(bound.Validate());
+  auto first = log_->Find(bound.first_id);
+  if (!first.ok()) return first.status();
+  auto second = log_->Find(bound.second_id);
+  if (!second.ok()) return second.status();
+
+  const std::size_t k = schema_.raw_size();
+  // isSame features occupy pair indexes [0, k).
+  PairFeatureView poi_view(&schema_, &log_->at(first.value()),
+                           &log_->at(second.value()), &options_.pair);
+  std::vector<Value> poi_is_same(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    poi_is_same[f] = poi_view.Get(f);
+  }
+
+  // Features the obs/exp clauses mention must not appear in explanations.
+  std::vector<bool> excluded(k, false);
+  for (const Predicate* predicate : {&bound.observed, &bound.expected}) {
+    for (const Atom& atom : predicate->atoms()) {
+      excluded[schema_.RawIndexOf(atom.pair_index())] = true;
+    }
+  }
+
+  // Lines 4-11 of Algorithm 2, as one streaming pass: for every related
+  // training pair similar to the pair of interest (>= s*k agreeing isSame
+  // features), tally per-feature disagreement counts and how many of the
+  // disagreeing pairs performed as expected.
+  std::size_t agree_threshold = static_cast<std::size_t>(
+      std::ceil(options_.similarity_threshold * static_cast<double>(k)));
+  // With few features, ceil(s*k) can demand agreement on *everything*,
+  // leaving no feature to run the what-if analysis on. Unless the caller
+  // explicitly asked for exact agreement (s = 1), permit at least one
+  // disagreement.
+  if (options_.similarity_threshold < 1.0 && agree_threshold >= k && k > 0) {
+    agree_threshold = k - 1;
+  }
+  std::vector<std::size_t> disagree(k, 0);
+  std::vector<std::size_t> disagree_expected(k, 0);
+  std::vector<std::size_t> diff_features;
+  diff_features.reserve(k);
+  std::size_t similar_pairs = 0;
+
+  ForEachOrderedPair(
+      *log_, schema_, options_.pair,
+      [&](std::size_t i, std::size_t j, const PairFeatureView& view) {
+        if (i == first.value() && j == second.value()) return true;
+        const PairLabel label = ClassifyPair(bound, view);
+        if (label == PairLabel::kUnrelated) return true;
+        diff_features.clear();
+        std::size_t agree = 0;
+        for (std::size_t f = 0; f < k; ++f) {
+          if (view.Get(f) == poi_is_same[f]) {
+            ++agree;
+          } else {
+            diff_features.push_back(f);
+          }
+          // Early exit: even if all remaining features agree, the pair
+          // cannot reach the threshold.
+          if (diff_features.size() > k - agree_threshold) return true;
+        }
+        if (agree < agree_threshold) return true;
+        ++similar_pairs;
+        const bool expected = label == PairLabel::kExpected;
+        for (std::size_t f : diff_features) {
+          ++disagree[f];
+          if (expected) ++disagree_expected[f];
+        }
+        return true;
+      });
+  if (similar_pairs == 0) {
+    return Status::FailedPrecondition(
+        "no training pairs are similar to the pair of interest at "
+        "threshold " +
+        std::to_string(options_.similarity_threshold));
+  }
+
+  // Line 12: rank features by the what-if score o/d.
+  struct Scored {
+    std::size_t feature;
+    double score;
+    std::size_t support;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    if (excluded[f] || disagree[f] == 0) continue;
+    if (poi_is_same[f].is_missing()) continue;  // atom would be inapplicable
+    scored.push_back({f, static_cast<double>(disagree_expected[f]) /
+                             static_cast<double>(disagree[f]),
+                      disagree[f]});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.support > b.support;
+                   });
+
+  // Lines 13-17: conjunction of the top-w features at the pair's values.
+  Explanation explanation;
+  for (const Scored& s : scored) {
+    if (explanation.because.width() >= width) break;
+    ExplanationAtom atom;
+    atom.atom =
+        Atom::Bound(schema_, s.feature, CompareOp::kEq, poi_is_same[s.feature]);
+    atom.score = s.score;
+    explanation.because.Append(atom.atom);
+    explanation.because_trace.push_back(std::move(atom));
+  }
+  if (explanation.because.is_true()) {
+    return Status::FailedPrecondition(
+        "SimButDiff found no scoring features for this query");
+  }
+  return explanation;
+}
+
+}  // namespace perfxplain

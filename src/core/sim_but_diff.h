@@ -1,0 +1,44 @@
+#ifndef PERFXPLAIN_CORE_SIM_BUT_DIFF_H_
+#define PERFXPLAIN_CORE_SIM_BUT_DIFF_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/explanation.h"
+#include "features/pair_schema.h"
+#include "log/execution_log.h"
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Options of the SimButDiff baseline (Algorithm 2).
+struct SimButDiffOptions {
+  /// Similarity threshold s: a training pair is "similar" to the pair of
+  /// interest when it agrees on at least s * k of the k isSame features
+  /// (the paper uses 0.9).
+  double similarity_threshold = 0.9;
+  PairFeatureOptions pair;
+};
+
+/// The SimButDiff baseline (§5.2, Algorithm 2): restrict training examples
+/// to the isSame features, keep pairs similar to the pair of interest, and
+/// for each feature run a what-if analysis — among similar pairs that
+/// *disagree* with the pair of interest on the feature, what fraction
+/// performed as expected? The top-w features by that score, asserted at the
+/// pair's own values, form the explanation.
+class SimButDiff {
+ public:
+  /// `log` must outlive this object.
+  SimButDiff(const ExecutionLog* log, SimButDiffOptions options);
+
+  Result<Explanation> Explain(const Query& query, std::size_t width) const;
+
+ private:
+  const ExecutionLog* log_;
+  SimButDiffOptions options_;
+  PairSchema schema_;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_CORE_SIM_BUT_DIFF_H_

@@ -1,0 +1,67 @@
+#include "features/pair_features.h"
+
+namespace perfxplain {
+
+namespace {
+
+Value IsSameFeature(const Value& x, const Value& y, double sim_fraction) {
+  if (x.is_missing() || y.is_missing()) return Value::Missing();
+  if (x.is_numeric() && y.is_numeric()) {
+    return Value::Boolean(Value::WithinFraction(x, y, sim_fraction));
+  }
+  return Value::Boolean(x == y);
+}
+
+Value CompareFeature(const Value& x, const Value& y, double sim_fraction) {
+  if (!x.is_numeric() || !y.is_numeric()) return Value::Missing();
+  if (Value::WithinFraction(x, y, sim_fraction)) {
+    return Value::Nominal(pair_values::kSim);
+  }
+  return Value::Nominal(x.number() < y.number() ? pair_values::kLt
+                                                : pair_values::kGt);
+}
+
+Value DiffFeature(const Value& x, const Value& y) {
+  if (!x.is_nominal() || !y.is_nominal()) return Value::Missing();
+  return Value::Nominal("(" + x.nominal() + "," + y.nominal() + ")");
+}
+
+Value BaseFeature(const Value& x, const Value& y) {
+  if (x.is_missing() || y.is_missing()) return Value::Missing();
+  if (x == y) return x;
+  return Value::Missing();
+}
+
+}  // namespace
+
+Value ComputePairFeature(const PairSchema& schema, const ExecutionRecord& a,
+                         const ExecutionRecord& b, std::size_t pair_index,
+                         const PairFeatureOptions& options) {
+  const std::size_t raw_i = schema.RawIndexOf(pair_index);
+  PX_CHECK_LT(raw_i, a.values.size());
+  PX_CHECK_LT(raw_i, b.values.size());
+  const Value& x = a.values[raw_i];
+  const Value& y = b.values[raw_i];
+  switch (schema.KindOf(pair_index)) {
+    case PairFeatureKind::kIsSame:
+      return IsSameFeature(x, y, options.sim_fraction);
+    case PairFeatureKind::kCompare:
+      return CompareFeature(x, y, options.sim_fraction);
+    case PairFeatureKind::kDiff:
+      return DiffFeature(x, y);
+    case PairFeatureKind::kBase:
+      return BaseFeature(x, y);
+  }
+  return Value::Missing();
+}
+
+std::vector<Value> PairFeatureView::Materialize() const {
+  std::vector<Value> out;
+  out.reserve(schema_->size());
+  for (std::size_t i = 0; i < schema_->size(); ++i) {
+    out.push_back(Get(i));
+  }
+  return out;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,75 @@
+#ifndef PERFXPLAIN_FEATURES_PAIR_FEATURES_H_
+#define PERFXPLAIN_FEATURES_PAIR_FEATURES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/value.h"
+#include "features/pair_schema.h"
+#include "log/execution_log.h"
+
+namespace perfxplain {
+
+/// Tunables for pair-feature computation.
+struct PairFeatureOptions {
+  /// Two numeric values are "similar" (compare = SIM, isSame = T) when they
+  /// are within this fraction of one another (footnote 1 of the paper uses
+  /// 10%).
+  double sim_fraction = 0.10;
+};
+
+/// Computes the single pair feature `pair_index` (per Table 1) for the
+/// ordered pair of executions (a, b):
+///  - f_isSame: "T"/"F". Nominal raw features compare exactly; numeric raw
+///    features use the similarity tolerance (continuous metrics are never
+///    bitwise equal, so exact equality would make every isSame feature
+///    trivially "F"). Missing raw values yield a missing pair value.
+///  - f_compare: "LT"/"SIM"/"GT" comparing a.f against b.f; missing for
+///    nominal raw features or missing inputs.
+///  - f_diff: "(a.f,b.f)"; missing for numeric raw features.
+///  - f (base): a.f when a.f = b.f exactly, otherwise missing.
+Value ComputePairFeature(const PairSchema& schema, const ExecutionRecord& a,
+                         const ExecutionRecord& b, std::size_t pair_index,
+                         const PairFeatureOptions& options);
+
+/// Lazy view over the pair features of one ordered pair (a, b). Predicates
+/// evaluate through this view, so enumerating millions of candidate pairs
+/// touches only the features the predicates mention.
+class PairFeatureView {
+ public:
+  PairFeatureView(const PairSchema* schema, const ExecutionRecord* a,
+                  const ExecutionRecord* b, const PairFeatureOptions* options)
+      : schema_(schema), a_(a), b_(b), options_(options) {}
+
+  const PairSchema& schema() const { return *schema_; }
+  const ExecutionRecord& first() const { return *a_; }
+  const ExecutionRecord& second() const { return *b_; }
+
+  /// Value of pair feature `pair_index`, computed on demand.
+  Value Get(std::size_t pair_index) const {
+    return ComputePairFeature(*schema_, *a_, *b_, pair_index, *options_);
+  }
+
+  /// Materializes the full 4k-wide feature vector of Table 1.
+  std::vector<Value> Materialize() const;
+
+ private:
+  const PairSchema* schema_;
+  const ExecutionRecord* a_;
+  const ExecutionRecord* b_;
+  const PairFeatureOptions* options_;
+};
+
+/// A materialized training example: an ordered pair of record indexes into
+/// the originating log plus its full pair-feature vector and class label
+/// ("performed as observed" vs. "performed as expected", Definitions 8/9).
+struct TrainingExample {
+  std::size_t first = 0;
+  std::size_t second = 0;
+  bool observed = false;
+  std::vector<Value> features;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_FEATURES_PAIR_FEATURES_H_

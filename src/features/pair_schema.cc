@@ -1,0 +1,100 @@
+#include "features/pair_schema.h"
+
+#include "common/string_util.h"
+
+namespace perfxplain {
+
+PairSchema::PairSchema(Schema raw) : raw_(std::move(raw)) {}
+
+std::size_t PairSchema::IndexOf(PairFeatureKind kind,
+                                std::size_t raw_i) const {
+  PX_CHECK_LT(raw_i, raw_.size());
+  return static_cast<std::size_t>(kind) * raw_.size() + raw_i;
+}
+
+PairFeatureKind PairSchema::KindOf(std::size_t pair_index) const {
+  PX_CHECK_LT(pair_index, size());
+  return static_cast<PairFeatureKind>(pair_index / raw_.size());
+}
+
+std::size_t PairSchema::RawIndexOf(std::size_t pair_index) const {
+  PX_CHECK_LT(pair_index, size());
+  return pair_index % raw_.size();
+}
+
+std::string PairSchema::NameOf(std::size_t pair_index) const {
+  const std::string& raw_name = raw_.at(RawIndexOf(pair_index)).name;
+  switch (KindOf(pair_index)) {
+    case PairFeatureKind::kIsSame:
+      return raw_name + "_isSame";
+    case PairFeatureKind::kCompare:
+      return raw_name + "_compare";
+    case PairFeatureKind::kDiff:
+      return raw_name + "_diff";
+    case PairFeatureKind::kBase:
+      return raw_name;
+  }
+  return raw_name;
+}
+
+ValueKind PairSchema::ValueKindOf(std::size_t pair_index) const {
+  if (KindOf(pair_index) == PairFeatureKind::kBase) {
+    return raw_.at(RawIndexOf(pair_index)).kind;
+  }
+  return ValueKind::kNominal;
+}
+
+Result<std::size_t> PairSchema::Resolve(const std::string& name) const {
+  PairFeatureKind kind = PairFeatureKind::kBase;
+  std::string raw_name = name;
+  if (EndsWith(name, "_isSame")) {
+    kind = PairFeatureKind::kIsSame;
+    raw_name = name.substr(0, name.size() - 7);
+  } else if (EndsWith(name, "_compare")) {
+    kind = PairFeatureKind::kCompare;
+    raw_name = name.substr(0, name.size() - 8);
+  } else if (EndsWith(name, "_diff")) {
+    kind = PairFeatureKind::kDiff;
+    raw_name = name.substr(0, name.size() - 5);
+  }
+  const std::size_t raw_i = raw_.IndexOf(raw_name);
+  if (raw_i == Schema::kNotFound) {
+    // A raw feature could itself end in "_diff" etc.; fall back to treating
+    // the full name as a base feature before failing.
+    const std::size_t base_i = raw_.IndexOf(name);
+    if (base_i != Schema::kNotFound) {
+      return IndexOf(PairFeatureKind::kBase, base_i);
+    }
+    return Status::NotFound("no such pair feature: " + name);
+  }
+  return IndexOf(kind, raw_i);
+}
+
+bool PairSchema::InLevel(std::size_t pair_index, FeatureLevel level) const {
+  switch (KindOf(pair_index)) {
+    case PairFeatureKind::kIsSame:
+      return true;
+    case PairFeatureKind::kCompare:
+    case PairFeatureKind::kDiff:
+      return level >= FeatureLevel::kLevel2;
+    case PairFeatureKind::kBase:
+      return level >= FeatureLevel::kLevel3;
+  }
+  return false;
+}
+
+bool PairSchema::IsDefined(std::size_t pair_index) const {
+  const ValueKind raw_kind = raw_.at(RawIndexOf(pair_index)).kind;
+  switch (KindOf(pair_index)) {
+    case PairFeatureKind::kIsSame:
+    case PairFeatureKind::kBase:
+      return true;
+    case PairFeatureKind::kCompare:
+      return raw_kind == ValueKind::kNumeric;
+    case PairFeatureKind::kDiff:
+      return raw_kind == ValueKind::kNominal;
+  }
+  return false;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,87 @@
+#ifndef PERFXPLAIN_FEATURES_PAIR_SCHEMA_H_
+#define PERFXPLAIN_FEATURES_PAIR_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "log/schema.h"
+
+namespace perfxplain {
+
+/// Category of a pair feature, Table 1 of the paper. For k raw features a
+/// training example has 4*k features spanning general (isSame) to specific
+/// (base) resolutions.
+enum class PairFeatureKind : int {
+  kIsSame = 0,   ///< fi_isSame in {T, F}: do the two executions agree on fi?
+  kCompare = 1,  ///< fi_compare in {LT, SIM, GT}; numeric raw features only.
+  kDiff = 2,     ///< fi_diff = "(v1,v2)"; nominal raw features only.
+  kBase = 3,     ///< fi copied from the executions when they agree on fi.
+};
+
+/// Feature-set levels from §6.8 of the paper.
+enum class FeatureLevel : int {
+  kLevel1 = 1,  ///< isSame features only.
+  kLevel2 = 2,  ///< isSame + compare + diff.
+  kLevel3 = 3,  ///< everything including base features.
+};
+
+/// The schema of training examples (pairs of executions): for every raw
+/// feature f it contains f_isSame, f_compare, f_diff and the base feature f,
+/// laid out as four contiguous blocks of k entries each:
+///   [0, k)    isSame
+///   [k, 2k)   compare
+///   [2k, 3k)  diff
+///   [3k, 4k)  base
+class PairSchema {
+ public:
+  explicit PairSchema(Schema raw);
+
+  const Schema& raw() const { return raw_; }
+  std::size_t raw_size() const { return raw_.size(); }
+  std::size_t size() const { return 4 * raw_.size(); }
+
+  /// Index of the pair feature of `kind` derived from raw feature `raw_i`.
+  std::size_t IndexOf(PairFeatureKind kind, std::size_t raw_i) const;
+
+  /// Inverse of IndexOf.
+  PairFeatureKind KindOf(std::size_t pair_index) const;
+  std::size_t RawIndexOf(std::size_t pair_index) const;
+
+  /// Pair-feature name: "f_isSame", "f_compare", "f_diff" or plain "f".
+  std::string NameOf(std::size_t pair_index) const;
+
+  /// Value kind of the pair feature: isSame/compare/diff are nominal, base
+  /// features keep the raw feature's kind.
+  ValueKind ValueKindOf(std::size_t pair_index) const;
+
+  /// Resolves a pair-feature name ("inputsize_compare", "pigscript", ...).
+  Result<std::size_t> Resolve(const std::string& name) const;
+
+  /// True when `pair_index` belongs to feature set `level` (§6.8).
+  bool InLevel(std::size_t pair_index, FeatureLevel level) const;
+
+  /// True when the pair feature can ever be non-missing: compare features
+  /// exist only for numeric raw features and diff features only for nominal
+  /// raw features.
+  bool IsDefined(std::size_t pair_index) const;
+
+ private:
+  Schema raw_;
+};
+
+/// Canonical nominal values of isSame and compare features.
+namespace pair_values {
+
+inline constexpr const char kTrue[] = "T";
+inline constexpr const char kFalse[] = "F";
+inline constexpr const char kLt[] = "LT";
+inline constexpr const char kSim[] = "SIM";
+inline constexpr const char kGt[] = "GT";
+
+}  // namespace pair_values
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_FEATURES_PAIR_SCHEMA_H_

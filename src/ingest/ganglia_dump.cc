@@ -1,0 +1,132 @@
+#include "ingest/ganglia_dump.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/value.h"
+#include "common/string_util.h"
+
+namespace perfxplain {
+
+std::string WriteGangliaDump(const SimJob& job, double epoch_offset) {
+  std::string out = "instance,hostname,time,metric,value\n";
+  for (std::size_t i = 0; i < job.ganglia.size(); ++i) {
+    const GangliaSeries& series = job.ganglia[i];
+    const std::string& hostname = job.instances[i].hostname;
+    const std::vector<std::string> metrics = series.MetricNames();
+    for (std::size_t s = 0; s < series.times().size(); ++s) {
+      const std::string time =
+          Value::Number(epoch_offset + series.times()[s]).ToString();
+      for (const std::string& metric : metrics) {
+        out += CsvEncodeRow({Value::Number(static_cast<double>(i)).ToString(),
+                             hostname, time, metric,
+                             Value::Number(series.Samples(metric)[s])
+                                 .ToString()}) +
+               "\n";
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<GangliaSample>> ParseGangliaDump(const std::string& text) {
+  std::vector<GangliaSample> samples;
+  const std::vector<std::string> lines = Split(text, '\n');
+  bool saw_header = false;
+  for (const std::string& line : lines) {
+    if (Trim(line).empty()) continue;
+    if (!saw_header) {
+      if (Trim(line) != "instance,hostname,time,metric,value") {
+        return Status::ParseError("unexpected ganglia dump header: " + line);
+      }
+      saw_header = true;
+      continue;
+    }
+    auto row = CsvParseRow(line);
+    if (!row.ok()) return row.status();
+    if (row->size() != 5) {
+      return Status::ParseError("ganglia row needs 5 fields: " + line);
+    }
+    GangliaSample sample;
+    auto instance = ParseInt((*row)[0]);
+    if (!instance.ok()) return instance.status();
+    sample.instance = static_cast<int>(instance.value());
+    sample.hostname = (*row)[1];
+    auto time = ParseDouble((*row)[2]);
+    if (!time.ok()) return time.status();
+    sample.time = time.value();
+    sample.metric = (*row)[3];
+    auto value = ParseDouble((*row)[4]);
+    if (!value.ok()) return value.status();
+    sample.value = value.value();
+    samples.push_back(std::move(sample));
+  }
+  if (!saw_header) {
+    return Status::ParseError("empty ganglia dump");
+  }
+  return samples;
+}
+
+GangliaTable::GangliaTable(std::vector<GangliaSample> samples) {
+  for (GangliaSample& sample : samples) {
+    Series& series = series_[{sample.instance, sample.metric}];
+    series.times.push_back(sample.time);
+    series.values.push_back(sample.value);
+    instance_count_ = std::max(instance_count_, sample.instance + 1);
+  }
+  // Dumps are written time-ordered, but sort defensively (stable pairing).
+  for (auto& [key, series] : series_) {
+    std::vector<std::size_t> order(series.times.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return series.times[a] < series.times[b];
+                     });
+    Series sorted;
+    sorted.times.reserve(order.size());
+    sorted.values.reserve(order.size());
+    for (std::size_t i : order) {
+      sorted.times.push_back(series.times[i]);
+      sorted.values.push_back(series.values[i]);
+    }
+    series = std::move(sorted);
+  }
+}
+
+Result<double> GangliaTable::WindowAverage(int instance,
+                                           const std::string& metric,
+                                           double t0, double t1) const {
+  auto it = series_.find({instance, metric});
+  if (it == series_.end() || it->second.times.empty()) {
+    return Status::NotFound("no samples for instance " +
+                            std::to_string(instance) + " metric " + metric);
+  }
+  const Series& series = it->second;
+  const auto begin = std::lower_bound(series.times.begin(),
+                                      series.times.end(), t0) -
+                     series.times.begin();
+  const auto end = std::upper_bound(series.times.begin(), series.times.end(),
+                                    t1) -
+                   series.times.begin();
+  if (begin < end) {
+    double sum = 0.0;
+    for (auto i = begin; i < end; ++i) {
+      sum += series.values[static_cast<std::size_t>(i)];
+    }
+    return sum / static_cast<double>(end - begin);
+  }
+  const double mid = (t0 + t1) / 2.0;
+  std::size_t best = 0;
+  double best_distance = std::abs(series.times[0] - mid);
+  for (std::size_t i = 1; i < series.times.size(); ++i) {
+    const double d = std::abs(series.times[i] - mid);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return series.values[best];
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,69 @@
+#ifndef PERFXPLAIN_INGEST_GANGLIA_DUMP_H_
+#define PERFXPLAIN_INGEST_GANGLIA_DUMP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simulator/ganglia.h"
+#include "simulator/mapreduce_sim.h"
+
+namespace perfxplain {
+
+/// Textual Ganglia metric dump, the second raw artifact the paper's
+/// prototype consumed (§6.1: Ganglia samples every instance every five
+/// seconds). Format: a CSV with header
+///   instance,hostname,time,metric,value
+/// and one row per (instance, sample, metric).
+
+/// One parsed sample row.
+struct GangliaSample {
+  int instance = 0;
+  std::string hostname;
+  double time = 0.0;
+  std::string metric;
+  double value = 0.0;
+};
+
+/// Renders all of a simulated job's Ganglia series as a dump (times are
+/// shifted by `epoch_offset`, matching the history file's timestamps).
+std::string WriteGangliaDump(const SimJob& job, double epoch_offset);
+
+/// Parses a dump back into rows. Fails on malformed rows.
+Result<std::vector<GangliaSample>> ParseGangliaDump(const std::string& text);
+
+/// In-memory queryable view over parsed samples: average of `metric` on
+/// `instance` over the time window [t0, t1], falling back to the nearest
+/// sample when the window is empty (same semantics as
+/// GangliaSeries::WindowAverage).
+class GangliaTable {
+ public:
+  explicit GangliaTable(std::vector<GangliaSample> samples);
+
+  /// Instances present in the dump.
+  int instance_count() const { return instance_count_; }
+
+  Result<double> WindowAverage(int instance, const std::string& metric,
+                               double t0, double t1) const;
+
+ private:
+  struct SeriesKey {
+    int instance;
+    std::string metric;
+    bool operator<(const SeriesKey& other) const {
+      if (instance != other.instance) return instance < other.instance;
+      return metric < other.metric;
+    }
+  };
+  struct Series {
+    std::vector<double> times;
+    std::vector<double> values;
+  };
+  std::map<SeriesKey, Series> series_;
+  int instance_count_ = 0;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_INGEST_GANGLIA_DUMP_H_

@@ -1,0 +1,230 @@
+#include "ingest/hadoop_history.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace perfxplain {
+
+const std::string& HistoryRecord::Get(const std::string& key) const {
+  static const std::string& empty = *new std::string();
+  auto it = attributes.find(key);
+  if (it == attributes.end()) return empty;
+  return it->second;
+}
+
+namespace {
+
+std::string EscapeValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeHistoryRecord(const HistoryRecord& record) {
+  std::string out = record.type;
+  for (const auto& [key, value] : record.attributes) {
+    out += " " + key + "=\"" + EscapeValue(value) + "\"";
+  }
+  out += " .";
+  return out;
+}
+
+Result<HistoryRecord> ParseHistoryLine(const std::string& line) {
+  HistoryRecord record;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  auto skip_spaces = [&] {
+    while (i < n && line[i] == ' ') ++i;
+  };
+  // Record type.
+  skip_spaces();
+  const std::size_t type_start = i;
+  while (i < n && (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                   line[i] == '_')) {
+    ++i;
+  }
+  record.type = line.substr(type_start, i - type_start);
+  if (record.type.empty()) {
+    return Status::ParseError("history line lacks a record type: " + line);
+  }
+  // Attributes.
+  while (true) {
+    skip_spaces();
+    if (i >= n) {
+      return Status::ParseError("history line missing terminator: " + line);
+    }
+    if (line[i] == '.') {
+      ++i;
+      skip_spaces();
+      if (i != n) {
+        return Status::ParseError("trailing content after terminator: " +
+                                  line);
+      }
+      return record;
+    }
+    const std::size_t key_start = i;
+    while (i < n && line[i] != '=') ++i;
+    if (i >= n) {
+      return Status::ParseError("attribute missing '=': " + line);
+    }
+    const std::string key = line.substr(key_start, i - key_start);
+    ++i;  // '='
+    if (i >= n || line[i] != '"') {
+      return Status::ParseError("attribute value must be quoted: " + line);
+    }
+    ++i;  // opening quote
+    std::string value;
+    while (i < n && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < n) {
+        ++i;
+      }
+      value += line[i];
+      ++i;
+    }
+    if (i >= n) {
+      return Status::ParseError("unterminated attribute value: " + line);
+    }
+    ++i;  // closing quote
+    if (key.empty()) {
+      return Status::ParseError("empty attribute key: " + line);
+    }
+    record.attributes[key] = std::move(value);
+  }
+}
+
+Result<std::vector<HistoryRecord>> ParseHistory(const std::string& text) {
+  std::vector<HistoryRecord> records;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    auto record = ParseHistoryLine(line);
+    if (!record.ok()) return record.status();
+    records.push_back(std::move(record).value());
+  }
+  return records;
+}
+
+std::string EncodeCounters(const std::map<std::string, double>& counters) {
+  std::vector<std::string> parts;
+  parts.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    parts.push_back(name + ":" + Value::Number(value).ToString());
+  }
+  return Join(parts, ",");
+}
+
+Result<std::map<std::string, double>> ParseCounters(const std::string& text) {
+  std::map<std::string, double> counters;
+  if (Trim(text).empty()) return counters;
+  for (const std::string& part : Split(text, ',')) {
+    const std::size_t colon = part.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("counter missing ':': " + part);
+    }
+    auto value = ParseDouble(part.substr(colon + 1));
+    if (!value.ok()) return value.status();
+    counters[std::string(Trim(part.substr(0, colon)))] = value.value();
+  }
+  return counters;
+}
+
+std::string WriteJobHistory(const SimJob& job, double epoch_offset) {
+  std::string out;
+  auto emit = [&out](const HistoryRecord& record) {
+    out += EncodeHistoryRecord(record) + "\n";
+  };
+
+  HistoryRecord meta;
+  meta.type = "Meta";
+  meta.attributes["VERSION"] = "1";
+  emit(meta);
+
+  HistoryRecord submit;
+  submit.type = "Job";
+  submit.attributes["JOBID"] = job.config.job_id;
+  submit.attributes["JOBNAME"] = job.config.pig_script;
+  submit.attributes["SUBMIT_TIME"] =
+      Value::Number(epoch_offset + job.start_time).ToString();
+  emit(submit);
+
+  // Configuration parameters, one JobConf record each (Hadoop dumps the
+  // effective configuration alongside the history).
+  const std::map<std::string, std::string> conf = {
+      {"mapred.job.instances",
+       Value::Number(job.config.num_instances).ToString()},
+      {"dfs.block.size",
+       Value::Number(job.config.block_size_bytes).ToString()},
+      {"mapred.reduce.tasks",
+       Value::Number(job.config.NumReduceTasks()).ToString()},
+      {"mapred.reduce.tasks.factor",
+       Value::Number(job.config.reduce_tasks_factor).ToString()},
+      {"io.sort.factor",
+       Value::Number(job.config.io_sort_factor).ToString()},
+      {"pig.script.file", job.config.pig_script},
+      {"mapred.input.file", job.config.input_file},
+      {"mapred.input.size.bytes",
+       Value::Number(job.config.input_size_bytes).ToString()},
+  };
+  for (const auto& [key, value] : conf) {
+    HistoryRecord record;
+    record.type = "JobConf";
+    record.attributes["JOBID"] = job.config.job_id;
+    record.attributes["KEY"] = key;
+    record.attributes["VALUE"] = value;
+    emit(record);
+  }
+
+  for (const SimTask& task : job.tasks) {
+    const bool is_map = task.type == TaskType::kMap;
+    const InstanceState& instance =
+        job.instances[static_cast<std::size_t>(task.instance)];
+    HistoryRecord record;
+    record.type = "Task";
+    record.attributes["TASKID"] = task.task_id;
+    record.attributes["JOBID"] = job.config.job_id;
+    record.attributes["TASK_TYPE"] = is_map ? "MAP" : "REDUCE";
+    record.attributes["START_TIME"] =
+        Value::Number(epoch_offset + task.start).ToString();
+    record.attributes["FINISH_TIME"] =
+        Value::Number(epoch_offset + task.finish).ToString();
+    record.attributes["HOSTNAME"] = instance.hostname;
+    record.attributes["TRACKER"] = instance.tracker_name;
+    record.attributes["INSTANCE"] = Value::Number(task.instance).ToString();
+    record.attributes["WAVE"] = Value::Number(task.wave_index).ToString();
+    record.attributes["SLOT"] = Value::Number(task.slot).ToString();
+    record.attributes["SHUFFLE_SECONDS"] =
+        Value::Number(task.shuffle_seconds).ToString();
+    record.attributes["SORT_SECONDS"] =
+        Value::Number(task.sort_seconds).ToString();
+    std::map<std::string, double> counters = {
+        {"INPUT_BYTES", task.input_bytes},
+        {"OUTPUT_BYTES", task.output_bytes},
+        {"INPUT_RECORDS", task.input_records},
+        {"OUTPUT_RECORDS", task.output_records},
+        {"SPILLED_RECORDS", task.spilled_records},
+        {"GC_TIME_MILLIS", task.gc_millis},
+        {"BYTES_IN_RATE", task.bytes_in_rate},
+        {"BYTES_OUT_RATE", task.bytes_out_rate},
+    };
+    record.attributes["COUNTERS"] = EncodeCounters(counters);
+    emit(record);
+  }
+
+  HistoryRecord finish;
+  finish.type = "Job";
+  finish.attributes["JOBID"] = job.config.job_id;
+  finish.attributes["FINISH_TIME"] =
+      Value::Number(epoch_offset + job.finish_time).ToString();
+  finish.attributes["JOB_STATUS"] = "SUCCESS";
+  emit(finish);
+  return out;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,63 @@
+#ifndef PERFXPLAIN_INGEST_HADOOP_HISTORY_H_
+#define PERFXPLAIN_INGEST_HADOOP_HISTORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simulator/mapreduce_sim.h"
+
+namespace perfxplain {
+
+/// Hadoop 1.x-style job-history files — the raw artifact the paper's
+/// prototype extracted task features from (§6.1: "PerfXplain extracts all
+/// details it can from the MapReduce log file"). A history file is a
+/// sequence of records, one per line:
+///
+///   Meta VERSION="1" .
+///   Job JOBID="job_000001" JOBNAME="simple-filter.pig"
+///       SUBMIT_TIME="1323150000" .
+///   JobConf JOBID="job_000001" KEY="dfs.block.size" VALUE="67108864" .
+///   Task TASKID="job_000001_m_000000" TASK_TYPE="MAP" START_TIME="..."
+///       FINISH_TIME="..." HOSTNAME="..." TRACKER="..."
+///       COUNTERS="HDFS_BYTES_READ:123,MAP_INPUT_RECORDS:45" .
+///   Job JOBID="job_000001" FINISH_TIME="..." JOB_STATUS="SUCCESS" .
+///
+/// Attributes are KEY="value" pairs; embedded quotes and backslashes are
+/// backslash-escaped; every record ends with " .".
+
+/// One parsed history record: its type tag plus attributes.
+struct HistoryRecord {
+  std::string type;  ///< "Meta", "Job", "JobConf", "Task"
+  std::map<std::string, std::string> attributes;
+
+  bool Has(const std::string& key) const {
+    return attributes.count(key) > 0;
+  }
+  /// Value of `key`, or "" when absent.
+  const std::string& Get(const std::string& key) const;
+};
+
+/// Encodes one record as a history line (without trailing newline).
+std::string EncodeHistoryRecord(const HistoryRecord& record);
+
+/// Parses one history line.
+Result<HistoryRecord> ParseHistoryLine(const std::string& line);
+
+/// Parses a whole history file's contents. Blank lines are skipped.
+Result<std::vector<HistoryRecord>> ParseHistory(const std::string& text);
+
+/// Counter-list helpers for the COUNTERS attribute
+/// ("NAME:number,NAME:number,..."). Counter values are doubles.
+std::string EncodeCounters(const std::map<std::string, double>& counters);
+Result<std::map<std::string, double>> ParseCounters(const std::string& text);
+
+/// Renders a simulated job as a complete job-history file (§6.1 artifact).
+/// Includes every JobConf parameter and per-task counters needed to
+/// reconstruct the catalogue schemas losslessly.
+std::string WriteJobHistory(const SimJob& job, double epoch_offset);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_INGEST_HADOOP_HISTORY_H_

@@ -1,0 +1,339 @@
+#include "ingest/ingest.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "ingest/ganglia_dump.h"
+#include "ingest/hadoop_history.h"
+#include "log/catalog.h"
+
+namespace perfxplain {
+
+namespace {
+
+/// Everything parsed from one task record, in ingestion-friendly form.
+struct IngestedTask {
+  std::string task_id;
+  bool is_map = true;
+  int instance = 0;
+  std::string hostname;
+  std::string tracker;
+  double start = 0.0;   // epoch seconds
+  double finish = 0.0;  // epoch seconds
+  double wave = 0.0;
+  double slot = 0.0;
+  double shuffle_seconds = 0.0;
+  double sort_seconds = 0.0;
+  std::map<std::string, double> counters;
+
+  double duration() const { return finish - start; }
+  double Counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second;
+  }
+};
+
+Result<double> NumAttr(const HistoryRecord& record, const std::string& key) {
+  if (!record.Has(key)) {
+    return Status::ParseError(record.type + " record missing " + key);
+  }
+  return ParseDouble(record.Get(key));
+}
+
+/// Per-metric task-window averages from the Ganglia table.
+Result<std::map<std::string, double>> TaskGangliaAverages(
+    const GangliaTable& table, const IngestedTask& task) {
+  std::map<std::string, double> averages;
+  for (const std::string& metric : GangliaMetricNames()) {
+    auto value =
+        table.WindowAverage(task.instance, metric, task.start, task.finish);
+    if (!value.ok()) return value.status();
+    averages[metric] = value.value();
+  }
+  return averages;
+}
+
+}  // namespace
+
+Status IngestJob(const std::string& history_text,
+                 const std::string& ganglia_text, ExecutionLog& job_log,
+                 ExecutionLog& task_log) {
+  auto records_or = ParseHistory(history_text);
+  if (!records_or.ok()) return records_or.status();
+  auto samples_or = ParseGangliaDump(ganglia_text);
+  if (!samples_or.ok()) return samples_or.status();
+  const GangliaTable ganglia(std::move(samples_or).value());
+
+  // Pass over the history records collecting job metadata, configuration
+  // and tasks.
+  std::string job_id;
+  std::string job_name;
+  double submit_time = 0.0;
+  double finish_time = 0.0;
+  bool saw_submit = false;
+  bool saw_finish = false;
+  std::map<std::string, std::string> conf;
+  std::vector<IngestedTask> tasks;
+
+  for (const HistoryRecord& record : records_or.value()) {
+    if (record.type == "Meta") continue;
+    if (record.type == "Job") {
+      if (record.Has("SUBMIT_TIME")) {
+        job_id = record.Get("JOBID");
+        job_name = record.Get("JOBNAME");
+        auto time = NumAttr(record, "SUBMIT_TIME");
+        if (!time.ok()) return time.status();
+        submit_time = time.value();
+        saw_submit = true;
+      }
+      if (record.Has("FINISH_TIME")) {
+        auto time = NumAttr(record, "FINISH_TIME");
+        if (!time.ok()) return time.status();
+        finish_time = time.value();
+        saw_finish = true;
+      }
+      continue;
+    }
+    if (record.type == "JobConf") {
+      conf[record.Get("KEY")] = record.Get("VALUE");
+      continue;
+    }
+    if (record.type == "Task") {
+      IngestedTask task;
+      task.task_id = record.Get("TASKID");
+      task.is_map = record.Get("TASK_TYPE") == "MAP";
+      task.hostname = record.Get("HOSTNAME");
+      task.tracker = record.Get("TRACKER");
+      for (auto [key, target] :
+           std::initializer_list<std::pair<const char*, double*>>{
+               {"START_TIME", &task.start},
+               {"FINISH_TIME", &task.finish},
+               {"WAVE", &task.wave},
+               {"SLOT", &task.slot},
+               {"SHUFFLE_SECONDS", &task.shuffle_seconds},
+               {"SORT_SECONDS", &task.sort_seconds}}) {
+        auto value = NumAttr(record, key);
+        if (!value.ok()) return value.status();
+        *target = value.value();
+      }
+      auto instance = NumAttr(record, "INSTANCE");
+      if (!instance.ok()) return instance.status();
+      task.instance = static_cast<int>(instance.value());
+      auto counters = ParseCounters(record.Get("COUNTERS"));
+      if (!counters.ok()) return counters.status();
+      task.counters = std::move(counters).value();
+      tasks.push_back(std::move(task));
+      continue;
+    }
+    return Status::ParseError("unknown history record type: " + record.type);
+  }
+  if (!saw_submit || !saw_finish || job_id.empty()) {
+    return Status::ParseError("history lacks job submit/finish records");
+  }
+  if (tasks.empty()) {
+    return Status::ParseError("history contains no tasks");
+  }
+
+  auto conf_number = [&conf](const std::string& key) -> Result<double> {
+    auto it = conf.find(key);
+    if (it == conf.end()) {
+      return Status::ParseError("missing JobConf key " + key);
+    }
+    return ParseDouble(it->second);
+  };
+  auto num_instances = conf_number("mapred.job.instances");
+  if (!num_instances.ok()) return num_instances.status();
+  auto block_size = conf_number("dfs.block.size");
+  if (!block_size.ok()) return block_size.status();
+  auto num_reduce = conf_number("mapred.reduce.tasks");
+  if (!num_reduce.ok()) return num_reduce.status();
+  auto reduce_factor = conf_number("mapred.reduce.tasks.factor");
+  if (!reduce_factor.ok()) return reduce_factor.status();
+  auto io_sort = conf_number("io.sort.factor");
+  if (!io_sort.ok()) return io_sort.status();
+  auto input_size = conf_number("mapred.input.size.bytes");
+  if (!input_size.ok()) return input_size.status();
+  const std::string pig_script = conf.count("pig.script.file") > 0
+                                     ? conf.at("pig.script.file")
+                                     : job_name;
+  const std::string input_file =
+      conf.count("mapred.input.file") > 0 ? conf.at("mapred.input.file")
+                                          : "unknown";
+
+  std::size_t n_map = 0;
+  for (const IngestedTask& task : tasks) {
+    if (task.is_map) ++n_map;
+  }
+
+  // ---- Task records ----
+  const Schema& task_schema = task_log.schema();
+  std::vector<std::map<std::string, double>> task_ganglia;
+  task_ganglia.reserve(tasks.size());
+  for (const IngestedTask& task : tasks) {
+    auto averages = TaskGangliaAverages(ganglia, task);
+    if (!averages.ok()) return averages.status();
+    task_ganglia.push_back(std::move(averages).value());
+  }
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const IngestedTask& task = tasks[t];
+    std::vector<Value> values(task_schema.size());
+    auto set = [&](const std::string& name, Value value) {
+      const std::size_t i = task_schema.IndexOf(name);
+      PX_CHECK_NE(i, Schema::kNotFound) << name;
+      values[i] = std::move(value);
+    };
+    const bool is_map = task.is_map;
+    set(feature_names::kJobId, Value::Nominal(job_id));
+    set(feature_names::kTaskType, Value::Nominal(is_map ? "map" : "reduce"));
+    set(feature_names::kTrackerName, Value::Nominal(task.tracker));
+    set(feature_names::kHostname, Value::Nominal(task.hostname));
+    set(feature_names::kNumInstances, Value::Number(num_instances.value()));
+    set(feature_names::kBlockSize, Value::Number(block_size.value()));
+    set(feature_names::kReduceTasksFactor,
+        Value::Number(reduce_factor.value()));
+    set(feature_names::kNumReduceTasks, Value::Number(num_reduce.value()));
+    set(feature_names::kNumMapTasks,
+        Value::Number(static_cast<double>(n_map)));
+    set(feature_names::kIoSortFactor, Value::Number(io_sort.value()));
+    set(feature_names::kPigScript, Value::Nominal(pig_script));
+    set("job_inputsize", Value::Number(input_size.value()));
+    const double in_bytes = task.Counter("INPUT_BYTES");
+    const double out_bytes = task.Counter("OUTPUT_BYTES");
+    const double in_records = task.Counter("INPUT_RECORDS");
+    const double out_records = task.Counter("OUTPUT_RECORDS");
+    set(feature_names::kInputSize, Value::Number(in_bytes));
+    set("map_input_bytes", Value::Number(is_map ? in_bytes : 0.0));
+    set("map_output_bytes", Value::Number(is_map ? out_bytes : 0.0));
+    set("map_input_records", Value::Number(is_map ? in_records : 0.0));
+    set("map_output_records", Value::Number(is_map ? out_records : 0.0));
+    set("reduce_input_bytes", Value::Number(is_map ? 0.0 : in_bytes));
+    set("reduce_output_bytes", Value::Number(is_map ? 0.0 : out_bytes));
+    set("hdfs_bytes_read", Value::Number(is_map ? in_bytes : 0.0));
+    set("hdfs_bytes_written", Value::Number(is_map ? 0.0 : out_bytes));
+    set("file_bytes_read", Value::Number(is_map ? 0.0 : in_bytes));
+    set("file_bytes_written",
+        Value::Number(is_map ? out_bytes
+                             : in_bytes * (task.sort_seconds > 0 ? 2.0
+                                                                 : 1.0)));
+    set("spilled_records", Value::Number(task.Counter("SPILLED_RECORDS")));
+    // The combiner counters are script-dependent; reconstruct from the
+    // script name as trace generation does.
+    const bool uses_combiner = pig_script == "simple-groupby.pig";
+    set("combine_input_records",
+        Value::Number(is_map && uses_combiner ? in_records : 0.0));
+    set("combine_output_records",
+        Value::Number(is_map && uses_combiner ? out_records : 0.0));
+    set("gc_time_millis", Value::Number(task.Counter("GC_TIME_MILLIS")));
+    set("starttime", Value::Number(task.start));
+    set("taskfinishtime", Value::Number(task.finish));
+    set("sorttime", Value::Number(task.sort_seconds));
+    set("shuffletime", Value::Number(task.shuffle_seconds));
+    set("wave_index", Value::Number(task.wave));
+    set("slot_index", Value::Number(task.slot));
+    for (const auto& [metric, average] : task_ganglia[t]) {
+      set("avg_" + metric, Value::Number(average));
+    }
+    set(feature_names::kDuration, Value::Number(task.duration()));
+    PX_RETURN_IF_ERROR(
+        task_log.Add(ExecutionRecord(task.task_id, std::move(values))));
+  }
+
+  // ---- Job record ----
+  const Schema& job_schema = job_log.schema();
+  std::vector<Value> values(job_schema.size());
+  auto set = [&](const std::string& name, Value value) {
+    const std::size_t i = job_schema.IndexOf(name);
+    PX_CHECK_NE(i, Schema::kNotFound) << name;
+    values[i] = std::move(value);
+  };
+  set(feature_names::kNumInstances, Value::Number(num_instances.value()));
+  set(feature_names::kInputSize, Value::Number(input_size.value()));
+  set(feature_names::kBlockSize, Value::Number(block_size.value()));
+  set(feature_names::kReduceTasksFactor,
+      Value::Number(reduce_factor.value()));
+  set(feature_names::kNumReduceTasks, Value::Number(num_reduce.value()));
+  set(feature_names::kNumMapTasks,
+      Value::Number(static_cast<double>(n_map)));
+  set(feature_names::kIoSortFactor, Value::Number(io_sort.value()));
+  set(feature_names::kPigScript, Value::Nominal(pig_script));
+  set("input_file", Value::Nominal(input_file));
+  set("cluster_name", Value::Nominal("ec2-simulated"));
+  set("start_time", Value::Number(submit_time));
+
+  double input_records = 0.0;
+  double map_out_records = 0.0;
+  double reduce_in_records = 0.0;
+  double reduce_out_records = 0.0;
+  double hdfs_read = 0.0;
+  double hdfs_written = 0.0;
+  double file_read = 0.0;
+  double file_written = 0.0;
+  double sort_sum = 0.0;
+  double shuffle_sum = 0.0;
+  std::size_t n_reduce_tasks = 0;
+  for (const IngestedTask& task : tasks) {
+    if (task.is_map) {
+      input_records += task.Counter("INPUT_RECORDS");
+      map_out_records += task.Counter("OUTPUT_RECORDS");
+      hdfs_read += task.Counter("INPUT_BYTES");
+      file_written += task.Counter("OUTPUT_BYTES");
+    } else {
+      reduce_in_records += task.Counter("INPUT_RECORDS");
+      reduce_out_records += task.Counter("OUTPUT_RECORDS");
+      hdfs_written += task.Counter("OUTPUT_BYTES");
+      file_read += task.Counter("INPUT_BYTES");
+      sort_sum += task.sort_seconds;
+      shuffle_sum += task.shuffle_seconds;
+      ++n_reduce_tasks;
+    }
+  }
+  set("input_records", Value::Number(input_records));
+  set("hdfs_bytes_read", Value::Number(hdfs_read));
+  set("hdfs_bytes_written", Value::Number(hdfs_written));
+  set("file_bytes_read", Value::Number(file_read));
+  set("file_bytes_written", Value::Number(file_written));
+  set("map_input_records", Value::Number(input_records));
+  set("map_output_records", Value::Number(map_out_records));
+  set("reduce_input_records", Value::Number(reduce_in_records));
+  set("reduce_output_records", Value::Number(reduce_out_records));
+  set("avg_task_sorttime",
+      Value::Number(n_reduce_tasks == 0
+                        ? 0.0
+                        : sort_sum / static_cast<double>(n_reduce_tasks)));
+  set("avg_task_shuffletime",
+      Value::Number(n_reduce_tasks == 0
+                        ? 0.0
+                        : shuffle_sum /
+                              static_cast<double>(n_reduce_tasks)));
+  for (const std::string& metric : GangliaMetricNames()) {
+    double sum = 0.0;
+    for (const auto& averages : task_ganglia) {
+      sum += averages.at(metric);
+    }
+    set("avg_" + metric,
+        Value::Number(sum / static_cast<double>(task_ganglia.size())));
+  }
+  set(feature_names::kDuration, Value::Number(finish_time - submit_time));
+  return job_log.Add(ExecutionRecord(job_id, std::move(values)));
+}
+
+Status IngestJobFiles(const std::string& history_path,
+                      const std::string& ganglia_path,
+                      ExecutionLog& job_log, ExecutionLog& task_log) {
+  auto read_file = [](const std::string& path) -> Result<std::string> {
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  auto history = read_file(history_path);
+  if (!history.ok()) return history.status();
+  auto ganglia = read_file(ganglia_path);
+  if (!ganglia.ok()) return ganglia.status();
+  return IngestJob(history.value(), ganglia.value(), job_log, task_log);
+}
+
+}  // namespace perfxplain

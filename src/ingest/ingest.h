@@ -1,0 +1,30 @@
+#ifndef PERFXPLAIN_INGEST_INGEST_H_
+#define PERFXPLAIN_INGEST_INGEST_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "log/execution_log.h"
+
+namespace perfxplain {
+
+/// Builds execution-log records from the raw text artifacts a Hadoop
+/// cluster produces — a job-history file plus a Ganglia metric dump —
+/// mirroring the paper's data-collection pipeline (§6.1): task details come
+/// from the MapReduce log file; each Ganglia metric is averaged over the
+/// task's execution window on its instance and percolated up to the job.
+///
+/// `job_log` and `task_log` must use the catalogue schemas
+/// (MakeJobSchema / MakeTaskSchema); records are appended.
+Status IngestJob(const std::string& history_text,
+                 const std::string& ganglia_text, ExecutionLog& job_log,
+                 ExecutionLog& task_log);
+
+/// Convenience: reads both files from disk and ingests them.
+Status IngestJobFiles(const std::string& history_path,
+                      const std::string& ganglia_path,
+                      ExecutionLog& job_log, ExecutionLog& task_log);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_INGEST_INGEST_H_

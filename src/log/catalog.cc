@@ -1,0 +1,116 @@
+#include "log/catalog.h"
+
+#include "common/logging.h"
+
+namespace perfxplain {
+
+const std::vector<std::string>& GangliaMetricNames() {
+  static const std::vector<std::string>& metrics =
+      *new std::vector<std::string>{
+          "bytes_in",   "bytes_out",  "cpu_idle",    "cpu_nice",
+          "cpu_system", "cpu_user",   "cpu_wio",     "disk_free",
+          "load_fifteen", "load_five", "load_one",   "mem_buffers",
+          "mem_cached", "mem_free",   "mem_shared",  "pkts_in",
+          "pkts_out",   "proc_run",   "proc_total",  "swap_free",
+      };
+  return metrics;
+}
+
+namespace {
+
+void AddOrDie(Schema& schema, const std::string& name, ValueKind kind) {
+  PX_CHECK(schema.Add(name, kind).ok()) << name;
+}
+
+void AddGangliaAverages(Schema& schema) {
+  for (const auto& metric : GangliaMetricNames()) {
+    AddOrDie(schema, "avg_" + metric, ValueKind::kNumeric);
+  }
+}
+
+}  // namespace
+
+Schema MakeJobSchema() {
+  Schema schema;
+  // Configuration parameters (Table 2 of the paper plus derived counts).
+  AddOrDie(schema, feature_names::kNumInstances, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kInputSize, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kBlockSize, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kReduceTasksFactor, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kNumReduceTasks, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kNumMapTasks, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kIoSortFactor, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kPigScript, ValueKind::kNominal);
+  // Data characteristics.
+  AddOrDie(schema, "input_records", ValueKind::kNumeric);
+  AddOrDie(schema, "input_file", ValueKind::kNominal);
+  // MapReduce counters aggregated over the job.
+  AddOrDie(schema, "hdfs_bytes_read", ValueKind::kNumeric);
+  AddOrDie(schema, "hdfs_bytes_written", ValueKind::kNumeric);
+  AddOrDie(schema, "file_bytes_read", ValueKind::kNumeric);
+  AddOrDie(schema, "file_bytes_written", ValueKind::kNumeric);
+  AddOrDie(schema, "map_input_records", ValueKind::kNumeric);
+  AddOrDie(schema, "map_output_records", ValueKind::kNumeric);
+  AddOrDie(schema, "reduce_input_records", ValueKind::kNumeric);
+  AddOrDie(schema, "reduce_output_records", ValueKind::kNumeric);
+  // Timing details.
+  AddOrDie(schema, "start_time", ValueKind::kNumeric);
+  AddOrDie(schema, "avg_task_sorttime", ValueKind::kNumeric);
+  AddOrDie(schema, "avg_task_shuffletime", ValueKind::kNumeric);
+  // Cluster identity.
+  AddOrDie(schema, "cluster_name", ValueKind::kNominal);
+  // Ganglia averages percolated up from the job's tasks (§6.1).
+  AddGangliaAverages(schema);
+  // Runtime metric the queries are about.
+  AddOrDie(schema, feature_names::kDuration, ValueKind::kNumeric);
+  return schema;
+}
+
+Schema MakeTaskSchema() {
+  Schema schema;
+  // Identity.
+  AddOrDie(schema, feature_names::kJobId, ValueKind::kNominal);
+  AddOrDie(schema, feature_names::kTaskType, ValueKind::kNominal);
+  AddOrDie(schema, feature_names::kTrackerName, ValueKind::kNominal);
+  AddOrDie(schema, feature_names::kHostname, ValueKind::kNominal);
+  // Job configuration copied onto every task.
+  AddOrDie(schema, feature_names::kNumInstances, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kBlockSize, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kReduceTasksFactor, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kNumReduceTasks, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kNumMapTasks, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kIoSortFactor, ValueKind::kNumeric);
+  AddOrDie(schema, feature_names::kPigScript, ValueKind::kNominal);
+  AddOrDie(schema, "job_inputsize", ValueKind::kNumeric);
+  // Task I/O (Hadoop log fields).
+  AddOrDie(schema, feature_names::kInputSize, ValueKind::kNumeric);
+  AddOrDie(schema, "map_input_bytes", ValueKind::kNumeric);
+  AddOrDie(schema, "map_output_bytes", ValueKind::kNumeric);
+  AddOrDie(schema, "map_input_records", ValueKind::kNumeric);
+  AddOrDie(schema, "map_output_records", ValueKind::kNumeric);
+  AddOrDie(schema, "reduce_input_bytes", ValueKind::kNumeric);
+  AddOrDie(schema, "reduce_output_bytes", ValueKind::kNumeric);
+  AddOrDie(schema, "hdfs_bytes_read", ValueKind::kNumeric);
+  AddOrDie(schema, "hdfs_bytes_written", ValueKind::kNumeric);
+  AddOrDie(schema, "file_bytes_read", ValueKind::kNumeric);
+  AddOrDie(schema, "file_bytes_written", ValueKind::kNumeric);
+  // Counters.
+  AddOrDie(schema, "spilled_records", ValueKind::kNumeric);
+  AddOrDie(schema, "combine_input_records", ValueKind::kNumeric);
+  AddOrDie(schema, "combine_output_records", ValueKind::kNumeric);
+  AddOrDie(schema, "gc_time_millis", ValueKind::kNumeric);
+  // Timing.
+  AddOrDie(schema, "starttime", ValueKind::kNumeric);
+  AddOrDie(schema, "taskfinishtime", ValueKind::kNumeric);
+  AddOrDie(schema, "sorttime", ValueKind::kNumeric);
+  AddOrDie(schema, "shuffletime", ValueKind::kNumeric);
+  AddOrDie(schema, "wave_index", ValueKind::kNumeric);
+  AddOrDie(schema, "slot_index", ValueKind::kNumeric);
+  // Ganglia averages over the task's execution window (§6.1).
+  AddGangliaAverages(schema);
+  // Runtime metric.
+  AddOrDie(schema, feature_names::kDuration, ValueKind::kNumeric);
+  return schema;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,51 @@
+#ifndef PERFXPLAIN_LOG_CATALOG_H_
+#define PERFXPLAIN_LOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "log/schema.h"
+
+namespace perfxplain {
+
+/// Feature catalogues mirroring what the paper's prototype collects (§6.1):
+/// Hadoop job/task log fields plus Ganglia system metrics averaged over each
+/// execution window. The paper records 36 job-level and 64 task-level
+/// features; our catalogues cover the same categories (configuration
+/// parameters, data characteristics, MapReduce counters, Ganglia averages).
+
+/// Names of the Ganglia metrics we monitor per instance. Each appears in the
+/// job/task schemas with an "avg_" prefix (average over the execution
+/// window, §6.1).
+const std::vector<std::string>& GangliaMetricNames();
+
+/// Schema for MapReduce *job* executions:
+/// Job(JobID, feature1, ..., featurek, duration).
+Schema MakeJobSchema();
+
+/// Schema for MapReduce *task* executions:
+/// Task(TaskID, JobID, feature1, ..., featurel, duration).
+Schema MakeTaskSchema();
+
+/// Well-known feature names used by the evaluation queries (§6.2).
+namespace feature_names {
+
+inline constexpr const char kDuration[] = "duration";
+inline constexpr const char kInputSize[] = "inputsize";
+inline constexpr const char kNumInstances[] = "numinstances";
+inline constexpr const char kPigScript[] = "pigscript";
+inline constexpr const char kBlockSize[] = "blocksize";
+inline constexpr const char kIoSortFactor[] = "iosortfactor";
+inline constexpr const char kNumReduceTasks[] = "num_reduce_tasks";
+inline constexpr const char kNumMapTasks[] = "num_map_tasks";
+inline constexpr const char kReduceTasksFactor[] = "reduce_tasks_factor";
+inline constexpr const char kJobId[] = "jobID";
+inline constexpr const char kHostname[] = "hostname";
+inline constexpr const char kTrackerName[] = "tracker_name";
+inline constexpr const char kTaskType[] = "task_type";
+
+}  // namespace feature_names
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_LOG_CATALOG_H_

@@ -1,0 +1,33 @@
+#include "log/schema.h"
+
+namespace perfxplain {
+
+Status Schema::Add(FeatureDef def) {
+  if (index_.count(def.name) > 0) {
+    return Status::InvalidArgument("duplicate feature name: " + def.name);
+  }
+  index_.emplace(def.name, defs_.size());
+  defs_.push_back(std::move(def));
+  return Status::OK();
+}
+
+const FeatureDef& Schema::at(std::size_t i) const {
+  PX_CHECK_LT(i, defs_.size());
+  return defs_[i];
+}
+
+std::size_t Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return kNotFound;
+  return it->second;
+}
+
+Result<std::size_t> Schema::Require(const std::string& name) const {
+  const std::size_t i = IndexOf(name);
+  if (i == kNotFound) {
+    return Status::NotFound("no such feature: " + name);
+  }
+  return i;
+}
+
+}  // namespace perfxplain

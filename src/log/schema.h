@@ -1,0 +1,69 @@
+#ifndef PERFXPLAIN_LOG_SCHEMA_H_
+#define PERFXPLAIN_LOG_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace perfxplain {
+
+/// Describes one raw feature of a job or task execution: a name and whether
+/// the feature is numeric or nominal. Mirrors the paper's data model (§3.1),
+/// where every configuration parameter, data characteristic and runtime
+/// metric is a feature.
+struct FeatureDef {
+  std::string name;
+  ValueKind kind = ValueKind::kNumeric;
+
+  FeatureDef() = default;
+  FeatureDef(std::string n, ValueKind k) : name(std::move(n)), kind(k) {}
+
+  friend bool operator==(const FeatureDef& a, const FeatureDef& b) {
+    return a.name == b.name && a.kind == b.kind;
+  }
+};
+
+/// An ordered, named collection of FeatureDefs with O(1) name lookup.
+///
+/// The schema of an ExecutionLog; also the "raw" side from which the
+/// pair-feature schema (Table 1) is derived. Feature names are unique.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Appends a feature. Fails if the name already exists.
+  Status Add(FeatureDef def);
+  Status Add(std::string name, ValueKind kind) {
+    return Add(FeatureDef(std::move(name), kind));
+  }
+
+  std::size_t size() const { return defs_.size(); }
+  const FeatureDef& at(std::size_t i) const;
+  const std::vector<FeatureDef>& defs() const { return defs_; }
+
+  /// Index of `name`, or npos when absent.
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+  std::size_t IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return IndexOf(name) != kNotFound;
+  }
+
+  /// Index of `name`; error status when absent.
+  Result<std::size_t> Require(const std::string& name) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.defs_ == b.defs_;
+  }
+
+ private:
+  std::vector<FeatureDef> defs_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_LOG_SCHEMA_H_

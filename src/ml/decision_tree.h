@@ -1,0 +1,74 @@
+#ifndef PERFXPLAIN_ML_DECISION_TREE_H_
+#define PERFXPLAIN_ML_DECISION_TREE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "features/pair_features.h"
+#include "features/pair_schema.h"
+#include "pxql/ast.h"
+
+namespace perfxplain {
+
+/// Stopping criteria for decision-tree induction.
+struct TreeOptions {
+  std::size_t max_depth = 8;
+  std::size_t min_leaf = 5;       ///< don't split nodes smaller than this
+  double min_gain = 1e-9;         ///< don't split on near-zero gain
+};
+
+/// A small C4.5-style binary decision tree over pair features.
+///
+/// The paper's §4.2 explains why decision trees cannot be applied directly
+/// to performance explanation (no pair-of-interest constraint, classifies
+/// all pairs, ignores generality); this reference learner exists (a) to
+/// validate our split-search primitives against a classical consumer and
+/// (b) as an ablation comparator in the benchmarks.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Induces the tree on `examples`; labels are TrainingExample::observed.
+  Status Fit(const PairSchema& schema,
+             const std::vector<TrainingExample>& examples,
+             const TreeOptions& options);
+
+  bool fitted() const { return !nodes_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+  /// P(observed) of the leaf reached by `features`.
+  double PredictProbability(const std::vector<Value>& features) const;
+  bool Predict(const std::vector<Value>& features) const {
+    return PredictProbability(features) >= 0.5;
+  }
+
+  /// Multi-line indented rendering for debugging.
+  std::string ToString(const PairSchema& schema) const;
+
+ private:
+  struct Node {
+    // kInvalid children marks a leaf.
+    static constexpr std::size_t kInvalid = static_cast<std::size_t>(-1);
+    Atom atom;                         ///< split test (leaf: unused)
+    std::size_t yes = kInvalid;        ///< child when atom matches
+    std::size_t no = kInvalid;
+    double probability = 0.0;          ///< P(observed) among training reach
+    std::size_t support = 0;           ///< training examples reaching node
+    bool IsLeaf() const { return yes == kInvalid; }
+  };
+
+  std::size_t Build(const PairSchema& schema,
+                    const std::vector<TrainingExample>& examples,
+                    std::vector<std::size_t> indices,
+                    const TreeOptions& options, std::size_t depth);
+  std::size_t DepthOf(std::size_t node) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_ML_DECISION_TREE_H_

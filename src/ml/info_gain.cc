@@ -1,0 +1,24 @@
+#include "ml/info_gain.h"
+
+#include "common/stats.h"
+
+namespace perfxplain {
+
+double SetEntropy(const SplitCounts& counts) {
+  return TwoClassEntropy(counts.positive(), counts.total());
+}
+
+double InformationGain(const SplitCounts& counts) {
+  const std::size_t n = counts.total();
+  if (n == 0) return 0.0;
+  const double h_all = SetEntropy(counts);
+  const double w_in =
+      static_cast<double>(counts.in_total) / static_cast<double>(n);
+  const double w_out =
+      static_cast<double>(counts.out_total) / static_cast<double>(n);
+  const double h_in = TwoClassEntropy(counts.in_positive, counts.in_total);
+  const double h_out = TwoClassEntropy(counts.out_positive, counts.out_total);
+  return h_all - (w_in * h_in + w_out * h_out);
+}
+
+}  // namespace perfxplain

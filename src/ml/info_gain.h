@@ -1,0 +1,31 @@
+#ifndef PERFXPLAIN_ML_INFO_GAIN_H_
+#define PERFXPLAIN_ML_INFO_GAIN_H_
+
+#include <cstddef>
+
+namespace perfxplain {
+
+/// Two-way class counts induced by a boolean predicate over a two-class
+/// example set: examples that satisfy the predicate vs. those that do not,
+/// each with its positive-class count.
+struct SplitCounts {
+  std::size_t in_total = 0;     ///< examples satisfying the predicate
+  std::size_t in_positive = 0;  ///< ... of which are positive
+  std::size_t out_total = 0;    ///< examples not satisfying it
+  std::size_t out_positive = 0;
+
+  std::size_t total() const { return in_total + out_total; }
+  std::size_t positive() const { return in_positive + out_positive; }
+};
+
+/// Information gain of the split (§4.2, Figure 2):
+///   Gain = H(P) - [ |in|/|P| * H(in) + |out|/|P| * H(out) ].
+/// Returns 0 for an empty example set.
+double InformationGain(const SplitCounts& counts);
+
+/// Entropy H(P) of the unsplit set, in bits.
+double SetEntropy(const SplitCounts& counts);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_ML_INFO_GAIN_H_

@@ -1,0 +1,147 @@
+#include "ml/relief.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace perfxplain {
+
+namespace {
+
+/// Per-feature normalization ranges for numeric diffs.
+struct FeatureRanges {
+  std::vector<double> min;
+  std::vector<double> max;
+};
+
+FeatureRanges ComputeRanges(const ExecutionLog& log) {
+  const std::size_t k = log.schema().size();
+  FeatureRanges ranges;
+  ranges.min.assign(k, std::numeric_limits<double>::infinity());
+  ranges.max.assign(k, -std::numeric_limits<double>::infinity());
+  for (const auto& record : log.records()) {
+    for (std::size_t f = 0; f < k; ++f) {
+      const Value& v = record.values[f];
+      if (!v.is_numeric()) continue;
+      ranges.min[f] = std::min(ranges.min[f], v.number());
+      ranges.max[f] = std::max(ranges.max[f], v.number());
+    }
+  }
+  return ranges;
+}
+
+double FeatureDiff(const Value& a, const Value& b, double range) {
+  if (a.is_missing() && b.is_missing()) return 0.0;
+  if (a.is_missing() || b.is_missing()) return 0.5;
+  if (a.is_numeric() && b.is_numeric()) {
+    if (range <= 0.0 || !std::isfinite(range)) return 0.0;
+    return std::min(1.0, std::abs(a.number() - b.number()) / range);
+  }
+  return a == b ? 0.0 : 1.0;
+}
+
+}  // namespace
+
+std::vector<double> RRelieff(const ExecutionLog& log,
+                             std::size_t target_index,
+                             const ReliefOptions& options, Rng& rng) {
+  const std::size_t k = log.schema().size();
+  std::vector<double> weights(k, 0.0);
+  const std::size_t n = log.size();
+  if (n < 2) return weights;
+  PX_CHECK_LT(target_index, k);
+
+  const FeatureRanges ranges = ComputeRanges(log);
+  const double target_range =
+      ranges.max[target_index] - ranges.min[target_index];
+
+  // RReliefF accumulators.
+  double n_dc = 0.0;                    // P(different prediction)
+  std::vector<double> n_da(k, 0.0);     // P(different attribute value)
+  std::vector<double> n_dcda(k, 0.0);   // P(diff. prediction & diff. attr.)
+  double total_weight = 0.0;
+
+  const std::size_t m =
+      std::min(options.iterations, n);  // probe each record at most once/pass
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(n - 1);
+  for (std::size_t probe = 0; probe < options.iterations; ++probe) {
+    const std::size_t i = order[probe % m];
+    const ExecutionRecord& ri = log.at(i);
+
+    distances.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const ExecutionRecord& rj = log.at(j);
+      double dist = 0.0;
+      for (std::size_t f = 0; f < k; ++f) {
+        if (f == target_index) continue;
+        dist += FeatureDiff(ri.values[f], rj.values[f],
+                            ranges.max[f] - ranges.min[f]);
+      }
+      distances.emplace_back(dist, j);
+    }
+    const std::size_t kk = std::min(options.neighbors, distances.size());
+    std::partial_sort(distances.begin(), distances.begin() + kk,
+                      distances.end());
+
+    const double w = 1.0 / static_cast<double>(kk);
+    for (std::size_t t = 0; t < kk; ++t) {
+      const ExecutionRecord& rj = log.at(distances[t].second);
+      const double d_target = FeatureDiff(ri.values[target_index],
+                                          rj.values[target_index],
+                                          target_range);
+      n_dc += d_target * w;
+      for (std::size_t f = 0; f < k; ++f) {
+        if (f == target_index) continue;
+        const double d = FeatureDiff(ri.values[f], rj.values[f],
+                                     ranges.max[f] - ranges.min[f]);
+        n_da[f] += d * w;
+        n_dcda[f] += d_target * d * w;
+      }
+      total_weight += w;
+    }
+  }
+
+  if (n_dc <= 0.0 || total_weight - n_dc <= 0.0) {
+    // Degenerate target (all durations identical) or all-different; weights
+    // stay 0 / fall back to the defined branch only.
+    for (std::size_t f = 0; f < k; ++f) {
+      if (f == target_index) continue;
+      if (n_dc > 0.0) weights[f] = n_dcda[f] / n_dc;
+    }
+    return weights;
+  }
+
+  for (std::size_t f = 0; f < k; ++f) {
+    if (f == target_index) continue;
+    weights[f] =
+        n_dcda[f] / n_dc - (n_da[f] - n_dcda[f]) / (total_weight - n_dc);
+  }
+  return weights;
+}
+
+std::vector<std::size_t> RankFeaturesByImportance(const ExecutionLog& log,
+                                                  std::size_t target_index,
+                                                  const ReliefOptions& options,
+                                                  Rng& rng) {
+  const std::vector<double> weights =
+      RRelieff(log, target_index, options, rng);
+  std::vector<std::size_t> order;
+  order.reserve(weights.size());
+  for (std::size_t f = 0; f < weights.size(); ++f) {
+    if (f != target_index) order.push_back(f);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return weights[a] > weights[b];
+                   });
+  return order;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,213 @@
+#include "ml/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/info_gain.h"
+
+namespace perfxplain {
+
+namespace {
+
+/// Gain of an explicit membership test evaluated over all examples.
+template <typename SatisfiesFn>
+SplitCounts CountSplit(const std::vector<TrainingExample>& examples,
+                       SatisfiesFn satisfies) {
+  SplitCounts counts;
+  for (const TrainingExample& example : examples) {
+    if (satisfies(example)) {
+      ++counts.in_total;
+      if (example.observed) ++counts.in_positive;
+    } else {
+      ++counts.out_total;
+      if (example.observed) ++counts.out_positive;
+    }
+  }
+  return counts;
+}
+
+void Consider(const PairSchema& schema, std::size_t pair_index, CompareOp op,
+              const Value& constant, double gain,
+              std::optional<SplitCandidate>& best) {
+  if (!best.has_value() || gain > best->gain) {
+    best = SplitCandidate{Atom::Bound(schema, pair_index, op, constant), gain};
+  }
+}
+
+/// Threshold search for numeric features: one ascending scan produces the
+/// gains of all `f <= c` and `f >= c` candidates. Midpoints between adjacent
+/// distinct values are used as thresholds, plus the pair of interest's own
+/// value so `f <= poi` / `f >= poi` are always candidates.
+void SearchNumericThresholds(const PairSchema& schema,
+                             const std::vector<TrainingExample>& examples,
+                             std::size_t pair_index, const Value& poi_value,
+                             const SplitOptions& options,
+                             std::optional<SplitCandidate>& best) {
+  struct Point {
+    double value;
+    bool positive;
+  };
+  std::vector<Point> points;
+  points.reserve(examples.size());
+  std::size_t missing_total = 0;
+  std::size_t missing_positive = 0;
+  for (const TrainingExample& example : examples) {
+    const Value& v = example.features[pair_index];
+    if (v.is_numeric()) {
+      points.push_back({v.number(), example.observed});
+    } else {
+      ++missing_total;
+      if (example.observed) ++missing_positive;
+    }
+  }
+  if (points.empty()) return;
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.value < b.value; });
+
+  const std::size_t n_total = points.size() + missing_total;
+  std::size_t n_positive = missing_positive;
+  for (const Point& p : points) {
+    if (p.positive) ++n_positive;
+  }
+
+  const double poi = poi_value.is_numeric() ? poi_value.number() : 0.0;
+  const bool have_poi = poi_value.is_numeric();
+
+  // Candidate thresholds: midpoints between adjacent distinct values, the
+  // extremes, and the pair of interest's value.
+  std::vector<double> thresholds;
+  thresholds.reserve(points.size() + 2);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    if (points[i].value != points[i + 1].value) {
+      thresholds.push_back((points[i].value + points[i + 1].value) / 2.0);
+    }
+  }
+  thresholds.push_back(points.front().value);
+  thresholds.push_back(points.back().value);
+  if (have_poi) thresholds.push_back(poi);
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  // Prefix scan: for each threshold c, in-set of `f <= c` is the prefix of
+  // points with value <= c; missing-valued examples are always out.
+  std::size_t prefix_total = 0;
+  std::size_t prefix_positive = 0;
+  std::size_t cursor = 0;
+  for (double c : thresholds) {
+    while (cursor < points.size() && points[cursor].value <= c) {
+      ++prefix_total;
+      if (points[cursor].positive) ++prefix_positive;
+      ++cursor;
+    }
+    // f <= c; applicable iff poi <= c.
+    if (!options.constrain_to_pair || (have_poi && poi <= c)) {
+      SplitCounts counts;
+      counts.in_total = prefix_total;
+      counts.in_positive = prefix_positive;
+      counts.out_total = n_total - prefix_total;
+      counts.out_positive = n_positive - prefix_positive;
+      if (counts.in_total >= options.min_support) {
+        Consider(schema, pair_index, CompareOp::kLe, Value::Number(c),
+                 InformationGain(counts), best);
+      }
+    }
+    // f >= c; in-set is the suffix with value >= c. Because thresholds fall
+    // between distinct values or on values, the suffix is everything not in
+    // the strict prefix of values < c; recompute via the complement of the
+    // prefix of values <= c when c is not an observed value. To stay exact
+    // we count the suffix directly from the prefix of values < c.
+    if (!options.constrain_to_pair || (have_poi && poi >= c)) {
+      // Count of points with value < c: step an independent scan would cost
+      // O(n) per threshold; instead note that points with value < c equals
+      // prefix_total minus points exactly equal to c that were consumed.
+      std::size_t eq_total = 0;
+      std::size_t eq_positive = 0;
+      for (std::size_t k = cursor; k-- > 0;) {
+        if (points[k].value != c) break;
+        ++eq_total;
+        if (points[k].positive) ++eq_positive;
+      }
+      const std::size_t lt_total = prefix_total - eq_total;
+      const std::size_t lt_positive = prefix_positive - eq_positive;
+      SplitCounts counts;
+      counts.in_total = points.size() - lt_total;
+      counts.in_positive = (n_positive - missing_positive) - lt_positive;
+      counts.out_total = n_total - counts.in_total;
+      counts.out_positive = n_positive - counts.in_positive;
+      if (counts.in_total >= options.min_support) {
+        Consider(schema, pair_index, CompareOp::kGe, Value::Number(c),
+                 InformationGain(counts), best);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<bool> Labels(const std::vector<TrainingExample>& examples) {
+  std::vector<bool> labels;
+  labels.reserve(examples.size());
+  for (const auto& example : examples) labels.push_back(example.observed);
+  return labels;
+}
+
+std::optional<SplitCandidate> BestPredicateForFeature(
+    const PairSchema& schema, const std::vector<TrainingExample>& examples,
+    std::size_t pair_index, const Value& poi_value,
+    const SplitOptions& options) {
+  if (examples.empty()) return std::nullopt;
+  if (!schema.IsDefined(pair_index)) return std::nullopt;
+  if (options.constrain_to_pair && poi_value.is_missing()) return std::nullopt;
+
+  std::optional<SplitCandidate> best;
+  const ValueKind kind = schema.ValueKindOf(pair_index);
+
+  if (kind == ValueKind::kNominal) {
+    // Equality tests only. Constrained: the sole candidate constant is the
+    // pair of interest's own value. Unconstrained: every observed value.
+    std::vector<Value> candidates;
+    if (options.constrain_to_pair) {
+      candidates.push_back(poi_value);
+    } else {
+      for (const TrainingExample& example : examples) {
+        const Value& v = example.features[pair_index];
+        if (!v.is_missing()) candidates.push_back(v);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+    }
+    for (const Value& c : candidates) {
+      const SplitCounts counts =
+          CountSplit(examples, [&](const TrainingExample& e) {
+            return !e.features[pair_index].is_missing() &&
+                   e.features[pair_index] == c;
+          });
+      if (counts.in_total < std::max<std::size_t>(1, options.min_support)) {
+        continue;  // vacuous or unsupported predicate
+      }
+      Consider(schema, pair_index, CompareOp::kEq, c, InformationGain(counts),
+               best);
+    }
+    return best;
+  }
+
+  // Numeric feature: equality on the pair's value plus threshold tests.
+  if (options.constrain_to_pair || poi_value.is_numeric()) {
+    const SplitCounts counts =
+        CountSplit(examples, [&](const TrainingExample& e) {
+          return !e.features[pair_index].is_missing() &&
+                 e.features[pair_index] == poi_value;
+        });
+    if (counts.in_total >= std::max<std::size_t>(1, options.min_support)) {
+      Consider(schema, pair_index, CompareOp::kEq, poi_value,
+               InformationGain(counts), best);
+    }
+  }
+  SearchNumericThresholds(schema, examples, pair_index, poi_value, options,
+                          best);
+  return best;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,59 @@
+#ifndef PERFXPLAIN_ML_SPLIT_H_
+#define PERFXPLAIN_ML_SPLIT_H_
+
+#include <optional>
+#include <vector>
+
+#include "features/pair_features.h"
+#include "features/pair_schema.h"
+#include "pxql/ast.h"
+
+namespace perfxplain {
+
+/// A candidate atomic predicate for one feature, with its information gain
+/// over the current example set (line 5 of Algorithm 1).
+struct SplitCandidate {
+  Atom atom;
+  double gain = 0.0;
+};
+
+/// Options controlling the per-feature predicate search.
+struct SplitOptions {
+  /// When true (PerfXplain's setting), every candidate atom must be
+  /// satisfied by the pair of interest, so the final explanation is
+  /// applicable (Definition 3). When false (plain decision-tree usage) the
+  /// search is unconstrained.
+  bool constrain_to_pair = true;
+
+  /// A candidate predicate must be satisfied by at least this many
+  /// examples. Guards against atoms that isolate (nearly) only the pair of
+  /// interest, which look perfectly precise on the training sample but do
+  /// not generalize.
+  std::size_t min_support = 1;
+};
+
+/// Finds the predicate with maximum information gain for pair feature
+/// `pair_index` over `examples` (maxInfoGainPredicate in Algorithm 1).
+///
+/// Nominal features admit only equality tests; under the pair-of-interest
+/// constraint the only candidate constant is the pair's own value. Numeric
+/// features admit equality plus <= / >= threshold tests at midpoints
+/// between adjacent distinct observed values (C4.5-style); under the
+/// constraint, <= thresholds must be at or above the pair's value and >=
+/// thresholds at or below it. Examples whose value is missing never satisfy
+/// a candidate.
+///
+/// `poi_value` is the pair of interest's value for this feature. Returns
+/// nullopt when the feature yields no usable candidate (e.g., the pair's
+/// value is missing while constrained, or all example values are missing).
+std::optional<SplitCandidate> BestPredicateForFeature(
+    const PairSchema& schema, const std::vector<TrainingExample>& examples,
+    std::size_t pair_index, const Value& poi_value,
+    const SplitOptions& options);
+
+/// Convenience: labels of `examples` as a bit vector (true = observed).
+std::vector<bool> Labels(const std::vector<TrainingExample>& examples);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_ML_SPLIT_H_

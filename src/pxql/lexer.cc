@@ -1,0 +1,169 @@
+#include "pxql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace perfxplain {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '-';
+}
+
+/// Returns the multiplier for a unit suffix, or 0 when unknown.
+double UnitMultiplier(const std::string& unit) {
+  const std::string u = ToLower(unit);
+  if (u == "b") return 1.0;
+  if (u == "kb") return 1024.0;
+  if (u == "mb") return 1024.0 * 1024.0;
+  if (u == "gb") return 1024.0 * 1024.0 * 1024.0;
+  if (u == "tb") return 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  if (u == "ms") return 0.001;
+  if (u == "s" || u == "sec") return 1.0;
+  if (u == "min") return 60.0;
+  return 0.0;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (c == ',') {
+      token.type = TokenType::kComma;
+      token.text = ",";
+      ++i;
+    } else if (c == '(') {
+      token.type = TokenType::kLParen;
+      token.text = "(";
+      ++i;
+    } else if (c == ')') {
+      token.type = TokenType::kRParen;
+      token.text = ")";
+      ++i;
+    } else if (c == '=' ) {
+      token.type = TokenType::kOp;
+      token.text = "=";
+      ++i;
+      if (i < n && input[i] == '=') ++i;  // accept "==" as "="
+    } else if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      token.type = TokenType::kOp;
+      token.text = "!=";
+      i += 2;
+    } else if (c == '<') {
+      token.type = TokenType::kOp;
+      if (i + 1 < n && input[i + 1] == '=') {
+        token.text = "<=";
+        i += 2;
+      } else if (i + 1 < n && input[i + 1] == '>') {
+        token.text = "!=";
+        i += 2;
+      } else {
+        token.text = "<";
+        ++i;
+      }
+    } else if (c == '>') {
+      token.type = TokenType::kOp;
+      if (i + 1 < n && input[i + 1] == '=') {
+        token.text = ">=";
+        i += 2;
+      } else {
+        token.text = ">";
+        ++i;
+      }
+    } else if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      std::string text;
+      while (i < n && input[i] != quote) {
+        text += input[i];
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(token.offset));
+      }
+      ++i;  // closing quote
+      token.type = TokenType::kString;
+      token.text = std::move(text);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      std::size_t start = i;
+      if (input[i] == '-') ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        ++i;
+      }
+      // Scientific notation.
+      if (i < n && (input[i] == 'e' || input[i] == 'E') && i + 1 < n &&
+          (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+           input[i + 1] == '-' || input[i + 1] == '+')) {
+        i += 2;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      const std::string digits = input.substr(start, i - start);
+      double value = 0.0;
+      auto [ptr, ec] = std::from_chars(digits.data(),
+                                       digits.data() + digits.size(), value);
+      if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+        return Status::ParseError("bad numeric literal '" + digits + "'");
+      }
+      // Optional unit suffix directly attached (128MB) or not: only attached
+      // suffixes are folded in, to avoid eating identifiers.
+      std::size_t unit_start = i;
+      while (i < n && std::isalpha(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      if (i > unit_start) {
+        const std::string unit = input.substr(unit_start, i - unit_start);
+        const double multiplier = UnitMultiplier(unit);
+        if (multiplier == 0.0) {
+          return Status::ParseError("unknown unit suffix '" + unit +
+                                    "' at offset " +
+                                    std::to_string(unit_start));
+        }
+        value *= multiplier;
+      }
+      token.type = TokenType::kNumber;
+      token.number = value;
+      token.text = digits;
+    } else if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      token.type = TokenType::kIdent;
+      token.text = input.substr(start, i - start);
+    } else {
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace perfxplain

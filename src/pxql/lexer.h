@@ -1,0 +1,40 @@
+#ifndef PERFXPLAIN_PXQL_LEXER_H_
+#define PERFXPLAIN_PXQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace perfxplain {
+
+/// Token categories produced by the PXQL lexer.
+enum class TokenType {
+  kIdent,    ///< feature names, keywords, bare nominal constants
+  kNumber,   ///< numeric literal (possibly with a size/time unit suffix)
+  kString,   ///< 'quoted' or "quoted" nominal constant
+  kOp,       ///< = != <> < <= > >=
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+/// One lexical token. For kNumber the numeric value (unit applied) is in
+/// `number`; for everything else `text` carries the payload.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  double number = 0.0;
+  std::size_t offset = 0;  ///< byte offset in the input, for error messages
+};
+
+/// Splits PXQL text into tokens. Unit suffixes KB/MB/GB/TB (powers of 1024
+/// bytes) and ms/s/min (seconds) are folded into numeric literals, so
+/// "blocksize >= 128MB" parses as 128*2^20.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_PXQL_LEXER_H_

@@ -1,0 +1,231 @@
+#include "pxql/parser.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "pxql/lexer.h"
+
+namespace perfxplain {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    Query query;
+    if (PeekKeyword("FOR")) {
+      PX_RETURN_IF_ERROR(ParseForClause(query));
+    }
+    if (PeekKeyword("DESPITE")) {
+      Advance();
+      auto pred = ParsePredicate();
+      if (!pred.ok()) return pred.status();
+      query.despite = std::move(pred).value();
+    }
+    if (!PeekKeyword("OBSERVED")) {
+      return Error("expected OBSERVED clause");
+    }
+    Advance();
+    auto obs = ParsePredicate();
+    if (!obs.ok()) return obs.status();
+    query.observed = std::move(obs).value();
+    if (!PeekKeyword("EXPECTED")) {
+      return Error("expected EXPECTED clause");
+    }
+    Advance();
+    auto exp = ParsePredicate();
+    if (!exp.ok()) return exp.status();
+    query.expected = std::move(exp).value();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    return query;
+  }
+
+  Result<Predicate> ParsePredicateOnly() {
+    auto pred = ParsePredicate();
+    if (!pred.ok()) return pred.status();
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing input '" + Peek().text +
+                                "'");
+    }
+    return pred;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const char* keyword) const {
+    return Peek().type == TokenType::kIdent &&
+           ToLower(Peek().text) == ToLower(keyword);
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " (at offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+
+  Status ParseForClause(Query& query) {
+    Advance();  // FOR
+    if (Peek().type != TokenType::kIdent) return Error("expected alias");
+    const std::string alias1 = Advance().text;
+    if (Peek().type != TokenType::kComma) return Error("expected ','");
+    Advance();
+    if (Peek().type != TokenType::kIdent) return Error("expected alias");
+    const std::string alias2 = Advance().text;
+    if (!PeekKeyword("WHERE")) return Status::OK();
+    Advance();  // WHERE
+    while (true) {
+      PX_RETURN_IF_ERROR(ParseBinding(query, alias1, alias2));
+      if (PeekKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseBinding(Query& query, const std::string& alias1,
+                      const std::string& alias2) {
+    if (Peek().type != TokenType::kIdent) {
+      return Error("expected alias.id binding");
+    }
+    // The lexer folds "J1.JobID" into one identifier token.
+    const std::string qualified = Advance().text;
+    const std::size_t dot = qualified.find('.');
+    if (dot == std::string::npos) {
+      return Status::ParseError("expected alias.id binding, got '" +
+                                qualified + "'");
+    }
+    const std::string alias = qualified.substr(0, dot);
+    const std::string field = ToLower(qualified.substr(dot + 1));
+    if (field != "jobid" && field != "taskid" && field != "id") {
+      return Status::ParseError("bindings may only constrain JobID/TaskID/id, "
+                                "got '" + qualified + "'");
+    }
+    if (Peek().type != TokenType::kOp || Peek().text != "=") {
+      return Error("expected '=' in binding");
+    }
+    Advance();
+    if (Peek().type != TokenType::kString &&
+        Peek().type != TokenType::kIdent) {
+      return Error("expected id literal in binding");
+    }
+    const std::string id = Advance().text;
+    if (alias == alias1) {
+      query.first_id = id;
+    } else if (alias == alias2) {
+      query.second_id = id;
+    } else {
+      return Status::ParseError("unknown alias '" + alias + "' in binding");
+    }
+    return Status::OK();
+  }
+
+  Result<Predicate> ParsePredicate() {
+    if (PeekKeyword("TRUE")) {
+      Advance();
+      return Predicate::True();
+    }
+    Predicate predicate;
+    while (true) {
+      auto atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      predicate.Append(std::move(atom).value());
+      if (PeekKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return predicate;
+  }
+
+  Result<Atom> ParseAtom() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected feature name (at offset " +
+                                std::to_string(Peek().offset) + ")");
+    }
+    const std::string feature = Advance().text;
+    if (Peek().type != TokenType::kOp) {
+      return Status::ParseError("expected comparison operator after '" +
+                                feature + "'");
+    }
+    const std::string op_text = Advance().text;
+    CompareOp op;
+    if (op_text == "=") {
+      op = CompareOp::kEq;
+    } else if (op_text == "!=") {
+      op = CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = CompareOp::kGt;
+    } else if (op_text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::ParseError("unknown operator '" + op_text + "'");
+    }
+    Value constant;
+    const Token& token = Peek();
+    if (token.type == TokenType::kNumber) {
+      constant = Value::Number(token.number);
+      Advance();
+    } else if (token.type == TokenType::kString ||
+               token.type == TokenType::kIdent) {
+      constant = Value::Nominal(token.text);
+      Advance();
+    } else if (token.type == TokenType::kLParen) {
+      // Tuple constant for diff features: (filter.pig,join.pig).
+      Advance();
+      std::string tuple = "(";
+      bool first = true;
+      while (Peek().type != TokenType::kRParen) {
+        if (Peek().type == TokenType::kEnd) {
+          return Status::ParseError("unterminated tuple constant");
+        }
+        if (!first && Peek().type == TokenType::kComma) {
+          Advance();
+          tuple += ",";
+          continue;
+        }
+        tuple += Advance().text;
+        first = false;
+      }
+      Advance();  // ')'
+      tuple += ")";
+      constant = Value::Nominal(tuple);
+    } else {
+      return Status::ParseError("expected constant after operator");
+    }
+    return Atom(feature, op, std::move(constant));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseQuery();
+}
+
+Result<Predicate> ParsePredicate(const std::string& text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParsePredicateOnly();
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,38 @@
+#ifndef PERFXPLAIN_PXQL_PARSER_H_
+#define PERFXPLAIN_PXQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Parses PXQL text into a Query. The grammar (§3.2, keywords are
+/// case-insensitive):
+///
+///   query    := [for] [despite] observed expected
+///   for      := FOR ident ',' ident [WHERE binding AND binding]
+///   binding  := ident '.' (JobID | TaskID | id) '=' string
+///   despite  := DESPITE predicate
+///   observed := OBSERVED predicate
+///   expected := EXPECTED predicate
+///   predicate:= TRUE | atom (AND atom)*
+///   atom     := ident op constant
+///   op       := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+///   constant := number [unit] | 'string' | bare-word
+///
+/// Numeric literals accept KB/MB/GB/TB and ms/s/min suffixes
+/// ("blocksize >= 128MB"). Bare words (SIM, T, simple-filter.pig) are
+/// nominal constants.
+///
+/// The parsed query is *unbound*; call Query::Bind against a PairSchema
+/// before evaluation.
+Result<Query> ParseQuery(const std::string& text);
+
+/// Parses a bare predicate ("a_isSame = T AND b_compare = SIM" or "true").
+Result<Predicate> ParsePredicate(const std::string& text);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_PXQL_PARSER_H_

@@ -1,0 +1,42 @@
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+Status Query::Bind(const PairSchema& schema) {
+  PX_RETURN_IF_ERROR(despite.Bind(schema));
+  PX_RETURN_IF_ERROR(observed.Bind(schema));
+  PX_RETURN_IF_ERROR(expected.Bind(schema));
+  return Status::OK();
+}
+
+Status Query::Validate() const {
+  if (observed.is_true()) {
+    return Status::InvalidArgument("OBSERVED clause must not be empty");
+  }
+  if (expected.is_true()) {
+    return Status::InvalidArgument("EXPECTED clause must not be empty");
+  }
+  if (!ProvablyDisjoint(observed, expected)) {
+    return Status::FailedPrecondition(
+        "OBSERVED must entail NOT EXPECTED; the clauses '" +
+        observed.ToString() + "' and '" + expected.ToString() +
+        "' are not provably disjoint");
+  }
+  return Status::OK();
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  if (!first_id.empty() || !second_id.empty()) {
+    out += "FOR J1, J2 WHERE J1.id = '" + first_id + "' AND J2.id = '" +
+           second_id + "'\n";
+  }
+  if (!despite.is_true()) {
+    out += "DESPITE " + despite.ToString() + "\n";
+  }
+  out += "OBSERVED " + observed.ToString() + "\n";
+  out += "EXPECTED " + expected.ToString();
+  return out;
+}
+
+}  // namespace perfxplain

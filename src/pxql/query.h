@@ -1,0 +1,37 @@
+#ifndef PERFXPLAIN_PXQL_QUERY_H_
+#define PERFXPLAIN_PXQL_QUERY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "pxql/ast.h"
+
+namespace perfxplain {
+
+/// A PXQL query (Definition 1): a pair of executions of interest and a
+/// triple of predicates (despite, observed, expected) over their pair
+/// features. The despite clause is optional (true when omitted).
+struct Query {
+  /// Ids of the pair of interest (J1, J2) from the FOR ... WHERE clause.
+  /// May be empty when the pair is supplied programmatically.
+  std::string first_id;
+  std::string second_id;
+
+  Predicate despite;   ///< des — why the user is surprised
+  Predicate observed;  ///< obs — what actually happened
+  Predicate expected;  ///< exp — what the user anticipated
+
+  /// Binds all three predicates to `schema`.
+  Status Bind(const PairSchema& schema);
+
+  /// Structural validation per Definition 1: observed and expected must be
+  /// non-empty and provably disjoint (obs entails NOT exp).
+  Status Validate() const;
+
+  /// PXQL text form (FOR clause included only when ids are set).
+  std::string ToString() const;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_PXQL_QUERY_H_

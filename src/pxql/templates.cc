@@ -1,0 +1,75 @@
+#include "pxql/templates.h"
+
+#include "common/logging.h"
+#include "pxql/parser.h"
+
+namespace perfxplain {
+
+namespace {
+
+Query MustParseWithIds(const std::string& text, const std::string& first_id,
+                       const std::string& second_id) {
+  auto query = ParseQuery(text);
+  PX_CHECK(query.ok()) << query.status().ToString();
+  query->first_id = first_id;
+  query->second_id = second_id;
+  return std::move(query).value();
+}
+
+}  // namespace
+
+Query DifferentDurationsExpected(const std::string& first_id,
+                                 const std::string& second_id) {
+  return MustParseWithIds(
+      "OBSERVED duration_compare = SIM EXPECTED duration_compare = GT",
+      first_id, second_id);
+}
+
+Query SameDurationsExpectedButFaster(const std::string& first_id,
+                                     const std::string& second_id) {
+  return MustParseWithIds(
+      "OBSERVED duration_compare = LT EXPECTED duration_compare = SIM",
+      first_id, second_id);
+}
+
+Query SameDurationsExpectedButSlower(const std::string& first_id,
+                                     const std::string& second_id) {
+  return MustParseWithIds(
+      "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM",
+      first_id, second_id);
+}
+
+Query SameDurationDespiteMoreInput(const std::string& first_id,
+                                   const std::string& second_id) {
+  return MustParseWithIds(
+      "DESPITE inputsize_compare = GT "
+      "OBSERVED duration_compare = SIM EXPECTED duration_compare = GT",
+      first_id, second_id);
+}
+
+Query FasterDespiteSameInputAndInstances(const std::string& first_id,
+                                         const std::string& second_id) {
+  return MustParseWithIds(
+      "DESPITE inputsize_compare = SIM AND numinstances_isSame = T "
+      "OBSERVED duration_compare = LT EXPECTED duration_compare = SIM",
+      first_id, second_id);
+}
+
+Query WhyLastTaskFaster(const std::string& first_task_id,
+                        const std::string& second_task_id) {
+  return MustParseWithIds(
+      "DESPITE jobID_isSame = T AND inputsize_compare = SIM AND "
+      "hostname_isSame = T "
+      "OBSERVED duration_compare = LT EXPECTED duration_compare = SIM",
+      first_task_id, second_task_id);
+}
+
+Query WhySlowerDespiteSameNumInstances(const std::string& first_id,
+                                       const std::string& second_id) {
+  return MustParseWithIds(
+      "DESPITE numinstances_isSame = T AND pigscript_isSame = T "
+      "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM",
+      first_id, second_id);
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,51 @@
+#ifndef PERFXPLAIN_PXQL_TEMPLATES_H_
+#define PERFXPLAIN_PXQL_TEMPLATES_H_
+
+#include <string>
+
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Ready-made PXQL queries for the question patterns the paper enumerates
+/// (§2.2, Figure 1, §6.2). Each takes the ids of the pair of interest; the
+/// returned query is unbound (call Query::Bind before use).
+
+/// Example 1 / Figure 1 query 1: "I expected J1 to be much slower than J2
+/// (e.g., it processed more data), but their durations were similar."
+Query DifferentDurationsExpected(const std::string& first_id,
+                                 const std::string& second_id);
+
+/// Example 2 / Figure 1 query 2: "I expected similar durations, but J1 was
+/// much faster."
+Query SameDurationsExpectedButFaster(const std::string& first_id,
+                                     const std::string& second_id);
+
+/// Example 2 variant: "I expected similar durations, but J1 was much
+/// slower."
+Query SameDurationsExpectedButSlower(const std::string& first_id,
+                                     const std::string& second_id);
+
+/// Example 3 / Figure 1 query 3: constrained version — "despite J1 reading
+/// much more input, the durations were similar; I expected J1 slower."
+Query SameDurationDespiteMoreInput(const std::string& first_id,
+                                   const std::string& second_id);
+
+/// Example 4 / Figure 1 query 4: "despite similar input and the same
+/// number of instances, J1 was much faster; I expected similar durations."
+Query FasterDespiteSameInputAndInstances(const std::string& first_id,
+                                         const std::string& second_id);
+
+/// §6.2 evaluation query 1 (task level): why was the last task on this
+/// instance faster, despite same job, same host, similar input?
+Query WhyLastTaskFaster(const std::string& first_task_id,
+                        const std::string& second_task_id);
+
+/// §6.2 evaluation query 2 (job level): why was J1 much slower, despite
+/// the same Pig script on the same number of instances?
+Query WhySlowerDespiteSameNumInstances(const std::string& first_id,
+                                       const std::string& second_id);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_PXQL_TEMPLATES_H_

@@ -1,0 +1,25 @@
+#include "simulator/cluster.h"
+
+#include "common/string_util.h"
+
+namespace perfxplain {
+
+std::vector<InstanceState> MakeInstances(const ClusterConfig& cluster,
+                                         Rng& rng) {
+  std::vector<InstanceState> instances;
+  instances.reserve(static_cast<std::size_t>(cluster.num_instances));
+  for (int i = 0; i < cluster.num_instances; ++i) {
+    InstanceState state;
+    state.speed = rng.ClampedGaussian(1.0, cluster.speed_sigma, 0.8, 1.2);
+    state.background_load =
+        rng.Bernoulli(cluster.background_load_probability);
+    state.hostname = StrFormat("ip-10-0-%d-%d.ec2.internal", i / 250 + 1,
+                               i % 250 + 2);
+    state.tracker_name =
+        StrFormat("tracker_%s:localhost/127.0.0.1", state.hostname.c_str());
+    instances.push_back(std::move(state));
+  }
+  return instances;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,65 @@
+#ifndef PERFXPLAIN_SIMULATOR_CLUSTER_H_
+#define PERFXPLAIN_SIMULATOR_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace perfxplain {
+
+/// Static description of the (simulated) EC2 cluster a job runs on. Matches
+/// the paper's setup: each instance has two cores and can run two concurrent
+/// map and two concurrent reduce tasks (§2.1).
+struct ClusterConfig {
+  int num_instances = 1;
+  int map_slots_per_instance = 2;
+  int reduce_slots_per_instance = 2;
+
+  /// Relative per-instance speed is drawn from N(1, speed_sigma) once per
+  /// job, modeling EC2 hardware heterogeneity and noisy neighbors.
+  double speed_sigma = 0.04;
+
+  /// Per-task slowdown factor when both slots of an instance are busy.
+  /// Two concurrent tasks share memory bandwidth and disk, so each runs
+  /// contention_factor times slower than a task running alone. This is the
+  /// mechanism behind the paper's WhyLastTaskFaster query (§6.2): tasks in
+  /// the final map wave often run alone and finish faster.
+  double contention_factor = 1.5;
+
+  /// Probability that an instance carries unrelated background load for the
+  /// duration of the job (a noisy neighbor), and the extra slowdown it
+  /// imposes on every task of that instance.
+  double background_load_probability = 0.06;
+  double background_load_slowdown = 1.45;
+
+  /// Per-task multiplicative noise (clamped Gaussian around 1.0).
+  double task_noise_sigma = 0.04;
+
+  /// Probability that a task is a straggler, and its slowdown.
+  double straggler_probability = 0.015;
+  double straggler_slowdown = 1.8;
+
+  /// Fixed job overheads: JVM/job setup and per-wave scheduling latency.
+  double job_setup_seconds = 45.0;
+  double per_wave_overhead_seconds = 2.0;
+
+  /// Name used for the cluster_name feature.
+  std::string cluster_name = "ec2-simulated";
+};
+
+/// Per-job randomized state of each instance.
+struct InstanceState {
+  double speed = 1.0;        ///< relative CPU speed multiplier
+  bool background_load = false;
+  std::string hostname;      ///< e.g. "ip-10-0-0-3.ec2.internal"
+  std::string tracker_name;  ///< e.g. "tracker_ip-10-0-0-3:localhost/127.0.0.1"
+};
+
+/// Draws per-instance state (speed, background load, names) for one job.
+std::vector<InstanceState> MakeInstances(const ClusterConfig& cluster,
+                                         Rng& rng);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_SIMULATOR_CLUSTER_H_

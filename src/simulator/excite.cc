@@ -1,0 +1,108 @@
+#include "simulator/excite.h"
+
+#include <cmath>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace perfxplain {
+
+namespace {
+
+const char* const kWords[] = {
+    "weather",  "music",    "lyrics",  "yahoo",   "games",   "maps",
+    "recipes",  "movies",   "news",    "sports",  "stocks",  "travel",
+    "hotels",   "flights",  "jobs",    "cars",    "health",  "pizza",
+    "history",  "science",  "space",   "guitar",  "fishing", "hiking",
+    "college",  "football", "baseball", "chess",  "poetry",  "painting",
+};
+constexpr std::size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string MakeQuery(Rng& rng) {
+  const int words = static_cast<int>(rng.UniformInt(1, 4));
+  std::string query;
+  for (int w = 0; w < words; ++w) {
+    if (w > 0) query += ' ';
+    query += kWords[rng.UniformInt(0, static_cast<std::int64_t>(kNumWords) -
+                                          1)];
+  }
+  return query;
+}
+
+std::string MakeUrlQuery(Rng& rng) {
+  return StrFormat("http://www.site%03d.com/%s",
+                   static_cast<int>(rng.UniformInt(0, 999)),
+                   kWords[rng.UniformInt(0,
+                                         static_cast<std::int64_t>(kNumWords) -
+                                             1)]);
+}
+
+}  // namespace
+
+std::string ExciteRecord::ToLine() const {
+  return user + "\t" + std::to_string(timestamp) + "\t" + query;
+}
+
+bool IsUrlQuery(const std::string& query) {
+  return StartsWith(query, "http://") || StartsWith(query, "https://") ||
+         StartsWith(query, "www.");
+}
+
+std::vector<ExciteRecord> GenerateExciteLog(const ExciteOptions& options,
+                                            Rng& rng) {
+  std::vector<ExciteRecord> records;
+  records.reserve(options.num_records);
+  // Zipf-like user draw via inverse power transform of a uniform variate.
+  const double exponent = options.zipf_exponent;
+  std::uint64_t timestamp = 970916000;  // early-2000s epoch, like Excite
+  for (std::size_t i = 0; i < options.num_records; ++i) {
+    ExciteRecord record;
+    const double u = rng.Uniform();
+    const auto user_rank = static_cast<std::size_t>(
+        static_cast<double>(options.user_pool) *
+        std::pow(u, exponent * 2.0));
+    record.user = StrFormat("user%06zu",
+                            user_rank % std::max<std::size_t>(
+                                            1, options.user_pool));
+    timestamp += static_cast<std::uint64_t>(rng.UniformInt(0, 3));
+    record.timestamp = timestamp;
+    record.query = rng.Bernoulli(options.url_fraction) ? MakeUrlQuery(rng)
+                                                       : MakeQuery(rng);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+ExciteStats MeasureExciteStats(const std::vector<ExciteRecord>& records) {
+  ExciteStats stats;
+  if (records.empty()) return stats;
+  double total_bytes = 0.0;
+  std::size_t urls = 0;
+  std::unordered_set<std::string> users;
+  for (const auto& record : records) {
+    total_bytes += static_cast<double>(record.ToLine().size() + 1);
+    if (IsUrlQuery(record.query)) ++urls;
+    users.insert(record.user);
+  }
+  stats.avg_record_bytes = total_bytes / static_cast<double>(records.size());
+  stats.url_fraction =
+      static_cast<double>(urls) / static_cast<double>(records.size());
+  stats.distinct_user_ratio =
+      static_cast<double>(users.size()) / static_cast<double>(records.size());
+  return stats;
+}
+
+Status WriteExciteLog(const std::vector<ExciteRecord>& records,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const auto& record : records) {
+    out << record.ToLine() << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,62 @@
+#ifndef PERFXPLAIN_SIMULATOR_EXCITE_H_
+#define PERFXPLAIN_SIMULATOR_EXCITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace perfxplain {
+
+/// One line of the (synthetic) Excite search-query log. The paper's input
+/// data is the Pig-tutorial sample of the Excite log — tab-separated
+/// (user, timestamp, query) records — concatenated 30 or 60 times to reach
+/// 1.3 GB / 2.6 GB. We synthesize a log with the same shape: Zipf-skewed
+/// users, unix-ish timestamps, and a fraction of queries that are URLs
+/// (which simple-filter.pig removes).
+struct ExciteRecord {
+  std::string user;
+  std::uint64_t timestamp = 0;
+  std::string query;
+
+  /// Tab-separated rendering, as in the Pig tutorial data.
+  std::string ToLine() const;
+};
+
+/// Aggregate statistics of an Excite-like log; these drive the MapReduce
+/// cost model (selectivities and record widths) without materializing
+/// gigabytes of text.
+struct ExciteStats {
+  double avg_record_bytes = 48.0;    ///< average serialized line length
+  double url_fraction = 0.22;        ///< queries filtered out by simple-filter
+  double distinct_user_ratio = 0.055;///< |users| / |records| at block scale
+};
+
+/// Options for the synthetic generator.
+struct ExciteOptions {
+  std::size_t num_records = 10000;
+  std::size_t user_pool = 600;       ///< number of distinct users to draw from
+  double url_fraction = 0.22;
+  double zipf_exponent = 1.1;        ///< skew of user activity
+};
+
+/// Generates a synthetic Excite-like log.
+std::vector<ExciteRecord> GenerateExciteLog(const ExciteOptions& options,
+                                            Rng& rng);
+
+/// Measures the statistics of a concrete log; used to calibrate the cost
+/// model against whatever the generator produced.
+ExciteStats MeasureExciteStats(const std::vector<ExciteRecord>& records);
+
+/// True when the query string is a URL (the predicate of simple-filter.pig).
+bool IsUrlQuery(const std::string& query);
+
+/// Writes records as a tab-separated file (one per line).
+Status WriteExciteLog(const std::vector<ExciteRecord>& records,
+                      const std::string& path);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_SIMULATOR_EXCITE_H_

@@ -1,0 +1,202 @@
+#include "simulator/ganglia.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "log/catalog.h"
+
+namespace perfxplain {
+
+void GangliaSeries::AddSample(
+    double time, const std::unordered_map<std::string, double>& values) {
+  times_.push_back(time);
+  for (auto& [name, series] : metrics_) {
+    auto it = values.find(name);
+    PX_CHECK(it != values.end()) << "missing metric " << name;
+    series.push_back(it->second);
+  }
+}
+
+double GangliaSeries::WindowAverage(const std::string& metric, double t0,
+                                    double t1) const {
+  auto it = metrics_.find(metric);
+  PX_CHECK(it != metrics_.end()) << "unknown metric " << metric;
+  const std::vector<double>& series = it->second;
+  if (times_.empty()) return 0.0;
+
+  // Samples are appended in time order; find the window with binary search.
+  const auto begin =
+      std::lower_bound(times_.begin(), times_.end(), t0) - times_.begin();
+  const auto end =
+      std::upper_bound(times_.begin(), times_.end(), t1) - times_.begin();
+  if (begin < end) {
+    double sum = 0.0;
+    for (auto i = begin; i < end; ++i) sum += series[static_cast<std::size_t>(i)];
+    return sum / static_cast<double>(end - begin);
+  }
+  // Empty window: fall back to the sample nearest to the window midpoint.
+  const double mid = (t0 + t1) / 2.0;
+  std::size_t best = 0;
+  double best_distance = std::abs(times_[0] - mid);
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    const double d = std::abs(times_[i] - mid);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return series[best];
+}
+
+std::vector<std::string> GangliaSeries::MetricNames() const {
+  std::vector<std::string> names;
+  names.reserve(metrics_.size());
+  for (const auto& [name, series] : metrics_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const std::vector<double>& GangliaSeries::Samples(
+    const std::string& metric) const {
+  auto it = metrics_.find(metric);
+  PX_CHECK(it != metrics_.end()) << "unknown metric " << metric;
+  return it->second;
+}
+
+namespace {
+
+/// Mutable monitor state per instance (EWMA load averages) plus fixed
+/// per-instance measurement biases. Real Ganglia deployments show stable
+/// per-host offsets (daemons, kernel version, other tenants' residue), so
+/// two hosts under identical load report noticeably different absolute
+/// values; without this, monitored metrics would correlate perfectly with
+/// job behavior, which no real cluster exhibits.
+struct InstanceMonitorState {
+  double load_one = 0.1;
+  double load_five = 0.1;
+  double load_fifteen = 0.1;
+  double disk_free = 0.0;
+  double load_bias = 0.0;
+  double proc_base = 84.0;
+  double cpu_bias = 0.0;
+  double mem_bias = 0.0;
+  double net_base = 5e3;
+};
+
+double EwmaStep(double current, double target, double dt, double tau) {
+  const double alpha = 1.0 - std::exp(-dt / tau);
+  return current + (target - current) * alpha;
+}
+
+}  // namespace
+
+std::vector<GangliaSeries> SynthesizeGanglia(
+    const ClusterConfig& cluster, const std::vector<InstanceState>& instances,
+    const std::vector<TaskActivity>& activities, double job_start,
+    double job_end, const GangliaOptions& options, Rng& rng) {
+  const std::vector<std::string>& metric_names = GangliaMetricNames();
+  std::vector<GangliaSeries> result;
+  result.reserve(instances.size());
+
+  // Group activities per instance, sorted by start time.
+  std::vector<std::vector<const TaskActivity*>> per_instance(instances.size());
+  for (const TaskActivity& activity : activities) {
+    PX_CHECK_GE(activity.instance, 0);
+    PX_CHECK_LT(static_cast<std::size_t>(activity.instance),
+                instances.size());
+    per_instance[static_cast<std::size_t>(activity.instance)].push_back(
+        &activity);
+  }
+
+  const double dt = options.sample_interval_seconds;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const InstanceState& instance = instances[i];
+    GangliaSeries series(metric_names, dt);
+    InstanceMonitorState state;
+    state.disk_free = 3.4e11 + rng.Uniform(-1e10, 1e10);
+    state.load_bias = std::abs(rng.Gaussian(0.12, 0.18));
+    state.proc_base = 84.0 + rng.Gaussian(0.0, 6.0);
+    state.cpu_bias = std::abs(rng.Gaussian(2.0, 2.5));
+    state.mem_bias = rng.Gaussian(0.0, 4e8);
+    state.net_base = std::abs(rng.Gaussian(5e3, 2.5e3));
+    const double bg = instance.background_load ? 1.0 : 0.0;
+
+    // Lead-in so the load averages are warm at job start.
+    const double lead_in = 2.0 * options.load_one_tau;
+    for (double t = job_start - lead_in; t <= job_end + dt; t += dt) {
+      // Count running tasks and sum their network rates at time t.
+      double n_active = 0.0;
+      double bytes_in = 0.0;
+      double bytes_out = 0.0;
+      for (const TaskActivity* activity : per_instance[i]) {
+        if (activity->start <= t && t < activity->finish) {
+          n_active += 1.0;
+          bytes_in += activity->bytes_in_rate;
+          bytes_out += activity->bytes_out_rate;
+        }
+      }
+
+      const double proc_target = n_active + 1.2 * bg + state.load_bias;
+      state.load_one = EwmaStep(state.load_one, proc_target, dt,
+                                options.load_one_tau);
+      state.load_five = EwmaStep(state.load_five, proc_target, dt,
+                                 options.load_five_tau);
+      state.load_fifteen = EwmaStep(state.load_fifteen, proc_target, dt,
+                                    options.load_fifteen_tau);
+      state.disk_free -= rng.Uniform(0.0, 5e4);
+
+      if (t < job_start) continue;  // warm-up samples are not recorded
+
+      std::unordered_map<std::string, double> values;
+      const double cpu_user = std::clamp(
+          47.0 * n_active + 26.0 * bg + state.cpu_bias +
+              rng.Gaussian(0.0, 2.2),
+          0.0, 99.0);
+      const double cpu_system =
+          std::max(0.0, 4.0 + 2.5 * n_active + rng.Gaussian(0.0, 0.8));
+      const double cpu_nice = std::abs(rng.Gaussian(0.2, 0.2));
+      const double cpu_wio =
+          std::max(0.0, 2.0 + 3.0 * n_active + rng.Gaussian(0.0, 1.0));
+      values["cpu_user"] = cpu_user;
+      values["cpu_system"] = cpu_system;
+      values["cpu_nice"] = cpu_nice;
+      values["cpu_wio"] = cpu_wio;
+      values["cpu_idle"] =
+          std::max(0.0, 100.0 - cpu_user - cpu_system - cpu_nice - cpu_wio);
+      values["load_one"] =
+          std::max(0.0, state.load_one + rng.Gaussian(0.0, 0.05));
+      values["load_five"] =
+          std::max(0.0, state.load_five + rng.Gaussian(0.0, 0.02));
+      values["load_fifteen"] =
+          std::max(0.0, state.load_fifteen + rng.Gaussian(0.0, 0.01));
+      values["proc_total"] = std::round(
+          state.proc_base + n_active + 13.0 * bg + rng.Gaussian(0.0, 1.5));
+      values["proc_run"] =
+          std::max(0.0, std::round(n_active + bg + rng.Gaussian(0.0, 0.4)));
+      const double in = std::max(
+          0.0, bytes_in + state.net_base + rng.Gaussian(0.0, 2e3));
+      const double out = std::max(
+          0.0, bytes_out + state.net_base + rng.Gaussian(0.0, 2e3));
+      values["bytes_in"] = in;
+      values["bytes_out"] = out;
+      values["pkts_in"] = in / 1200.0 + std::abs(rng.Gaussian(4.0, 2.0));
+      values["pkts_out"] = out / 1200.0 + std::abs(rng.Gaussian(4.0, 2.0));
+      values["mem_free"] = std::max(
+          2e8, 7.2e9 + state.mem_bias - 8.5e8 * n_active - 5e8 * bg +
+                   rng.Gaussian(0.0, 3e7));
+      values["mem_buffers"] = std::max(0.0, 1.1e8 + rng.Gaussian(0.0, 5e6));
+      values["mem_cached"] =
+          std::max(0.0, 2.3e9 + 8e7 * n_active + rng.Gaussian(0.0, 4e7));
+      values["mem_shared"] = std::max(0.0, 3e7 + rng.Gaussian(0.0, 1e6));
+      values["swap_free"] = std::max(0.0, 4.2e9 + rng.Gaussian(0.0, 1e6));
+      values["disk_free"] = state.disk_free;
+      series.AddSample(t, values);
+    }
+    result.push_back(std::move(series));
+  }
+  (void)cluster;
+  return result;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,86 @@
+#ifndef PERFXPLAIN_SIMULATOR_GANGLIA_H_
+#define PERFXPLAIN_SIMULATOR_GANGLIA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "simulator/cluster.h"
+
+namespace perfxplain {
+
+/// Time series of system metrics for one instance, sampled on a fixed
+/// interval — the role Ganglia plays in the paper (§6.1: "PerfXplain runs
+/// Ganglia to measure these metrics on each instance once every five
+/// seconds").
+class GangliaSeries {
+ public:
+  GangliaSeries() = default;
+  GangliaSeries(std::vector<std::string> metric_names, double interval)
+      : interval_(interval) {
+    for (auto& name : metric_names) {
+      metrics_.emplace(std::move(name), std::vector<double>());
+    }
+  }
+
+  double interval() const { return interval_; }
+  const std::vector<double>& times() const { return times_; }
+
+  /// Appends one sample; `values` must contain every metric.
+  void AddSample(double time,
+                 const std::unordered_map<std::string, double>& values);
+
+  /// Average of `metric` over samples falling in [t0, t1]. When the window
+  /// contains no sample (tasks shorter than the sampling interval), the
+  /// nearest sample is used — matching how a real 5-second poller would be
+  /// attributed to a short task.
+  double WindowAverage(const std::string& metric, double t0, double t1) const;
+
+  bool HasMetric(const std::string& metric) const {
+    return metrics_.count(metric) > 0;
+  }
+
+  /// Names of all recorded metrics (sorted).
+  std::vector<std::string> MetricNames() const;
+
+  /// Raw sample values of `metric`, aligned with times(). Dies on unknown
+  /// metrics.
+  const std::vector<double>& Samples(const std::string& metric) const;
+
+ private:
+  double interval_ = 5.0;
+  std::vector<double> times_;
+  std::unordered_map<std::string, std::vector<double>> metrics_;
+};
+
+/// CPU/network activity of one task, as seen by the monitor.
+struct TaskActivity {
+  int instance = 0;
+  double start = 0.0;
+  double finish = 0.0;
+  double bytes_in_rate = 0.0;   ///< network receive while the task runs
+  double bytes_out_rate = 0.0;  ///< network send while the task runs
+};
+
+/// Options of the synthetic monitor.
+struct GangliaOptions {
+  double sample_interval_seconds = 5.0;
+  /// EWMA time constants of the load averages, seconds.
+  double load_one_tau = 60.0;
+  double load_five_tau = 300.0;
+  double load_fifteen_tau = 900.0;
+};
+
+/// Synthesizes per-instance Ganglia series covering [job_start, job_end]
+/// from the tasks' activity intervals. Metrics are driven by the number of
+/// concurrently running tasks on the instance, its background load and the
+/// tasks' network rates, plus sampling noise.
+std::vector<GangliaSeries> SynthesizeGanglia(
+    const ClusterConfig& cluster, const std::vector<InstanceState>& instances,
+    const std::vector<TaskActivity>& activities, double job_start,
+    double job_end, const GangliaOptions& options, Rng& rng);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_SIMULATOR_GANGLIA_H_

@@ -1,0 +1,357 @@
+#include "simulator/mapreduce_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace perfxplain {
+
+namespace {
+
+/// A unit of work to schedule on one phase's slots: `work` is CPU-seconds at
+/// speed 1.0 with no contention.
+struct WorkItem {
+  std::size_t task_index = 0;  ///< index into SimJob::tasks
+  double work = 0.0;
+};
+
+/// Slot-based processor-sharing scheduler for one phase (map or reduce).
+///
+/// Every instance offers `slots_per_instance` slots. Pending items are
+/// assigned FIFO to the earliest freed slot. While `n` tasks are active on
+/// an instance, each progresses at
+///   speed / (contention^(n-1)) / background_slowdown
+/// CPU-seconds per wall-clock second. The function fills in start/finish,
+/// instance, slot and wave_index of the referenced tasks and returns the
+/// phase end time.
+double RunPhase(std::vector<SimTask>& tasks, std::vector<WorkItem> items,
+                const std::vector<InstanceState>& instances,
+                const ClusterConfig& cluster, int slots_per_instance,
+                double phase_start) {
+  struct ActiveTask {
+    std::size_t item = 0;
+    int slot = 0;
+    double remaining = 0.0;
+    bool valid = false;
+  };
+  struct InstanceRun {
+    std::vector<ActiveTask> slots;
+    int active = 0;
+  };
+
+  const std::size_t n_instances = instances.size();
+  std::vector<InstanceRun> runs(n_instances);
+  for (auto& run : runs) {
+    run.slots.resize(static_cast<std::size_t>(slots_per_instance));
+    for (int s = 0; s < slots_per_instance; ++s) {
+      run.slots[static_cast<std::size_t>(s)].slot = s;
+    }
+  }
+
+  const int total_slots = static_cast<int>(n_instances) * slots_per_instance;
+  std::size_t next_item = 0;
+  int assigned = 0;
+
+  auto rate_of = [&](std::size_t instance) {
+    const InstanceRun& run = runs[instance];
+    const InstanceState& state = instances[instance];
+    double rate = state.speed;
+    if (run.active > 1) {
+      rate /= std::pow(cluster.contention_factor,
+                       static_cast<double>(run.active - 1));
+    }
+    if (state.background_load) rate /= cluster.background_load_slowdown;
+    return rate;
+  };
+
+  auto start_task = [&](std::size_t instance, double now) {
+    InstanceRun& run = runs[instance];
+    for (auto& slot : run.slots) {
+      if (slot.valid || next_item >= items.size()) continue;
+      slot.item = next_item;
+      slot.remaining = items[next_item].work;
+      slot.valid = true;
+      ++run.active;
+      SimTask& task = tasks[items[next_item].task_index];
+      task.instance = static_cast<int>(instance);
+      task.slot = slot.slot;
+      task.wave_index = assigned / total_slots;
+      task.start = now;
+      ++next_item;
+      ++assigned;
+      return true;
+    }
+    return false;
+  };
+
+  // Initial fill: round-robin across instances so waves spread evenly.
+  double now = phase_start;
+  bool any = true;
+  while (any && next_item < items.size()) {
+    any = false;
+    for (std::size_t i = 0; i < n_instances && next_item < items.size();
+         ++i) {
+      if (runs[i].active < slots_per_instance) {
+        any = start_task(i, now) || any;
+      }
+    }
+  }
+
+  std::size_t running = next_item;  // number of started-but-unfinished items
+  std::size_t completed = 0;
+  double phase_end = phase_start;
+  (void)running;
+
+  while (completed < items.size()) {
+    // Find the next completion across all instances.
+    double next_event = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n_instances; ++i) {
+      if (runs[i].active == 0) continue;
+      const double rate = rate_of(i);
+      for (const auto& slot : runs[i].slots) {
+        if (!slot.valid) continue;
+        next_event = std::min(next_event, now + slot.remaining / rate);
+      }
+    }
+    PX_CHECK(std::isfinite(next_event)) << "scheduler stalled";
+    const double dt = next_event - now;
+
+    // Advance all active tasks by dt at their instance rate and collect
+    // completions.
+    for (std::size_t i = 0; i < n_instances; ++i) {
+      if (runs[i].active == 0) continue;
+      const double rate = rate_of(i);
+      for (auto& slot : runs[i].slots) {
+        if (!slot.valid) continue;
+        slot.remaining -= dt * rate;
+      }
+    }
+    now = next_event;
+    for (std::size_t i = 0; i < n_instances; ++i) {
+      for (auto& slot : runs[i].slots) {
+        if (!slot.valid || slot.remaining > 1e-9) continue;
+        SimTask& task = tasks[items[slot.item].task_index];
+        task.finish = now;
+        phase_end = std::max(phase_end, now);
+        slot.valid = false;
+        --runs[i].active;
+        ++completed;
+      }
+    }
+    // Refill freed slots.
+    for (std::size_t i = 0; i < n_instances && next_item < items.size();
+         ++i) {
+      while (runs[i].active < static_cast<int>(runs[i].slots.size()) &&
+             next_item < items.size()) {
+        if (!start_task(i, now)) break;
+      }
+    }
+  }
+  return phase_end;
+}
+
+int MergePasses(int segments, int io_sort_factor) {
+  if (segments <= 1) return 0;
+  if (io_sort_factor < 2) return segments;  // degenerate configuration
+  int passes = 0;
+  int remaining = segments;
+  while (remaining > 1) {
+    remaining = (remaining + io_sort_factor - 1) / io_sort_factor;
+    ++passes;
+  }
+  return passes;
+}
+
+}  // namespace
+
+SimJob SimulateJob(const JobConfig& config, const ClusterConfig& cluster,
+                   const ExciteStats& stats, const SimCostModel& costs,
+                   Rng& rng) {
+  SimJob job;
+  job.config = config;
+  ClusterConfig sized = cluster;
+  sized.num_instances = config.num_instances;
+  job.instances = MakeInstances(sized, rng);
+  auto script_or = PigScriptByName(config.pig_script, stats);
+  PX_CHECK(script_or.ok()) << script_or.status().ToString();
+  job.script = std::move(script_or).value();
+
+  job.start_time = config.submit_time;
+  const double map_start = job.start_time + cluster.job_setup_seconds;
+
+  const int n_map = config.NumMapTasks();
+  const int n_reduce = config.NumReduceTasks();
+  const double bytes_per_record = stats.avg_record_bytes;
+
+  // ---- Map tasks ----
+  std::vector<WorkItem> map_items;
+  map_items.reserve(static_cast<std::size_t>(n_map));
+  double remaining_input = config.input_size_bytes;
+  for (int m = 0; m < n_map; ++m) {
+    SimTask task;
+    task.task_id = StrFormat("%s_m_%06d", config.job_id.c_str(), m);
+    task.type = TaskType::kMap;
+    task.input_bytes = std::min(config.block_size_bytes, remaining_input);
+    remaining_input -= task.input_bytes;
+    task.input_records = task.input_bytes / bytes_per_record;
+    task.output_bytes = task.input_bytes * job.script.map_output_ratio;
+    task.output_records =
+        task.input_records * job.script.map_output_record_ratio;
+    task.spilled_records = task.output_records;
+    // Some map input is read from a remote datanode.
+    task.bytes_in_rate = 0.0;  // filled in below once duration is known
+    job.tasks.push_back(std::move(task));
+
+    const double input_mb = job.tasks.back().input_bytes / (1024.0 * 1024.0);
+    double work = costs.task_startup_seconds +
+                  input_mb * job.script.map_cpu_sec_per_mb;
+    work *= rng.ClampedGaussian(1.0, cluster.task_noise_sigma, 0.8, 1.3);
+    if (rng.Bernoulli(cluster.straggler_probability)) {
+      work *= cluster.straggler_slowdown;
+    }
+    map_items.push_back({job.tasks.size() - 1, work});
+  }
+  const int map_waves =
+      (n_map + cluster.map_slots_per_instance * config.num_instances - 1) /
+      (cluster.map_slots_per_instance * config.num_instances);
+  const double map_end =
+      RunPhase(job.tasks, std::move(map_items), job.instances, cluster,
+               cluster.map_slots_per_instance,
+               map_start + cluster.per_wave_overhead_seconds *
+                               static_cast<double>(map_waves > 0 ? 1 : 0));
+
+  double total_map_output_bytes = 0.0;
+  double total_map_output_records = 0.0;
+  for (const SimTask& task : job.tasks) {
+    total_map_output_bytes += task.output_bytes;
+    total_map_output_records += task.output_records;
+  }
+
+  // ---- Reduce tasks ----
+  const double reduce_start = map_end + 2.0;
+  std::vector<WorkItem> reduce_items;
+  reduce_items.reserve(static_cast<std::size_t>(n_reduce));
+  // Shuffle shares with mild skew, normalized to the total map output.
+  std::vector<double> shares(static_cast<std::size_t>(n_reduce));
+  double share_sum = 0.0;
+  for (double& share : shares) {
+    share = rng.ClampedGaussian(1.0, costs.reduce_skew_sigma, 0.6, 1.6);
+    if (costs.key_skew_lognormal_sigma > 0.0 && job.script.uses_combiner) {
+      // Hot grouping keys concentrate shuffle volume on some reducers.
+      share *= std::exp(rng.Gaussian(0.0, costs.key_skew_lognormal_sigma));
+    }
+    share_sum += share;
+  }
+  const int segments = n_map;
+  const int passes = MergePasses(segments, config.io_sort_factor);
+  for (int r = 0; r < n_reduce; ++r) {
+    SimTask task;
+    task.task_id = StrFormat("%s_r_%06d", config.job_id.c_str(), r);
+    task.type = TaskType::kReduce;
+    const double fraction = shares[static_cast<std::size_t>(r)] / share_sum;
+    task.input_bytes = total_map_output_bytes * fraction;
+    task.input_records = total_map_output_records * fraction;
+    task.output_bytes = task.input_bytes * job.script.reduce_output_ratio;
+    task.output_records =
+        task.input_records * job.script.reduce_output_record_ratio;
+    const double input_mb = task.input_bytes / (1024.0 * 1024.0);
+    const double shuffle_sec =
+        task.input_bytes / costs.shuffle_bandwidth_bytes_per_sec;
+    const double sort_sec = static_cast<double>(passes) * task.input_bytes /
+                            costs.merge_bandwidth_bytes_per_sec;
+    const double compute_sec = input_mb * job.script.reduce_cpu_sec_per_mb;
+    task.shuffle_seconds = shuffle_sec;
+    task.sort_seconds = sort_sec;
+    task.spilled_records =
+        task.input_records * static_cast<double>(std::max(1, passes));
+    job.tasks.push_back(std::move(task));
+
+    double work = costs.task_startup_seconds + shuffle_sec + sort_sec +
+                  compute_sec;
+    work *= rng.ClampedGaussian(1.0, cluster.task_noise_sigma, 0.8, 1.3);
+    if (rng.Bernoulli(cluster.straggler_probability)) {
+      work *= cluster.straggler_slowdown;
+    }
+    reduce_items.push_back({job.tasks.size() - 1, work});
+  }
+  double reduce_end =
+      RunPhase(job.tasks, std::move(reduce_items), job.instances, cluster,
+               cluster.reduce_slots_per_instance, reduce_start);
+
+  if (costs.speculative_execution) {
+    // Cap stragglers at threshold * median of their phase: the backup
+    // attempt (launched when the original exceeds the threshold) wins.
+    for (TaskType type : {TaskType::kMap, TaskType::kReduce}) {
+      std::vector<double> durations;
+      for (const SimTask& task : job.tasks) {
+        if (task.type == type) durations.push_back(task.duration());
+      }
+      if (durations.size() < 2) continue;
+      const double median = Percentile(durations, 0.5);
+      const double cap = costs.speculative_slowdown_threshold * median +
+                         costs.task_startup_seconds;
+      for (SimTask& task : job.tasks) {
+        if (task.type == type && task.duration() > cap) {
+          task.finish = task.start + cap;
+        }
+      }
+    }
+    reduce_end = 0.0;
+    for (const SimTask& task : job.tasks) {
+      reduce_end = std::max(reduce_end, task.finish);
+    }
+  }
+
+  job.finish_time = reduce_end + 1.0;
+
+  // ---- Post-pass: network rates, GC, shuffle/sort scaling ----
+  for (SimTask& task : job.tasks) {
+    const double duration = std::max(1e-3, task.duration());
+    if (task.type == TaskType::kMap) {
+      task.bytes_in_rate =
+          costs.remote_read_fraction * task.input_bytes / duration;
+      task.bytes_out_rate = 0.15 * task.output_bytes / duration;
+    } else {
+      task.bytes_in_rate = task.input_bytes / duration;
+      task.bytes_out_rate = 0.2 * task.output_bytes / duration;
+      // Report shuffle/sort in wall-clock terms, stretched by contention.
+      const double base = task.shuffle_seconds + task.sort_seconds;
+      if (base > 0.0) {
+        const double scale =
+            std::min(duration / base, cluster.contention_factor *
+                                          cluster.background_load_slowdown);
+        task.shuffle_seconds *= scale;
+        task.sort_seconds *= scale;
+      }
+    }
+    // GC pressure scales with the data volume the JVM churns through, not
+    // with wall-clock time (a contended task is slower but allocates the
+    // same amount).
+    const double input_mb = task.input_bytes / (1024.0 * 1024.0);
+    task.gc_millis = std::max(
+        0.0, input_mb * rng.ClampedGaussian(9.0, 2.5, 1.0, 25.0));
+  }
+
+  // ---- Ganglia monitoring ----
+  std::vector<TaskActivity> activities;
+  activities.reserve(job.tasks.size());
+  for (const SimTask& task : job.tasks) {
+    TaskActivity activity;
+    activity.instance = task.instance;
+    activity.start = task.start;
+    activity.finish = task.finish;
+    activity.bytes_in_rate = task.bytes_in_rate;
+    activity.bytes_out_rate = task.bytes_out_rate;
+    activities.push_back(activity);
+  }
+  GangliaOptions ganglia_options;
+  job.ganglia =
+      SynthesizeGanglia(sized, job.instances, activities, job.start_time,
+                        job.finish_time, ganglia_options, rng);
+  return job;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,108 @@
+#ifndef PERFXPLAIN_SIMULATOR_MAPREDUCE_SIM_H_
+#define PERFXPLAIN_SIMULATOR_MAPREDUCE_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "simulator/cluster.h"
+#include "simulator/excite.h"
+#include "simulator/ganglia.h"
+#include "simulator/workload.h"
+
+namespace perfxplain {
+
+/// Kind of a simulated task.
+enum class TaskType { kMap, kReduce };
+
+/// One simulated MapReduce task with the fields that Hadoop's logs expose
+/// (the paper extracts hdfs_bytes_written, sorttime, shuffletime,
+/// taskfinishtime, tracker_name, ... from the MapReduce log files, §6.1).
+struct SimTask {
+  std::string task_id;
+  TaskType type = TaskType::kMap;
+  int instance = 0;    ///< index into SimJob::instances
+  int slot = 0;        ///< slot on that instance
+  int wave_index = 0;  ///< scheduling wave (assignment order / total slots)
+  double start = 0.0;  ///< cluster-clock seconds
+  double finish = 0.0;
+
+  double input_bytes = 0.0;
+  double output_bytes = 0.0;
+  double input_records = 0.0;
+  double output_records = 0.0;
+  double shuffle_seconds = 0.0;  ///< reduce tasks only
+  double sort_seconds = 0.0;     ///< reduce tasks only
+  double spilled_records = 0.0;
+  double gc_millis = 0.0;
+
+  /// Average network rates while running, for the Ganglia synthesizer.
+  double bytes_in_rate = 0.0;
+  double bytes_out_rate = 0.0;
+
+  double duration() const { return finish - start; }
+};
+
+/// Complete result of simulating one job: its tasks, the per-instance
+/// state, and the Ganglia series recorded while it ran.
+struct SimJob {
+  JobConfig config;
+  PigScriptSpec script;
+  double start_time = 0.0;
+  double finish_time = 0.0;
+  std::vector<SimTask> tasks;
+  std::vector<InstanceState> instances;
+  std::vector<GangliaSeries> ganglia;
+
+  double duration() const { return finish_time - start_time; }
+};
+
+/// Cost-model constants that are not per-script (I/O bandwidths etc.).
+struct SimCostModel {
+  double shuffle_bandwidth_bytes_per_sec = 24.0 * 1024 * 1024;
+  double merge_bandwidth_bytes_per_sec = 90.0 * 1024 * 1024;
+  /// Fraction of map input read over the network (non-local map tasks).
+  double remote_read_fraction = 0.3;
+  /// Multiplicative skew noise on the per-reduce-task shuffle share.
+  double reduce_skew_sigma = 0.07;
+  /// Fixed per-task startup cost (JVM reuse disabled), seconds.
+  double task_startup_seconds = 1.5;
+
+  /// Additional *key* skew for scripts that group by a key (the paper's §2
+  /// names the distribution of values in the input as a classic cause of
+  /// imbalance between tasks): each reduce task's shuffle share is further
+  /// multiplied by exp(N(0, sigma)), so a hot key (e.g., a very active
+  /// user in simple-groupby.pig) lands one heavy reducer. 0 disables.
+  double key_skew_lognormal_sigma = 0.0;
+
+  /// Hadoop-style speculative execution: once a task runs longer than
+  /// `speculative_slowdown_threshold` times the median duration of its
+  /// phase, a backup attempt is launched on a free slot and the task
+  /// finishes at the earlier of the two attempts. Modeled as capping the
+  /// straggler's duration at threshold * median + the backup's startup
+  /// cost. Disabled by default (the paper's clusters ran without it).
+  bool speculative_execution = false;
+  double speculative_slowdown_threshold = 1.7;
+};
+
+/// Simulates one MapReduce job on the given cluster. Deterministic given
+/// the Rng state. The mechanisms the paper's two case studies rely on are
+/// modeled faithfully:
+///  - map tasks are scheduled in waves onto 2 map slots per instance; two
+///    concurrent tasks on an instance each run `contention_factor` slower
+///    than a task running alone, so last-wave tasks that run alone finish
+///    faster (WhyLastTaskFaster);
+///  - the number of map tasks is ceil(input/blocksize): with a large block
+///    size and enough instances, every block is processed in a single wave
+///    and the job's runtime is roughly the per-block time regardless of the
+///    input size (the §2.1 motivating scenario);
+///  - reduce tasks pay a shuffle cost proportional to their share of the
+///    map output, and a merge-sort cost whose number of passes depends on
+///    io.sort.factor.
+SimJob SimulateJob(const JobConfig& config, const ClusterConfig& cluster,
+                   const ExciteStats& stats, const SimCostModel& costs,
+                   Rng& rng);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_SIMULATOR_MAPREDUCE_SIM_H_

@@ -1,0 +1,227 @@
+#include "simulator/trace_generator.h"
+
+#include <cmath>
+
+#include "log/catalog.h"
+
+namespace perfxplain {
+
+namespace {
+
+/// Helper that fills a record's values by feature name, then checks that no
+/// feature was left unset (catching schema/catalogue drift at build time).
+class RecordBuilder {
+ public:
+  explicit RecordBuilder(const Schema& schema)
+      : schema_(schema), values_(schema.size()), set_(schema.size(), false) {}
+
+  void Set(const std::string& name, Value value) {
+    const std::size_t i = schema_.IndexOf(name);
+    PX_CHECK_NE(i, Schema::kNotFound) << "unknown feature " << name;
+    PX_CHECK(!set_[i]) << "feature set twice: " << name;
+    values_[i] = std::move(value);
+    set_[i] = true;
+  }
+  void SetNumber(const std::string& name, double v) {
+    Set(name, Value::Number(v));
+  }
+  void SetNominal(const std::string& name, std::string v) {
+    Set(name, Value::Nominal(std::move(v)));
+  }
+
+  ExecutionRecord Finish(std::string id) {
+    for (std::size_t i = 0; i < set_.size(); ++i) {
+      PX_CHECK(set_[i]) << "feature never set: " << schema_.at(i).name;
+    }
+    return ExecutionRecord(std::move(id), std::move(values_));
+  }
+
+ private:
+  const Schema& schema_;
+  std::vector<Value> values_;
+  std::vector<bool> set_;
+};
+
+/// Average of a Ganglia metric over a task's window on its instance.
+double TaskMetric(const SimJob& job, const SimTask& task,
+                  const std::string& metric) {
+  const auto instance = static_cast<std::size_t>(task.instance);
+  PX_CHECK_LT(instance, job.ganglia.size());
+  return job.ganglia[instance].WindowAverage(metric, task.start, task.finish);
+}
+
+}  // namespace
+
+ExecutionRecord TaskToRecord(const Schema& schema, const SimJob& job,
+                             const SimTask& task, double epoch_offset) {
+  RecordBuilder builder(schema);
+  const bool is_map = task.type == TaskType::kMap;
+  const auto instance = static_cast<std::size_t>(task.instance);
+  const InstanceState& state = job.instances[instance];
+
+  builder.SetNominal(feature_names::kJobId, job.config.job_id);
+  builder.SetNominal(feature_names::kTaskType, is_map ? "map" : "reduce");
+  builder.SetNominal(feature_names::kTrackerName, state.tracker_name);
+  builder.SetNominal(feature_names::kHostname, state.hostname);
+
+  builder.SetNumber(feature_names::kNumInstances, job.config.num_instances);
+  builder.SetNumber(feature_names::kBlockSize, job.config.block_size_bytes);
+  builder.SetNumber(feature_names::kReduceTasksFactor,
+                    job.config.reduce_tasks_factor);
+  builder.SetNumber(feature_names::kNumReduceTasks,
+                    job.config.NumReduceTasks());
+  builder.SetNumber(feature_names::kNumMapTasks, job.config.NumMapTasks());
+  builder.SetNumber(feature_names::kIoSortFactor, job.config.io_sort_factor);
+  builder.SetNominal(feature_names::kPigScript, job.config.pig_script);
+  builder.SetNumber("job_inputsize", job.config.input_size_bytes);
+
+  builder.SetNumber(feature_names::kInputSize, task.input_bytes);
+  builder.SetNumber("map_input_bytes", is_map ? task.input_bytes : 0.0);
+  builder.SetNumber("map_output_bytes", is_map ? task.output_bytes : 0.0);
+  builder.SetNumber("map_input_records", is_map ? task.input_records : 0.0);
+  builder.SetNumber("map_output_records", is_map ? task.output_records : 0.0);
+  builder.SetNumber("reduce_input_bytes", is_map ? 0.0 : task.input_bytes);
+  builder.SetNumber("reduce_output_bytes", is_map ? 0.0 : task.output_bytes);
+  builder.SetNumber("hdfs_bytes_read", is_map ? task.input_bytes : 0.0);
+  builder.SetNumber("hdfs_bytes_written", is_map ? 0.0 : task.output_bytes);
+  builder.SetNumber("file_bytes_read", is_map ? 0.0 : task.input_bytes);
+  builder.SetNumber("file_bytes_written",
+                    is_map ? task.output_bytes
+                           : task.input_bytes *
+                                 std::max(1.0, task.sort_seconds > 0 ? 2.0
+                                                                     : 1.0));
+  builder.SetNumber("spilled_records", task.spilled_records);
+  builder.SetNumber("combine_input_records",
+                    is_map && job.script.uses_combiner ? task.input_records
+                                                       : 0.0);
+  builder.SetNumber("combine_output_records",
+                    is_map && job.script.uses_combiner ? task.output_records
+                                                       : 0.0);
+  builder.SetNumber("gc_time_millis", task.gc_millis);
+
+  builder.SetNumber("starttime", epoch_offset + task.start);
+  builder.SetNumber("taskfinishtime", epoch_offset + task.finish);
+  builder.SetNumber("sorttime", task.sort_seconds);
+  builder.SetNumber("shuffletime", task.shuffle_seconds);
+  builder.SetNumber("wave_index", task.wave_index);
+  builder.SetNumber("slot_index", task.slot);
+
+  for (const std::string& metric : GangliaMetricNames()) {
+    builder.SetNumber("avg_" + metric, TaskMetric(job, task, metric));
+  }
+
+  builder.SetNumber(feature_names::kDuration, task.duration());
+  return builder.Finish(task.task_id);
+}
+
+ExecutionRecord JobToRecord(const Schema& schema, const SimJob& job,
+                            double epoch_offset) {
+  RecordBuilder builder(schema);
+  builder.SetNumber(feature_names::kNumInstances, job.config.num_instances);
+  builder.SetNumber(feature_names::kInputSize, job.config.input_size_bytes);
+  builder.SetNumber(feature_names::kBlockSize, job.config.block_size_bytes);
+  builder.SetNumber(feature_names::kReduceTasksFactor,
+                    job.config.reduce_tasks_factor);
+  builder.SetNumber(feature_names::kNumReduceTasks,
+                    job.config.NumReduceTasks());
+  builder.SetNumber(feature_names::kNumMapTasks, job.config.NumMapTasks());
+  builder.SetNumber(feature_names::kIoSortFactor, job.config.io_sort_factor);
+  builder.SetNominal(feature_names::kPigScript, job.config.pig_script);
+
+  double input_records = 0.0;
+  double map_out_records = 0.0;
+  double reduce_in_records = 0.0;
+  double reduce_out_records = 0.0;
+  double hdfs_read = 0.0;
+  double hdfs_written = 0.0;
+  double file_read = 0.0;
+  double file_written = 0.0;
+  double sort_sum = 0.0;
+  double shuffle_sum = 0.0;
+  std::size_t n_reduce = 0;
+  for (const SimTask& task : job.tasks) {
+    if (task.type == TaskType::kMap) {
+      input_records += task.input_records;
+      map_out_records += task.output_records;
+      hdfs_read += task.input_bytes;
+      file_written += task.output_bytes;
+    } else {
+      reduce_in_records += task.input_records;
+      reduce_out_records += task.output_records;
+      hdfs_written += task.output_bytes;
+      file_read += task.input_bytes;
+      sort_sum += task.sort_seconds;
+      shuffle_sum += task.shuffle_seconds;
+      ++n_reduce;
+    }
+  }
+  builder.SetNumber("input_records", input_records);
+  builder.SetNominal("input_file", job.config.input_file);
+  builder.SetNumber("hdfs_bytes_read", hdfs_read);
+  builder.SetNumber("hdfs_bytes_written", hdfs_written);
+  builder.SetNumber("file_bytes_read", file_read);
+  builder.SetNumber("file_bytes_written", file_written);
+  builder.SetNumber("map_input_records", input_records);
+  builder.SetNumber("map_output_records", map_out_records);
+  builder.SetNumber("reduce_input_records", reduce_in_records);
+  builder.SetNumber("reduce_output_records", reduce_out_records);
+  builder.SetNumber("start_time", epoch_offset + job.start_time);
+  builder.SetNumber("avg_task_sorttime",
+                    n_reduce == 0 ? 0.0
+                                  : sort_sum / static_cast<double>(n_reduce));
+  builder.SetNumber("avg_task_shuffletime",
+                    n_reduce == 0
+                        ? 0.0
+                        : shuffle_sum / static_cast<double>(n_reduce));
+  builder.SetNominal("cluster_name", "ec2-simulated");
+
+  // Ganglia averages percolate up: per metric, the mean of the per-task
+  // window averages (§6.1).
+  for (const std::string& metric : GangliaMetricNames()) {
+    double sum = 0.0;
+    for (const SimTask& task : job.tasks) {
+      sum += TaskMetric(job, task, metric);
+    }
+    builder.SetNumber("avg_" + metric,
+                      job.tasks.empty()
+                          ? 0.0
+                          : sum / static_cast<double>(job.tasks.size()));
+  }
+
+  builder.SetNumber(feature_names::kDuration, job.duration());
+  return builder.Finish(job.config.job_id);
+}
+
+Trace GenerateTrace(const TraceOptions& options) {
+  Rng rng(options.seed);
+  Trace trace;
+  trace.job_log = ExecutionLog(MakeJobSchema());
+  trace.task_log = ExecutionLog(MakeTaskSchema());
+
+  const std::vector<ExciteRecord> sample =
+      GenerateExciteLog(options.excite, rng);
+  trace.stats = MeasureExciteStats(sample);
+
+  std::vector<JobConfig> jobs =
+      options.jobs.empty() ? MakeTable2Grid() : options.jobs;
+  double clock = 0.0;
+  for (JobConfig& config : jobs) {
+    config.submit_time = clock;
+    const SimJob job = SimulateJob(config, options.cluster, trace.stats,
+                                   options.costs, rng);
+    PX_CHECK(trace.job_log
+                 .Add(JobToRecord(trace.job_log.schema(), job,
+                                  options.epoch_offset))
+                 .ok());
+    for (const SimTask& task : job.tasks) {
+      PX_CHECK(trace.task_log
+                   .Add(TaskToRecord(trace.task_log.schema(), job, task,
+                                     options.epoch_offset))
+                   .ok());
+    }
+    clock = job.finish_time + rng.Exponential(options.inter_job_gap_seconds);
+  }
+  return trace;
+}
+
+}  // namespace perfxplain

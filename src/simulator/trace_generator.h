@@ -1,0 +1,52 @@
+#ifndef PERFXPLAIN_SIMULATOR_TRACE_GENERATOR_H_
+#define PERFXPLAIN_SIMULATOR_TRACE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "log/execution_log.h"
+#include "simulator/excite.h"
+#include "simulator/mapreduce_sim.h"
+#include "simulator/workload.h"
+
+namespace perfxplain {
+
+/// Options for generating a full experimental trace (the synthetic
+/// counterpart of the paper's EC2 log, §6.1).
+struct TraceOptions {
+  ClusterConfig cluster;
+  SimCostModel costs;
+  ExciteOptions excite;
+  /// Jobs to run; empty means the full Table 2 grid (540 jobs).
+  std::vector<JobConfig> jobs;
+  /// Mean idle gap between consecutive job submissions, seconds.
+  double inter_job_gap_seconds = 45.0;
+  /// Epoch offset of the cluster clock (start_time feature values).
+  double epoch_offset = 1323150000.0;
+  std::uint64_t seed = 42;
+};
+
+/// A generated trace: the job-level and task-level execution logs plus the
+/// input-data statistics the cost model was calibrated with.
+struct Trace {
+  ExecutionLog job_log;   ///< schema = MakeJobSchema()
+  ExecutionLog task_log;  ///< schema = MakeTaskSchema()
+  ExciteStats stats;
+};
+
+/// Runs every configured job through the simulator and converts the results
+/// into execution logs with the catalogue schemas. Deterministic in
+/// `options.seed`.
+Trace GenerateTrace(const TraceOptions& options);
+
+/// Converts one simulated job into a job-level record (catalogue schema).
+ExecutionRecord JobToRecord(const Schema& schema, const SimJob& job,
+                            double epoch_offset);
+
+/// Converts one simulated task into a task-level record.
+ExecutionRecord TaskToRecord(const Schema& schema, const SimJob& job,
+                             const SimTask& task, double epoch_offset);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_SIMULATOR_TRACE_GENERATOR_H_

@@ -1,0 +1,95 @@
+#include "simulator/workload.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace perfxplain {
+
+PigScriptSpec MakeSimpleFilterSpec(const ExciteStats& stats) {
+  PigScriptSpec spec;
+  spec.name = "simple-filter.pig";
+  // Load + string test per record; cheap map.
+  spec.map_cpu_sec_per_mb = 0.42;
+  // Non-URL queries survive the filter.
+  spec.map_output_ratio = 1.0 - stats.url_fraction;
+  spec.map_output_record_ratio = 1.0 - stats.url_fraction;
+  // Identity reduce (store).
+  spec.reduce_cpu_sec_per_mb = 0.04;
+  spec.reduce_output_ratio = 1.0;
+  spec.reduce_output_record_ratio = 1.0;
+  spec.uses_combiner = false;
+  return spec;
+}
+
+PigScriptSpec MakeSimpleGroupBySpec(const ExciteStats& stats) {
+  PigScriptSpec spec;
+  spec.name = "simple-groupby.pig";
+  // Grouping map is a bit heavier (hashing, combiner).
+  spec.map_cpu_sec_per_mb = 0.55;
+  // The combiner collapses each block to (user, partial-count) pairs. A
+  // partial-count pair is ~20 bytes versus ~48-byte input lines; the number
+  // of distinct users per block bounds the output.
+  const double pair_bytes = 20.0;
+  spec.map_output_ratio =
+      stats.distinct_user_ratio * pair_bytes / stats.avg_record_bytes;
+  spec.map_output_record_ratio = stats.distinct_user_ratio;
+  // Reduce sums partial counts; CPU per shuffled MB is higher than a pure
+  // pass-through because of aggregation and final store.
+  spec.reduce_cpu_sec_per_mb = 0.30;
+  spec.reduce_output_ratio = 0.9;
+  spec.reduce_output_record_ratio = 0.5;
+  spec.uses_combiner = true;
+  return spec;
+}
+
+Result<PigScriptSpec> PigScriptByName(const std::string& name,
+                                      const ExciteStats& stats) {
+  if (name == "simple-filter.pig") return MakeSimpleFilterSpec(stats);
+  if (name == "simple-groupby.pig") return MakeSimpleGroupBySpec(stats);
+  return Status::NotFound("unknown pig script: " + name);
+}
+
+int JobConfig::NumMapTasks() const {
+  if (block_size_bytes <= 0.0) return 1;
+  return std::max(
+      1, static_cast<int>(std::ceil(input_size_bytes / block_size_bytes)));
+}
+
+int JobConfig::NumReduceTasks() const {
+  return std::max(
+      1, static_cast<int>(std::lround(reduce_tasks_factor *
+                                      static_cast<double>(num_instances))));
+}
+
+std::vector<JobConfig> MakeTable2Grid(int start_id) {
+  const Table2Parameters params;
+  std::vector<JobConfig> grid;
+  int id = start_id;
+  for (int instances : params.num_instances) {
+    for (double input_gb : params.input_sizes_gb) {
+      for (double block_mb : params.block_sizes_mb) {
+        for (double factor : params.reduce_tasks_factors) {
+          for (int io_sort : params.io_sort_factors) {
+            for (const std::string& script : params.pig_scripts) {
+              JobConfig config;
+              config.job_id = StrFormat("job_%06d", id++);
+              config.num_instances = instances;
+              config.input_size_bytes = input_gb * 1024 * 1024 * 1024;
+              config.block_size_bytes = block_mb * 1024 * 1024;
+              config.reduce_tasks_factor = factor;
+              config.io_sort_factor = io_sort;
+              config.pig_script = script;
+              config.input_file =
+                  input_gb < 2.0 ? "excite.log.x30" : "excite.log.x60";
+              grid.push_back(std::move(config));
+            }
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace perfxplain

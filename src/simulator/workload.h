@@ -1,0 +1,88 @@
+#ifndef PERFXPLAIN_SIMULATOR_WORKLOAD_H_
+#define PERFXPLAIN_SIMULATOR_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simulator/excite.h"
+
+namespace perfxplain {
+
+/// Cost model of one Pig script compiled to a single MapReduce job.
+/// Calibrated so that one 64 MB block takes tens of seconds to map on one
+/// core — the regime of the paper's EC2 measurements.
+struct PigScriptSpec {
+  std::string name;
+
+  /// CPU seconds per input MB in the map function, at instance speed 1.0
+  /// with no contention.
+  double map_cpu_sec_per_mb = 0.45;
+
+  /// map output bytes / map input bytes (after filter/combiner).
+  double map_output_ratio = 0.7;
+  /// map output records / map input records.
+  double map_output_record_ratio = 0.7;
+
+  /// CPU seconds per shuffled MB in the reduce function.
+  double reduce_cpu_sec_per_mb = 0.05;
+
+  /// reduce output bytes / reduce input bytes.
+  double reduce_output_ratio = 1.0;
+  /// reduce output records / reduce input records.
+  double reduce_output_record_ratio = 1.0;
+
+  /// Whether the map side runs a combiner (affects spill accounting).
+  bool uses_combiner = false;
+};
+
+/// The two scripts from the paper's evaluation (Table 2):
+/// simple-filter.pig drops URL queries; simple-groupby.pig counts queries
+/// per user. Selectivities are derived from `stats` so the cost model
+/// reflects the actual (synthetic) input data.
+PigScriptSpec MakeSimpleFilterSpec(const ExciteStats& stats);
+PigScriptSpec MakeSimpleGroupBySpec(const ExciteStats& stats);
+
+/// Looks up a script spec by name ("simple-filter.pig" /
+/// "simple-groupby.pig").
+Result<PigScriptSpec> PigScriptByName(const std::string& name,
+                                      const ExciteStats& stats);
+
+/// Configuration of one MapReduce job execution — the knobs varied in
+/// Table 2 of the paper.
+struct JobConfig {
+  std::string job_id;
+  int num_instances = 1;
+  double input_size_bytes = 1.3 * 1024 * 1024 * 1024;
+  double block_size_bytes = 64.0 * 1024 * 1024;
+  double reduce_tasks_factor = 1.0;
+  int io_sort_factor = 10;
+  std::string pig_script = "simple-filter.pig";
+  std::string input_file = "excite.log.x30";
+  double submit_time = 0.0;  ///< cluster-clock seconds at submission
+
+  /// Number of map tasks: ceil(input size / block size), at least 1 (§6.1).
+  int NumMapTasks() const;
+  /// Number of reduce tasks: round(factor * instances), at least 1 (§6.1:
+  /// 8 instances at factor 1.5 -> 12 reduce tasks).
+  int NumReduceTasks() const;
+};
+
+/// The full Table 2 parameter grid (5*2*3*3*3*2 = 540 configurations).
+/// `start_id` numbers the generated job ids ("job_000123").
+std::vector<JobConfig> MakeTable2Grid(int start_id = 0);
+
+/// The distinct values of each Table 2 parameter, for reporting.
+struct Table2Parameters {
+  std::vector<int> num_instances = {1, 2, 4, 8, 16};
+  std::vector<double> input_sizes_gb = {1.3, 2.6};
+  std::vector<double> block_sizes_mb = {64, 256, 1024};
+  std::vector<double> reduce_tasks_factors = {1.0, 1.5, 2.0};
+  std::vector<int> io_sort_factors = {10, 50, 100};
+  std::vector<std::string> pig_scripts = {"simple-filter.pig",
+                                          "simple-groupby.pig"};
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_SIMULATOR_WORKLOAD_H_

@@ -1,0 +1,110 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+
+namespace perfxplain {
+namespace {
+
+TEST(CsvRowTest, EncodePlain) {
+  EXPECT_EQ(CsvEncodeRow({"a", "b", "c"}), "a,b,c");
+  EXPECT_EQ(CsvEncodeRow({""}), "");
+  EXPECT_EQ(CsvEncodeRow({"", ""}), ",");
+}
+
+TEST(CsvRowTest, EncodeQuotesWhenNeeded) {
+  EXPECT_EQ(CsvEncodeRow({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(CsvEncodeRow({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEncodeRow({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(CsvRowTest, ParsePlain) {
+  auto row = CsvParseRow("a,b,c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvRowTest, ParseQuoted) {
+  auto row = CsvParseRow("\"a,b\",\"say \"\"hi\"\"\",plain");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(),
+            (std::vector<std::string>{"a,b", "say \"hi\"", "plain"}));
+}
+
+TEST(CsvRowTest, ParseToleratesCarriageReturn) {
+  auto row = CsvParseRow("a,b\r");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvRowTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(CsvParseRow("\"oops").ok());
+}
+
+TEST(CsvRowTest, RoundTripRandomFields) {
+  Rng rng(7);
+  const std::string alphabet = "ab,\"x \n_0";
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::string> fields;
+    const int n = static_cast<int>(rng.UniformInt(1, 6));
+    for (int i = 0; i < n; ++i) {
+      std::string field;
+      const int len = static_cast<int>(rng.UniformInt(0, 12));
+      for (int c = 0; c < len; ++c) {
+        char ch = alphabet[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+        if (ch == '\n') ch = '_';  // physical-line parser; no embedded \n
+        field += ch;
+      }
+      fields.push_back(std::move(field));
+    }
+    auto parsed = CsvParseRow(CsvEncodeRow(fields));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), fields) << "trial " << trial;
+  }
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("px_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvFileTest, WriteReadRoundTrip) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"id", "name"}, {"1", "with,comma"}, {"2", "with \"quote\""}};
+  ASSERT_TRUE(CsvWriteFile(path_.string(), rows).ok());
+  auto read = CsvReadFile(path_.string());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+}
+
+TEST_F(CsvFileTest, ReadSkipsBlankLines) {
+  ASSERT_TRUE(CsvWriteFile(path_.string(), {{"a"}, {}, {"b"}}).ok());
+  auto read = CsvReadFile(path_.string());
+  ASSERT_TRUE(read.ok());
+  // The empty row encodes to an empty line which is skipped on read.
+  EXPECT_EQ(read.value(),
+            (std::vector<std::vector<std::string>>{{"a"}, {"b"}}));
+}
+
+TEST_F(CsvFileTest, MissingFileFails) {
+  auto read = CsvReadFile("/nonexistent/definitely/not/here.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvFileTest, UnwritablePathFails) {
+  EXPECT_FALSE(CsvWriteFile("/nonexistent/dir/file.csv", {{"x"}}).ok());
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,118 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace perfxplain {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != b.Uniform()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RngTest, ClampedGaussianRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.ClampedGaussian(1.0, 0.5, 0.8, 1.2);
+    EXPECT_GE(v, 0.8);
+    EXPECT_LE(v, 1.2);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(4.0, 2.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanAndPositivity) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(30.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 30.0, 1.5);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(14);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> xs(50);
+  std::iota(xs.begin(), xs.end(), 0);
+  std::vector<int> shuffled = xs;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, xs);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, xs);
+}
+
+TEST(RngTest, ForkDecouplesStreams) {
+  Rng parent(77);
+  Rng child_a(parent.Fork());
+  Rng child_b(parent.Fork());
+  // Children seeded differently -> (almost surely) different streams.
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child_a.Uniform() != child_b.Uniform()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace perfxplain {
+namespace {
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(VarianceTest, SampleVariance) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+  // var({2,4,4,4,5,5,7,9}) with n-1 denominator = 32/7.
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StdDevTest, SqrtOfVariance) {
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0),
+              1e-12);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.3), 7.0);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Percentile({30, 10, 40, 20}, 0.5), 25.0);
+}
+
+TEST(PercentileTest, DiesOnEmptyOrBadQ) {
+  EXPECT_DEATH(Percentile({}, 0.5), "");
+  EXPECT_DEATH(Percentile({1.0}, 1.5), "");
+}
+
+TEST(EntropyTest, BinaryEntropyEndpoints) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.5), 1.0);
+}
+
+TEST(EntropyTest, Symmetric) {
+  for (double p : {0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(BinaryEntropy(p), BinaryEntropy(1.0 - p), 1e-12);
+  }
+}
+
+TEST(EntropyTest, PaperExampleValue) {
+  // §4.2: p = 0.6 gives entropy 0.97.
+  EXPECT_NEAR(BinaryEntropy(0.6), 0.97, 0.005);
+}
+
+TEST(EntropyTest, TwoClassEntropy) {
+  EXPECT_DOUBLE_EQ(TwoClassEntropy(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(TwoClassEntropy(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(TwoClassEntropy(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(TwoClassEntropy(5, 10), 1.0);
+}
+
+TEST(RunningStatTest, MatchesBatchStatistics) {
+  Rng rng(3);
+  std::vector<double> xs;
+  RunningStat stat;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Gaussian(10.0, 4.0);
+    xs.push_back(x);
+    stat.Add(x);
+  }
+  EXPECT_EQ(stat.count(), xs.size());
+  EXPECT_NEAR(stat.mean(), Mean(xs), 1e-9);
+  EXPECT_NEAR(stat.stddev(), StdDev(xs), 1e-9);
+}
+
+TEST(RunningStatTest, MinMaxAndSmallCounts) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+  stat.Add(5.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+  stat.Add(-1.0);
+  stat.Add(9.0);
+  EXPECT_DOUBLE_EQ(stat.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace perfxplain {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("a").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("b").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("c").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("d").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ParseError("e").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::IoError("f").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("g").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status status = Status::ParseError("bad token");
+  EXPECT_EQ(status.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, CodeNamesAreUnique) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition, StatusCode::kParseError,
+      StatusCode::kIoError,     StatusCode::kInternal,
+  };
+  for (std::size_t i = 0; i < std::size(codes); ++i) {
+    for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(StatusCodeToString(codes[i]),
+                   StatusCodeToString(codes[j]));
+    }
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  ASSERT_TRUE(result.ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+namespace {
+Status FailsThrough() {
+  PX_RETURN_IF_ERROR(Status::IoError("disk on fire"));
+  return Status::OK();
+}
+Status Succeeds() {
+  PX_RETURN_IF_ERROR(Status::OK());
+  return Status::InvalidArgument("reached the end");
+}
+}  // namespace
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kIoError);
+  EXPECT_EQ(Succeeds().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, DeathOnValueOfError) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH(result.value(), "boom");
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,82 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace perfxplain {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, InverseOfSplit) {
+  const std::vector<std::string> parts = {"x", "y", "zz"};
+  EXPECT_EQ(Join(parts, ","), "x,y,zz");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("x", "http://"));
+  EXPECT_TRUE(EndsWith("a_isSame", "_isSame"));
+  EXPECT_FALSE(EndsWith("isSame", "_isSame"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(ParseDoubleTest, Valid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -2 ").value(), -2.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("3x").ok());
+}
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+  EXPECT_FALSE(ParseInt("4.5").ok());
+  EXPECT_FALSE(ParseInt("four").ok());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.0 / 3.0), "0.33");
+  EXPECT_EQ(StrFormat("job_%06d", 12), "job_000012");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,137 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace perfxplain {
+namespace {
+
+TEST(ValueTest, DefaultIsMissing) {
+  Value value;
+  EXPECT_TRUE(value.is_missing());
+  EXPECT_EQ(value.kind(), ValueKind::kMissing);
+  EXPECT_EQ(value.ToString(), "?");
+}
+
+TEST(ValueTest, NumberBasics) {
+  const Value value = Value::Number(12.5);
+  EXPECT_TRUE(value.is_numeric());
+  EXPECT_DOUBLE_EQ(value.number(), 12.5);
+  EXPECT_EQ(value.ToString(), "12.5");
+}
+
+TEST(ValueTest, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(Value::Number(64).ToString(), "64");
+  EXPECT_EQ(Value::Number(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Number(0).ToString(), "0");
+  EXPECT_EQ(Value::Number(1024.0 * 1024 * 1024).ToString(), "1073741824");
+}
+
+TEST(ValueTest, NominalBasics) {
+  const Value value = Value::Nominal("simple-filter.pig");
+  EXPECT_TRUE(value.is_nominal());
+  EXPECT_EQ(value.nominal(), "simple-filter.pig");
+  EXPECT_EQ(value.ToString(), "simple-filter.pig");
+}
+
+TEST(ValueTest, BooleanHelper) {
+  EXPECT_EQ(Value::Boolean(true), Value::Nominal("T"));
+  EXPECT_EQ(Value::Boolean(false), Value::Nominal("F"));
+}
+
+TEST(ValueTest, EqualityIsKindAware) {
+  EXPECT_EQ(Value::Missing(), Value::Missing());
+  EXPECT_NE(Value::Missing(), Value::Number(0));
+  EXPECT_NE(Value::Number(1), Value::Nominal("1"));
+  EXPECT_EQ(Value::Number(2), Value::Number(2.0));
+  EXPECT_NE(Value::Nominal("a"), Value::Nominal("b"));
+}
+
+TEST(ValueTest, OrderingMissingNumericNominal) {
+  EXPECT_LT(Value::Missing(), Value::Number(-1e308));
+  EXPECT_LT(Value::Number(1e308), Value::Nominal(""));
+  EXPECT_LT(Value::Number(1), Value::Number(2));
+  EXPECT_LT(Value::Nominal("a"), Value::Nominal("b"));
+  EXPECT_FALSE(Value::Missing() < Value::Missing());
+}
+
+TEST(ValueTest, FromStringNumeric) {
+  EXPECT_EQ(Value::FromString("3.25", ValueKind::kNumeric),
+            Value::Number(3.25));
+  EXPECT_EQ(Value::FromString("-7", ValueKind::kNumeric), Value::Number(-7));
+  EXPECT_TRUE(Value::FromString("", ValueKind::kNumeric).is_missing());
+  EXPECT_TRUE(Value::FromString("?", ValueKind::kNumeric).is_missing());
+  // Garbage parses to missing rather than crashing.
+  EXPECT_TRUE(Value::FromString("12abc", ValueKind::kNumeric).is_missing());
+}
+
+TEST(ValueTest, FromStringNominal) {
+  EXPECT_EQ(Value::FromString("red", ValueKind::kNominal),
+            Value::Nominal("red"));
+  EXPECT_TRUE(Value::FromString("?", ValueKind::kNominal).is_missing());
+}
+
+TEST(ValueTest, WithinFraction) {
+  EXPECT_TRUE(Value::WithinFraction(Value::Number(100), Value::Number(105),
+                                    0.10));
+  EXPECT_TRUE(Value::WithinFraction(Value::Number(105), Value::Number(100),
+                                    0.10));
+  EXPECT_FALSE(Value::WithinFraction(Value::Number(100), Value::Number(120),
+                                     0.10));
+  // Exactly at the boundary: |100-110| = 0.1 * 110? No: 10 <= 11, true.
+  EXPECT_TRUE(Value::WithinFraction(Value::Number(100), Value::Number(110),
+                                    0.10));
+  // Zeros are similar to each other but not to anything else.
+  EXPECT_TRUE(Value::WithinFraction(Value::Number(0), Value::Number(0), 0.1));
+  EXPECT_FALSE(Value::WithinFraction(Value::Number(0), Value::Number(1),
+                                     0.1));
+  // Non-numerics are never similar.
+  EXPECT_FALSE(Value::WithinFraction(Value::Nominal("a"), Value::Nominal("a"),
+                                     0.1));
+  EXPECT_FALSE(
+      Value::WithinFraction(Value::Missing(), Value::Missing(), 0.1));
+}
+
+TEST(ValueTest, WithinFractionNegativeValues) {
+  EXPECT_TRUE(Value::WithinFraction(Value::Number(-100), Value::Number(-95),
+                                    0.10));
+  EXPECT_FALSE(Value::WithinFraction(Value::Number(-100), Value::Number(100),
+                                     0.10));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Number(3).Hash(), Value::Number(3.0).Hash());
+  EXPECT_EQ(Value::Nominal("x").Hash(), Value::Nominal("x").Hash());
+  std::unordered_set<Value> set;
+  set.insert(Value::Number(1));
+  set.insert(Value::Number(1));
+  set.insert(Value::Nominal("1"));
+  set.insert(Value::Missing());
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(ValueTest, AccessorsDieOnWrongKind) {
+  EXPECT_DEATH(Value::Nominal("a").number(), "non-numeric");
+  EXPECT_DEATH(Value::Number(1).nominal(), "non-nominal");
+}
+
+/// Property: ToString -> FromString round-trips for numerics.
+class ValueRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ValueRoundTripTest, NumericRoundTrip) {
+  const Value original = Value::Number(GetParam());
+  const Value parsed =
+      Value::FromString(original.ToString(), ValueKind::kNumeric);
+  ASSERT_TRUE(parsed.is_numeric());
+  EXPECT_DOUBLE_EQ(parsed.number(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RoundTrip, ValueRoundTripTest,
+    ::testing::Values(0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1e-9, 6.02e23,
+                      1323158533.0, 128.0 * 1024 * 1024, 0.30000000000000004,
+                      -123456.789));
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/pair_enumeration.h"
+#include "core/rule_of_thumb.h"
+#include "core/sim_but_diff.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+using perfxplain::testing::CausalLog;
+using perfxplain::testing::GtVsSimQuery;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() : log_(CausalLog(120, 77)) {}
+
+  Query MakeQuery() {
+    Query query = GtVsSimQuery();
+    PairSchema schema(log_.schema());
+    PX_CHECK(query.Bind(schema).ok());
+    auto poi =
+        FindPairOfInterest(log_, schema, query, PairFeatureOptions());
+    PX_CHECK(poi.ok());
+    query.first_id = log_.at(poi->first).id;
+    query.second_id = log_.at(poi->second).id;
+    return query;
+  }
+
+  ExecutionLog log_;
+};
+
+TEST_F(BaselinesTest, RuleOfThumbRanksCauseHighly) {
+  RuleOfThumb baseline(&log_, RuleOfThumbOptions());
+  const auto& ranking = baseline.ranking();
+  ASSERT_EQ(ranking.size(), log_.schema().size() - 1);  // duration excluded
+  // `cause` (index 0) must rank above both decoys.
+  EXPECT_EQ(ranking[0], 0u);
+}
+
+TEST_F(BaselinesTest, RuleOfThumbExplainsWithIsSameDisagreements) {
+  RuleOfThumb baseline(&log_, RuleOfThumbOptions());
+  auto explanation = baseline.Explain(MakeQuery(), 2);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  ASSERT_GE(explanation->because.width(), 1u);
+  for (const Atom& atom : explanation->because.atoms()) {
+    EXPECT_NE(atom.feature().find("_isSame"), std::string::npos);
+    EXPECT_EQ(atom.constant(), Value::Nominal("F"));
+  }
+  // The top disagreeing important feature is the cause.
+  EXPECT_EQ(explanation->because.atoms()[0].feature(), "cause_isSame");
+}
+
+TEST_F(BaselinesTest, RuleOfThumbSkipsOutcomeFeatures) {
+  RuleOfThumb baseline(&log_, RuleOfThumbOptions());
+  auto explanation = baseline.Explain(MakeQuery(), 5);
+  ASSERT_TRUE(explanation.ok());
+  for (const Atom& atom : explanation->because.atoms()) {
+    EXPECT_EQ(atom.feature().find("duration"), std::string::npos);
+  }
+}
+
+TEST_F(BaselinesTest, RuleOfThumbFailsWhenPairAgreesEverywhere) {
+  // Construct a pair that agrees on every feature: impossible to explain by
+  // pointing at disagreements.
+  RuleOfThumb baseline(&log_, RuleOfThumbOptions());
+  Query query = MakeQuery();
+  query.second_id = query.first_id;  // same record twice: all isSame = T
+  auto explanation = baseline.Explain(query, 3);
+  EXPECT_FALSE(explanation.ok());
+}
+
+TEST_F(BaselinesTest, SimButDiffProducesApplicableExplanation) {
+  SimButDiff baseline(&log_, SimButDiffOptions());
+  const Query query = MakeQuery();
+  auto explanation = baseline.Explain(query, 2);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_EQ(explanation->because.width(), 2u);
+  // Every atom asserts the pair's own isSame value (applicability).
+  PairSchema schema(log_.schema());
+  PairFeatureOptions options;
+  const std::size_t first = log_.Find(query.first_id).value();
+  const std::size_t second = log_.Find(query.second_id).value();
+  PairFeatureView view(&schema, &log_.at(first), &log_.at(second), &options);
+  for (const Atom& atom : explanation->because.atoms()) {
+    EXPECT_NE(atom.feature().find("_isSame"), std::string::npos);
+    EXPECT_TRUE(atom.Eval(view)) << atom.ToString();
+  }
+}
+
+TEST_F(BaselinesTest, SimButDiffRespectsWidth) {
+  SimButDiff baseline(&log_, SimButDiffOptions());
+  for (std::size_t width : {1u, 3u}) {
+    auto explanation = baseline.Explain(MakeQuery(), width);
+    ASSERT_TRUE(explanation.ok());
+    EXPECT_LE(explanation->because.width(), width);
+  }
+}
+
+TEST_F(BaselinesTest, SimButDiffThresholdOneRequiresExactAgreement) {
+  SimButDiffOptions options;
+  options.similarity_threshold = 1.0;
+  SimButDiff baseline(&log_, options);
+  // With threshold 1.0 a training pair must agree on *every* isSame
+  // feature; the explanation may fail for lack of similar pairs, but it
+  // must not crash, and any produced explanation is still applicable.
+  auto explanation = baseline.Explain(MakeQuery(), 2);
+  if (!explanation.ok()) {
+    EXPECT_EQ(explanation.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(BaselinesTest, SimButDiffRejectsUnknownIds) {
+  SimButDiff baseline(&log_, SimButDiffOptions());
+  Query query = GtVsSimQuery();
+  query.first_id = "missing";
+  query.second_id = "gone";
+  EXPECT_FALSE(baseline.Explain(query, 2).ok());
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,305 @@
+#include "core/explainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/pair_enumeration.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+using perfxplain::testing::CausalLog;
+using perfxplain::testing::GtVsSimQuery;
+
+/// Fixture: a log where duration = 100 * cause, so a GT-duration pair is
+/// explained exactly by cause_compare = GT.
+class ExplainerTest : public ::testing::Test {
+ protected:
+  ExplainerTest() : log_(CausalLog(120, 99)) {}
+
+  /// Query 2-shaped question with a pair of interest found in the log.
+  Query MakeQuery() {
+    Query query = GtVsSimQuery();
+    PairSchema schema(log_.schema());
+    PX_CHECK(query.Bind(schema).ok());
+    auto poi =
+        FindPairOfInterest(log_, schema, query, PairFeatureOptions());
+    PX_CHECK(poi.ok());
+    query.first_id = log_.at(poi->first).id;
+    query.second_id = log_.at(poi->second).id;
+    return query;
+  }
+
+  ExecutionLog log_;
+};
+
+TEST_F(ExplainerTest, FindsTheCausalFeature) {
+  ExplainerOptions options;
+  options.width = 1;
+  Explainer explainer(&log_, options);
+  auto explanation = explainer.Explain(MakeQuery());
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  ASSERT_EQ(explanation->because.width(), 1u);
+  const Atom& atom = explanation->because.atoms()[0];
+  // The single most precise-and-general applicable atom concerns `cause`.
+  EXPECT_TRUE(atom.feature() == "cause_compare" ||
+              atom.feature() == "cause_isSame" || atom.feature() == "cause")
+      << atom.ToString();
+}
+
+TEST_F(ExplainerTest, ExplanationIsApplicableToPairOfInterest) {
+  Explainer explainer(&log_, ExplainerOptions());
+  const Query query = MakeQuery();
+  auto explanation = explainer.Explain(query);
+  ASSERT_TRUE(explanation.ok());
+  const std::size_t first = log_.Find(query.first_id).value();
+  const std::size_t second = log_.Find(query.second_id).value();
+  PairFeatureOptions pair_options;
+  EXPECT_TRUE(IsApplicable(*explanation, explainer.pair_schema(),
+                           log_.at(first), log_.at(second), pair_options));
+}
+
+TEST_F(ExplainerTest, NeverCitesTheOutcomeFeature) {
+  ExplainerOptions options;
+  options.width = 5;
+  Explainer explainer(&log_, options);
+  auto explanation = explainer.Explain(MakeQuery());
+  ASSERT_TRUE(explanation.ok());
+  for (const Atom& atom : explanation->because.atoms()) {
+    EXPECT_EQ(atom.feature().find("duration"), std::string::npos)
+        << atom.ToString();
+  }
+}
+
+TEST_F(ExplainerTest, DeterministicGivenSeed) {
+  Explainer explainer(&log_, ExplainerOptions());
+  const Query query = MakeQuery();
+  auto first = explainer.Explain(query);
+  auto second = explainer.Explain(query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->because, second->because);
+}
+
+TEST_F(ExplainerTest, HighPrecisionOnTheLog) {
+  Explainer explainer(&log_, ExplainerOptions());
+  const Query query = MakeQuery();
+  auto explanation = explainer.Explain(query);
+  ASSERT_TRUE(explanation.ok());
+  Query bound = query;
+  ASSERT_TRUE(bound.Bind(explainer.pair_schema()).ok());
+  const ExplanationMetrics metrics = EvaluateExplanation(
+      log_, explainer.pair_schema(), bound, *explanation,
+      PairFeatureOptions());
+  EXPECT_GT(metrics.precision, 0.9);
+  EXPECT_GT(metrics.generality, 0.05);
+}
+
+TEST_F(ExplainerTest, WidthControlsAtomCount) {
+  for (std::size_t width : {1u, 2u, 3u}) {
+    ExplainerOptions options;
+    options.width = width;
+    Explainer explainer(&log_, options);
+    auto explanation = explainer.Explain(MakeQuery());
+    ASSERT_TRUE(explanation.ok());
+    EXPECT_LE(explanation->because.width(), width);
+    EXPECT_GE(explanation->because.width(), 1u);
+  }
+}
+
+TEST_F(ExplainerTest, TraceRecordsSelectionDiagnostics) {
+  Explainer explainer(&log_, ExplainerOptions());
+  auto explanation = explainer.Explain(MakeQuery());
+  ASSERT_TRUE(explanation.ok());
+  ASSERT_EQ(explanation->because_trace.size(),
+            explanation->because.width());
+  for (const ExplanationAtom& atom : explanation->because_trace) {
+    EXPECT_GE(atom.generality_after, 0.0);
+    EXPECT_LE(atom.generality_after, 1.0);
+    EXPECT_GE(atom.metric_after, 0.0);
+    EXPECT_LE(atom.metric_after, 1.0);
+  }
+  // Precision over the (balanced) training sample should not decrease as
+  // atoms are appended greedily.
+  for (std::size_t i = 1; i < explanation->because_trace.size(); ++i) {
+    EXPECT_GE(explanation->because_trace[i].metric_after + 1e-9,
+              explanation->because_trace[i - 1].metric_after);
+  }
+}
+
+TEST_F(ExplainerTest, GenerateDespiteRaisesRelevance) {
+  // A log designed for despite-clause generation: phase-A records have two
+  // tight duration levels (mostly SIM pairs, a few GT), phase-B records
+  // have wild durations. The pair of interest is a GT pair inside phase A,
+  // so the relevance-maximizing applicable clause is "both jobs in phase A"
+  // (phase = A as a base feature, or phase_isSame/diff equivalents).
+  Schema schema;
+  PX_CHECK(schema.Add("phase", ValueKind::kNominal).ok());
+  PX_CHECK(schema.Add("knob", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("duration", ValueKind::kNumeric).ok());
+  ExecutionLog log(schema);
+  Rng data_rng(5);
+  auto add = [&](const std::string& id, const std::string& phase,
+                 double duration) {
+    PX_CHECK(log.Add(ExecutionRecord(
+                         id, {Value::Nominal(phase),
+                              Value::Number(data_rng.Uniform(0, 100)),
+                              Value::Number(duration)}))
+                 .ok());
+  };
+  for (int i = 0; i < 40; ++i) {
+    add("a" + std::to_string(i), "A", 100.0 + data_rng.Uniform(-2, 2));
+  }
+  for (int i = 0; i < 8; ++i) {
+    add("ahigh" + std::to_string(i), "A", 130.0 + data_rng.Uniform(-2, 2));
+  }
+  for (int i = 0; i < 40; ++i) {
+    add("b" + std::to_string(i), "B", data_rng.Uniform(60, 600));
+  }
+
+  Explainer explainer(&log, ExplainerOptions());
+  Query query = GtVsSimQuery();
+  PX_CHECK(query.Bind(explainer.pair_schema()).ok());
+  // Pair of interest: a GT pair within phase A.
+  query.first_id = "ahigh0";
+  query.second_id = "a0";
+
+  auto despite = explainer.GenerateDespite(query, 3);
+  ASSERT_TRUE(despite.ok()) << despite.status().ToString();
+  Query bound = query;
+  ASSERT_TRUE(bound.Bind(explainer.pair_schema()).ok());
+  Predicate generated = despite.value();
+  ASSERT_TRUE(generated.Bind(explainer.pair_schema()).ok());
+  const double before = EvaluateDespiteRelevance(
+      log, explainer.pair_schema(), bound, Predicate::True(),
+      PairFeatureOptions());
+  const double after = EvaluateDespiteRelevance(
+      log, explainer.pair_schema(), bound, generated,
+      PairFeatureOptions());
+  EXPECT_GT(after, before + 0.1);
+}
+
+TEST_F(ExplainerTest, AutoDespiteProducesBothClauses) {
+  Explainer explainer(&log_, ExplainerOptions());
+  auto explanation = explainer.ExplainWithAutoDespite(MakeQuery());
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_FALSE(explanation->because.is_true());
+  EXPECT_FALSE(explanation->despite.is_true());
+}
+
+TEST_F(ExplainerTest, RejectsQueryWithoutIds) {
+  Explainer explainer(&log_, ExplainerOptions());
+  Query query = GtVsSimQuery();
+  const auto result = explainer.Explain(query);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExplainerTest, RejectsUnknownIds) {
+  Explainer explainer(&log_, ExplainerOptions());
+  Query query = GtVsSimQuery();
+  query.first_id = "nope";
+  query.second_id = "also_nope";
+  EXPECT_EQ(explainer.Explain(query).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExplainerTest, RejectsPairViolatingObserved) {
+  Explainer explainer(&log_, ExplainerOptions());
+  Query query = MakeQuery();
+  // Swap the pair: now J1 is the *faster* one, so OBSERVED GT fails.
+  std::swap(query.first_id, query.second_id);
+  const auto result = explainer.Explain(query);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExplainerTest, RejectsNonDisjointQuery) {
+  Explainer explainer(&log_, ExplainerOptions());
+  Query query = MakeQuery();
+  query.expected = perfxplain::testing::MustPredicate("decoy_c_isSame = T");
+  EXPECT_EQ(explainer.Explain(query).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExplainerTest, Level1RestrictsToIsSameAtoms) {
+  ExplainerOptions options;
+  options.level = FeatureLevel::kLevel1;
+  options.width = 3;
+  Explainer explainer(&log_, options);
+  auto explanation = explainer.Explain(MakeQuery());
+  ASSERT_TRUE(explanation.ok());
+  for (const Atom& atom : explanation->because.atoms()) {
+    EXPECT_NE(atom.feature().find("_isSame"), std::string::npos)
+        << atom.ToString();
+  }
+}
+
+/// Property sweep: across data seeds and widths, every explanation is
+/// applicable to its pair of interest, never cites the outcome feature,
+/// respects the width budget, and improves on the base-rate precision.
+class ExplainerSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(ExplainerSweepTest, InvariantsHold) {
+  const auto [seed, width] = GetParam();
+  const ExecutionLog log = CausalLog(100, seed);
+  ExplainerOptions options;
+  options.width = width;
+  Explainer explainer(&log, options);
+
+  Query query = GtVsSimQuery();
+  ASSERT_TRUE(query.Bind(explainer.pair_schema()).ok());
+  auto poi = FindPairOfInterest(log, explainer.pair_schema(), query,
+                                PairFeatureOptions());
+  ASSERT_TRUE(poi.ok());
+  query.first_id = log.at(poi->first).id;
+  query.second_id = log.at(poi->second).id;
+
+  auto explanation = explainer.Explain(query);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_LE(explanation->because.width(), width);
+  EXPECT_GE(explanation->because.width(), 1u);
+  for (const Atom& atom : explanation->because.atoms()) {
+    EXPECT_EQ(atom.feature().find("duration"), std::string::npos)
+        << atom.ToString();
+  }
+  EXPECT_TRUE(IsApplicable(*explanation, explainer.pair_schema(),
+                           log.at(poi->first), log.at(poi->second),
+                           PairFeatureOptions()));
+
+  Query bound = query;
+  ASSERT_TRUE(bound.Bind(explainer.pair_schema()).ok());
+  const ExplanationMetrics metrics = EvaluateExplanation(
+      log, explainer.pair_schema(), bound, *explanation,
+      PairFeatureOptions());
+  Explanation empty;
+  const ExplanationMetrics base = EvaluateExplanation(
+      log, explainer.pair_schema(), bound, empty, PairFeatureOptions());
+  EXPECT_GE(metrics.precision + 1e-9, base.precision)
+      << "seed " << seed << " width " << width;
+  EXPECT_GT(metrics.generality, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWidths, ExplainerSweepTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(11, 22, 33, 44),
+                       ::testing::Values<std::size_t>(1, 2, 3, 4)));
+
+TEST_F(ExplainerTest, BuildExamplesIncludesPoiFirst) {
+  Explainer explainer(&log_, ExplainerOptions());
+  Query query = MakeQuery();
+  ASSERT_TRUE(query.Bind(explainer.pair_schema()).ok());
+  const std::size_t first = log_.Find(query.first_id).value();
+  const std::size_t second = log_.Find(query.second_id).value();
+  auto examples = explainer.BuildExamples(query, first, second);
+  ASSERT_TRUE(examples.ok());
+  ASSERT_FALSE(examples->empty());
+  EXPECT_EQ(examples->front().first, first);
+  EXPECT_EQ(examples->front().second, second);
+  EXPECT_TRUE(examples->front().observed);
+}
+
+}  // namespace
+}  // namespace perfxplain

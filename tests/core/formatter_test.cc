@@ -1,0 +1,122 @@
+#include "core/formatter.h"
+
+#include <gtest/gtest.h>
+
+#include "pxql/templates.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+using perfxplain::testing::MustPredicate;
+
+Atom MakeAtom(const std::string& feature, CompareOp op, Value constant) {
+  return Atom(feature, op, std::move(constant));
+}
+
+TEST(FormatConstantTest, BytesGetBinaryUnits) {
+  EXPECT_EQ(FormatConstant("blocksize", Value::Number(128.0 * 1024 * 1024)),
+            "128 MB");
+  EXPECT_EQ(FormatConstant("inputsize",
+                           Value::Number(1.3 * 1024 * 1024 * 1024)),
+            "1.3 GB");
+  EXPECT_EQ(FormatConstant("hdfs_bytes_read", Value::Number(2048)), "2 KB");
+}
+
+TEST(FormatConstantTest, NonByteFeaturesUnchanged) {
+  EXPECT_EQ(FormatConstant("numinstances", Value::Number(12)), "12");
+  EXPECT_EQ(FormatConstant("pigscript", Value::Nominal("simple-filter.pig")),
+            "simple-filter.pig");
+  EXPECT_EQ(FormatConstant("blocksize", Value::Number(512)), "512");
+}
+
+TEST(RenderAtomProseTest, IsSameAtoms) {
+  EXPECT_EQ(RenderAtomProse(MakeAtom("avg_cpu_user_isSame", CompareOp::kEq,
+                                     Value::Nominal("F"))),
+            "the two executions differed on avg_cpu_user");
+  EXPECT_EQ(RenderAtomProse(MakeAtom("blocksize_isSame", CompareOp::kEq,
+                                     Value::Nominal("T"))),
+            "the two executions had the same blocksize");
+}
+
+TEST(RenderAtomProseTest, CompareAtoms) {
+  EXPECT_EQ(RenderAtomProse(MakeAtom("inputsize_compare", CompareOp::kEq,
+                                     Value::Nominal("GT"))),
+            "J1's inputsize was much greater than J2's");
+  EXPECT_EQ(RenderAtomProse(MakeAtom("inputsize_compare", CompareOp::kEq,
+                                     Value::Nominal("LT"))),
+            "J1's inputsize was much less than J2's");
+  EXPECT_EQ(RenderAtomProse(MakeAtom("inputsize_compare", CompareOp::kEq,
+                                     Value::Nominal("SIM"))),
+            "the two executions had a similar inputsize");
+}
+
+TEST(RenderAtomProseTest, BaseAtoms) {
+  EXPECT_EQ(RenderAtomProse(MakeAtom("numinstances", CompareOp::kLe,
+                                     Value::Number(12))),
+            "numinstances was at most 12");
+  EXPECT_EQ(RenderAtomProse(MakeAtom("blocksize", CompareOp::kGe,
+                                     Value::Number(128.0 * 1024 * 1024))),
+            "blocksize was at least 128 MB");
+  EXPECT_EQ(RenderAtomProse(MakeAtom("pigscript", CompareOp::kEq,
+                                     Value::Nominal("simple-filter.pig"))),
+            "pigscript was simple-filter.pig");
+}
+
+TEST(RenderAtomProseTest, DiffAtoms) {
+  EXPECT_EQ(RenderAtomProse(MakeAtom("pigscript_diff", CompareOp::kEq,
+                                     Value::Nominal("(a.pig,b.pig)"))),
+            "pigscript changed as (a.pig,b.pig)");
+}
+
+TEST(RenderAtomProseTest, UnusualAtomsFallBackToPxql) {
+  EXPECT_EQ(RenderAtomProse(MakeAtom("x_isSame", CompareOp::kNe,
+                                     Value::Nominal("T"))),
+            "x_isSame != T");
+}
+
+TEST(RenderExplanationProseTest, FullSentenceWithDespite) {
+  Query query = WhySlowerDespiteSameNumInstances("j1", "j2");
+  Explanation explanation;
+  explanation.because = MustPredicate(
+      "inputsize_compare = GT AND numinstances <= 12");
+  const std::string prose = RenderExplanationProse(query, explanation);
+  EXPECT_EQ(prose,
+            "Even though the two executions had the same numinstances, and "
+            "the two executions had the same pigscript, J1 took much longer "
+            "than J2 most likely because: J1's inputsize was much greater "
+            "than J2's, and numinstances was at most 12.");
+}
+
+TEST(RenderExplanationProseTest, ConstrainedQueryProse) {
+  Query query = FasterDespiteSameInputAndInstances("t1", "t2");
+  Explanation explanation;
+  explanation.because = MustPredicate("avg_cpu_user_compare = LT");
+  const std::string prose = RenderExplanationProse(query, explanation);
+  EXPECT_EQ(prose,
+            "Even though the two executions had a similar inputsize, and "
+            "the two executions had the same numinstances, J1 was much "
+            "faster than J2 most likely because: J1's avg_cpu_user was much "
+            "less than J2's.");
+}
+
+TEST(RenderExplanationProseTest, GeneratedDespiteIsIncluded) {
+  Query query = SameDurationsExpectedButSlower("a", "b");
+  Explanation explanation;
+  explanation.despite = MustPredicate("blocksize_isSame = T");
+  explanation.because = MustPredicate("inputsize_compare = GT");
+  const std::string prose = RenderExplanationProse(query, explanation);
+  EXPECT_NE(prose.find("had the same blocksize"), std::string::npos);
+  EXPECT_NE(prose.find("most likely because"), std::string::npos);
+}
+
+TEST(RenderExplanationProseTest, TrulyEmptyDespiteStartsWithObservation) {
+  Query query = SameDurationsExpectedButSlower("a", "b");
+  Explanation explanation;
+  explanation.because = MustPredicate("inputsize_compare = GT");
+  const std::string prose = RenderExplanationProse(query, explanation);
+  EXPECT_EQ(prose.find("J1 took much longer"), 0u);
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,146 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+using perfxplain::testing::GtVsSimQuery;
+using perfxplain::testing::MustPredicate;
+using perfxplain::testing::TinyRecord;
+using perfxplain::testing::TinySchema;
+
+/// Hand-constructed four-record log whose pair populations are small enough
+/// to count on paper:
+///   a: x=1,  red,  duration=100
+///   b: x=1,  red,  duration=102   (SIM to a)
+///   c: x=9,  blue, duration=200   (GT vs a/b)
+///   d: x=9,  blue, duration=198   (SIM to c, GT vs a/b)
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : log_(TinySchema()), schema_(TinySchema()) {
+    PX_CHECK(log_.Add(TinyRecord("a", 1, "red", 100)).ok());
+    PX_CHECK(log_.Add(TinyRecord("b", 1, "red", 102)).ok());
+    PX_CHECK(log_.Add(TinyRecord("c", 9, "blue", 200)).ok());
+    PX_CHECK(log_.Add(TinyRecord("d", 9, "blue", 198)).ok());
+    query_ = GtVsSimQuery();
+    PX_CHECK(query_.Bind(schema_).ok());
+  }
+
+  Predicate Bound(const std::string& text) {
+    Predicate predicate = MustPredicate(text);
+    PX_CHECK(predicate.Bind(schema_).ok());
+    return predicate;
+  }
+
+  ExecutionLog log_;
+  PairSchema schema_;
+  Query query_;
+  PairFeatureOptions options_;
+};
+
+TEST_F(MetricsTest, EmptyExplanationBaseRates) {
+  // Related pairs (ordered): GT pairs = {c,d}x{a,b} = 4;
+  // SIM pairs: (a,b),(b,a),(c,d),(d,c) = 4. Total related = 8.
+  Explanation empty;
+  const ExplanationMetrics metrics =
+      EvaluateExplanation(log_, schema_, query_, empty, options_);
+  EXPECT_EQ(metrics.pairs_despite, 8u);
+  EXPECT_EQ(metrics.pairs_because, 8u);
+  EXPECT_EQ(metrics.pairs_because_obs, 4u);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.generality, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.relevance, 0.5);
+}
+
+TEST_F(MetricsTest, PerfectBecauseClause) {
+  // GT pairs are exactly those where J1's x is much greater.
+  Explanation explanation;
+  explanation.because = Bound("x_compare = GT");
+  const ExplanationMetrics metrics =
+      EvaluateExplanation(log_, schema_, query_, explanation, options_);
+  EXPECT_EQ(metrics.pairs_because, 4u);
+  EXPECT_EQ(metrics.pairs_because_obs, 4u);
+  EXPECT_DOUBLE_EQ(metrics.precision, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.generality, 0.5);
+}
+
+TEST_F(MetricsTest, UselessBecauseClause) {
+  // color_isSame = F holds for exactly the GT pairs too... no: red vs blue
+  // differs for cross-group pairs only, which are exactly the GT pairs, so
+  // use x_isSame = T (within-group pairs = SIM pairs) to get precision 0.
+  Explanation explanation;
+  explanation.because = Bound("x_isSame = T");
+  const ExplanationMetrics metrics =
+      EvaluateExplanation(log_, schema_, query_, explanation, options_);
+  EXPECT_EQ(metrics.pairs_because, 4u);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.generality, 0.5);
+}
+
+TEST_F(MetricsTest, DespiteExtensionNarrowsPopulation) {
+  // des' = color_isSame = T keeps only within-group (SIM) pairs, so the
+  // expected behavior dominates: relevance = 1.
+  Explanation explanation;
+  explanation.despite = Bound("color_isSame = T");
+  explanation.because = Bound("x_compare = SIM");
+  const ExplanationMetrics metrics =
+      EvaluateExplanation(log_, schema_, query_, explanation, options_);
+  EXPECT_EQ(metrics.pairs_despite, 4u);
+  EXPECT_DOUBLE_EQ(metrics.relevance, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.generality, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.0);  // no GT pair survives
+}
+
+TEST_F(MetricsTest, UserDespiteRestrictsRelatedPairs) {
+  // Query with despite x_isSame = T: only within-group pairs are related.
+  Query query = GtVsSimQuery("x_isSame = T");
+  ASSERT_TRUE(query.Bind(schema_).ok());
+  Explanation empty;
+  const ExplanationMetrics metrics =
+      EvaluateExplanation(log_, schema_, query, empty, options_);
+  EXPECT_EQ(metrics.pairs_despite, 4u);
+  EXPECT_DOUBLE_EQ(metrics.relevance, 1.0);  // all such pairs are SIM
+}
+
+TEST_F(MetricsTest, EmptyPopulationGivesZeroes) {
+  Query query = GtVsSimQuery("color_diff = (green,green)");
+  ASSERT_TRUE(query.Bind(schema_).ok());
+  Explanation empty;
+  const ExplanationMetrics metrics =
+      EvaluateExplanation(log_, schema_, query, empty, options_);
+  EXPECT_EQ(metrics.pairs_despite, 0u);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.relevance, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.generality, 0.0);
+}
+
+TEST_F(MetricsTest, DespiteRelevanceHelper) {
+  EXPECT_DOUBLE_EQ(
+      EvaluateDespiteRelevance(log_, schema_, query_, Predicate::True(),
+                               options_),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      EvaluateDespiteRelevance(log_, schema_, query_,
+                               Bound("color_isSame = T"), options_),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      EvaluateDespiteRelevance(log_, schema_, query_,
+                               Bound("color_isSame = F"), options_),
+      0.0);
+}
+
+TEST_F(MetricsTest, IsApplicableChecksBothClauses) {
+  Explanation explanation;
+  explanation.despite = Bound("color_isSame = F");
+  explanation.because = Bound("x_compare = GT");
+  EXPECT_TRUE(IsApplicable(explanation, schema_, log_.at(2), log_.at(0),
+                           options_));  // c vs a
+  EXPECT_FALSE(IsApplicable(explanation, schema_, log_.at(0), log_.at(1),
+                            options_));  // a vs b: same color
+}
+
+}  // namespace
+}  // namespace perfxplain

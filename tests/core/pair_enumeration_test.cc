@@ -1,0 +1,143 @@
+#include "core/pair_enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+using perfxplain::testing::GtVsSimQuery;
+using perfxplain::testing::TinyRecord;
+using perfxplain::testing::TinySchema;
+
+class PairEnumerationTest : public ::testing::Test {
+ protected:
+  PairEnumerationTest() : log_(TinySchema()), schema_(TinySchema()) {
+    PX_CHECK(log_.Add(TinyRecord("a", 1, "red", 100)).ok());
+    PX_CHECK(log_.Add(TinyRecord("b", 1, "red", 102)).ok());
+    PX_CHECK(log_.Add(TinyRecord("c", 9, "blue", 200)).ok());
+    PX_CHECK(log_.Add(TinyRecord("d", 9, "blue", 198)).ok());
+    query_ = GtVsSimQuery();
+    PX_CHECK(query_.Bind(schema_).ok());
+  }
+
+  ExecutionLog log_;
+  PairSchema schema_;
+  Query query_;
+  PairFeatureOptions options_;
+};
+
+TEST_F(PairEnumerationTest, VisitsAllOrderedPairsOnce) {
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  ForEachOrderedPair(log_, schema_, options_,
+                     [&](std::size_t i, std::size_t j,
+                         const PairFeatureView&) {
+                       EXPECT_NE(i, j);
+                       EXPECT_TRUE(seen.emplace(i, j).second);
+                       return true;
+                     });
+  EXPECT_EQ(seen.size(), 12u);  // 4 * 3 ordered pairs
+}
+
+TEST_F(PairEnumerationTest, EarlyExitStopsEnumeration) {
+  int visits = 0;
+  ForEachOrderedPair(log_, schema_, options_,
+                     [&](std::size_t, std::size_t, const PairFeatureView&) {
+                       ++visits;
+                       return visits < 5;
+                     });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST_F(PairEnumerationTest, ClassifyPairLabels) {
+  PairFeatureView gt(&schema_, &log_.at(2), &log_.at(0), &options_);  // c,a
+  EXPECT_EQ(ClassifyPair(query_, gt), PairLabel::kObserved);
+  PairFeatureView sim(&schema_, &log_.at(0), &log_.at(1), &options_);
+  EXPECT_EQ(ClassifyPair(query_, sim), PairLabel::kExpected);
+  PairFeatureView lt(&schema_, &log_.at(0), &log_.at(2), &options_);
+  EXPECT_EQ(ClassifyPair(query_, lt), PairLabel::kUnrelated);
+}
+
+TEST_F(PairEnumerationTest, CountRelatedPairs) {
+  const RelatedCounts counts =
+      CountRelatedPairs(log_, schema_, query_, options_);
+  EXPECT_EQ(counts.observed, 4u);
+  EXPECT_EQ(counts.expected, 4u);
+  EXPECT_EQ(counts.total(), 8u);
+}
+
+TEST_F(PairEnumerationTest, DespiteRestrictsRelatedness) {
+  Query query = GtVsSimQuery("color_isSame = T");
+  ASSERT_TRUE(query.Bind(schema_).ok());
+  const RelatedCounts counts =
+      CountRelatedPairs(log_, schema_, query, options_);
+  EXPECT_EQ(counts.observed, 0u);   // GT pairs cross the color groups
+  EXPECT_EQ(counts.expected, 4u);
+}
+
+TEST_F(PairEnumerationTest, BuildTrainingExamplesPutsPoiFirst) {
+  Rng rng(1);
+  auto examples = BuildTrainingExamples(log_, schema_, query_, 2, 0,
+                                        options_, SamplerOptions(), rng);
+  ASSERT_TRUE(examples.ok()) << examples.status().ToString();
+  ASSERT_FALSE(examples->empty());
+  EXPECT_EQ(examples->front().first, 2u);
+  EXPECT_EQ(examples->front().second, 0u);
+  EXPECT_TRUE(examples->front().observed);
+  // With a huge sample budget all 8 related pairs are kept (poi included).
+  EXPECT_EQ(examples->size(), 8u);
+  // The pair of interest appears exactly once.
+  std::size_t poi_count = 0;
+  for (const auto& example : *examples) {
+    if (example.first == 2 && example.second == 0) ++poi_count;
+  }
+  EXPECT_EQ(poi_count, 1u);
+  // Every example has a fully materialized feature vector.
+  for (const auto& example : *examples) {
+    EXPECT_EQ(example.features.size(), schema_.size());
+  }
+}
+
+TEST_F(PairEnumerationTest, BuildTrainingExamplesValidatesPoi) {
+  Rng rng(2);
+  EXPECT_FALSE(BuildTrainingExamples(log_, schema_, query_, 1, 1, options_,
+                                     SamplerOptions(), rng)
+                   .ok());
+  EXPECT_FALSE(BuildTrainingExamples(log_, schema_, query_, 99, 0, options_,
+                                     SamplerOptions(), rng)
+                   .ok());
+}
+
+TEST_F(PairEnumerationTest, BuildTrainingExamplesFailsWithNoRelatedPairs) {
+  Query query = GtVsSimQuery("color_diff = (purple,purple)");
+  ASSERT_TRUE(query.Bind(schema_).ok());
+  Rng rng(3);
+  const auto examples = BuildTrainingExamples(
+      log_, schema_, query, 2, 0, options_, SamplerOptions(), rng);
+  EXPECT_FALSE(examples.ok());
+  EXPECT_EQ(examples.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PairEnumerationTest, FindPairOfInterestReturnsFirstObserved) {
+  auto poi = FindPairOfInterest(log_, schema_, query_, options_);
+  ASSERT_TRUE(poi.ok());
+  // Row-major: first observed pair is (c, a) = (2, 0).
+  EXPECT_EQ(poi->first, 2u);
+  EXPECT_EQ(poi->second, 0u);
+}
+
+TEST_F(PairEnumerationTest, FindPairOfInterestSkips) {
+  auto poi = FindPairOfInterest(log_, schema_, query_, options_, 1);
+  ASSERT_TRUE(poi.ok());
+  EXPECT_EQ(poi->first, 2u);
+  EXPECT_EQ(poi->second, 1u);  // (c, b) is the second observed pair
+  auto exhausted = FindPairOfInterest(log_, schema_, query_, options_, 100);
+  EXPECT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,113 @@
+#include "core/perfxplain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pair_enumeration.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+using perfxplain::testing::CausalLog;
+using perfxplain::testing::GtVsSimQuery;
+
+class PerfXplainTest : public ::testing::Test {
+ protected:
+  PerfXplainTest() : system_(CausalLog(120, 55)) {}
+
+  Query MakeQuery() {
+    Query query = GtVsSimQuery();
+    PX_CHECK(query.Bind(system_.pair_schema()).ok());
+    auto poi = FindPairOfInterest(system_.log(), system_.pair_schema(),
+                                  query, PairFeatureOptions());
+    PX_CHECK(poi.ok());
+    query.first_id = system_.log().at(poi->first).id;
+    query.second_id = system_.log().at(poi->second).id;
+    return query;
+  }
+
+  PerfXplain system_;
+};
+
+TEST_F(PerfXplainTest, ExplainTextEndToEnd) {
+  const Query query = MakeQuery();
+  const std::string text =
+      "FOR J1, J2 WHERE J1.JobID = '" + query.first_id +
+      "' AND J2.JobID = '" + query.second_id +
+      "' OBSERVED duration_compare = GT EXPECTED duration_compare = SIM";
+  auto explanation = system_.ExplainText(text);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_GE(explanation->because.width(), 1u);
+}
+
+TEST_F(PerfXplainTest, ExplainTextParseErrorPropagates) {
+  auto explanation = system_.ExplainText("OBSERVED oops");
+  EXPECT_FALSE(explanation.ok());
+  EXPECT_EQ(explanation.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(PerfXplainTest, EvaluateScoresExplanation) {
+  const Query query = MakeQuery();
+  auto explanation = system_.Explain(query);
+  ASSERT_TRUE(explanation.ok());
+  auto metrics = system_.Evaluate(query, *explanation);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->precision, 0.8);
+  EXPECT_GT(metrics->generality, 0.0);
+}
+
+TEST_F(PerfXplainTest, EvaluateOnRejectsSchemaMismatch) {
+  const Query query = MakeQuery();
+  auto explanation = system_.Explain(query);
+  ASSERT_TRUE(explanation.ok());
+  ExecutionLog other(perfxplain::testing::TinySchema());
+  auto metrics = system_.EvaluateOn(other, query, *explanation);
+  EXPECT_FALSE(metrics.ok());
+}
+
+TEST_F(PerfXplainTest, EvaluateOnHeldOutLog) {
+  const Query query = MakeQuery();
+  auto explanation = system_.Explain(query);
+  ASSERT_TRUE(explanation.ok());
+  // A freshly generated log with a different seed acts as the test half.
+  const ExecutionLog test_log = CausalLog(80, 777);
+  auto metrics = system_.EvaluateOn(test_log, query, *explanation);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->precision, 0.8);  // the causal structure transfers
+}
+
+TEST_F(PerfXplainTest, ExplainWithRunsEveryTechnique) {
+  const Query query = MakeQuery();
+  for (Technique technique :
+       {Technique::kPerfXplain, Technique::kRuleOfThumb,
+        Technique::kSimButDiff}) {
+    auto explanation = system_.ExplainWith(technique, query, 2);
+    ASSERT_TRUE(explanation.ok())
+        << TechniqueToString(technique) << ": "
+        << explanation.status().ToString();
+    EXPECT_GE(explanation->because.width(), 1u);
+  }
+}
+
+TEST_F(PerfXplainTest, GenerateDespiteViaFacade) {
+  const Query query = MakeQuery();
+  auto despite = system_.GenerateDespite(query);
+  ASSERT_TRUE(despite.ok()) << despite.status().ToString();
+  EXPECT_GE(despite->width(), 1u);
+}
+
+TEST_F(PerfXplainTest, AutoDespiteViaFacade) {
+  auto explanation = system_.ExplainWithAutoDespite(MakeQuery());
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_FALSE(explanation->despite.is_true());
+  EXPECT_FALSE(explanation->because.is_true());
+}
+
+TEST_F(PerfXplainTest, TechniqueNames) {
+  EXPECT_STREQ(TechniqueToString(Technique::kPerfXplain), "PerfXplain");
+  EXPECT_STREQ(TechniqueToString(Technique::kRuleOfThumb), "RuleOfThumb");
+  EXPECT_STREQ(TechniqueToString(Technique::kSimButDiff), "SimButDiff");
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,103 @@
+#include "ingest/ganglia_dump.h"
+
+#include <gtest/gtest.h>
+
+namespace perfxplain {
+namespace {
+
+SimJob SmallJob(std::uint64_t seed = 9) {
+  ClusterConfig cluster;
+  ExciteStats stats;
+  SimCostModel costs;
+  JobConfig config;
+  config.job_id = "job_gd";
+  config.num_instances = 2;
+  config.input_size_bytes = 256.0 * 1024 * 1024;
+  config.block_size_bytes = 64.0 * 1024 * 1024;
+  Rng rng(seed);
+  return SimulateJob(config, cluster, stats, costs, rng);
+}
+
+TEST(GangliaDumpTest, WriteParseRoundTrip) {
+  const SimJob job = SmallJob();
+  const std::string dump = WriteGangliaDump(job, 0.0);
+  auto samples = ParseGangliaDump(dump);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  // One row per (instance, sample time, metric).
+  std::size_t expected = 0;
+  for (const auto& series : job.ganglia) {
+    expected += series.times().size() * series.MetricNames().size();
+  }
+  EXPECT_EQ(samples->size(), expected);
+}
+
+TEST(GangliaDumpTest, TableMatchesOriginalWindowAverages) {
+  const SimJob job = SmallJob();
+  auto samples = ParseGangliaDump(WriteGangliaDump(job, 0.0));
+  ASSERT_TRUE(samples.ok());
+  const GangliaTable table(std::move(samples).value());
+  EXPECT_EQ(table.instance_count(), 2);
+  for (const SimTask& task : job.tasks) {
+    for (const std::string& metric : {"cpu_user", "load_one", "bytes_in"}) {
+      const double original =
+          job.ganglia[static_cast<std::size_t>(task.instance)].WindowAverage(
+              metric, task.start, task.finish);
+      auto ingested =
+          table.WindowAverage(task.instance, metric, task.start, task.finish);
+      ASSERT_TRUE(ingested.ok());
+      EXPECT_NEAR(ingested.value(), original,
+                  1e-9 * std::max(1.0, std::abs(original)))
+          << task.task_id << " " << metric;
+    }
+  }
+}
+
+TEST(GangliaDumpTest, EpochOffsetShiftsTimes) {
+  const SimJob job = SmallJob();
+  auto shifted = ParseGangliaDump(WriteGangliaDump(job, 5000.0));
+  ASSERT_TRUE(shifted.ok());
+  const GangliaTable table(std::move(shifted).value());
+  const SimTask& task = job.tasks.front();
+  auto value = table.WindowAverage(task.instance, "cpu_user",
+                                   5000.0 + task.start, 5000.0 + task.finish);
+  ASSERT_TRUE(value.ok());
+  const double original =
+      job.ganglia[static_cast<std::size_t>(task.instance)].WindowAverage(
+          "cpu_user", task.start, task.finish);
+  EXPECT_NEAR(value.value(), original, 1e-9 * std::max(1.0, original));
+}
+
+TEST(GangliaDumpTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseGangliaDump("").ok());
+  EXPECT_FALSE(ParseGangliaDump("wrong,header\n").ok());
+  EXPECT_FALSE(
+      ParseGangliaDump("instance,hostname,time,metric,value\n1,h,notnum,m,2")
+          .ok());
+  EXPECT_FALSE(
+      ParseGangliaDump("instance,hostname,time,metric,value\n1,h,2,m").ok());
+}
+
+TEST(GangliaDumpTest, UnknownSeriesReportsNotFound) {
+  auto samples = ParseGangliaDump(
+      "instance,hostname,time,metric,value\n0,h,1,cpu_user,50\n");
+  ASSERT_TRUE(samples.ok());
+  const GangliaTable table(std::move(samples).value());
+  EXPECT_FALSE(table.WindowAverage(3, "cpu_user", 0, 2).ok());
+  EXPECT_FALSE(table.WindowAverage(0, "bogus", 0, 2).ok());
+  EXPECT_TRUE(table.WindowAverage(0, "cpu_user", 0, 2).ok());
+}
+
+TEST(GangliaDumpTest, NearestSampleFallback) {
+  auto samples = ParseGangliaDump(
+      "instance,hostname,time,metric,value\n"
+      "0,h,0,cpu_user,10\n0,h,5,cpu_user,20\n0,h,10,cpu_user,90\n");
+  ASSERT_TRUE(samples.ok());
+  const GangliaTable table(std::move(samples).value());
+  // Window (6.5, 7.5) holds no sample; nearest to midpoint 7 is t=5.
+  auto value = table.WindowAverage(0, "cpu_user", 6.5, 7.5);
+  ASSERT_TRUE(value.ok());
+  EXPECT_DOUBLE_EQ(value.value(), 20.0);
+}
+
+}  // namespace
+}  // namespace perfxplain

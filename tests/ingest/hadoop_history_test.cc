@@ -1,0 +1,114 @@
+#include "ingest/hadoop_history.h"
+
+#include <gtest/gtest.h>
+
+namespace perfxplain {
+namespace {
+
+TEST(HistoryRecordTest, EncodeBasic) {
+  HistoryRecord record;
+  record.type = "Job";
+  record.attributes["JOBID"] = "job_1";
+  record.attributes["JOBNAME"] = "x.pig";
+  EXPECT_EQ(EncodeHistoryRecord(record),
+            "Job JOBID=\"job_1\" JOBNAME=\"x.pig\" .");
+}
+
+TEST(HistoryRecordTest, EncodeEscapesQuotesAndBackslashes) {
+  HistoryRecord record;
+  record.type = "Task";
+  record.attributes["NAME"] = "say \"hi\" \\ bye";
+  EXPECT_EQ(EncodeHistoryRecord(record),
+            "Task NAME=\"say \\\"hi\\\" \\\\ bye\" .");
+}
+
+TEST(HistoryRecordTest, ParseBasic) {
+  auto record = ParseHistoryLine("Job JOBID=\"job_1\" SUBMIT_TIME=\"99\" .");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->type, "Job");
+  EXPECT_EQ(record->Get("JOBID"), "job_1");
+  EXPECT_EQ(record->Get("SUBMIT_TIME"), "99");
+  EXPECT_TRUE(record->Has("JOBID"));
+  EXPECT_FALSE(record->Has("FINISH_TIME"));
+  EXPECT_EQ(record->Get("FINISH_TIME"), "");
+}
+
+TEST(HistoryRecordTest, RoundTripWithEscapes) {
+  HistoryRecord original;
+  original.type = "JobConf";
+  original.attributes["KEY"] = "weird \"value\" with \\ stuff";
+  original.attributes["VALUE"] = "a=b .c,d";
+  auto parsed = ParseHistoryLine(EncodeHistoryRecord(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, original.type);
+  EXPECT_EQ(parsed->attributes, original.attributes);
+}
+
+TEST(HistoryRecordTest, ParseErrors) {
+  EXPECT_FALSE(ParseHistoryLine("").ok());
+  EXPECT_FALSE(ParseHistoryLine("Job JOBID=\"x\"").ok());  // no terminator
+  EXPECT_FALSE(ParseHistoryLine("Job JOBID=x .").ok());    // unquoted
+  EXPECT_FALSE(ParseHistoryLine("Job JOBID=\"x .").ok());  // unterminated
+  EXPECT_FALSE(ParseHistoryLine("Job JOBID=\"x\" . extra").ok());
+  EXPECT_FALSE(ParseHistoryLine("Job =\"x\" .").ok());     // empty key
+}
+
+TEST(HistoryTest, ParseMultipleLinesSkippingBlanks) {
+  auto records = ParseHistory(
+      "Meta VERSION=\"1\" .\n"
+      "\n"
+      "Job JOBID=\"j\" SUBMIT_TIME=\"1\" .\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].type, "Meta");
+  EXPECT_EQ((*records)[1].type, "Job");
+}
+
+TEST(CountersTest, EncodeParseRoundTrip) {
+  const std::map<std::string, double> counters = {
+      {"HDFS_BYTES_READ", 67108864.0},
+      {"MAP_INPUT_RECORDS", 12345.5},
+      {"GC_TIME_MILLIS", 0.0},
+  };
+  auto parsed = ParseCounters(EncodeCounters(counters));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), counters);
+}
+
+TEST(CountersTest, EmptyAndMalformed) {
+  EXPECT_TRUE(ParseCounters("").value().empty());
+  EXPECT_FALSE(ParseCounters("NOCOLON").ok());
+  EXPECT_FALSE(ParseCounters("A:xyz").ok());
+}
+
+TEST(WriteJobHistoryTest, ProducesParseableCompleteHistory) {
+  ClusterConfig cluster;
+  ExciteStats stats;
+  SimCostModel costs;
+  JobConfig config;
+  config.job_id = "job_hist";
+  config.num_instances = 2;
+  config.input_size_bytes = 256.0 * 1024 * 1024;
+  config.block_size_bytes = 64.0 * 1024 * 1024;
+  Rng rng(5);
+  const SimJob job = SimulateJob(config, cluster, stats, costs, rng);
+
+  const std::string text = WriteJobHistory(job, 1000000.0);
+  auto records = ParseHistory(text);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+
+  std::size_t job_records = 0;
+  std::size_t conf_records = 0;
+  std::size_t task_records = 0;
+  for (const HistoryRecord& record : records.value()) {
+    if (record.type == "Job") ++job_records;
+    if (record.type == "JobConf") ++conf_records;
+    if (record.type == "Task") ++task_records;
+  }
+  EXPECT_EQ(job_records, 2u);  // submit + finish
+  EXPECT_GE(conf_records, 8u);
+  EXPECT_EQ(task_records, job.tasks.size());
+}
+
+}  // namespace
+}  // namespace perfxplain

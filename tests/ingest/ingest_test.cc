@@ -1,0 +1,158 @@
+#include "ingest/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "ingest/ganglia_dump.h"
+#include "ingest/hadoop_history.h"
+#include "log/catalog.h"
+#include "simulator/trace_generator.h"
+
+namespace perfxplain {
+namespace {
+
+constexpr double kEpoch = 1323150000.0;
+
+SimJob SimulateSmallJob(std::uint64_t seed = 17) {
+  ClusterConfig cluster;
+  ExciteStats stats;
+  SimCostModel costs;
+  JobConfig config;
+  config.job_id = "job_ing";
+  config.num_instances = 2;
+  config.input_size_bytes = 512.0 * 1024 * 1024;
+  config.block_size_bytes = 64.0 * 1024 * 1024;
+  config.reduce_tasks_factor = 1.5;
+  config.pig_script = "simple-groupby.pig";
+  Rng rng(seed);
+  return SimulateJob(config, cluster, stats, costs, rng);
+}
+
+class IngestTest : public ::testing::Test {
+ protected:
+  IngestTest()
+      : job_log_(MakeJobSchema()), task_log_(MakeTaskSchema()) {}
+
+  ExecutionLog job_log_;
+  ExecutionLog task_log_;
+};
+
+TEST_F(IngestTest, IngestedRecordsMatchDirectTraceGeneration) {
+  const SimJob job = SimulateSmallJob();
+  const std::string history = WriteJobHistory(job, kEpoch);
+  const std::string ganglia = WriteGangliaDump(job, kEpoch);
+  ASSERT_TRUE(IngestJob(history, ganglia, job_log_, task_log_).ok());
+  ASSERT_EQ(job_log_.size(), 1u);
+  ASSERT_EQ(task_log_.size(), job.tasks.size());
+
+  // Reference records straight from the simulator.
+  const ExecutionRecord reference_job =
+      JobToRecord(job_log_.schema(), job, kEpoch);
+  const ExecutionRecord& ingested_job = job_log_.at(0);
+  ASSERT_EQ(ingested_job.values.size(), reference_job.values.size());
+  for (std::size_t f = 0; f < reference_job.values.size(); ++f) {
+    const Value& expected = reference_job.values[f];
+    const Value& actual = ingested_job.values[f];
+    if (expected.is_numeric()) {
+      ASSERT_TRUE(actual.is_numeric()) << job_log_.schema().at(f).name;
+      EXPECT_NEAR(actual.number(), expected.number(),
+                  1e-6 * std::max(1.0, std::abs(expected.number())))
+          << job_log_.schema().at(f).name;
+    } else {
+      EXPECT_EQ(actual, expected) << job_log_.schema().at(f).name;
+    }
+  }
+
+  for (std::size_t t = 0; t < job.tasks.size(); ++t) {
+    const ExecutionRecord reference =
+        TaskToRecord(task_log_.schema(), job, job.tasks[t], kEpoch);
+    const ExecutionRecord& actual = task_log_.at(t);
+    EXPECT_EQ(actual.id, reference.id);
+    for (std::size_t f = 0; f < reference.values.size(); ++f) {
+      const Value& expected_value = reference.values[f];
+      const Value& actual_value = actual.values[f];
+      if (expected_value.is_numeric()) {
+        ASSERT_TRUE(actual_value.is_numeric())
+            << task_log_.schema().at(f).name;
+        EXPECT_NEAR(
+            actual_value.number(), expected_value.number(),
+            1e-6 * std::max(1.0, std::abs(expected_value.number())))
+            << actual.id << " " << task_log_.schema().at(f).name;
+      } else {
+        EXPECT_EQ(actual_value, expected_value)
+            << actual.id << " " << task_log_.schema().at(f).name;
+      }
+    }
+  }
+}
+
+TEST_F(IngestTest, MultipleJobsAccumulate) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    SimJob job = SimulateSmallJob(seed);
+    job.config.job_id = "job_" + std::to_string(seed);
+    for (SimTask& task : job.tasks) {
+      task.task_id = job.config.job_id + task.task_id.substr(7);
+    }
+    ASSERT_TRUE(IngestJob(WriteJobHistory(job, kEpoch),
+                          WriteGangliaDump(job, kEpoch), job_log_, task_log_)
+                    .ok());
+  }
+  EXPECT_EQ(job_log_.size(), 3u);
+  EXPECT_GT(task_log_.size(), 3u);
+}
+
+TEST_F(IngestTest, RejectsHistoryWithoutJobRecords) {
+  EXPECT_FALSE(IngestJob("Meta VERSION=\"1\" .\n",
+                         "instance,hostname,time,metric,value\n", job_log_,
+                         task_log_)
+                   .ok());
+}
+
+TEST_F(IngestTest, RejectsMissingConfKeys) {
+  const std::string history =
+      "Job JOBID=\"j\" JOBNAME=\"simple-filter.pig\" SUBMIT_TIME=\"0\" .\n"
+      "Task TASKID=\"j_m_0\" JOBID=\"j\" TASK_TYPE=\"MAP\" START_TIME=\"1\" "
+      "FINISH_TIME=\"2\" HOSTNAME=\"h\" TRACKER=\"t\" INSTANCE=\"0\" "
+      "WAVE=\"0\" SLOT=\"0\" SHUFFLE_SECONDS=\"0\" SORT_SECONDS=\"0\" "
+      "COUNTERS=\"\" .\n"
+      "Job JOBID=\"j\" FINISH_TIME=\"3\" JOB_STATUS=\"SUCCESS\" .\n";
+  const Status status = IngestJob(
+      history, "instance,hostname,time,metric,value\n0,h,1,cpu_user,1\n",
+      job_log_, task_log_);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+TEST_F(IngestTest, RejectsCorruptGanglia) {
+  const SimJob job = SimulateSmallJob();
+  EXPECT_FALSE(IngestJob(WriteJobHistory(job, kEpoch), "garbage", job_log_,
+                         task_log_)
+                   .ok());
+}
+
+TEST_F(IngestTest, FileBasedIngestion) {
+  const SimJob job = SimulateSmallJob();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("px_ingest_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string history_path = (dir / "history.log").string();
+  const std::string ganglia_path = (dir / "ganglia.csv").string();
+  {
+    std::ofstream history(history_path);
+    history << WriteJobHistory(job, kEpoch);
+    std::ofstream ganglia(ganglia_path);
+    ganglia << WriteGangliaDump(job, kEpoch);
+  }
+  EXPECT_TRUE(
+      IngestJobFiles(history_path, ganglia_path, job_log_, task_log_).ok());
+  EXPECT_EQ(job_log_.size(), 1u);
+  EXPECT_FALSE(IngestJobFiles((dir / "nope.log").string(), ganglia_path,
+                              job_log_, task_log_)
+                   .ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace perfxplain

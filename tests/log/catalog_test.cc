@@ -1,0 +1,92 @@
+#include "log/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace perfxplain {
+namespace {
+
+TEST(CatalogTest, GangliaMetricListIsStableAndUnique) {
+  const auto& metrics = GangliaMetricNames();
+  EXPECT_GE(metrics.size(), 15u);
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    for (std::size_t j = i + 1; j < metrics.size(); ++j) {
+      EXPECT_NE(metrics[i], metrics[j]);
+    }
+  }
+  // The metrics the paper's explanations cite must exist.
+  auto contains = [&](const std::string& name) {
+    for (const auto& metric : metrics) {
+      if (metric == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("cpu_user"));
+  EXPECT_TRUE(contains("proc_total"));
+  EXPECT_TRUE(contains("load_one"));
+  EXPECT_TRUE(contains("load_five"));
+  EXPECT_TRUE(contains("pkts_in"));
+  EXPECT_TRUE(contains("bytes_in"));
+}
+
+TEST(CatalogTest, JobSchemaHasQueryFeatures) {
+  const Schema schema = MakeJobSchema();
+  // Features used by the evaluation queries (§6.2) and the motivating
+  // scenario (§2.1).
+  for (const char* name :
+       {feature_names::kDuration, feature_names::kInputSize,
+        feature_names::kNumInstances, feature_names::kPigScript,
+        feature_names::kBlockSize, feature_names::kIoSortFactor,
+        feature_names::kNumReduceTasks, feature_names::kNumMapTasks}) {
+    EXPECT_TRUE(schema.Contains(name)) << name;
+  }
+  EXPECT_EQ(schema.at(schema.IndexOf(feature_names::kPigScript)).kind,
+            ValueKind::kNominal);
+  EXPECT_EQ(schema.at(schema.IndexOf(feature_names::kDuration)).kind,
+            ValueKind::kNumeric);
+}
+
+TEST(CatalogTest, JobSchemaHasGangliaAverages) {
+  const Schema schema = MakeJobSchema();
+  for (const auto& metric : GangliaMetricNames()) {
+    EXPECT_TRUE(schema.Contains("avg_" + metric)) << metric;
+  }
+}
+
+TEST(CatalogTest, JobSchemaSizeComparableToPaper) {
+  // The paper records 36 job-level features; our catalogue is in the same
+  // ballpark.
+  const Schema schema = MakeJobSchema();
+  EXPECT_GE(schema.size(), 30u);
+  EXPECT_LE(schema.size(), 60u);
+}
+
+TEST(CatalogTest, TaskSchemaHasQueryFeatures) {
+  const Schema schema = MakeTaskSchema();
+  for (const char* name :
+       {feature_names::kDuration, feature_names::kInputSize,
+        feature_names::kJobId, feature_names::kHostname,
+        feature_names::kTrackerName, feature_names::kTaskType}) {
+    EXPECT_TRUE(schema.Contains(name)) << name;
+  }
+  // Hadoop log fields called out in §6.1.
+  for (const char* name : {"hdfs_bytes_written", "hdfs_bytes_read",
+                           "sorttime", "shuffletime", "taskfinishtime"}) {
+    EXPECT_TRUE(schema.Contains(name)) << name;
+  }
+  EXPECT_EQ(schema.at(schema.IndexOf(feature_names::kJobId)).kind,
+            ValueKind::kNominal);
+}
+
+TEST(CatalogTest, TaskSchemaLargerThanJobSchema) {
+  // The paper: 64 task features vs 36 job features.
+  EXPECT_GT(MakeTaskSchema().size(), MakeJobSchema().size());
+}
+
+TEST(CatalogTest, SchemasAreReconstructible) {
+  // Two calls produce identical schemas (no global state).
+  EXPECT_TRUE(MakeJobSchema() == MakeJobSchema());
+  EXPECT_TRUE(MakeTaskSchema() == MakeTaskSchema());
+}
+
+}  // namespace
+}  // namespace perfxplain

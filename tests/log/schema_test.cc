@@ -1,0 +1,64 @@
+#include "log/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace perfxplain {
+namespace {
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  ASSERT_TRUE(schema.Add("a", ValueKind::kNumeric).ok());
+  ASSERT_TRUE(schema.Add("b", ValueKind::kNominal).ok());
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.IndexOf("a"), 0u);
+  EXPECT_EQ(schema.IndexOf("b"), 1u);
+  EXPECT_EQ(schema.at(0).name, "a");
+  EXPECT_EQ(schema.at(0).kind, ValueKind::kNumeric);
+  EXPECT_EQ(schema.at(1).kind, ValueKind::kNominal);
+}
+
+TEST(SchemaTest, DuplicateNameRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.Add("a", ValueKind::kNumeric).ok());
+  const Status status = schema.Add("a", ValueKind::kNominal);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.size(), 1u);
+}
+
+TEST(SchemaTest, MissingNameReturnsNotFound) {
+  Schema schema;
+  EXPECT_EQ(schema.IndexOf("nope"), Schema::kNotFound);
+  EXPECT_FALSE(schema.Contains("nope"));
+  auto required = schema.Require("nope");
+  EXPECT_FALSE(required.ok());
+  EXPECT_EQ(required.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RequireReturnsIndex) {
+  Schema schema;
+  ASSERT_TRUE(schema.Add("x", ValueKind::kNumeric).ok());
+  auto index = schema.Require("x");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value(), 0u);
+}
+
+TEST(SchemaTest, EqualityComparesDefsInOrder) {
+  Schema a;
+  Schema b;
+  ASSERT_TRUE(a.Add("x", ValueKind::kNumeric).ok());
+  ASSERT_TRUE(b.Add("x", ValueKind::kNumeric).ok());
+  EXPECT_TRUE(a == b);
+  ASSERT_TRUE(a.Add("y", ValueKind::kNominal).ok());
+  EXPECT_FALSE(a == b);
+  ASSERT_TRUE(b.Add("y", ValueKind::kNumeric).ok());
+  EXPECT_FALSE(a == b);  // same name, different kind
+}
+
+TEST(SchemaTest, AtDiesOutOfRange) {
+  Schema schema;
+  EXPECT_DEATH(schema.at(0), "");
+}
+
+}  // namespace
+}  // namespace perfxplain

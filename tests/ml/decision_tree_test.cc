@@ -1,0 +1,120 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+using perfxplain::testing::TinySchema;
+
+/// Examples over the Tiny pair schema with two informative features:
+/// label = (x_isSame == "T") XOR-ish with a numeric refinement on base x.
+class DecisionTreeTest : public ::testing::Test {
+ protected:
+  DecisionTreeTest() : schema_(TinySchema()) {}
+
+  TrainingExample Example(const std::string& is_same, double x, bool label) {
+    TrainingExample example;
+    example.observed = label;
+    example.features.assign(schema_.size(), Value::Missing());
+    example.features[schema_.IndexOf(PairFeatureKind::kIsSame, 0)] =
+        Value::Nominal(is_same);
+    example.features[schema_.IndexOf(PairFeatureKind::kBase, 0)] =
+        Value::Number(x);
+    return example;
+  }
+
+  std::vector<TrainingExample> SeparableSet(std::size_t n) {
+    std::vector<TrainingExample> examples;
+    Rng rng(42);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool same = rng.Bernoulli(0.5);
+      const double x = rng.Uniform(0.0, 100.0);
+      // Positive iff same and x < 50: requires a depth-2 tree.
+      const bool label = same && x < 50.0;
+      examples.push_back(Example(same ? "T" : "F", x, label));
+    }
+    return examples;
+  }
+
+  PairSchema schema_;
+};
+
+TEST_F(DecisionTreeTest, FitsAndPredictsSeparableData) {
+  const auto examples = SeparableSet(400);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(schema_, examples, TreeOptions()).ok());
+  EXPECT_TRUE(tree.fitted());
+  std::size_t correct = 0;
+  for (const auto& example : examples) {
+    if (tree.Predict(example.features) == example.observed) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / examples.size(), 0.97);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST_F(DecisionTreeTest, GeneralizesToFreshSamples) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(schema_, SeparableSet(400), TreeOptions()).ok());
+  // Evaluate on points the training loop never saw.
+  EXPECT_TRUE(tree.Predict(Example("T", 10, true).features));
+  EXPECT_FALSE(tree.Predict(Example("T", 90, false).features));
+  EXPECT_FALSE(tree.Predict(Example("F", 10, false).features));
+}
+
+TEST_F(DecisionTreeTest, RespectsMaxDepth) {
+  TreeOptions options;
+  options.max_depth = 1;
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(schema_, SeparableSet(400), options).ok());
+  EXPECT_LE(tree.depth(), 2u);  // root split + leaves
+}
+
+TEST_F(DecisionTreeTest, MinLeafPreventsSplinters) {
+  TreeOptions options;
+  options.min_leaf = 200;
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(schema_, SeparableSet(300), options).ok());
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST_F(DecisionTreeTest, PureDataYieldsSingleLeaf) {
+  std::vector<TrainingExample> examples;
+  for (int i = 0; i < 20; ++i) {
+    examples.push_back(Example("T", i, true));
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(schema_, examples, TreeOptions()).ok());
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.PredictProbability(examples[0].features), 1.0);
+}
+
+TEST_F(DecisionTreeTest, EmptyInputRejected) {
+  DecisionTree tree;
+  EXPECT_FALSE(tree.Fit(schema_, {}, TreeOptions()).ok());
+}
+
+TEST_F(DecisionTreeTest, ProbabilitiesAreFrequencies) {
+  // 3:1 positives with no informative feature -> one leaf at p=0.75.
+  std::vector<TrainingExample> examples;
+  for (int i = 0; i < 40; ++i) {
+    examples.push_back(Example("T", 1.0, i % 4 != 0));
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(schema_, examples, TreeOptions()).ok());
+  EXPECT_NEAR(tree.PredictProbability(examples[0].features), 0.75, 1e-9);
+}
+
+TEST_F(DecisionTreeTest, ToStringRendersTree) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(schema_, SeparableSet(200), TreeOptions()).ok());
+  const std::string rendered = tree.ToString(schema_);
+  EXPECT_NE(rendered.find("leaf"), std::string::npos);
+  EXPECT_NE(rendered.find("?"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,113 @@
+#include "pxql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace perfxplain {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& text) {
+  auto tokens = Tokenize(text);
+  PX_CHECK(tokens.ok()) << tokens.status().ToString();
+  return std::move(tokens).value();
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  const auto tokens = MustTokenize("DESPITE inputsize_compare");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[0].text, "DESPITE");
+  EXPECT_EQ(tokens[1].text, "inputsize_compare");
+}
+
+TEST(LexerTest, IdentifiersMayContainDotsAndDashes) {
+  const auto tokens = MustTokenize("simple-filter.pig");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "simple-filter.pig");
+}
+
+TEST(LexerTest, Operators) {
+  const auto tokens = MustTokenize("= == != <> < <= > >=");
+  ASSERT_EQ(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].text, "=");
+  EXPECT_EQ(tokens[1].text, "=");   // == collapses to =
+  EXPECT_EQ(tokens[2].text, "!=");
+  EXPECT_EQ(tokens[3].text, "!=");  // <> is an alias
+  EXPECT_EQ(tokens[4].text, "<");
+  EXPECT_EQ(tokens[5].text, "<=");
+  EXPECT_EQ(tokens[6].text, ">");
+  EXPECT_EQ(tokens[7].text, ">=");
+}
+
+TEST(LexerTest, Numbers) {
+  const auto tokens = MustTokenize("12 -3.5 1e3 2.5e-2");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 12.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, -3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.025);
+}
+
+TEST(LexerTest, UnitSuffixes) {
+  const auto tokens = MustTokenize("128MB 2GB 64kb 1tb 500ms 2min 3s");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 128.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 2.0 * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 64.0 * 1024);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1024.0 * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[5].number, 120.0);
+  EXPECT_DOUBLE_EQ(tokens[6].number, 3.0);
+}
+
+TEST(LexerTest, UnknownUnitFails) {
+  EXPECT_FALSE(Tokenize("12parsecs").ok());
+}
+
+TEST(LexerTest, Strings) {
+  const auto tokens = MustTokenize("'job 1' \"job,2\"");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "job 1");
+  EXPECT_EQ(tokens[1].text, "job,2");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Punctuation) {
+  const auto tokens = MustTokenize("(a, b)");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[2].type, TokenType::kComma);
+  EXPECT_EQ(tokens[4].type, TokenType::kRParen);
+}
+
+TEST(LexerTest, OffsetsPointAtTokenStart) {
+  const auto tokens = MustTokenize("ab  <=");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto tokens = Tokenize("a # b");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, FullQueryTokenizes) {
+  const auto tokens = MustTokenize(
+      "FOR J1, J2 WHERE J1.JobID = 'a' AND J2.JobID = 'b' "
+      "DESPITE inputsize_compare = SIM AND numinstances_isSame = T "
+      "OBSERVED duration_compare = LT EXPECTED duration_compare = SIM");
+  EXPECT_GT(tokens.size(), 20u);
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+}  // namespace
+}  // namespace perfxplain

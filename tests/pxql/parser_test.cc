@@ -1,0 +1,171 @@
+#include "pxql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "features/pair_schema.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+Query MustParse(const std::string& text) {
+  auto query = ParseQuery(text);
+  PX_CHECK(query.ok()) << query.status().ToString();
+  return std::move(query).value();
+}
+
+TEST(ParserTest, MinimalQuery) {
+  const Query query = MustParse(
+      "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+  EXPECT_TRUE(query.despite.is_true());
+  EXPECT_EQ(query.observed.width(), 1u);
+  EXPECT_EQ(query.expected.width(), 1u);
+  EXPECT_EQ(query.observed.atoms()[0].feature(), "duration_compare");
+  EXPECT_EQ(query.observed.atoms()[0].constant(), Value::Nominal("GT"));
+}
+
+TEST(ParserTest, DespiteClauseWithConjunction) {
+  const Query query = MustParse(
+      "DESPITE inputsize_compare = SIM AND numinstances_isSame = T "
+      "OBSERVED duration_compare = LT EXPECTED duration_compare = SIM");
+  EXPECT_EQ(query.despite.width(), 2u);
+  EXPECT_EQ(query.despite.atoms()[1].feature(), "numinstances_isSame");
+}
+
+TEST(ParserTest, ForClauseBindsIds) {
+  const Query query = MustParse(
+      "FOR J1, J2 WHERE J1.JobID = 'job_a' AND J2.JobID = 'job_b' "
+      "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+  EXPECT_EQ(query.first_id, "job_a");
+  EXPECT_EQ(query.second_id, "job_b");
+}
+
+TEST(ParserTest, ForClauseAliasOrderIrrelevant) {
+  const Query query = MustParse(
+      "FOR T1, T2 WHERE T2.TaskID = 'y' AND T1.TaskID = 'x' "
+      "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+  EXPECT_EQ(query.first_id, "x");
+  EXPECT_EQ(query.second_id, "y");
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  const Query query = MustParse(
+      "despite a_isSame = T observed duration_compare = GT "
+      "expected duration_compare = SIM");
+  EXPECT_EQ(query.despite.width(), 1u);
+}
+
+TEST(ParserTest, TrueDespite) {
+  const Query query = MustParse(
+      "DESPITE true OBSERVED duration_compare = GT "
+      "EXPECTED duration_compare = SIM");
+  EXPECT_TRUE(query.despite.is_true());
+}
+
+TEST(ParserTest, UnitSuffixedConstant) {
+  const Query query = MustParse(
+      "DESPITE blocksize >= 128MB OBSERVED duration_compare = GT "
+      "EXPECTED duration_compare = SIM");
+  EXPECT_EQ(query.despite.atoms()[0].constant(),
+            Value::Number(128.0 * 1024 * 1024));
+  EXPECT_EQ(query.despite.atoms()[0].op(), CompareOp::kGe);
+}
+
+TEST(ParserTest, QuotedNominalConstant) {
+  const Query query = MustParse(
+      "DESPITE pigscript = 'simple-filter.pig' "
+      "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+  EXPECT_EQ(query.despite.atoms()[0].constant(),
+            Value::Nominal("simple-filter.pig"));
+}
+
+TEST(ParserTest, TupleConstantForDiffFeature) {
+  const Query query = MustParse(
+      "DESPITE pigscript_diff = (filter.pig,join.pig) "
+      "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+  EXPECT_EQ(query.despite.atoms()[0].constant(),
+            Value::Nominal("(filter.pig,join.pig)"));
+}
+
+TEST(ParserTest, MissingObservedFails) {
+  EXPECT_FALSE(ParseQuery("EXPECTED duration_compare = SIM").ok());
+}
+
+TEST(ParserTest, MissingExpectedFails) {
+  EXPECT_FALSE(ParseQuery("OBSERVED duration_compare = SIM").ok());
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(ParseQuery("OBSERVED a = 1 EXPECTED b = 2 bogus").ok());
+}
+
+TEST(ParserTest, BadBindingFieldFails) {
+  EXPECT_FALSE(ParseQuery("FOR J1, J2 WHERE J1.duration = 'x' "
+                          "OBSERVED a = 1 EXPECTED b = 2")
+                   .ok());
+}
+
+TEST(ParserTest, UnknownAliasFails) {
+  EXPECT_FALSE(ParseQuery("FOR J1, J2 WHERE J9.JobID = 'x' "
+                          "OBSERVED a = 1 EXPECTED b = 2")
+                   .ok());
+}
+
+TEST(ParserTest, PredicateEntryPoint) {
+  auto predicate = ParsePredicate("a_isSame = T AND b_compare = SIM");
+  ASSERT_TRUE(predicate.ok());
+  EXPECT_EQ(predicate->width(), 2u);
+  EXPECT_TRUE(ParsePredicate("true").value().is_true());
+  EXPECT_FALSE(ParsePredicate("a = ").ok());
+  EXPECT_FALSE(ParsePredicate("a = 1 extra").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const Query original = MustParse(
+      "FOR J1, J2 WHERE J1.JobID = 'a' AND J2.JobID = 'b' "
+      "DESPITE inputsize_compare = GT AND blocksize >= 1024 "
+      "OBSERVED duration_compare = SIM EXPECTED duration_compare = GT");
+  const Query reparsed = MustParse(original.ToString());
+  EXPECT_EQ(reparsed.first_id, original.first_id);
+  EXPECT_EQ(reparsed.second_id, original.second_id);
+  EXPECT_EQ(reparsed.despite, original.despite);
+  EXPECT_EQ(reparsed.observed, original.observed);
+  EXPECT_EQ(reparsed.expected, original.expected);
+}
+
+TEST(QueryValidateTest, AcceptsDisjointObsExp) {
+  Query query = MustParse(
+      "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+  EXPECT_TRUE(query.Validate().ok());
+}
+
+TEST(QueryValidateTest, RejectsOverlappingObsExp) {
+  Query query = MustParse(
+      "OBSERVED duration_compare = GT EXPECTED blocksize_isSame = T");
+  const Status status = query.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryValidateTest, RejectsEmptyClauses) {
+  Query query = MustParse(
+      "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+  query.observed = Predicate::True();
+  EXPECT_FALSE(query.Validate().ok());
+}
+
+TEST(QueryBindTest, BindsAllClausesAgainstPairSchema) {
+  PairSchema schema(perfxplain::testing::TinySchema());
+  Query query = MustParse(
+      "DESPITE color_isSame = T OBSERVED duration_compare = GT "
+      "EXPECTED duration_compare = SIM");
+  ASSERT_TRUE(query.Bind(schema).ok());
+  EXPECT_TRUE(query.despite.bound());
+  EXPECT_TRUE(query.observed.bound());
+  EXPECT_TRUE(query.expected.bound());
+  Query bad = MustParse("OBSERVED zz_compare = GT EXPECTED zz_compare = SIM");
+  EXPECT_FALSE(bad.Bind(schema).ok());
+}
+
+}  // namespace
+}  // namespace perfxplain

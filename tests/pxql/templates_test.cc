@@ -1,0 +1,75 @@
+#include "pxql/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "log/catalog.h"
+
+namespace perfxplain {
+namespace {
+
+TEST(TemplatesTest, AllTemplatesCarryIds) {
+  for (const Query& query :
+       {DifferentDurationsExpected("a", "b"),
+        SameDurationsExpectedButFaster("a", "b"),
+        SameDurationsExpectedButSlower("a", "b"),
+        SameDurationDespiteMoreInput("a", "b"),
+        FasterDespiteSameInputAndInstances("a", "b"),
+        WhyLastTaskFaster("a", "b"),
+        WhySlowerDespiteSameNumInstances("a", "b")}) {
+    EXPECT_EQ(query.first_id, "a");
+    EXPECT_EQ(query.second_id, "b");
+  }
+}
+
+TEST(TemplatesTest, AllTemplatesAreValid) {
+  for (const Query& query :
+       {DifferentDurationsExpected("a", "b"),
+        SameDurationsExpectedButFaster("a", "b"),
+        SameDurationsExpectedButSlower("a", "b"),
+        SameDurationDespiteMoreInput("a", "b"),
+        FasterDespiteSameInputAndInstances("a", "b"),
+        WhyLastTaskFaster("a", "b"),
+        WhySlowerDespiteSameNumInstances("a", "b")}) {
+    EXPECT_TRUE(query.Validate().ok()) << query.ToString();
+  }
+}
+
+TEST(TemplatesTest, JobTemplatesBindToJobSchema) {
+  PairSchema schema(MakeJobSchema());
+  for (Query query :
+       {DifferentDurationsExpected("a", "b"),
+        SameDurationsExpectedButSlower("a", "b"),
+        SameDurationDespiteMoreInput("a", "b"),
+        FasterDespiteSameInputAndInstances("a", "b"),
+        WhySlowerDespiteSameNumInstances("a", "b")}) {
+    EXPECT_TRUE(query.Bind(schema).ok()) << query.ToString();
+  }
+}
+
+TEST(TemplatesTest, TaskTemplateBindsToTaskSchema) {
+  PairSchema schema(MakeTaskSchema());
+  Query query = WhyLastTaskFaster("t1", "t2");
+  EXPECT_TRUE(query.Bind(schema).ok());
+  // The task template references task-only features, so it must not bind
+  // against the job schema.
+  PairSchema job_schema(MakeJobSchema());
+  Query again = WhyLastTaskFaster("t1", "t2");
+  EXPECT_FALSE(again.Bind(job_schema).ok());
+}
+
+TEST(TemplatesTest, Figure1ShapesMatchPaper) {
+  // Query 1 of Figure 1: OBSERVED SIM, EXPECTED GT, no despite.
+  const Query q1 = DifferentDurationsExpected("a", "b");
+  EXPECT_TRUE(q1.despite.is_true());
+  EXPECT_EQ(q1.observed.ToString(), "duration_compare = SIM");
+  EXPECT_EQ(q1.expected.ToString(), "duration_compare = GT");
+  // Query 3: despite inputsize GT.
+  const Query q3 = SameDurationDespiteMoreInput("a", "b");
+  EXPECT_EQ(q3.despite.ToString(), "inputsize_compare = GT");
+  // Evaluation query 2 despite: numinstances and pigscript same.
+  const Query q7 = WhySlowerDespiteSameNumInstances("a", "b");
+  EXPECT_EQ(q7.despite.width(), 2u);
+}
+
+}  // namespace
+}  // namespace perfxplain

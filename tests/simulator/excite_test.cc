@@ -1,0 +1,114 @@
+#include "simulator/excite.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace perfxplain {
+namespace {
+
+TEST(ExciteTest, GeneratesRequestedCount) {
+  ExciteOptions options;
+  options.num_records = 500;
+  Rng rng(1);
+  const auto records = GenerateExciteLog(options, rng);
+  EXPECT_EQ(records.size(), 500u);
+}
+
+TEST(ExciteTest, RecordsHaveTabSeparatedShape) {
+  ExciteOptions options;
+  options.num_records = 10;
+  Rng rng(2);
+  for (const auto& record : GenerateExciteLog(options, rng)) {
+    const std::string line = record.ToLine();
+    EXPECT_EQ(std::count(line.begin(), line.end(), '\t'), 2) << line;
+    EXPECT_FALSE(record.user.empty());
+    EXPECT_FALSE(record.query.empty());
+    EXPECT_GT(record.timestamp, 0u);
+  }
+}
+
+TEST(ExciteTest, TimestampsAreNonDecreasing) {
+  ExciteOptions options;
+  options.num_records = 200;
+  Rng rng(3);
+  const auto records = GenerateExciteLog(options, rng);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].timestamp, records[i].timestamp);
+  }
+}
+
+TEST(ExciteTest, UrlDetection) {
+  EXPECT_TRUE(IsUrlQuery("http://www.site001.com/maps"));
+  EXPECT_TRUE(IsUrlQuery("https://secure.example.com"));
+  EXPECT_TRUE(IsUrlQuery("www.example.com"));
+  EXPECT_FALSE(IsUrlQuery("weather seattle"));
+  EXPECT_FALSE(IsUrlQuery(""));
+}
+
+TEST(ExciteTest, MeasuredStatsTrackGeneratorKnobs) {
+  ExciteOptions options;
+  options.num_records = 20000;
+  options.url_fraction = 0.25;
+  Rng rng(4);
+  const auto records = GenerateExciteLog(options, rng);
+  const ExciteStats stats = MeasureExciteStats(records);
+  EXPECT_NEAR(stats.url_fraction, 0.25, 0.02);
+  EXPECT_GT(stats.avg_record_bytes, 20.0);
+  EXPECT_LT(stats.avg_record_bytes, 100.0);
+  EXPECT_GT(stats.distinct_user_ratio, 0.0);
+  EXPECT_LT(stats.distinct_user_ratio, 0.2);
+}
+
+TEST(ExciteTest, UserDistributionIsSkewed) {
+  ExciteOptions options;
+  options.num_records = 5000;
+  options.user_pool = 500;
+  Rng rng(5);
+  const auto records = GenerateExciteLog(options, rng);
+  std::unordered_map<std::string, int> counts;
+  for (const auto& record : records) ++counts[record.user];
+  int max_count = 0;
+  for (const auto& [user, count] : counts) max_count = std::max(max_count,
+                                                                count);
+  // Zipf-ish skew: the busiest user far exceeds the uniform share.
+  EXPECT_GT(max_count, 3 * 5000 / 500);
+}
+
+TEST(ExciteTest, StatsOfEmptyLogAreDefaults) {
+  const ExciteStats stats = MeasureExciteStats({});
+  EXPECT_GT(stats.avg_record_bytes, 0.0);
+}
+
+TEST(ExciteTest, DeterministicGivenSeed) {
+  ExciteOptions options;
+  options.num_records = 100;
+  Rng rng1(6);
+  Rng rng2(6);
+  const auto a = GenerateExciteLog(options, rng1);
+  const auto b = GenerateExciteLog(options, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToLine(), b[i].ToLine());
+  }
+}
+
+TEST(ExciteTest, WriteLogProducesFile) {
+  ExciteOptions options;
+  options.num_records = 25;
+  Rng rng(7);
+  const auto records = GenerateExciteLog(options, rng);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("px_excite_" + std::to_string(::getpid()) + ".log");
+  ASSERT_TRUE(WriteExciteLog(records, path.string()).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, records.size());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,139 @@
+#include "simulator/ganglia.h"
+
+#include <gtest/gtest.h>
+
+#include "log/catalog.h"
+
+namespace perfxplain {
+namespace {
+
+class GangliaTest : public ::testing::Test {
+ protected:
+  std::vector<GangliaSeries> Synthesize(
+      const std::vector<TaskActivity>& activities, double job_start,
+      double job_end, int instances = 1, std::uint64_t seed = 3) {
+    ClusterConfig cluster;
+    cluster.num_instances = instances;
+    cluster.background_load_probability = 0.0;
+    Rng rng(seed);
+    const auto states = MakeInstances(cluster, rng);
+    GangliaOptions options;
+    return SynthesizeGanglia(cluster, states, activities, job_start, job_end,
+                             options, rng);
+  }
+};
+
+TEST_F(GangliaTest, SamplesCoverTheJobWindow) {
+  const auto series = Synthesize({}, 0.0, 100.0);
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_FALSE(series[0].times().empty());
+  EXPECT_GE(series[0].times().front(), 0.0);
+  EXPECT_LE(series[0].times().front(), 5.0);
+  EXPECT_GE(series[0].times().back(), 100.0);
+  // 5-second cadence.
+  EXPECT_NEAR(series[0].times()[1] - series[0].times()[0], 5.0, 1e-9);
+}
+
+TEST_F(GangliaTest, AllCatalogMetricsPresent) {
+  const auto series = Synthesize({}, 0.0, 50.0);
+  for (const auto& metric : GangliaMetricNames()) {
+    EXPECT_TRUE(series[0].HasMetric(metric)) << metric;
+    // Averages over the whole window are finite and non-negative.
+    EXPECT_GE(series[0].WindowAverage(metric, 0.0, 50.0), 0.0) << metric;
+  }
+}
+
+TEST_F(GangliaTest, BusyInstanceShowsHigherCpuAndLoad) {
+  TaskActivity busy;
+  busy.instance = 0;
+  busy.start = 0.0;
+  busy.finish = 300.0;
+  TaskActivity busy2 = busy;
+  const auto series = Synthesize({busy, busy2}, 0.0, 600.0);
+  const double cpu_busy = series[0].WindowAverage("cpu_user", 100.0, 300.0);
+  const double cpu_idle = series[0].WindowAverage("cpu_user", 400.0, 600.0);
+  EXPECT_GT(cpu_busy, cpu_idle + 50.0);
+  const double load_busy = series[0].WindowAverage("load_one", 200.0, 300.0);
+  const double load_idle = series[0].WindowAverage("load_one", 550.0, 600.0);
+  EXPECT_GT(load_busy, load_idle + 0.5);
+  // cpu_idle mirrors cpu_user.
+  EXPECT_LT(series[0].WindowAverage("cpu_idle", 100.0, 300.0),
+            series[0].WindowAverage("cpu_idle", 400.0, 600.0));
+}
+
+TEST_F(GangliaTest, OneTaskVersusTwoTasksSeparable) {
+  // The signal behind WhyLastTaskFaster: a lone task's window shows about
+  // half the cpu_user of a doubly-loaded window, well beyond the 10%
+  // similarity tolerance.
+  TaskActivity long_task;
+  long_task.instance = 0;
+  long_task.start = 0.0;
+  long_task.finish = 400.0;
+  TaskActivity overlap = long_task;
+  overlap.finish = 200.0;  // second slot busy only for the first half
+  const auto series = Synthesize({long_task, overlap}, 0.0, 400.0);
+  const double two = series[0].WindowAverage("cpu_user", 0.0, 195.0);
+  const double one = series[0].WindowAverage("cpu_user", 205.0, 400.0);
+  EXPECT_GT(two, 1.5 * one);
+  const double proc_two = series[0].WindowAverage("proc_run", 0.0, 195.0);
+  const double proc_one = series[0].WindowAverage("proc_run", 205.0, 400.0);
+  EXPECT_GT(proc_two, proc_one + 0.5);
+}
+
+TEST_F(GangliaTest, NetworkRatesShowUpInBytesIn) {
+  TaskActivity shuffling;
+  shuffling.instance = 0;
+  shuffling.start = 50.0;
+  shuffling.finish = 150.0;
+  shuffling.bytes_in_rate = 5e6;
+  const auto series = Synthesize({shuffling}, 0.0, 200.0);
+  const double during = series[0].WindowAverage("bytes_in", 60.0, 140.0);
+  const double after = series[0].WindowAverage("bytes_in", 160.0, 200.0);
+  EXPECT_GT(during, after + 1e6);
+  EXPECT_GT(series[0].WindowAverage("pkts_in", 60.0, 140.0),
+            series[0].WindowAverage("pkts_in", 160.0, 200.0));
+}
+
+TEST_F(GangliaTest, LoadAveragesAreSmoothed) {
+  // load_fifteen reacts far more slowly than load_one.
+  TaskActivity task;
+  task.instance = 0;
+  task.start = 0.0;
+  task.finish = 120.0;
+  TaskActivity task2 = task;
+  const auto series = Synthesize({task, task2}, 0.0, 120.0);
+  const double one = series[0].WindowAverage("load_one", 60.0, 120.0);
+  const double fifteen = series[0].WindowAverage("load_fifteen", 60.0, 120.0);
+  EXPECT_GT(one, fifteen);
+}
+
+TEST_F(GangliaTest, WindowAverageFallsBackToNearestSample) {
+  const auto series = Synthesize({}, 0.0, 100.0);
+  // A sub-sample-interval window still yields a sensible value.
+  const double value = series[0].WindowAverage("proc_total", 51.0, 52.0);
+  EXPECT_GT(value, 50.0);
+  EXPECT_LT(value, 130.0);
+}
+
+TEST_F(GangliaTest, PerInstanceBiasesDiffer) {
+  // Two idle instances report different absolute proc_total baselines —
+  // the per-host measurement bias that keeps monitoring features from
+  // being perfect duration predictors.
+  const auto series = Synthesize({}, 0.0, 500.0, /*instances=*/8);
+  std::vector<double> baselines;
+  for (const auto& s : series) {
+    baselines.push_back(s.WindowAverage("proc_total", 0.0, 500.0));
+  }
+  const double min = *std::min_element(baselines.begin(), baselines.end());
+  const double max = *std::max_element(baselines.begin(), baselines.end());
+  EXPECT_GT(max - min, 2.0);
+}
+
+TEST_F(GangliaTest, UnknownMetricDies) {
+  const auto series = Synthesize({}, 0.0, 10.0);
+  EXPECT_DEATH(series[0].WindowAverage("bogus_metric", 0.0, 10.0),
+               "unknown metric");
+}
+
+}  // namespace
+}  // namespace perfxplain

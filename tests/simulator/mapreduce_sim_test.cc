@@ -1,0 +1,313 @@
+#include "simulator/mapreduce_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace perfxplain {
+namespace {
+
+class MapReduceSimTest : public ::testing::Test {
+ protected:
+  JobConfig BaseConfig() {
+    JobConfig config;
+    config.job_id = "job_test";
+    config.num_instances = 4;
+    config.input_size_bytes = 1.3 * 1024 * 1024 * 1024;
+    config.block_size_bytes = 64.0 * 1024 * 1024;
+    config.reduce_tasks_factor = 1.0;
+    config.io_sort_factor = 10;
+    config.pig_script = "simple-filter.pig";
+    return config;
+  }
+
+  SimJob Run(const JobConfig& config, std::uint64_t seed = 7) {
+    Rng rng(seed);
+    return SimulateJob(config, cluster_, stats_, costs_, rng);
+  }
+
+  ClusterConfig cluster_;
+  ExciteStats stats_;
+  SimCostModel costs_;
+};
+
+TEST_F(MapReduceSimTest, TaskCountsMatchConfig) {
+  const JobConfig config = BaseConfig();
+  const SimJob job = Run(config);
+  int maps = 0;
+  int reduces = 0;
+  for (const SimTask& task : job.tasks) {
+    (task.type == TaskType::kMap ? maps : reduces) += 1;
+  }
+  EXPECT_EQ(maps, config.NumMapTasks());
+  EXPECT_EQ(reduces, config.NumReduceTasks());
+  EXPECT_EQ(job.instances.size(), 4u);
+  EXPECT_EQ(job.ganglia.size(), 4u);
+}
+
+TEST_F(MapReduceSimTest, TaskTimelineIsConsistent) {
+  const SimJob job = Run(BaseConfig());
+  double map_end = 0.0;
+  for (const SimTask& task : job.tasks) {
+    EXPECT_GE(task.start, job.start_time);
+    EXPECT_GT(task.finish, task.start);
+    EXPECT_LE(task.finish, job.finish_time);
+    if (task.type == TaskType::kMap) {
+      map_end = std::max(map_end, task.finish);
+    }
+  }
+  // Reduces start only after the map phase (our simplified barrier).
+  for (const SimTask& task : job.tasks) {
+    if (task.type == TaskType::kReduce) {
+      EXPECT_GE(task.start, map_end);
+    }
+  }
+}
+
+TEST_F(MapReduceSimTest, MapInputCoversInputExactlyOnce) {
+  const JobConfig config = BaseConfig();
+  const SimJob job = Run(config);
+  double total = 0.0;
+  for (const SimTask& task : job.tasks) {
+    if (task.type == TaskType::kMap) {
+      total += task.input_bytes;
+      EXPECT_LE(task.input_bytes, config.block_size_bytes + 1);
+      EXPECT_GT(task.input_bytes, 0.0);
+    }
+  }
+  EXPECT_NEAR(total, config.input_size_bytes, 1.0);
+}
+
+TEST_F(MapReduceSimTest, ShuffleConservesMapOutput) {
+  const SimJob job = Run(BaseConfig());
+  double map_out = 0.0;
+  double reduce_in = 0.0;
+  for (const SimTask& task : job.tasks) {
+    if (task.type == TaskType::kMap) map_out += task.output_bytes;
+    else reduce_in += task.input_bytes;
+  }
+  EXPECT_NEAR(reduce_in, map_out, map_out * 1e-6);
+}
+
+TEST_F(MapReduceSimTest, SlotLimitRespected) {
+  // At no point may more tasks run on an instance than it has slots.
+  const SimJob job = Run(BaseConfig());
+  for (int instance = 0; instance < 4; ++instance) {
+    std::vector<const SimTask*> tasks;
+    for (const SimTask& task : job.tasks) {
+      if (task.instance == instance && task.type == TaskType::kMap) {
+        tasks.push_back(&task);
+      }
+    }
+    for (const SimTask* task : tasks) {
+      int concurrent = 0;
+      const double midpoint = (task->start + task->finish) / 2.0;
+      for (const SimTask* other : tasks) {
+        if (other->start <= midpoint && midpoint < other->finish) {
+          ++concurrent;
+        }
+      }
+      EXPECT_LE(concurrent, cluster_.map_slots_per_instance);
+    }
+  }
+}
+
+TEST_F(MapReduceSimTest, MoreInstancesFasterForMultiWaveJobs) {
+  JobConfig small = BaseConfig();
+  small.num_instances = 1;
+  JobConfig large = BaseConfig();
+  large.num_instances = 16;
+  const double d1 = Run(small, 11).duration();
+  const double d16 = Run(large, 11).duration();
+  EXPECT_LT(d16, d1 * 0.5);
+}
+
+TEST_F(MapReduceSimTest, LargeBlocksWasteClusterCapacity) {
+  // The §2.1 story: with 1 GB blocks, 1.3 GB vs 2.6 GB takes about the
+  // same time on an 8-instance cluster (2-3 blocks vs 16 slots).
+  JobConfig big = BaseConfig();
+  big.num_instances = 8;
+  big.block_size_bytes = 1024.0 * 1024 * 1024;
+  big.input_size_bytes = 2.6 * 1024 * 1024 * 1024;
+  JobConfig small = big;
+  small.input_size_bytes = 1.3 * 1024 * 1024 * 1024;
+  const double d_big = Run(big, 13).duration();
+  const double d_small = Run(small, 14).duration();
+  EXPECT_NEAR(d_small / d_big, 1.0, 0.25);
+}
+
+TEST_F(MapReduceSimTest, SmallBlocksLetInputSizeMatter) {
+  JobConfig big = BaseConfig();
+  big.num_instances = 1;
+  big.input_size_bytes = 2.6 * 1024 * 1024 * 1024;
+  JobConfig small = big;
+  small.input_size_bytes = 1.3 * 1024 * 1024 * 1024;
+  const double d_big = Run(big, 15).duration();
+  const double d_small = Run(small, 16).duration();
+  EXPECT_LT(d_small, 0.75 * d_big);
+}
+
+TEST_F(MapReduceSimTest, LastWaveTasksRunFasterWhenAlone) {
+  // 21 map tasks on 8 slots: the third wave has 5 tasks, so at least one
+  // instance runs a lone task that should beat the per-wave average of the
+  // contended first wave.
+  const SimJob job = Run(BaseConfig(), 17);
+  double first_wave_avg = 0.0;
+  int first_wave_count = 0;
+  double last_wave_min = 1e18;
+  int max_wave = 0;
+  for (const SimTask& task : job.tasks) {
+    if (task.type != TaskType::kMap) continue;
+    max_wave = std::max(max_wave, task.wave_index);
+  }
+  for (const SimTask& task : job.tasks) {
+    if (task.type != TaskType::kMap) continue;
+    if (task.wave_index == 0) {
+      first_wave_avg += task.duration();
+      ++first_wave_count;
+    }
+    if (task.wave_index == max_wave) {
+      last_wave_min = std::min(last_wave_min, task.duration());
+    }
+  }
+  first_wave_avg /= first_wave_count;
+  EXPECT_GT(max_wave, 0);
+  EXPECT_LT(last_wave_min, first_wave_avg / 1.2)
+      << "a lone last-wave task should run >=20% faster";
+}
+
+TEST_F(MapReduceSimTest, IoSortFactorAffectsSortTime) {
+  JobConfig low = BaseConfig();
+  low.num_instances = 2;
+  low.io_sort_factor = 2;
+  JobConfig high = low;
+  high.io_sort_factor = 100;
+  auto sort_total = [](const SimJob& job) {
+    double total = 0.0;
+    for (const SimTask& task : job.tasks) total += task.sort_seconds;
+    return total;
+  };
+  EXPECT_GT(sort_total(Run(low, 19)), sort_total(Run(high, 19)) * 1.5);
+}
+
+TEST_F(MapReduceSimTest, GroupByShufflesLessThanFilter) {
+  JobConfig filter = BaseConfig();
+  JobConfig groupby = BaseConfig();
+  groupby.pig_script = "simple-groupby.pig";
+  stats_.url_fraction = 0.2;
+  stats_.distinct_user_ratio = 0.05;
+  auto reduce_in = [](const SimJob& job) {
+    double total = 0.0;
+    for (const SimTask& task : job.tasks) {
+      if (task.type == TaskType::kReduce) total += task.input_bytes;
+    }
+    return total;
+  };
+  EXPECT_GT(reduce_in(Run(filter, 21)), 5 * reduce_in(Run(groupby, 21)));
+}
+
+TEST_F(MapReduceSimTest, DeterministicGivenSeed) {
+  const SimJob a = Run(BaseConfig(), 23);
+  const SimJob b = Run(BaseConfig(), 23);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].start, b.tasks[i].start);
+    EXPECT_DOUBLE_EQ(a.tasks[i].finish, b.tasks[i].finish);
+  }
+  EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+}
+
+TEST_F(MapReduceSimTest, TaskIdsAreUnique) {
+  const SimJob job = Run(BaseConfig());
+  std::set<std::string> ids;
+  for (const SimTask& task : job.tasks) ids.insert(task.task_id);
+  EXPECT_EQ(ids.size(), job.tasks.size());
+}
+
+TEST_F(MapReduceSimTest, KeySkewConcentratesReduceInput) {
+  JobConfig config = BaseConfig();
+  config.pig_script = "simple-groupby.pig";
+  config.reduce_tasks_factor = 2.0;  // 8 reducers
+  auto spread = [this, &config](double sigma) {
+    costs_.key_skew_lognormal_sigma = sigma;
+    const SimJob job = Run(config, 31);
+    double max_bytes = 0.0;
+    double total = 0.0;
+    int n = 0;
+    for (const SimTask& task : job.tasks) {
+      if (task.type != TaskType::kReduce) continue;
+      max_bytes = std::max(max_bytes, task.input_bytes);
+      total += task.input_bytes;
+      ++n;
+    }
+    return max_bytes / (total / n);
+  };
+  const double uniform = spread(0.0);
+  const double skewed = spread(1.0);
+  EXPECT_GT(skewed, uniform * 1.3);
+  EXPECT_LT(uniform, 1.6);  // mild baseline skew only
+}
+
+TEST_F(MapReduceSimTest, KeySkewDoesNotAffectFilterScripts) {
+  // simple-filter.pig has no grouping key, so the knob must be inert.
+  JobConfig config = BaseConfig();
+  costs_.key_skew_lognormal_sigma = 0.0;
+  const SimJob plain = Run(config, 33);
+  costs_.key_skew_lognormal_sigma = 1.0;
+  const SimJob knobbed = Run(config, 33);
+  ASSERT_EQ(plain.tasks.size(), knobbed.tasks.size());
+  for (std::size_t i = 0; i < plain.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.tasks[i].input_bytes,
+                     knobbed.tasks[i].input_bytes);
+  }
+}
+
+TEST_F(MapReduceSimTest, SpeculativeExecutionCapsStragglers) {
+  cluster_.straggler_probability = 0.25;
+  cluster_.straggler_slowdown = 4.0;
+  JobConfig config = BaseConfig();
+  auto tail_ratio = [this, &config](bool speculative) {
+    costs_.speculative_execution = speculative;
+    const SimJob job = Run(config, 35);
+    std::vector<double> durations;
+    for (const SimTask& task : job.tasks) {
+      if (task.type == TaskType::kMap) durations.push_back(task.duration());
+    }
+    std::sort(durations.begin(), durations.end());
+    const double median = durations[durations.size() / 2];
+    return durations.back() / median;
+  };
+  const double without = tail_ratio(false);
+  const double with = tail_ratio(true);
+  EXPECT_GT(without, 2.5);
+  EXPECT_LT(with, without);
+  EXPECT_LT(with, 2.2);  // threshold 1.7 + backup startup slack
+}
+
+TEST_F(MapReduceSimTest, SpeculativeExecutionShortensJobTail) {
+  cluster_.straggler_probability = 0.3;
+  cluster_.straggler_slowdown = 4.0;
+  JobConfig config = BaseConfig();
+  costs_.speculative_execution = false;
+  const double slow = Run(config, 37).duration();
+  costs_.speculative_execution = true;
+  const double fast = Run(config, 37).duration();
+  EXPECT_LE(fast, slow);
+}
+
+TEST_F(MapReduceSimTest, SingleBlockSingleInstanceWorks) {
+  JobConfig config = BaseConfig();
+  config.num_instances = 1;
+  config.input_size_bytes = 10.0 * 1024 * 1024;
+  config.block_size_bytes = 64.0 * 1024 * 1024;
+  const SimJob job = Run(config);
+  int maps = 0;
+  for (const SimTask& task : job.tasks) {
+    if (task.type == TaskType::kMap) ++maps;
+  }
+  EXPECT_EQ(maps, 1);
+  EXPECT_GT(job.duration(), 0.0);
+}
+
+}  // namespace
+}  // namespace perfxplain

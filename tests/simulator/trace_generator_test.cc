@@ -1,0 +1,172 @@
+#include "simulator/trace_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "log/catalog.h"
+
+namespace perfxplain {
+namespace {
+
+/// A small grid (8 jobs) keeps these tests fast.
+TraceOptions SmallTrace(std::uint64_t seed = 5) {
+  TraceOptions options;
+  options.seed = seed;
+  int id = 0;
+  for (int instances : {2, 4}) {
+    for (double block_mb : {64.0, 1024.0}) {
+      for (const char* script :
+           {"simple-filter.pig", "simple-groupby.pig"}) {
+        JobConfig config;
+        config.job_id = "job_" + std::to_string(id++);
+        config.num_instances = instances;
+        config.block_size_bytes = block_mb * 1024 * 1024;
+        config.pig_script = script;
+        options.jobs.push_back(config);
+      }
+    }
+  }
+  return options;
+}
+
+TEST(TraceGeneratorTest, SchemasMatchCatalog) {
+  const Trace trace = GenerateTrace(SmallTrace());
+  EXPECT_TRUE(trace.job_log.schema() == MakeJobSchema());
+  EXPECT_TRUE(trace.task_log.schema() == MakeTaskSchema());
+}
+
+TEST(TraceGeneratorTest, OneJobRecordPerConfiguredJob) {
+  const TraceOptions options = SmallTrace();
+  const Trace trace = GenerateTrace(options);
+  EXPECT_EQ(trace.job_log.size(), options.jobs.size());
+  for (const auto& config : options.jobs) {
+    EXPECT_TRUE(trace.job_log.Find(config.job_id).ok()) << config.job_id;
+  }
+}
+
+TEST(TraceGeneratorTest, TaskRecordsReferenceTheirJobs) {
+  const Trace trace = GenerateTrace(SmallTrace());
+  const Schema& schema = trace.task_log.schema();
+  const std::size_t f_job = schema.IndexOf(feature_names::kJobId);
+  std::set<std::string> jobs;
+  for (const auto& record : trace.task_log.records()) {
+    const std::string& job = record.values[f_job].nominal();
+    EXPECT_TRUE(trace.job_log.Find(job).ok()) << job;
+    jobs.insert(job);
+  }
+  EXPECT_EQ(jobs.size(), trace.job_log.size());
+}
+
+TEST(TraceGeneratorTest, NoMissingValuesInGeneratedRecords) {
+  const Trace trace = GenerateTrace(SmallTrace());
+  for (const auto& record : trace.job_log.records()) {
+    for (const Value& value : record.values) {
+      EXPECT_FALSE(value.is_missing()) << record.id;
+    }
+  }
+  for (const auto& record : trace.task_log.records()) {
+    for (const Value& value : record.values) {
+      EXPECT_FALSE(value.is_missing()) << record.id;
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, JobDurationsPositiveAndPlausible) {
+  const Trace trace = GenerateTrace(SmallTrace());
+  const std::size_t f_duration =
+      trace.job_log.schema().IndexOf(feature_names::kDuration);
+  for (const auto& record : trace.job_log.records()) {
+    const double duration = record.values[f_duration].number();
+    EXPECT_GT(duration, 30.0) << record.id;   // at least the setup time
+    EXPECT_LT(duration, 7200.0) << record.id;  // sanity ceiling
+  }
+}
+
+TEST(TraceGeneratorTest, JobCountersAggregateTaskCounters) {
+  const Trace trace = GenerateTrace(SmallTrace());
+  const Schema& job_schema = trace.job_log.schema();
+  const Schema& task_schema = trace.task_log.schema();
+  const std::size_t jf_read = job_schema.IndexOf("hdfs_bytes_read");
+  const std::size_t tf_read = task_schema.IndexOf("hdfs_bytes_read");
+  const std::size_t tf_job = task_schema.IndexOf(feature_names::kJobId);
+  for (const auto& job : trace.job_log.records()) {
+    double task_total = 0.0;
+    for (const auto& task : trace.task_log.records()) {
+      if (task.values[tf_job].nominal() == job.id) {
+        task_total += task.values[tf_read].number();
+      }
+    }
+    EXPECT_NEAR(job.values[jf_read].number(), task_total,
+                1e-6 * std::max(1.0, task_total))
+        << job.id;
+  }
+}
+
+TEST(TraceGeneratorTest, StartTimesAdvanceMonotonically) {
+  const Trace trace = GenerateTrace(SmallTrace());
+  const std::size_t f_start = trace.job_log.schema().IndexOf("start_time");
+  double previous = 0.0;
+  for (const auto& record : trace.job_log.records()) {
+    const double start = record.values[f_start].number();
+    EXPECT_GT(start, previous);
+    previous = start;
+  }
+}
+
+TEST(TraceGeneratorTest, DeterministicGivenSeed) {
+  const Trace a = GenerateTrace(SmallTrace(9));
+  const Trace b = GenerateTrace(SmallTrace(9));
+  ASSERT_EQ(a.job_log.size(), b.job_log.size());
+  for (std::size_t i = 0; i < a.job_log.size(); ++i) {
+    EXPECT_EQ(a.job_log.at(i).values, b.job_log.at(i).values);
+  }
+}
+
+TEST(TraceGeneratorTest, SeedChangesData) {
+  const Trace a = GenerateTrace(SmallTrace(1));
+  const Trace b = GenerateTrace(SmallTrace(2));
+  const std::size_t f_duration =
+      a.job_log.schema().IndexOf(feature_names::kDuration);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.job_log.size(); ++i) {
+    if (!(a.job_log.at(i).values[f_duration] ==
+          b.job_log.at(i).values[f_duration])) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(TraceGeneratorTest, EmptyJobListMeansFullTable2Grid) {
+  // Spot-check rather than simulate all 540 jobs: the default grid is
+  // materialized when `jobs` is empty.
+  TraceOptions options;
+  options.jobs = MakeTable2Grid();
+  options.jobs.resize(2);  // only simulate the first two for speed
+  const Trace trace = GenerateTrace(options);
+  EXPECT_EQ(trace.job_log.size(), 2u);
+}
+
+TEST(TraceGeneratorTest, ReduceTaskFieldsPopulated) {
+  const Trace trace = GenerateTrace(SmallTrace());
+  const Schema& schema = trace.task_log.schema();
+  const std::size_t f_type = schema.IndexOf(feature_names::kTaskType);
+  const std::size_t f_sort = schema.IndexOf("sorttime");
+  const std::size_t f_shuffle = schema.IndexOf("shuffletime");
+  std::size_t reduces = 0;
+  for (const auto& record : trace.task_log.records()) {
+    if (record.values[f_type].nominal() == "reduce") {
+      ++reduces;
+      EXPECT_GE(record.values[f_shuffle].number(), 0.0);
+      EXPECT_GE(record.values[f_sort].number(), 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(record.values[f_sort].number(), 0.0);
+      EXPECT_DOUBLE_EQ(record.values[f_shuffle].number(), 0.0);
+    }
+  }
+  EXPECT_GT(reduces, 0u);
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,101 @@
+#include "simulator/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace perfxplain {
+namespace {
+
+TEST(JobConfigTest, NumMapTasksIsCeilOfInputOverBlock) {
+  JobConfig config;
+  config.input_size_bytes = 1.3 * 1024 * 1024 * 1024;
+  config.block_size_bytes = 64.0 * 1024 * 1024;
+  EXPECT_EQ(config.NumMapTasks(), 21);  // ceil(1331.2/64)
+  config.block_size_bytes = 1024.0 * 1024 * 1024;
+  EXPECT_EQ(config.NumMapTasks(), 2);
+  config.input_size_bytes = 2.6 * 1024 * 1024 * 1024;
+  EXPECT_EQ(config.NumMapTasks(), 3);
+  config.block_size_bytes = 0;  // degenerate
+  EXPECT_EQ(config.NumMapTasks(), 1);
+}
+
+TEST(JobConfigTest, NumReduceTasksPaperExample) {
+  // §6.1: 8 instances at factor 1.5 -> 12 reduce tasks.
+  JobConfig config;
+  config.num_instances = 8;
+  config.reduce_tasks_factor = 1.5;
+  EXPECT_EQ(config.NumReduceTasks(), 12);
+  config.num_instances = 1;
+  config.reduce_tasks_factor = 1.0;
+  EXPECT_EQ(config.NumReduceTasks(), 1);
+  config.reduce_tasks_factor = 2.0;
+  EXPECT_EQ(config.NumReduceTasks(), 2);
+}
+
+TEST(Table2GridTest, Has540UniqueConfigurations) {
+  const auto grid = MakeTable2Grid();
+  EXPECT_EQ(grid.size(), 540u);
+  std::set<std::string> ids;
+  std::set<std::string> shapes;
+  for (const auto& config : grid) {
+    ids.insert(config.job_id);
+    shapes.insert(std::to_string(config.num_instances) + "/" +
+                  std::to_string(config.input_size_bytes) + "/" +
+                  std::to_string(config.block_size_bytes) + "/" +
+                  std::to_string(config.reduce_tasks_factor) + "/" +
+                  std::to_string(config.io_sort_factor) + "/" +
+                  config.pig_script);
+  }
+  EXPECT_EQ(ids.size(), 540u);
+  EXPECT_EQ(shapes.size(), 540u);
+}
+
+TEST(Table2GridTest, CoversAllParameterValues) {
+  const auto grid = MakeTable2Grid();
+  std::set<int> instances;
+  std::set<double> blocks;
+  std::set<std::string> scripts;
+  for (const auto& config : grid) {
+    instances.insert(config.num_instances);
+    blocks.insert(config.block_size_bytes / (1024.0 * 1024.0));
+    scripts.insert(config.pig_script);
+  }
+  EXPECT_EQ(instances, (std::set<int>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(blocks, (std::set<double>{64, 256, 1024}));
+  EXPECT_EQ(scripts, (std::set<std::string>{"simple-filter.pig",
+                                            "simple-groupby.pig"}));
+}
+
+TEST(Table2GridTest, StartIdOffsetsNames) {
+  const auto grid = MakeTable2Grid(1000);
+  EXPECT_EQ(grid.front().job_id, "job_001000");
+}
+
+TEST(PigScriptTest, FilterSelectivityTracksUrlFraction) {
+  ExciteStats stats;
+  stats.url_fraction = 0.3;
+  const PigScriptSpec spec = MakeSimpleFilterSpec(stats);
+  EXPECT_NEAR(spec.map_output_ratio, 0.7, 1e-9);
+  EXPECT_NEAR(spec.map_output_record_ratio, 0.7, 1e-9);
+  EXPECT_FALSE(spec.uses_combiner);
+}
+
+TEST(PigScriptTest, GroupByCombinerShrinksOutput) {
+  ExciteStats stats;
+  const PigScriptSpec spec = MakeSimpleGroupBySpec(stats);
+  EXPECT_LT(spec.map_output_ratio, 0.2);
+  EXPECT_TRUE(spec.uses_combiner);
+  EXPECT_GT(spec.reduce_cpu_sec_per_mb,
+            MakeSimpleFilterSpec(stats).reduce_cpu_sec_per_mb);
+}
+
+TEST(PigScriptTest, LookupByName) {
+  ExciteStats stats;
+  EXPECT_TRUE(PigScriptByName("simple-filter.pig", stats).ok());
+  EXPECT_TRUE(PigScriptByName("simple-groupby.pig", stats).ok());
+  EXPECT_FALSE(PigScriptByName("wordcount.pig", stats).ok());
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,72 @@
+#include "testing/test_util.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "pxql/parser.h"
+
+namespace perfxplain::testing {
+
+Schema TinySchema() {
+  Schema schema;
+  PX_CHECK(schema.Add("x", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("color", ValueKind::kNominal).ok());
+  PX_CHECK(schema.Add("duration", ValueKind::kNumeric).ok());
+  return schema;
+}
+
+ExecutionRecord TinyRecord(const std::string& id, double x,
+                           const std::string& color, double duration) {
+  return ExecutionRecord(
+      id, {Value::Number(x), Value::Nominal(color), Value::Number(duration)});
+}
+
+ExecutionLog CausalLog(std::size_t n, std::uint64_t seed) {
+  Schema schema;
+  PX_CHECK(schema.Add("cause", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("decoy_n", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("decoy_c", ValueKind::kNominal).ok());
+  PX_CHECK(schema.Add("duration", ValueKind::kNumeric).ok());
+  ExecutionLog log(schema);
+  Rng rng(seed);
+  const double causes[] = {1.0, 2.0, 4.0, 8.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cause = causes[rng.UniformInt(0, 3)];
+    const double decoy = rng.Uniform(0.0, 100.0);
+    const std::string color = rng.Bernoulli(0.5) ? "red" : "blue";
+    // Duration fully determined by `cause` plus 2% noise.
+    const double duration =
+        100.0 * cause * rng.ClampedGaussian(1.0, 0.02, 0.9, 1.1);
+    PX_CHECK(log.Add(ExecutionRecord(
+                         StrFormat("r%03zu", i),
+                         {Value::Number(cause), Value::Number(decoy),
+                          Value::Nominal(color), Value::Number(duration)}))
+                 .ok());
+  }
+  return log;
+}
+
+Query GtVsSimQuery(const std::string& despite_text) {
+  std::string text;
+  if (!despite_text.empty()) {
+    text += "DESPITE " + despite_text + " ";
+  }
+  text += "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM";
+  auto query = ParseQuery(text);
+  PX_CHECK(query.ok()) << query.status().ToString();
+  return std::move(query).value();
+}
+
+Predicate MustPredicate(const std::string& text) {
+  auto predicate = ParsePredicate(text);
+  PX_CHECK(predicate.ok()) << predicate.status().ToString();
+  return std::move(predicate).value();
+}
+
+std::vector<Value> PairVector(const Schema& schema, const ExecutionRecord& a,
+                              const ExecutionRecord& b) {
+  PairSchema pair_schema(schema);
+  PairFeatureOptions options;
+  return PairFeatureView(&pair_schema, &a, &b, &options).Materialize();
+}
+
+}  // namespace perfxplain::testing

@@ -1,0 +1,47 @@
+#ifndef PERFXPLAIN_TESTS_TESTING_TEST_UTIL_H_
+#define PERFXPLAIN_TESTS_TESTING_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "features/pair_features.h"
+#include "log/execution_log.h"
+#include "pxql/query.h"
+
+namespace perfxplain::testing {
+
+/// A tiny two-feature schema used across unit tests:
+///   x        numeric
+///   color    nominal
+///   duration numeric
+Schema TinySchema();
+
+/// A record for TinySchema.
+ExecutionRecord TinyRecord(const std::string& id, double x,
+                           const std::string& color, double duration);
+
+/// A synthetic job-style log whose duration is fully determined by one
+/// numeric feature ("cause") plus a grid of decoy features:
+///   cause   numeric in {1, 2, 4, 8}; duration = 100 * cause
+///   decoy_n numeric decoy uncorrelated with duration
+///   decoy_c nominal decoy ("red"/"blue")
+///   duration
+/// Record ids are "r000".."rNNN".
+ExecutionLog CausalLog(std::size_t n, std::uint64_t seed);
+
+/// Builds a query "OBSERVED duration_compare = GT EXPECTED
+/// duration_compare = SIM" with an optional despite text, bound to nothing.
+Query GtVsSimQuery(const std::string& despite_text = "");
+
+/// Parses predicate text or dies.
+Predicate MustPredicate(const std::string& text);
+
+/// Materialized pair-feature vector for two records under `schema`.
+std::vector<Value> PairVector(const Schema& schema,
+                              const ExecutionRecord& a,
+                              const ExecutionRecord& b);
+
+}  // namespace perfxplain::testing
+
+#endif  // PERFXPLAIN_TESTS_TESTING_TEST_UTIL_H_

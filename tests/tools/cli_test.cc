@@ -1,0 +1,235 @@
+#include "cli.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include <fstream>
+
+#include "core/pair_enumeration.h"
+#include "ingest/ganglia_dump.h"
+#include "ingest/hadoop_history.h"
+#include "pxql/templates.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+namespace px = perfxplain;
+
+int RunCli(const std::vector<std::string>& args, std::string* output) {
+  std::ostringstream out;
+  const int code = cli::Run(args, out);
+  *output = out.str();
+  return code;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("px_cli_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes a causal log CSV and returns its path plus a valid query.
+  std::string WriteCausalLog(Query* query) {
+    const ExecutionLog log = testing::CausalLog(80, 31);
+    const std::string path = (dir_ / "log.csv").string();
+    PX_CHECK(log.SaveCsv(path).ok());
+    Query q = testing::GtVsSimQuery();
+    PairSchema schema(log.schema());
+    PX_CHECK(q.Bind(schema).ok());
+    auto poi = FindPairOfInterest(log, schema, q, PairFeatureOptions());
+    PX_CHECK(poi.ok());
+    q.first_id = log.at(poi->first).id;
+    q.second_id = log.at(poi->second).id;
+    *query = q;
+    return path;
+  }
+
+  std::string QueryText(const Query& query) {
+    return "FOR J1, J2 WHERE J1.JobID = '" + query.first_id +
+           "' AND J2.JobID = '" + query.second_id +
+           "' OBSERVED duration_compare = GT "
+           "EXPECTED duration_compare = SIM";
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, HelpPrintsUsage) {
+  std::string output;
+  EXPECT_EQ(RunCli({"help"}, &output), 0);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+  EXPECT_NE(output.find("PXQL"), std::string::npos);
+}
+
+TEST_F(CliTest, NoCommandFails) {
+  std::string output;
+  EXPECT_EQ(RunCli({}, &output), 1);
+  EXPECT_NE(output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  std::string output;
+  EXPECT_EQ(RunCli({"frobnicate"}, &output), 1);
+  EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateWritesCsvs) {
+  std::string output;
+  EXPECT_EQ(RunCli({"generate", "--out", dir_.string(), "--jobs", "4",
+                    "--seed", "7"},
+                   &output),
+            0);
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "job_log.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "task_log.csv"));
+  EXPECT_NE(output.find("4 jobs"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRequiresOut) {
+  std::string output;
+  EXPECT_EQ(RunCli({"generate"}, &output), 1);
+  EXPECT_NE(output.find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoSummarizesLog) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"info", "--log", path}, &output), 0);
+  EXPECT_NE(output.find("80 records"), std::string::npos);
+  EXPECT_NE(output.find("duration"), std::string::npos);
+  EXPECT_NE(output.find("cause (numeric)"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoMissingFileFails) {
+  std::string output;
+  EXPECT_EQ(RunCli({"info", "--log", "/no/such/file.csv"}, &output), 1);
+}
+
+TEST_F(CliTest, ExplainProducesExplanationAndMetrics) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                    "--width", "2"},
+                   &output),
+            0);
+  EXPECT_NE(output.find("BECAUSE"), std::string::npos);
+  EXPECT_NE(output.find("precision"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainProseFlagAddsEnglish) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                    "--prose"},
+                   &output),
+            0);
+  EXPECT_NE(output.find("most likely because"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainWithBaselineTechniques) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  for (const char* technique : {"ruleofthumb", "simbutdiff"}) {
+    std::string output;
+    EXPECT_EQ(RunCli({"explain", "--log", path, "--query",
+                      QueryText(query), "--technique", technique},
+                     &output),
+              0)
+        << technique << ": " << output;
+    EXPECT_NE(output.find("BECAUSE"), std::string::npos) << technique;
+  }
+}
+
+TEST_F(CliTest, ExplainRejectsUnknownTechnique) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                    "--technique", "oracle"},
+                   &output),
+            1);
+  EXPECT_NE(output.find("unknown technique"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainRejectsBadQuery) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", "OBSERVED oops"},
+                   &output),
+            1);
+  EXPECT_NE(output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainAutoDespite) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                    "--auto-despite"},
+                   &output),
+            0);
+  EXPECT_NE(output.find("BECAUSE"), std::string::npos);
+}
+
+TEST_F(CliTest, DespiteCommandGeneratesClause) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"despite", "--log", path, "--query", QueryText(query)},
+                   &output),
+            0);
+  EXPECT_NE(output.find("DESPITE"), std::string::npos);
+}
+
+TEST_F(CliTest, IngestRawArtifactsProducesQueryableLogs) {
+  // Simulate one job, export its raw history + ganglia artifacts, ingest
+  // them through the CLI, and check the resulting CSVs load.
+  px::ClusterConfig cluster;
+  px::ExciteStats stats;
+  px::SimCostModel costs;
+  px::JobConfig config;
+  config.job_id = "job_cli";
+  config.num_instances = 2;
+  config.input_size_bytes = 256.0 * 1024 * 1024;
+  config.block_size_bytes = 64.0 * 1024 * 1024;
+  px::Rng rng(3);
+  const px::SimJob job =
+      px::SimulateJob(config, cluster, stats, costs, rng);
+  const std::string history_path = (dir_ / "history.log").string();
+  const std::string ganglia_path = (dir_ / "ganglia.csv").string();
+  {
+    std::ofstream history(history_path);
+    history << px::WriteJobHistory(job, 0.0);
+    std::ofstream ganglia(ganglia_path);
+    ganglia << px::WriteGangliaDump(job, 0.0);
+  }
+  std::string output;
+  EXPECT_EQ(RunCli({"ingest", "--history", history_path, "--ganglia",
+                    ganglia_path, "--out", dir_.string()},
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("1 jobs"), std::string::npos);
+  auto job_log =
+      px::ExecutionLog::LoadCsv((dir_ / "job_log.csv").string());
+  ASSERT_TRUE(job_log.ok());
+  EXPECT_TRUE(job_log->Find("job_cli").ok());
+}
+
+TEST_F(CliTest, MissingOptionValueFails) {
+  std::string output;
+  EXPECT_EQ(RunCli({"info", "--log"}, &output), 1);
+  EXPECT_NE(output.find("missing value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,285 @@
+#include "cli.h"
+
+#include <map>
+#include <optional>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "core/formatter.h"
+#include "core/perfxplain.h"
+#include "log/catalog.h"
+#include "ingest/ganglia_dump.h"
+#include "ingest/hadoop_history.h"
+#include "ingest/ingest.h"
+#include "simulator/trace_generator.h"
+
+namespace perfxplain::cli {
+
+namespace {
+
+constexpr const char kUsage[] = R"(perfxplain - explain MapReduce performance from a log of past executions
+
+usage:
+  perfxplain generate --out DIR [--seed N] [--jobs N]
+  perfxplain ingest --history FILE --ganglia FILE --out DIR
+  perfxplain info --log FILE
+  perfxplain explain --log FILE --query PXQL [--width N] [--technique T]
+                     [--auto-despite] [--prose]
+  perfxplain despite --log FILE --query PXQL [--width N]
+  perfxplain help
+
+A PXQL query names its pair of interest and three predicates:
+  FOR J1, J2 WHERE J1.JobID = 'job_000054' AND J2.JobID = 'job_000000'
+  DESPITE numinstances_isSame = T AND pigscript_isSame = T
+  OBSERVED duration_compare = GT
+  EXPECTED duration_compare = SIM
+)";
+
+/// Parsed --key value options plus positional arguments.
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  bool HasFlag(const std::string& name) const {
+    for (const auto& flag : flags) {
+      if (flag == name) return true;
+    }
+    return false;
+  }
+};
+
+Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (args.empty()) return Status::InvalidArgument("no command given");
+  parsed.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected argument '" + arg + "'");
+    }
+    const std::string name = arg.substr(2);
+    // Boolean flags take no value.
+    if (name == "auto-despite" || name == "prose") {
+      parsed.flags.push_back(name);
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument("missing value for --" + name);
+    }
+    parsed.options[name] = args[++i];
+  }
+  return parsed;
+}
+
+Result<std::string> RequireOption(const ParsedArgs& args,
+                                  const std::string& name) {
+  auto it = args.options.find(name);
+  if (it == args.options.end()) {
+    return Status::InvalidArgument("missing required option --" + name);
+  }
+  return it->second;
+}
+
+Result<long long> IntOption(const ParsedArgs& args, const std::string& name,
+                            long long default_value) {
+  auto it = args.options.find(name);
+  if (it == args.options.end()) return default_value;
+  return ParseInt(it->second);
+}
+
+int Fail(std::ostream& out, const Status& status) {
+  out << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int RunGenerate(const ParsedArgs& args, std::ostream& out) {
+  auto dir = RequireOption(args, "out");
+  if (!dir.ok()) return Fail(out, dir.status());
+  auto seed = IntOption(args, "seed", 42);
+  if (!seed.ok()) return Fail(out, seed.status());
+  auto jobs = IntOption(args, "jobs", 0);
+  if (!jobs.ok()) return Fail(out, jobs.status());
+
+  TraceOptions options;
+  options.seed = static_cast<std::uint64_t>(*seed);
+  if (*jobs > 0) {
+    auto grid = MakeTable2Grid();
+    if (static_cast<std::size_t>(*jobs) < grid.size()) {
+      grid.resize(static_cast<std::size_t>(*jobs));
+    }
+    options.jobs = std::move(grid);
+  }
+  out << "simulating trace (seed " << *seed << ")...\n";
+  const Trace trace = GenerateTrace(options);
+  const std::string job_path = *dir + "/job_log.csv";
+  const std::string task_path = *dir + "/task_log.csv";
+  Status status = trace.job_log.SaveCsv(job_path);
+  if (!status.ok()) return Fail(out, status);
+  status = trace.task_log.SaveCsv(task_path);
+  if (!status.ok()) return Fail(out, status);
+  out << "wrote " << job_path << " (" << trace.job_log.size()
+      << " jobs) and " << task_path << " (" << trace.task_log.size()
+      << " tasks)\n";
+  return 0;
+}
+
+int RunIngest(const ParsedArgs& args, std::ostream& out) {
+  auto history = RequireOption(args, "history");
+  if (!history.ok()) return Fail(out, history.status());
+  auto ganglia = RequireOption(args, "ganglia");
+  if (!ganglia.ok()) return Fail(out, ganglia.status());
+  auto dir = RequireOption(args, "out");
+  if (!dir.ok()) return Fail(out, dir.status());
+
+  const std::string job_path = *dir + "/job_log.csv";
+  const std::string task_path = *dir + "/task_log.csv";
+  // Append to existing logs when present so several jobs can be ingested
+  // one after another.
+  ExecutionLog job_log(MakeJobSchema());
+  ExecutionLog task_log(MakeTaskSchema());
+  if (auto existing = ExecutionLog::LoadCsv(job_path); existing.ok()) {
+    job_log = std::move(existing).value();
+  }
+  if (auto existing = ExecutionLog::LoadCsv(task_path); existing.ok()) {
+    task_log = std::move(existing).value();
+  }
+  Status status = IngestJobFiles(*history, *ganglia, job_log, task_log);
+  if (!status.ok()) return Fail(out, status);
+  status = job_log.SaveCsv(job_path);
+  if (!status.ok()) return Fail(out, status);
+  status = task_log.SaveCsv(task_path);
+  if (!status.ok()) return Fail(out, status);
+  out << "ingested into " << job_path << " (" << job_log.size()
+      << " jobs) and " << task_path << " (" << task_log.size()
+      << " tasks)\n";
+  return 0;
+}
+
+int RunInfo(const ParsedArgs& args, std::ostream& out) {
+  auto path = RequireOption(args, "log");
+  if (!path.ok()) return Fail(out, path.status());
+  auto log = ExecutionLog::LoadCsv(*path);
+  if (!log.ok()) return Fail(out, log.status());
+  out << *path << ": " << log->size() << " records, "
+      << log->schema().size() << " features\n";
+  const std::size_t f_duration =
+      log->schema().IndexOf(feature_names::kDuration);
+  if (f_duration != Schema::kNotFound) {
+    RunningStat durations;
+    for (const auto& record : log->records()) {
+      const Value& value = record.values[f_duration];
+      if (value.is_numeric()) durations.Add(value.number());
+    }
+    out << StrFormat("duration: mean %.1f s, min %.1f s, max %.1f s\n",
+                     durations.mean(), durations.min(), durations.max());
+  }
+  out << "features:\n";
+  for (const auto& def : log->schema().defs()) {
+    out << "  " << def.name << " ("
+        << (def.kind == ValueKind::kNumeric ? "numeric" : "nominal")
+        << ")\n";
+  }
+  return 0;
+}
+
+Result<Technique> TechniqueFromName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "perfxplain") return Technique::kPerfXplain;
+  if (lower == "ruleofthumb") return Technique::kRuleOfThumb;
+  if (lower == "simbutdiff") return Technique::kSimButDiff;
+  return Status::InvalidArgument("unknown technique '" + name +
+                                 "' (perfxplain|ruleofthumb|simbutdiff)");
+}
+
+int RunExplain(const ParsedArgs& args, std::ostream& out) {
+  auto path = RequireOption(args, "log");
+  if (!path.ok()) return Fail(out, path.status());
+  auto query_text = RequireOption(args, "query");
+  if (!query_text.ok()) return Fail(out, query_text.status());
+  auto width = IntOption(args, "width", 3);
+  if (!width.ok() || *width < 1) {
+    return Fail(out, Status::InvalidArgument("--width must be >= 1"));
+  }
+  Technique technique = Technique::kPerfXplain;
+  if (args.options.count("technique") > 0) {
+    auto parsed = TechniqueFromName(args.options.at("technique"));
+    if (!parsed.ok()) return Fail(out, parsed.status());
+    technique = parsed.value();
+  }
+
+  auto log = ExecutionLog::LoadCsv(*path);
+  if (!log.ok()) return Fail(out, log.status());
+  auto query = ParseQuery(*query_text);
+  if (!query.ok()) return Fail(out, query.status());
+
+  PerfXplain::Options options;
+  options.explainer.width = static_cast<std::size_t>(*width);
+  PerfXplain system(std::move(log).value(), options);
+
+  Result<Explanation> explanation =
+      args.HasFlag("auto-despite") && technique == Technique::kPerfXplain
+          ? system.ExplainWithAutoDespite(query.value())
+          : system.ExplainWith(technique, query.value(),
+                               static_cast<std::size_t>(*width));
+  if (!explanation.ok()) return Fail(out, explanation.status());
+
+  out << explanation->ToString() << "\n";
+  if (args.HasFlag("prose")) {
+    out << "\n" << RenderExplanationProse(query.value(), *explanation)
+        << "\n";
+  }
+  auto metrics = system.Evaluate(query.value(), *explanation);
+  if (metrics.ok()) {
+    out << StrFormat(
+        "\nrelevance %.3f  precision %.3f  generality %.3f\n",
+        metrics->relevance, metrics->precision, metrics->generality);
+  }
+  return 0;
+}
+
+int RunDespite(const ParsedArgs& args, std::ostream& out) {
+  auto path = RequireOption(args, "log");
+  if (!path.ok()) return Fail(out, path.status());
+  auto query_text = RequireOption(args, "query");
+  if (!query_text.ok()) return Fail(out, query_text.status());
+  auto width = IntOption(args, "width", 3);
+  if (!width.ok()) return Fail(out, width.status());
+
+  auto log = ExecutionLog::LoadCsv(*path);
+  if (!log.ok()) return Fail(out, log.status());
+  auto query = ParseQuery(*query_text);
+  if (!query.ok()) return Fail(out, query.status());
+
+  PerfXplain::Options options;
+  options.explainer.despite_width = static_cast<std::size_t>(*width);
+  PerfXplain system(std::move(log).value(), options);
+  auto despite = system.GenerateDespite(query.value());
+  if (!despite.ok()) return Fail(out, despite.status());
+  out << "DESPITE " << despite->ToString() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int Run(const std::vector<std::string>& args, std::ostream& out) {
+  auto parsed = ParseArgs(args);
+  if (!parsed.ok()) {
+    out << "error: " << parsed.status().ToString() << "\n" << kUsage;
+    return 1;
+  }
+  const std::string& command = parsed->command;
+  if (command == "help" || command == "--help") {
+    out << kUsage;
+    return 0;
+  }
+  if (command == "generate") return RunGenerate(*parsed, out);
+  if (command == "ingest") return RunIngest(*parsed, out);
+  if (command == "info") return RunInfo(*parsed, out);
+  if (command == "explain") return RunExplain(*parsed, out);
+  if (command == "despite") return RunDespite(*parsed, out);
+  out << "error: unknown command '" << command << "'\n" << kUsage;
+  return 1;
+}
+
+}  // namespace perfxplain::cli

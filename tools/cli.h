@@ -1,0 +1,34 @@
+#ifndef PERFXPLAIN_TOOLS_CLI_H_
+#define PERFXPLAIN_TOOLS_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace perfxplain::cli {
+
+/// Entry point of the perfxplain command-line tool, separated from main()
+/// so tests can drive it. `args` excludes the program name. All output goes
+/// to `out` (diagnostics included); the return value is the process exit
+/// code.
+///
+/// Commands:
+///   generate --out DIR [--seed N] [--jobs N]
+///       Simulate a MapReduce trace (N jobs from the Table 2 grid; default
+///       the full 540) and write DIR/job_log.csv and DIR/task_log.csv.
+///   info --log FILE
+///       Print the log's schema, record count and duration statistics.
+///   explain --log FILE --query PXQL [--width N] [--technique T]
+///           [--auto-despite] [--prose]
+///       Generate an explanation for the PXQL query (which must carry a
+///       FOR ... WHERE clause naming the pair of interest). T is one of
+///       perfxplain (default), ruleofthumb, simbutdiff.
+///   despite --log FILE --query PXQL [--width N]
+///       Generate only a despite clause for an under-specified query.
+///   help
+///       Print usage.
+int Run(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace perfxplain::cli
+
+#endif  // PERFXPLAIN_TOOLS_CLI_H_

@@ -1,0 +1,13 @@
+// Command-line front end for PerfXplain: simulate traces, inspect logs and
+// answer PXQL queries. See `perfxplain_cli help`.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return perfxplain::cli::Run(args, std::cout);
+}
