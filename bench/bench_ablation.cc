@@ -42,8 +42,8 @@ void RunVariant(const Fixture& fixture, const HarnessOptions& options,
 
 }  // namespace
 
-int main() {
-  HarnessOptions options;
+int main(int argc, char** argv) {
+  HarnessOptions options = px::bench::ParseHarnessArgs(argc, argv);
   px::bench::PrintHeader(
       "Ablation: PerfXplain design decisions "
       "(WhySlowerDespiteSameNumInstances, width 3)",

@@ -16,8 +16,8 @@ using px::bench::Fixture;
 using px::bench::HarnessOptions;
 using px::bench::Series;
 
-int main() {
-  HarnessOptions options;
+int main(int argc, char** argv) {
+  HarnessOptions options = px::bench::ParseHarnessArgs(argc, argv);
   px::bench::PrintHeader(
       "Figure 3(b): WhySlowerDespiteSameNumInstances, precision vs width",
       "precision of the explanation over the held-out test log "

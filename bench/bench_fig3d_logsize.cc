@@ -15,8 +15,8 @@ using px::bench::Fixture;
 using px::bench::HarnessOptions;
 using px::bench::Series;
 
-int main() {
-  HarnessOptions options;
+int main(int argc, char** argv) {
+  HarnessOptions options = px::bench::ParseHarnessArgs(argc, argv);
   px::bench::PrintHeader(
       "Figure 3(d): WhySlowerDespiteSameNumInstances, precision vs "
       "training-log fraction (width 3)",

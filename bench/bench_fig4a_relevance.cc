@@ -45,8 +45,8 @@ std::vector<Series> RelevanceByWidth(Fixture& fixture,
 
 }  // namespace
 
-int main() {
-  HarnessOptions options;
+int main(int argc, char** argv) {
+  HarnessOptions options = px::bench::ParseHarnessArgs(argc, argv);
   px::bench::PrintHeader(
       "Figure 4(a): relevance of generated despite clauses vs width",
       "both queries posed without a despite clause; relevance over the "

@@ -79,6 +79,87 @@ void BM_CountRelatedPairs(benchmark::State& state) {
 }
 BENCHMARK(BM_CountRelatedPairs);
 
+/// The seed implementation of CountRelatedPairs (lazy Value views through
+/// ForEachOrderedPair + ClassifyPair), kept in-binary as a baseline so the
+/// columnar speedup is measured under identical machine conditions in the
+/// same run — the host this tracks on is a shared box with drifting load.
+void BM_CountRelatedPairsLegacyValuePath(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  px::PairSchema schema(fixture.log.schema());
+  px::Query bound = fixture.query;
+  PX_CHECK(bound.Bind(schema).ok());
+  px::PairFeatureOptions options;
+  for (auto _ : state) {
+    px::RelatedCounts counts;
+    px::ForEachOrderedPair(
+        fixture.log, schema, options,
+        [&](std::size_t, std::size_t, const px::PairFeatureView& view) {
+          switch (px::ClassifyPair(bound, view)) {
+            case px::PairLabel::kObserved:
+              ++counts.observed;
+              break;
+            case px::PairLabel::kExpected:
+              ++counts.expected;
+              break;
+            case px::PairLabel::kUnrelated:
+              break;
+          }
+          return true;
+        });
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_CountRelatedPairsLegacyValuePath);
+
+void BM_ColumnarLogBuild(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  for (auto _ : state) {
+    px::ColumnarLog columns(fixture.log);
+    benchmark::DoNotOptimize(columns.rows());
+  }
+}
+BENCHMARK(BM_ColumnarLogBuild);
+
+/// The steady-state enumeration cost: columns and predicate programs are
+/// built once (as the Explainer does) and only the O(n^2) scan is timed.
+void BM_CountRelatedPairsColumnar(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  px::PairSchema schema(fixture.log.schema());
+  px::Query bound = fixture.query;
+  PX_CHECK(bound.Bind(schema).ok());
+  const px::ColumnarLog columns(fixture.log);
+  const px::CompiledQuery compiled =
+      px::CompiledQuery::Compile(bound, schema, columns);
+  px::EnumerationOptions enumeration;
+  enumeration.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(px::CountRelatedPairs(
+        columns, compiled, 0.10, enumeration));
+  }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CountRelatedPairsColumnar)->Arg(1)->Arg(0);
+
+void BM_BuildTrainingExamples(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  px::PairSchema schema(fixture.log.schema());
+  px::Query bound = fixture.query;
+  PX_CHECK(bound.Bind(schema).ok());
+  px::PairFeatureOptions pair_options;
+  px::SamplerOptions sampler_options;
+  auto poi = px::FindPairOfInterest(fixture.log, schema, bound, pair_options);
+  PX_CHECK(poi.ok());
+  for (auto _ : state) {
+    px::Rng rng(17);
+    auto examples = px::BuildTrainingExamples(
+        fixture.log, schema, bound, poi->first, poi->second, pair_options,
+        sampler_options, rng);
+    PX_CHECK(examples.ok());
+    benchmark::DoNotOptimize(examples);
+  }
+}
+BENCHMARK(BM_BuildTrainingExamples);
+
 void BM_ExplainWidth3(benchmark::State& state) {
   const MicroFixture& fixture = MicroFixture::Get();
   px::PerfXplain::Options options;

@@ -13,7 +13,10 @@
 
 namespace px = perfxplain;
 
-int main() {
+int main(int argc, char** argv) {
+  // No pair enumeration happens here, but accept the shared flags so every
+  // bench binary behaves the same.
+  px::bench::ParseHarnessArgs(argc, argv);
   px::bench::PrintHeader(
       "Table 2: varied parameters and values",
       "the paper's evaluation grid; 540 = 5*2*3*3*3*2 configurations");

@@ -51,8 +51,8 @@ void RunQuery(const char* name, Fixture& fixture,
 
 }  // namespace
 
-int main() {
-  HarnessOptions options;
+int main(int argc, char** argv) {
+  HarnessOptions options = px::bench::ParseHarnessArgs(argc, argv);
   px::bench::PrintHeader(
       "Table 3: relevance with an empty vs. PerfXplain-generated despite "
       "clause (width 3)",

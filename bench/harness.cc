@@ -12,6 +12,31 @@
 
 namespace perfxplain::bench {
 
+HarnessOptions ParseHarnessArgs(int argc, char** argv,
+                                HarnessOptions defaults) {
+  HarnessOptions options = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](long long fallback) -> long long {
+      if (i + 1 >= argc) return fallback;
+      auto parsed = ParseInt(argv[i + 1]);
+      if (!parsed.ok()) return fallback;
+      ++i;
+      return parsed.value();
+    };
+    if (arg == "--threads") {
+      options.threads = static_cast<int>(next_int(options.threads));
+    } else if (arg == "--task-jobs-limit") {
+      options.task_jobs_limit = static_cast<std::size_t>(
+          next_int(static_cast<long long>(options.task_jobs_limit)));
+    } else if (arg == "--runs") {
+      options.runs = static_cast<int>(next_int(options.runs));
+    }
+  }
+  SetDefaultEnumerationThreads(options.threads);
+  return options;
+}
+
 Query WhyLastTaskFasterQuery() {
   auto query = ParseQuery(
       "DESPITE jobID_isSame = T AND inputsize_compare = SIM AND "

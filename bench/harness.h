@@ -26,10 +26,23 @@ struct HarnessOptions {
   std::uint64_t split_seed = 4242;
   int runs = 10;
   double train_fraction = 0.5;
-  /// Max number of jobs whose tasks enter the task-level experiments (the
-  /// full 12k-task log would make O(n^2) pair evaluation needlessly slow).
-  std::size_t task_jobs_limit = 48;
+  /// Max number of jobs whose tasks enter the task-level experiments. The
+  /// columnar pair-enumeration fast path makes much larger task logs
+  /// tractable than the original Value-based O(n^2) evaluation did (the
+  /// seed capped this at 48).
+  std::size_t task_jobs_limit = 128;
+  /// Worker threads for the columnar enumeration (0 = hardware
+  /// concurrency). Observation-free: results are identical for every
+  /// value.
+  int threads = 0;
 };
+
+/// Parses the shared experiment flags ("--threads N", "--task-jobs-limit
+/// N", "--runs N") from a bench binary's argv, applies the thread count
+/// process-wide, and returns the options. Unknown arguments are ignored so
+/// binaries can keep their own flags.
+HarnessOptions ParseHarnessArgs(int argc, char** argv,
+                                HarnessOptions defaults = {});
 
 /// The two PXQL queries of §6.2, without the FOR clause (ids are filled in
 /// once the pair of interest is selected).

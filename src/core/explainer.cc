@@ -5,6 +5,7 @@
 
 #include "core/pair_enumeration.h"
 #include "ml/split.h"
+#include "pxql/compiled_predicate.h"
 
 namespace perfxplain {
 
@@ -26,12 +27,267 @@ double PercentileRank(double value, const std::vector<double>& all) {
          static_cast<double>(all.size());
 }
 
+/// The greedy clause loop of Algorithm 1 is generic over how the training
+/// examples are stored. Both backends expose the same contract:
+///  - size(): current working-set size;
+///  - BestPredicate(f, options): per-feature max-info-gain candidate over
+///    the working set, constrained to the pair of interest;
+///  - Count(candidate): (satisfy, satisfy_target) over the working set;
+///  - Filter(candidate): shrink the working set to satisfying examples,
+///    returning (kept, kept_target).
+///
+/// ValueClauseDataset scans materialized Value vectors (the compatibility
+/// path); EncodedClauseDataset scans the integer-coded training matrix and
+/// produces bit-identical candidates, gains and scores.
+class ValueClauseDataset {
+ public:
+  ValueClauseDataset(const PairSchema& schema,
+                     std::vector<TrainingExample> examples,
+                     bool target_expected)
+      : schema_(&schema), working_(std::move(examples)) {
+    if (!working_.empty()) poi_features_ = working_[0].features;
+    // When generating a des' clause the "positive" label whose conditional
+    // probability we maximize is `expected`; flip labels so the shared
+    // machinery (which treats observed as positive) measures relevance
+    // instead of precision (line 6 of Algorithm 1 and its §4.2 variant).
+    if (target_expected) {
+      for (TrainingExample& example : working_) {
+        example.observed = !example.observed;
+      }
+    }
+  }
+
+  std::size_t size() const { return working_.size(); }
+
+  std::optional<SplitCandidate> BestPredicate(
+      std::size_t f, const SplitOptions& options) const {
+    return BestPredicateForFeature(*schema_, working_, f, poi_features_[f],
+                                   options);
+  }
+
+  void Count(const SplitCandidate& candidate, std::size_t* satisfy,
+             std::size_t* satisfy_target) const {
+    for (const TrainingExample& example : working_) {
+      if (!candidate.atom.Eval(example.features)) continue;
+      ++*satisfy;
+      if (example.observed) ++*satisfy_target;
+    }
+  }
+
+  std::pair<std::size_t, std::size_t> Filter(const SplitCandidate& chosen) {
+    std::vector<TrainingExample> next;
+    next.reserve(working_.size());
+    std::size_t target_count = 0;
+    for (TrainingExample& example : working_) {
+      if (chosen.atom.Eval(example.features)) {
+        if (example.observed) ++target_count;
+        next.push_back(std::move(example));
+      }
+    }
+    working_ = std::move(next);
+    return {working_.size(), target_count};
+  }
+
+ private:
+  const PairSchema* schema_;
+  std::vector<TrainingExample> working_;
+  std::vector<Value> poi_features_;
+};
+
+class EncodedClauseDataset {
+ public:
+  EncodedClauseDataset(const EncodedDataset& data, bool target_expected)
+      : data_(&data), labels_(data.labels()) {
+    rows_.reserve(data.rows());
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      rows_.push_back(static_cast<std::uint32_t>(r));
+    }
+    if (target_expected) {
+      for (std::uint8_t& label : labels_) label = label ? 0 : 1;
+    }
+  }
+
+  std::size_t size() const { return rows_.size(); }
+
+  std::optional<SplitCandidate> BestPredicate(
+      std::size_t f, const SplitOptions& options) const {
+    return BestPredicateForFeatureEncoded(*data_, rows_, labels_, f,
+                                          /*poi_row=*/0, options);
+  }
+
+  void Count(const SplitCandidate& candidate, std::size_t* satisfy,
+             std::size_t* satisfy_target) const {
+    const EncodedAtomTest test(*data_, candidate.atom);
+    for (std::uint32_t r : rows_) {
+      if (!test.Matches(*data_, r)) continue;
+      ++*satisfy;
+      if (labels_[r] != 0) ++*satisfy_target;
+    }
+  }
+
+  std::pair<std::size_t, std::size_t> Filter(const SplitCandidate& chosen) {
+    const EncodedAtomTest test(*data_, chosen.atom);
+    std::vector<std::uint32_t> next;
+    next.reserve(rows_.size());
+    std::size_t target_count = 0;
+    for (std::uint32_t r : rows_) {
+      if (test.Matches(*data_, r)) {
+        if (labels_[r] != 0) ++target_count;
+        next.push_back(r);
+      }
+    }
+    rows_ = std::move(next);
+    return {rows_.size(), target_count};
+  }
+
+ private:
+  const EncodedDataset* data_;
+  std::vector<std::uint32_t> rows_;
+  std::vector<std::uint8_t> labels_;
+};
+
+/// Shared greedy loop (lines 3-17 of Algorithm 1). See Explainer's class
+/// comment for the per-step structure.
+template <typename Dataset>
+std::vector<ExplanationAtom> GenerateClauseWith(
+    Dataset& working, const PairSchema& schema,
+    const ExplainerOptions& options, std::size_t width,
+    const std::vector<std::size_t>& excluded_raw,
+    const std::vector<Atom>& redundant_atoms) {
+  std::vector<ExplanationAtom> trace;
+  if (working.size() == 0) return trace;
+  const std::set<std::size_t> excluded(excluded_raw.begin(),
+                                       excluded_raw.end());
+  std::set<std::size_t> used_features;
+
+  SplitOptions split_options;
+  split_options.constrain_to_pair = true;
+
+  for (std::size_t step = 0; step < width; ++step) {
+    // Candidates isolating (almost) nothing but the pair of interest look
+    // perfectly precise on the sample yet do not generalize; require a
+    // sliver of support.
+    split_options.min_support =
+        std::max<std::size_t>(3, working.size() / 100);
+    // Line 5: best (max info gain) predicate per feature.
+    struct Candidate {
+      SplitCandidate split;
+      std::size_t pair_index;
+      double metric = 0.0;      ///< P(target | p, X) over working set
+      double generality = 0.0;  ///< P(p | X) over working set
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t f = 0; f < schema.size(); ++f) {
+      if (!schema.InLevel(f, options.level)) continue;
+      if (!schema.IsDefined(f)) continue;
+      const std::size_t raw_index = schema.RawIndexOf(f);
+      if (excluded.count(raw_index) > 0) continue;
+      if (used_features.count(f) > 0) continue;
+      auto split = working.BestPredicate(f, split_options);
+      if (!split.has_value()) continue;
+      // Atoms every related pair satisfies by construction (they restate
+      // the query's despite clause) carry no information.
+      bool redundant = false;
+      for (const Atom& atom : redundant_atoms) {
+        if (atom == split->atom) {
+          redundant = true;
+          break;
+        }
+      }
+      if (redundant) continue;
+      Candidate candidate;
+      candidate.split = std::move(split).value();
+      candidate.pair_index = f;
+      candidates.push_back(std::move(candidate));
+    }
+    if (candidates.empty()) break;
+
+    // Lines 6-7: precision (or relevance) and generality of each winner.
+    for (Candidate& candidate : candidates) {
+      std::size_t satisfy = 0;
+      std::size_t satisfy_target = 0;
+      working.Count(candidate.split, &satisfy, &satisfy_target);
+      candidate.generality =
+          working.size() == 0 ? 0.0
+                              : static_cast<double>(satisfy) /
+                                    static_cast<double>(working.size());
+      candidate.metric = satisfy == 0
+                             ? 0.0
+                             : static_cast<double>(satisfy_target) /
+                                   static_cast<double>(satisfy);
+    }
+
+    // Lines 8-14: percentile-rank normalization and weighted blend.
+    std::vector<double> metrics;
+    std::vector<double> generalities;
+    metrics.reserve(candidates.size());
+    generalities.reserve(candidates.size());
+    for (const Candidate& candidate : candidates) {
+      metrics.push_back(candidate.metric);
+      generalities.push_back(candidate.generality);
+    }
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const double score =
+          options.normalize_scores
+              ? options.precision_weight *
+                        PercentileRank(candidates[c].metric, metrics) +
+                    (1.0 - options.precision_weight) *
+                        PercentileRank(candidates[c].generality,
+                                       generalities)
+              : options.precision_weight * candidates[c].metric +
+                    (1.0 - options.precision_weight) *
+                        candidates[c].generality;
+      const bool better =
+          score > best_score ||
+          (score == best_score &&
+           (candidates[c].metric > candidates[best].metric ||
+            (candidates[c].metric == candidates[best].metric &&
+             candidates[c].split.gain > candidates[best].split.gain)));
+      if (c == 0 || better) {
+        best = c;
+        best_score = score;
+      }
+    }
+
+    // Lines 16-17: extend the clause and keep only satisfying examples.
+    ExplanationAtom chosen;
+    chosen.atom = candidates[best].split.atom;
+    chosen.info_gain = candidates[best].split.gain;
+    chosen.score = best_score;
+    used_features.insert(candidates[best].pair_index);
+
+    const std::size_t before = working.size();
+    const auto [kept, target_count] = working.Filter(candidates[best].split);
+    chosen.generality_after =
+        before == 0 ? 0.0
+                    : static_cast<double>(kept) /
+                          static_cast<double>(before);
+    chosen.metric_after = kept == 0
+                              ? 0.0
+                              : static_cast<double>(target_count) /
+                                    static_cast<double>(kept);
+    trace.push_back(std::move(chosen));
+    PX_CHECK(working.size() > 0);  // the pair of interest always satisfies X
+  }
+  return trace;
+}
+
+}  // namespace
+
+namespace {
+
+const ExecutionLog& CheckedLog(const ExecutionLog* log) {
+  PX_CHECK(log != nullptr);
+  return *log;
+}
+
 }  // namespace
 
 Explainer::Explainer(const ExecutionLog* log, ExplainerOptions options)
-    : log_(log), options_(options), schema_(log->schema()) {
-  PX_CHECK(log != nullptr);
-}
+    : log_(&CheckedLog(log)), options_(options), schema_(log->schema()),
+      columnar_(std::make_unique<ColumnarLog>(*log)) {}
 
 Result<Query> Explainer::PrepareQuery(const Query& query) const {
   Query bound = query;
@@ -90,155 +346,43 @@ Result<std::vector<TrainingExample>> Explainer::BuildExamples(
                                 /*keep_first=*/true);
 }
 
+Result<EncodedDataset> Explainer::BuildEncodedExamples(
+    const Query& bound_query, std::size_t poi_first,
+    std::size_t poi_second) const {
+  Rng rng(options_.seed);
+  const CompiledQuery compiled =
+      CompiledQuery::Compile(bound_query, schema_, *columnar_);
+  auto sampled = SampleRelatedPairs(
+      *columnar_, compiled, poi_first, poi_second,
+      options_.pair.sim_fraction, options_.sampler, rng,
+      options_.balanced_sampling, EnumerationOptions{options_.threads});
+  if (!sampled.ok()) return sampled.status();
+  std::vector<PairRef> pairs = std::move(sampled).value();
+  if (options_.max_pairs_per_record > 0) {
+    pairs = EnforceRecordDiversity(std::move(pairs),
+                                   options_.max_pairs_per_record,
+                                   /*keep_first=*/true);
+  }
+  return EncodedDataset(*columnar_, schema_, pairs,
+                        options_.pair.sim_fraction);
+}
+
 std::vector<ExplanationAtom> Explainer::GenerateClause(
     std::vector<TrainingExample> examples, std::size_t width,
     bool target_expected, const std::vector<std::size_t>& excluded_raw,
     const std::vector<Atom>& redundant_atoms) const {
-  std::vector<ExplanationAtom> trace;
-  if (examples.empty()) return trace;
-  const std::vector<Value> poi_features = examples[0].features;
-  const std::set<std::size_t> excluded(excluded_raw.begin(),
-                                       excluded_raw.end());
-  std::set<std::size_t> used_raw;
+  ValueClauseDataset working(schema_, std::move(examples), target_expected);
+  return GenerateClauseWith(working, schema_, options_, width, excluded_raw,
+                            redundant_atoms);
+}
 
-  // Working set P: examples satisfying the clause built so far. When
-  // generating a des' clause, the "positive" label whose conditional
-  // probability we maximize is `expected`; flip labels so the shared
-  // machinery (which treats TrainingExample::observed as positive) measures
-  // relevance instead of precision (line 6 of Algorithm 1 and its §4.2
-  /// variant).
-  std::vector<TrainingExample> working = std::move(examples);
-  if (target_expected) {
-    for (TrainingExample& example : working) {
-      example.observed = !example.observed;
-    }
-  }
-
-  SplitOptions split_options;
-  split_options.constrain_to_pair = true;
-
-  for (std::size_t step = 0; step < width; ++step) {
-    // Candidates isolating (almost) nothing but the pair of interest look
-    // perfectly precise on the sample yet do not generalize; require a
-    // sliver of support.
-    split_options.min_support =
-        std::max<std::size_t>(3, working.size() / 100);
-    // Line 5: best (max info gain) predicate per feature.
-    struct Candidate {
-      SplitCandidate split;
-      std::size_t raw_index;
-      double metric = 0.0;      ///< P(target | p, X) over working set
-      double generality = 0.0;  ///< P(p | X) over working set
-    };
-    std::vector<Candidate> candidates;
-    for (std::size_t f = 0; f < schema_.size(); ++f) {
-      if (!schema_.InLevel(f, options_.level)) continue;
-      if (!schema_.IsDefined(f)) continue;
-      const std::size_t raw_index = schema_.RawIndexOf(f);
-      if (excluded.count(raw_index) > 0) continue;
-      if (used_raw.count(f) > 0) continue;
-      auto split = BestPredicateForFeature(schema_, working, f,
-                                           poi_features[f], split_options);
-      if (!split.has_value()) continue;
-      // Atoms every related pair satisfies by construction (they restate
-      // the query's despite clause) carry no information.
-      bool redundant = false;
-      for (const Atom& atom : redundant_atoms) {
-        if (atom == split->atom) {
-          redundant = true;
-          break;
-        }
-      }
-      if (redundant) continue;
-      Candidate candidate;
-      candidate.split = std::move(split).value();
-      candidate.raw_index = f;
-      candidates.push_back(std::move(candidate));
-    }
-    if (candidates.empty()) break;
-
-    // Lines 6-7: precision (or relevance) and generality of each winner.
-    for (Candidate& candidate : candidates) {
-      std::size_t satisfy = 0;
-      std::size_t satisfy_target = 0;
-      for (const TrainingExample& example : working) {
-        if (!candidate.split.atom.Eval(example.features)) continue;
-        ++satisfy;
-        if (example.observed) ++satisfy_target;
-      }
-      candidate.generality =
-          working.empty() ? 0.0
-                          : static_cast<double>(satisfy) /
-                                static_cast<double>(working.size());
-      candidate.metric = satisfy == 0
-                             ? 0.0
-                             : static_cast<double>(satisfy_target) /
-                                   static_cast<double>(satisfy);
-    }
-
-    // Lines 8-14: percentile-rank normalization and weighted blend.
-    std::vector<double> metrics;
-    std::vector<double> generalities;
-    metrics.reserve(candidates.size());
-    generalities.reserve(candidates.size());
-    for (const Candidate& candidate : candidates) {
-      metrics.push_back(candidate.metric);
-      generalities.push_back(candidate.generality);
-    }
-    std::size_t best = 0;
-    double best_score = -1.0;
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      const double score =
-          options_.normalize_scores
-              ? options_.precision_weight *
-                        PercentileRank(candidates[c].metric, metrics) +
-                    (1.0 - options_.precision_weight) *
-                        PercentileRank(candidates[c].generality,
-                                       generalities)
-              : options_.precision_weight * candidates[c].metric +
-                    (1.0 - options_.precision_weight) *
-                        candidates[c].generality;
-      const bool better =
-          score > best_score ||
-          (score == best_score &&
-           (candidates[c].metric > candidates[best].metric ||
-            (candidates[c].metric == candidates[best].metric &&
-             candidates[c].split.gain > candidates[best].split.gain)));
-      if (c == 0 || better) {
-        best = c;
-        best_score = score;
-      }
-    }
-
-    // Lines 16-17: extend the clause and keep only satisfying examples.
-    ExplanationAtom chosen;
-    chosen.atom = candidates[best].split.atom;
-    chosen.info_gain = candidates[best].split.gain;
-    chosen.score = best_score;
-    used_raw.insert(candidates[best].raw_index);
-
-    std::vector<TrainingExample> next;
-    next.reserve(working.size());
-    std::size_t target_count = 0;
-    for (TrainingExample& example : working) {
-      if (chosen.atom.Eval(example.features)) {
-        if (example.observed) ++target_count;
-        next.push_back(std::move(example));
-      }
-    }
-    chosen.generality_after =
-        working.empty() ? 0.0
-                        : static_cast<double>(next.size()) /
-                              static_cast<double>(working.size());
-    chosen.metric_after = next.empty()
-                              ? 0.0
-                              : static_cast<double>(target_count) /
-                                    static_cast<double>(next.size());
-    trace.push_back(std::move(chosen));
-    working = std::move(next);
-    PX_CHECK(!working.empty());  // the pair of interest always satisfies X
-  }
-  return trace;
+std::vector<ExplanationAtom> Explainer::GenerateClause(
+    const EncodedDataset& examples, std::size_t width, bool target_expected,
+    const std::vector<std::size_t>& excluded_raw,
+    const std::vector<Atom>& redundant_atoms) const {
+  EncodedClauseDataset working(examples, target_expected);
+  return GenerateClauseWith(working, schema_, options_, width, excluded_raw,
+                            redundant_atoms);
 }
 
 Predicate Explainer::ClauseToPredicate(
@@ -255,12 +399,12 @@ Result<Explanation> Explainer::Explain(const Query& query) const {
   if (!bound.ok()) return bound.status();
   const std::size_t poi_first = log_->Find(bound->first_id).value();
   const std::size_t poi_second = log_->Find(bound->second_id).value();
-  auto examples = BuildExamples(*bound, poi_first, poi_second);
+  auto examples = BuildEncodedExamples(*bound, poi_first, poi_second);
   if (!examples.ok()) return examples.status();
 
   Explanation explanation;
   explanation.because_trace = GenerateClause(
-      std::move(examples).value(), options_.width,
+      examples.value(), options_.width,
       /*target_expected=*/false, ExcludedRawFeatures(*bound),
       bound->despite.atoms());
   explanation.because = ClauseToPredicate(explanation.because_trace);
@@ -276,10 +420,10 @@ Result<Predicate> Explainer::GenerateDespite(const Query& query,
   if (!bound.ok()) return bound.status();
   const std::size_t poi_first = log_->Find(bound->first_id).value();
   const std::size_t poi_second = log_->Find(bound->second_id).value();
-  auto examples = BuildExamples(*bound, poi_first, poi_second);
+  auto examples = BuildEncodedExamples(*bound, poi_first, poi_second);
   if (!examples.ok()) return examples.status();
   const std::vector<ExplanationAtom> trace = GenerateClause(
-      std::move(examples).value(), width,
+      examples.value(), width,
       /*target_expected=*/true, ExcludedRawFeatures(*bound),
       bound->despite.atoms());
   return ClauseToPredicate(trace);
@@ -291,7 +435,7 @@ Result<Explanation> Explainer::ExplainWithAutoDespite(
   if (!bound.ok()) return bound.status();
   const std::size_t poi_first = log_->Find(bound->first_id).value();
   const std::size_t poi_second = log_->Find(bound->second_id).value();
-  auto examples = BuildExamples(*bound, poi_first, poi_second);
+  auto examples = BuildEncodedExamples(*bound, poi_first, poi_second);
   if (!examples.ok()) return examples.status();
 
   // des' clause first, truncated at the relevance threshold.
@@ -316,10 +460,11 @@ Result<Explanation> Explainer::ExplainWithAutoDespite(
   // bec clause in the context of des AND des'.
   Query extended = *bound;
   extended.despite = extended.despite.And(explanation.despite);
-  auto extended_examples = BuildExamples(extended, poi_first, poi_second);
+  auto extended_examples =
+      BuildEncodedExamples(extended, poi_first, poi_second);
   if (!extended_examples.ok()) return extended_examples.status();
   explanation.because_trace = GenerateClause(
-      std::move(extended_examples).value(), options_.width,
+      extended_examples.value(), options_.width,
       /*target_expected=*/false, ExcludedRawFeatures(extended),
       extended.despite.atoms());
   explanation.because = ClauseToPredicate(explanation.because_trace);

@@ -2,13 +2,16 @@
 #define PERFXPLAIN_CORE_EXPLAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "core/explanation.h"
 #include "features/pair_features.h"
 #include "features/pair_schema.h"
+#include "log/columnar.h"
 #include "log/execution_log.h"
+#include "ml/encoded_dataset.h"
 #include "ml/sampler.h"
 #include "pxql/query.h"
 
@@ -59,6 +62,11 @@ struct ExplainerOptions {
   /// Seed of the per-call sampling Rng; explanations are deterministic
   /// given (log, query, options).
   std::uint64_t seed = 17;
+
+  /// Worker threads for the columnar pair enumeration (0 = process
+  /// default). Thread count never changes any result — per-thread partial
+  /// results merge in row order and sampling draws replay serially.
+  int threads = 0;
 };
 
 /// Generates PerfXplain explanations from a log of past executions.
@@ -120,6 +128,26 @@ class Explainer {
       const Query& bound_query, std::size_t poi_first,
       std::size_t poi_second) const;
 
+  /// Columnar fast path of BuildExamples: the same sampled pairs (same Rng
+  /// draw sequence) encoded into an integer training matrix, never
+  /// materializing a Value. Explain/GenerateDespite/ExplainWithAutoDespite
+  /// run on this; the Value-based entry points above remain as a
+  /// compatibility layer.
+  Result<EncodedDataset> BuildEncodedExamples(const Query& bound_query,
+                                              std::size_t poi_first,
+                                              std::size_t poi_second) const;
+
+  /// GenerateClause over the encoded training matrix — the engine behind
+  /// Explain. Produces the same clause as the Value-based overload for the
+  /// same underlying examples.
+  std::vector<ExplanationAtom> GenerateClause(
+      const EncodedDataset& examples, std::size_t width, bool target_expected,
+      const std::vector<std::size_t>& excluded_raw,
+      const std::vector<Atom>& redundant_atoms = {}) const;
+
+  /// The dictionary-encoded copy of the log shared by all queries.
+  const ColumnarLog& columnar() const { return *columnar_; }
+
  private:
   static Predicate ClauseToPredicate(
       const std::vector<ExplanationAtom>& trace);
@@ -127,6 +155,7 @@ class Explainer {
   const ExecutionLog* log_;
   ExplainerOptions options_;
   PairSchema schema_;
+  std::unique_ptr<ColumnarLog> columnar_;
 };
 
 }  // namespace perfxplain

@@ -1,5 +1,9 @@
 #include "core/metrics.h"
 
+#include <vector>
+
+#include "pxql/compiled_predicate.h"
+
 namespace perfxplain {
 
 ExplanationMetrics EvaluateExplanation(const ExecutionLog& log,
@@ -11,21 +15,47 @@ ExplanationMetrics EvaluateExplanation(const ExecutionLog& log,
   // pairs *related* to the query — those satisfying des AND (obs OR exp)
   // (Definition 7). Pairs exhibiting some third behavior (neither observed
   // nor expected) are not part of the population.
+  const ColumnarLog columns(log);
+  const CompiledQuery query =
+      CompiledQuery::Compile(bound_query, schema, columns);
+  const CompiledPredicate despite =
+      CompiledPredicate::Compile(explanation.despite, schema, columns);
+  const CompiledPredicate because =
+      CompiledPredicate::Compile(explanation.because, schema, columns);
+  const double f = options.sim_fraction;
+
+  struct Counts {
+    std::size_t pairs_despite = 0;
+    std::size_t pairs_despite_exp = 0;
+    std::size_t pairs_because = 0;
+    std::size_t pairs_because_obs = 0;
+  };
+  std::vector<Counts> partials;
+  ScanOrderedPairs(columns.rows(), EnumerationOptions{}, partials,
+                   [&](Counts& local, std::size_t i, std::size_t j) {
+                     const PairLabel label =
+                         ClassifyPairCompiled(query, columns, i, j, f);
+                     if (label == PairLabel::kUnrelated) return;
+                     if (!despite.Eval(columns, i, j, f)) return;
+                     ++local.pairs_despite;
+                     if (label == PairLabel::kExpected) {
+                       ++local.pairs_despite_exp;
+                     }
+                     if (because.Eval(columns, i, j, f)) {
+                       ++local.pairs_because;
+                       if (label == PairLabel::kObserved) {
+                         ++local.pairs_because_obs;
+                       }
+                     }
+                   });
+
   ExplanationMetrics metrics;
-  ForEachOrderedPair(
-      log, schema, options,
-      [&](std::size_t, std::size_t, const PairFeatureView& view) {
-        const PairLabel label = ClassifyPair(bound_query, view);
-        if (label == PairLabel::kUnrelated) return true;
-        if (!explanation.despite.Eval(view)) return true;
-        ++metrics.pairs_despite;
-        if (label == PairLabel::kExpected) ++metrics.pairs_despite_exp;
-        if (explanation.because.Eval(view)) {
-          ++metrics.pairs_because;
-          if (label == PairLabel::kObserved) ++metrics.pairs_because_obs;
-        }
-        return true;
-      });
+  for (const Counts& local : partials) {
+    metrics.pairs_despite += local.pairs_despite;
+    metrics.pairs_despite_exp += local.pairs_despite_exp;
+    metrics.pairs_because += local.pairs_because;
+    metrics.pairs_because_obs += local.pairs_because_obs;
+  }
   if (metrics.pairs_despite > 0) {
     metrics.relevance = static_cast<double>(metrics.pairs_despite_exp) /
                         static_cast<double>(metrics.pairs_despite);
@@ -44,18 +74,33 @@ double EvaluateDespiteRelevance(const ExecutionLog& log,
                                 const Query& bound_query,
                                 const Predicate& despite_ext,
                                 const PairFeatureOptions& options) {
+  const ColumnarLog columns(log);
+  const CompiledQuery query =
+      CompiledQuery::Compile(bound_query, schema, columns);
+  const CompiledPredicate despite =
+      CompiledPredicate::Compile(despite_ext, schema, columns);
+  const double f = options.sim_fraction;
+
+  struct Counts {
+    std::size_t matching = 0;
+    std::size_t expected = 0;
+  };
+  std::vector<Counts> partials;
+  ScanOrderedPairs(columns.rows(), EnumerationOptions{}, partials,
+                   [&](Counts& local, std::size_t i, std::size_t j) {
+                     const PairLabel label =
+                         ClassifyPairCompiled(query, columns, i, j, f);
+                     if (label == PairLabel::kUnrelated) return;
+                     if (!despite.Eval(columns, i, j, f)) return;
+                     ++local.matching;
+                     if (label == PairLabel::kExpected) ++local.expected;
+                   });
   std::size_t matching = 0;
   std::size_t expected = 0;
-  ForEachOrderedPair(
-      log, schema, options,
-      [&](std::size_t, std::size_t, const PairFeatureView& view) {
-        const PairLabel label = ClassifyPair(bound_query, view);
-        if (label == PairLabel::kUnrelated) return true;
-        if (!despite_ext.Eval(view)) return true;
-        ++matching;
-        if (label == PairLabel::kExpected) ++expected;
-        return true;
-      });
+  for (const Counts& local : partials) {
+    matching += local.matching;
+    expected += local.expected;
+  }
   if (matching == 0) return 0.0;
   return static_cast<double>(expected) / static_cast<double>(matching);
 }

@@ -1,22 +1,25 @@
 #include "core/pair_enumeration.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 namespace perfxplain {
+
+namespace {
+
+std::atomic<int> g_default_threads{0};
+
+}  // namespace
 
 void ForEachOrderedPair(
     const ExecutionLog& log, const PairSchema& schema,
     const PairFeatureOptions& options,
     const std::function<bool(std::size_t, std::size_t,
                              const PairFeatureView&)>& fn) {
-  const std::size_t n = log.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      PairFeatureView view(&schema, &log.at(i), &log.at(j), &options);
-      if (!fn(i, j, view)) return;
-    }
-  }
+  ForEachOrderedPair<const std::function<bool(
+      std::size_t, std::size_t, const PairFeatureView&)>&>(log, schema,
+                                                           options, fn);
 }
 
 PairLabel ClassifyPair(const Query& bound_query, const PairFeatureView& view) {
@@ -26,41 +29,154 @@ PairLabel ClassifyPair(const Query& bound_query, const PairFeatureView& view) {
   return PairLabel::kUnrelated;
 }
 
+PairLabel ClassifyPairCompiled(const CompiledQuery& query,
+                               const ColumnarLog& columns, std::size_t i,
+                               std::size_t j, double sim_fraction) {
+  if (!query.despite.Eval(columns, i, j, sim_fraction)) {
+    return PairLabel::kUnrelated;
+  }
+  if (query.observed.Eval(columns, i, j, sim_fraction)) {
+    return PairLabel::kObserved;
+  }
+  if (query.expected.Eval(columns, i, j, sim_fraction)) {
+    return PairLabel::kExpected;
+  }
+  return PairLabel::kUnrelated;
+}
+
+void SetDefaultEnumerationThreads(int threads) {
+  g_default_threads.store(threads < 0 ? 0 : threads);
+}
+
+int ResolveEnumerationThreads(const EnumerationOptions& options) {
+  int threads = options.threads;
+  if (threads <= 0) threads = g_default_threads.load();
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return threads <= 0 ? 1 : threads;
+}
+
 RelatedCounts CountRelatedPairs(const ExecutionLog& log,
                                 const PairSchema& schema,
                                 const Query& bound_query,
                                 const PairFeatureOptions& options) {
+  const ColumnarLog columns(log);
+  const CompiledQuery compiled =
+      CompiledQuery::Compile(bound_query, schema, columns);
+  return CountRelatedPairs(columns, compiled, options.sim_fraction);
+}
+
+RelatedCounts CountRelatedPairs(const ColumnarLog& columns,
+                                const CompiledQuery& query,
+                                double sim_fraction,
+                                const EnumerationOptions& enumeration) {
+  const std::size_t n = columns.rows();
+  // A pair failing des (or satisfying neither obs nor exp) is unrelated, so
+  // an always-false despite clause relates nothing.
+  if (query.despite.always_false()) return RelatedCounts{};
+  std::vector<RelatedCounts> partial;
+  ScanOrderedPairs(n, enumeration, partial,
+                   [&](RelatedCounts& local, std::size_t i, std::size_t j) {
+                     switch (ClassifyPairCompiled(query, columns, i, j,
+                                                  sim_fraction)) {
+                       case PairLabel::kObserved:
+                         ++local.observed;
+                         break;
+                       case PairLabel::kExpected:
+                         ++local.expected;
+                         break;
+                       case PairLabel::kUnrelated:
+                         break;
+                     }
+                   });
   RelatedCounts counts;
-  ForEachOrderedPair(log, schema, options,
-                     [&](std::size_t, std::size_t,
-                         const PairFeatureView& view) {
-                       switch (ClassifyPair(bound_query, view)) {
-                         case PairLabel::kObserved:
-                           ++counts.observed;
-                           break;
-                         case PairLabel::kExpected:
-                           ++counts.expected;
-                           break;
-                         case PairLabel::kUnrelated:
-                           break;
-                       }
-                       return true;
-                     });
+  for (const RelatedCounts& local : partial) {
+    counts.observed += local.observed;
+    counts.expected += local.expected;
+  }
   return counts;
 }
 
-Result<std::vector<TrainingExample>> BuildTrainingExamples(
-    const ExecutionLog& log, const PairSchema& schema,
-    const Query& bound_query, std::size_t poi_first, std::size_t poi_second,
-    const PairFeatureOptions& pair_options,
-    const SamplerOptions& sampler_options, Rng& rng, bool balanced) {
-  if (poi_first >= log.size() || poi_second >= log.size() ||
+std::vector<PairRef> CollectRelatedPairs(const ColumnarLog& columns,
+                                         const CompiledQuery& query,
+                                         double sim_fraction,
+                                         const EnumerationOptions&
+                                             enumeration) {
+  const std::size_t n = columns.rows();
+  if (query.despite.always_false()) return {};
+  std::vector<std::vector<PairRef>> partial;
+  ScanOrderedPairs(n, enumeration, partial,
+                   [&](std::vector<PairRef>& local, std::size_t i,
+                       std::size_t j) {
+                     const PairLabel label = ClassifyPairCompiled(
+                         query, columns, i, j, sim_fraction);
+                     if (label == PairLabel::kUnrelated) return;
+                     local.push_back({i, j,
+                                      label == PairLabel::kObserved});
+                   });
+  // Stripes cover ascending row ranges, so concatenating them in block
+  // order reproduces the row-major enumeration order exactly.
+  std::size_t total = 0;
+  for (const auto& local : partial) total += local.size();
+  std::vector<PairRef> related;
+  related.reserve(total);
+  for (auto& local : partial) {
+    related.insert(related.end(), local.begin(), local.end());
+  }
+  return related;
+}
+
+Result<std::vector<PairRef>> SampleRelatedPairs(
+    const ColumnarLog& columns, const CompiledQuery& query,
+    std::size_t poi_first, std::size_t poi_second, double sim_fraction,
+    const SamplerOptions& sampler_options, Rng& rng, bool balanced,
+    const EnumerationOptions& enumeration) {
+  if (poi_first >= columns.rows() || poi_second >= columns.rows() ||
       poi_first == poi_second) {
     return Status::InvalidArgument("pair of interest indexes out of range");
   }
-  // Pass 1: label counts for the §4.3 acceptance probabilities.
-  const RelatedCounts counts =
-      CountRelatedPairs(log, schema, bound_query, pair_options);
+  // One parallel pass produces the §4.3 label counts and, while the total
+  // stays under the buffer cap, the related pairs themselves. A broad
+  // despite clause that relates almost every ordered pair overflows the
+  // cap; the buffers are then discarded and a second, streaming scan
+  // performs the draws, keeping memory O(accepted).
+  const std::size_t n = columns.rows();
+  const std::size_t cap = enumeration.sample_buffer_cap;
+  struct StripeState {
+    RelatedCounts counts;
+    std::vector<PairRef> pairs;
+  };
+  std::vector<StripeState> partial;
+  std::atomic<std::size_t> buffered{0};
+  std::atomic<bool> overflow{cap == 0};
+  if (!query.despite.always_false()) {
+    ScanOrderedPairs(
+        n, enumeration, partial,
+        [&](StripeState& local, std::size_t i, std::size_t j) {
+          const PairLabel label =
+              ClassifyPairCompiled(query, columns, i, j, sim_fraction);
+          if (label == PairLabel::kUnrelated) return;
+          const bool observed = label == PairLabel::kObserved;
+          if (observed) {
+            ++local.counts.observed;
+          } else {
+            ++local.counts.expected;
+          }
+          if (!overflow.load(std::memory_order_relaxed)) {
+            if (buffered.fetch_add(1, std::memory_order_relaxed) < cap) {
+              local.pairs.push_back({i, j, observed});
+            } else {
+              overflow.store(true, std::memory_order_relaxed);
+            }
+          }
+        });
+  }
+  RelatedCounts counts;
+  for (const StripeState& local : partial) {
+    counts.observed += local.counts.observed;
+    counts.expected += local.counts.expected;
+  }
   if (counts.total() == 0) {
     return Status::FailedPrecondition(
         "no pairs in the log are related to the query");
@@ -85,34 +201,68 @@ Result<std::vector<TrainingExample>> BuildTrainingExamples(
     p_expected = uniform;
   }
 
-  // Pass 2: sample and materialize. The pair of interest goes first.
-  std::vector<TrainingExample> examples;
-  {
-    PairFeatureView poi_view(&schema, &log.at(poi_first), &log.at(poi_second),
-                             &pair_options);
-    TrainingExample poi;
-    poi.first = poi_first;
-    poi.second = poi_second;
-    poi.observed = true;
-    poi.features = poi_view.Materialize();
-    examples.push_back(std::move(poi));
+  // The acceptance draws happen serially in row-major related-pair order
+  // (one Bernoulli per related pair except the pair of interest) — exactly
+  // the draw sequence of the legacy two-pass enumeration, for any thread
+  // count and either memory strategy.
+  std::vector<PairRef> sampled;
+  sampled.reserve(std::min<std::size_t>(static_cast<std::size_t>(m) + 1,
+                                        counts.total() + 1));
+  sampled.push_back({poi_first, poi_second, true});
+  if (!overflow.load()) {
+    // Stripes ascend, so replaying the buffers in stripe order is the
+    // row-major order.
+    for (const StripeState& local : partial) {
+      for (const PairRef& pair : local.pairs) {
+        if (pair.first == poi_first && pair.second == poi_second) continue;
+        if (!rng.Bernoulli(pair.observed ? p_observed : p_expected)) {
+          continue;
+        }
+        sampled.push_back(pair);
+      }
+    }
+    return sampled;
   }
-  ForEachOrderedPair(
-      log, schema, pair_options,
-      [&](std::size_t i, std::size_t j, const PairFeatureView& view) {
-        if (i == poi_first && j == poi_second) return true;  // already added
-        const PairLabel label = ClassifyPair(bound_query, view);
-        if (label == PairLabel::kUnrelated) return true;
-        const bool observed = label == PairLabel::kObserved;
-        if (!rng.Bernoulli(observed ? p_observed : p_expected)) return true;
-        TrainingExample example;
-        example.first = i;
-        example.second = j;
-        example.observed = observed;
-        example.features = view.Materialize();
-        examples.push_back(std::move(example));
-        return true;
-      });
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (i == poi_first && j == poi_second) continue;
+      const PairLabel label =
+          ClassifyPairCompiled(query, columns, i, j, sim_fraction);
+      if (label == PairLabel::kUnrelated) continue;
+      const bool observed = label == PairLabel::kObserved;
+      if (!rng.Bernoulli(observed ? p_observed : p_expected)) continue;
+      sampled.push_back({i, j, observed});
+    }
+  }
+  return sampled;
+}
+
+Result<std::vector<TrainingExample>> BuildTrainingExamples(
+    const ExecutionLog& log, const PairSchema& schema,
+    const Query& bound_query, std::size_t poi_first, std::size_t poi_second,
+    const PairFeatureOptions& pair_options,
+    const SamplerOptions& sampler_options, Rng& rng, bool balanced) {
+  const ColumnarLog columns(log);
+  const CompiledQuery compiled =
+      CompiledQuery::Compile(bound_query, schema, columns);
+  auto sampled = SampleRelatedPairs(columns, compiled, poi_first, poi_second,
+                                    pair_options.sim_fraction,
+                                    sampler_options, rng, balanced);
+  if (!sampled.ok()) return sampled.status();
+
+  std::vector<TrainingExample> examples;
+  examples.reserve(sampled->size());
+  for (const PairRef& pair : *sampled) {
+    PairFeatureView view(&schema, &log.at(pair.first), &log.at(pair.second),
+                         &pair_options);
+    TrainingExample example;
+    example.first = pair.first;
+    example.second = pair.second;
+    example.observed = pair.observed;
+    example.features = view.Materialize();
+    examples.push_back(std::move(example));
+  }
   return examples;
 }
 
@@ -120,28 +270,35 @@ Result<std::pair<std::size_t, std::size_t>> FindPairOfInterest(
     const ExecutionLog& log, const PairSchema& schema,
     const Query& bound_query, const PairFeatureOptions& options,
     std::size_t skip) {
+  const ColumnarLog columns(log);
+  const CompiledQuery compiled =
+      CompiledQuery::Compile(bound_query, schema, columns);
+  return FindPairOfInterest(columns, compiled, options.sim_fraction, skip);
+}
+
+Result<std::pair<std::size_t, std::size_t>> FindPairOfInterest(
+    const ColumnarLog& columns, const CompiledQuery& query,
+    double sim_fraction, std::size_t skip) {
+  const std::size_t n = columns.rows();
   std::size_t remaining = skip;
-  std::pair<std::size_t, std::size_t> found{0, 0};
-  bool ok = false;
-  ForEachOrderedPair(
-      log, schema, options,
-      [&](std::size_t i, std::size_t j, const PairFeatureView& view) {
-        if (ClassifyPair(bound_query, view) != PairLabel::kObserved) {
-          return true;
+  if (!query.despite.always_false()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (ClassifyPairCompiled(query, columns, i, j, sim_fraction) !=
+            PairLabel::kObserved) {
+          continue;
         }
         if (remaining > 0) {
           --remaining;
-          return true;
+          continue;
         }
-        found = {i, j};
-        ok = true;
-        return false;
-      });
-  if (!ok) {
-    return Status::NotFound(
-        "no pair in the log satisfies DESPITE and OBSERVED");
+        return std::make_pair(i, j);
+      }
+    }
   }
-  return found;
+  return Status::NotFound(
+      "no pair in the log satisfies DESPITE and OBSERVED");
 }
 
 }  // namespace perfxplain

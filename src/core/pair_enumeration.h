@@ -1,15 +1,21 @@
 #ifndef PERFXPLAIN_CORE_PAIR_ENUMERATION_H_
 #define PERFXPLAIN_CORE_PAIR_ENUMERATION_H_
 
+#include <algorithm>
+#include <exception>
 #include <functional>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "features/pair_features.h"
 #include "features/pair_schema.h"
+#include "log/columnar.h"
 #include "log/execution_log.h"
 #include "ml/sampler.h"
+#include "pxql/compiled_predicate.h"
 #include "pxql/query.h"
 
 namespace perfxplain {
@@ -17,6 +23,22 @@ namespace perfxplain {
 /// Invokes `fn` for every ordered pair (i, j), i != j, of records in `log`
 /// with a lazy feature view. Enumeration is row-major and deterministic.
 /// `fn` returning false stops the enumeration early.
+///
+/// The callable is a template parameter so tight callers inline; the
+/// std::function overload below remains for type-erased call sites.
+template <typename Fn>
+void ForEachOrderedPair(const ExecutionLog& log, const PairSchema& schema,
+                        const PairFeatureOptions& options, Fn&& fn) {
+  const std::size_t n = log.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      PairFeatureView view(&schema, &log.at(i), &log.at(j), &options);
+      if (!fn(i, j, view)) return;
+    }
+  }
+}
+
 void ForEachOrderedPair(
     const ExecutionLog& log, const PairSchema& schema,
     const PairFeatureOptions& options,
@@ -34,6 +56,114 @@ enum class PairLabel {
 /// only the des atoms).
 PairLabel ClassifyPair(const Query& bound_query, const PairFeatureView& view);
 
+/// Labels rows (i, j) of `columns` with the compiled query — the columnar
+/// equivalent of ClassifyPair, allocation-free.
+PairLabel ClassifyPairCompiled(const CompiledQuery& query,
+                               const ColumnarLog& columns, std::size_t i,
+                               std::size_t j, double sim_fraction);
+
+/// Controls the row-blocked parallel enumeration of the columnar fast
+/// path. Results are bitwise identical for every thread count: per-thread
+/// partial results are merged in row order and all sampling randomness is
+/// replayed serially.
+struct EnumerationOptions {
+  /// 0 uses the process-wide default (SetDefaultEnumerationThreads, itself
+  /// defaulting to the hardware concurrency).
+  int threads = 0;
+
+  /// Max related pairs SampleRelatedPairs may buffer during its counting
+  /// pass (~24 bytes each). Under the cap, sampling replays the draws from
+  /// the buffer (one scan total); above it, the buffer is discarded and a
+  /// second, streaming scan performs the draws with O(accepted) memory.
+  /// Both paths produce identical results. 0 forces the streaming path.
+  std::size_t sample_buffer_cap = std::size_t{1} << 21;
+};
+
+/// Overrides the process-wide default thread count (0 restores "hardware
+/// concurrency"). Thread count is observation-free: it never changes any
+/// result, only wall-clock time.
+void SetDefaultEnumerationThreads(int threads);
+
+/// The positive thread count `options.threads` resolves to.
+int ResolveEnumerationThreads(const EnumerationOptions& options);
+
+/// Number of stripes ForEachRowStripe will actually use: the requested
+/// thread count clamped to the row count (and at least 1). Size per-stripe
+/// partial-result buffers with this, never with the raw thread count.
+inline std::size_t RowStripeCount(std::size_t rows, int threads) {
+  return std::min<std::size_t>(
+      static_cast<std::size_t>(threads > 0 ? threads : 1),
+      std::max<std::size_t>(rows, 1));
+}
+
+/// Runs body(stripe_index, row_begin, row_end) over RowStripeCount
+/// contiguous row stripes covering [0, rows), on worker threads when more
+/// than one stripe is used. Stripes ascend with stripe_index, so per-stripe
+/// partial results merged in stripe order reproduce the row-major order.
+/// An exception thrown by any stripe is rethrown on the calling thread
+/// after all workers join. Shared by the counting scans here and in
+/// metrics.cc.
+template <typename Body>
+void ForEachRowStripe(std::size_t rows, int threads, Body&& body) {
+  const std::size_t t = RowStripeCount(rows, threads);
+  if (t <= 1) {
+    body(std::size_t{0}, std::size_t{0}, rows);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(t - 1);
+  std::vector<std::exception_ptr> errors(t);
+  const std::size_t chunk = (rows + t - 1) / t;
+  for (std::size_t b = 1; b < t; ++b) {
+    const std::size_t begin = b * chunk;
+    const std::size_t end = std::min(rows, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&body, &errors, b, begin, end] {
+      try {
+        body(b, begin, end);
+      } catch (...) {
+        errors[b] = std::current_exception();
+      }
+    });
+  }
+  // Stripe 0 runs on the calling thread, concurrently with the workers, so
+  // `threads` means what it says.
+  try {
+    body(std::size_t{0}, std::size_t{0}, std::min(rows, chunk));
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+/// Row-blocked scan over all ordered pairs (i, j), i != j: resizes
+/// `partials` to the stripe count and invokes per_pair(partials[stripe],
+/// i, j) for every pair of the stripe. The caller merges the partials in
+/// index (= row) order. Shared by the counting scans here and in
+/// metrics.cc.
+template <typename Partial, typename PerPair>
+void ScanOrderedPairs(std::size_t rows, const EnumerationOptions& enumeration,
+                      std::vector<Partial>& partials, PerPair&& per_pair) {
+  const int threads = ResolveEnumerationThreads(enumeration);
+  partials.assign(RowStripeCount(rows, threads), Partial{});
+  ForEachRowStripe(rows, threads,
+                   [&](std::size_t block, std::size_t begin,
+                       std::size_t end) {
+                     // Accumulate into a stripe-local partial so counters
+                     // stay in registers; store once at stripe end.
+                     Partial local{};
+                     for (std::size_t i = begin; i < end; ++i) {
+                       for (std::size_t j = 0; j < rows; ++j) {
+                         if (i != j) per_pair(local, i, j);
+                       }
+                     }
+                     partials[block] = std::move(local);
+                   });
+}
+
 /// Counts of related pairs by label.
 struct RelatedCounts {
   std::size_t observed = 0;
@@ -46,6 +176,32 @@ RelatedCounts CountRelatedPairs(const ExecutionLog& log,
                                 const PairSchema& schema,
                                 const Query& bound_query,
                                 const PairFeatureOptions& options);
+
+/// Columnar fast path of CountRelatedPairs: row-blocked and multi-threaded
+/// over a prebuilt ColumnarLog and compiled query.
+RelatedCounts CountRelatedPairs(const ColumnarLog& columns,
+                                const CompiledQuery& query,
+                                double sim_fraction,
+                                const EnumerationOptions& enumeration = {});
+
+/// All ordered pairs related to the query (Definition 7), in row-major
+/// order, labeled observed/expected. Row-blocked parallel scan; per-block
+/// results are concatenated in block order, so the output is independent
+/// of the thread count.
+std::vector<PairRef> CollectRelatedPairs(
+    const ColumnarLog& columns, const CompiledQuery& query,
+    double sim_fraction, const EnumerationOptions& enumeration = {});
+
+/// constructTrainingExamples + sample (lines 1-2 of Algorithm 1) on the
+/// columnar fast path: collects related pairs, then serially replays the
+/// §4.3 balanced-sampling acceptance draws over them in row-major order
+/// (bit-identical to the legacy Value path for the same Rng seed). The
+/// pair of interest is always first.
+Result<std::vector<PairRef>> SampleRelatedPairs(
+    const ColumnarLog& columns, const CompiledQuery& query,
+    std::size_t poi_first, std::size_t poi_second, double sim_fraction,
+    const SamplerOptions& sampler_options, Rng& rng, bool balanced = true,
+    const EnumerationOptions& enumeration = {});
 
 /// constructTrainingExamples + sample (lines 1-2 of Algorithm 1): labels
 /// every ordered pair, keeps related ones with the balanced-sampling
@@ -70,6 +226,12 @@ Result<std::pair<std::size_t, std::size_t>> FindPairOfInterest(
     const ExecutionLog& log, const PairSchema& schema,
     const Query& bound_query, const PairFeatureOptions& options,
     std::size_t skip = 0);
+
+/// Columnar fast path of FindPairOfInterest. The scan is serial (the
+/// expected exit is early) but each pair test runs the compiled program.
+Result<std::pair<std::size_t, std::size_t>> FindPairOfInterest(
+    const ColumnarLog& columns, const CompiledQuery& query,
+    double sim_fraction, std::size_t skip = 0);
 
 }  // namespace perfxplain
 

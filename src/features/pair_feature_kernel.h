@@ -1,0 +1,115 @@
+#ifndef PERFXPLAIN_FEATURES_PAIR_FEATURE_KERNEL_H_
+#define PERFXPLAIN_FEATURES_PAIR_FEATURE_KERNEL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/value.h"
+#include "features/pair_schema.h"
+#include "log/columnar.h"
+
+namespace perfxplain {
+
+/// Branchless-ish scalar kernels computing the Table 1 pair features as
+/// small integer codes directly from columnar data. Each kernel is
+/// bit-for-bit equivalent to the corresponding branch of ComputePairFeature
+/// (pair_features.cc) but never materializes a Value and never allocates.
+///
+/// Code conventions:
+///  - kMissingCode (-1) encodes a missing pair-feature value;
+///  - isSame codes: 0 = "F", 1 = "T";
+///  - compare codes: 0 = "LT", 1 = "SIM", 2 = "GT";
+///  - diff values are packed (left, right) interner-code pairs;
+///  - base features keep the raw column representation (double or interner
+///    code).
+namespace kernel {
+
+inline constexpr std::int8_t kMissingCode = -1;
+inline constexpr std::int8_t kFalseCode = 0;
+inline constexpr std::int8_t kTrueCode = 1;
+inline constexpr std::int8_t kLtCode = 0;
+inline constexpr std::int8_t kSimCode = 1;
+inline constexpr std::int8_t kGtCode = 2;
+inline constexpr std::int64_t kMissingDiff = -1;
+
+/// Mirror of Value::WithinFraction on raw doubles (footnote 1 similarity).
+inline bool WithinFraction(double x, double y, double fraction) {
+  if (x == y) return true;
+  const double scale = std::max(std::abs(x), std::abs(y));
+  return std::abs(x - y) <= fraction * scale;
+}
+
+/// f_isSame for a numeric raw feature: T iff within the similarity
+/// tolerance; missing when either input is missing.
+inline std::int8_t IsSameNumeric(bool x_present, double x, bool y_present,
+                                 double y, double sim_fraction) {
+  if (!x_present || !y_present) return kMissingCode;
+  return WithinFraction(x, y, sim_fraction) ? kTrueCode : kFalseCode;
+}
+
+/// f_isSame for a nominal raw feature: exact (dictionary-code) equality.
+inline std::int8_t IsSameNominal(std::int32_t x_code, std::int32_t y_code) {
+  if (x_code < 0 || y_code < 0) return kMissingCode;
+  return x_code == y_code ? kTrueCode : kFalseCode;
+}
+
+/// f_compare (numeric raw features only): LT/SIM/GT of x against y.
+inline std::int8_t CompareNumeric(bool x_present, double x, bool y_present,
+                                  double y, double sim_fraction) {
+  if (!x_present || !y_present) return kMissingCode;
+  if (WithinFraction(x, y, sim_fraction)) return kSimCode;
+  return x < y ? kLtCode : kGtCode;
+}
+
+/// f_diff (nominal raw features only) as a packed (left, right) code pair.
+/// Equal packed values <=> equal "(left,right)" diff strings.
+inline std::int64_t DiffPacked(std::int32_t x_code, std::int32_t y_code) {
+  if (x_code < 0 || y_code < 0) return kMissingDiff;
+  return (static_cast<std::int64_t>(x_code) << 32) |
+         static_cast<std::uint32_t>(y_code);
+}
+
+inline std::int32_t DiffLeft(std::int64_t packed) {
+  return static_cast<std::int32_t>(packed >> 32);
+}
+inline std::int32_t DiffRight(std::int64_t packed) {
+  return static_cast<std::int32_t>(packed & 0xffffffff);
+}
+
+/// Base feature of a numeric raw feature: present (with value x) only when
+/// both sides are present and exactly equal. NaN never equals itself, so a
+/// NaN input yields a missing base feature, as in the Value path.
+struct BaseNumericResult {
+  bool present;
+  double value;
+};
+inline BaseNumericResult BaseNumeric(bool x_present, double x, bool y_present,
+                                     double y) {
+  return {x_present && y_present && x == y, x};
+}
+
+/// Base feature of a nominal raw feature: the shared code, or kNoCode.
+inline std::int32_t BaseNominal(std::int32_t x_code, std::int32_t y_code) {
+  return (x_code >= 0 && x_code == y_code) ? x_code : StringInterner::kNoCode;
+}
+
+}  // namespace kernel
+
+/// Decodes kernel output codes back into the canonical Values, for Atom
+/// constants and tests. `interner` is the columnar log's dictionary.
+Value DecodeIsSame(std::int8_t code);
+Value DecodeCompare(std::int8_t code);
+Value DecodeDiff(std::int64_t packed, const StringInterner& interner);
+Value DecodeBaseNominal(std::int32_t code, const StringInterner& interner);
+
+/// Computes pair feature `pair_index` for rows (i, j) of `columns` and
+/// decodes it to a Value — the kernel-backed equivalent of
+/// ComputePairFeature, used by equivalence tests.
+Value ComputePairFeatureColumnar(const ColumnarLog& columns,
+                                 const PairSchema& schema, std::size_t i,
+                                 std::size_t j, std::size_t pair_index,
+                                 double sim_fraction);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_FEATURES_PAIR_FEATURE_KERNEL_H_

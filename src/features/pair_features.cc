@@ -7,18 +7,19 @@ namespace {
 Value IsSameFeature(const Value& x, const Value& y, double sim_fraction) {
   if (x.is_missing() || y.is_missing()) return Value::Missing();
   if (x.is_numeric() && y.is_numeric()) {
-    return Value::Boolean(Value::WithinFraction(x, y, sim_fraction));
+    return pair_values::BooleanValue(Value::WithinFraction(x, y,
+                                                           sim_fraction));
   }
-  return Value::Boolean(x == y);
+  return pair_values::BooleanValue(x == y);
 }
 
 Value CompareFeature(const Value& x, const Value& y, double sim_fraction) {
   if (!x.is_numeric() || !y.is_numeric()) return Value::Missing();
   if (Value::WithinFraction(x, y, sim_fraction)) {
-    return Value::Nominal(pair_values::kSim);
+    return pair_values::SimValue();
   }
-  return Value::Nominal(x.number() < y.number() ? pair_values::kLt
-                                                : pair_values::kGt);
+  return x.number() < y.number() ? pair_values::LtValue()
+                                 : pair_values::GtValue();
 }
 
 Value DiffFeature(const Value& x, const Value& y) {

@@ -97,4 +97,29 @@ bool PairSchema::IsDefined(std::size_t pair_index) const {
   return false;
 }
 
+namespace pair_values {
+
+const Value& TrueValue() {
+  static const Value value = Value::Nominal(kTrue);
+  return value;
+}
+const Value& FalseValue() {
+  static const Value value = Value::Nominal(kFalse);
+  return value;
+}
+const Value& LtValue() {
+  static const Value value = Value::Nominal(kLt);
+  return value;
+}
+const Value& SimValue() {
+  static const Value value = Value::Nominal(kSim);
+  return value;
+}
+const Value& GtValue() {
+  static const Value value = Value::Nominal(kGt);
+  return value;
+}
+
+}  // namespace pair_values
+
 }  // namespace perfxplain

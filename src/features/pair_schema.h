@@ -80,6 +80,18 @@ inline constexpr const char kLt[] = "LT";
 inline constexpr const char kSim[] = "SIM";
 inline constexpr const char kGt[] = "GT";
 
+/// Shared interned Values of the fixed categorical levels. Copying one is
+/// allocation-free (the payloads fit the small-string buffer), so per-pair
+/// feature computation never heap-allocates for these.
+const Value& TrueValue();
+const Value& FalseValue();
+const Value& LtValue();
+const Value& SimValue();
+const Value& GtValue();
+inline const Value& BooleanValue(bool v) {
+  return v ? TrueValue() : FalseValue();
+}
+
 }  // namespace pair_values
 
 }  // namespace perfxplain

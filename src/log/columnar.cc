@@ -1,0 +1,92 @@
+#include "log/columnar.h"
+
+#include "features/pair_schema.h"
+
+namespace perfxplain {
+
+StringInterner::StringInterner() {
+  Intern(pair_values::kTrue);
+  Intern(pair_values::kFalse);
+  Intern(pair_values::kLt);
+  Intern(pair_values::kSim);
+  Intern(pair_values::kGt);
+}
+
+std::int32_t StringInterner::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const auto code = static_cast<std::int32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), code);
+  return code;
+}
+
+std::int32_t StringInterner::Lookup(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kNoCode : it->second;
+}
+
+const std::string& StringInterner::StringOf(std::int32_t code) const {
+  PX_CHECK_GE(code, 0);
+  PX_CHECK_LT(static_cast<std::size_t>(code), strings_.size());
+  return strings_[static_cast<std::size_t>(code)];
+}
+
+ColumnarLog::ColumnarLog(const ExecutionLog& log)
+    : schema_(log.schema()), rows_(log.size()) {
+  const std::size_t k = schema_.size();
+  slot_.resize(k);
+  for (std::size_t col = 0; col < k; ++col) {
+    if (is_numeric(col)) {
+      slot_[col] = static_cast<std::int32_t>(numeric_.size());
+      NumericColumn column;
+      column.values.assign(rows_, 0.0);
+      column.present = PresenceBitmap(rows_);
+      numeric_.push_back(std::move(column));
+    } else {
+      slot_[col] = static_cast<std::int32_t>(nominal_.size());
+      NominalColumn column;
+      column.codes.assign(rows_, StringInterner::kNoCode);
+      nominal_.push_back(std::move(column));
+    }
+  }
+  for (std::size_t row = 0; row < rows_; ++row) {
+    const ExecutionRecord& record = log.at(row);
+    for (std::size_t col = 0; col < k; ++col) {
+      const Value& v = record.values[col];
+      if (v.is_missing()) continue;
+      if (is_numeric(col)) {
+        NumericColumn& column = numeric_[static_cast<std::size_t>(slot_[col])];
+        column.values[row] = v.number();
+        column.present.Set(row);
+      } else {
+        nominal_[static_cast<std::size_t>(slot_[col])].codes[row] =
+            interner_.Intern(v.nominal());
+      }
+    }
+  }
+}
+
+const NumericColumn& ColumnarLog::numeric_column(std::size_t col) const {
+  PX_CHECK(is_numeric(col));
+  return numeric_[static_cast<std::size_t>(slot_[col])];
+}
+
+const NominalColumn& ColumnarLog::nominal_column(std::size_t col) const {
+  PX_CHECK(!is_numeric(col));
+  return nominal_[static_cast<std::size_t>(slot_[col])];
+}
+
+Value ColumnarLog::ValueAt(std::size_t row, std::size_t col) const {
+  PX_CHECK_LT(row, rows_);
+  if (is_numeric(col)) {
+    const NumericColumn& column = numeric_column(col);
+    if (!column.present.Test(row)) return Value::Missing();
+    return Value::Number(column.values[row]);
+  }
+  const std::int32_t code = nominal_column(col).codes[row];
+  if (code == StringInterner::kNoCode) return Value::Missing();
+  return Value::Nominal(interner_.StringOf(code));
+}
+
+}  // namespace perfxplain

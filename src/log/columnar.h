@@ -1,0 +1,129 @@
+#ifndef PERFXPLAIN_LOG_COLUMNAR_H_
+#define PERFXPLAIN_LOG_COLUMNAR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "log/execution_log.h"
+#include "log/schema.h"
+
+namespace perfxplain {
+
+/// Interns nominal strings to dense int32 codes. One interner is shared by
+/// every nominal column of a ColumnarLog, so equal strings always map to
+/// equal codes and string equality reduces to integer equality.
+class StringInterner {
+ public:
+  static constexpr std::int32_t kNoCode = -1;
+
+  /// The canonical categorical levels of Table 1 ("T", "F", "LT", "SIM",
+  /// "GT") are pre-interned, in that order, so kernels can reference their
+  /// codes without lookups.
+  StringInterner();
+
+  // Copying would leave the map's string_view keys pointing into the
+  // source's deque. Moves are fine: deque elements never relocate.
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  /// Returns the code of `s`, inserting it if absent.
+  std::int32_t Intern(std::string_view s);
+
+  /// Returns the code of `s`, or kNoCode when it was never interned.
+  std::int32_t Lookup(std::string_view s) const;
+
+  const std::string& StringOf(std::int32_t code) const;
+  std::size_t size() const { return strings_.size(); }
+
+  std::int32_t true_code() const { return 0; }
+  std::int32_t false_code() const { return 1; }
+  std::int32_t lt_code() const { return 2; }
+  std::int32_t sim_code() const { return 3; }
+  std::int32_t gt_code() const { return 4; }
+
+ private:
+  // Deque: element addresses are stable under push_back, so the map's
+  // string_view keys can point into the stored strings.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, std::int32_t> index_;
+};
+
+/// Presence bitmap of one column: bit r set = row r has a value.
+class PresenceBitmap {
+ public:
+  PresenceBitmap() = default;
+  explicit PresenceBitmap(std::size_t rows) : words_((rows + 63) / 64, 0) {}
+
+  void Set(std::size_t row) {
+    words_[row >> 6] |= std::uint64_t{1} << (row & 63);
+  }
+  bool Test(std::size_t row) const {
+    return (words_[row >> 6] >> (row & 63)) & 1;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// A numeric raw feature as a contiguous double array. Missing rows hold
+/// 0.0 and are excluded via the presence bitmap.
+struct NumericColumn {
+  std::vector<double> values;
+  PresenceBitmap present;
+};
+
+/// A nominal raw feature dictionary-encoded against the shared interner.
+/// Missing rows hold StringInterner::kNoCode.
+struct NominalColumn {
+  std::vector<std::int32_t> codes;
+};
+
+/// An ordered pair of rows plus its Definition 8/9 label, as produced by
+/// the columnar pair-enumeration fast path and consumed by the encoded
+/// training-matrix builder.
+struct PairRef {
+  std::size_t first = 0;
+  std::size_t second = 0;
+  bool observed = false;
+};
+
+/// Column-oriented, dictionary-encoded copy of an ExecutionLog, built once
+/// and scanned by the pair-feature kernels and compiled PXQL predicates.
+/// The source log is not retained; the columnar form is self-contained.
+class ColumnarLog {
+ public:
+  explicit ColumnarLog(const ExecutionLog& log);
+
+  std::size_t rows() const { return rows_; }
+  const Schema& schema() const { return schema_; }
+  const StringInterner& interner() const { return interner_; }
+
+  bool is_numeric(std::size_t col) const {
+    return schema_.at(col).kind == ValueKind::kNumeric;
+  }
+  const NumericColumn& numeric_column(std::size_t col) const;
+  const NominalColumn& nominal_column(std::size_t col) const;
+
+  /// Decodes one cell back to a Value (tests and diagnostics; the hot paths
+  /// never materialize Values).
+  Value ValueAt(std::size_t row, std::size_t col) const;
+
+ private:
+  Schema schema_;
+  std::size_t rows_ = 0;
+  std::vector<std::int32_t> slot_;  ///< per raw column: index into a pool
+  std::vector<NumericColumn> numeric_;
+  std::vector<NominalColumn> nominal_;
+  StringInterner interner_;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_LOG_COLUMNAR_H_

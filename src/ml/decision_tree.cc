@@ -19,6 +19,86 @@ Status DecisionTree::Fit(const PairSchema& schema,
   return Status::OK();
 }
 
+Status DecisionTree::Fit(const PairSchema& schema,
+                         const EncodedDataset& examples,
+                         const TreeOptions& options) {
+  if (examples.rows() == 0) {
+    return Status::InvalidArgument("cannot fit a tree on zero examples");
+  }
+  nodes_.clear();
+  std::vector<std::uint32_t> rows(examples.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = static_cast<std::uint32_t>(i);
+  }
+  BuildEncoded(schema, examples, std::move(rows), options, 0);
+  return Status::OK();
+}
+
+std::size_t DecisionTree::BuildEncoded(const PairSchema& schema,
+                                       const EncodedDataset& examples,
+                                       std::vector<std::uint32_t> rows,
+                                       const TreeOptions& options,
+                                       std::size_t depth) {
+  const std::size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+  const std::vector<std::uint8_t>& labels = examples.labels();
+  std::size_t positives = 0;
+  for (std::uint32_t r : rows) {
+    if (labels[r] != 0) ++positives;
+  }
+  nodes_[node_index].support = rows.size();
+  nodes_[node_index].probability =
+      rows.empty() ? 0.0
+                   : static_cast<double>(positives) /
+                         static_cast<double>(rows.size());
+
+  const bool pure = positives == 0 || positives == rows.size();
+  if (pure || depth >= options.max_depth ||
+      rows.size() < 2 * options.min_leaf) {
+    return node_index;
+  }
+
+  SplitOptions split_options;
+  split_options.constrain_to_pair = false;
+
+  std::optional<SplitCandidate> best;
+  for (std::size_t f = 0; f < schema.size(); ++f) {
+    auto candidate = BestPredicateForFeatureEncoded(
+        examples, rows, labels, f, /*poi_row=*/std::nullopt, split_options);
+    if (candidate.has_value() &&
+        (!best.has_value() || candidate->gain > best->gain)) {
+      best = std::move(candidate);
+    }
+  }
+  if (!best.has_value() || best->gain < options.min_gain) {
+    return node_index;
+  }
+
+  const EncodedAtomTest test(examples, best->atom);
+  std::vector<std::uint32_t> yes_rows;
+  std::vector<std::uint32_t> no_rows;
+  for (std::uint32_t r : rows) {
+    if (test.Matches(examples, r)) {
+      yes_rows.push_back(r);
+    } else {
+      no_rows.push_back(r);
+    }
+  }
+  if (yes_rows.size() < options.min_leaf ||
+      no_rows.size() < options.min_leaf) {
+    return node_index;
+  }
+
+  nodes_[node_index].atom = best->atom;
+  const std::size_t yes_child =
+      BuildEncoded(schema, examples, std::move(yes_rows), options, depth + 1);
+  const std::size_t no_child =
+      BuildEncoded(schema, examples, std::move(no_rows), options, depth + 1);
+  nodes_[node_index].yes = yes_child;
+  nodes_[node_index].no = no_child;
+  return node_index;
+}
+
 std::size_t DecisionTree::Build(const PairSchema& schema,
                                 const std::vector<TrainingExample>& examples,
                                 std::vector<std::size_t> indices,

@@ -2,12 +2,14 @@
 #define PERFXPLAIN_ML_DECISION_TREE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "features/pair_features.h"
 #include "features/pair_schema.h"
+#include "ml/encoded_dataset.h"
 #include "pxql/ast.h"
 
 namespace perfxplain {
@@ -33,6 +35,11 @@ class DecisionTree {
   /// Induces the tree on `examples`; labels are TrainingExample::observed.
   Status Fit(const PairSchema& schema,
              const std::vector<TrainingExample>& examples,
+             const TreeOptions& options);
+
+  /// Induces the same tree from the integer-coded training matrix: split
+  /// scoring scans codes and doubles instead of Values.
+  Status Fit(const PairSchema& schema, const EncodedDataset& examples,
              const TreeOptions& options);
 
   bool fitted() const { return !nodes_.empty(); }
@@ -64,6 +71,10 @@ class DecisionTree {
                     const std::vector<TrainingExample>& examples,
                     std::vector<std::size_t> indices,
                     const TreeOptions& options, std::size_t depth);
+  std::size_t BuildEncoded(const PairSchema& schema,
+                           const EncodedDataset& examples,
+                           std::vector<std::uint32_t> rows,
+                           const TreeOptions& options, std::size_t depth);
   std::size_t DepthOf(std::size_t node) const;
 
   std::vector<Node> nodes_;

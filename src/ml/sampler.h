@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "features/pair_features.h"
+#include "log/columnar.h"
 
 namespace perfxplain {
 
@@ -36,6 +37,12 @@ std::vector<TrainingExample> BalancedSample(
 std::vector<TrainingExample> EnforceRecordDiversity(
     std::vector<TrainingExample> examples, std::size_t max_pairs_per_record,
     bool keep_first);
+
+/// Identical filter over bare pair references (the columnar fast path
+/// applies diversity before encoding the training matrix).
+std::vector<PairRef> EnforceRecordDiversity(std::vector<PairRef> pairs,
+                                            std::size_t max_pairs_per_record,
+                                            bool keep_first);
 
 }  // namespace perfxplain
 

@@ -34,32 +34,26 @@ void Consider(const PairSchema& schema, std::size_t pair_index, CompareOp op,
   }
 }
 
-/// Threshold search for numeric features: one ascending scan produces the
-/// gains of all `f <= c` and `f >= c` candidates. Midpoints between adjacent
-/// distinct values are used as thresholds, plus the pair of interest's own
-/// value so `f <= poi` / `f >= poi` are always candidates.
-void SearchNumericThresholds(const PairSchema& schema,
-                             const std::vector<TrainingExample>& examples,
-                             std::size_t pair_index, const Value& poi_value,
-                             const SplitOptions& options,
-                             std::optional<SplitCandidate>& best) {
-  struct Point {
-    double value;
-    bool positive;
-  };
-  std::vector<Point> points;
-  points.reserve(examples.size());
-  std::size_t missing_total = 0;
-  std::size_t missing_positive = 0;
-  for (const TrainingExample& example : examples) {
-    const Value& v = example.features[pair_index];
-    if (v.is_numeric()) {
-      points.push_back({v.number(), example.observed});
-    } else {
-      ++missing_total;
-      if (example.observed) ++missing_positive;
-    }
-  }
+/// One (value, label) observation entering the threshold scan.
+struct ThresholdPoint {
+  double value;
+  bool positive;
+};
+
+/// The C4.5-style threshold scan shared by the Value and encoded searches:
+/// one ascending pass produces the gains of all `f <= c` and `f >= c`
+/// candidates. Midpoints between adjacent distinct values are used as
+/// thresholds, plus the pair of interest's own value so `f <= poi` /
+/// `f >= poi` are always candidates. Callers extract `points` and the
+/// missing counts from their representation; everything downstream is this
+/// single definition, so the two paths cannot drift apart.
+void ScanNumericThresholds(const PairSchema& schema, std::size_t pair_index,
+                           std::vector<ThresholdPoint>& points,
+                           std::size_t missing_total,
+                           std::size_t missing_positive, bool have_poi,
+                           double poi, const SplitOptions& options,
+                           std::optional<SplitCandidate>& best) {
+  using Point = ThresholdPoint;
   if (points.empty()) return;
   std::sort(points.begin(), points.end(),
             [](const Point& a, const Point& b) { return a.value < b.value; });
@@ -69,9 +63,6 @@ void SearchNumericThresholds(const PairSchema& schema,
   for (const Point& p : points) {
     if (p.positive) ++n_positive;
   }
-
-  const double poi = poi_value.is_numeric() ? poi_value.number() : 0.0;
-  const bool have_poi = poi_value.is_numeric();
 
   // Candidate thresholds: midpoints between adjacent distinct values, the
   // extremes, and the pair of interest's value.
@@ -143,7 +134,207 @@ void SearchNumericThresholds(const PairSchema& schema,
   }
 }
 
+/// Value-path point extraction for the shared threshold scan.
+void SearchNumericThresholds(const PairSchema& schema,
+                             const std::vector<TrainingExample>& examples,
+                             std::size_t pair_index, const Value& poi_value,
+                             const SplitOptions& options,
+                             std::optional<SplitCandidate>& best) {
+  std::vector<ThresholdPoint> points;
+  points.reserve(examples.size());
+  std::size_t missing_total = 0;
+  std::size_t missing_positive = 0;
+  for (const TrainingExample& example : examples) {
+    const Value& v = example.features[pair_index];
+    if (v.is_numeric()) {
+      points.push_back({v.number(), example.observed});
+    } else {
+      ++missing_total;
+      if (example.observed) ++missing_positive;
+    }
+  }
+  const bool have_poi = poi_value.is_numeric();
+  const double poi = have_poi ? poi_value.number() : 0.0;
+  ScanNumericThresholds(schema, pair_index, points, missing_total,
+                        missing_positive, have_poi, poi, options, best);
+}
+
+/// Encoded point extraction: same scan, inputs from code/double columns.
+void SearchNumericThresholdsEncoded(const PairSchema& schema,
+                                    const EncodedDataset& data,
+                                    const std::vector<std::uint32_t>& rows,
+                                    const std::vector<std::uint8_t>& labels,
+                                    std::size_t pair_index, bool have_poi,
+                                    double poi, const SplitOptions& options,
+                                    std::optional<SplitCandidate>& best) {
+  std::vector<ThresholdPoint> points;
+  points.reserve(rows.size());
+  std::size_t missing_total = 0;
+  std::size_t missing_positive = 0;
+  const std::vector<double>& values = data.NumericValues(pair_index);
+  for (std::uint32_t r : rows) {
+    if (data.NumericPresent(pair_index, r)) {
+      points.push_back({values[r], labels[r] != 0});
+    } else {
+      ++missing_total;
+      if (labels[r] != 0) ++missing_positive;
+    }
+  }
+  ScanNumericThresholds(schema, pair_index, points, missing_total,
+                        missing_positive, have_poi, poi, options, best);
+}
+
 }  // namespace
+
+std::optional<SplitCandidate> BestPredicateForFeatureEncoded(
+    const EncodedDataset& data, const std::vector<std::uint32_t>& rows,
+    const std::vector<std::uint8_t>& labels, std::size_t pair_index,
+    std::optional<std::size_t> poi_row, const SplitOptions& options) {
+  const PairSchema& schema = data.schema();
+  if (rows.empty()) return std::nullopt;
+  if (!schema.IsDefined(pair_index)) return std::nullopt;
+
+  const bool numeric = data.IsNumericFeature(pair_index);
+  bool poi_missing = true;
+  double poi_num = 0.0;
+  std::int64_t poi_code = -1;
+  if (poi_row.has_value()) {
+    if (numeric) {
+      if (data.NumericPresent(pair_index, *poi_row)) {
+        poi_missing = false;
+        poi_num = data.NumericValues(pair_index)[*poi_row];
+      }
+    } else {
+      poi_code = data.Codes(pair_index)[*poi_row];
+      poi_missing = poi_code < 0;
+    }
+  }
+  if (options.constrain_to_pair && poi_missing) return std::nullopt;
+
+  std::optional<SplitCandidate> best;
+
+  if (!numeric) {
+    const std::vector<std::int64_t>& codes = data.Codes(pair_index);
+    // Constrained searches have exactly one candidate: the pair of
+    // interest's own value. For isSame/compare/base-nominal features codes
+    // are bijective with values, so the poi's code is the whole candidate
+    // group — no decoding or grouping needed on this inner-loop path. Diff
+    // features fall through to the general grouping below because distinct
+    // packed codes can render to the same string.
+    if (options.constrain_to_pair &&
+        schema.KindOf(pair_index) != PairFeatureKind::kDiff) {
+      SplitCounts counts;
+      for (std::uint32_t r : rows) {
+        if (codes[r] == poi_code) {
+          ++counts.in_total;
+          if (labels[r] != 0) ++counts.in_positive;
+        } else {
+          ++counts.out_total;
+          if (labels[r] != 0) ++counts.out_positive;
+        }
+      }
+      if (counts.in_total < std::max<std::size_t>(1, options.min_support)) {
+        return std::nullopt;
+      }
+      Consider(schema, pair_index, CompareOp::kEq,
+               data.DecodeCode(pair_index, poi_code),
+               InformationGain(counts), best);
+      return best;
+    }
+    // Equality tests only. Distinct codes are grouped by their decoded
+    // Value: two packed diff codes can render to the same "(a,b,c)" string
+    // when a nominal value contains a comma, and the Value path counts such
+    // a candidate across all of its encodings.
+    struct Candidate {
+      Value value;
+      std::vector<std::int64_t> codes;
+    };
+    std::vector<std::int64_t> distinct;
+    for (std::uint32_t r : rows) {
+      if (codes[r] >= 0) distinct.push_back(codes[r]);
+    }
+    if (options.constrain_to_pair) distinct.push_back(poi_code);
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    std::vector<Candidate> groups;
+    for (std::int64_t code : distinct) {
+      Value value = data.DecodeCode(pair_index, code);
+      bool merged = false;
+      for (Candidate& group : groups) {
+        if (group.value == value) {
+          group.codes.push_back(code);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) groups.push_back({std::move(value), {code}});
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.value < b.value;
+              });
+
+    for (const Candidate& group : groups) {
+      if (options.constrain_to_pair) {
+        bool contains_poi = false;
+        for (std::int64_t code : group.codes) {
+          if (code == poi_code) {
+            contains_poi = true;
+            break;
+          }
+        }
+        if (!contains_poi) continue;  // sole candidate is the poi's value
+      }
+      SplitCounts counts;
+      for (std::uint32_t r : rows) {
+        bool in = false;
+        for (std::int64_t code : group.codes) {
+          if (codes[r] == code) {
+            in = true;
+            break;
+          }
+        }
+        if (in) {
+          ++counts.in_total;
+          if (labels[r] != 0) ++counts.in_positive;
+        } else {
+          ++counts.out_total;
+          if (labels[r] != 0) ++counts.out_positive;
+        }
+      }
+      if (counts.in_total < std::max<std::size_t>(1, options.min_support)) {
+        continue;
+      }
+      Consider(schema, pair_index, CompareOp::kEq, group.value,
+               InformationGain(counts), best);
+    }
+    return best;
+  }
+
+  // Numeric feature: equality on the pair's value plus threshold tests.
+  const bool have_poi = poi_row.has_value() && !poi_missing;
+  if (options.constrain_to_pair || have_poi) {
+    const std::vector<double>& values = data.NumericValues(pair_index);
+    SplitCounts counts;
+    for (std::uint32_t r : rows) {
+      if (data.NumericPresent(pair_index, r) && values[r] == poi_num) {
+        ++counts.in_total;
+        if (labels[r] != 0) ++counts.in_positive;
+      } else {
+        ++counts.out_total;
+        if (labels[r] != 0) ++counts.out_positive;
+      }
+    }
+    if (counts.in_total >= std::max<std::size_t>(1, options.min_support)) {
+      Consider(schema, pair_index, CompareOp::kEq, Value::Number(poi_num),
+               InformationGain(counts), best);
+    }
+  }
+  SearchNumericThresholdsEncoded(schema, data, rows, labels, pair_index,
+                                 have_poi, poi_num, options, best);
+  return best;
+}
 
 std::vector<bool> Labels(const std::vector<TrainingExample>& examples) {
   std::vector<bool> labels;

@@ -1,11 +1,13 @@
 #ifndef PERFXPLAIN_ML_SPLIT_H_
 #define PERFXPLAIN_ML_SPLIT_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "features/pair_features.h"
 #include "features/pair_schema.h"
+#include "ml/encoded_dataset.h"
 #include "pxql/ast.h"
 
 namespace perfxplain {
@@ -50,6 +52,19 @@ std::optional<SplitCandidate> BestPredicateForFeature(
     const PairSchema& schema, const std::vector<TrainingExample>& examples,
     std::size_t pair_index, const Value& poi_value,
     const SplitOptions& options);
+
+/// Encoded fast path of BestPredicateForFeature: the same search over an
+/// integer-coded training matrix, scanning codes and doubles instead of
+/// Values. `rows` is the current working set (dataset row indices, in
+/// order) and `labels` the per-dataset-row positive flags (already flipped
+/// when optimizing relevance). `poi_row`, when set, is the dataset row of
+/// the pair of interest (nullopt reproduces the unconstrained decision-tree
+/// search with a missing poi value). Produces bit-identical candidates and
+/// gains to the Value path.
+std::optional<SplitCandidate> BestPredicateForFeatureEncoded(
+    const EncodedDataset& data, const std::vector<std::uint32_t>& rows,
+    const std::vector<std::uint8_t>& labels, std::size_t pair_index,
+    std::optional<std::size_t> poi_row, const SplitOptions& options);
 
 /// Convenience: labels of `examples` as a bit vector (true = observed).
 std::vector<bool> Labels(const std::vector<TrainingExample>& examples);

@@ -68,20 +68,7 @@ bool Atom::Matches(const Value& value) const {
     case CompareOp::kGt:
     case CompareOp::kGe: {
       if (!value.is_numeric() || !constant_.is_numeric()) return false;
-      const double v = value.number();
-      const double c = constant_.number();
-      switch (op_) {
-        case CompareOp::kLt:
-          return v < c;
-        case CompareOp::kLe:
-          return v <= c;
-        case CompareOp::kGt:
-          return v > c;
-        case CompareOp::kGe:
-          return v >= c;
-        default:
-          return false;
-      }
+      return CompareDoubles(op_, value.number(), constant_.number());
     }
   }
   return false;

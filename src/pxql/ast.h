@@ -25,6 +25,28 @@ enum class CompareOp {
 /// Renders the operator as PXQL text ("=", "!=", "<", "<=", ">", ">=").
 const char* CompareOpToString(CompareOp op);
 
+/// Applies the operator to two doubles with plain IEEE semantics (NaN
+/// fails every test except !=). The single definition shared by
+/// Atom::Matches and the columnar fast paths, which must agree
+/// bit-for-bit.
+inline bool CompareDoubles(CompareOp op, double v, double c) {
+  switch (op) {
+    case CompareOp::kEq:
+      return v == c;
+    case CompareOp::kNe:
+      return v != c;
+    case CompareOp::kLt:
+      return v < c;
+    case CompareOp::kLe:
+      return v <= c;
+    case CompareOp::kGt:
+      return v > c;
+    case CompareOp::kGe:
+      return v >= c;
+  }
+  return false;
+}
+
 /// An atomic predicate `feature op constant` over pair features.
 ///
 /// Atoms are created with a feature *name* and must be bound to a PairSchema

@@ -1,0 +1,255 @@
+#include "pxql/compiled_predicate.h"
+
+#include <string_view>
+
+#include "features/pair_feature_kernel.h"
+
+namespace perfxplain {
+
+std::int8_t IsSameConstantTarget(const Value& constant) {
+  if (!constant.is_nominal()) return -2;
+  if (constant.nominal() == pair_values::kTrue) return kernel::kTrueCode;
+  if (constant.nominal() == pair_values::kFalse) return kernel::kFalseCode;
+  return -2;
+}
+
+std::int8_t CompareConstantTarget(const Value& constant) {
+  if (!constant.is_nominal()) return -2;
+  if (constant.nominal() == pair_values::kLt) return kernel::kLtCode;
+  if (constant.nominal() == pair_values::kSim) return kernel::kSimCode;
+  if (constant.nominal() == pair_values::kGt) return kernel::kGtCode;
+  return -2;
+}
+
+std::vector<std::pair<std::int32_t, std::int32_t>> DiffConstantTargets(
+    const Value& constant, const StringInterner& interner) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> targets;
+  if (!constant.is_nominal()) return targets;
+  const std::string& text = constant.nominal();
+  if (text.size() < 3 || text.front() != '(' || text.back() != ')') {
+    return targets;
+  }
+  const std::string_view inner(text.data() + 1, text.size() - 2);
+  for (std::size_t comma = 0; comma < inner.size(); ++comma) {
+    if (inner[comma] != ',') continue;
+    const std::int32_t left = interner.Lookup(inner.substr(0, comma));
+    if (left == StringInterner::kNoCode) continue;
+    const std::int32_t right = interner.Lookup(inner.substr(comma + 1));
+    if (right == StringInterner::kNoCode) continue;
+    targets.emplace_back(left, right);
+  }
+  return targets;
+}
+
+namespace {
+
+/// Lowers one bound atom. Unrepresentable combinations (kind mismatches,
+/// constants the dictionary has never seen for equality tests, ordering
+/// operators on nominal-valued features) compile to kAlwaysFalse — the
+/// exact behavior of Atom::Matches, decided once instead of per pair.
+PredInstr CompileAtom(const Atom& atom, const PairSchema& schema,
+                      const ColumnarLog& columns) {
+  PX_CHECK(atom.bound()) << "cannot compile unbound atom: " << atom.feature();
+  PredInstr instr;
+  const std::size_t pair_index = atom.pair_index();
+  const std::size_t col = schema.RawIndexOf(pair_index);
+  instr.numeric_raw = columns.is_numeric(col);
+  if (instr.numeric_raw) {
+    instr.num_col = &columns.numeric_column(col);
+  } else {
+    instr.nom_col = &columns.nominal_column(col);
+  }
+  const PairFeatureKind kind = schema.KindOf(pair_index);
+  const Value& constant = atom.constant();
+  const CompareOp op = atom.op();
+  const bool ordering = op != CompareOp::kEq && op != CompareOp::kNe;
+
+  // compare features of nominal raw features and diff features of numeric
+  // raw features are always missing; missing satisfies no atom.
+  if (kind == PairFeatureKind::kCompare && !instr.numeric_raw) return instr;
+  if (kind == PairFeatureKind::kDiff && instr.numeric_raw) return instr;
+
+  switch (kind) {
+    case PairFeatureKind::kIsSame: {
+      if (ordering) return instr;  // value is never numeric
+      const std::int8_t target = IsSameConstantTarget(constant);
+      if (op == CompareOp::kEq) {
+        if (target < 0) return instr;  // constant can never be produced
+        instr.op = PredOp::kIsSameEq;
+        instr.code_target = target;
+        return instr;
+      }
+      // Ne: nominal constants exclude their own code (or nothing, when the
+      // constant is not a produced level); other kinds never match.
+      if (!constant.is_nominal()) return instr;
+      instr.op = PredOp::kIsSameNe;
+      instr.code_target = target;  // -2 excludes nothing
+      return instr;
+    }
+    case PairFeatureKind::kCompare: {
+      if (ordering) return instr;
+      const std::int8_t target = CompareConstantTarget(constant);
+      if (op == CompareOp::kEq) {
+        if (target < 0) return instr;
+        instr.op = PredOp::kCompareEq;
+        instr.code_target = target;
+        return instr;
+      }
+      if (!constant.is_nominal()) return instr;
+      instr.op = PredOp::kCompareNe;
+      instr.code_target = target;
+      return instr;
+    }
+    case PairFeatureKind::kDiff: {
+      if (ordering) return instr;
+      if (!constant.is_nominal()) return instr;
+      instr.diff_targets = DiffConstantTargets(constant, columns.interner());
+      if (op == CompareOp::kEq) {
+        if (instr.diff_targets.empty()) return instr;
+        instr.op = PredOp::kDiffEq;
+        return instr;
+      }
+      instr.op = PredOp::kDiffNe;  // empty targets: any present pair matches
+      return instr;
+    }
+    case PairFeatureKind::kBase: {
+      if (instr.numeric_raw) {
+        // Base numeric features admit every operator against a numeric
+        // constant; any other constant kind fails Atom::Matches.
+        if (!constant.is_numeric()) return instr;
+        instr.op = PredOp::kBaseNumCmp;
+        instr.cmp = op;
+        instr.num_const = constant.number();
+        return instr;
+      }
+      if (ordering) return instr;  // ordering needs a numeric value
+      if (!constant.is_nominal()) return instr;
+      const std::int32_t target = columns.interner().Lookup(
+          constant.nominal());
+      if (op == CompareOp::kEq) {
+        if (target == StringInterner::kNoCode) return instr;
+        instr.op = PredOp::kBaseNomEq;
+        instr.nom_target = target;
+        return instr;
+      }
+      instr.op = PredOp::kBaseNomNe;
+      instr.nom_target = target;  // kNoCode excludes nothing
+      return instr;
+    }
+  }
+  return instr;
+}
+
+}  // namespace
+
+CompiledPredicate CompiledPredicate::Compile(const Predicate& predicate,
+                                             const PairSchema& schema,
+                                             const ColumnarLog& columns) {
+  CompiledPredicate compiled;
+  for (const Atom& atom : predicate.atoms()) {
+    PredInstr instr = CompileAtom(atom, schema, columns);
+    if (instr.op == PredOp::kAlwaysFalse) {
+      compiled.always_false_ = true;
+      compiled.instrs_.clear();
+      return compiled;
+    }
+    compiled.instrs_.push_back(std::move(instr));
+  }
+  return compiled;
+}
+
+bool CompiledPredicate::Eval(const ColumnarLog&, std::size_t i,
+                             std::size_t j, double sim_fraction) const {
+  if (always_false_) return false;
+  for (const PredInstr& instr : instrs_) {
+    bool match = false;
+    switch (instr.op) {
+      case PredOp::kAlwaysFalse:
+        return false;
+      case PredOp::kIsSameEq:
+      case PredOp::kIsSameNe: {
+        std::int8_t code;
+        if (instr.numeric_raw) {
+          const NumericColumn& c = *instr.num_col;
+          code = kernel::IsSameNumeric(c.present.Test(i), c.values[i],
+                                       c.present.Test(j), c.values[j],
+                                       sim_fraction);
+        } else {
+          const NominalColumn& c = *instr.nom_col;
+          code = kernel::IsSameNominal(c.codes[i], c.codes[j]);
+        }
+        match = instr.op == PredOp::kIsSameEq
+                    ? code == instr.code_target
+                    : code >= 0 && code != instr.code_target;
+        break;
+      }
+      case PredOp::kCompareEq:
+      case PredOp::kCompareNe: {
+        const NumericColumn& c = *instr.num_col;
+        const std::int8_t code = kernel::CompareNumeric(
+            c.present.Test(i), c.values[i], c.present.Test(j), c.values[j],
+            sim_fraction);
+        match = instr.op == PredOp::kCompareEq
+                    ? code == instr.code_target
+                    : code >= 0 && code != instr.code_target;
+        break;
+      }
+      case PredOp::kDiffEq:
+      case PredOp::kDiffNe: {
+        const NominalColumn& c = *instr.nom_col;
+        const std::int64_t packed = kernel::DiffPacked(c.codes[i],
+                                                       c.codes[j]);
+        if (packed == kernel::kMissingDiff) {
+          match = false;
+          break;
+        }
+        bool in_targets = false;
+        for (const auto& [left, right] : instr.diff_targets) {
+          if (kernel::DiffLeft(packed) == left &&
+              kernel::DiffRight(packed) == right) {
+            in_targets = true;
+            break;
+          }
+        }
+        match = instr.op == PredOp::kDiffEq ? in_targets : !in_targets;
+        break;
+      }
+      case PredOp::kBaseNomEq:
+      case PredOp::kBaseNomNe: {
+        const NominalColumn& c = *instr.nom_col;
+        const std::int32_t code = kernel::BaseNominal(c.codes[i], c.codes[j]);
+        match = instr.op == PredOp::kBaseNomEq
+                    ? code != StringInterner::kNoCode &&
+                          code == instr.nom_target
+                    : code != StringInterner::kNoCode &&
+                          code != instr.nom_target;
+        break;
+      }
+      case PredOp::kBaseNumCmp: {
+        const NumericColumn& c = *instr.num_col;
+        const kernel::BaseNumericResult base = kernel::BaseNumeric(
+            c.present.Test(i), c.values[i], c.present.Test(j), c.values[j]);
+        match = base.present &&
+                CompareDoubles(instr.cmp, base.value, instr.num_const);
+        break;
+      }
+    }
+    if (!match) return false;
+  }
+  return true;
+}
+
+CompiledQuery CompiledQuery::Compile(const Query& bound_query,
+                                     const PairSchema& schema,
+                                     const ColumnarLog& columns) {
+  CompiledQuery compiled;
+  compiled.despite =
+      CompiledPredicate::Compile(bound_query.despite, schema, columns);
+  compiled.observed =
+      CompiledPredicate::Compile(bound_query.observed, schema, columns);
+  compiled.expected =
+      CompiledPredicate::Compile(bound_query.expected, schema, columns);
+  return compiled;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,103 @@
+#ifndef PERFXPLAIN_PXQL_COMPILED_PREDICATE_H_
+#define PERFXPLAIN_PXQL_COMPILED_PREDICATE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "features/pair_schema.h"
+#include "log/columnar.h"
+#include "pxql/ast.h"
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Opcode of one lowered PXQL atom. Atoms over pair features reduce, per
+/// Table 1 feature kind and constant type, to integer-code or double
+/// comparisons directly against the raw columns — no Value is ever built.
+enum class PredOp : std::uint8_t {
+  kAlwaysFalse,  ///< statically unsatisfiable (kind mismatch, unknown level,
+                 ///< constant absent from the dictionary, ...)
+  kIsSameEq,     ///< isSame code == code_target
+  kIsSameNe,     ///< isSame code present && != code_target
+  kCompareEq,    ///< compare code == code_target
+  kCompareNe,    ///< compare code present && != code_target
+  kDiffEq,       ///< diff packed pair in diff_targets
+  kDiffNe,       ///< diff present && packed pair not in diff_targets
+  kBaseNomEq,    ///< base nominal code == nom_target
+  kBaseNomNe,    ///< base nominal code present && != nom_target
+  kBaseNumCmp,   ///< base numeric present && value <cmp> num_const
+};
+
+/// One flat instruction of a compiled predicate program. The column
+/// pointers are resolved at compile time (a program is only valid for the
+/// ColumnarLog it was compiled against), so evaluation does zero lookups.
+struct PredInstr {
+  PredOp op = PredOp::kAlwaysFalse;
+  CompareOp cmp = CompareOp::kEq;  ///< for kBaseNumCmp
+  bool numeric_raw = false;        ///< isSame kernel selector
+  const NumericColumn* num_col = nullptr;
+  const NominalColumn* nom_col = nullptr;
+  std::int8_t code_target = -1;    ///< isSame/compare constant code
+  std::int32_t nom_target = StringInterner::kNoCode;
+  double num_const = 0.0;
+  /// Interned (left, right) pairs whose diff string equals the constant.
+  std::vector<std::pair<std::int32_t, std::int32_t>> diff_targets;
+};
+
+/// A conjunction of PXQL atoms lowered to a flat opcode program over the
+/// columns of one ColumnarLog. Programs are only valid for the log (and the
+/// interner) they were compiled against.
+class CompiledPredicate {
+ public:
+  /// Lowers `predicate` (all atoms bound to `schema`) against `columns`.
+  static CompiledPredicate Compile(const Predicate& predicate,
+                                   const PairSchema& schema,
+                                   const ColumnarLog& columns);
+
+  /// True when no pair can satisfy the predicate, decided at compile time.
+  bool always_false() const { return always_false_; }
+  std::size_t width() const { return instrs_.size(); }
+
+  /// Evaluates the program for the ordered pair (i, j). Exactly equivalent
+  /// to Predicate::Eval over a lazy PairFeatureView, without materializing
+  /// any Value.
+  bool Eval(const ColumnarLog& columns, std::size_t i, std::size_t j,
+            double sim_fraction) const;
+
+ private:
+  std::vector<PredInstr> instrs_;
+  bool always_false_ = false;
+};
+
+/// Kernel code of an isSame constant: "T"/"F" -> kTrueCode/kFalseCode,
+/// anything else -> -2 (never equal to a produced code). Shared by the
+/// predicate compiler and the encoded atom tests so the lowering of the
+/// categorical domains has a single definition.
+std::int8_t IsSameConstantTarget(const Value& constant);
+
+/// Kernel code of a compare constant: "LT"/"SIM"/"GT" -> 0/1/2, anything
+/// else -> -2.
+std::int8_t CompareConstantTarget(const Value& constant);
+
+/// All interned (left, right) code pairs whose "(left,right)" diff
+/// rendering equals `constant`. A nominal value may itself contain commas,
+/// so several splits of the constant can resolve; each match contributes
+/// one pair. Shared by the predicate compiler and the encoded atom tests.
+std::vector<std::pair<std::int32_t, std::int32_t>> DiffConstantTargets(
+    const Value& constant, const StringInterner& interner);
+
+/// A bound Query's three predicates, compiled.
+struct CompiledQuery {
+  CompiledPredicate despite;
+  CompiledPredicate observed;
+  CompiledPredicate expected;
+
+  static CompiledQuery Compile(const Query& bound_query,
+                               const PairSchema& schema,
+                               const ColumnarLog& columns);
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_PXQL_COMPILED_PREDICATE_H_

@@ -1,0 +1,126 @@
+#include "features/pair_feature_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "features/pair_features.h"
+
+namespace perfxplain {
+namespace {
+
+/// Exhaustive kernel-vs-Value-path check: a log with one numeric and one
+/// nominal feature whose records sweep edge-case payloads (missing, +-0,
+/// similar-but-unequal, NaN, infinities, denormal-scale values, nominal
+/// strings containing commas), compared over every ordered pair and every
+/// pair feature.
+class PairFeatureKernelTest : public ::testing::Test {
+ protected:
+  PairFeatureKernelTest() : schema_(MakeSchema()), log_(MakeLog()) {}
+
+  static Schema MakeSchema() {
+    Schema schema;
+    PX_CHECK(schema.Add("num", ValueKind::kNumeric).ok());
+    PX_CHECK(schema.Add("name", ValueKind::kNominal).ok());
+    return schema;
+  }
+
+  ExecutionLog MakeLog() {
+    ExecutionLog log(schema_);
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    const double numerics[] = {0.0,  -0.0, 1.0,  1.05, 2.0,
+                               -3.0, nan,  inf,  -inf, 1e-300};
+    const char* nominals[] = {"a", "b", "a,b", "b,c", "(a,b)"};
+    std::size_t next = 0;
+    auto add = [&](Value num, Value name) {
+      PX_CHECK(log.Add(ExecutionRecord(StrFormat("r%03zu", next++),
+                                       {std::move(num), std::move(name)}))
+                   .ok());
+    };
+    add(Value::Missing(), Value::Missing());
+    for (double v : numerics) {
+      add(Value::Number(v), Value::Missing());
+    }
+    for (const char* s : nominals) {
+      add(Value::Missing(), Value::Nominal(s));
+    }
+    for (double v : {0.0, 1.0, 1.05}) {
+      for (const char* s : {"a", "a,b"}) {
+        add(Value::Number(v), Value::Nominal(s));
+      }
+    }
+    return log;
+  }
+
+  Schema schema_;
+  ExecutionLog log_;
+};
+
+TEST_F(PairFeatureKernelTest, MatchesValuePathOnEveryPairAndFeature) {
+  const PairSchema pair_schema(schema_);
+  const ColumnarLog columns(log_);
+  const PairFeatureOptions options;
+  const std::size_t n = log_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      for (std::size_t f = 0; f < pair_schema.size(); ++f) {
+        const Value expected = ComputePairFeature(
+            pair_schema, log_.at(i), log_.at(j), f, options);
+        const Value actual = ComputePairFeatureColumnar(
+            columns, pair_schema, i, j, f, options.sim_fraction);
+        if (expected.is_numeric() && std::isnan(expected.number())) {
+          ASSERT_TRUE(actual.is_numeric());
+          EXPECT_TRUE(std::isnan(actual.number()));
+          continue;
+        }
+        EXPECT_EQ(actual, expected)
+            << "pair (" << i << "," << j << ") feature "
+            << pair_schema.NameOf(f);
+      }
+    }
+  }
+}
+
+TEST(PairFeatureKernelEdgeTest, WithinFractionMirrorsValueSemantics) {
+  const double nan = std::nan("");
+  // Two exact zeros are similar; zero vs. tiny is not (scale is the max
+  // magnitude); NaN is similar to nothing, not even itself.
+  EXPECT_TRUE(kernel::WithinFraction(0.0, -0.0, 0.1));
+  EXPECT_FALSE(kernel::WithinFraction(0.0, 1e-300, 0.1));
+  EXPECT_TRUE(kernel::WithinFraction(100.0, 105.0, 0.1));
+  EXPECT_FALSE(kernel::WithinFraction(100.0, 120.0, 0.1));
+  EXPECT_FALSE(kernel::WithinFraction(nan, nan, 0.1));
+  EXPECT_FALSE(kernel::WithinFraction(nan, 1.0, 0.1));
+  for (double x : {0.0, -0.0, 1.0, 1.05, 2.0, nan, 1e-300}) {
+    for (double y : {0.0, -0.0, 1.0, 1.05, 2.0, nan, 1e-300}) {
+      EXPECT_EQ(kernel::WithinFraction(x, y, 0.1),
+                Value::WithinFraction(Value::Number(x), Value::Number(y),
+                                      0.1))
+          << x << " vs " << y;
+    }
+  }
+}
+
+TEST(PairFeatureKernelEdgeTest, BaseNumericNaNIsMissing) {
+  const double nan = std::nan("");
+  EXPECT_FALSE(kernel::BaseNumeric(true, nan, true, nan).present);
+  EXPECT_TRUE(kernel::BaseNumeric(true, 0.0, true, -0.0).present);
+  EXPECT_FALSE(kernel::BaseNumeric(false, 1.0, true, 1.0).present);
+}
+
+TEST(PairFeatureKernelEdgeTest, CompareNaNIsGt) {
+  // The Value path orders by `x < y ? LT : GT` after the similarity test;
+  // NaN comparisons are false, so NaN lands on GT. The kernel must agree.
+  const double nan = std::nan("");
+  EXPECT_EQ(kernel::CompareNumeric(true, nan, true, 1.0, 0.1),
+            kernel::kGtCode);
+  EXPECT_EQ(kernel::CompareNumeric(true, 1.0, true, nan, 0.1),
+            kernel::kGtCode);
+}
+
+}  // namespace
+}  // namespace perfxplain

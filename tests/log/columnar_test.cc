@@ -1,0 +1,141 @@
+#include "log/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+TEST(StringInternerTest, PreInternsCategoricalLevels) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Lookup("T"), interner.true_code());
+  EXPECT_EQ(interner.Lookup("F"), interner.false_code());
+  EXPECT_EQ(interner.Lookup("LT"), interner.lt_code());
+  EXPECT_EQ(interner.Lookup("SIM"), interner.sim_code());
+  EXPECT_EQ(interner.Lookup("GT"), interner.gt_code());
+  EXPECT_EQ(interner.size(), 5u);
+}
+
+TEST(StringInternerTest, InternIsIdempotentAndDense) {
+  StringInterner interner;
+  const std::int32_t a = interner.Intern("alpha");
+  const std::int32_t b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.Lookup("alpha"), a);
+  EXPECT_EQ(interner.StringOf(a), "alpha");
+  EXPECT_EQ(interner.StringOf(b), "beta");
+  EXPECT_EQ(interner.Lookup("gamma"), StringInterner::kNoCode);
+}
+
+TEST(StringInternerTest, CodesSurviveRehashing) {
+  StringInterner interner;
+  std::vector<std::int32_t> codes;
+  for (int i = 0; i < 1000; ++i) {
+    codes.push_back(interner.Intern("key-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Lookup("key-" + std::to_string(i)), codes[i]);
+    EXPECT_EQ(interner.StringOf(codes[i]), "key-" + std::to_string(i));
+  }
+}
+
+TEST(PresenceBitmapTest, SetAndTestAcrossWordBoundaries) {
+  PresenceBitmap bitmap(130);
+  for (std::size_t r : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(bitmap.Test(r));
+  }
+  bitmap.Set(0);
+  bitmap.Set(63);
+  bitmap.Set(64);
+  bitmap.Set(129);
+  EXPECT_TRUE(bitmap.Test(0));
+  EXPECT_FALSE(bitmap.Test(1));
+  EXPECT_TRUE(bitmap.Test(63));
+  EXPECT_TRUE(bitmap.Test(64));
+  EXPECT_FALSE(bitmap.Test(65));
+  EXPECT_TRUE(bitmap.Test(129));
+}
+
+ExecutionLog RandomLog(std::uint64_t seed, std::size_t n) {
+  Schema schema;
+  PX_CHECK(schema.Add("a", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("color", ValueKind::kNominal).ok());
+  PX_CHECK(schema.Add("b", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("host", ValueKind::kNominal).ok());
+  ExecutionLog log(schema);
+  Rng rng(seed);
+  const char* colors[] = {"red", "blue", "green,ish"};
+  const char* hosts[] = {"h1", "h2"};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Value> values;
+    values.push_back(rng.Bernoulli(0.2)
+                         ? Value::Missing()
+                         : Value::Number(rng.Uniform(-5.0, 5.0)));
+    values.push_back(rng.Bernoulli(0.2)
+                         ? Value::Missing()
+                         : Value::Nominal(colors[rng.UniformInt(0, 2)]));
+    double b = rng.Uniform(0.0, 10.0);
+    if (rng.Bernoulli(0.1)) b = 0.0;
+    if (rng.Bernoulli(0.05)) b = std::nan("");
+    values.push_back(Value::Number(b));
+    values.push_back(Value::Nominal(hosts[rng.UniformInt(0, 1)]));
+    PX_CHECK(log.Add(ExecutionRecord(StrFormat("r%03zu", i),
+                                     std::move(values)))
+                 .ok());
+  }
+  return log;
+}
+
+TEST(ColumnarLogTest, RoundTripsEveryCell) {
+  const ExecutionLog log = RandomLog(7, 60);
+  const ColumnarLog columns(log);
+  ASSERT_EQ(columns.rows(), log.size());
+  for (std::size_t row = 0; row < log.size(); ++row) {
+    for (std::size_t col = 0; col < log.schema().size(); ++col) {
+      const Value& expected = log.ValueAt(row, col);
+      const Value actual = columns.ValueAt(row, col);
+      if (expected.is_numeric() && std::isnan(expected.number())) {
+        // NaN round-trips as NaN (Value equality would reject it).
+        ASSERT_TRUE(actual.is_numeric());
+        EXPECT_TRUE(std::isnan(actual.number()));
+      } else {
+        EXPECT_EQ(actual, expected) << "row " << row << " col " << col;
+      }
+    }
+  }
+}
+
+TEST(ColumnarLogTest, SharesOneDictionaryAcrossColumns) {
+  ExecutionLog log(([] {
+    Schema schema;
+    PX_CHECK(schema.Add("c1", ValueKind::kNominal).ok());
+    PX_CHECK(schema.Add("c2", ValueKind::kNominal).ok());
+    return schema;
+  })());
+  PX_CHECK(log.Add(ExecutionRecord(
+                       "r0", {Value::Nominal("x"), Value::Nominal("x")}))
+               .ok());
+  const ColumnarLog columns(log);
+  EXPECT_EQ(columns.nominal_column(0).codes[0],
+            columns.nominal_column(1).codes[0]);
+}
+
+TEST(ColumnarLogTest, MissingNominalUsesNoCode) {
+  ExecutionLog log(testing::TinySchema());
+  PX_CHECK(log.Add(ExecutionRecord("r0", {Value::Number(1), Value::Missing(),
+                                          Value::Missing()}))
+               .ok());
+  const ColumnarLog columns(log);
+  EXPECT_EQ(columns.nominal_column(1).codes[0], StringInterner::kNoCode);
+  EXPECT_FALSE(columns.numeric_column(2).present.Test(0));
+  EXPECT_TRUE(columns.numeric_column(0).present.Test(0));
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -6,6 +6,7 @@
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "core/formatter.h"
+#include "core/pair_enumeration.h"
 #include "core/perfxplain.h"
 #include "log/catalog.h"
 #include "ingest/ganglia_dump.h"
@@ -24,9 +25,12 @@ usage:
   perfxplain ingest --history FILE --ganglia FILE --out DIR
   perfxplain info --log FILE
   perfxplain explain --log FILE --query PXQL [--width N] [--technique T]
-                     [--auto-despite] [--prose]
-  perfxplain despite --log FILE --query PXQL [--width N]
+                     [--auto-despite] [--prose] [--threads N]
+  perfxplain despite --log FILE --query PXQL [--width N] [--threads N]
   perfxplain help
+
+--threads N sets the worker-thread count of the columnar pair enumeration
+(0 = hardware concurrency). Results are identical for every thread count.
 
 A PXQL query names its pair of interest and three predicates:
   FOR J1, J2 WHERE J1.JobID = 'job_000054' AND J2.JobID = 'job_000000'
@@ -213,8 +217,12 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
   auto query = ParseQuery(*query_text);
   if (!query.ok()) return Fail(out, query.status());
 
+  auto threads = IntOption(args, "threads", 0);
+  if (!threads.ok()) return Fail(out, threads.status());
+
   PerfXplain::Options options;
   options.explainer.width = static_cast<std::size_t>(*width);
+  options.explainer.threads = static_cast<int>(*threads);
   PerfXplain system(std::move(log).value(), options);
 
   Result<Explanation> explanation =
@@ -251,8 +259,12 @@ int RunDespite(const ParsedArgs& args, std::ostream& out) {
   auto query = ParseQuery(*query_text);
   if (!query.ok()) return Fail(out, query.status());
 
+  auto threads = IntOption(args, "threads", 0);
+  if (!threads.ok()) return Fail(out, threads.status());
+
   PerfXplain::Options options;
   options.explainer.despite_width = static_cast<std::size_t>(*width);
+  options.explainer.threads = static_cast<int>(*threads);
   PerfXplain system(std::move(log).value(), options);
   auto despite = system.GenerateDespite(query.value());
   if (!despite.ok()) return Fail(out, despite.status());
