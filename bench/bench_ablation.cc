@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   px::bench::PrintHeader(
       "Ablation: PerfXplain design decisions "
       "(WhySlowerDespiteSameNumInstances, width 3)",
-      "test-log precision and generality, mean +- stddev over 10 runs");
+      "test-log precision and generality, " +
+          px::bench::MeanStddevOverRuns(options));
   Fixture fixture = Fixture::JobLevel(options);
 
   px::bench::PrintRow({"variant", "precision", "generality"}, 40);

@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
   HarnessOptions options = px::bench::ParseHarnessArgs(argc, argv);
   px::bench::PrintHeader(
       "Figure 3(a): WhyLastTaskFaster, precision vs width",
-      "precision of the explanation over the held-out test log "
-      "(mean +- stddev over 10 runs)");
+      "precision of the explanation over the held-out test log (" +
+          px::bench::MeanStddevOverRuns(options) + ")");
   Fixture fixture = Fixture::TaskLevel(options);
   std::printf("task log: %zu map tasks; pair of interest: %s (faster, later "
               "wave) vs %s\n\n",

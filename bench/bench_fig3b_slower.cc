@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
   HarnessOptions options = px::bench::ParseHarnessArgs(argc, argv);
   px::bench::PrintHeader(
       "Figure 3(b): WhySlowerDespiteSameNumInstances, precision vs width",
-      "precision of the explanation over the held-out test log "
-      "(mean +- stddev over 10 runs)");
+      "precision of the explanation over the held-out test log (" +
+          px::bench::MeanStddevOverRuns(options) + ")");
   Fixture fixture = Fixture::JobLevel(options);
   std::printf("pair of interest: %s (slower) vs %s\n\n",
               fixture.poi_first_id().c_str(),

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
       "groupby-only log",
       "training log restricted to simple-groupby.pig jobs (plus the pair "
       "of interest, which runs simple-filter.pig); precision over held-out "
-      "simple-filter.pig jobs (mean +- stddev over 10 runs)");
+      "simple-filter.pig jobs (" +
+          px::bench::MeanStddevOverRuns(options) + ")");
   Fixture fixture = Fixture::JobLevel(options);
   std::printf("pair of interest: %s vs %s (both simple-filter.pig)\n\n",
               fixture.poi_first_id().c_str(),

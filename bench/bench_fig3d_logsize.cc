@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
       "Figure 3(d): WhySlowerDespiteSameNumInstances, precision vs "
       "training-log fraction (width 3)",
       "x% of jobs train the explainer; precision over the complementary "
-      "half (mean +- stddev over 10 runs)");
+      "half (" +
+          px::bench::MeanStddevOverRuns(options) + ")");
   Fixture fixture = Fixture::JobLevel(options);
 
   const std::vector<px::Technique> techniques = {

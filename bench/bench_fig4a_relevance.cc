@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
   px::bench::PrintHeader(
       "Figure 4(a): relevance of generated despite clauses vs width",
       "both queries posed without a despite clause; relevance over the "
-      "test log (mean +- stddev over 10 runs)");
+      "test log (" +
+          px::bench::MeanStddevOverRuns(options) + ")");
   const std::vector<std::size_t> widths = {0, 1, 2, 3, 4, 5};
 
   Fixture task_fixture = Fixture::TaskLevel(options);

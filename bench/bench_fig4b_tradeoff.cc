@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
       "Figure 4(b): precision vs generality, "
       "WhySlowerDespiteSameNumInstances",
       "per technique and width: mean generality and precision over the "
-      "test log (10 runs)");
+      "test log (" +
+          px::bench::OverRuns(options) + ")");
   Fixture fixture = Fixture::JobLevel(options);
 
   const std::vector<px::Technique> techniques = {

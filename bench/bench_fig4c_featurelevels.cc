@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
   px::bench::PrintHeader(
       "Figure 4(c): precision vs width per feature level, "
       "WhySlowerDespiteSameNumInstances",
-      "PerfXplain restricted to feature levels 1-3 (mean +- stddev over "
-      "10 runs)");
+      "PerfXplain restricted to feature levels 1-3 (" +
+          px::bench::MeanStddevOverRuns(options) + ")");
   Fixture fixture = Fixture::JobLevel(options);
 
   const std::vector<px::FeatureLevel> levels = {px::FeatureLevel::kLevel1,

@@ -11,6 +11,8 @@
 #include "core/perfxplain.h"
 #include "common/string_util.h"
 #include "harness.h"
+#include "log/catalog.h"
+#include "ml/relief.h"
 #include "simulator/trace_generator.h"
 
 namespace px = perfxplain;
@@ -174,6 +176,66 @@ void BM_ExplainWidth3(benchmark::State& state) {
   state.SetLabel("sample_size=" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_ExplainWidth3)->Arg(500)->Arg(2000)->Arg(8000);
+
+/// The §5.2 SimButDiff baseline on the columnar path: compiled query,
+/// kernel isSame agreement, row-blocked scan. Single-threaded so the
+/// speedup over the legacy baseline below is per-core.
+void BM_SimButDiffExplain(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  px::SimButDiffOptions options;
+  options.threads = 1;
+  const px::SimButDiff baseline(&fixture.log, options);
+  for (auto _ : state) {
+    auto explanation = baseline.Explain(fixture.query, 3);
+    PX_CHECK(explanation.ok()) << explanation.status().ToString();
+    benchmark::DoNotOptimize(explanation);
+  }
+}
+BENCHMARK(BM_SimButDiffExplain);
+
+/// The seed SimButDiff (lazy Value views), kept in-binary as a baseline so
+/// the columnar speedup is measured under identical machine conditions in
+/// the same run.
+void BM_SimButDiffExplainLegacyValuePath(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const px::SimButDiff baseline(&fixture.log, px::SimButDiffOptions());
+  for (auto _ : state) {
+    auto explanation = baseline.ExplainLegacy(fixture.query, 3);
+    PX_CHECK(explanation.ok()) << explanation.status().ToString();
+    benchmark::DoNotOptimize(explanation);
+  }
+}
+BENCHMARK(BM_SimButDiffExplainLegacyValuePath);
+
+/// The §5.1 RuleOfThumb one-time RReliefF ranking pass (the baseline's
+/// construction cost; its per-query Explain is O(k)) on the columnar
+/// backend, with the columns prebuilt as PerfXplain shares them.
+void BM_RuleOfThumbRank(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const px::ColumnarLog columns(fixture.log);
+  const std::size_t target =
+      fixture.log.schema().IndexOf(px::feature_names::kDuration);
+  for (auto _ : state) {
+    px::Rng rng(29);
+    benchmark::DoNotOptimize(px::RankFeaturesByImportance(
+        columns, target, px::ReliefOptions(), rng));
+  }
+}
+BENCHMARK(BM_RuleOfThumbRank);
+
+/// The seed RReliefF ranking (Value diffs), in-binary legacy counterpart
+/// of BM_RuleOfThumbRank.
+void BM_RuleOfThumbRankLegacyValuePath(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const std::size_t target =
+      fixture.log.schema().IndexOf(px::feature_names::kDuration);
+  for (auto _ : state) {
+    px::Rng rng(29);
+    benchmark::DoNotOptimize(px::RankFeaturesByImportance(
+        fixture.log, target, px::ReliefOptions(), rng));
+  }
+}
+BENCHMARK(BM_RuleOfThumbRankLegacyValuePath);
 
 void BM_EvaluateExplanation(benchmark::State& state) {
   const MicroFixture& fixture = MicroFixture::Get();

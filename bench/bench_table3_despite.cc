@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
   px::bench::PrintHeader(
       "Table 3: relevance with an empty vs. PerfXplain-generated despite "
       "clause (width 3)",
-      "avg relevance over the test log, 10 runs");
+      "avg relevance over the test log, " +
+          px::bench::MeanStddevOverRuns(options));
   px::bench::PrintRow({"query", "relevance before", "relevance after"}, 34);
 
   Fixture task_fixture = Fixture::TaskLevel(options);

@@ -200,6 +200,15 @@ std::optional<ExplanationMetrics> RunOnce(const Fixture& fixture,
   return metrics.value();
 }
 
+std::string OverRuns(const HarnessOptions& options) {
+  return StrFormat("over %d run%s", options.runs,
+                   options.runs == 1 ? "" : "s");
+}
+
+std::string MeanStddevOverRuns(const HarnessOptions& options) {
+  return "mean +- stddev " + OverRuns(options);
+}
+
 void PrintHeader(const std::string& title, const std::string& description) {
   std::printf("== %s ==\n%s\n\n", title.c_str(), description.c_str());
 }

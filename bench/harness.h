@@ -115,6 +115,14 @@ std::optional<ExplanationMetrics> RunOnce(
     Technique technique, std::size_t width,
     const PerfXplain::Options& options = {});
 
+/// "over N runs" with N taken from the parsed --runs count. Fig-bench
+/// headers derive their description from these helpers instead of
+/// hardcoding the default run count.
+std::string OverRuns(const HarnessOptions& options);
+
+/// "mean +- stddev over N runs" (the Series::ToString rendering).
+std::string MeanStddevOverRuns(const HarnessOptions& options);
+
 /// Pretty-printing helpers shared by the experiment binaries.
 void PrintHeader(const std::string& title, const std::string& description);
 void PrintRow(const std::vector<std::string>& cells, int cell_width = 22);

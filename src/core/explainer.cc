@@ -302,17 +302,20 @@ Result<Query> Explainer::PrepareQuery(const Query& query) const {
   auto second = log_->Find(bound.second_id);
   if (!second.ok()) return second.status();
   // Definition 1: des(J1,J2) and obs(J1,J2) must hold; exp(J1,J2) must not.
-  PairFeatureView view(&schema_, &log_->at(first.value()),
-                       &log_->at(second.value()), &options_.pair);
-  if (!bound.despite.Eval(view)) {
+  // Checked on the compiled programs so the whole Explain pipeline stays
+  // encoded-only (no Value is ever materialized for a pair feature).
+  const CompiledQuery compiled =
+      CompiledQuery::Compile(bound, schema_, *columnar_);
+  const double sim = options_.pair.sim_fraction;
+  if (!compiled.despite.Eval(first.value(), second.value(), sim)) {
     return Status::FailedPrecondition(
         "the pair of interest does not satisfy the DESPITE clause");
   }
-  if (!bound.observed.Eval(view)) {
+  if (!compiled.observed.Eval(first.value(), second.value(), sim)) {
     return Status::FailedPrecondition(
         "the pair of interest does not satisfy the OBSERVED clause");
   }
-  if (bound.expected.Eval(view)) {
+  if (compiled.expected.Eval(first.value(), second.value(), sim)) {
     return Status::FailedPrecondition(
         "the pair of interest satisfies the EXPECTED clause; there is "
         "nothing to explain");
@@ -322,15 +325,12 @@ Result<Query> Explainer::PrepareQuery(const Query& query) const {
 
 std::vector<std::size_t> Explainer::ExcludedRawFeatures(
     const Query& bound_query) const {
-  std::set<std::size_t> raw;
-  for (const Predicate* predicate :
-       {&bound_query.observed, &bound_query.expected}) {
-    for (const Atom& atom : predicate->atoms()) {
-      PX_CHECK(atom.bound());
-      raw.insert(schema_.RawIndexOf(atom.pair_index()));
-    }
+  const std::vector<bool> mask = OutcomeRawFeatureMask(bound_query, schema_);
+  std::vector<std::size_t> raw;
+  for (std::size_t f = 0; f < mask.size(); ++f) {
+    if (mask[f]) raw.push_back(f);
   }
-  return {raw.begin(), raw.end()};
+  return raw;
 }
 
 Result<std::vector<TrainingExample>> Explainer::BuildExamples(

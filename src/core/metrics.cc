@@ -34,14 +34,14 @@ ExplanationMetrics EvaluateExplanation(const ExecutionLog& log,
   ScanOrderedPairs(columns.rows(), EnumerationOptions{}, partials,
                    [&](Counts& local, std::size_t i, std::size_t j) {
                      const PairLabel label =
-                         ClassifyPairCompiled(query, columns, i, j, f);
+                         ClassifyPairCompiled(query, i, j, f);
                      if (label == PairLabel::kUnrelated) return;
-                     if (!despite.Eval(columns, i, j, f)) return;
+                     if (!despite.Eval(i, j, f)) return;
                      ++local.pairs_despite;
                      if (label == PairLabel::kExpected) {
                        ++local.pairs_despite_exp;
                      }
-                     if (because.Eval(columns, i, j, f)) {
+                     if (because.Eval(i, j, f)) {
                        ++local.pairs_because;
                        if (label == PairLabel::kObserved) {
                          ++local.pairs_because_obs;
@@ -89,9 +89,9 @@ double EvaluateDespiteRelevance(const ExecutionLog& log,
   ScanOrderedPairs(columns.rows(), EnumerationOptions{}, partials,
                    [&](Counts& local, std::size_t i, std::size_t j) {
                      const PairLabel label =
-                         ClassifyPairCompiled(query, columns, i, j, f);
+                         ClassifyPairCompiled(query, i, j, f);
                      if (label == PairLabel::kUnrelated) return;
-                     if (!despite.Eval(columns, i, j, f)) return;
+                     if (!despite.Eval(i, j, f)) return;
                      ++local.matching;
                      if (label == PairLabel::kExpected) ++local.expected;
                    });

@@ -29,16 +29,15 @@ PairLabel ClassifyPair(const Query& bound_query, const PairFeatureView& view) {
   return PairLabel::kUnrelated;
 }
 
-PairLabel ClassifyPairCompiled(const CompiledQuery& query,
-                               const ColumnarLog& columns, std::size_t i,
+PairLabel ClassifyPairCompiled(const CompiledQuery& query, std::size_t i,
                                std::size_t j, double sim_fraction) {
-  if (!query.despite.Eval(columns, i, j, sim_fraction)) {
+  if (!query.despite.Eval(i, j, sim_fraction)) {
     return PairLabel::kUnrelated;
   }
-  if (query.observed.Eval(columns, i, j, sim_fraction)) {
+  if (query.observed.Eval(i, j, sim_fraction)) {
     return PairLabel::kObserved;
   }
-  if (query.expected.Eval(columns, i, j, sim_fraction)) {
+  if (query.expected.Eval(i, j, sim_fraction)) {
     return PairLabel::kExpected;
   }
   return PairLabel::kUnrelated;
@@ -78,7 +77,7 @@ RelatedCounts CountRelatedPairs(const ColumnarLog& columns,
   std::vector<RelatedCounts> partial;
   ScanOrderedPairs(n, enumeration, partial,
                    [&](RelatedCounts& local, std::size_t i, std::size_t j) {
-                     switch (ClassifyPairCompiled(query, columns, i, j,
+                     switch (ClassifyPairCompiled(query, i, j,
                                                   sim_fraction)) {
                        case PairLabel::kObserved:
                          ++local.observed;
@@ -110,7 +109,7 @@ std::vector<PairRef> CollectRelatedPairs(const ColumnarLog& columns,
                    [&](std::vector<PairRef>& local, std::size_t i,
                        std::size_t j) {
                      const PairLabel label = ClassifyPairCompiled(
-                         query, columns, i, j, sim_fraction);
+                         query, i, j, sim_fraction);
                      if (label == PairLabel::kUnrelated) return;
                      local.push_back({i, j,
                                       label == PairLabel::kObserved});
@@ -155,7 +154,7 @@ Result<std::vector<PairRef>> SampleRelatedPairs(
         n, enumeration, partial,
         [&](StripeState& local, std::size_t i, std::size_t j) {
           const PairLabel label =
-              ClassifyPairCompiled(query, columns, i, j, sim_fraction);
+              ClassifyPairCompiled(query, i, j, sim_fraction);
           if (label == PairLabel::kUnrelated) return;
           const bool observed = label == PairLabel::kObserved;
           if (observed) {
@@ -228,7 +227,7 @@ Result<std::vector<PairRef>> SampleRelatedPairs(
       if (i == j) continue;
       if (i == poi_first && j == poi_second) continue;
       const PairLabel label =
-          ClassifyPairCompiled(query, columns, i, j, sim_fraction);
+          ClassifyPairCompiled(query, i, j, sim_fraction);
       if (label == PairLabel::kUnrelated) continue;
       const bool observed = label == PairLabel::kObserved;
       if (!rng.Bernoulli(observed ? p_observed : p_expected)) continue;
@@ -285,7 +284,7 @@ Result<std::pair<std::size_t, std::size_t>> FindPairOfInterest(
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < n; ++j) {
         if (i == j) continue;
-        if (ClassifyPairCompiled(query, columns, i, j, sim_fraction) !=
+        if (ClassifyPairCompiled(query, i, j, sim_fraction) !=
             PairLabel::kObserved) {
           continue;
         }

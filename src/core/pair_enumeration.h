@@ -56,10 +56,9 @@ enum class PairLabel {
 /// only the des atoms).
 PairLabel ClassifyPair(const Query& bound_query, const PairFeatureView& view);
 
-/// Labels rows (i, j) of `columns` with the compiled query — the columnar
-/// equivalent of ClassifyPair, allocation-free.
-PairLabel ClassifyPairCompiled(const CompiledQuery& query,
-                               const ColumnarLog& columns, std::size_t i,
+/// Labels the pair of rows (i, j) of the query's compiled-against log —
+/// the columnar equivalent of ClassifyPair, allocation-free.
+PairLabel ClassifyPairCompiled(const CompiledQuery& query, std::size_t i,
                                std::size_t j, double sim_fraction);
 
 /// Controls the row-blocked parallel enumeration of the columnar fast

@@ -16,9 +16,12 @@ const char* TechniqueToString(Technique technique) {
 
 PerfXplain::PerfXplain(ExecutionLog log, Options options)
     : log_(std::move(log)), options_(options) {
+  // All three techniques share the explainer's dictionary-encoded replica
+  // of the log: one columnar build serves every enumeration and ranking
+  // pass.
   explainer_ = std::make_unique<Explainer>(&log_, options_.explainer);
-  sim_but_diff_ =
-      std::make_unique<SimButDiff>(&log_, options_.sim_but_diff);
+  sim_but_diff_ = std::make_unique<SimButDiff>(&log_, options_.sim_but_diff,
+                                               &explainer_->columnar());
 }
 
 Result<Explanation> PerfXplain::ExplainText(const std::string& pxql) const {
@@ -60,8 +63,8 @@ Result<Explanation> PerfXplain::ExplainWith(Technique technique,
     }
     case Technique::kRuleOfThumb: {
       if (rule_of_thumb_ == nullptr) {
-        rule_of_thumb_ =
-            std::make_unique<RuleOfThumb>(&log_, options_.rule_of_thumb);
+        rule_of_thumb_ = std::make_unique<RuleOfThumb>(
+            &log_, options_.rule_of_thumb, &explainer_->columnar());
       }
       return rule_of_thumb_->Explain(query, width);
     }

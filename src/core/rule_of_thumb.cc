@@ -1,40 +1,89 @@
 #include "core/rule_of_thumb.h"
 
+#include "features/pair_feature_kernel.h"
 #include "features/pair_features.h"
 #include "log/catalog.h"
 
 namespace perfxplain {
 
-RuleOfThumb::RuleOfThumb(const ExecutionLog* log, RuleOfThumbOptions options)
+namespace {
+
+Result<Explanation> FinishExplanation(Explanation explanation) {
+  if (explanation.because.is_true()) {
+    return Status::FailedPrecondition(
+        "the pair of interest agrees on every important feature; "
+        "RuleOfThumb has no explanation");
+  }
+  return explanation;
+}
+
+}  // namespace
+
+RuleOfThumb::RuleOfThumb(const ExecutionLog* log, RuleOfThumbOptions options,
+                         const ColumnarLog* columns)
     : log_(log), options_(options), schema_(log->schema()) {
   PX_CHECK(log != nullptr);
+  if (columns == nullptr) {
+    owned_columns_ = std::make_unique<ColumnarLog>(*log);
+    columns_ = owned_columns_.get();
+  } else {
+    columns_ = columns;
+  }
   const std::size_t target = log_->schema().IndexOf(feature_names::kDuration);
   PX_CHECK_NE(target, Schema::kNotFound)
       << "log schema lacks a duration feature";
   Rng rng(options_.seed);
   ranking_ =
-      RankFeaturesByImportance(*log_, target, options_.relief, rng);
+      RankFeaturesByImportance(*columns_, target, options_.relief, rng);
 }
 
-Result<Explanation> RuleOfThumb::Explain(const Query& query,
-                                         std::size_t width) const {
-  Query bound = query;
+Result<std::pair<std::size_t, std::size_t>> RuleOfThumb::ResolvePair(
+    Query& bound) const {
   PX_RETURN_IF_ERROR(bound.Bind(schema_));
   auto first = log_->Find(bound.first_id);
   if (!first.ok()) return first.status();
   auto second = log_->Find(bound.second_id);
   if (!second.ok()) return second.status();
-  PairFeatureView view(&schema_, &log_->at(first.value()),
-                       &log_->at(second.value()), &options_.pair);
+  return std::make_pair(first.value(), second.value());
+}
 
-  // Raw features the query's obs/exp mention (the runtime metric) never
-  // belong in an explanation.
-  std::vector<bool> excluded(schema_.raw_size(), false);
-  for (const Predicate* predicate : {&bound.observed, &bound.expected}) {
-    for (const Atom& atom : predicate->atoms()) {
-      excluded[schema_.RawIndexOf(atom.pair_index())] = true;
+Result<Explanation> RuleOfThumb::Explain(const Query& query,
+                                         std::size_t width) const {
+  Query bound = query;
+  auto poi = ResolvePair(bound);
+  if (!poi.ok()) return poi.status();
+
+  const std::vector<bool> excluded = OutcomeRawFeatureMask(bound, schema_);
+  const double sim = options_.pair.sim_fraction;
+
+  Explanation explanation;
+  for (std::size_t raw : ranking_) {
+    if (explanation.because.width() >= width) break;
+    if (excluded[raw]) continue;
+    // Explain with the top-ranked features the two executions disagree on.
+    if (kernel::IsSameCode(*columns_, raw, poi->first, poi->second, sim) !=
+        kernel::kFalseCode) {
+      continue;
     }
+    const std::size_t is_same = schema_.IndexOf(PairFeatureKind::kIsSame, raw);
+    ExplanationAtom atom;
+    atom.atom = Atom::Bound(schema_, is_same, CompareOp::kEq,
+                            pair_values::FalseValue());
+    explanation.because.Append(atom.atom);
+    explanation.because_trace.push_back(std::move(atom));
   }
+  return FinishExplanation(std::move(explanation));
+}
+
+Result<Explanation> RuleOfThumb::ExplainLegacy(const Query& query,
+                                               std::size_t width) const {
+  Query bound = query;
+  auto poi = ResolvePair(bound);
+  if (!poi.ok()) return poi.status();
+  PairFeatureView view(&schema_, &log_->at(poi->first),
+                       &log_->at(poi->second), &options_.pair);
+
+  const std::vector<bool> excluded = OutcomeRawFeatureMask(bound, schema_);
 
   Explanation explanation;
   for (std::size_t raw : ranking_) {
@@ -43,7 +92,6 @@ Result<Explanation> RuleOfThumb::Explain(const Query& query,
     const std::size_t is_same =
         schema_.IndexOf(PairFeatureKind::kIsSame, raw);
     const Value value = view.Get(is_same);
-    // Explain with the top-ranked features the two executions disagree on.
     if (value == Value::Nominal(pair_values::kFalse)) {
       ExplanationAtom atom;
       atom.atom = Atom::Bound(schema_, is_same, CompareOp::kEq,
@@ -52,12 +100,7 @@ Result<Explanation> RuleOfThumb::Explain(const Query& query,
       explanation.because_trace.push_back(std::move(atom));
     }
   }
-  if (explanation.because.is_true()) {
-    return Status::FailedPrecondition(
-        "the pair of interest agrees on every important feature; "
-        "RuleOfThumb has no explanation");
-  }
-  return explanation;
+  return FinishExplanation(std::move(explanation));
 }
 
 }  // namespace perfxplain

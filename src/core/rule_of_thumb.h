@@ -2,11 +2,14 @@
 #define PERFXPLAIN_CORE_RULE_OF_THUMB_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/explanation.h"
 #include "features/pair_schema.h"
+#include "log/columnar.h"
 #include "log/execution_log.h"
 #include "ml/relief.h"
 #include "pxql/query.h"
@@ -26,10 +29,19 @@ struct RuleOfThumbOptions {
 /// interest *disagrees*, as `f_isSame = F` atoms. The technique ignores
 /// the PXQL query entirely (beyond the pair of interest), which is exactly
 /// the weakness the evaluation exposes.
+///
+/// Both the RReliefF ranking pass and the per-query disagreement test run
+/// on the columnar engine (double arrays and interner codes instead of
+/// Values), bitwise identical to the legacy path.
 class RuleOfThumb {
  public:
-  /// Ranks features once over `log` (which must outlive this object).
-  RuleOfThumb(const ExecutionLog* log, RuleOfThumbOptions options);
+  /// Ranks features once over `log` (which must outlive this object). When
+  /// `columns` is non-null it must be the columnar copy of `log` (and
+  /// outlive this object too); the baseline then shares it instead of
+  /// building its own — PerfXplain passes the Explainer's so all three
+  /// techniques scan one replica.
+  RuleOfThumb(const ExecutionLog* log, RuleOfThumbOptions options,
+              const ColumnarLog* columns = nullptr);
 
   /// Feature ranking (raw-schema indexes, most important first).
   const std::vector<std::size_t>& ranking() const { return ranking_; }
@@ -37,10 +49,21 @@ class RuleOfThumb {
   /// Builds the width-w explanation for the query's pair of interest.
   Result<Explanation> Explain(const Query& query, std::size_t width) const;
 
+  /// The seed implementation (Value-path disagreement test), kept as a
+  /// compatibility layer for the equivalence tests and the in-binary
+  /// bench_micro baseline. Bitwise-identical explanations.
+  Result<Explanation> ExplainLegacy(const Query& query,
+                                    std::size_t width) const;
+
  private:
+  /// Binds the query and resolves the pair of interest.
+  Result<std::pair<std::size_t, std::size_t>> ResolvePair(Query& bound) const;
+
   const ExecutionLog* log_;
   RuleOfThumbOptions options_;
   PairSchema schema_;
+  std::unique_ptr<ColumnarLog> owned_columns_;
+  const ColumnarLog* columns_;
   std::vector<std::size_t> ranking_;
 };
 

@@ -2,97 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "core/pair_enumeration.h"
+#include "features/pair_feature_kernel.h"
+#include "pxql/compiled_predicate.h"
 
 namespace perfxplain {
 
-SimButDiff::SimButDiff(const ExecutionLog* log, SimButDiffOptions options)
-    : log_(log), options_(options), schema_(log->schema()) {
-  PX_CHECK(log != nullptr);
-}
+namespace {
 
-Result<Explanation> SimButDiff::Explain(const Query& query,
-                                        std::size_t width) const {
-  Query bound = query;
-  PX_RETURN_IF_ERROR(bound.Bind(schema_));
-  PX_RETURN_IF_ERROR(bound.Validate());
-  auto first = log_->Find(bound.first_id);
-  if (!first.ok()) return first.status();
-  auto second = log_->Find(bound.second_id);
-  if (!second.ok()) return second.status();
-
-  const std::size_t k = schema_.raw_size();
-  // isSame features occupy pair indexes [0, k).
-  PairFeatureView poi_view(&schema_, &log_->at(first.value()),
-                           &log_->at(second.value()), &options_.pair);
-  std::vector<Value> poi_is_same(k);
-  for (std::size_t f = 0; f < k; ++f) {
-    poi_is_same[f] = poi_view.Get(f);
-  }
-
-  // Features the obs/exp clauses mention must not appear in explanations.
-  std::vector<bool> excluded(k, false);
-  for (const Predicate* predicate : {&bound.observed, &bound.expected}) {
-    for (const Atom& atom : predicate->atoms()) {
-      excluded[schema_.RawIndexOf(atom.pair_index())] = true;
-    }
-  }
-
-  // Lines 4-11 of Algorithm 2, as one streaming pass: for every related
-  // training pair similar to the pair of interest (>= s*k agreeing isSame
-  // features), tally per-feature disagreement counts and how many of the
-  // disagreeing pairs performed as expected.
+/// ceil(s * k) agreeing features make a pair "similar", with the small-k
+/// relaxation: unless the caller asked for exact agreement (s = 1), at
+/// least one disagreement is always permitted so the what-if analysis has
+/// a feature to run on.
+std::size_t AgreeThreshold(double similarity_threshold, std::size_t k) {
   std::size_t agree_threshold = static_cast<std::size_t>(
-      std::ceil(options_.similarity_threshold * static_cast<double>(k)));
-  // With few features, ceil(s*k) can demand agreement on *everything*,
-  // leaving no feature to run the what-if analysis on. Unless the caller
-  // explicitly asked for exact agreement (s = 1), permit at least one
-  // disagreement.
-  if (options_.similarity_threshold < 1.0 && agree_threshold >= k && k > 0) {
+      std::ceil(similarity_threshold * static_cast<double>(k)));
+  if (similarity_threshold < 1.0 && agree_threshold >= k && k > 0) {
     agree_threshold = k - 1;
   }
-  std::vector<std::size_t> disagree(k, 0);
-  std::vector<std::size_t> disagree_expected(k, 0);
-  std::vector<std::size_t> diff_features;
-  diff_features.reserve(k);
-  std::size_t similar_pairs = 0;
+  return agree_threshold;
+}
 
-  ForEachOrderedPair(
-      *log_, schema_, options_.pair,
-      [&](std::size_t i, std::size_t j, const PairFeatureView& view) {
-        if (i == first.value() && j == second.value()) return true;
-        const PairLabel label = ClassifyPair(bound, view);
-        if (label == PairLabel::kUnrelated) return true;
-        diff_features.clear();
-        std::size_t agree = 0;
-        for (std::size_t f = 0; f < k; ++f) {
-          if (view.Get(f) == poi_is_same[f]) {
-            ++agree;
-          } else {
-            diff_features.push_back(f);
-          }
-          // Early exit: even if all remaining features agree, the pair
-          // cannot reach the threshold.
-          if (diff_features.size() > k - agree_threshold) return true;
-        }
-        if (agree < agree_threshold) return true;
-        ++similar_pairs;
-        const bool expected = label == PairLabel::kExpected;
-        for (std::size_t f : diff_features) {
-          ++disagree[f];
-          if (expected) ++disagree_expected[f];
-        }
-        return true;
-      });
+/// Lines 12-17 of Algorithm 2, shared by the columnar and legacy paths:
+/// rank features by the what-if score o/d and conjoin the top-w at the
+/// pair's own isSame values. Identical tallies produce identical
+/// explanations, bit for bit.
+Result<Explanation> ExplanationFromTallies(
+    const PairSchema& schema, const std::vector<Value>& poi_is_same,
+    const std::vector<bool>& excluded,
+    const std::vector<std::size_t>& disagree,
+    const std::vector<std::size_t>& disagree_expected,
+    std::size_t similar_pairs, double similarity_threshold,
+    std::size_t width) {
   if (similar_pairs == 0) {
     return Status::FailedPrecondition(
         "no training pairs are similar to the pair of interest at "
         "threshold " +
-        std::to_string(options_.similarity_threshold));
+        std::to_string(similarity_threshold));
   }
 
-  // Line 12: rank features by the what-if score o/d.
+  const std::size_t k = schema.raw_size();
   struct Scored {
     std::size_t feature;
     double score;
@@ -113,13 +64,12 @@ Result<Explanation> SimButDiff::Explain(const Query& query,
                      return a.support > b.support;
                    });
 
-  // Lines 13-17: conjunction of the top-w features at the pair's values.
   Explanation explanation;
   for (const Scored& s : scored) {
     if (explanation.because.width() >= width) break;
     ExplanationAtom atom;
     atom.atom =
-        Atom::Bound(schema_, s.feature, CompareOp::kEq, poi_is_same[s.feature]);
+        Atom::Bound(schema, s.feature, CompareOp::kEq, poi_is_same[s.feature]);
     atom.score = s.score;
     explanation.because.Append(atom.atom);
     explanation.because_trace.push_back(std::move(atom));
@@ -129,6 +79,182 @@ Result<Explanation> SimButDiff::Explain(const Query& query,
         "SimButDiff found no scoring features for this query");
   }
   return explanation;
+}
+
+}  // namespace
+
+SimButDiff::SimButDiff(const ExecutionLog* log, SimButDiffOptions options,
+                       const ColumnarLog* columns)
+    : log_(log), options_(options), schema_(log->schema()) {
+  PX_CHECK(log != nullptr);
+  if (columns == nullptr) {
+    owned_columns_ = std::make_unique<ColumnarLog>(*log);
+    columns_ = owned_columns_.get();
+  } else {
+    columns_ = columns;
+  }
+}
+
+Result<std::pair<std::size_t, std::size_t>> SimButDiff::ResolvePair(
+    Query& bound) const {
+  PX_RETURN_IF_ERROR(bound.Bind(schema_));
+  PX_RETURN_IF_ERROR(bound.Validate());
+  auto first = log_->Find(bound.first_id);
+  if (!first.ok()) return first.status();
+  auto second = log_->Find(bound.second_id);
+  if (!second.ok()) return second.status();
+  return std::make_pair(first.value(), second.value());
+}
+
+Result<Explanation> SimButDiff::Explain(const Query& query,
+                                        std::size_t width) const {
+  Query bound = query;
+  auto poi = ResolvePair(bound);
+  if (!poi.ok()) return poi.status();
+  const std::size_t poi_first = poi->first;
+  const std::size_t poi_second = poi->second;
+
+  const ColumnarLog& columns = *columns_;
+  const CompiledQuery compiled =
+      CompiledQuery::Compile(bound, schema_, columns);
+  const double sim = options_.pair.sim_fraction;
+  const std::size_t k = schema_.raw_size();
+
+  // isSame features occupy pair indexes [0, k); the pair of interest's
+  // values are kernel codes (code equality <=> Value equality).
+  const kernel::RawColumnTable table(columns);
+  std::vector<std::int8_t> poi_codes(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    poi_codes[f] = table.IsSame(f, poi_first, poi_second, sim);
+  }
+
+  // Features the obs/exp clauses mention must not appear in explanations.
+  const std::vector<bool> excluded = OutcomeRawFeatureMask(bound, schema_);
+
+  // Lines 4-11 of Algorithm 2 as one row-blocked columnar scan: for every
+  // related training pair similar to the pair of interest (>= s*k agreeing
+  // isSame codes), tally per-feature disagreement counts and how many of
+  // the disagreeing pairs performed as expected. Tallies are integer sums,
+  // so per-stripe partials merge to the same totals for any thread count.
+  const std::size_t agree_threshold =
+      AgreeThreshold(options_.similarity_threshold, k);
+  const std::size_t max_disagree = k - agree_threshold;
+  struct Tally {
+    std::vector<std::size_t> disagree;
+    std::vector<std::size_t> disagree_expected;
+    std::size_t similar_pairs = 0;
+    std::vector<std::size_t> diff_features;  // per-pair scratch
+  };
+  std::vector<Tally> partial;
+  if (!compiled.despite.always_false()) {
+    ScanOrderedPairs(
+        columns.rows(), EnumerationOptions{options_.threads}, partial,
+        [&](Tally& local, std::size_t i, std::size_t j) {
+          if (local.disagree.empty()) {
+            local.disagree.assign(k, 0);
+            local.disagree_expected.assign(k, 0);
+            local.diff_features.reserve(k);
+          }
+          if (i == poi_first && j == poi_second) return;
+          const PairLabel label = ClassifyPairCompiled(compiled, i, j, sim);
+          if (label == PairLabel::kUnrelated) return;
+          local.diff_features.clear();
+          std::size_t agree = 0;
+          for (std::size_t f = 0; f < k; ++f) {
+            if (table.IsSame(f, i, j, sim) == poi_codes[f]) {
+              ++agree;
+            } else {
+              local.diff_features.push_back(f);
+            }
+            // Early exit: even if all remaining features agree, the pair
+            // cannot reach the threshold.
+            if (local.diff_features.size() > max_disagree) return;
+          }
+          if (agree < agree_threshold) return;
+          ++local.similar_pairs;
+          const bool expected = label == PairLabel::kExpected;
+          for (std::size_t f : local.diff_features) {
+            ++local.disagree[f];
+            if (expected) ++local.disagree_expected[f];
+          }
+        });
+  }
+  std::vector<std::size_t> disagree(k, 0);
+  std::vector<std::size_t> disagree_expected(k, 0);
+  std::size_t similar_pairs = 0;
+  for (const Tally& local : partial) {
+    if (local.disagree.empty()) continue;  // stripe saw no related pair
+    similar_pairs += local.similar_pairs;
+    for (std::size_t f = 0; f < k; ++f) {
+      disagree[f] += local.disagree[f];
+      disagree_expected[f] += local.disagree_expected[f];
+    }
+  }
+
+  std::vector<Value> poi_is_same(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    poi_is_same[f] = DecodeIsSame(poi_codes[f]);
+  }
+  return ExplanationFromTallies(schema_, poi_is_same, excluded, disagree,
+                                disagree_expected, similar_pairs,
+                                options_.similarity_threshold, width);
+}
+
+Result<Explanation> SimButDiff::ExplainLegacy(const Query& query,
+                                              std::size_t width) const {
+  Query bound = query;
+  auto poi = ResolvePair(bound);
+  if (!poi.ok()) return poi.status();
+  const std::size_t poi_first = poi->first;
+  const std::size_t poi_second = poi->second;
+
+  const std::size_t k = schema_.raw_size();
+  PairFeatureView poi_view(&schema_, &log_->at(poi_first),
+                           &log_->at(poi_second), &options_.pair);
+  std::vector<Value> poi_is_same(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    poi_is_same[f] = poi_view.Get(f);
+  }
+
+  const std::vector<bool> excluded = OutcomeRawFeatureMask(bound, schema_);
+
+  const std::size_t agree_threshold =
+      AgreeThreshold(options_.similarity_threshold, k);
+  std::vector<std::size_t> disagree(k, 0);
+  std::vector<std::size_t> disagree_expected(k, 0);
+  std::vector<std::size_t> diff_features;
+  diff_features.reserve(k);
+  std::size_t similar_pairs = 0;
+
+  ForEachOrderedPair(
+      *log_, schema_, options_.pair,
+      [&](std::size_t i, std::size_t j, const PairFeatureView& view) {
+        if (i == poi_first && j == poi_second) return true;
+        const PairLabel label = ClassifyPair(bound, view);
+        if (label == PairLabel::kUnrelated) return true;
+        diff_features.clear();
+        std::size_t agree = 0;
+        for (std::size_t f = 0; f < k; ++f) {
+          if (view.Get(f) == poi_is_same[f]) {
+            ++agree;
+          } else {
+            diff_features.push_back(f);
+          }
+          if (diff_features.size() > k - agree_threshold) return true;
+        }
+        if (agree < agree_threshold) return true;
+        ++similar_pairs;
+        const bool expected = label == PairLabel::kExpected;
+        for (std::size_t f : diff_features) {
+          ++disagree[f];
+          if (expected) ++disagree_expected[f];
+        }
+        return true;
+      });
+
+  return ExplanationFromTallies(schema_, poi_is_same, excluded, disagree,
+                                disagree_expected, similar_pairs,
+                                options_.similarity_threshold, width);
 }
 
 }  // namespace perfxplain

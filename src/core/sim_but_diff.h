@@ -2,10 +2,13 @@
 #define PERFXPLAIN_CORE_SIM_BUT_DIFF_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "common/status.h"
 #include "core/explanation.h"
 #include "features/pair_schema.h"
+#include "log/columnar.h"
 #include "log/execution_log.h"
 #include "pxql/query.h"
 
@@ -18,6 +21,10 @@ struct SimButDiffOptions {
   /// (the paper uses 0.9).
   double similarity_threshold = 0.9;
   PairFeatureOptions pair;
+  /// Worker threads for the columnar pair enumeration (0 = process
+  /// default). Thread count never changes any result: per-stripe tallies
+  /// are integer sums merged in row order.
+  int threads = 0;
 };
 
 /// The SimButDiff baseline (§5.2, Algorithm 2): restrict training examples
@@ -26,17 +33,37 @@ struct SimButDiffOptions {
 /// *disagree* with the pair of interest on the feature, what fraction
 /// performed as expected? The top-w features by that score, asserted at the
 /// pair's own values, form the explanation.
+///
+/// The pair scan runs on the columnar engine: the query is compiled to
+/// flat predicate programs and the per-feature agreement test compares
+/// kernel isSame codes, so no Value is materialized while enumerating.
 class SimButDiff {
  public:
-  /// `log` must outlive this object.
-  SimButDiff(const ExecutionLog* log, SimButDiffOptions options);
+  /// `log` must outlive this object. When `columns` is non-null it must be
+  /// the columnar copy of `log` (and outlive this object too); the
+  /// baseline then shares it instead of building its own — PerfXplain
+  /// passes the Explainer's so all three techniques scan one replica.
+  SimButDiff(const ExecutionLog* log, SimButDiffOptions options,
+             const ColumnarLog* columns = nullptr);
 
   Result<Explanation> Explain(const Query& query, std::size_t width) const;
 
+  /// The seed implementation (lazy Value views through
+  /// ForEachOrderedPair), kept as a compatibility layer: the randomized
+  /// equivalence tests and the in-binary bench_micro baseline pin the
+  /// columnar path against it. Bitwise-identical explanations.
+  Result<Explanation> ExplainLegacy(const Query& query,
+                                    std::size_t width) const;
+
  private:
+  /// Binds and validates the query and resolves the pair of interest.
+  Result<std::pair<std::size_t, std::size_t>> ResolvePair(Query& bound) const;
+
   const ExecutionLog* log_;
   SimButDiffOptions options_;
   PairSchema schema_;
+  std::unique_ptr<ColumnarLog> owned_columns_;
+  const ColumnarLog* columns_;
 };
 
 }  // namespace perfxplain

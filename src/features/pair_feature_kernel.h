@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "common/value.h"
 #include "features/pair_schema.h"
@@ -92,6 +93,73 @@ inline BaseNumericResult BaseNumeric(bool x_present, double x, bool y_present,
 inline std::int32_t BaseNominal(std::int32_t x_code, std::int32_t y_code) {
   return (x_code >= 0 && x_code == y_code) ? x_code : StringInterner::kNoCode;
 }
+
+/// isSame kernel code of raw feature `col` for the ordered row pair
+/// (i, j), dispatching on the column type. The allocation-free agreement
+/// test shared by the columnar SimButDiff and RuleOfThumb baselines; code
+/// equality is exactly Value equality of the corresponding isSame pair
+/// features (missing compares equal only to missing).
+inline std::int8_t IsSameCode(const ColumnarLog& columns, std::size_t col,
+                              std::size_t i, std::size_t j,
+                              double sim_fraction) {
+  if (columns.is_numeric(col)) {
+    const NumericColumn& c = columns.numeric_column(col);
+    return IsSameNumeric(c.present.Test(i), c.values[i], c.present.Test(j),
+                         c.values[j], sim_fraction);
+  }
+  const NominalColumn& c = columns.nominal_column(col);
+  return IsSameNominal(c.codes[i], c.codes[j]);
+}
+
+/// Per-raw-feature column accessors resolved once per log, so O(n²k)
+/// inner loops (SimButDiff similarity, RReliefF distances) skip the
+/// per-call schema dispatch and checked column lookups of ColumnarLog.
+class RawColumnTable {
+ public:
+  explicit RawColumnTable(const ColumnarLog& columns) {
+    const std::size_t k = columns.schema().size();
+    entries_.reserve(k);
+    for (std::size_t col = 0; col < k; ++col) {
+      Entry entry;
+      entry.numeric = columns.is_numeric(col);
+      if (entry.numeric) {
+        entry.num = &columns.numeric_column(col);
+      } else {
+        entry.nom = &columns.nominal_column(col);
+      }
+      entries_.push_back(entry);
+    }
+  }
+
+  bool is_numeric(std::size_t col) const { return entries_[col].numeric; }
+  const NumericColumn& numeric(std::size_t col) const {
+    return *entries_[col].num;
+  }
+  const NominalColumn& nominal(std::size_t col) const {
+    return *entries_[col].nom;
+  }
+
+  /// Unchecked equivalent of IsSameCode above.
+  std::int8_t IsSame(std::size_t col, std::size_t i, std::size_t j,
+                     double sim_fraction) const {
+    const Entry& entry = entries_[col];
+    if (entry.numeric) {
+      const NumericColumn& c = *entry.num;
+      return IsSameNumeric(c.present.Test(i), c.values[i], c.present.Test(j),
+                           c.values[j], sim_fraction);
+    }
+    const NominalColumn& c = *entry.nom;
+    return IsSameNominal(c.codes[i], c.codes[j]);
+  }
+
+ private:
+  struct Entry {
+    bool numeric = false;
+    const NumericColumn* num = nullptr;
+    const NominalColumn* nom = nullptr;
+  };
+  std::vector<Entry> entries_;
+};
 
 }  // namespace kernel
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "features/pair_feature_kernel.h"
+
 namespace perfxplain {
 
 namespace {
@@ -15,46 +17,113 @@ struct FeatureRanges {
   std::vector<double> max;
 };
 
-FeatureRanges ComputeRanges(const ExecutionLog& log) {
-  const std::size_t k = log.schema().size();
-  FeatureRanges ranges;
-  ranges.min.assign(k, std::numeric_limits<double>::infinity());
-  ranges.max.assign(k, -std::numeric_limits<double>::infinity());
-  for (const auto& record : log.records()) {
-    for (std::size_t f = 0; f < k; ++f) {
-      const Value& v = record.values[f];
-      if (!v.is_numeric()) continue;
-      ranges.min[f] = std::min(ranges.min[f], v.number());
-      ranges.max[f] = std::max(ranges.max[f], v.number());
+double NumericDiff(double a, double b, double range) {
+  if (range <= 0.0 || !std::isfinite(range)) return 0.0;
+  return std::min(1.0, std::abs(a - b) / range);
+}
+
+/// Value-path backend: diffs computed from the records' Values. This is
+/// the original (seed) arithmetic; the columnar backend below must stay
+/// bitwise identical to it.
+class ValueReliefView {
+ public:
+  explicit ValueReliefView(const ExecutionLog& log) : log_(&log) {
+    const std::size_t k = log.schema().size();
+    ranges_.min.assign(k, std::numeric_limits<double>::infinity());
+    ranges_.max.assign(k, -std::numeric_limits<double>::infinity());
+    for (const auto& record : log.records()) {
+      for (std::size_t f = 0; f < k; ++f) {
+        const Value& v = record.values[f];
+        if (!v.is_numeric()) continue;
+        ranges_.min[f] = std::min(ranges_.min[f], v.number());
+        ranges_.max[f] = std::max(ranges_.max[f], v.number());
+      }
     }
   }
-  return ranges;
-}
 
-double FeatureDiff(const Value& a, const Value& b, double range) {
-  if (a.is_missing() && b.is_missing()) return 0.0;
-  if (a.is_missing() || b.is_missing()) return 0.5;
-  if (a.is_numeric() && b.is_numeric()) {
-    if (range <= 0.0 || !std::isfinite(range)) return 0.0;
-    return std::min(1.0, std::abs(a.number() - b.number()) / range);
+  std::size_t rows() const { return log_->size(); }
+  std::size_t features() const { return log_->schema().size(); }
+  double range(std::size_t f) const { return ranges_.max[f] - ranges_.min[f]; }
+
+  /// diff(f, a, b): |a-b| / (max-min) for numerics (0 when constant), 0/1
+  /// equality for nominals, 0.5 when exactly one side is missing, 0 when
+  /// both are.
+  double Diff(std::size_t f, std::size_t i, std::size_t j) const {
+    const Value& a = log_->at(i).values[f];
+    const Value& b = log_->at(j).values[f];
+    if (a.is_missing() && b.is_missing()) return 0.0;
+    if (a.is_missing() || b.is_missing()) return 0.5;
+    if (a.is_numeric() && b.is_numeric()) {
+      return NumericDiff(a.number(), b.number(), range(f));
+    }
+    return a == b ? 0.0 : 1.0;
   }
-  return a == b ? 0.0 : 1.0;
-}
 
-}  // namespace
+ private:
+  const ExecutionLog* log_;
+  FeatureRanges ranges_;
+};
 
-std::vector<double> RRelieff(const ExecutionLog& log,
-                             std::size_t target_index,
-                             const ReliefOptions& options, Rng& rng) {
-  const std::size_t k = log.schema().size();
+/// Columnar backend: numeric diffs on the raw double arrays, nominal diffs
+/// on interner codes, column pointers resolved once. Range accumulation
+/// visits the rows in the same order with the same std::min/std::max calls
+/// as the Value path, so NaN inputs resolve identically.
+class ColumnarReliefView {
+ public:
+  explicit ColumnarReliefView(const ColumnarLog& columns)
+      : columns_(&columns), table_(columns) {
+    const std::size_t k = columns.schema().size();
+    ranges_.min.assign(k, std::numeric_limits<double>::infinity());
+    ranges_.max.assign(k, -std::numeric_limits<double>::infinity());
+    for (std::size_t f = 0; f < k; ++f) {
+      if (!table_.is_numeric(f)) continue;
+      const NumericColumn& c = table_.numeric(f);
+      for (std::size_t row = 0; row < columns.rows(); ++row) {
+        if (!c.present.Test(row)) continue;
+        ranges_.min[f] = std::min(ranges_.min[f], c.values[row]);
+        ranges_.max[f] = std::max(ranges_.max[f], c.values[row]);
+      }
+    }
+  }
+
+  std::size_t rows() const { return columns_->rows(); }
+  std::size_t features() const { return columns_->schema().size(); }
+  double range(std::size_t f) const { return ranges_.max[f] - ranges_.min[f]; }
+
+  double Diff(std::size_t f, std::size_t i, std::size_t j) const {
+    if (table_.is_numeric(f)) {
+      const NumericColumn& c = table_.numeric(f);
+      const bool ap = c.present.Test(i);
+      const bool bp = c.present.Test(j);
+      if (!ap && !bp) return 0.0;
+      if (!ap || !bp) return 0.5;
+      return NumericDiff(c.values[i], c.values[j], range(f));
+    }
+    const NominalColumn& c = table_.nominal(f);
+    const bool ap = c.codes[i] != StringInterner::kNoCode;
+    const bool bp = c.codes[j] != StringInterner::kNoCode;
+    if (!ap && !bp) return 0.0;
+    if (!ap || !bp) return 0.5;
+    return c.codes[i] == c.codes[j] ? 0.0 : 1.0;
+  }
+
+ private:
+  const ColumnarLog* columns_;
+  kernel::RawColumnTable table_;
+  FeatureRanges ranges_;
+};
+
+/// RReliefF core, generic over the diff backend. Both backends produce
+/// identical doubles for the same underlying rows, so probe selection,
+/// neighbor ordering and the accumulators agree bitwise.
+template <typename View>
+std::vector<double> RRelieffImpl(const View& view, std::size_t target_index,
+                                 const ReliefOptions& options, Rng& rng) {
+  const std::size_t k = view.features();
   std::vector<double> weights(k, 0.0);
-  const std::size_t n = log.size();
+  const std::size_t n = view.rows();
   if (n < 2) return weights;
   PX_CHECK_LT(target_index, k);
-
-  const FeatureRanges ranges = ComputeRanges(log);
-  const double target_range =
-      ranges.max[target_index] - ranges.min[target_index];
 
   // RReliefF accumulators.
   double n_dc = 0.0;                    // P(different prediction)
@@ -72,17 +141,14 @@ std::vector<double> RRelieff(const ExecutionLog& log,
   distances.reserve(n - 1);
   for (std::size_t probe = 0; probe < options.iterations; ++probe) {
     const std::size_t i = order[probe % m];
-    const ExecutionRecord& ri = log.at(i);
 
     distances.clear();
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;
-      const ExecutionRecord& rj = log.at(j);
       double dist = 0.0;
       for (std::size_t f = 0; f < k; ++f) {
         if (f == target_index) continue;
-        dist += FeatureDiff(ri.values[f], rj.values[f],
-                            ranges.max[f] - ranges.min[f]);
+        dist += view.Diff(f, i, j);
       }
       distances.emplace_back(dist, j);
     }
@@ -92,15 +158,12 @@ std::vector<double> RRelieff(const ExecutionLog& log,
 
     const double w = 1.0 / static_cast<double>(kk);
     for (std::size_t t = 0; t < kk; ++t) {
-      const ExecutionRecord& rj = log.at(distances[t].second);
-      const double d_target = FeatureDiff(ri.values[target_index],
-                                          rj.values[target_index],
-                                          target_range);
+      const std::size_t j = distances[t].second;
+      const double d_target = view.Diff(target_index, i, j);
       n_dc += d_target * w;
       for (std::size_t f = 0; f < k; ++f) {
         if (f == target_index) continue;
-        const double d = FeatureDiff(ri.values[f], rj.values[f],
-                                     ranges.max[f] - ranges.min[f]);
+        const double d = view.Diff(f, i, j);
         n_da[f] += d * w;
         n_dcda[f] += d_target * d * w;
       }
@@ -126,12 +189,8 @@ std::vector<double> RRelieff(const ExecutionLog& log,
   return weights;
 }
 
-std::vector<std::size_t> RankFeaturesByImportance(const ExecutionLog& log,
-                                                  std::size_t target_index,
-                                                  const ReliefOptions& options,
-                                                  Rng& rng) {
-  const std::vector<double> weights =
-      RRelieff(log, target_index, options, rng);
+std::vector<std::size_t> RankByWeight(const std::vector<double>& weights,
+                                      std::size_t target_index) {
   std::vector<std::size_t> order;
   order.reserve(weights.size());
   for (std::size_t f = 0; f < weights.size(); ++f) {
@@ -142,6 +201,37 @@ std::vector<std::size_t> RankFeaturesByImportance(const ExecutionLog& log,
                      return weights[a] > weights[b];
                    });
   return order;
+}
+
+}  // namespace
+
+std::vector<double> RRelieff(const ExecutionLog& log,
+                             std::size_t target_index,
+                             const ReliefOptions& options, Rng& rng) {
+  return RRelieffImpl(ValueReliefView(log), target_index, options, rng);
+}
+
+std::vector<double> RRelieff(const ColumnarLog& columns,
+                             std::size_t target_index,
+                             const ReliefOptions& options, Rng& rng) {
+  return RRelieffImpl(ColumnarReliefView(columns), target_index, options,
+                      rng);
+}
+
+std::vector<std::size_t> RankFeaturesByImportance(const ExecutionLog& log,
+                                                  std::size_t target_index,
+                                                  const ReliefOptions& options,
+                                                  Rng& rng) {
+  return RankByWeight(RRelieff(log, target_index, options, rng),
+                      target_index);
+}
+
+std::vector<std::size_t> RankFeaturesByImportance(const ColumnarLog& columns,
+                                                  std::size_t target_index,
+                                                  const ReliefOptions& options,
+                                                  Rng& rng) {
+  return RankByWeight(RRelieff(columns, target_index, options, rng),
+                      target_index);
 }
 
 }  // namespace perfxplain

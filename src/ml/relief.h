@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "log/columnar.h"
 #include "log/execution_log.h"
 
 namespace perfxplain {
@@ -30,9 +31,23 @@ std::vector<double> RRelieff(const ExecutionLog& log,
                              std::size_t target_index,
                              const ReliefOptions& options, Rng& rng);
 
+/// Columnar fast path: the same estimator over dictionary-encoded columns
+/// (numeric diffs on raw doubles, nominal diffs on interner codes), never
+/// touching a Value. Bitwise identical weights to the ExecutionLog overload
+/// for the same rows and Rng seed.
+std::vector<double> RRelieff(const ColumnarLog& columns,
+                             std::size_t target_index,
+                             const ReliefOptions& options, Rng& rng);
+
 /// Indices of all features ordered by descending RReliefF weight, excluding
 /// `target_index` itself. Convenience for RuleOfThumb.
 std::vector<std::size_t> RankFeaturesByImportance(const ExecutionLog& log,
+                                                  std::size_t target_index,
+                                                  const ReliefOptions& options,
+                                                  Rng& rng);
+
+/// Columnar fast path of RankFeaturesByImportance.
+std::vector<std::size_t> RankFeaturesByImportance(const ColumnarLog& columns,
                                                   std::size_t target_index,
                                                   const ReliefOptions& options,
                                                   Rng& rng);

@@ -35,15 +35,21 @@ std::vector<TrainingExample> BalancedSample(
   return sample;
 }
 
-std::vector<TrainingExample> EnforceRecordDiversity(
-    std::vector<TrainingExample> examples, std::size_t max_pairs_per_record,
+namespace {
+
+/// One diversity filter for every example representation: `Example` only
+/// needs `first`/`second` record indexes (TrainingExample on the legacy
+/// path, PairRef on the encoded path).
+template <typename Example>
+std::vector<Example> EnforceRecordDiversityImpl(
+    std::vector<Example> examples, std::size_t max_pairs_per_record,
     bool keep_first) {
   if (max_pairs_per_record == 0) return examples;
   std::unordered_map<std::size_t, std::size_t> usage;
-  std::vector<TrainingExample> kept;
+  std::vector<Example> kept;
   kept.reserve(examples.size());
   for (std::size_t i = 0; i < examples.size(); ++i) {
-    TrainingExample& example = examples[i];
+    Example& example = examples[i];
     if (i == 0 && keep_first) {
       kept.push_back(std::move(example));
       continue;
@@ -61,30 +67,20 @@ std::vector<TrainingExample> EnforceRecordDiversity(
   return kept;
 }
 
+}  // namespace
+
+std::vector<TrainingExample> EnforceRecordDiversity(
+    std::vector<TrainingExample> examples, std::size_t max_pairs_per_record,
+    bool keep_first) {
+  return EnforceRecordDiversityImpl(std::move(examples),
+                                    max_pairs_per_record, keep_first);
+}
+
 std::vector<PairRef> EnforceRecordDiversity(std::vector<PairRef> pairs,
                                             std::size_t max_pairs_per_record,
                                             bool keep_first) {
-  if (max_pairs_per_record == 0) return pairs;
-  std::unordered_map<std::size_t, std::size_t> usage;
-  std::vector<PairRef> kept;
-  kept.reserve(pairs.size());
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    const PairRef& pair = pairs[i];
-    if (i == 0 && keep_first) {
-      kept.push_back(pair);
-      continue;
-    }
-    std::size_t& first_uses = usage[pair.first];
-    std::size_t& second_uses = usage[pair.second];
-    if (first_uses >= max_pairs_per_record ||
-        second_uses >= max_pairs_per_record) {
-      continue;
-    }
-    ++first_uses;
-    ++second_uses;
-    kept.push_back(pair);
-  }
-  return kept;
+  return EnforceRecordDiversityImpl(std::move(pairs), max_pairs_per_record,
+                                    keep_first);
 }
 
 }  // namespace perfxplain

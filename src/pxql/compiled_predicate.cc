@@ -146,6 +146,7 @@ CompiledPredicate CompiledPredicate::Compile(const Predicate& predicate,
                                              const PairSchema& schema,
                                              const ColumnarLog& columns) {
   CompiledPredicate compiled;
+  compiled.source_ = &columns;
   for (const Atom& atom : predicate.atoms()) {
     PredInstr instr = CompileAtom(atom, schema, columns);
     if (instr.op == PredOp::kAlwaysFalse) {
@@ -158,8 +159,8 @@ CompiledPredicate CompiledPredicate::Compile(const Predicate& predicate,
   return compiled;
 }
 
-bool CompiledPredicate::Eval(const ColumnarLog&, std::size_t i,
-                             std::size_t j, double sim_fraction) const {
+bool CompiledPredicate::Eval(std::size_t i, std::size_t j,
+                             double sim_fraction) const {
   if (always_false_) return false;
   for (const PredInstr& instr : instrs_) {
     bool match = false;

@@ -59,15 +59,20 @@ class CompiledPredicate {
   bool always_false() const { return always_false_; }
   std::size_t width() const { return instrs_.size(); }
 
-  /// Evaluates the program for the ordered pair (i, j). Exactly equivalent
-  /// to Predicate::Eval over a lazy PairFeatureView, without materializing
-  /// any Value.
-  bool Eval(const ColumnarLog& columns, std::size_t i, std::size_t j,
-            double sim_fraction) const;
+  /// The ColumnarLog the program was compiled against. Row indexes passed
+  /// to Eval must refer to this log; the instructions hold raw pointers
+  /// into its columns.
+  const ColumnarLog* source() const { return source_; }
+
+  /// Evaluates the program for the ordered pair of rows (i, j) of the
+  /// compiled-against log. Exactly equivalent to Predicate::Eval over a
+  /// lazy PairFeatureView, without materializing any Value.
+  bool Eval(std::size_t i, std::size_t j, double sim_fraction) const;
 
  private:
   std::vector<PredInstr> instrs_;
   bool always_false_ = false;
+  const ColumnarLog* source_ = nullptr;
 };
 
 /// Kernel code of an isSame constant: "T"/"F" -> kTrueCode/kFalseCode,

@@ -25,6 +25,19 @@ Status Query::Validate() const {
   return Status::OK();
 }
 
+std::vector<bool> OutcomeRawFeatureMask(const Query& bound_query,
+                                        const PairSchema& schema) {
+  std::vector<bool> excluded(schema.raw_size(), false);
+  for (const Predicate* predicate :
+       {&bound_query.observed, &bound_query.expected}) {
+    for (const Atom& atom : predicate->atoms()) {
+      PX_CHECK(atom.bound());
+      excluded[schema.RawIndexOf(atom.pair_index())] = true;
+    }
+  }
+  return excluded;
+}
+
 std::string Query::ToString() const {
   std::string out;
   if (!first_id.empty() || !second_id.empty()) {

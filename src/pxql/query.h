@@ -2,6 +2,7 @@
 #define PERFXPLAIN_PXQL_QUERY_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "pxql/ast.h"
@@ -31,6 +32,13 @@ struct Query {
   /// PXQL text form (FOR clause included only when ids are set).
   std::string ToString() const;
 };
+
+/// Mask (one flag per raw feature) of the features a bound query's
+/// observed/expected clauses mention — the runtime metric itself, which
+/// never belongs in an explanation. Shared by the explainer and both
+/// baselines.
+std::vector<bool> OutcomeRawFeatureMask(const Query& bound_query,
+                                        const PairSchema& schema);
 
 }  // namespace perfxplain
 

@@ -190,5 +190,31 @@ TEST(DiversityTest, CapOneKeepsDisjointPairsOnly) {
   EXPECT_EQ(kept[2].first, 4u);
 }
 
+TEST(DiversityTest, TrainingExampleAndPairRefOverloadsAgree) {
+  // Both overloads run the same filter, so the same (first, second)
+  // sequence must survive at the same positions.
+  const std::initializer_list<std::pair<std::size_t, std::size_t>> pairs = {
+      {0, 1}, {0, 2}, {2, 1}, {3, 4}, {4, 0}, {3, 1}, {5, 6}};
+  for (const std::size_t cap : {std::size_t{0}, std::size_t{1},
+                                std::size_t{2}}) {
+    for (const bool keep_first : {false, true}) {
+      const auto examples =
+          EnforceRecordDiversity(PairExamples(pairs), cap, keep_first);
+      std::vector<PairRef> refs;
+      for (const auto& [first, second] : pairs) {
+        refs.push_back({first, second, true});
+      }
+      const auto kept = EnforceRecordDiversity(std::move(refs), cap,
+                                               keep_first);
+      ASSERT_EQ(kept.size(), examples.size())
+          << "cap " << cap << " keep_first " << keep_first;
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        EXPECT_EQ(kept[i].first, examples[i].first);
+        EXPECT_EQ(kept[i].second, examples[i].second);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace perfxplain

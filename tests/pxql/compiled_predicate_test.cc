@@ -30,8 +30,7 @@ void ExpectCompiledMatchesLegacy(const ExecutionLog& log,
     for (std::size_t j = 0; j < log.size(); ++j) {
       if (i == j) continue;
       PairFeatureView view(&schema, &log.at(i), &log.at(j), &options);
-      EXPECT_EQ(compiled.Eval(columns, i, j, options.sim_fraction),
-                bound.Eval(view))
+      EXPECT_EQ(compiled.Eval(i, j, options.sim_fraction), bound.Eval(view))
           << bound.ToString() << " on pair (" << i << "," << j << ")";
     }
   }
@@ -123,6 +122,18 @@ TEST_F(CompiledPredicateTest, ConjunctionsShortCircuitIdentically) {
       MustPredicate("num_compare = SIM AND color = a AND num >= 0"));
 }
 
+TEST_F(CompiledPredicateTest, RecordsTheCompiledAgainstLog) {
+  // Programs hold raw pointers into the columns of the log they were
+  // compiled for; source() exposes that log so callers can assert they
+  // evaluate rows of the right one.
+  const PairSchema schema(log_.schema());
+  const ColumnarLog columns(log_);
+  Predicate predicate = MustPredicate("num_isSame = T");
+  ASSERT_TRUE(predicate.Bind(schema).ok());
+  EXPECT_EQ(CompiledPredicate::Compile(predicate, schema, columns).source(),
+            &columns);
+}
+
 TEST_F(CompiledPredicateTest, AlwaysFalseDetection) {
   const PairSchema schema(log_.schema());
   const ColumnarLog columns(log_);
@@ -152,8 +163,7 @@ TEST_F(CompiledPredicateTest, CompiledQueryClassifiesLikeLegacy) {
     for (std::size_t j = 0; j < log_.size(); ++j) {
       if (i == j) continue;
       PairFeatureView view(&schema, &log_.at(i), &log_.at(j), &options);
-      EXPECT_EQ(ClassifyPairCompiled(compiled, columns, i, j,
-                                     options.sim_fraction),
+      EXPECT_EQ(ClassifyPairCompiled(compiled, i, j, options.sim_fraction),
                 ClassifyPair(query, view));
     }
   }
