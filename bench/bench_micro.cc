@@ -178,20 +178,22 @@ void BM_ExplainWidth3(benchmark::State& state) {
 BENCHMARK(BM_ExplainWidth3)->Arg(500)->Arg(2000)->Arg(8000);
 
 /// The §5.2 SimButDiff baseline on the columnar path: compiled query,
-/// kernel isSame agreement, row-blocked scan. Single-threaded so the
-/// speedup over the legacy baseline below is per-core.
+/// packed 2-bit isSame codes compared against the poi with XOR+popcount
+/// word kernels, row-blocked scan. Arg = thread count (1 = per-core
+/// speedup vs the legacy baseline below, 0 = hardware concurrency).
 void BM_SimButDiffExplain(benchmark::State& state) {
   const MicroFixture& fixture = MicroFixture::Get();
   px::SimButDiffOptions options;
-  options.threads = 1;
+  options.threads = static_cast<int>(state.range(0));
   const px::SimButDiff baseline(&fixture.log, options);
   for (auto _ : state) {
     auto explanation = baseline.Explain(fixture.query, 3);
     PX_CHECK(explanation.ok()) << explanation.status().ToString();
     benchmark::DoNotOptimize(explanation);
   }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
 }
-BENCHMARK(BM_SimButDiffExplain);
+BENCHMARK(BM_SimButDiffExplain)->Arg(1)->Arg(0);
 
 /// The seed SimButDiff (lazy Value views), kept in-binary as a baseline so
 /// the columnar speedup is measured under identical machine conditions in
@@ -209,19 +211,25 @@ BENCHMARK(BM_SimButDiffExplainLegacyValuePath);
 
 /// The §5.1 RuleOfThumb one-time RReliefF ranking pass (the baseline's
 /// construction cost; its per-query Explain is O(k)) on the columnar
-/// backend, with the columns prebuilt as PerfXplain shares them.
+/// backend, with the columns prebuilt as PerfXplain shares them. Arg =
+/// thread count for the striped probe loop (1 = per-core speedup vs the
+/// legacy baseline below, 0 = hardware concurrency); weights are bitwise
+/// identical either way.
 void BM_RuleOfThumbRank(benchmark::State& state) {
   const MicroFixture& fixture = MicroFixture::Get();
   const px::ColumnarLog columns(fixture.log);
   const std::size_t target =
       fixture.log.schema().IndexOf(px::feature_names::kDuration);
+  px::ReliefOptions options;
+  options.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     px::Rng rng(29);
-    benchmark::DoNotOptimize(px::RankFeaturesByImportance(
-        columns, target, px::ReliefOptions(), rng));
+    benchmark::DoNotOptimize(
+        px::RankFeaturesByImportance(columns, target, options, rng));
   }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
 }
-BENCHMARK(BM_RuleOfThumbRank);
+BENCHMARK(BM_RuleOfThumbRank)->Arg(1)->Arg(0);
 
 /// The seed RReliefF ranking (Value diffs), in-binary legacy counterpart
 /// of BM_RuleOfThumbRank.

@@ -3,8 +3,8 @@
 // instances, and print the generated explanation with its quality metrics.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j --target example_quickstart
+//   ./build/example_quickstart
 
 #include <cstdio>
 

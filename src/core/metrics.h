@@ -48,7 +48,11 @@ double EvaluateDespiteRelevance(const ExecutionLog& log,
                                 const PairFeatureOptions& options);
 
 /// True when the explanation is applicable to the pair (Definition 3):
-/// both clauses hold for (first, second).
+/// both clauses hold for (first, second). The records may be ad-hoc (from
+/// different logs, or from none); evaluation compiles the clauses against a
+/// two-row columnar log of just this pair, so no lazy PairFeatureView is
+/// constructed — equivalence with the lazy path (missing values, NaN
+/// included) is pinned by tests/core/metrics_test.cc.
 bool IsApplicable(const Explanation& explanation, const PairSchema& schema,
                   const ExecutionRecord& first, const ExecutionRecord& second,
                   const PairFeatureOptions& options);

@@ -24,6 +24,11 @@ namespace perfxplain {
 /// with a lazy feature view. Enumeration is row-major and deterministic.
 /// `fn` returning false stops the enumeration early.
 ///
+/// Compat layer: this is the seed enumeration the columnar scans are
+/// pinned against (see docs/ARCHITECTURE.md for the full boundary); no
+/// production path calls it — only equivalence tests, the in-binary
+/// bench_micro baselines, and the legacy technique entry points.
+///
 /// The callable is a template parameter so tight callers inline; the
 /// std::function overload below remains for type-erased call sites.
 template <typename Fn>

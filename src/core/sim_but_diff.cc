@@ -121,12 +121,12 @@ Result<Explanation> SimButDiff::Explain(const Query& query,
   const std::size_t k = schema_.raw_size();
 
   // isSame features occupy pair indexes [0, k); the pair of interest's
-  // values are kernel codes (code equality <=> Value equality).
+  // values are packed 2-bit kernel codes (field equality <=> Value
+  // equality), so each training pair compares against the poi with
+  // XOR + mask + popcount word kernels instead of k branches.
   const kernel::RawColumnTable table(columns);
-  std::vector<std::int8_t> poi_codes(k);
-  for (std::size_t f = 0; f < k; ++f) {
-    poi_codes[f] = table.IsSame(f, poi_first, poi_second, sim);
-  }
+  const kernel::PackedIsSameCodes poi_codes =
+      kernel::PackIsSameCodes(table, poi_first, poi_second, sim);
 
   // Features the obs/exp clauses mention must not appear in explanations.
   const std::vector<bool> excluded = OutcomeRawFeatureMask(bound, schema_);
@@ -138,40 +138,45 @@ Result<Explanation> SimButDiff::Explain(const Query& query,
   // so per-stripe partials merge to the same totals for any thread count.
   const std::size_t agree_threshold =
       AgreeThreshold(options_.similarity_threshold, k);
-  const std::size_t max_disagree = k - agree_threshold;
+  // A threshold above k (similarity_threshold > 1) is unsatisfiable: the
+  // legacy scan rejects every pair, so skip the scan rather than let
+  // k - agree_threshold wrap.
+  const bool satisfiable = agree_threshold <= k;
+  const std::size_t max_disagree = satisfiable ? k - agree_threshold : 0;
   struct Tally {
     std::vector<std::size_t> disagree;
     std::vector<std::size_t> disagree_expected;
     std::size_t similar_pairs = 0;
+    std::vector<std::uint64_t> diff_masks;   // per-pair scratch (words)
     std::vector<std::size_t> diff_features;  // per-pair scratch
   };
   std::vector<Tally> partial;
-  if (!compiled.despite.always_false()) {
+  if (satisfiable && !compiled.despite.always_false()) {
     ScanOrderedPairs(
         columns.rows(), EnumerationOptions{options_.threads}, partial,
         [&](Tally& local, std::size_t i, std::size_t j) {
           if (local.disagree.empty()) {
             local.disagree.assign(k, 0);
             local.disagree_expected.assign(k, 0);
+            local.diff_masks.assign(poi_codes.word_count(), 0);
             local.diff_features.reserve(k);
           }
           if (i == poi_first && j == poi_second) return;
           const PairLabel label = ClassifyPairCompiled(compiled, i, j, sim);
           if (label == PairLabel::kUnrelated) return;
-          local.diff_features.clear();
-          std::size_t agree = 0;
-          for (std::size_t f = 0; f < k; ++f) {
-            if (table.IsSame(f, i, j, sim) == poi_codes[f]) {
-              ++agree;
-            } else {
-              local.diff_features.push_back(f);
-            }
-            // Early exit: even if all remaining features agree, the pair
-            // cannot reach the threshold.
-            if (local.diff_features.size() > max_disagree) return;
-          }
-          if (agree < agree_threshold) return;
+          // Pack the pair's isSame codes a word at a time and XOR-popcount
+          // against the poi; pairs that cannot reach the similarity
+          // threshold are abandoned mid-scan. Accept/reject and the
+          // resulting tallies are identical to the feature-at-a-time scan.
+          const std::size_t disagreed = kernel::ScanPairAgainstPoi(
+              table, i, j, sim, poi_codes, max_disagree,
+              local.diff_masks.data());
+          if (disagreed == kernel::kPackedRejected) return;
           ++local.similar_pairs;
+          local.diff_features.clear();
+          kernel::AppendMaskedFeatures(local.diff_masks.data(),
+                                       poi_codes.word_count(),
+                                       local.diff_features);
           const bool expected = label == PairLabel::kExpected;
           for (std::size_t f : local.diff_features) {
             ++local.disagree[f];
@@ -193,7 +198,7 @@ Result<Explanation> SimButDiff::Explain(const Query& query,
 
   std::vector<Value> poi_is_same(k);
   for (std::size_t f = 0; f < k; ++f) {
-    poi_is_same[f] = DecodeIsSame(poi_codes[f]);
+    poi_is_same[f] = DecodeIsSame(poi_codes.CodeAt(f));
   }
   return ExplanationFromTallies(schema_, poi_is_same, excluded, disagree,
                                 disagree_expected, similar_pairs,

@@ -35,8 +35,11 @@ struct SimButDiffOptions {
 /// pair's own values, form the explanation.
 ///
 /// The pair scan runs on the columnar engine: the query is compiled to
-/// flat predicate programs and the per-feature agreement test compares
-/// kernel isSame codes, so no Value is materialized while enumerating.
+/// flat predicate programs and the agreement test runs on packed pair
+/// codes — the k isSame codes of a pair stored 2 bits/feature in uint64
+/// words, compared against the pair of interest with XOR + mask +
+/// popcount kernels (kernel::ScanPairAgainstPoi) instead of k per-feature
+/// branches — so no Value is materialized while enumerating.
 class SimButDiff {
  public:
   /// `log` must outlive this object. When `columns` is non-null it must be

@@ -1,6 +1,45 @@
 #include "features/pair_feature_kernel.h"
 
+#include "common/logging.h"
+
 namespace perfxplain {
+
+namespace kernel {
+
+PackedIsSameCodes PackIsSameCodes(const RawColumnTable& table, std::size_t i,
+                                  std::size_t j, double sim_fraction) {
+  PackedIsSameCodes packed(table.size());
+  for (std::size_t f = 0; f < table.size(); ++f) {
+    packed.SetCode(f, table.IsSame(f, i, j, sim_fraction));
+  }
+  return packed;
+}
+
+std::size_t CountPackedDisagreements(const PackedIsSameCodes& a,
+                                     const PackedIsSameCodes& b) {
+  PX_CHECK_EQ(a.features(), b.features());
+  std::size_t disagree = 0;
+  for (std::size_t w = 0; w < a.word_count(); ++w) {
+    disagree +=
+        static_cast<std::size_t>(PopCount(PackedDisagreeMask(a.word(w),
+                                                             b.word(w))));
+  }
+  return disagree;
+}
+
+void AppendMaskedFeatures(const std::uint64_t* diff_masks,
+                          std::size_t word_count,
+                          std::vector<std::size_t>& out) {
+  for (std::size_t w = 0; w < word_count; ++w) {
+    const std::size_t base = w * kPackedFeaturesPerWord;
+    for (std::uint64_t mask = diff_masks[w]; mask != 0; mask &= mask - 1) {
+      out.push_back(base +
+                    static_cast<std::size_t>(CountTrailingZeros(mask)) / 2);
+    }
+  }
+}
+
+}  // namespace kernel
 
 Value DecodeIsSame(std::int8_t code) {
   if (code == kernel::kMissingCode) return Value::Missing();

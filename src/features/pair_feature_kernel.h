@@ -1,6 +1,7 @@
 #ifndef PERFXPLAIN_FEATURES_PAIR_FEATURE_KERNEL_H_
 #define PERFXPLAIN_FEATURES_PAIR_FEATURE_KERNEL_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -15,6 +16,11 @@ namespace perfxplain {
 /// small integer codes directly from columnar data. Each kernel is
 /// bit-for-bit equivalent to the corresponding branch of ComputePairFeature
 /// (pair_features.cc) but never materializes a Value and never allocates.
+/// Everything in this namespace is a pure function of its arguments (or an
+/// immutable table of column pointers), so kernels are safe to call from
+/// any number of row-stripe workers concurrently; thread-count invariance
+/// of the scans built on them follows from merging per-stripe integer
+/// tallies in stripe order.
 ///
 /// Code conventions:
 ///  - kMissingCode (-1) encodes a missing pair-feature value;
@@ -131,6 +137,9 @@ class RawColumnTable {
     }
   }
 
+  /// Number of raw-feature columns in the table.
+  std::size_t size() const { return entries_.size(); }
+
   bool is_numeric(std::size_t col) const { return entries_[col].numeric; }
   const NumericColumn& numeric(std::size_t col) const {
     return *entries_[col].num;
@@ -160,6 +169,184 @@ class RawColumnTable {
   };
   std::vector<Entry> entries_;
 };
+
+// ---------------------------------------------------------------------------
+// Packed pair codes: the k isSame codes of one ordered pair stored 2 bits
+// per feature in uint64_t words, so whole-pair agreement tests reduce to a
+// handful of word operations (XOR + mask + popcount) instead of k compares
+// and branches. SimButDiff's similarity scan (Algorithm 2 lines 4-11) runs
+// on these.
+//
+// Field layout: feature f occupies bits [2*(f mod 32), 2*(f mod 32)+1] of
+// word f/32, holding the isSame code masked to two bits:
+//   kFalseCode   (0) -> 0b00
+//   kTrueCode    (1) -> 0b01
+//   kMissingCode (-1) -> 0b11
+// The mapping is injective, so 2-bit field equality is exactly isSame code
+// equality (and therefore exactly Value equality of the isSame pair
+// features — missing compares equal only to missing). Fields past the last
+// feature of the final word are zero in every packed vector produced here,
+// so they never register as disagreements.
+// ---------------------------------------------------------------------------
+
+/// Portable 64-bit popcount / count-trailing-zeros (C++17 predates
+/// std::popcount / std::countr_zero).
+inline int PopCount(std::uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  int count = 0;
+  for (; x != 0; x &= x - 1) ++count;
+  return count;
+#endif
+}
+
+/// Trailing zero count of a nonzero word.
+inline int CountTrailingZeros(std::uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(x);
+#else
+  int count = 0;
+  while ((x & 1) == 0) {
+    x >>= 1;
+    ++count;
+  }
+  return count;
+#endif
+}
+
+/// Features per packed word (64 bits / 2 bits per feature).
+inline constexpr std::size_t kPackedFeaturesPerWord = 32;
+
+/// Mask with the low bit of every 2-bit field set; the disagreement masks
+/// below have set bits only at these positions.
+inline constexpr std::uint64_t kPackedFieldLsbMask = 0x5555555555555555ull;
+
+/// 2-bit field of one isSame code.
+inline std::uint64_t PackedField(std::int8_t code) {
+  return static_cast<std::uint64_t>(static_cast<std::uint8_t>(code)) & 0x3u;
+}
+
+/// The k isSame codes of one ordered pair, packed 2 bits per feature.
+class PackedIsSameCodes {
+ public:
+  PackedIsSameCodes() = default;
+  explicit PackedIsSameCodes(std::size_t features)
+      : features_(features),
+        words_((features + kPackedFeaturesPerWord - 1) / kPackedFeaturesPerWord,
+               0) {}
+
+  std::size_t features() const { return features_; }
+  std::size_t word_count() const { return words_.size(); }
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+  const std::uint64_t* words() const { return words_.data(); }
+
+  /// Overwrites the field of feature `f` (packing helpers and tests).
+  void SetCode(std::size_t f, std::int8_t code) {
+    const std::size_t shift = 2 * (f % kPackedFeaturesPerWord);
+    std::uint64_t& w = words_[f / kPackedFeaturesPerWord];
+    w = (w & ~(std::uint64_t{0x3} << shift)) | (PackedField(code) << shift);
+  }
+
+  /// Decodes the field of feature `f` back to the isSame code.
+  std::int8_t CodeAt(std::size_t f) const {
+    const std::uint64_t field =
+        (words_[f / kPackedFeaturesPerWord] >>
+         (2 * (f % kPackedFeaturesPerWord))) &
+        0x3u;
+    return field == 0x3u ? kMissingCode : static_cast<std::int8_t>(field);
+  }
+
+ private:
+  std::size_t features_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Packs every isSame code of the ordered row pair (i, j). Identical codes
+/// to calling table.IsSame(f, i, j, sim_fraction) for each f.
+PackedIsSameCodes PackIsSameCodes(const RawColumnTable& table, std::size_t i,
+                                  std::size_t j, double sim_fraction);
+
+/// Word-level disagreement mask of two packed words: bit 2*(f mod 32) is
+/// set iff the 2-bit fields of feature f differ (XOR, fold the high bit of
+/// each field onto the low bit, mask). popcount of the mask = number of
+/// disagreeing features in the word.
+inline std::uint64_t PackedDisagreeMask(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t x = a ^ b;
+  return (x | (x >> 1)) & kPackedFieldLsbMask;
+}
+
+/// Number of features on which two packed vectors disagree (they must pack
+/// the same feature count).
+std::size_t CountPackedDisagreements(const PackedIsSameCodes& a,
+                                     const PackedIsSameCodes& b);
+
+/// Sentinel of ScanPairAgainstPoi: the pair was rejected early.
+inline constexpr std::size_t kPackedRejected = static_cast<std::size_t>(-1);
+
+/// Features per early-exit chunk of ScanPairAgainstPoi: the fused scan
+/// checks the running disagreement count every 8 packed features (16
+/// bits), so a hopeless pair wastes at most 7 isSame evaluations versus a
+/// feature-at-a-time scan while still comparing through word operations.
+inline constexpr std::size_t kPackedChunkFeatures = 8;
+
+/// Fused pack-and-compare of pair (i, j) against the prepacked codes of the
+/// pair of interest: packs the pair's isSame codes a chunk (8 features) at
+/// a time, XOR + mask + popcounts each chunk against the matching slice of
+/// `poi`, and abandons the pair as soon as the running disagreement count
+/// exceeds `max_disagree`. Chunk granularity never accepts or rejects
+/// differently from a feature-at-a-time scan — only the wasted work
+/// changes.
+///
+/// Returns the total number of disagreeing features (<= max_disagree), or
+/// kPackedRejected on early exit. On success, diff_masks[w] holds the
+/// per-word disagreement mask (see PackedDisagreeMask); on rejection the
+/// contents of diff_masks are unspecified. diff_masks must have room for
+/// poi.word_count() words.
+inline std::size_t ScanPairAgainstPoi(const RawColumnTable& table,
+                                      std::size_t i, std::size_t j,
+                                      double sim_fraction,
+                                      const PackedIsSameCodes& poi,
+                                      std::size_t max_disagree,
+                                      std::uint64_t* diff_masks) {
+  const std::size_t k = poi.features();
+  std::size_t disagree = 0;
+  std::size_t f = 0;
+  for (std::size_t w = 0; w < poi.word_count(); ++w) {
+    const std::uint64_t poi_word = poi.word(w);
+    const std::size_t word_end = std::min(k, (w + 1) * kPackedFeaturesPerWord);
+    std::uint64_t mask_word = 0;
+    std::size_t shift = 2 * (f % kPackedFeaturesPerWord);
+    while (f < word_end) {
+      const std::size_t chunk_end =
+          std::min(word_end, f + kPackedChunkFeatures);
+      std::uint64_t chunk = 0;
+      const std::size_t chunk_shift = shift;
+      for (; f < chunk_end; ++f, shift += 2) {
+        chunk |= PackedField(table.IsSame(f, i, j, sim_fraction)) << shift;
+      }
+      // Slice the poi word down to this chunk's fields; fields the chunk
+      // does not cover must not register.
+      const std::uint64_t chunk_mask =
+          ((std::uint64_t{1} << (shift - chunk_shift)) - 1) << chunk_shift;
+      const std::uint64_t mask =
+          PackedDisagreeMask(chunk, poi_word & chunk_mask);
+      mask_word |= mask;
+      disagree += static_cast<std::size_t>(PopCount(mask));
+      if (disagree > max_disagree) return kPackedRejected;
+    }
+    diff_masks[w] = mask_word;
+  }
+  return disagree;
+}
+
+/// Appends the feature indexes encoded in `diff_masks` (as produced by
+/// ScanPairAgainstPoi) to `out`, in ascending order: LSB-first within each
+/// word, words ascending — the same order a feature-at-a-time scan pushes
+/// them.
+void AppendMaskedFeatures(const std::uint64_t* diff_masks,
+                          std::size_t word_count,
+                          std::vector<std::size_t>& out);
 
 }  // namespace kernel
 

@@ -32,8 +32,7 @@ const std::string& StringInterner::StringOf(std::int32_t code) const {
   return strings_[static_cast<std::size_t>(code)];
 }
 
-ColumnarLog::ColumnarLog(const ExecutionLog& log)
-    : schema_(log.schema()), rows_(log.size()) {
+void ColumnarLog::AllocateColumns() {
   const std::size_t k = schema_.size();
   slot_.resize(k);
   for (std::size_t col = 0; col < k; ++col) {
@@ -50,20 +49,42 @@ ColumnarLog::ColumnarLog(const ExecutionLog& log)
       nominal_.push_back(std::move(column));
     }
   }
-  for (std::size_t row = 0; row < rows_; ++row) {
-    const ExecutionRecord& record = log.at(row);
-    for (std::size_t col = 0; col < k; ++col) {
-      const Value& v = record.values[col];
-      if (v.is_missing()) continue;
-      if (is_numeric(col)) {
-        NumericColumn& column = numeric_[static_cast<std::size_t>(slot_[col])];
-        column.values[row] = v.number();
-        column.present.Set(row);
-      } else {
-        nominal_[static_cast<std::size_t>(slot_[col])].codes[row] =
-            interner_.Intern(v.nominal());
-      }
+}
+
+void ColumnarLog::IngestRecord(std::size_t row, const ExecutionRecord& record) {
+  const std::size_t k = schema_.size();
+  for (std::size_t col = 0; col < k; ++col) {
+    const Value& v = record.values[col];
+    if (v.is_missing()) continue;
+    if (is_numeric(col)) {
+      NumericColumn& column = numeric_[static_cast<std::size_t>(slot_[col])];
+      column.values[row] = v.number();
+      column.present.Set(row);
+    } else {
+      nominal_[static_cast<std::size_t>(slot_[col])].codes[row] =
+          interner_.Intern(v.nominal());
     }
+  }
+}
+
+ColumnarLog::ColumnarLog(const ExecutionLog& log)
+    : schema_(log.schema()), rows_(log.size()) {
+  AllocateColumns();
+  for (std::size_t row = 0; row < rows_; ++row) {
+    IngestRecord(row, log.at(row));
+  }
+}
+
+ColumnarLog::ColumnarLog(const Schema& schema,
+                         std::initializer_list<const ExecutionRecord*> records)
+    : schema_(schema), rows_(records.size()) {
+  AllocateColumns();
+  std::size_t row = 0;
+  for (const ExecutionRecord* record : records) {
+    PX_CHECK(record != nullptr);
+    PX_CHECK_EQ(record->values.size(), schema_.size())
+        << "record does not match the schema";
+    IngestRecord(row++, *record);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -97,9 +98,36 @@ struct PairRef {
 /// Column-oriented, dictionary-encoded copy of an ExecutionLog, built once
 /// and scanned by the pair-feature kernels and compiled PXQL predicates.
 /// The source log is not retained; the columnar form is self-contained.
+///
+/// Layout and value semantics:
+///  - Numeric feature f -> NumericColumn: `values[row]` is the raw double,
+///    `present` the missing bitmap. A missing cell stores 0.0 with its
+///    presence bit clear — consumers must test presence before reading.
+///    NaN is *data*, not missingness: a NaN cell is present, and the
+///    kernels reproduce the Value path's NaN behavior (NaN is similar to
+///    nothing, never equal to itself) bit for bit.
+///  - Nominal feature f -> NominalColumn: `codes[row]` is the dense code
+///    of the string in the shared StringInterner, or kNoCode when the
+///    cell is missing. All nominal columns share one interner, so string
+///    equality (even across columns) is integer code equality.
+///
+/// Thread safety: immutable after construction; any number of threads may
+/// scan one ColumnarLog concurrently (the row-striped enumerations and the
+/// striped RReliefF probe loop do exactly that). The column accessors
+/// return stable references — compiled predicate programs cache the raw
+/// pointers, so a ColumnarLog must outlive every program compiled against
+/// it.
 class ColumnarLog {
  public:
   explicit ColumnarLog(const ExecutionLog& log);
+
+  /// Columnar form of a handful of ad-hoc records (not necessarily from any
+  /// log; duplicate ids are fine). Each record's value count must match
+  /// `schema`. Row r of the result is *records[r]. Used by the columnar
+  /// IsApplicable to evaluate compiled predicates over one record pair
+  /// without constructing a lazy PairFeatureView.
+  ColumnarLog(const Schema& schema,
+              std::initializer_list<const ExecutionRecord*> records);
 
   std::size_t rows() const { return rows_; }
   const Schema& schema() const { return schema_; }
@@ -116,6 +144,11 @@ class ColumnarLog {
   Value ValueAt(std::size_t row, std::size_t col) const;
 
  private:
+  /// Sizes the column pools for `rows_` rows of `schema_`.
+  void AllocateColumns();
+  /// Encodes one record into row `row` of the columns.
+  void IngestRecord(std::size_t row, const ExecutionRecord& record);
+
   Schema schema_;
   std::size_t rows_ = 0;
   std::vector<std::int32_t> slot_;  ///< per raw column: index into a pool

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <utility>
 
+#include "core/pair_enumeration.h"
 #include "features/pair_feature_kernel.h"
 
 namespace perfxplain {
@@ -113,9 +115,33 @@ class ColumnarReliefView {
   FeatureRanges ranges_;
 };
 
-/// RReliefF core, generic over the diff backend. Both backends produce
-/// identical doubles for the same underlying rows, so probe selection,
-/// neighbor ordering and the accumulators agree bitwise.
+/// Final RReliefF weight formula from the accumulators, shared by the
+/// serial and striped cores.
+std::vector<double> WeightsFromAccumulators(
+    std::size_t k, std::size_t target_index, double n_dc,
+    const std::vector<double>& n_da, const std::vector<double>& n_dcda,
+    double total_weight) {
+  std::vector<double> weights(k, 0.0);
+  if (n_dc <= 0.0 || total_weight - n_dc <= 0.0) {
+    // Degenerate target (all durations identical) or all-different; weights
+    // stay 0 / fall back to the defined branch only.
+    for (std::size_t f = 0; f < k; ++f) {
+      if (f == target_index) continue;
+      if (n_dc > 0.0) weights[f] = n_dcda[f] / n_dc;
+    }
+    return weights;
+  }
+  for (std::size_t f = 0; f < k; ++f) {
+    if (f == target_index) continue;
+    weights[f] =
+        n_dcda[f] / n_dc - (n_da[f] - n_dcda[f]) / (total_weight - n_dc);
+  }
+  return weights;
+}
+
+/// The seed RReliefF core: one serial pass over the probes, generic over
+/// the diff backend. The compat path (ExecutionLog overload) runs this; the
+/// striped core below is pinned bitwise against it.
 template <typename View>
 std::vector<double> RRelieffImpl(const View& view, std::size_t target_index,
                                  const ReliefOptions& options, Rng& rng) {
@@ -171,22 +197,101 @@ std::vector<double> RRelieffImpl(const View& view, std::size_t target_index,
     }
   }
 
-  if (n_dc <= 0.0 || total_weight - n_dc <= 0.0) {
-    // Degenerate target (all durations identical) or all-different; weights
-    // stay 0 / fall back to the defined branch only.
-    for (std::size_t f = 0; f < k; ++f) {
-      if (f == target_index) continue;
-      if (n_dc > 0.0) weights[f] = n_dcda[f] / n_dc;
+  return WeightsFromAccumulators(k, target_index, n_dc, n_da, n_dcda,
+                                 total_weight);
+}
+
+/// Striped RReliefF core: the O(m·n·k) nearest-neighbor searches — the
+/// dominant cost — run on worker threads, one contiguous stripe of probes
+/// each, the way pair enumeration stripes rows. Bitwise identical to
+/// RRelieffImpl for every thread count because
+///  (1) every Rng draw happens in the up-front shuffle, before any probe,
+///      so probes consume no randomness and are order-independent;
+///  (2) probe p's distance array (and hence its partial_sort result)
+///      depends only on (order, view), never on other probes; and
+///  (3) the floating-point accumulation — where summation order matters —
+///      replays serially over the recorded neighbor lists in probe order,
+///      executing the exact operation sequence of the serial core.
+template <typename View>
+std::vector<double> RRelieffStripedImpl(const View& view,
+                                        std::size_t target_index,
+                                        const ReliefOptions& options,
+                                        Rng& rng) {
+  const std::size_t k = view.features();
+  std::vector<double> weights(k, 0.0);
+  const std::size_t n = view.rows();
+  if (n < 2) return weights;
+  PX_CHECK_LT(target_index, k);
+
+  const std::size_t m =
+      std::min(options.iterations, n);  // probe each record at most once/pass
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);  // the only Rng consumption, replayed before striping
+
+  const std::size_t probes = options.iterations;
+  const std::size_t kk = std::min(options.neighbors, n - 1);
+
+  // Phase 1 (parallel): k nearest neighbors of each probe, recorded in
+  // partial_sort order. Probe p visits row order[p % m], so only
+  // min(probes, m) distinct probes exist; iterations beyond m reuse their
+  // neighbor lists instead of re-running identical searches.
+  const std::size_t unique_probes = std::min(probes, m);
+  std::vector<std::size_t> neighbors(unique_probes * kk);
+  EnumerationOptions enumeration;
+  enumeration.threads = options.threads;
+  ForEachRowStripe(
+      unique_probes, ResolveEnumerationThreads(enumeration),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<std::pair<double, std::size_t>> distances;
+        distances.reserve(n - 1);
+        for (std::size_t probe = begin; probe < end; ++probe) {
+          const std::size_t i = order[probe];  // probe < m
+          distances.clear();
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            double dist = 0.0;
+            for (std::size_t f = 0; f < k; ++f) {
+              if (f == target_index) continue;
+              dist += view.Diff(f, i, j);
+            }
+            distances.emplace_back(dist, j);
+          }
+          std::partial_sort(distances.begin(),
+                            distances.begin() +
+                                static_cast<std::ptrdiff_t>(kk),
+                            distances.end());
+          for (std::size_t t = 0; t < kk; ++t) {
+            neighbors[probe * kk + t] = distances[t].second;
+          }
+        }
+      });
+
+  // Phase 2 (serial): accumulate in probe order — the serial core's exact
+  // floating-point operation sequence.
+  double n_dc = 0.0;
+  std::vector<double> n_da(k, 0.0);
+  std::vector<double> n_dcda(k, 0.0);
+  double total_weight = 0.0;
+  const double w = 1.0 / static_cast<double>(kk);
+  for (std::size_t probe = 0; probe < probes; ++probe) {
+    const std::size_t i = order[probe % m];
+    for (std::size_t t = 0; t < kk; ++t) {
+      const std::size_t j = neighbors[(probe % m) * kk + t];
+      const double d_target = view.Diff(target_index, i, j);
+      n_dc += d_target * w;
+      for (std::size_t f = 0; f < k; ++f) {
+        if (f == target_index) continue;
+        const double d = view.Diff(f, i, j);
+        n_da[f] += d * w;
+        n_dcda[f] += d_target * d * w;
+      }
+      total_weight += w;
     }
-    return weights;
   }
 
-  for (std::size_t f = 0; f < k; ++f) {
-    if (f == target_index) continue;
-    weights[f] =
-        n_dcda[f] / n_dc - (n_da[f] - n_dcda[f]) / (total_weight - n_dc);
-  }
-  return weights;
+  return WeightsFromAccumulators(k, target_index, n_dc, n_da, n_dcda,
+                                 total_weight);
 }
 
 std::vector<std::size_t> RankByWeight(const std::vector<double>& weights,
@@ -214,8 +319,8 @@ std::vector<double> RRelieff(const ExecutionLog& log,
 std::vector<double> RRelieff(const ColumnarLog& columns,
                              std::size_t target_index,
                              const ReliefOptions& options, Rng& rng) {
-  return RRelieffImpl(ColumnarReliefView(columns), target_index, options,
-                      rng);
+  return RRelieffStripedImpl(ColumnarReliefView(columns), target_index,
+                             options, rng);
 }
 
 std::vector<std::size_t> RankFeaturesByImportance(const ExecutionLog& log,

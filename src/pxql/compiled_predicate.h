@@ -48,6 +48,19 @@ struct PredInstr {
 /// A conjunction of PXQL atoms lowered to a flat opcode program over the
 /// columns of one ColumnarLog. Programs are only valid for the log (and the
 /// interner) they were compiled against.
+///
+/// Semantics are pinned to the lazy path: for every ordered pair (i, j) of
+/// the compiled-against log, Eval(i, j, f) == predicate.Eval(view) for the
+/// PairFeatureView of (row i, row j) — including missing-value atoms
+/// (missing satisfies no atom, not even Ne) and NaN arithmetic. An atom no
+/// pair can ever satisfy (kind mismatch, ordering operator on a nominal
+/// value, constant absent from the dictionary) makes the whole program
+/// always_false() at compile time, so scans skip it without visiting any
+/// pair.
+///
+/// Thread safety: immutable after Compile; Eval is const and lock-free, so
+/// one program may be evaluated from any number of row-stripe workers
+/// concurrently.
 class CompiledPredicate {
  public:
   /// Lowers `predicate` (all atoms bound to `schema`) against `columns`.
@@ -92,7 +105,11 @@ std::int8_t CompareConstantTarget(const Value& constant);
 std::vector<std::pair<std::int32_t, std::int32_t>> DiffConstantTargets(
     const Value& constant, const StringInterner& interner);
 
-/// A bound Query's three predicates, compiled.
+/// A bound Query's three predicates (despite / observed / expected),
+/// compiled against one ColumnarLog. The unit ClassifyPairCompiled and the
+/// techniques consume: des first (so unrelated pairs cost only the des
+/// atoms), then obs/exp for the Definition 8/9 label. Same lifetime and
+/// thread-safety rules as CompiledPredicate.
 struct CompiledQuery {
   CompiledPredicate despite;
   CompiledPredicate observed;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "testing/test_util.h"
 
 namespace perfxplain {
@@ -140,6 +145,81 @@ TEST_F(MetricsTest, IsApplicableChecksBothClauses) {
                            options_));  // c vs a
   EXPECT_FALSE(IsApplicable(explanation, schema_, log_.at(0), log_.at(1),
                             options_));  // a vs b: same color
+}
+
+/// The retired lazy path of Definition 3, reconstructed through a
+/// PairFeatureView: the reference the columnar IsApplicable is pinned to.
+bool IsApplicableLazy(const Explanation& explanation, const PairSchema& schema,
+                      const ExecutionRecord& first,
+                      const ExecutionRecord& second,
+                      const PairFeatureOptions& options) {
+  PairFeatureView view(&schema, &first, &second, &options);
+  return explanation.despite.Eval(view) && explanation.because.Eval(view);
+}
+
+TEST_F(MetricsTest, IsApplicableMatchesLazyViewOnAdHocPairs) {
+  // Ad-hoc records that belong to no log: duplicate ids, missing values,
+  // NaN and signed-zero numerics, similar-but-unequal values, and a nominal
+  // level ("green") no other record carries. The columnar IsApplicable
+  // builds a two-row log per call, so the dictionary differs per pair; the
+  // verdicts must still match the lazy view everywhere.
+  const double nan = std::nan("");
+  std::vector<ExecutionRecord> records;
+  records.push_back(TinyRecord("p", 1, "red", 100));
+  records.push_back(TinyRecord("p", 1.05, "red", 102));  // duplicate id
+  records.push_back(TinyRecord("q", 9, "green", 200));
+  records.push_back(ExecutionRecord(
+      "m", {Value::Missing(), Value::Missing(), Value::Number(nan)}));
+  records.push_back(ExecutionRecord(
+      "z", {Value::Number(0.0), Value::Missing(), Value::Number(-0.0)}));
+  records.push_back(TinyRecord("b", 9.2, "blue", 198));
+
+  std::vector<Explanation> explanations;
+  auto add = [&](const std::string& despite, const std::string& because) {
+    Explanation e;
+    if (!despite.empty()) e.despite = Bound(despite);
+    if (!because.empty()) e.because = Bound(because);
+    explanations.push_back(std::move(e));
+  };
+  add("", "");  // both clauses empty: applicable to every pair
+  add("color_isSame = T", "x_compare = GT");
+  add("", "x_isSame = F");
+  add("", "x_isSame != T");
+  add("", "color_diff = (red,green)");
+  add("", "color_diff = (zz,qq)");   // out-of-dictionary diff constant
+  add("", "color_diff != (red,red)");
+  add("", "x = 0");                  // base numeric equality (+-0)
+  add("", "duration > 150");         // base numeric ordering (NaN rows)
+  add("", "color = red");            // base nominal
+  add("", "color != red");
+  add("", "duration_compare = SIM");
+  add("color_isSame = F", "x_compare != LT");
+
+  for (const ExecutionRecord& first : records) {
+    for (const ExecutionRecord& second : records) {
+      for (std::size_t e = 0; e < explanations.size(); ++e) {
+        EXPECT_EQ(
+            IsApplicable(explanations[e], schema_, first, second, options_),
+            IsApplicableLazy(explanations[e], schema_, first, second,
+                             options_))
+            << "records (" << first.id << "," << second.id
+            << ") explanation " << e;
+      }
+    }
+  }
+}
+
+TEST_F(MetricsTest, IsApplicableAcceptsRecordsFromDifferentLogs) {
+  // One record from the fixture log, one ad-hoc: nothing requires the pair
+  // to share a log (the different-job experiment compares across logs).
+  const ExecutionRecord other = TinyRecord("elsewhere", 9, "blue", 210);
+  Explanation explanation;
+  explanation.because = Bound("x_compare = GT");
+  EXPECT_TRUE(
+      IsApplicable(explanation, schema_, other, log_.at(0), options_));
+  EXPECT_EQ(
+      IsApplicable(explanation, schema_, other, log_.at(0), options_),
+      IsApplicableLazy(explanation, schema_, other, log_.at(0), options_));
 }
 
 }  // namespace

@@ -112,6 +112,113 @@ TEST(PairFeatureKernelEdgeTest, BaseNumericNaNIsMissing) {
   EXPECT_FALSE(kernel::BaseNumeric(false, 1.0, true, 1.0).present);
 }
 
+TEST_F(PairFeatureKernelTest, PackedCodesRoundTripAndCountDisagreements) {
+  const ColumnarLog columns(log_);
+  const kernel::RawColumnTable table(columns);
+  const double sim = 0.1;
+  const std::size_t k = table.size();
+  const std::size_t n = log_.size();
+  const kernel::PackedIsSameCodes poi =
+      kernel::PackIsSameCodes(table, 0, 1, sim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const kernel::PackedIsSameCodes packed =
+          kernel::PackIsSameCodes(table, i, j, sim);
+      std::size_t scalar_disagree = 0;
+      for (std::size_t f = 0; f < k; ++f) {
+        const std::int8_t code = table.IsSame(f, i, j, sim);
+        EXPECT_EQ(packed.CodeAt(f), code)
+            << "pair (" << i << "," << j << ") feature " << f;
+        if (code != poi.CodeAt(f)) ++scalar_disagree;
+      }
+      EXPECT_EQ(kernel::CountPackedDisagreements(packed, poi),
+                scalar_disagree)
+          << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_F(PairFeatureKernelTest, ScanPairAgainstPoiMatchesScalarScan) {
+  const ColumnarLog columns(log_);
+  const kernel::RawColumnTable table(columns);
+  const double sim = 0.1;
+  const std::size_t k = table.size();
+  const std::size_t n = log_.size();
+  const kernel::PackedIsSameCodes poi =
+      kernel::PackIsSameCodes(table, 2, 3, sim);
+  std::vector<std::uint64_t> masks(poi.word_count());
+  std::vector<std::size_t> extracted;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      // Scalar reference: disagreeing features in ascending order.
+      std::vector<std::size_t> expected_features;
+      for (std::size_t f = 0; f < k; ++f) {
+        if (table.IsSame(f, i, j, sim) != poi.CodeAt(f)) {
+          expected_features.push_back(f);
+        }
+      }
+      for (std::size_t max_disagree : {std::size_t{0}, std::size_t{1}, k}) {
+        const std::size_t result = kernel::ScanPairAgainstPoi(
+            table, i, j, sim, poi, max_disagree, masks.data());
+        if (expected_features.size() > max_disagree) {
+          EXPECT_EQ(result, kernel::kPackedRejected)
+              << "pair (" << i << "," << j << ") max " << max_disagree;
+          continue;
+        }
+        ASSERT_EQ(result, expected_features.size())
+            << "pair (" << i << "," << j << ") max " << max_disagree;
+        extracted.clear();
+        kernel::AppendMaskedFeatures(masks.data(), poi.word_count(),
+                                     extracted);
+        EXPECT_EQ(extracted, expected_features)
+            << "pair (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(PackedIsSameCodesTest, MultiWordLayoutCrossesWordBoundaries) {
+  // 70 features spans three words; exercise fields on both sides of each
+  // boundary plus the partial final word.
+  const std::size_t k = 70;
+  kernel::PackedIsSameCodes a(k);
+  kernel::PackedIsSameCodes b(k);
+  EXPECT_EQ(a.word_count(), 3u);
+  EXPECT_EQ(a.features(), k);
+  // All fields start as 0b00 = F.
+  for (std::size_t f = 0; f < k; ++f) {
+    EXPECT_EQ(a.CodeAt(f), kernel::kFalseCode);
+  }
+  const std::size_t flipped[] = {0, 31, 32, 63, 64, 69};
+  for (std::size_t f : flipped) {
+    a.SetCode(f, kernel::kTrueCode);
+    b.SetCode(f, kernel::kMissingCode);
+  }
+  // Missing and T differ; everything else agrees (F vs F).
+  EXPECT_EQ(kernel::CountPackedDisagreements(a, b),
+            sizeof(flipped) / sizeof(flipped[0]));
+  for (std::size_t f : flipped) {
+    EXPECT_EQ(a.CodeAt(f), kernel::kTrueCode) << f;
+    EXPECT_EQ(b.CodeAt(f), kernel::kMissingCode) << f;
+  }
+  // Re-setting a field overwrites rather than ORs.
+  a.SetCode(31, kernel::kMissingCode);
+  EXPECT_EQ(a.CodeAt(31), kernel::kMissingCode);
+  a.SetCode(31, kernel::kFalseCode);
+  EXPECT_EQ(a.CodeAt(31), kernel::kFalseCode);
+  // Extraction reports ascending feature indexes across all three words
+  // (a(31) is now F vs b(31) Missing, still a disagreement).
+  std::vector<std::uint64_t> masks(a.word_count());
+  for (std::size_t w = 0; w < a.word_count(); ++w) {
+    masks[w] = kernel::PackedDisagreeMask(a.word(w), b.word(w));
+  }
+  std::vector<std::size_t> features;
+  kernel::AppendMaskedFeatures(masks.data(), masks.size(), features);
+  EXPECT_EQ(features, std::vector<std::size_t>({0, 31, 32, 63, 64, 69}));
+}
+
 TEST(PairFeatureKernelEdgeTest, CompareNaNIsGt) {
   // The Value path orders by `x < y ? LT : GT` after the similarity test;
   // NaN comparisons are false, so NaN lands on GT. The kernel must agree.

@@ -120,5 +120,56 @@ TEST(ReliefTest, WeightsWithinUnitInterval) {
   }
 }
 
+TEST(ReliefTest, StripedProbeLoopIsThreadCountInvariant) {
+  // The columnar backend stripes the probe loop across workers; every
+  // thread count must reproduce the serial Value-path weights bitwise —
+  // including with missing values in the log and more requested threads
+  // than probes.
+  ExecutionLog log = MakeRegressionLog(120, 16);
+  PX_CHECK(log.Add(ExecutionRecord("miss", {Value::Missing(),
+                                            Value::Number(2),
+                                            Value::Missing(),
+                                            Value::Number(70)}))
+               .ok());
+  const ColumnarLog columns(log);
+  Rng serial_rng(9);
+  const std::vector<double> serial =
+      RRelieff(log, 3, ReliefOptions(), serial_rng);
+  for (int threads : {1, 2, 3, 5, 8, 1000}) {
+    ReliefOptions options;
+    options.threads = threads;
+    Rng rng(9);
+    const std::vector<double> striped = RRelieff(columns, 3, options, rng);
+    ASSERT_EQ(striped.size(), serial.size()) << threads << " threads";
+    for (std::size_t f = 0; f < serial.size(); ++f) {
+      // Exact equality: the striped loop must replay the serial
+      // floating-point accumulation order.
+      EXPECT_EQ(striped[f], serial[f])
+          << threads << " threads, feature " << f;
+    }
+  }
+}
+
+TEST(ReliefTest, StripedRankingMatchesSerialWithFewProbes) {
+  // iterations < thread count and iterations > rows both stress the probe
+  // striping (empty stripes; order[] reuse via probe % m).
+  const ExecutionLog log = MakeRegressionLog(30, 17);
+  const ColumnarLog columns(log);
+  for (std::size_t iterations : {std::size_t{3}, std::size_t{64}}) {
+    ReliefOptions serial_options;
+    serial_options.iterations = iterations;
+    Rng serial_rng(10);
+    const auto serial =
+        RankFeaturesByImportance(log, 3, serial_options, serial_rng);
+    ReliefOptions striped_options = serial_options;
+    striped_options.threads = 7;
+    Rng striped_rng(10);
+    EXPECT_EQ(RankFeaturesByImportance(columns, 3, striped_options,
+                                       striped_rng),
+              serial)
+        << iterations << " iterations";
+  }
+}
+
 }  // namespace
 }  // namespace perfxplain

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fails when README.md or docs/ARCHITECTURE.md reference files, example
+binaries, or bench_micro benchmark names that do not exist in the tree.
+
+Checked reference kinds:
+  * path-like tokens rooted at src/, tests/, bench/, examples/, tools/,
+    docs/, or .github/ (brace groups like foo.{h,cc} are expanded, glob
+    stars are resolved with glob);
+  * BM_* google-benchmark names, which must appear in bench/*.cc;
+  * example_* binary names, which must match an examples/<name>.cpp.
+
+Run from the repository root:  python3 tools/check_docs_drift.py
+"""
+
+import glob
+import itertools
+import os
+import re
+import sys
+
+DOCS = ["README.md", "docs/ARCHITECTURE.md"]
+PATH_ROOTS = ("src/", "tests/", "bench/", "examples/", "tools/", "docs/",
+              ".github/")
+PATH_RE = re.compile(
+    r"(?:src|tests|bench|examples|tools|docs|\.github)/"
+    r"[A-Za-z0-9_./*{},\-]*[A-Za-z0-9_*}]")
+BENCH_RE = re.compile(r"\bBM_[A-Za-z0-9_]+")
+EXAMPLE_RE = re.compile(r"\bexample_[a-z0-9_]+")
+
+
+def expand_braces(token):
+    """foo.{h,cc} -> [foo.h, foo.cc]; nested braces are not needed."""
+    match = re.search(r"\{([^{}]*)\}", token)
+    if not match:
+        return [token]
+    head, tail = token[: match.start()], token[match.end():]
+    return list(
+        itertools.chain.from_iterable(
+            expand_braces(head + alt + tail)
+            for alt in match.group(1).split(",")))
+
+
+def subtokens(token):
+    """`src/pxql/lexer,parser` names siblings of one directory; yield each
+    as its own path stem."""
+    if "," in token and "{" not in token:
+        parts = token.split(",")
+        base_dir = os.path.dirname(parts[0])
+        yield parts[0]
+        for part in parts[1:]:
+            yield os.path.join(base_dir, part)
+    else:
+        yield token
+
+
+def check_path(token):
+    """Returns True when the token resolves to at least one real path.
+    Extension-less stems (prose like `src/ml/relief`) match any
+    `<stem>.*` file."""
+    for candidate in expand_braces(token):
+        if "*" in candidate:
+            if glob.glob(candidate):
+                return True
+        elif os.path.exists(candidate.rstrip("/")):
+            return True
+        elif "." not in os.path.basename(candidate):
+            if glob.glob(candidate + ".*"):
+                return True
+    return False
+
+
+def main():
+    # Names actually registered with google-benchmark, so a stale doc
+    # reference that is a prefix of a surviving name (or only appears in a
+    # comment) still fails.
+    registered_benches = set()
+    for path in glob.glob("bench/*.cc"):
+        with open(path, encoding="utf-8") as f:
+            registered_benches.update(
+                re.findall(r"BENCHMARK\((BM_[A-Za-z0-9_]+)\)", f.read()))
+
+    stale = []
+    for doc in DOCS:
+        if not os.path.exists(doc):
+            stale.append((doc, "(document itself is missing)"))
+            continue
+        with open(doc, encoding="utf-8") as f:
+            text = f.read()
+        for token in sorted(set(PATH_RE.findall(text))):
+            for sub in subtokens(token):
+                if not check_path(sub):
+                    stale.append((doc, sub))
+        for name in sorted(set(BENCH_RE.findall(text))):
+            # Entries may carry /arg suffixes in prose; the bare name is
+            # what must be registered as a benchmark.
+            if name.split("/")[0] not in registered_benches:
+                stale.append((doc, name))
+        for name in sorted(set(EXAMPLE_RE.findall(text))):
+            source = "examples/" + name[len("example_"):] + ".cpp"
+            if not os.path.exists(source):
+                stale.append((doc, name))
+
+    if stale:
+        print("Stale documentation references (file or name not found):")
+        for doc, token in stale:
+            print(f"  {doc}: {token}")
+        return 1
+    print(f"docs drift check OK: {', '.join(DOCS)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
