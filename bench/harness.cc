@@ -187,15 +187,20 @@ std::optional<ExplanationMetrics> RunOnce(const Fixture& fixture,
                                           const Fixture::SplitLogs& logs,
                                           Technique technique,
                                           std::size_t width,
-                                          const PerfXplain::Options& options) {
-  PerfXplain system(logs.train, options);
+                                          const EngineOptions& options) {
+  const Engine engine(logs.train, options);
   Explanation explanation;  // width 0: empty (true) explanation
   if (width > 0) {
-    auto result = system.ExplainWith(technique, fixture.query(), width);
-    if (!result.ok()) return std::nullopt;
-    explanation = std::move(result).value();
+    auto prepared = engine.Prepare(fixture.query());
+    if (!prepared.ok()) return std::nullopt;
+    ExplainRequest request;
+    request.technique = technique;
+    request.width = width;
+    auto response = engine.Explain(*prepared, request);
+    if (!response.ok()) return std::nullopt;
+    explanation = std::move(response).value().explanation;
   }
-  auto metrics = system.EvaluateOn(logs.test, fixture.query(), explanation);
+  auto metrics = engine.EvaluateOn(logs.test, fixture.query(), explanation);
   if (!metrics.ok()) return std::nullopt;
   return metrics.value();
 }

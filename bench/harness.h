@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/perfxplain.h"
 #include "log/execution_log.h"
 #include "pxql/query.h"
@@ -106,14 +107,15 @@ struct Series {
   std::string ToString() const;
 };
 
-/// Runs `technique` at `width` on the training log and returns the
-/// explanation's metrics over the test log, or nullopt when the technique
-/// could not produce an explanation for this run. Width 0 evaluates the
-/// empty explanation.
+/// Runs `technique` at `width` on the training log (through an Engine
+/// built per run, as each run trains on a different split) and returns
+/// the explanation's metrics over the test log, or nullopt when the
+/// technique could not produce an explanation for this run. Width 0
+/// evaluates the empty explanation.
 std::optional<ExplanationMetrics> RunOnce(
     const Fixture& fixture, const Fixture::SplitLogs& logs,
     Technique technique, std::size_t width,
-    const PerfXplain::Options& options = {});
+    const EngineOptions& options = {});
 
 /// "over N runs" with N taken from the parsed --runs count. Fig-bench
 /// headers derive their description from these helpers instead of

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "common/string_util.h"
-#include "core/perfxplain.h"
+#include "core/engine.h"
 #include "log/catalog.h"
 #include "simulator/trace_generator.h"
 
@@ -78,32 +78,33 @@ int main() {
   std::printf("job_small (1.3 GB): %6.0f s   <- user expected ~half\n",
               d_small);
 
-  px::PerfXplain system(std::move(trace.job_log));
+  px::Engine engine(std::move(trace.job_log));
 
   // "Despite having less input data, job_small had the same runtime as
   //  job_big. I expected it to be much faster." (Example 3 of the paper.)
-  auto explanation = system.ExplainText(
+  auto prepared = engine.PrepareText(
       "FOR J1, J2 WHERE J1.JobID = 'job_small' AND J2.JobID = 'job_big' "
       "DESPITE inputsize_compare = LT "
       "OBSERVED duration_compare = SIM "
       "EXPECTED duration_compare = LT");
-  if (!explanation.ok()) {
-    std::fprintf(stderr, "explain failed: %s\n",
-                 explanation.status().ToString().c_str());
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 prepared.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nexplanation:\n%s\n", explanation->ToString().c_str());
-
-  auto query = px::ParseQuery(
-      "FOR J1, J2 WHERE J1.JobID = 'job_small' AND J2.JobID = 'job_big' "
-      "DESPITE inputsize_compare = LT "
-      "OBSERVED duration_compare = SIM "
-      "EXPECTED duration_compare = LT");
-  auto metrics = system.Evaluate(query.value(), *explanation);
-  if (metrics.ok()) {
-    std::printf("\nrelevance %.3f  precision %.3f  generality %.3f\n",
-                metrics->relevance, metrics->precision, metrics->generality);
+  px::ExplainRequest request;
+  request.evaluate = true;
+  auto response = engine.Explain(*prepared, request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
   }
+  std::printf("\nexplanation:\n%s\n",
+              response->explanation.ToString().c_str());
+  std::printf("\nrelevance %.3f  precision %.3f  generality %.3f\n",
+              response->metrics->relevance, response->metrics->precision,
+              response->metrics->generality);
   std::printf(
       "\nreading: with few blocks relative to cluster capacity, runtime is "
       "the per-block processing time, so shrinking the input does not "

@@ -11,8 +11,8 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "core/engine.h"
 #include "core/pair_enumeration.h"
-#include "core/perfxplain.h"
 #include "log/catalog.h"
 #include "ml/relief.h"
 #include "simulator/trace_generator.h"
@@ -80,31 +80,35 @@ int main(int argc, char** argv) {
     std::printf("  %2zu. %s\n", i + 1, schema.at(ranking[i]).name.c_str());
   }
 
-  // A sample explanation for the paper's second evaluation query.
-  px::PerfXplain system(std::move(trace.job_log));
+  // A sample explanation for the paper's second evaluation query, through
+  // the engine's prepare-once/explain-many API.
+  px::Engine engine(std::move(trace.job_log));
   auto query = px::ParseQuery(
       "DESPITE numinstances_isSame = T AND pigscript_isSame = T "
       "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
   if (!query.ok()) return 1;
-  if (!query->Bind(system.pair_schema()).ok()) return 1;
-  auto poi = px::FindPairOfInterest(system.log(), system.pair_schema(),
+  if (!query->Bind(engine.pair_schema()).ok()) return 1;
+  auto poi = px::FindPairOfInterest(engine.log(), engine.pair_schema(),
                                     *query, px::PairFeatureOptions(),
                                     /*skip=*/100);
   if (!poi.ok()) return 1;
-  query->first_id = system.log().at(poi->first).id;
-  query->second_id = system.log().at(poi->second).id;
+  query->first_id = engine.log().at(poi->first).id;
+  query->second_id = engine.log().at(poi->second).id;
   std::printf("\nquery:\n%s\n", query->ToString().c_str());
-  auto explanation = system.Explain(*query);
-  if (!explanation.ok()) {
+  auto prepared = engine.Prepare(*query);
+  if (!prepared.ok()) return 1;
+  px::ExplainRequest request;
+  request.evaluate = true;
+  auto response = engine.Explain(*prepared, request);
+  if (!response.ok()) {
     std::fprintf(stderr, "explain failed: %s\n",
-                 explanation.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nexplanation:\n%s\n", explanation->ToString().c_str());
-  auto metrics = system.Evaluate(*query, *explanation);
-  if (metrics.ok()) {
-    std::printf("relevance %.3f  precision %.3f  generality %.3f\n",
-                metrics->relevance, metrics->precision, metrics->generality);
-  }
+  std::printf("\nexplanation:\n%s\n",
+              response->explanation.ToString().c_str());
+  std::printf("relevance %.3f  precision %.3f  generality %.3f\n",
+              response->metrics->relevance, response->metrics->precision,
+              response->metrics->generality);
   return 0;
 }

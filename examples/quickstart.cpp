@@ -1,6 +1,7 @@
-// Quickstart: simulate a small MapReduce job log, ask PerfXplain why one
-// job was slower than another despite running on the same number of
-// instances, and print the generated explanation with its quality metrics.
+// Quickstart: simulate a small MapReduce job log, ask the PerfXplain
+// engine why one job was slower than another despite running on the same
+// number of instances, and print the generated explanation with its
+// quality metrics.
 //
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j --target example_quickstart
@@ -9,8 +10,8 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "core/engine.h"
 #include "core/pair_enumeration.h"
-#include "core/perfxplain.h"
 #include "log/catalog.h"
 #include "simulator/trace_generator.h"
 
@@ -44,8 +45,10 @@ int main() {
   std::printf("simulated %zu jobs (%zu tasks)\n", trace.job_log.size(),
               trace.task_log.size());
 
-  // 2. Hand the job log to PerfXplain.
-  px::PerfXplain system(std::move(trace.job_log));
+  // 2. Hand the job log to the engine. The Engine holds an immutable
+  //    LogSnapshot (row log + columnar replica) that any number of
+  //    concurrent Explain calls share.
+  px::Engine engine(std::move(trace.job_log));
 
   // 3. Express the performance question in PXQL. We first locate a pair of
   //    interest that matches the question: J1 much slower than J2 even
@@ -60,31 +63,44 @@ int main() {
     return 1;
   }
   px::Query query = std::move(query_or).value();
-  if (!query.Bind(system.pair_schema()).ok()) return 1;
-  auto poi = px::FindPairOfInterest(system.log(), system.pair_schema(), query,
-                                    px::PairFeatureOptions());
+  if (!query.Bind(engine.pair_schema()).ok()) return 1;
+  auto poi = px::FindPairOfInterest(engine.log(), engine.pair_schema(),
+                                    query, px::PairFeatureOptions());
   if (!poi.ok()) {
     std::fprintf(stderr, "%s\n", poi.status().ToString().c_str());
     return 1;
   }
-  query.first_id = system.log().at(poi->first).id;
-  query.second_id = system.log().at(poi->second).id;
+  query.first_id = engine.log().at(poi->first).id;
+  query.second_id = engine.log().at(poi->second).id;
   std::printf("\nPXQL query:\n%s\n", query.ToString().c_str());
 
-  // 4. Generate and print the explanation.
-  auto explanation = system.Explain(query);
-  if (!explanation.ok()) {
-    std::fprintf(stderr, "explain failed: %s\n",
-                 explanation.status().ToString().c_str());
+  // 4. Prepare the query once (parse/bind/compile/resolve), then run it.
+  //    The PreparedQuery is reusable across calls and threads; asking for
+  //    evaluation scores the explanation against the log in the same
+  //    request (Definitions 4-6).
+  auto prepared = engine.Prepare(query);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 prepared.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nexplanation:\n%s\n", explanation->ToString().c_str());
+  px::ExplainRequest request;
+  request.evaluate = true;
+  auto response = engine.Explain(*prepared, request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nexplanation:\n%s\n",
+              response->explanation.ToString().c_str());
 
-  // 5. Score it against the log (Definitions 4-6).
-  auto metrics = system.Evaluate(query, *explanation);
-  if (!metrics.ok()) return 1;
+  // 5. The response carries the metrics and the measured latency.
   std::printf(
       "\nrelevance  %.3f\nprecision  %.3f\ngenerality %.3f\n",
-      metrics->relevance, metrics->precision, metrics->generality);
+      response->metrics->relevance, response->metrics->precision,
+      response->metrics->generality);
+  std::printf("\n(explain %.1f ms, evaluate %.1f ms)\n",
+              response->explain_ms, response->evaluate_ms);
   return 0;
 }

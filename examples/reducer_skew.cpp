@@ -10,9 +10,9 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "core/engine.h"
 #include "core/formatter.h"
 #include "core/pair_enumeration.h"
-#include "core/perfxplain.h"
 #include "log/catalog.h"
 #include "simulator/trace_generator.h"
 
@@ -43,7 +43,7 @@ int main() {
       });
   std::printf("reduce-task log: %zu tasks\n", reducers.size());
 
-  px::PerfXplain system(std::move(reducers));
+  px::Engine engine(std::move(reducers));
 
   // "Despite belonging to the same job, reducer T1 was much slower than
   //  T2. I expected all reducers of a job to take about as long."
@@ -53,7 +53,7 @@ int main() {
       "EXPECTED duration_compare = SIM");
   if (!query_or.ok()) return 1;
   px::Query query = std::move(query_or).value();
-  if (!query.Bind(system.pair_schema()).ok()) return 1;
+  if (!query.Bind(engine.pair_schema()).ok()) return 1;
 
   // Pick a pair where the slow reducer actually shuffled more data (the
   // finder constraint mirrors what the user sees in the task list).
@@ -62,30 +62,34 @@ int main() {
       px::ParsePredicate("reduce_input_bytes_compare = GT AND "
                          "pigscript = simple-groupby.pig")
           .value());
-  if (!finder.Bind(system.pair_schema()).ok()) return 1;
-  auto poi = px::FindPairOfInterest(system.log(), system.pair_schema(),
+  if (!finder.Bind(engine.pair_schema()).ok()) return 1;
+  auto poi = px::FindPairOfInterest(engine.log(), engine.pair_schema(),
                                     finder, px::PairFeatureOptions());
   if (!poi.ok()) {
     std::fprintf(stderr, "%s\n", poi.status().ToString().c_str());
     return 1;
   }
-  query.first_id = system.log().at(poi->first).id;
-  query.second_id = system.log().at(poi->second).id;
+  query.first_id = engine.log().at(poi->first).id;
+  query.second_id = engine.log().at(poi->second).id;
   std::printf("\nPXQL query:\n%s\n", query.ToString().c_str());
 
-  auto explanation = system.Explain(query);
-  if (!explanation.ok()) {
+  auto prepared = engine.Prepare(query);
+  if (!prepared.ok()) return 1;
+  px::ExplainRequest request;
+  request.evaluate = true;
+  auto response = engine.Explain(*prepared, request);
+  if (!response.ok()) {
     std::fprintf(stderr, "explain failed: %s\n",
-                 explanation.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nexplanation:\n%s\n", explanation->ToString().c_str());
-  std::printf("\nin English:\n%s\n",
-              px::RenderExplanationProse(query, *explanation).c_str());
-  auto metrics = system.Evaluate(query, *explanation);
-  if (metrics.ok()) {
-    std::printf("\nrelevance %.3f  precision %.3f  generality %.3f\n",
-                metrics->relevance, metrics->precision, metrics->generality);
-  }
+  std::printf("\nexplanation:\n%s\n",
+              response->explanation.ToString().c_str());
+  std::printf(
+      "\nin English:\n%s\n",
+      px::RenderExplanationProse(query, response->explanation).c_str());
+  std::printf("\nrelevance %.3f  precision %.3f  generality %.3f\n",
+              response->metrics->relevance, response->metrics->precision,
+              response->metrics->generality);
   return 0;
 }

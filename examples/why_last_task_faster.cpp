@@ -11,8 +11,8 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "core/engine.h"
 #include "core/pair_enumeration.h"
-#include "core/perfxplain.h"
 #include "log/catalog.h"
 #include "simulator/trace_generator.h"
 
@@ -36,7 +36,7 @@ int main() {
   std::printf("task log: %zu tasks from %zu jobs\n", trace.task_log.size(),
               trace.job_log.size());
 
-  px::PerfXplain system(std::move(trace.task_log));
+  px::Engine engine(std::move(trace.task_log));
 
   // Query 1 of the paper's evaluation: despite being in the same job, on
   // the same host, processing a similar amount of data, T1 (the last task)
@@ -48,7 +48,7 @@ int main() {
       "EXPECTED duration_compare = SIM");
   if (!query_or.ok()) return 1;
   px::Query query = std::move(query_or).value();
-  if (!query.Bind(system.pair_schema()).ok()) return 1;
+  if (!query.Bind(engine.pair_schema()).ok()) return 1;
 
   // Pick a pair of interest matching the paper's anecdote: T1 from a later
   // scheduling wave than T2 (the finder query adds that constraint; the
@@ -56,17 +56,17 @@ int main() {
   px::Query finder = query;
   finder.despite = finder.despite.And(
       px::ParsePredicate("wave_index_compare = GT").value());
-  if (!finder.Bind(system.pair_schema()).ok()) return 1;
-  auto poi = px::FindPairOfInterest(system.log(), system.pair_schema(),
+  if (!finder.Bind(engine.pair_schema()).ok()) return 1;
+  auto poi = px::FindPairOfInterest(engine.log(), engine.pair_schema(),
                                     finder, px::PairFeatureOptions());
   if (!poi.ok()) {
     std::fprintf(stderr, "%s\n", poi.status().ToString().c_str());
     return 1;
   }
-  query.first_id = system.log().at(poi->first).id;
-  query.second_id = system.log().at(poi->second).id;
+  query.first_id = engine.log().at(poi->first).id;
+  query.second_id = engine.log().at(poi->second).id;
 
-  const auto& schema = system.log().schema();
+  const auto& schema = engine.log().schema();
   const std::size_t f_duration =
       schema.IndexOf(px::feature_names::kDuration);
   const std::size_t f_wave = schema.IndexOf("wave_index");
@@ -74,25 +74,28 @@ int main() {
       "\npair of interest:\n  %s  (wave %.0f, %.1f s)\n  %s  (wave %.0f, "
       "%.1f s)\n",
       query.first_id.c_str(),
-      system.log().at(poi->first).values[f_wave].number(),
-      system.log().at(poi->first).values[f_duration].number(),
+      engine.log().at(poi->first).values[f_wave].number(),
+      engine.log().at(poi->first).values[f_duration].number(),
       query.second_id.c_str(),
-      system.log().at(poi->second).values[f_wave].number(),
-      system.log().at(poi->second).values[f_duration].number());
+      engine.log().at(poi->second).values[f_wave].number(),
+      engine.log().at(poi->second).values[f_duration].number());
   std::printf("\nPXQL query:\n%s\n", query.ToString().c_str());
 
-  auto explanation = system.Explain(query);
-  if (!explanation.ok()) {
+  auto prepared = engine.Prepare(query);
+  if (!prepared.ok()) return 1;
+  px::ExplainRequest request;
+  request.evaluate = true;
+  auto response = engine.Explain(*prepared, request);
+  if (!response.ok()) {
     std::fprintf(stderr, "explain failed: %s\n",
-                 explanation.status().ToString().c_str());
+                 response.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nexplanation:\n%s\n", explanation->ToString().c_str());
-  auto metrics = system.Evaluate(query, *explanation);
-  if (metrics.ok()) {
-    std::printf("\nrelevance %.3f  precision %.3f  generality %.3f\n",
-                metrics->relevance, metrics->precision, metrics->generality);
-  }
+  std::printf("\nexplanation:\n%s\n",
+              response->explanation.ToString().c_str());
+  std::printf("\nrelevance %.3f  precision %.3f  generality %.3f\n",
+              response->metrics->relevance, response->metrics->precision,
+              response->metrics->generality);
   std::printf(
       "\nreading: the slower task ran while its instance was busier "
       "(higher CPU/load/process counts), i.e., it shared the machine with "

@@ -1,0 +1,275 @@
+#include "core/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "pxql/parser.h"
+
+namespace perfxplain {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* TechniqueToString(Technique technique) {
+  switch (technique) {
+    case Technique::kPerfXplain:
+      return "PerfXplain";
+    case Technique::kRuleOfThumb:
+      return "RuleOfThumb";
+    case Technique::kSimButDiff:
+      return "SimButDiff";
+  }
+  return "?";
+}
+
+Engine::Engine(ExecutionLog log, EngineOptions options)
+    : Engine(std::make_shared<const LogSnapshot>(std::move(log)),
+             std::move(options)) {}
+
+Engine::Engine(std::shared_ptr<const LogSnapshot> snapshot,
+               EngineOptions options)
+    : snapshot_(std::move(snapshot)), options_(std::move(options)) {
+  PX_CHECK(snapshot_ != nullptr);
+  // Every technique scans the snapshot's one columnar replica.
+  explainer_ = std::make_unique<Explainer>(
+      &snapshot_->log(), options_.explainer, &snapshot_->columns());
+  sim_but_diff_ = std::make_unique<SimButDiff>(
+      &snapshot_->log(), options_.sim_but_diff, &snapshot_->columns());
+}
+
+const RuleOfThumb& Engine::rule_of_thumb() const {
+  std::call_once(rule_of_thumb_once_, [this] {
+    rule_of_thumb_ = std::make_unique<RuleOfThumb>(
+        &snapshot_->log(), options_.rule_of_thumb, &snapshot_->columns());
+  });
+  return *rule_of_thumb_;
+}
+
+Result<PreparedQuery> Engine::Prepare(const Query& query) const {
+  PreparedQuery prepared;
+  prepared.snapshot_ = snapshot_;
+  prepared.bound_ = query;
+  Query& bound = prepared.bound_;
+  PX_RETURN_IF_ERROR(bound.Bind(snapshot_->pair_schema()));
+  PX_RETURN_IF_ERROR(bound.Validate());
+  if (bound.first_id.empty() || bound.second_id.empty()) {
+    return Status::InvalidArgument(
+        "query must identify the pair of interest (FOR ... WHERE)");
+  }
+  auto first = snapshot_->log().Find(bound.first_id);
+  if (!first.ok()) return first.status();
+  auto second = snapshot_->log().Find(bound.second_id);
+  if (!second.ok()) return second.status();
+  prepared.poi_first_ = first.value();
+  prepared.poi_second_ = second.value();
+  prepared.compiled_ = CompiledQuery::Compile(
+      bound, snapshot_->pair_schema(), snapshot_->columns());
+  prepared.definition1_ =
+      CheckDefinition1(prepared.compiled_, prepared.poi_first_,
+                       prepared.poi_second_,
+                       options_.explainer.pair.sim_fraction);
+  return prepared;
+}
+
+Result<PreparedQuery> Engine::PrepareText(const std::string& pxql) const {
+  auto query = ParseQuery(pxql);
+  if (!query.ok()) return query.status();
+  return Prepare(query.value());
+}
+
+Status Engine::Definition1(const PreparedQuery& prepared) const {
+  // Re-derived under THIS engine's similarity fraction rather than read
+  // from the recorded status: engines sharing a snapshot may run different
+  // options, and the check costs three program evaluations on one pair.
+  return CheckDefinition1(prepared.compiled(), prepared.poi_first(),
+                          prepared.poi_second(),
+                          options_.explainer.pair.sim_fraction);
+}
+
+Result<Explanation> Engine::Generate(const PreparedQuery& prepared,
+                                     const ExplainRequest& request) const {
+  const std::size_t width =
+      request.width > 0 ? request.width : options_.explainer.width;
+  switch (request.technique) {
+    case Technique::kPerfXplain: {
+      PX_RETURN_IF_ERROR(Definition1(prepared));
+      ExplainerOptions explainer_options = options_.explainer;
+      explainer_options.width = width;
+      if (request.seed.has_value()) explainer_options.seed = *request.seed;
+      if (request.threads.has_value()) {
+        explainer_options.threads = *request.threads;
+      }
+      if (request.auto_despite) {
+        return explainer_->ExplainWithAutoDespitePrepared(
+            prepared.bound(), prepared.poi_first(), prepared.poi_second(),
+            explainer_options);
+      }
+      return explainer_->ExplainPrepared(prepared.bound(),
+                                         prepared.poi_first(),
+                                         prepared.poi_second(),
+                                         explainer_options);
+    }
+    case Technique::kRuleOfThumb:
+      return rule_of_thumb().ExplainPrepared(prepared.bound(),
+                                             prepared.poi_first(),
+                                             prepared.poi_second(), width);
+    case Technique::kSimButDiff:
+      return sim_but_diff_->ExplainPrepared(
+          prepared.bound(), prepared.compiled(), prepared.poi_first(),
+          prepared.poi_second(), width,
+          request.threads.value_or(options_.sim_but_diff.threads));
+  }
+  return Status::InvalidArgument("unknown technique");
+}
+
+Status Engine::CheckPrepared(const PreparedQuery& prepared) const {
+  if (prepared.snapshot_ != snapshot_) {
+    return Status::InvalidArgument(
+        "PreparedQuery was not prepared against this engine's snapshot");
+  }
+  return Status::OK();
+}
+
+Result<ExplainResponse> Engine::Explain(const PreparedQuery& prepared,
+                                        const ExplainRequest& request) const {
+  PX_RETURN_IF_ERROR(CheckPrepared(prepared));
+  const Clock::time_point start = Clock::now();
+  auto explanation = Generate(prepared, request);
+  if (!explanation.ok()) return explanation.status();
+  ExplainResponse response;
+  response.technique = request.technique;
+  response.explanation = std::move(explanation).value();
+  response.explain_ms = MsSince(start);
+  if (request.evaluate) {
+    const Clock::time_point evaluate_start = Clock::now();
+    auto metrics = Evaluate(prepared, response.explanation);
+    if (!metrics.ok()) return metrics.status();
+    response.metrics = metrics.value();
+    response.evaluate_ms = MsSince(evaluate_start);
+  }
+  return response;
+}
+
+std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
+    const std::vector<BatchItem>& items) const {
+  std::vector<Result<ExplainResponse>> responses;
+  responses.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    responses.push_back(Status::Internal("batch item not answered"));
+  }
+
+  // The batch's SimButDiff requests share one ordered-pair scan; everything
+  // else runs through the per-call path below.
+  std::vector<std::size_t> batched;
+  std::vector<SimButDiff::PreparedBatchQuery> queries;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    if (item.prepared == nullptr) {
+      responses[i] = Status::InvalidArgument("batch item has no query");
+      continue;
+    }
+    if (Status prepared_status = CheckPrepared(*item.prepared);
+        !prepared_status.ok()) {
+      responses[i] = prepared_status;
+      continue;
+    }
+    if (item.request.technique != Technique::kSimButDiff) continue;
+    SimButDiff::PreparedBatchQuery query;
+    query.bound = &item.prepared->bound();
+    query.compiled = &item.prepared->compiled();
+    query.poi_first = item.prepared->poi_first();
+    query.poi_second = item.prepared->poi_second();
+    query.width = item.request.width > 0 ? item.request.width
+                                         : options_.explainer.width;
+    batched.push_back(i);
+    queries.push_back(query);
+  }
+
+  if (batched.size() > 1) {
+    const Clock::time_point start = Clock::now();
+    std::vector<Result<Explanation>> results =
+        sim_but_diff_->ExplainBatch(queries, options_.sim_but_diff.threads);
+    const double amortized_ms =
+        MsSince(start) / static_cast<double>(batched.size());
+    for (std::size_t b = 0; b < batched.size(); ++b) {
+      const std::size_t i = batched[b];
+      if (!results[b].ok()) {
+        responses[i] = results[b].status();
+        continue;
+      }
+      ExplainResponse response;
+      response.technique = Technique::kSimButDiff;
+      response.explanation = std::move(results[b]).value();
+      response.explain_ms = amortized_ms;
+      response.batched = true;
+      if (items[i].request.evaluate) {
+        const Clock::time_point evaluate_start = Clock::now();
+        auto metrics = Evaluate(*items[i].prepared, response.explanation);
+        if (!metrics.ok()) {
+          responses[i] = metrics.status();
+          continue;
+        }
+        response.metrics = metrics.value();
+        response.evaluate_ms = MsSince(evaluate_start);
+      }
+      responses[i] = std::move(response);
+    }
+  } else {
+    // A lone SimButDiff request gains nothing from the batch machinery.
+    batched.clear();
+  }
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    if (item.prepared == nullptr) continue;
+    if (item.request.technique == Technique::kSimButDiff &&
+        batched.size() > 1) {
+      continue;
+    }
+    responses[i] = Explain(*item.prepared, item.request);
+  }
+  return responses;
+}
+
+Result<Predicate> Engine::GenerateDespite(const PreparedQuery& prepared,
+                                          std::size_t width) const {
+  PX_RETURN_IF_ERROR(CheckPrepared(prepared));
+  PX_RETURN_IF_ERROR(Definition1(prepared));
+  return explainer_->GenerateDespitePrepared(
+      prepared.bound(), prepared.poi_first(), prepared.poi_second(),
+      width > 0 ? width : options_.explainer.despite_width,
+      options_.explainer);
+}
+
+Result<ExplanationMetrics> Engine::Evaluate(
+    const PreparedQuery& prepared, const Explanation& explanation) const {
+  PX_RETURN_IF_ERROR(CheckPrepared(prepared));
+  return EvaluateOn(snapshot_->log(), prepared.bound(), explanation);
+}
+
+Result<ExplanationMetrics> Engine::EvaluateOn(
+    const ExecutionLog& test_log, const Query& query,
+    const Explanation& explanation) const {
+  if (!(test_log.schema() == snapshot_->log().schema())) {
+    return Status::InvalidArgument("test log schema differs from training");
+  }
+  Query bound = query;
+  PX_RETURN_IF_ERROR(bound.Bind(snapshot_->pair_schema()));
+  Explanation bound_explanation = explanation;
+  PX_RETURN_IF_ERROR(
+      bound_explanation.despite.Bind(snapshot_->pair_schema()));
+  PX_RETURN_IF_ERROR(
+      bound_explanation.because.Bind(snapshot_->pair_schema()));
+  return EvaluateExplanation(test_log, snapshot_->pair_schema(), bound,
+                             bound_explanation, options_.explainer.pair);
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,267 @@
+#ifndef PERFXPLAIN_CORE_ENGINE_H_
+#define PERFXPLAIN_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/explainer.h"
+#include "core/explanation.h"
+#include "core/metrics.h"
+#include "core/rule_of_thumb.h"
+#include "core/sim_but_diff.h"
+#include "log/columnar.h"
+#include "log/execution_log.h"
+#include "pxql/compiled_predicate.h"
+#include "pxql/parser.h"
+#include "pxql/query.h"
+
+namespace perfxplain {
+
+/// Which explanation-generation technique to run (§4 and §5).
+enum class Technique {
+  kPerfXplain,
+  kRuleOfThumb,
+  kSimButDiff,
+};
+
+const char* TechniqueToString(Technique technique);
+
+/// The immutable data a query runs against: one log of past executions,
+/// its pair schema, and the dictionary-encoded columnar replica every scan
+/// reads. A snapshot is built once and never mutated afterwards, so any
+/// number of Engines, PreparedQueries and worker threads may share one
+/// through a shared_ptr<const LogSnapshot> — the serving-engine split
+/// between shared immutable data and cheap per-request state.
+class LogSnapshot {
+ public:
+  explicit LogSnapshot(ExecutionLog log)
+      : log_(std::move(log)), schema_(log_.schema()), columns_(log_) {}
+
+  LogSnapshot(const LogSnapshot&) = delete;
+  LogSnapshot& operator=(const LogSnapshot&) = delete;
+
+  const ExecutionLog& log() const { return log_; }
+  const PairSchema& pair_schema() const { return schema_; }
+  const ColumnarLog& columns() const { return columns_; }
+
+ private:
+  ExecutionLog log_;
+  PairSchema schema_;
+  ColumnarLog columns_;
+};
+
+/// Per-technique tunables of one Engine. Fixed at construction; per-request
+/// variation goes through ExplainRequest instead.
+struct EngineOptions {
+  ExplainerOptions explainer;
+  RuleOfThumbOptions rule_of_thumb;
+  SimButDiffOptions sim_but_diff;
+};
+
+/// A parsed, bound, compiled query with its pair of interest resolved —
+/// the per-request state of the service API. Built once by
+/// Engine::Prepare and reusable across any number of Explain calls (and
+/// threads): the parse/bind/validate/compile/find work is never repeated.
+/// A PreparedQuery pins the snapshot it was prepared against, so it stays
+/// valid even if the Engine is destroyed first; it must only be passed to
+/// an Engine sharing the same snapshot (enforced — other engines reject
+/// it with InvalidArgument, since its compiled programs point into this
+/// snapshot's columns).
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  /// The bound query (predicates bound to the snapshot's pair schema).
+  const Query& bound() const { return bound_; }
+  /// Row indexes of the pair of interest in the snapshot's log.
+  std::size_t poi_first() const { return poi_first_; }
+  std::size_t poi_second() const { return poi_second_; }
+  /// The query's des/obs/exp programs compiled against the snapshot's
+  /// columns.
+  const CompiledQuery& compiled() const { return compiled_; }
+  /// Definition 1 status: OK when des and obs hold for the pair of
+  /// interest and exp does not, under the preparing engine's similarity
+  /// fraction. Only the PerfXplain technique enforces Definition 1 — the
+  /// baselines answer queries whose pair of interest violates it, as
+  /// they always did — and enforcement re-derives the check under the
+  /// *executing* engine's options (engines sharing a snapshot may run
+  /// different similarity fractions).
+  const Status& definition1() const { return definition1_; }
+  /// The snapshot this query was prepared against.
+  const std::shared_ptr<const LogSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+
+ private:
+  friend class Engine;
+
+  std::shared_ptr<const LogSnapshot> snapshot_;
+  Query bound_;
+  std::size_t poi_first_ = 0;
+  std::size_t poi_second_ = 0;
+  CompiledQuery compiled_;
+  Status definition1_;
+};
+
+/// One explanation request: the technique to run plus the per-request
+/// knobs. Everything not settable here comes from the EngineOptions fixed
+/// at Engine construction.
+struct ExplainRequest {
+  Technique technique = Technique::kPerfXplain;
+
+  /// Number of atoms in the because clause; 0 uses the engine's configured
+  /// ExplainerOptions::width.
+  std::size_t width = 0;
+
+  /// PerfXplain technique only: machine-generate a des' clause first and
+  /// fold it into the query (§4.2 / §6.4). Ignored by the baselines.
+  bool auto_despite = false;
+
+  /// Also measure the explanation's metrics over the engine's log (an
+  /// O(n^2) scan — off by default).
+  bool evaluate = false;
+
+  /// Override of the sampling seed (PerfXplain technique). Explanations
+  /// stay deterministic given (snapshot, query, options, seed).
+  std::optional<std::uint64_t> seed;
+
+  /// Override of the enumeration worker-thread count for this request.
+  /// Observation-free: results are identical for every value.
+  std::optional<int> threads;
+};
+
+/// What one request produced: the explanation plus measured wall-clock
+/// timings (and metrics when requested).
+struct ExplainResponse {
+  Technique technique = Technique::kPerfXplain;
+  Explanation explanation;
+
+  /// Metrics over the engine's log, when ExplainRequest::evaluate was set.
+  std::optional<ExplanationMetrics> metrics;
+
+  /// Wall-clock cost of generating the explanation. For requests answered
+  /// by the shared scan of ExplainBatch this is the amortized share
+  /// (scan time / batched requests) — the batch's whole point.
+  double explain_ms = 0.0;
+  /// Wall-clock cost of the evaluate scan (0 when not requested).
+  double evaluate_ms = 0.0;
+  /// True when the response came from an ExplainBatch shared scan.
+  bool batched = false;
+};
+
+/// The thread-safe service facade: one immutable LogSnapshot, one
+/// Explainer/SimButDiff/RuleOfThumb bound to it, and stateless per-request
+/// execution. `Explain` is safe to call from any number of threads
+/// concurrently — all technique state is immutable after construction
+/// except the lazily built RuleOfThumb ranking, which is initialized
+/// behind std::call_once (the fix for the old facade's lazy-init race).
+///
+/// Typical use:
+///   Engine engine(std::move(job_log));
+///   auto prepared = engine.PrepareText(
+///       "FOR J1, J2 WHERE J1.JobID = 'job_000001' AND "
+///       "J2.JobID = 'job_000002' "
+///       "DESPITE numinstances_isSame = T "
+///       "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+///   ExplainRequest request;
+///   request.evaluate = true;
+///   auto response = engine.Explain(*prepared, request);
+class Engine {
+ public:
+  explicit Engine(ExecutionLog log, EngineOptions options = {});
+  /// Shares an existing snapshot (e.g. with other Engines serving the
+  /// same log under different options).
+  explicit Engine(std::shared_ptr<const LogSnapshot> snapshot,
+                  EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const std::shared_ptr<const LogSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+  const ExecutionLog& log() const { return snapshot_->log(); }
+  const PairSchema& pair_schema() const { return snapshot_->pair_schema(); }
+  const EngineOptions& options() const { return options_; }
+  const Explainer& explainer() const { return *explainer_; }
+
+  /// Parses, binds, validates and compiles the query and resolves its pair
+  /// of interest — everything per-query that does not depend on the
+  /// request. Definition 1 is checked here but only recorded (see
+  /// PreparedQuery::definition1).
+  Result<PreparedQuery> Prepare(const Query& query) const;
+  Result<PreparedQuery> PrepareText(const std::string& pxql) const;
+
+  /// Runs one request against a prepared query. Thread-safe and const:
+  /// concurrent calls with the same arguments produce bitwise-identical
+  /// responses.
+  Result<ExplainResponse> Explain(const PreparedQuery& prepared,
+                                  const ExplainRequest& request = {}) const;
+
+  /// One request of a batch.
+  struct BatchItem {
+    const PreparedQuery* prepared = nullptr;
+    ExplainRequest request;
+  };
+
+  /// Answers a batch of requests, amortizing per-pair work across the
+  /// batch's SimButDiff requests: they share ONE ordered-pair scan in
+  /// which each pair is classified once per distinct query shape and its
+  /// packed isSame codes are built once and reused by every agreement
+  /// test (SimButDiff::ExplainBatch). All other requests run through
+  /// Explain. Results are bitwise identical to issuing the requests
+  /// one-by-one; responses line up with `items`. The shared scan uses the
+  /// engine's configured SimButDiff thread count (per-request `threads`
+  /// overrides apply only to non-batched requests).
+  std::vector<Result<ExplainResponse>> ExplainBatch(
+      const std::vector<BatchItem>& items) const;
+
+  /// Generates only a des' clause of width `width` (0 = the engine's
+  /// despite_width) for an under-specified query (§6.4).
+  Result<Predicate> GenerateDespite(const PreparedQuery& prepared,
+                                    std::size_t width = 0) const;
+
+  /// Measures an explanation's metrics over this engine's log.
+  Result<ExplanationMetrics> Evaluate(const PreparedQuery& prepared,
+                                      const Explanation& explanation) const;
+
+  /// Measures an explanation over a different log (e.g. the held-out test
+  /// log of the §6.1 protocol), which must share this log's schema.
+  Result<ExplanationMetrics> EvaluateOn(const ExecutionLog& test_log,
+                                        const Query& query,
+                                        const Explanation& explanation) const;
+
+ private:
+  /// The lazily built RuleOfThumb (its construction runs a full RReliefF
+  /// ranking pass). std::call_once makes the first concurrent callers
+  /// race-free; every later call is a plain load.
+  const RuleOfThumb& rule_of_thumb() const;
+
+  /// Rejects a PreparedQuery that was not prepared against this engine's
+  /// snapshot (its compiled programs would point into another log's
+  /// columns) — including default-constructed ones.
+  Status CheckPrepared(const PreparedQuery& prepared) const;
+
+  /// Definition 1 under THIS engine's similarity fraction (see
+  /// PreparedQuery::definition1).
+  Status Definition1(const PreparedQuery& prepared) const;
+
+  Result<Explanation> Generate(const PreparedQuery& prepared,
+                               const ExplainRequest& request) const;
+
+  std::shared_ptr<const LogSnapshot> snapshot_;
+  EngineOptions options_;
+  std::unique_ptr<Explainer> explainer_;
+  std::unique_ptr<SimButDiff> sim_but_diff_;
+  mutable std::once_flag rule_of_thumb_once_;
+  mutable std::unique_ptr<RuleOfThumb> rule_of_thumb_;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_CORE_ENGINE_H_

@@ -285,9 +285,34 @@ const ExecutionLog& CheckedLog(const ExecutionLog* log) {
 
 }  // namespace
 
-Explainer::Explainer(const ExecutionLog* log, ExplainerOptions options)
-    : log_(&CheckedLog(log)), options_(options), schema_(log->schema()),
-      columnar_(std::make_unique<ColumnarLog>(*log)) {}
+Status CheckDefinition1(const CompiledQuery& compiled, std::size_t first,
+                        std::size_t second, double sim_fraction) {
+  if (!compiled.despite.Eval(first, second, sim_fraction)) {
+    return Status::FailedPrecondition(
+        "the pair of interest does not satisfy the DESPITE clause");
+  }
+  if (!compiled.observed.Eval(first, second, sim_fraction)) {
+    return Status::FailedPrecondition(
+        "the pair of interest does not satisfy the OBSERVED clause");
+  }
+  if (compiled.expected.Eval(first, second, sim_fraction)) {
+    return Status::FailedPrecondition(
+        "the pair of interest satisfies the EXPECTED clause; there is "
+        "nothing to explain");
+  }
+  return Status::OK();
+}
+
+Explainer::Explainer(const ExecutionLog* log, ExplainerOptions options,
+                     const ColumnarLog* columns)
+    : log_(&CheckedLog(log)), options_(options), schema_(log->schema()) {
+  if (columns == nullptr) {
+    owned_columnar_ = std::make_unique<ColumnarLog>(*log);
+    columnar_ = owned_columnar_.get();
+  } else {
+    columnar_ = columns;
+  }
+}
 
 Result<Query> Explainer::PrepareQuery(const Query& query) const {
   Query bound = query;
@@ -306,20 +331,9 @@ Result<Query> Explainer::PrepareQuery(const Query& query) const {
   // encoded-only (no Value is ever materialized for a pair feature).
   const CompiledQuery compiled =
       CompiledQuery::Compile(bound, schema_, *columnar_);
-  const double sim = options_.pair.sim_fraction;
-  if (!compiled.despite.Eval(first.value(), second.value(), sim)) {
-    return Status::FailedPrecondition(
-        "the pair of interest does not satisfy the DESPITE clause");
-  }
-  if (!compiled.observed.Eval(first.value(), second.value(), sim)) {
-    return Status::FailedPrecondition(
-        "the pair of interest does not satisfy the OBSERVED clause");
-  }
-  if (compiled.expected.Eval(first.value(), second.value(), sim)) {
-    return Status::FailedPrecondition(
-        "the pair of interest satisfies the EXPECTED clause; there is "
-        "nothing to explain");
-  }
+  PX_RETURN_IF_ERROR(CheckDefinition1(compiled, first.value(),
+                                      second.value(),
+                                      options_.pair.sim_fraction));
   return bound;
 }
 
@@ -349,22 +363,29 @@ Result<std::vector<TrainingExample>> Explainer::BuildExamples(
 Result<EncodedDataset> Explainer::BuildEncodedExamples(
     const Query& bound_query, std::size_t poi_first,
     std::size_t poi_second) const {
-  Rng rng(options_.seed);
+  return BuildEncodedExamplesWith(bound_query, poi_first, poi_second,
+                                  options_);
+}
+
+Result<EncodedDataset> Explainer::BuildEncodedExamplesWith(
+    const Query& bound_query, std::size_t poi_first, std::size_t poi_second,
+    const ExplainerOptions& options) const {
+  Rng rng(options.seed);
   const CompiledQuery compiled =
       CompiledQuery::Compile(bound_query, schema_, *columnar_);
   auto sampled = SampleRelatedPairs(
       *columnar_, compiled, poi_first, poi_second,
-      options_.pair.sim_fraction, options_.sampler, rng,
-      options_.balanced_sampling, EnumerationOptions{options_.threads});
+      options.pair.sim_fraction, options.sampler, rng,
+      options.balanced_sampling, EnumerationOptions{options.threads});
   if (!sampled.ok()) return sampled.status();
   std::vector<PairRef> pairs = std::move(sampled).value();
-  if (options_.max_pairs_per_record > 0) {
+  if (options.max_pairs_per_record > 0) {
     pairs = EnforceRecordDiversity(std::move(pairs),
-                                   options_.max_pairs_per_record,
+                                   options.max_pairs_per_record,
                                    /*keep_first=*/true);
   }
   return EncodedDataset(*columnar_, schema_, pairs,
-                        options_.pair.sim_fraction);
+                        options.pair.sim_fraction);
 }
 
 std::vector<ExplanationAtom> Explainer::GenerateClause(
@@ -397,16 +418,22 @@ Predicate Explainer::ClauseToPredicate(
 Result<Explanation> Explainer::Explain(const Query& query) const {
   auto bound = PrepareQuery(query);
   if (!bound.ok()) return bound.status();
-  const std::size_t poi_first = log_->Find(bound->first_id).value();
-  const std::size_t poi_second = log_->Find(bound->second_id).value();
-  auto examples = BuildEncodedExamples(*bound, poi_first, poi_second);
+  return ExplainPrepared(*bound, log_->Find(bound->first_id).value(),
+                         log_->Find(bound->second_id).value(), options_);
+}
+
+Result<Explanation> Explainer::ExplainPrepared(
+    const Query& bound, std::size_t poi_first, std::size_t poi_second,
+    const ExplainerOptions& options) const {
+  auto examples =
+      BuildEncodedExamplesWith(bound, poi_first, poi_second, options);
   if (!examples.ok()) return examples.status();
 
   Explanation explanation;
-  explanation.because_trace = GenerateClause(
-      examples.value(), options_.width,
-      /*target_expected=*/false, ExcludedRawFeatures(*bound),
-      bound->despite.atoms());
+  EncodedClauseDataset working(examples.value(), /*target_expected=*/false);
+  explanation.because_trace =
+      GenerateClauseWith(working, schema_, options, options.width,
+                         ExcludedRawFeatures(bound), bound.despite.atoms());
   explanation.because = ClauseToPredicate(explanation.because_trace);
   if (explanation.because.is_true()) {
     return Status::Internal("no applicable because clause could be built");
@@ -418,14 +445,22 @@ Result<Predicate> Explainer::GenerateDespite(const Query& query,
                                              std::size_t width) const {
   auto bound = PrepareQuery(query);
   if (!bound.ok()) return bound.status();
-  const std::size_t poi_first = log_->Find(bound->first_id).value();
-  const std::size_t poi_second = log_->Find(bound->second_id).value();
-  auto examples = BuildEncodedExamples(*bound, poi_first, poi_second);
+  return GenerateDespitePrepared(*bound,
+                                 log_->Find(bound->first_id).value(),
+                                 log_->Find(bound->second_id).value(), width,
+                                 options_);
+}
+
+Result<Predicate> Explainer::GenerateDespitePrepared(
+    const Query& bound, std::size_t poi_first, std::size_t poi_second,
+    std::size_t width, const ExplainerOptions& options) const {
+  auto examples =
+      BuildEncodedExamplesWith(bound, poi_first, poi_second, options);
   if (!examples.ok()) return examples.status();
-  const std::vector<ExplanationAtom> trace = GenerateClause(
-      examples.value(), width,
-      /*target_expected=*/true, ExcludedRawFeatures(*bound),
-      bound->despite.atoms());
+  EncodedClauseDataset working(examples.value(), /*target_expected=*/true);
+  const std::vector<ExplanationAtom> trace =
+      GenerateClauseWith(working, schema_, options, width,
+                         ExcludedRawFeatures(bound), bound.despite.atoms());
   return ClauseToPredicate(trace);
 }
 
@@ -433,20 +468,28 @@ Result<Explanation> Explainer::ExplainWithAutoDespite(
     const Query& query) const {
   auto bound = PrepareQuery(query);
   if (!bound.ok()) return bound.status();
-  const std::size_t poi_first = log_->Find(bound->first_id).value();
-  const std::size_t poi_second = log_->Find(bound->second_id).value();
-  auto examples = BuildEncodedExamples(*bound, poi_first, poi_second);
+  return ExplainWithAutoDespitePrepared(
+      *bound, log_->Find(bound->first_id).value(),
+      log_->Find(bound->second_id).value(), options_);
+}
+
+Result<Explanation> Explainer::ExplainWithAutoDespitePrepared(
+    const Query& bound, std::size_t poi_first, std::size_t poi_second,
+    const ExplainerOptions& options) const {
+  auto examples =
+      BuildEncodedExamplesWith(bound, poi_first, poi_second, options);
   if (!examples.ok()) return examples.status();
 
   // des' clause first, truncated at the relevance threshold.
-  std::vector<ExplanationAtom> despite_trace = GenerateClause(
-      examples.value(), options_.despite_width,
-      /*target_expected=*/true, ExcludedRawFeatures(*bound),
-      bound->despite.atoms());
+  EncodedClauseDataset despite_working(examples.value(),
+                                       /*target_expected=*/true);
+  std::vector<ExplanationAtom> despite_trace = GenerateClauseWith(
+      despite_working, schema_, options, options.despite_width,
+      ExcludedRawFeatures(bound), bound.despite.atoms());
   std::size_t keep = despite_trace.size();
   for (std::size_t i = 0; i < despite_trace.size(); ++i) {
     if (despite_trace[i].metric_after >=
-        options_.despite_relevance_threshold) {
+        options.despite_relevance_threshold) {
       keep = i + 1;
       break;
     }
@@ -458,15 +501,16 @@ Result<Explanation> Explainer::ExplainWithAutoDespite(
   explanation.despite = ClauseToPredicate(despite_trace);
 
   // bec clause in the context of des AND des'.
-  Query extended = *bound;
+  Query extended = bound;
   extended.despite = extended.despite.And(explanation.despite);
   auto extended_examples =
-      BuildEncodedExamples(extended, poi_first, poi_second);
+      BuildEncodedExamplesWith(extended, poi_first, poi_second, options);
   if (!extended_examples.ok()) return extended_examples.status();
-  explanation.because_trace = GenerateClause(
-      extended_examples.value(), options_.width,
-      /*target_expected=*/false, ExcludedRawFeatures(extended),
-      extended.despite.atoms());
+  EncodedClauseDataset because_working(extended_examples.value(),
+                                       /*target_expected=*/false);
+  explanation.because_trace = GenerateClauseWith(
+      because_working, schema_, options, options.width,
+      ExcludedRawFeatures(extended), extended.despite.atoms());
   explanation.because = ClauseToPredicate(explanation.because_trace);
   if (explanation.because.is_true()) {
     return Status::Internal("no applicable because clause could be built");

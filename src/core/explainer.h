@@ -13,6 +13,7 @@
 #include "log/execution_log.h"
 #include "ml/encoded_dataset.h"
 #include "ml/sampler.h"
+#include "pxql/compiled_predicate.h"
 #include "pxql/query.h"
 
 namespace perfxplain {
@@ -82,8 +83,12 @@ struct ExplainerOptions {
 /// explanations.
 class Explainer {
  public:
-  /// `log` must outlive the explainer.
-  Explainer(const ExecutionLog* log, ExplainerOptions options);
+  /// `log` must outlive the explainer. When `columns` is non-null it must
+  /// be the columnar copy of `log` (and outlive this object too); the
+  /// explainer then shares it instead of building its own — the Engine
+  /// passes its snapshot's so every technique scans one replica.
+  Explainer(const ExecutionLog* log, ExplainerOptions options,
+            const ColumnarLog* columns = nullptr);
 
   const PairSchema& pair_schema() const { return schema_; }
   const ExplainerOptions& options() const { return options_; }
@@ -105,6 +110,27 @@ class Explainer {
   /// Generates a des' clause (stopping early at the relevance threshold),
   /// folds it into the query, then generates the bec clause in its context.
   Result<Explanation> ExplainWithAutoDespite(const Query& query) const;
+
+  /// The entry points behind Engine::Explain: the same three pipelines
+  /// starting from a query already prepared (bound, validated, Definition 1
+  /// checked — see PrepareQuery) with its pair of interest resolved, under
+  /// explicit per-request options. The parse/bind/resolve work is paid once
+  /// per PreparedQuery instead of once per call. `options` may differ from
+  /// the constructor options only in width / despite_width / seed /
+  /// threads: anything that changes pair semantics (sim_fraction, level,
+  /// sampling sizes) would desynchronize the check PrepareQuery already
+  /// performed. Thread-safe: these methods touch only immutable state and
+  /// call-local Rngs.
+  Result<Explanation> ExplainPrepared(const Query& bound,
+                                      std::size_t poi_first,
+                                      std::size_t poi_second,
+                                      const ExplainerOptions& options) const;
+  Result<Predicate> GenerateDespitePrepared(
+      const Query& bound, std::size_t poi_first, std::size_t poi_second,
+      std::size_t width, const ExplainerOptions& options) const;
+  Result<Explanation> ExplainWithAutoDespitePrepared(
+      const Query& bound, std::size_t poi_first, std::size_t poi_second,
+      const ExplainerOptions& options) const;
 
   /// Lower-level entry point used by the experiments: generates one clause
   /// from already-materialized training examples. The first example must be
@@ -152,11 +178,24 @@ class Explainer {
   static Predicate ClauseToPredicate(
       const std::vector<ExplanationAtom>& trace);
 
+  /// BuildEncodedExamples under explicit options (seed / threads / sampling
+  /// come from `options`, not the constructor's).
+  Result<EncodedDataset> BuildEncodedExamplesWith(
+      const Query& bound_query, std::size_t poi_first, std::size_t poi_second,
+      const ExplainerOptions& options) const;
+
   const ExecutionLog* log_;
   ExplainerOptions options_;
   PairSchema schema_;
-  std::unique_ptr<ColumnarLog> columnar_;
+  std::unique_ptr<ColumnarLog> owned_columnar_;
+  const ColumnarLog* columnar_;
 };
+
+/// Definition 1 check on the compiled programs: des and obs must hold for
+/// the pair of interest, exp must not. Shared by Explainer::PrepareQuery
+/// and Engine::Prepare so both report identical statuses.
+Status CheckDefinition1(const CompiledQuery& compiled, std::size_t first,
+                        std::size_t second, double sim_fraction);
 
 }  // namespace perfxplain
 

@@ -1,28 +1,11 @@
 #include "core/perfxplain.h"
 
+#include <utility>
+
 namespace perfxplain {
 
-const char* TechniqueToString(Technique technique) {
-  switch (technique) {
-    case Technique::kPerfXplain:
-      return "PerfXplain";
-    case Technique::kRuleOfThumb:
-      return "RuleOfThumb";
-    case Technique::kSimButDiff:
-      return "SimButDiff";
-  }
-  return "?";
-}
-
 PerfXplain::PerfXplain(ExecutionLog log, Options options)
-    : log_(std::move(log)), options_(options) {
-  // All three techniques share the explainer's dictionary-encoded replica
-  // of the log: one columnar build serves every enumeration and ranking
-  // pass.
-  explainer_ = std::make_unique<Explainer>(&log_, options_.explainer);
-  sim_but_diff_ = std::make_unique<SimButDiff>(&log_, options_.sim_but_diff,
-                                               &explainer_->columnar());
-}
+    : engine_(std::move(log), std::move(options)) {}
 
 Result<Explanation> PerfXplain::ExplainText(const std::string& pxql) const {
   auto query = ParseQuery(pxql);
@@ -31,7 +14,11 @@ Result<Explanation> PerfXplain::ExplainText(const std::string& pxql) const {
 }
 
 Result<Explanation> PerfXplain::Explain(const Query& query) const {
-  return explainer_->Explain(query);
+  auto prepared = engine_.Prepare(query);
+  if (!prepared.ok()) return prepared.status();
+  auto response = engine_.Explain(*prepared, ExplainRequest{});
+  if (!response.ok()) return response.status();
+  return std::move(response).value().explanation;
 }
 
 Result<Predicate> PerfXplain::GenerateDespiteText(
@@ -42,56 +29,47 @@ Result<Predicate> PerfXplain::GenerateDespiteText(
 }
 
 Result<Predicate> PerfXplain::GenerateDespite(const Query& query) const {
-  return explainer_->GenerateDespite(query,
-                                     options_.explainer.despite_width);
+  auto prepared = engine_.Prepare(query);
+  if (!prepared.ok()) return prepared.status();
+  return engine_.GenerateDespite(*prepared);
 }
 
 Result<Explanation> PerfXplain::ExplainWithAutoDespite(
     const Query& query) const {
-  return explainer_->ExplainWithAutoDespite(query);
+  auto prepared = engine_.Prepare(query);
+  if (!prepared.ok()) return prepared.status();
+  ExplainRequest request;
+  request.auto_despite = true;
+  auto response = engine_.Explain(*prepared, request);
+  if (!response.ok()) return response.status();
+  return std::move(response).value().explanation;
 }
 
 Result<Explanation> PerfXplain::ExplainWith(Technique technique,
                                             const Query& query,
                                             std::size_t width) const {
-  switch (technique) {
-    case Technique::kPerfXplain: {
-      ExplainerOptions explainer_options = options_.explainer;
-      explainer_options.width = width;
-      Explainer explainer(&log_, explainer_options);
-      return explainer.Explain(query);
-    }
-    case Technique::kRuleOfThumb: {
-      if (rule_of_thumb_ == nullptr) {
-        rule_of_thumb_ = std::make_unique<RuleOfThumb>(
-            &log_, options_.rule_of_thumb, &explainer_->columnar());
-      }
-      return rule_of_thumb_->Explain(query, width);
-    }
-    case Technique::kSimButDiff:
-      return sim_but_diff_->Explain(query, width);
-  }
-  return Status::InvalidArgument("unknown technique");
+  auto prepared = engine_.Prepare(query);
+  if (!prepared.ok()) return prepared.status();
+  ExplainRequest request;
+  request.technique = technique;
+  request.width = width;
+  auto response = engine_.Explain(*prepared, request);
+  if (!response.ok()) return response.status();
+  return std::move(response).value().explanation;
 }
 
 Result<ExplanationMetrics> PerfXplain::Evaluate(
     const Query& query, const Explanation& explanation) const {
-  return EvaluateOn(log_, query, explanation);
+  // Deliberately not routed through Prepare: evaluation needs no pair of
+  // interest, and the old facade accepted queries whose ids are absent
+  // from the log.
+  return engine_.EvaluateOn(engine_.log(), query, explanation);
 }
 
 Result<ExplanationMetrics> PerfXplain::EvaluateOn(
     const ExecutionLog& test_log, const Query& query,
     const Explanation& explanation) const {
-  if (!(test_log.schema() == log_.schema())) {
-    return Status::InvalidArgument("test log schema differs from training");
-  }
-  Query bound = query;
-  PX_RETURN_IF_ERROR(bound.Bind(pair_schema()));
-  Explanation bound_explanation = explanation;
-  PX_RETURN_IF_ERROR(bound_explanation.despite.Bind(pair_schema()));
-  PX_RETURN_IF_ERROR(bound_explanation.because.Bind(pair_schema()));
-  return EvaluateExplanation(test_log, pair_schema(), bound,
-                             bound_explanation, options_.explainer.pair);
+  return engine_.EvaluateOn(test_log, query, explanation);
 }
 
 }  // namespace perfxplain

@@ -1,10 +1,10 @@
 #ifndef PERFXPLAIN_CORE_PERFXPLAIN_H_
 #define PERFXPLAIN_CORE_PERFXPLAIN_H_
 
-#include <memory>
 #include <string>
 
 #include "common/status.h"
+#include "core/engine.h"
 #include "core/explainer.h"
 #include "core/explanation.h"
 #include "core/metrics.h"
@@ -16,41 +16,34 @@
 
 namespace perfxplain {
 
-/// Which explanation-generation technique to run (§4 and §5).
-enum class Technique {
-  kPerfXplain,
-  kRuleOfThumb,
-  kSimButDiff,
-};
-
-const char* TechniqueToString(Technique technique);
-
-/// Top-level facade: owns a log of past executions (jobs or tasks) and
-/// answers PXQL queries against it.
+/// DEPRECATED single-tenant facade, kept as a thin shim over Engine for
+/// source compatibility. Every call re-prepares its query; new code should
+/// hold an Engine, Prepare once, and reuse the PreparedQuery:
 ///
-/// Typical use:
-///   PerfXplain system(std::move(job_log));
-///   auto explanation = system.ExplainText(
-///       "FOR J1, J2 WHERE J1.JobID = 'job_000001' AND "
-///       "J2.JobID = 'job_000002' "
-///       "DESPITE numinstances_isSame = T "
-///       "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM");
+///   Engine engine(std::move(job_log));
+///   auto prepared = engine.PrepareText("FOR J1, J2 WHERE ...");
+///   auto response = engine.Explain(*prepared, {});
+///
+/// The shim is pinned bitwise against Engine by
+/// tests/core/baseline_equivalence_test.cc. It inherits Engine's
+/// concurrency fixes: the RuleOfThumb ranking that the old facade built
+/// lazily under `const` (a data race for concurrent callers) is now
+/// initialized behind std::call_once inside Engine.
 class PerfXplain {
  public:
-  struct Options {
-    ExplainerOptions explainer;
-    RuleOfThumbOptions rule_of_thumb;
-    SimButDiffOptions sim_but_diff;
-  };
+  using Options = EngineOptions;
 
   explicit PerfXplain(ExecutionLog log, Options options = {});
 
   PerfXplain(const PerfXplain&) = delete;
   PerfXplain& operator=(const PerfXplain&) = delete;
 
-  const ExecutionLog& log() const { return log_; }
-  const PairSchema& pair_schema() const { return explainer_->pair_schema(); }
-  const Explainer& explainer() const { return *explainer_; }
+  const ExecutionLog& log() const { return engine_.log(); }
+  const PairSchema& pair_schema() const { return engine_.pair_schema(); }
+  const Explainer& explainer() const { return engine_.explainer(); }
+
+  /// The Engine behind this shim, for callers migrating incrementally.
+  const Engine& engine() const { return engine_; }
 
   /// Parses and answers a PXQL query with the PerfXplain technique
   /// (because clause only, the default mode).
@@ -79,11 +72,7 @@ class PerfXplain {
                                         const Explanation& explanation) const;
 
  private:
-  ExecutionLog log_;
-  Options options_;
-  std::unique_ptr<Explainer> explainer_;
-  mutable std::unique_ptr<RuleOfThumb> rule_of_thumb_;  // built lazily
-  std::unique_ptr<SimButDiff> sim_but_diff_;
+  Engine engine_;
 };
 
 }  // namespace perfxplain

@@ -52,7 +52,13 @@ Result<Explanation> RuleOfThumb::Explain(const Query& query,
   Query bound = query;
   auto poi = ResolvePair(bound);
   if (!poi.ok()) return poi.status();
+  return ExplainPrepared(bound, poi->first, poi->second, width);
+}
 
+Result<Explanation> RuleOfThumb::ExplainPrepared(const Query& bound,
+                                                 std::size_t poi_first,
+                                                 std::size_t poi_second,
+                                                 std::size_t width) const {
   const std::vector<bool> excluded = OutcomeRawFeatureMask(bound, schema_);
   const double sim = options_.pair.sim_fraction;
 
@@ -61,7 +67,7 @@ Result<Explanation> RuleOfThumb::Explain(const Query& query,
     if (explanation.because.width() >= width) break;
     if (excluded[raw]) continue;
     // Explain with the top-ranked features the two executions disagree on.
-    if (kernel::IsSameCode(*columns_, raw, poi->first, poi->second, sim) !=
+    if (kernel::IsSameCode(*columns_, raw, poi_first, poi_second, sim) !=
         kernel::kFalseCode) {
       continue;
     }

@@ -49,6 +49,14 @@ class RuleOfThumb {
   /// Builds the width-w explanation for the query's pair of interest.
   Result<Explanation> Explain(const Query& query, std::size_t width) const;
 
+  /// Explain starting from a query already bound with its pair of interest
+  /// resolved (Engine::Prepare) — skips the per-call bind/find work. The
+  /// per-query part is O(k); thread-safe over the immutable ranking.
+  Result<Explanation> ExplainPrepared(const Query& bound,
+                                      std::size_t poi_first,
+                                      std::size_t poi_second,
+                                      std::size_t width) const;
+
   /// The seed implementation (Value-path disagreement test), kept as a
   /// compatibility layer for the equivalence tests and the in-binary
   /// bench_micro baseline. Bitwise-identical explanations.

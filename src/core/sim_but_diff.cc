@@ -111,12 +111,19 @@ Result<Explanation> SimButDiff::Explain(const Query& query,
   Query bound = query;
   auto poi = ResolvePair(bound);
   if (!poi.ok()) return poi.status();
-  const std::size_t poi_first = poi->first;
-  const std::size_t poi_second = poi->second;
-
-  const ColumnarLog& columns = *columns_;
   const CompiledQuery compiled =
-      CompiledQuery::Compile(bound, schema_, columns);
+      CompiledQuery::Compile(bound, schema_, *columns_);
+  return ExplainPrepared(bound, compiled, poi->first, poi->second, width,
+                         options_.threads);
+}
+
+Result<Explanation> SimButDiff::ExplainPrepared(const Query& bound,
+                                                const CompiledQuery& compiled,
+                                                std::size_t poi_first,
+                                                std::size_t poi_second,
+                                                std::size_t width,
+                                                int threads) const {
+  const ColumnarLog& columns = *columns_;
   const double sim = options_.pair.sim_fraction;
   const std::size_t k = schema_.raw_size();
 
@@ -153,7 +160,7 @@ Result<Explanation> SimButDiff::Explain(const Query& query,
   std::vector<Tally> partial;
   if (satisfiable && !compiled.despite.always_false()) {
     ScanOrderedPairs(
-        columns.rows(), EnumerationOptions{options_.threads}, partial,
+        columns.rows(), EnumerationOptions{threads}, partial,
         [&](Tally& local, std::size_t i, std::size_t j) {
           if (local.disagree.empty()) {
             local.disagree.assign(k, 0);
@@ -203,6 +210,179 @@ Result<Explanation> SimButDiff::Explain(const Query& query,
   return ExplanationFromTallies(schema_, poi_is_same, excluded, disagree,
                                 disagree_expected, similar_pairs,
                                 options_.similarity_threshold, width);
+}
+
+std::vector<Result<Explanation>> SimButDiff::ExplainBatch(
+    const std::vector<PreparedBatchQuery>& queries, int threads) const {
+  const std::size_t n = queries.size();
+  std::vector<Result<Explanation>> results;
+  results.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    results.push_back(Status::Internal("batch query not answered"));
+  }
+  if (n == 0) return results;
+
+  const ColumnarLog& columns = *columns_;
+  const kernel::RawColumnTable table(columns);
+  const double sim = options_.pair.sim_fraction;
+  const std::size_t k = schema_.raw_size();
+  const std::size_t agree_threshold =
+      AgreeThreshold(options_.similarity_threshold, k);
+  const bool satisfiable = agree_threshold <= k;
+  const std::size_t max_disagree = satisfiable ? k - agree_threshold : 0;
+  const std::size_t words =
+      (k + kernel::kPackedFeaturesPerWord - 1) / kernel::kPackedFeaturesPerWord;
+
+  // Queries whose three bound predicates are structurally identical label
+  // every pair identically (equal predicates lower to equal programs), so
+  // each pair is classified once per group.
+  struct Group {
+    std::size_t representative;  ///< index into `queries`
+    bool active = false;  ///< at least one member participates in the scan
+  };
+  struct Request {
+    std::size_t group = 0;
+    std::size_t poi_first = 0;
+    std::size_t poi_second = 0;
+    kernel::PackedIsSameCodes poi_codes;
+    bool active = false;
+  };
+  std::vector<Group> groups;
+  std::vector<Request> requests(n);
+  bool any_active = false;
+  for (std::size_t r = 0; r < n; ++r) {
+    const PreparedBatchQuery& query = queries[r];
+    Request& request = requests[r];
+    std::size_t g = 0;
+    for (; g < groups.size(); ++g) {
+      const Query& seen = *queries[groups[g].representative].bound;
+      if (seen.despite == query.bound->despite &&
+          seen.observed == query.bound->observed &&
+          seen.expected == query.bound->expected) {
+        break;
+      }
+    }
+    if (g == groups.size()) groups.push_back(Group{r});
+    request.group = g;
+    request.poi_first = query.poi_first;
+    request.poi_second = query.poi_second;
+    request.poi_codes =
+        kernel::PackIsSameCodes(table, query.poi_first, query.poi_second, sim);
+    request.active = satisfiable && !query.compiled->despite.always_false();
+    if (request.active) {
+      groups[g].active = true;
+      any_active = true;
+    }
+  }
+
+  // The single pass over all ordered pairs. Per pair: one classification
+  // per active group, one lazy packing of the pair's isSame codes, then a
+  // word-level XOR+mask+popcount agreement test per related request.
+  // Tallies are integer sums merged in stripe order, so any thread count
+  // reproduces the serial totals.
+  struct RequestTally {
+    std::vector<std::size_t> disagree;
+    std::vector<std::size_t> disagree_expected;
+    std::size_t similar_pairs = 0;
+  };
+  struct Tally {
+    std::vector<RequestTally> per_request;
+    kernel::PackedIsSameCodes pair_codes;    // per-pair scratch
+    std::vector<PairLabel> labels;           // per-group scratch
+    std::vector<std::uint64_t> diff_masks;   // per-request scratch (words)
+    std::vector<std::size_t> diff_features;  // per-request scratch
+  };
+  std::vector<Tally> partial;
+  if (any_active) {
+    ScanOrderedPairs(
+        columns.rows(), EnumerationOptions{threads}, partial,
+        [&](Tally& local, std::size_t i, std::size_t j) {
+          if (local.per_request.empty()) {
+            local.per_request.resize(n);
+            for (RequestTally& tally : local.per_request) {
+              tally.disagree.assign(k, 0);
+              tally.disagree_expected.assign(k, 0);
+            }
+            local.pair_codes = kernel::PackedIsSameCodes(k);
+            local.labels.assign(groups.size(), PairLabel::kUnrelated);
+            local.diff_masks.assign(words, 0);
+            local.diff_features.reserve(k);
+          }
+          for (std::size_t g = 0; g < groups.size(); ++g) {
+            local.labels[g] =
+                groups[g].active
+                    ? ClassifyPairCompiled(
+                          *queries[groups[g].representative].compiled, i, j,
+                          sim)
+                    : PairLabel::kUnrelated;
+          }
+          bool packed = false;
+          for (std::size_t r = 0; r < n; ++r) {
+            const Request& request = requests[r];
+            if (!request.active) continue;
+            const PairLabel label = local.labels[request.group];
+            if (label == PairLabel::kUnrelated) continue;
+            if (i == request.poi_first && j == request.poi_second) continue;
+            if (!packed) {
+              kernel::PackIsSameCodesInto(table, i, j, sim,
+                                          &local.pair_codes);
+              packed = true;
+            }
+            // Word-at-a-time agreement test against this request's poi.
+            // Word granularity accepts/rejects exactly as the per-call
+            // chunked scan does — only the wasted work differs.
+            std::size_t disagreed = 0;
+            bool rejected = false;
+            for (std::size_t w = 0; w < words; ++w) {
+              const std::uint64_t mask = kernel::PackedDisagreeMask(
+                  local.pair_codes.word(w), request.poi_codes.word(w));
+              local.diff_masks[w] = mask;
+              disagreed += static_cast<std::size_t>(kernel::PopCount(mask));
+              if (disagreed > max_disagree) {
+                rejected = true;
+                break;
+              }
+            }
+            if (rejected) continue;
+            RequestTally& tally = local.per_request[r];
+            ++tally.similar_pairs;
+            local.diff_features.clear();
+            kernel::AppendMaskedFeatures(local.diff_masks.data(), words,
+                                         local.diff_features);
+            const bool expected = label == PairLabel::kExpected;
+            for (std::size_t f : local.diff_features) {
+              ++tally.disagree[f];
+              if (expected) ++tally.disagree_expected[f];
+            }
+          }
+        });
+  }
+
+  // Merge stripes and finish each query exactly as the per-call path does.
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::size_t> disagree(k, 0);
+    std::vector<std::size_t> disagree_expected(k, 0);
+    std::size_t similar_pairs = 0;
+    for (const Tally& local : partial) {
+      if (local.per_request.empty()) continue;  // stripe saw no related pair
+      const RequestTally& tally = local.per_request[r];
+      similar_pairs += tally.similar_pairs;
+      for (std::size_t f = 0; f < k; ++f) {
+        disagree[f] += tally.disagree[f];
+        disagree_expected[f] += tally.disagree_expected[f];
+      }
+    }
+    std::vector<Value> poi_is_same(k);
+    for (std::size_t f = 0; f < k; ++f) {
+      poi_is_same[f] = DecodeIsSame(requests[r].poi_codes.CodeAt(f));
+    }
+    const std::vector<bool> excluded =
+        OutcomeRawFeatureMask(*queries[r].bound, schema_);
+    results[r] = ExplanationFromTallies(
+        schema_, poi_is_same, excluded, disagree, disagree_expected,
+        similar_pairs, options_.similarity_threshold, queries[r].width);
+  }
+  return results;
 }
 
 Result<Explanation> SimButDiff::ExplainLegacy(const Query& query,

@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "core/explanation.h"
 #include "features/pair_schema.h"
 #include "log/columnar.h"
 #include "log/execution_log.h"
+#include "pxql/compiled_predicate.h"
 #include "pxql/query.h"
 
 namespace perfxplain {
@@ -49,7 +51,43 @@ class SimButDiff {
   SimButDiff(const ExecutionLog* log, SimButDiffOptions options,
              const ColumnarLog* columns = nullptr);
 
+  /// The columnar replica every scan of this baseline reads.
+  const ColumnarLog& columns() const { return *columns_; }
+
   Result<Explanation> Explain(const Query& query, std::size_t width) const;
+
+  /// Explain starting from a query already bound, validated and resolved
+  /// (Engine::Prepare): `compiled` must be the query's programs compiled
+  /// against this baseline's columns. Skips the per-call parse/bind/find
+  /// work; otherwise identical to Explain. `threads` overrides the
+  /// constructor's worker-thread count (0 = process default).
+  Result<Explanation> ExplainPrepared(const Query& bound,
+                                      const CompiledQuery& compiled,
+                                      std::size_t poi_first,
+                                      std::size_t poi_second,
+                                      std::size_t width, int threads) const;
+
+  /// One query of an ExplainBatch call, prepared by the caller.
+  struct PreparedBatchQuery {
+    const Query* bound = nullptr;          ///< bound + validated
+    const CompiledQuery* compiled = nullptr;  ///< against columns()
+    std::size_t poi_first = 0;
+    std::size_t poi_second = 0;
+    std::size_t width = 3;
+  };
+
+  /// Answers every query of the batch in ONE pass over the ordered pairs,
+  /// amortizing the per-pair work that Explain repeats per query:
+  ///  - queries whose three bound predicates are structurally identical
+  ///    form a classification group — each pair is labeled once per group,
+  ///    not once per query;
+  ///  - a pair's packed isSame codes (kernel::PackedIsSameCodes) are built
+  ///    at most once per pair and shared by every query's agreement test.
+  /// Each result is bitwise identical to the corresponding per-call
+  /// Explain (same tallies, same statuses); thread count is
+  /// observation-free as in Explain.
+  std::vector<Result<Explanation>> ExplainBatch(
+      const std::vector<PreparedBatchQuery>& queries, int threads) const;
 
   /// The seed implementation (lazy Value views through
   /// ForEachOrderedPair), kept as a compatibility layer: the randomized

@@ -15,6 +15,15 @@ PackedIsSameCodes PackIsSameCodes(const RawColumnTable& table, std::size_t i,
   return packed;
 }
 
+void PackIsSameCodesInto(const RawColumnTable& table, std::size_t i,
+                         std::size_t j, double sim_fraction,
+                         PackedIsSameCodes* packed) {
+  PX_CHECK_EQ(packed->features(), table.size());
+  for (std::size_t f = 0; f < table.size(); ++f) {
+    packed->SetCode(f, table.IsSame(f, i, j, sim_fraction));
+  }
+}
+
 std::size_t CountPackedDisagreements(const PackedIsSameCodes& a,
                                      const PackedIsSameCodes& b) {
   PX_CHECK_EQ(a.features(), b.features());

@@ -267,6 +267,14 @@ class PackedIsSameCodes {
 PackedIsSameCodes PackIsSameCodes(const RawColumnTable& table, std::size_t i,
                                   std::size_t j, double sim_fraction);
 
+/// Re-packs the codes of pair (i, j) into `packed`, reusing its storage —
+/// the allocation-free form of PackIsSameCodes for scans that pack one
+/// pair per iteration (Engine::ExplainBatch). `packed` must already span
+/// table.size() features; every field is overwritten, padding stays zero.
+void PackIsSameCodesInto(const RawColumnTable& table, std::size_t i,
+                         std::size_t j, double sim_fraction,
+                         PackedIsSameCodes* packed);
+
 /// Word-level disagreement mask of two packed words: bit 2*(f mod 32) is
 /// set iff the 2-bit fields of feature f differ (XOR, fold the high bit of
 /// each field onto the low bit, mask). popcount of the mask = number of

@@ -12,7 +12,9 @@
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "core/engine.h"
 #include "core/pair_enumeration.h"
+#include "core/perfxplain.h"
 #include "core/rule_of_thumb.h"
 #include "core/sim_but_diff.h"
 #include "ml/relief.h"
@@ -245,6 +247,86 @@ TEST(BaselineEquivalenceTest, RuleOfThumbMatchesLegacyOnAwkwardLogs) {
                           "self-pair agrees everywhere");
   }
   EXPECT_GT(produced, 0u);
+}
+
+TEST(BaselineEquivalenceTest, PerfXplainShimMatchesEngine) {
+  // The deprecated PerfXplain facade is a shim over Engine; every legacy
+  // entry point must reproduce the Engine's answer bitwise — explanations,
+  // despite clauses, metrics and error codes alike.
+  const ExecutionLog log = testing::CausalLog(90, 55);
+  const PerfXplain shim(log);
+  const Engine engine(log);
+
+  Query query = GtVsSimQuery();
+  ASSERT_TRUE(PickPair(log, query));
+  auto prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  for (Technique technique :
+       {Technique::kPerfXplain, Technique::kRuleOfThumb,
+        Technique::kSimButDiff}) {
+    for (std::size_t width : {1u, 3u}) {
+      ExplainRequest request;
+      request.technique = technique;
+      request.width = width;
+      auto engine_response = engine.Explain(*prepared, request);
+      Result<Explanation> engine_explanation =
+          engine_response.ok()
+              ? Result<Explanation>(engine_response->explanation)
+              : Result<Explanation>(engine_response.status());
+      ExpectSameExplanation(
+          shim.ExplainWith(technique, query, width), engine_explanation,
+          StrFormat("%s width %zu", TechniqueToString(technique), width));
+    }
+  }
+
+  // Default Explain, auto-despite and despite generation.
+  {
+    auto engine_response = engine.Explain(*prepared);
+    ASSERT_TRUE(engine_response.ok());
+    ExpectSameExplanation(shim.Explain(query),
+                          Result<Explanation>(engine_response->explanation),
+                          "default Explain");
+  }
+  {
+    ExplainRequest request;
+    request.auto_despite = true;
+    auto engine_response = engine.Explain(*prepared, request);
+    ASSERT_TRUE(engine_response.ok());
+    ExpectSameExplanation(shim.ExplainWithAutoDespite(query),
+                          Result<Explanation>(engine_response->explanation),
+                          "auto despite");
+  }
+  {
+    auto shim_despite = shim.GenerateDespite(query);
+    auto engine_despite = engine.GenerateDespite(*prepared);
+    ASSERT_TRUE(shim_despite.ok());
+    ASSERT_TRUE(engine_despite.ok());
+    EXPECT_EQ(*shim_despite, *engine_despite);
+  }
+
+  // Metrics agree exactly.
+  {
+    auto explanation = shim.Explain(query);
+    ASSERT_TRUE(explanation.ok());
+    auto shim_metrics = shim.Evaluate(query, *explanation);
+    auto engine_metrics = engine.Evaluate(*prepared, *explanation);
+    ASSERT_TRUE(shim_metrics.ok());
+    ASSERT_TRUE(engine_metrics.ok());
+    EXPECT_EQ(shim_metrics->precision, engine_metrics->precision);
+    EXPECT_EQ(shim_metrics->relevance, engine_metrics->relevance);
+    EXPECT_EQ(shim_metrics->generality, engine_metrics->generality);
+  }
+
+  // Error propagation: unknown ids fail with the same code on both APIs.
+  Query unknown = GtVsSimQuery();
+  unknown.first_id = "missing";
+  unknown.second_id = "gone";
+  auto shim_error = shim.Explain(unknown);
+  auto engine_error = engine.Prepare(unknown);
+  ASSERT_FALSE(shim_error.ok());
+  ASSERT_FALSE(engine_error.ok());
+  EXPECT_EQ(shim_error.status().code(), engine_error.status().code());
 }
 
 TEST(BaselineEquivalenceTest, SharedColumnarLogProducesSameExplanations) {

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
 """Fails when README.md or docs/ARCHITECTURE.md reference files, example
-binaries, or bench_micro benchmark names that do not exist in the tree.
+binaries, or bench_micro benchmark names that do not exist in the tree,
+or when BENCH_micro.json records an entry whose benchmark no longer
+exists.
 
 Checked reference kinds:
   * path-like tokens rooted at src/, tests/, bench/, examples/, tools/,
     docs/, or .github/ (brace groups like foo.{h,cc} are expanded, glob
     stars are resolved with glob);
   * BM_* google-benchmark names, which must appear in bench/*.cc;
-  * example_* binary names, which must match an examples/<name>.cpp.
+  * example_* binary names, which must match an examples/<name>.cpp;
+  * "name" fields of BENCH_micro.json entries (stripped of /arg
+    suffixes), which must be registered benchmarks — the perf history
+    must not silently reference deleted timers.
 
 Run from the repository root:  python3 tools/check_docs_drift.py
 """
 
 import glob
 import itertools
+import json
 import os
 import re
 import sys
@@ -100,12 +106,21 @@ def main():
             if not os.path.exists(source):
                 stale.append((doc, name))
 
+    bench_json = "BENCH_micro.json"
+    if os.path.exists(bench_json):
+        with open(bench_json, encoding="utf-8") as f:
+            data = json.load(f)
+        for entry in data.get("entries", []):
+            name = str(entry.get("name", "")).split("/")[0]
+            if name not in registered_benches:
+                stale.append((bench_json, entry.get("name", "(unnamed)")))
+
     if stale:
         print("Stale documentation references (file or name not found):")
         for doc, token in stale:
             print(f"  {doc}: {token}")
         return 1
-    print(f"docs drift check OK: {', '.join(DOCS)}")
+    print(f"docs drift check OK: {', '.join(DOCS)} + {bench_json}")
     return 0
 
 

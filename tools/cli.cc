@@ -1,13 +1,15 @@
 #include "cli.h"
 
+#include <fstream>
 #include <map>
 #include <optional>
+#include <utility>
 
 #include "common/stats.h"
 #include "common/string_util.h"
+#include "core/engine.h"
 #include "core/formatter.h"
 #include "core/pair_enumeration.h"
-#include "core/perfxplain.h"
 #include "log/catalog.h"
 #include "ingest/ganglia_dump.h"
 #include "ingest/hadoop_history.h"
@@ -24,10 +26,16 @@ usage:
   perfxplain generate --out DIR [--seed N] [--jobs N]
   perfxplain ingest --history FILE --ganglia FILE --out DIR
   perfxplain info --log FILE
-  perfxplain explain --log FILE --query PXQL [--width N] [--technique T]
+  perfxplain explain --log FILE --query PXQL [--query PXQL ...]
+                     [--query-file FILE ...] [--width N] [--technique T]
                      [--auto-despite] [--prose] [--threads N]
   perfxplain despite --log FILE --query PXQL [--width N] [--threads N]
   perfxplain help
+
+--query may repeat, and --query-file adds one query per non-empty line
+(# starts a comment). With more than one query the batch is answered in
+one shot — SimButDiff queries share a single scan over the execution
+pairs — and per-query timing is printed.
 
 --threads N sets the worker-thread count of the columnar pair enumeration
 (0 = hardware concurrency). Results are identical for every thread count.
@@ -39,10 +47,14 @@ A PXQL query names its pair of interest and three predicates:
   EXPECTED duration_compare = SIM
 )";
 
-/// Parsed --key value options plus positional arguments.
+/// Parsed --key value options plus positional arguments. `options` keeps
+/// the last value per key; `ordered` keeps every (key, value) pair in
+/// command-line order so repeatable options (--query, --query-file)
+/// preserve their multiplicity and order.
 struct ParsedArgs {
   std::string command;
   std::map<std::string, std::string> options;
+  std::vector<std::pair<std::string, std::string>> ordered;
   std::vector<std::string> flags;
 
   bool HasFlag(const std::string& name) const {
@@ -71,7 +83,8 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     if (i + 1 >= args.size()) {
       return Status::InvalidArgument("missing value for --" + name);
     }
-    parsed.options[name] = args[++i];
+    parsed.options[name] = args[i + 1];
+    parsed.ordered.emplace_back(name, args[++i]);
   }
   return parsed;
 }
@@ -196,11 +209,60 @@ Result<Technique> TechniqueFromName(const std::string& name) {
                                  "' (perfxplain|ruleofthumb|simbutdiff)");
 }
 
+/// Collects the explain command's query texts: every --query value plus
+/// every non-empty, non-comment line of every --query-file, in
+/// command-line order.
+Result<std::vector<std::string>> CollectQueryTexts(const ParsedArgs& args) {
+  std::vector<std::string> texts;
+  for (const auto& [name, value] : args.ordered) {
+    if (name == "query") {
+      texts.push_back(value);
+    } else if (name == "query-file") {
+      std::ifstream file(value);
+      if (!file) {
+        return Status::InvalidArgument("cannot read --query-file '" + value +
+                                       "'");
+      }
+      std::string line;
+      while (std::getline(file, line)) {
+        const std::string trimmed(Trim(line));
+        if (trimmed.empty() || trimmed[0] == '#') continue;
+        texts.push_back(trimmed);
+      }
+    }
+  }
+  if (texts.empty()) {
+    return Status::InvalidArgument(
+        "missing required option --query (or --query-file)");
+  }
+  return texts;
+}
+
+/// Prints one query's explanation, optional prose, metrics and timing.
+void PrintResponse(std::ostream& out, const ParsedArgs& args,
+                   const Query& bound, const ExplainResponse& response) {
+  out << response.explanation.ToString() << "\n";
+  if (args.HasFlag("prose")) {
+    out << "\n" << RenderExplanationProse(bound, response.explanation)
+        << "\n";
+  }
+  if (response.metrics.has_value()) {
+    out << StrFormat(
+        "\nrelevance %.3f  precision %.3f  generality %.3f\n",
+        response.metrics->relevance, response.metrics->precision,
+        response.metrics->generality);
+  }
+  out << StrFormat("time: explain %.1f ms%s  evaluate %.1f ms\n",
+                   response.explain_ms,
+                   response.batched ? " (amortized batch share)" : "",
+                   response.evaluate_ms);
+}
+
 int RunExplain(const ParsedArgs& args, std::ostream& out) {
   auto path = RequireOption(args, "log");
   if (!path.ok()) return Fail(out, path.status());
-  auto query_text = RequireOption(args, "query");
-  if (!query_text.ok()) return Fail(out, query_text.status());
+  auto query_texts = CollectQueryTexts(args);
+  if (!query_texts.ok()) return Fail(out, query_texts.status());
   auto width = IntOption(args, "width", 3);
   if (!width.ok() || *width < 1) {
     return Fail(out, Status::InvalidArgument("--width must be >= 1"));
@@ -211,39 +273,65 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
     if (!parsed.ok()) return Fail(out, parsed.status());
     technique = parsed.value();
   }
-
-  auto log = ExecutionLog::LoadCsv(*path);
-  if (!log.ok()) return Fail(out, log.status());
-  auto query = ParseQuery(*query_text);
-  if (!query.ok()) return Fail(out, query.status());
-
   auto threads = IntOption(args, "threads", 0);
   if (!threads.ok()) return Fail(out, threads.status());
 
-  PerfXplain::Options options;
+  auto log = ExecutionLog::LoadCsv(*path);
+  if (!log.ok()) return Fail(out, log.status());
+
+  EngineOptions options;
   options.explainer.width = static_cast<std::size_t>(*width);
   options.explainer.threads = static_cast<int>(*threads);
-  PerfXplain system(std::move(log).value(), options);
+  options.sim_but_diff.threads = static_cast<int>(*threads);
+  options.rule_of_thumb.relief.threads = static_cast<int>(*threads);
+  const Engine engine(std::move(log).value(), options);
 
-  Result<Explanation> explanation =
-      args.HasFlag("auto-despite") && technique == Technique::kPerfXplain
-          ? system.ExplainWithAutoDespite(query.value())
-          : system.ExplainWith(technique, query.value(),
-                               static_cast<std::size_t>(*width));
-  if (!explanation.ok()) return Fail(out, explanation.status());
+  ExplainRequest request;
+  request.technique = technique;
+  request.width = static_cast<std::size_t>(*width);
+  request.auto_despite =
+      args.HasFlag("auto-despite") && technique == Technique::kPerfXplain;
+  request.evaluate = true;
 
-  out << explanation->ToString() << "\n";
-  if (args.HasFlag("prose")) {
-    out << "\n" << RenderExplanationProse(query.value(), *explanation)
-        << "\n";
+  std::vector<PreparedQuery> prepared;
+  prepared.reserve(query_texts->size());
+  for (std::size_t q = 0; q < query_texts->size(); ++q) {
+    auto one = engine.PrepareText((*query_texts)[q]);
+    if (!one.ok()) {
+      if (query_texts->size() > 1) out << "query " << (q + 1) << ": ";
+      return Fail(out, one.status());
+    }
+    prepared.push_back(std::move(one).value());
   }
-  auto metrics = system.Evaluate(query.value(), *explanation);
-  if (metrics.ok()) {
-    out << StrFormat(
-        "\nrelevance %.3f  precision %.3f  generality %.3f\n",
-        metrics->relevance, metrics->precision, metrics->generality);
+
+  if (prepared.size() == 1) {
+    auto response = engine.Explain(prepared[0], request);
+    if (!response.ok()) return Fail(out, response.status());
+    PrintResponse(out, args, prepared[0].bound(), *response);
+    return 0;
   }
-  return 0;
+
+  std::vector<Engine::BatchItem> items;
+  items.reserve(prepared.size());
+  for (const PreparedQuery& one : prepared) {
+    items.push_back(Engine::BatchItem{&one, request});
+  }
+  const std::vector<Result<ExplainResponse>> responses =
+      engine.ExplainBatch(items);
+  int exit_code = 0;
+  for (std::size_t q = 0; q < responses.size(); ++q) {
+    const Query& bound = prepared[q].bound();
+    out << "== query " << (q + 1) << " (" << bound.first_id << " vs "
+        << bound.second_id << ") ==\n";
+    if (!responses[q].ok()) {
+      out << "error: " << responses[q].status().ToString() << "\n\n";
+      exit_code = 1;
+      continue;
+    }
+    PrintResponse(out, args, bound, *responses[q]);
+    out << "\n";
+  }
+  return exit_code;
 }
 
 int RunDespite(const ParsedArgs& args, std::ostream& out) {
@@ -256,17 +344,17 @@ int RunDespite(const ParsedArgs& args, std::ostream& out) {
 
   auto log = ExecutionLog::LoadCsv(*path);
   if (!log.ok()) return Fail(out, log.status());
-  auto query = ParseQuery(*query_text);
-  if (!query.ok()) return Fail(out, query.status());
 
   auto threads = IntOption(args, "threads", 0);
   if (!threads.ok()) return Fail(out, threads.status());
 
-  PerfXplain::Options options;
+  EngineOptions options;
   options.explainer.despite_width = static_cast<std::size_t>(*width);
   options.explainer.threads = static_cast<int>(*threads);
-  PerfXplain system(std::move(log).value(), options);
-  auto despite = system.GenerateDespite(query.value());
+  const Engine engine(std::move(log).value(), options);
+  auto prepared = engine.PrepareText(*query_text);
+  if (!prepared.ok()) return Fail(out, prepared.status());
+  auto despite = engine.GenerateDespite(*prepared);
   if (!despite.ok()) return Fail(out, despite.status());
   out << "DESPITE " << despite->ToString() << "\n";
   return 0;

@@ -18,11 +18,16 @@ namespace perfxplain::cli {
 ///       the full 540) and write DIR/job_log.csv and DIR/task_log.csv.
 ///   info --log FILE
 ///       Print the log's schema, record count and duration statistics.
-///   explain --log FILE --query PXQL [--width N] [--technique T]
-///           [--auto-despite] [--prose]
-///       Generate an explanation for the PXQL query (which must carry a
-///       FOR ... WHERE clause naming the pair of interest). T is one of
-///       perfxplain (default), ruleofthumb, simbutdiff.
+///   explain --log FILE --query PXQL [--query PXQL ...]
+///           [--query-file FILE ...] [--width N] [--technique T]
+///           [--auto-despite] [--prose] [--threads N]
+///       Generate an explanation per PXQL query (each must carry a
+///       FOR ... WHERE clause naming its pair of interest). T is one of
+///       perfxplain (default), ruleofthumb, simbutdiff. --query may repeat
+///       and --query-file adds one query per non-empty, non-# line; with
+///       more than one query the whole batch runs through
+///       Engine::ExplainBatch (SimButDiff requests share a single pair
+///       scan) and per-query timing is printed.
 ///   despite --log FILE --query PXQL [--width N]
 ///       Generate only a despite clause for an under-specified query.
 ///   help
