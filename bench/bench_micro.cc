@@ -298,6 +298,13 @@ struct BatchFixture {
       PX_CHECK(one.ok());
       prepared.push_back(std::move(one).value());
     }
+    // Warm the snapshot's pair-code store so both the batch and the
+    // per-call timers measure steady-state serving, not the one-time
+    // build (BM_SequentialExplainStream mode=cold tracks that).
+    px::ExplainRequest request;
+    request.technique = px::Technique::kSimButDiff;
+    auto response = engine->Explain(prepared.front(), request);
+    PX_CHECK(response.ok()) << response.status().ToString();
   }
 };
 
@@ -337,6 +344,126 @@ void BM_ExplainBatchPerCallLoop(benchmark::State& state) {
   state.SetLabel("queries=" + std::to_string(state.range(0)) + " threads=1");
 }
 BENCHMARK(BM_ExplainBatchPerCallLoop)->Arg(4)->Arg(8);
+
+/// The sequential serving pattern the PairCodeStore exists for: Q
+/// SimButDiff queries (same shape, different pairs of interest) arriving
+/// one Explain at a time — too far apart to batch. Arg 0 selects the
+/// path, arg 1 the worker-thread count:
+///   mode 0 ("percall")  — pair-code budget 0: today's streaming fused
+///                         pack-and-compare per call (the baseline);
+///   mode 1 ("cold")     — a fresh snapshot per iteration: the stream
+///                         pays the one-time snapshot + store build;
+///   mode 2 ("warm")     — store prebuilt: every call runs pure
+///                         XOR+mask+popcount over resident words.
+struct StreamFixture {
+  std::vector<px::Query> queries;
+
+  explicit StreamFixture(std::size_t count) {
+    const MicroFixture& fixture = MicroFixture::Get();
+    px::PairSchema schema(fixture.log.schema());
+    px::Query bound = fixture.query;
+    PX_CHECK(bound.Bind(schema).ok());
+    for (std::size_t q = 0; q < count; ++q) {
+      auto poi = px::FindPairOfInterest(fixture.log, schema, bound,
+                                        px::PairFeatureOptions(), q * 97);
+      PX_CHECK(poi.ok());
+      px::Query query = fixture.query;
+      query.first_id = fixture.log.at(poi->first).id;
+      query.second_id = fixture.log.at(poi->second).id;
+      queries.push_back(std::move(query));
+    }
+  }
+
+  static const StreamFixture& Get() {
+    static const StreamFixture& fixture = *new StreamFixture(8);
+    return fixture;
+  }
+};
+
+void BM_SequentialExplainStream(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const StreamFixture& stream = StreamFixture::Get();
+  const long mode = state.range(0);
+  px::EngineOptions options;
+  options.sim_but_diff.threads = static_cast<int>(state.range(1));
+  if (mode == 0) options.sim_but_diff.pair_code_budget_bytes = 0;
+  px::ExplainRequest request;
+  request.technique = px::Technique::kSimButDiff;
+
+  if (mode == 1) {
+    for (auto _ : state) {
+      px::Engine engine(fixture.log, options);
+      for (const px::Query& query : stream.queries) {
+        auto prepared = engine.Prepare(query);
+        PX_CHECK(prepared.ok());
+        auto response = engine.Explain(*prepared, request);
+        PX_CHECK(response.ok()) << response.status().ToString();
+        benchmark::DoNotOptimize(response);
+      }
+    }
+  } else {
+    px::Engine engine(fixture.log, options);
+    std::vector<px::PreparedQuery> prepared;
+    for (const px::Query& query : stream.queries) {
+      auto one = engine.Prepare(query);
+      PX_CHECK(one.ok());
+      prepared.push_back(std::move(one).value());
+    }
+    if (mode == 2) {
+      // Prebuild the store so the loop times only warm calls.
+      auto response = engine.Explain(prepared[0], request);
+      PX_CHECK(response.ok()) << response.status().ToString();
+      PX_CHECK(response->pair_store_hit);
+    }
+    for (auto _ : state) {
+      for (const px::PreparedQuery& one : prepared) {
+        auto response = engine.Explain(one, request);
+        PX_CHECK(response.ok()) << response.status().ToString();
+        benchmark::DoNotOptimize(response);
+      }
+    }
+  }
+  static const char* kModes[] = {"percall", "cold", "warm"};
+  state.SetLabel(std::string("mode=") + kModes[mode] + " queries=8 threads=" +
+                 std::to_string(state.range(1)));
+}
+BENCHMARK(BM_SequentialExplainStream)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({2, 0});
+
+/// Selection-vector pruning on a selective query: the despite clause's
+/// first deterministic atom (pigscript = simple-filter.pig, a base
+/// nominal atom) compiles to a single-column dictionary scan whose
+/// selection vector shrinks the pair loop from n² to |sel|². Arg 0
+/// toggles pruning (0 = full n² scan, the baseline), arg 1 is the
+/// worker-thread count; counts are bitwise identical either way.
+void BM_SelectiveQueryPruning(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  px::PairSchema schema(fixture.log.schema());
+  auto parsed = px::ParseQuery(
+      "DESPITE pigscript = simple-filter.pig AND numinstances_isSame = T "
+      "OBSERVED duration_compare = GT "
+      "EXPECTED duration_compare = SIM");
+  PX_CHECK(parsed.ok()) << parsed.status().ToString();
+  px::Query bound = std::move(parsed).value();
+  PX_CHECK(bound.Bind(schema).ok());
+  const px::ColumnarLog columns(fixture.log);
+  const px::CompiledQuery compiled =
+      px::CompiledQuery::Compile(bound, schema, columns);
+  px::EnumerationOptions enumeration;
+  enumeration.prune = state.range(0) != 0;
+  enumeration.threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        px::CountRelatedPairs(columns, compiled, 0.10, enumeration));
+  }
+  state.SetLabel(std::string("prune=") +
+                 (enumeration.prune ? "on" : "off") +
+                 " threads=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_SelectiveQueryPruning)->Args({1, 1})->Args({0, 1});
 
 /// Ablation: precision_weight = 1.0 disables the generality term entirely
 /// (and with a single criterion the percentile normalization is moot),

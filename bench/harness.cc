@@ -187,8 +187,10 @@ std::optional<ExplanationMetrics> RunOnce(const Fixture& fixture,
                                           const Fixture::SplitLogs& logs,
                                           Technique technique,
                                           std::size_t width,
-                                          const EngineOptions& options) {
+                                          const EngineOptions& options,
+                                          RunReport* report) {
   const Engine engine(logs.train, options);
+  if (report != nullptr) *report = RunReport{};
   Explanation explanation;  // width 0: empty (true) explanation
   if (width > 0) {
     auto prepared = engine.Prepare(fixture.query());
@@ -198,6 +200,10 @@ std::optional<ExplanationMetrics> RunOnce(const Fixture& fixture,
     request.width = width;
     auto response = engine.Explain(*prepared, request);
     if (!response.ok()) return std::nullopt;
+    if (report != nullptr) {
+      report->pair_store_hit = response->pair_store_hit;
+      report->pair_store_built = response->pair_store_built;
+    }
     explanation = std::move(response).value().explanation;
   }
   auto metrics = engine.EvaluateOn(logs.test, fixture.query(), explanation);

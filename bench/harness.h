@@ -107,15 +107,27 @@ struct Series {
   std::string ToString() const;
 };
 
+/// What one RunOnce call did beyond producing metrics. Each run builds a
+/// fresh Engine over a fresh training split, so a SimButDiff run that
+/// engages the snapshot's PairCodeStore always pays the one-time build —
+/// `pair_store_built` flags it so trajectory timings derived from RunOnce
+/// are not silently polluted by build cost (`pair_store_hit` says whether
+/// the run's scan actually ran on resident codes).
+struct RunReport {
+  bool pair_store_hit = false;
+  bool pair_store_built = false;
+};
+
 /// Runs `technique` at `width` on the training log (through an Engine
 /// built per run, as each run trains on a different split) and returns
 /// the explanation's metrics over the test log, or nullopt when the
 /// technique could not produce an explanation for this run. Width 0
-/// evaluates the empty explanation.
+/// evaluates the empty explanation. `report`, when non-null, receives the
+/// run's RunReport.
 std::optional<ExplanationMetrics> RunOnce(
     const Fixture& fixture, const Fixture::SplitLogs& logs,
     Technique technique, std::size_t width,
-    const EngineOptions& options = {});
+    const EngineOptions& options = {}, RunReport* report = nullptr);
 
 /// "over N runs" with N taken from the parsed --runs count. Fig-bench
 /// headers derive their description from these helpers instead of

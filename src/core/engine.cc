@@ -38,11 +38,14 @@ Engine::Engine(std::shared_ptr<const LogSnapshot> snapshot,
                EngineOptions options)
     : snapshot_(std::move(snapshot)), options_(std::move(options)) {
   PX_CHECK(snapshot_ != nullptr);
-  // Every technique scans the snapshot's one columnar replica.
+  // Every technique scans the snapshot's one columnar replica; SimButDiff
+  // additionally borrows the snapshot's pair-code store so sequential
+  // queries run on resident packed codes.
   explainer_ = std::make_unique<Explainer>(
       &snapshot_->log(), options_.explainer, &snapshot_->columns());
   sim_but_diff_ = std::make_unique<SimButDiff>(
-      &snapshot_->log(), options_.sim_but_diff, &snapshot_->columns());
+      &snapshot_->log(), options_.sim_but_diff, &snapshot_->columns(),
+      &snapshot_->pair_codes());
 }
 
 const RuleOfThumb& Engine::rule_of_thumb() const {
@@ -94,6 +97,27 @@ Status Engine::Definition1(const PreparedQuery& prepared) const {
                           options_.explainer.pair.sim_fraction);
 }
 
+ExplainerOptions Engine::ExplainerOptionsFor(
+    const ExplainRequest& request) const {
+  ExplainerOptions options = options_.explainer;
+  if (request.width > 0) options.width = request.width;
+  if (request.seed.has_value()) options.seed = *request.seed;
+  if (request.threads.has_value()) options.threads = *request.threads;
+  return options;
+}
+
+Status Engine::AttachEvaluation(const PreparedQuery& prepared,
+                                const ExplainRequest& request,
+                                ExplainResponse* response) const {
+  if (!request.evaluate) return Status::OK();
+  const Clock::time_point start = Clock::now();
+  auto metrics = Evaluate(prepared, response->explanation);
+  if (!metrics.ok()) return metrics.status();
+  response->metrics = metrics.value();
+  response->evaluate_ms = MsSince(start);
+  return Status::OK();
+}
+
 Result<Explanation> Engine::Generate(const PreparedQuery& prepared,
                                      const ExplainRequest& request) const {
   const std::size_t width =
@@ -101,12 +125,7 @@ Result<Explanation> Engine::Generate(const PreparedQuery& prepared,
   switch (request.technique) {
     case Technique::kPerfXplain: {
       PX_RETURN_IF_ERROR(Definition1(prepared));
-      ExplainerOptions explainer_options = options_.explainer;
-      explainer_options.width = width;
-      if (request.seed.has_value()) explainer_options.seed = *request.seed;
-      if (request.threads.has_value()) {
-        explainer_options.threads = *request.threads;
-      }
+      const ExplainerOptions explainer_options = ExplainerOptionsFor(request);
       if (request.auto_despite) {
         return explainer_->ExplainWithAutoDespitePrepared(
             prepared.bound(), prepared.poi_first(), prepared.poi_second(),
@@ -141,6 +160,9 @@ Status Engine::CheckPrepared(const PreparedQuery& prepared) const {
 Result<ExplainResponse> Engine::Explain(const PreparedQuery& prepared,
                                         const ExplainRequest& request) const {
   PX_RETURN_IF_ERROR(CheckPrepared(prepared));
+  const PairCodeStore& store = snapshot_->pair_codes();
+  const std::uint64_t builds_before =
+      request.technique == Technique::kSimButDiff ? store.build_count() : 0;
   const Clock::time_point start = Clock::now();
   auto explanation = Generate(prepared, request);
   if (!explanation.ok()) return explanation.status();
@@ -148,13 +170,14 @@ Result<ExplainResponse> Engine::Explain(const PreparedQuery& prepared,
   response.technique = request.technique;
   response.explanation = std::move(explanation).value();
   response.explain_ms = MsSince(start);
-  if (request.evaluate) {
-    const Clock::time_point evaluate_start = Clock::now();
-    auto metrics = Evaluate(prepared, response.explanation);
-    if (!metrics.ok()) return metrics.status();
-    response.metrics = metrics.value();
-    response.evaluate_ms = MsSince(evaluate_start);
+  if (request.technique == Technique::kSimButDiff) {
+    response.pair_store_built = store.build_count() > builds_before;
+    response.pair_store_hit =
+        store.bytes_per_plane() <=
+            options_.sim_but_diff.pair_code_budget_bytes &&
+        store.warm(options_.sim_but_diff.pair.sim_fraction);
   }
+  PX_RETURN_IF_ERROR(AttachEvaluation(prepared, request, &response));
   return response;
 }
 
@@ -165,20 +188,24 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
   for (std::size_t i = 0; i < items.size(); ++i) {
     responses.push_back(Status::Internal("batch item not answered"));
   }
+  // Items answered by a shared scan; everything else runs through the
+  // per-call path at the bottom.
+  std::vector<bool> handled(items.size(), false);
 
-  // The batch's SimButDiff requests share one ordered-pair scan; everything
-  // else runs through the per-call path below.
+  // The batch's SimButDiff requests share one ordered-pair scan.
   std::vector<std::size_t> batched;
   std::vector<SimButDiff::PreparedBatchQuery> queries;
   for (std::size_t i = 0; i < items.size(); ++i) {
     const BatchItem& item = items[i];
     if (item.prepared == nullptr) {
       responses[i] = Status::InvalidArgument("batch item has no query");
+      handled[i] = true;
       continue;
     }
     if (Status prepared_status = CheckPrepared(*item.prepared);
         !prepared_status.ok()) {
       responses[i] = prepared_status;
+      handled[i] = true;
       continue;
     }
     if (item.request.technique != Technique::kSimButDiff) continue;
@@ -194,13 +221,21 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
   }
 
   if (batched.size() > 1) {
+    const PairCodeStore& store = snapshot_->pair_codes();
+    const std::uint64_t builds_before = store.build_count();
     const Clock::time_point start = Clock::now();
     std::vector<Result<Explanation>> results =
         sim_but_diff_->ExplainBatch(queries, options_.sim_but_diff.threads);
     const double amortized_ms =
         MsSince(start) / static_cast<double>(batched.size());
+    const bool store_built = store.build_count() > builds_before;
+    const bool store_hit =
+        store.bytes_per_plane() <=
+            options_.sim_but_diff.pair_code_budget_bytes &&
+        store.warm(options_.sim_but_diff.pair.sim_fraction);
     for (std::size_t b = 0; b < batched.size(); ++b) {
       const std::size_t i = batched[b];
+      handled[i] = true;
       if (!results[b].ok()) {
         responses[i] = results[b].status();
         continue;
@@ -210,31 +245,89 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
       response.explanation = std::move(results[b]).value();
       response.explain_ms = amortized_ms;
       response.batched = true;
-      if (items[i].request.evaluate) {
-        const Clock::time_point evaluate_start = Clock::now();
-        auto metrics = Evaluate(*items[i].prepared, response.explanation);
-        if (!metrics.ok()) {
-          responses[i] = metrics.status();
-          continue;
-        }
-        response.metrics = metrics.value();
-        response.evaluate_ms = MsSince(evaluate_start);
+      response.pair_store_built = store_built;
+      response.pair_store_hit = store_hit;
+      if (Status evaluated = AttachEvaluation(*items[i].prepared,
+                                              items[i].request, &response);
+          !evaluated.ok()) {
+        responses[i] = evaluated;
+        continue;
       }
       responses[i] = std::move(response);
     }
-  } else {
-    // A lone SimButDiff request gains nothing from the batch machinery.
-    batched.clear();
+  }
+
+  // The batch's PerfXplain requests of one query shape (structurally
+  // identical bound predicates; Definition 1 holding, since the per-call
+  // path fails those before scanning; no auto-despite, which rewrites the
+  // shape mid-flight) share one related-pair classification scan. Each
+  // request then pays only its serial sampling replay, encoding and
+  // clause generation — bitwise identical to per-call Explain because the
+  // counting scan never depends on the pair of interest or the seed.
+  std::vector<std::vector<std::size_t>> px_groups;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    if (handled[i] || item.prepared == nullptr) continue;
+    if (item.request.technique != Technique::kPerfXplain) continue;
+    if (item.request.auto_despite) continue;
+    if (!Definition1(*item.prepared).ok()) continue;  // per-call status
+    const Query& bound = item.prepared->bound();
+    std::size_t g = 0;
+    for (; g < px_groups.size(); ++g) {
+      const Query& seen = items[px_groups[g].front()].prepared->bound();
+      if (seen.despite == bound.despite && seen.observed == bound.observed &&
+          seen.expected == bound.expected) {
+        break;
+      }
+    }
+    if (g == px_groups.size()) px_groups.emplace_back();
+    px_groups[g].push_back(i);
+  }
+  for (const std::vector<std::size_t>& group : px_groups) {
+    // A lone request gains nothing from the shared scan.
+    if (group.size() < 2) continue;
+    const PreparedQuery& representative = *items[group.front()].prepared;
+    const Clock::time_point scan_start = Clock::now();
+    const RelatedPairScan scan = ScanRelatedPairs(
+        snapshot_->columns(), representative.compiled(),
+        options_.explainer.pair.sim_fraction,
+        EnumerationOptions{options_.explainer.threads});
+    // Overflowed scans carry no replayable pair list; the group falls
+    // back to per-call execution (each call streams its own draws).
+    if (scan.overflowed) continue;
+    const double scan_share_ms =
+        MsSince(scan_start) / static_cast<double>(group.size());
+    for (std::size_t i : group) {
+      const BatchItem& item = items[i];
+      handled[i] = true;
+      const ExplainerOptions explainer_options =
+          ExplainerOptionsFor(item.request);
+      const Clock::time_point start = Clock::now();
+      auto explanation = explainer_->ExplainPreparedWithScan(
+          item.prepared->bound(), scan, item.prepared->poi_first(),
+          item.prepared->poi_second(), explainer_options);
+      if (!explanation.ok()) {
+        responses[i] = explanation.status();
+        continue;
+      }
+      ExplainResponse response;
+      response.technique = Technique::kPerfXplain;
+      response.explanation = std::move(explanation).value();
+      response.explain_ms = scan_share_ms + MsSince(start);
+      response.batched = true;
+      if (Status evaluated = AttachEvaluation(*item.prepared, item.request,
+                                              &response);
+          !evaluated.ok()) {
+        responses[i] = evaluated;
+        continue;
+      }
+      responses[i] = std::move(response);
+    }
   }
 
   for (std::size_t i = 0; i < items.size(); ++i) {
-    const BatchItem& item = items[i];
-    if (item.prepared == nullptr) continue;
-    if (item.request.technique == Technique::kSimButDiff &&
-        batched.size() > 1) {
-      continue;
-    }
-    responses[i] = Explain(*item.prepared, item.request);
+    if (handled[i]) continue;
+    responses[i] = Explain(*items[i].prepared, items[i].request);
   }
   return responses;
 }

@@ -14,6 +14,7 @@
 #include "core/metrics.h"
 #include "core/rule_of_thumb.h"
 #include "core/sim_but_diff.h"
+#include "features/pair_code_store.h"
 #include "log/columnar.h"
 #include "log/execution_log.h"
 #include "pxql/compiled_predicate.h"
@@ -32,15 +33,20 @@ enum class Technique {
 const char* TechniqueToString(Technique technique);
 
 /// The immutable data a query runs against: one log of past executions,
-/// its pair schema, and the dictionary-encoded columnar replica every scan
-/// reads. A snapshot is built once and never mutated afterwards, so any
-/// number of Engines, PreparedQueries and worker threads may share one
+/// its pair schema, the dictionary-encoded columnar replica every scan
+/// reads, and the lazily built PairCodeStore of packed per-pair isSame
+/// codes. A snapshot is built once and never mutated afterwards (the
+/// store's lazy build is call_once-guarded and invisible to readers), so
+/// any number of Engines, PreparedQueries and worker threads may share one
 /// through a shared_ptr<const LogSnapshot> — the serving-engine split
 /// between shared immutable data and cheap per-request state.
 class LogSnapshot {
  public:
   explicit LogSnapshot(ExecutionLog log)
-      : log_(std::move(log)), schema_(log_.schema()), columns_(log_) {}
+      : log_(std::move(log)),
+        schema_(log_.schema()),
+        columns_(log_),
+        pair_codes_(&columns_) {}
 
   LogSnapshot(const LogSnapshot&) = delete;
   LogSnapshot& operator=(const LogSnapshot&) = delete;
@@ -48,11 +54,18 @@ class LogSnapshot {
   const ExecutionLog& log() const { return log_; }
   const PairSchema& pair_schema() const { return schema_; }
   const ColumnarLog& columns() const { return columns_; }
+  /// The snapshot-resident packed pair-code cache. Computed at most once
+  /// per (snapshot, similarity fraction) and shared by every engine,
+  /// query and thread over this snapshot; SimButDiff borrows it so
+  /// sequential queries skip per-pair packing (subject to
+  /// SimButDiffOptions::pair_code_budget_bytes).
+  const PairCodeStore& pair_codes() const { return pair_codes_; }
 
  private:
   ExecutionLog log_;
   PairSchema schema_;
   ColumnarLog columns_;
+  PairCodeStore pair_codes_;
 };
 
 /// Per-technique tunables of one Engine. Fixed at construction; per-request
@@ -152,6 +165,14 @@ struct ExplainResponse {
   double evaluate_ms = 0.0;
   /// True when the response came from an ExplainBatch shared scan.
   bool batched = false;
+  /// SimButDiff technique only: whether the request ran on the snapshot's
+  /// resident PairCodeStore (within the engine's memory budget) ...
+  bool pair_store_hit = false;
+  /// ... and whether this very call paid the store's one-time build.
+  /// bench::RunOnce surfaces both so trajectory timings are not silently
+  /// polluted by build cost. Approximate under concurrency: a build
+  /// finishing on another thread mid-call can also flip it.
+  bool pair_store_built = false;
 };
 
 /// The thread-safe service facade: one immutable LogSnapshot, one
@@ -210,14 +231,23 @@ class Engine {
   };
 
   /// Answers a batch of requests, amortizing per-pair work across the
-  /// batch's SimButDiff requests: they share ONE ordered-pair scan in
-  /// which each pair is classified once per distinct query shape and its
-  /// packed isSame codes are built once and reused by every agreement
-  /// test (SimButDiff::ExplainBatch). All other requests run through
-  /// Explain. Results are bitwise identical to issuing the requests
-  /// one-by-one; responses line up with `items`. The shared scan uses the
-  /// engine's configured SimButDiff thread count (per-request `threads`
-  /// overrides apply only to non-batched requests).
+  /// batch:
+  ///  - its SimButDiff requests share ONE ordered-pair scan in which each
+  ///    pair is classified once per distinct query shape and its packed
+  ///    isSame codes are read from the snapshot store (or built once)
+  ///    for every agreement test (SimButDiff::ExplainBatch);
+  ///  - its PerfXplain requests sharing one query *shape* (structurally
+  ///    identical bound despite/observed/expected, no auto-despite) share
+  ///    ONE related-pair classification scan (ScanRelatedPairs); each
+  ///    request then replays only its own serial sampling draws and
+  ///    clause generation (Explainer::ExplainPreparedWithScan). When the
+  ///    scan overflows the sample buffer cap, the group falls back to
+  ///    per-call execution.
+  /// All other requests run through Explain. Results are bitwise
+  /// identical to issuing the requests one-by-one; responses line up with
+  /// `items`. The shared scans use the engine's configured thread counts
+  /// (per-request `threads` overrides apply only to non-batched
+  /// requests).
   std::vector<Result<ExplainResponse>> ExplainBatch(
       const std::vector<BatchItem>& items) const;
 
@@ -250,6 +280,19 @@ class Engine {
   /// Definition 1 under THIS engine's similarity fraction (see
   /// PreparedQuery::definition1).
   Status Definition1(const PreparedQuery& prepared) const;
+
+  /// The engine's ExplainerOptions with the request's width/seed/threads
+  /// overrides applied — the one definition both the per-call PerfXplain
+  /// path and the batched shared-scan path use, so the two can never
+  /// diverge on how a request maps to options.
+  ExplainerOptions ExplainerOptionsFor(const ExplainRequest& request) const;
+
+  /// Runs the evaluate scan when the request asked for one and attaches
+  /// metrics + evaluate_ms to the response. Shared by Explain and both
+  /// batched paths.
+  Status AttachEvaluation(const PreparedQuery& prepared,
+                          const ExplainRequest& request,
+                          ExplainResponse* response) const;
 
   Result<Explanation> Generate(const PreparedQuery& prepared,
                                const ExplainRequest& request) const;

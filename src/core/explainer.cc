@@ -388,6 +388,44 @@ Result<EncodedDataset> Explainer::BuildEncodedExamplesWith(
                         options.pair.sim_fraction);
 }
 
+Result<EncodedDataset> Explainer::BuildEncodedExamplesFromScan(
+    const Query& bound_query, const RelatedPairScan& scan,
+    std::size_t poi_first, std::size_t poi_second,
+    const ExplainerOptions& options) const {
+  (void)bound_query;  // the scan already encodes the query's shape
+  Rng rng(options.seed);
+  auto sampled =
+      ReplaySampleDraws(scan, columnar_->rows(), poi_first, poi_second,
+                        options.sampler, rng, options.balanced_sampling);
+  if (!sampled.ok()) return sampled.status();
+  std::vector<PairRef> pairs = std::move(sampled).value();
+  if (options.max_pairs_per_record > 0) {
+    pairs = EnforceRecordDiversity(std::move(pairs),
+                                   options.max_pairs_per_record,
+                                   /*keep_first=*/true);
+  }
+  return EncodedDataset(*columnar_, schema_, pairs,
+                        options.pair.sim_fraction);
+}
+
+Result<Explanation> Explainer::ExplainPreparedWithScan(
+    const Query& bound, const RelatedPairScan& scan, std::size_t poi_first,
+    std::size_t poi_second, const ExplainerOptions& options) const {
+  auto examples = BuildEncodedExamplesFromScan(bound, scan, poi_first,
+                                               poi_second, options);
+  if (!examples.ok()) return examples.status();
+  Explanation explanation;
+  EncodedClauseDataset working(examples.value(), /*target_expected=*/false);
+  explanation.because_trace =
+      GenerateClauseWith(working, schema_, options, options.width,
+                         ExcludedRawFeatures(bound), bound.despite.atoms());
+  explanation.because = ClauseToPredicate(explanation.because_trace);
+  if (explanation.because.is_true()) {
+    return Status::Internal("no applicable because clause could be built");
+  }
+  return explanation;
+}
+
 std::vector<ExplanationAtom> Explainer::GenerateClause(
     std::vector<TrainingExample> examples, std::size_t width,
     bool target_expected, const std::vector<std::size_t>& excluded_raw,

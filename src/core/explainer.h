@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/explanation.h"
+#include "core/pair_enumeration.h"
 #include "features/pair_features.h"
 #include "features/pair_schema.h"
 #include "log/columnar.h"
@@ -125,6 +126,19 @@ class Explainer {
                                       std::size_t poi_first,
                                       std::size_t poi_second,
                                       const ExplainerOptions& options) const;
+
+  /// ExplainPrepared with the related-pair counting scan already done —
+  /// the amortization seam of Engine::ExplainBatch for PerfXplain: the
+  /// O(n²) classification pass depends only on the query *shape* (its
+  /// three bound predicates), so a batch of structurally identical
+  /// queries shares one ScanRelatedPairs and each request replays only
+  /// its own serial sampling draws, encoding and clause generation.
+  /// `scan` must come from ScanRelatedPairs over this explainer's columns
+  /// with the query's compiled programs and this engine's sim_fraction,
+  /// and must not be overflowed. Bitwise identical to ExplainPrepared.
+  Result<Explanation> ExplainPreparedWithScan(
+      const Query& bound, const RelatedPairScan& scan, std::size_t poi_first,
+      std::size_t poi_second, const ExplainerOptions& options) const;
   Result<Predicate> GenerateDespitePrepared(
       const Query& bound, std::size_t poi_first, std::size_t poi_second,
       std::size_t width, const ExplainerOptions& options) const;
@@ -182,6 +196,13 @@ class Explainer {
   /// come from `options`, not the constructor's).
   Result<EncodedDataset> BuildEncodedExamplesWith(
       const Query& bound_query, std::size_t poi_first, std::size_t poi_second,
+      const ExplainerOptions& options) const;
+
+  /// The per-request tail of BuildEncodedExamplesWith over a shared scan:
+  /// serial sampling replay (ReplaySampleDraws), diversity cap, encoding.
+  Result<EncodedDataset> BuildEncodedExamplesFromScan(
+      const Query& bound_query, const RelatedPairScan& scan,
+      std::size_t poi_first, std::size_t poi_second,
       const ExplainerOptions& options) const;
 
   const ExecutionLog* log_;

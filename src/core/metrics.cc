@@ -31,7 +31,10 @@ ExplanationMetrics EvaluateExplanation(const ExecutionLog& log,
     std::size_t pairs_because_obs = 0;
   };
   std::vector<Counts> partials;
-  ScanOrderedPairs(columns.rows(), EnumerationOptions{}, partials,
+  // Selection-pruned: pairs failing the query's despite program are
+  // unrelated and touch no counter, so the metrics are identical.
+  ScanDespitePairs(query.despite, columns.rows(), EnumerationOptions{},
+                   partials,
                    [&](Counts& local, std::size_t i, std::size_t j) {
                      const PairLabel label =
                          ClassifyPairCompiled(query, i, j, f);
@@ -86,7 +89,8 @@ double EvaluateDespiteRelevance(const ExecutionLog& log,
     std::size_t expected = 0;
   };
   std::vector<Counts> partials;
-  ScanOrderedPairs(columns.rows(), EnumerationOptions{}, partials,
+  ScanDespitePairs(query.despite, columns.rows(), EnumerationOptions{},
+                   partials,
                    [&](Counts& local, std::size_t i, std::size_t j) {
                      const PairLabel label =
                          ClassifyPairCompiled(query, i, j, f);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <thread>
 
 namespace perfxplain {
@@ -75,7 +76,7 @@ RelatedCounts CountRelatedPairs(const ColumnarLog& columns,
   // an always-false despite clause relates nothing.
   if (query.despite.always_false()) return RelatedCounts{};
   std::vector<RelatedCounts> partial;
-  ScanOrderedPairs(n, enumeration, partial,
+  ScanDespitePairs(query.despite, n, enumeration, partial,
                    [&](RelatedCounts& local, std::size_t i, std::size_t j) {
                      switch (ClassifyPairCompiled(query, i, j,
                                                   sim_fraction)) {
@@ -105,7 +106,7 @@ std::vector<PairRef> CollectRelatedPairs(const ColumnarLog& columns,
   const std::size_t n = columns.rows();
   if (query.despite.always_false()) return {};
   std::vector<std::vector<PairRef>> partial;
-  ScanOrderedPairs(n, enumeration, partial,
+  ScanDespitePairs(query.despite, n, enumeration, partial,
                    [&](std::vector<PairRef>& local, std::size_t i,
                        std::size_t j) {
                      const PairLabel label = ClassifyPairCompiled(
@@ -126,20 +127,15 @@ std::vector<PairRef> CollectRelatedPairs(const ColumnarLog& columns,
   return related;
 }
 
-Result<std::vector<PairRef>> SampleRelatedPairs(
-    const ColumnarLog& columns, const CompiledQuery& query,
-    std::size_t poi_first, std::size_t poi_second, double sim_fraction,
-    const SamplerOptions& sampler_options, Rng& rng, bool balanced,
-    const EnumerationOptions& enumeration) {
-  if (poi_first >= columns.rows() || poi_second >= columns.rows() ||
-      poi_first == poi_second) {
-    return Status::InvalidArgument("pair of interest indexes out of range");
-  }
+RelatedPairScan ScanRelatedPairs(const ColumnarLog& columns,
+                                 const CompiledQuery& query,
+                                 double sim_fraction,
+                                 const EnumerationOptions& enumeration) {
   // One parallel pass produces the §4.3 label counts and, while the total
   // stays under the buffer cap, the related pairs themselves. A broad
   // despite clause that relates almost every ordered pair overflows the
-  // cap; the buffers are then discarded and a second, streaming scan
-  // performs the draws, keeping memory O(accepted).
+  // cap; the buffers are then discarded and callers fall back to a second,
+  // streaming draw scan, keeping memory O(accepted).
   const std::size_t n = columns.rows();
   const std::size_t cap = enumeration.sample_buffer_cap;
   struct StripeState {
@@ -150,8 +146,8 @@ Result<std::vector<PairRef>> SampleRelatedPairs(
   std::atomic<std::size_t> buffered{0};
   std::atomic<bool> overflow{cap == 0};
   if (!query.despite.always_false()) {
-    ScanOrderedPairs(
-        n, enumeration, partial,
+    ScanDespitePairs(
+        query.despite, n, enumeration, partial,
         [&](StripeState& local, std::size_t i, std::size_t j) {
           const PairLabel label =
               ClassifyPairCompiled(query, i, j, sim_fraction);
@@ -171,24 +167,46 @@ Result<std::vector<PairRef>> SampleRelatedPairs(
           }
         });
   }
-  RelatedCounts counts;
+  RelatedPairScan scan;
   for (const StripeState& local : partial) {
-    counts.observed += local.counts.observed;
-    counts.expected += local.counts.expected;
+    scan.counts.observed += local.counts.observed;
+    scan.counts.expected += local.counts.expected;
   }
-  if (counts.total() == 0) {
-    return Status::FailedPrecondition(
-        "no pairs in the log are related to the query");
+  scan.overflowed = overflow.load();
+  if (!scan.overflowed) {
+    // Stripes ascend, so concatenating the buffers in stripe order is the
+    // row-major order the draw replay needs.
+    scan.related.reserve(scan.counts.total());
+    for (StripeState& local : partial) {
+      scan.related.insert(scan.related.end(), local.pairs.begin(),
+                          local.pairs.end());
+    }
   }
+  return scan;
+}
+
+namespace {
+
+/// The §4.3 per-label acceptance probabilities: balanced sampling aims
+/// m/2 examples per label (clamped to 1), uniform sampling m overall.
+/// One definition shared by the buffered replay and the streaming
+/// fallback, so the two memory strategies can never drift apart.
+struct AcceptanceProbabilities {
+  double observed = 0.0;
+  double expected = 0.0;
+};
+
+AcceptanceProbabilities ComputeAcceptance(
+    const RelatedCounts& counts, const SamplerOptions& sampler_options,
+    bool balanced) {
   const double m = static_cast<double>(sampler_options.sample_size);
-  double p_observed;
-  double p_expected;
+  AcceptanceProbabilities p;
   if (balanced) {
-    p_observed =
+    p.observed =
         counts.observed == 0
             ? 0.0
             : std::min(1.0, m / (2.0 * static_cast<double>(counts.observed)));
-    p_expected =
+    p.expected =
         counts.expected == 0
             ? 0.0
             : std::min(1.0,
@@ -196,42 +214,100 @@ Result<std::vector<PairRef>> SampleRelatedPairs(
   } else {
     const double uniform =
         std::min(1.0, m / static_cast<double>(counts.total()));
-    p_observed = uniform;
-    p_expected = uniform;
+    p.observed = uniform;
+    p.expected = uniform;
   }
+  return p;
+}
+
+}  // namespace
+
+Result<std::vector<PairRef>> ReplaySampleDraws(
+    const RelatedPairScan& scan, std::size_t rows, std::size_t poi_first,
+    std::size_t poi_second, const SamplerOptions& sampler_options, Rng& rng,
+    bool balanced) {
+  PX_CHECK(!scan.overflowed);
+  if (poi_first >= rows || poi_second >= rows || poi_first == poi_second) {
+    return Status::InvalidArgument("pair of interest indexes out of range");
+  }
+  const RelatedCounts& counts = scan.counts;
+  if (counts.total() == 0) {
+    return Status::FailedPrecondition(
+        "no pairs in the log are related to the query");
+  }
+  const AcceptanceProbabilities p =
+      ComputeAcceptance(counts, sampler_options, balanced);
 
   // The acceptance draws happen serially in row-major related-pair order
   // (one Bernoulli per related pair except the pair of interest) — exactly
   // the draw sequence of the legacy two-pass enumeration, for any thread
-  // count and either memory strategy.
+  // count, any pruning decision, and either memory strategy.
   std::vector<PairRef> sampled;
-  sampled.reserve(std::min<std::size_t>(static_cast<std::size_t>(m) + 1,
-                                        counts.total() + 1));
+  sampled.reserve(std::min<std::size_t>(
+      sampler_options.sample_size + 1, counts.total() + 1));
   sampled.push_back({poi_first, poi_second, true});
-  if (!overflow.load()) {
-    // Stripes ascend, so replaying the buffers in stripe order is the
-    // row-major order.
-    for (const StripeState& local : partial) {
-      for (const PairRef& pair : local.pairs) {
-        if (pair.first == poi_first && pair.second == poi_second) continue;
-        if (!rng.Bernoulli(pair.observed ? p_observed : p_expected)) {
-          continue;
-        }
-        sampled.push_back(pair);
+  for (const PairRef& pair : scan.related) {
+    if (pair.first == poi_first && pair.second == poi_second) continue;
+    if (!rng.Bernoulli(pair.observed ? p.observed : p.expected)) {
+      continue;
+    }
+    sampled.push_back(pair);
+  }
+  return sampled;
+}
+
+Result<std::vector<PairRef>> SampleRelatedPairs(
+    const ColumnarLog& columns, const CompiledQuery& query,
+    std::size_t poi_first, std::size_t poi_second, double sim_fraction,
+    const SamplerOptions& sampler_options, Rng& rng, bool balanced,
+    const EnumerationOptions& enumeration) {
+  const std::size_t n = columns.rows();
+  if (poi_first >= n || poi_second >= n || poi_first == poi_second) {
+    return Status::InvalidArgument("pair of interest indexes out of range");
+  }
+  RelatedPairScan scan =
+      ScanRelatedPairs(columns, query, sim_fraction, enumeration);
+  if (!scan.overflowed) {
+    return ReplaySampleDraws(scan, n, poi_first, poi_second, sampler_options,
+                             rng, balanced);
+  }
+  if (scan.counts.total() == 0) {
+    return Status::FailedPrecondition(
+        "no pairs in the log are related to the query");
+  }
+  const AcceptanceProbabilities p =
+      ComputeAcceptance(scan.counts, sampler_options, balanced);
+  // Streaming second pass: the related pairs did not fit the buffer, so
+  // the draws run against a fresh serial enumeration. Selection pruning
+  // keeps the surviving pairs and their order unchanged (pruned pairs are
+  // unrelated and consume no draw), so the sampled set matches the
+  // unpruned scan bit for bit.
+  std::vector<PairRef> sampled;
+  sampled.reserve(sampler_options.sample_size + 1);
+  sampled.push_back({poi_first, poi_second, true});
+  const PairSelection selection = enumeration.prune
+                                      ? query.despite.DeriveSelection(n)
+                                      : PairSelection{};
+  const auto draw_pair = [&](std::size_t i, std::size_t j) {
+    if (i == j) return;
+    if (i == poi_first && j == poi_second) return;
+    const PairLabel label = ClassifyPairCompiled(query, i, j, sim_fraction);
+    if (label == PairLabel::kUnrelated) return;
+    const bool observed = label == PairLabel::kObserved;
+    if (!rng.Bernoulli(observed ? p.observed : p.expected)) return;
+    sampled.push_back({i, j, observed});
+  };
+  if (selection.constrained) {
+    for (std::uint32_t i : selection.first_rows) {
+      for (std::uint32_t j : selection.second_rows) {
+        draw_pair(i, j);
       }
     }
-    return sampled;
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      if (i == poi_first && j == poi_second) continue;
-      const PairLabel label =
-          ClassifyPairCompiled(query, i, j, sim_fraction);
-      if (label == PairLabel::kUnrelated) continue;
-      const bool observed = label == PairLabel::kObserved;
-      if (!rng.Bernoulli(observed ? p_observed : p_expected)) continue;
-      sampled.push_back({i, j, observed});
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        draw_pair(i, j);
+      }
     }
   }
   return sampled;
@@ -281,18 +357,34 @@ Result<std::pair<std::size_t, std::size_t>> FindPairOfInterest(
   const std::size_t n = columns.rows();
   std::size_t remaining = skip;
   if (!query.despite.always_false()) {
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        if (ClassifyPairCompiled(query, i, j, sim_fraction) !=
-            PairLabel::kObserved) {
-          continue;
+    // Selection pruning preserves the row-major order of matching pairs
+    // (pruned pairs fail des), so `skip` counts the same sequence.
+    const PairSelection selection = query.despite.DeriveSelection(n);
+    std::optional<std::pair<std::size_t, std::size_t>> found;
+    const auto visit = [&](std::size_t i, std::size_t j) {
+      if (i == j) return false;
+      if (ClassifyPairCompiled(query, i, j, sim_fraction) !=
+          PairLabel::kObserved) {
+        return false;
+      }
+      if (remaining > 0) {
+        --remaining;
+        return false;
+      }
+      found = std::make_pair(i, j);
+      return true;
+    };
+    if (selection.constrained) {
+      for (std::uint32_t i : selection.first_rows) {
+        for (std::uint32_t j : selection.second_rows) {
+          if (visit(i, j)) return *found;
         }
-        if (remaining > 0) {
-          --remaining;
-          continue;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (visit(i, j)) return *found;
         }
-        return std::make_pair(i, j);
       }
     }
   }

@@ -81,6 +81,14 @@ struct EnumerationOptions {
   /// second, streaming scan performs the draws with O(accepted) memory.
   /// Both paths produce identical results. 0 forces the streaming path.
   std::size_t sample_buffer_cap = std::size_t{1} << 21;
+
+  /// Selection-vector pruning: derive per-row selection vectors from the
+  /// query's despite program (CompiledPredicate::DeriveSelection) and
+  /// enumerate only |sel_first| × |sel_second| candidate pairs instead of
+  /// n². Pruned pairs all fail des (they are unrelated and touch no
+  /// tally), so results are bitwise identical either way; the flag exists
+  /// for the equivalence tests and the BM_SelectiveQueryPruning baseline.
+  bool prune = true;
 };
 
 /// Overrides the process-wide default thread count (0 restores "hardware
@@ -168,6 +176,55 @@ void ScanOrderedPairs(std::size_t rows, const EnumerationOptions& enumeration,
                    });
 }
 
+/// Row-blocked scan over the candidate pairs of a PairSelection (which
+/// must be constrained): stripes cover contiguous chunks of
+/// `selection.first_rows` (ascending, so partials merged in stripe order
+/// reproduce the row-major result), the inner loop walks
+/// `selection.second_rows`, and the diagonal is skipped. Same contract as
+/// ScanOrderedPairs over the selected subset.
+template <typename Partial, typename PerPair>
+void ScanSelectedPairs(const PairSelection& selection,
+                       const EnumerationOptions& enumeration,
+                       std::vector<Partial>& partials, PerPair&& per_pair) {
+  const int threads = ResolveEnumerationThreads(enumeration);
+  const std::vector<std::uint32_t>& first = selection.first_rows;
+  const std::vector<std::uint32_t>& second = selection.second_rows;
+  partials.assign(RowStripeCount(first.size(), threads), Partial{});
+  ForEachRowStripe(first.size(), threads,
+                   [&](std::size_t block, std::size_t begin,
+                       std::size_t end) {
+                     Partial local{};
+                     for (std::size_t s = begin; s < end; ++s) {
+                       const std::size_t i = first[s];
+                       for (std::uint32_t j : second) {
+                         if (i != j) per_pair(local, i, j);
+                       }
+                     }
+                     partials[block] = std::move(local);
+                   });
+}
+
+/// ScanOrderedPairs with selection-vector pruning: when pruning is on and
+/// the despite program's first deterministic atom yields a selection
+/// (CompiledPredicate::DeriveSelection), only the candidate pairs are
+/// enumerated; otherwise all ordered pairs are. Bitwise-identical partial
+/// tallies either way — pruned pairs fail des and contribute nothing.
+template <typename Partial, typename PerPair>
+void ScanDespitePairs(const CompiledPredicate& despite, std::size_t rows,
+                      const EnumerationOptions& enumeration,
+                      std::vector<Partial>& partials, PerPair&& per_pair) {
+  if (enumeration.prune) {
+    const PairSelection selection = despite.DeriveSelection(rows);
+    if (selection.constrained) {
+      ScanSelectedPairs(selection, enumeration, partials,
+                        std::forward<PerPair>(per_pair));
+      return;
+    }
+  }
+  ScanOrderedPairs(rows, enumeration, partials,
+                   std::forward<PerPair>(per_pair));
+}
+
 /// Counts of related pairs by label.
 struct RelatedCounts {
   std::size_t observed = 0;
@@ -195,6 +252,42 @@ RelatedCounts CountRelatedPairs(const ColumnarLog& columns,
 std::vector<PairRef> CollectRelatedPairs(
     const ColumnarLog& columns, const CompiledQuery& query,
     double sim_fraction, const EnumerationOptions& enumeration = {});
+
+/// The pair-of-interest-independent product of SampleRelatedPairs'
+/// counting scan: the Definition 8/9 label counts plus — unless the
+/// buffer cap overflowed — every related pair in row-major order. One
+/// scan of a query *shape* serves any number of pairs of interest:
+/// Engine::ExplainBatch runs it once per group of structurally identical
+/// PerfXplain queries and replays the sampling per request.
+struct RelatedPairScan {
+  RelatedCounts counts;
+  /// Row-major related pairs; empty and meaningless when `overflowed`.
+  std::vector<PairRef> related;
+  /// True when more than EnumerationOptions::sample_buffer_cap pairs were
+  /// related: the buffer was discarded and callers must fall back to the
+  /// streaming draw scan (plain SampleRelatedPairs).
+  bool overflowed = false;
+};
+
+/// The counting pass of SampleRelatedPairs, exposed so the scan can be
+/// shared across queries of one shape. Selection-pruned like every
+/// despite-first scan.
+RelatedPairScan ScanRelatedPairs(const ColumnarLog& columns,
+                                 const CompiledQuery& query,
+                                 double sim_fraction,
+                                 const EnumerationOptions& enumeration = {});
+
+/// The serial §4.3 acceptance replay of SampleRelatedPairs over an
+/// already-collected scan (which must not be overflowed): computes the
+/// balanced acceptance probabilities from the counts and draws one
+/// Bernoulli per related pair (except the pair of interest) in row-major
+/// order — bit-identical to SampleRelatedPairs over the same log and
+/// query for the same Rng. `rows` is the scanned log's row count (pair-of-
+/// interest bounds check only).
+Result<std::vector<PairRef>> ReplaySampleDraws(
+    const RelatedPairScan& scan, std::size_t rows, std::size_t poi_first,
+    std::size_t poi_second, const SamplerOptions& sampler_options, Rng& rng,
+    bool balanced = true);
 
 /// constructTrainingExamples + sample (lines 1-2 of Algorithm 1) on the
 /// columnar fast path: collects related pairs, then serially replays the

@@ -84,12 +84,13 @@ Result<Explanation> ExplanationFromTallies(
 }  // namespace
 
 SimButDiff::SimButDiff(const ExecutionLog* log, SimButDiffOptions options,
-                       const ColumnarLog* columns)
-    : log_(log), options_(options), schema_(log->schema()) {
+                       const ColumnarLog* columns, const PairCodeStore* store)
+    : log_(log), options_(options), schema_(log->schema()), store_(store) {
   PX_CHECK(log != nullptr);
   if (columns == nullptr) {
     owned_columns_ = std::make_unique<ColumnarLog>(*log);
     columns_ = owned_columns_.get();
+    PX_CHECK(store == nullptr);  // a store always belongs to its columns
   } else {
     columns_ = columns;
   }
@@ -159,37 +160,137 @@ Result<Explanation> SimButDiff::ExplainPrepared(const Query& bound,
   };
   std::vector<Tally> partial;
   if (satisfiable && !compiled.despite.always_false()) {
-    ScanOrderedPairs(
-        columns.rows(), EnumerationOptions{threads}, partial,
-        [&](Tally& local, std::size_t i, std::size_t j) {
-          if (local.disagree.empty()) {
-            local.disagree.assign(k, 0);
-            local.disagree_expected.assign(k, 0);
-            local.diff_masks.assign(poi_codes.word_count(), 0);
-            local.diff_features.reserve(k);
-          }
-          if (i == poi_first && j == poi_second) return;
-          const PairLabel label = ClassifyPairCompiled(compiled, i, j, sim);
-          if (label == PairLabel::kUnrelated) return;
-          // Pack the pair's isSame codes a word at a time and XOR-popcount
-          // against the poi; pairs that cannot reach the similarity
-          // threshold are abandoned mid-scan. Accept/reject and the
-          // resulting tallies are identical to the feature-at-a-time scan.
-          const std::size_t disagreed = kernel::ScanPairAgainstPoi(
-              table, i, j, sim, poi_codes, max_disagree,
-              local.diff_masks.data());
-          if (disagreed == kernel::kPackedRejected) return;
-          ++local.similar_pairs;
-          local.diff_features.clear();
-          kernel::AppendMaskedFeatures(local.diff_masks.data(),
-                                       poi_codes.word_count(),
-                                       local.diff_features);
-          const bool expected = label == PairLabel::kExpected;
-          for (std::size_t f : local.diff_features) {
-            ++local.disagree[f];
-            if (expected) ++local.disagree_expected[f];
-          }
-        });
+    const auto ensure_scratch = [&](Tally& local) {
+      if (local.disagree.empty()) {
+        local.disagree.assign(k, 0);
+        local.disagree_expected.assign(k, 0);
+        local.diff_masks.assign(poi_codes.word_count(), 0);
+        local.diff_features.reserve(k);
+      }
+    };
+    const auto tally_pair = [&](Tally& local, PairLabel label) {
+      ++local.similar_pairs;
+      local.diff_features.clear();
+      kernel::AppendMaskedFeatures(local.diff_masks.data(),
+                                   poi_codes.word_count(),
+                                   local.diff_features);
+      const bool expected = label == PairLabel::kExpected;
+      for (std::size_t f : local.diff_features) {
+        ++local.disagree[f];
+        if (expected) ++local.disagree_expected[f];
+      }
+    };
+    // The snapshot-resident fast path: with the PairCodeStore warm (built
+    // once per snapshot, inside the budget), a sequential query packs
+    // nothing. Each worker walks its rows' contiguous store tiles with a
+    // branchless similarity pre-filter — pure XOR + mask + popcount over
+    // resident words, one candidate-append per pair — and only the
+    // candidates similar to the pair of interest pay a classification.
+    // Reordering the similarity test before the classification never
+    // changes the tallied set: a pair is tallied iff it is related AND
+    // similar, whichever test runs first; and integer tallies merged in
+    // stripe order keep every thread count bitwise identical.
+    const int resolved =
+        ResolveEnumerationThreads(EnumerationOptions{threads});
+    const PairCodeStore::Resident* resident =
+        store_ != nullptr
+            ? store_->Acquire(sim, options_.pair_code_budget_bytes,
+                              resolved)
+            : nullptr;
+    if (resident != nullptr) {
+      const std::size_t n = columns.rows();
+      const std::size_t words = poi_codes.word_count();
+      const PairSelection selection = compiled.despite.DeriveSelection(n);
+      const std::vector<std::uint32_t>* first_rows =
+          selection.constrained ? &selection.first_rows : nullptr;
+      const std::vector<std::uint32_t>* second_rows =
+          selection.constrained ? &selection.second_rows : nullptr;
+      const std::size_t stripe_domain = first_rows ? first_rows->size() : n;
+      partial.assign(RowStripeCount(stripe_domain, resolved), Tally{});
+      ForEachRowStripe(
+          stripe_domain, resolved,
+          [&](std::size_t block, std::size_t begin, std::size_t end) {
+            Tally local;
+            ensure_scratch(local);
+            std::vector<std::uint32_t> candidates(n);
+            // Hoisted poi words: the filter loop reads only registers,
+            // the tile, and (with pruning) the selection vector.
+            const std::uint64_t poi_word0 =
+                words > 0 ? poi_codes.word(0) : 0;
+            for (std::size_t s = begin; s < end; ++s) {
+              const std::size_t i = first_rows ? (*first_rows)[s] : s;
+              const std::uint64_t* tile = resident->pair_words(i, 0);
+              std::size_t count = 0;
+              if (words == 1 && second_rows == nullptr) {
+                // The common k <= 32 shape: one word per pair, the whole
+                // row tile scanned linearly with a branchless append.
+                for (std::size_t j = 0; j < n; ++j) {
+                  const std::uint64_t mask =
+                      kernel::PackedDisagreeMask(tile[j], poi_word0);
+                  candidates[count] = static_cast<std::uint32_t>(j);
+                  count += static_cast<std::size_t>(
+                      static_cast<std::size_t>(kernel::PopCount(mask)) <=
+                      max_disagree);
+                }
+              } else {
+                const std::size_t inner =
+                    second_rows ? second_rows->size() : n;
+                for (std::size_t s2 = 0; s2 < inner; ++s2) {
+                  const std::size_t j =
+                      second_rows ? (*second_rows)[s2] : s2;
+                  const std::uint64_t* pair = tile + j * words;
+                  std::size_t disagree = 0;
+                  for (std::size_t w = 0; w < words; ++w) {
+                    disagree += static_cast<std::size_t>(
+                        kernel::PopCount(kernel::PackedDisagreeMask(
+                            pair[w], poi_codes.word(w))));
+                  }
+                  candidates[count] = static_cast<std::uint32_t>(j);
+                  count += static_cast<std::size_t>(disagree <=
+                                                    max_disagree);
+                }
+              }
+              for (std::size_t c = 0; c < count; ++c) {
+                const std::size_t j = candidates[c];
+                if (j == i) continue;
+                if (i == poi_first && j == poi_second) continue;
+                const PairLabel label =
+                    ClassifyPairCompiled(compiled, i, j, sim);
+                if (label == PairLabel::kUnrelated) continue;
+                const std::uint64_t* pair = tile + j * words;
+                for (std::size_t w = 0; w < words; ++w) {
+                  local.diff_masks[w] = kernel::PackedDisagreeMask(
+                      pair[w], poi_codes.word(w));
+                }
+                tally_pair(local, label);
+              }
+            }
+            partial[block] = std::move(local);
+          });
+    } else {
+      // Streaming fallback (no store, or n²·k/4 over the memory budget):
+      // the fused pack-and-compare of PR 3, classification first so
+      // unrelated pairs never pack.
+      ScanDespitePairs(
+          compiled.despite, columns.rows(), EnumerationOptions{threads},
+          partial, [&](Tally& local, std::size_t i, std::size_t j) {
+            ensure_scratch(local);
+            if (i == poi_first && j == poi_second) return;
+            const PairLabel label =
+                ClassifyPairCompiled(compiled, i, j, sim);
+            if (label == PairLabel::kUnrelated) return;
+            // Pack the pair's isSame codes a word at a time and
+            // XOR-popcount against the poi; pairs that cannot reach the
+            // similarity threshold are abandoned mid-scan. Accept/reject
+            // and the resulting tallies are identical to the
+            // feature-at-a-time scan.
+            const std::size_t disagreed = kernel::ScanPairAgainstPoi(
+                table, i, j, sim, poi_codes, max_disagree,
+                local.diff_masks.data());
+            if (disagreed == kernel::kPackedRejected) return;
+            tally_pair(local, label);
+          });
+    }
   }
   std::vector<std::size_t> disagree(k, 0);
   std::vector<std::size_t> disagree_expected(k, 0);
@@ -294,6 +395,16 @@ std::vector<Result<Explanation>> SimButDiff::ExplainBatch(
   };
   std::vector<Tally> partial;
   if (any_active) {
+    // The batch path reuses the resident store too: when warm, no pair
+    // is ever packed — the shared scan reads each pair's words straight
+    // from the snapshot. Acquired only when the scan will actually run,
+    // so a batch of unsatisfiable queries never pays the build.
+    const PairCodeStore::Resident* resident =
+        store_ != nullptr
+            ? store_->Acquire(
+                  sim, options_.pair_code_budget_bytes,
+                  ResolveEnumerationThreads(EnumerationOptions{threads}))
+            : nullptr;
     ScanOrderedPairs(
         columns.rows(), EnumerationOptions{threads}, partial,
         [&](Tally& local, std::size_t i, std::size_t j) {
@@ -316,34 +427,26 @@ std::vector<Result<Explanation>> SimButDiff::ExplainBatch(
                           sim)
                     : PairLabel::kUnrelated;
           }
-          bool packed = false;
+          const std::uint64_t* pair_words =
+              resident != nullptr ? resident->pair_words(i, j) : nullptr;
           for (std::size_t r = 0; r < n; ++r) {
             const Request& request = requests[r];
             if (!request.active) continue;
             const PairLabel label = local.labels[request.group];
             if (label == PairLabel::kUnrelated) continue;
             if (i == request.poi_first && j == request.poi_second) continue;
-            if (!packed) {
+            if (pair_words == nullptr) {
               kernel::PackIsSameCodesInto(table, i, j, sim,
                                           &local.pair_codes);
-              packed = true;
+              pair_words = local.pair_codes.words();
             }
             // Word-at-a-time agreement test against this request's poi.
             // Word granularity accepts/rejects exactly as the per-call
             // chunked scan does — only the wasted work differs.
-            std::size_t disagreed = 0;
-            bool rejected = false;
-            for (std::size_t w = 0; w < words; ++w) {
-              const std::uint64_t mask = kernel::PackedDisagreeMask(
-                  local.pair_codes.word(w), request.poi_codes.word(w));
-              local.diff_masks[w] = mask;
-              disagreed += static_cast<std::size_t>(kernel::PopCount(mask));
-              if (disagreed > max_disagree) {
-                rejected = true;
-                break;
-              }
-            }
-            if (rejected) continue;
+            const std::size_t disagreed = kernel::ComparePackedAgainstPoi(
+                pair_words, request.poi_codes, max_disagree,
+                local.diff_masks.data());
+            if (disagreed == kernel::kPackedRejected) continue;
             RequestTally& tally = local.per_request[r];
             ++tally.similar_pairs;
             local.diff_features.clear();

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/explanation.h"
+#include "features/pair_code_store.h"
 #include "features/pair_schema.h"
 #include "log/columnar.h"
 #include "log/execution_log.h"
@@ -27,6 +28,14 @@ struct SimButDiffOptions {
   /// default). Thread count never changes any result: per-stripe tallies
   /// are integer sums merged in row order.
   int threads = 0;
+  /// Memory budget of the snapshot-resident PairCodeStore (set through
+  /// EngineOptions::sim_but_diff). A store plane costs
+  /// PairCodeStore::BytesNeeded(n, k) = n² · ceil(k/32) · 8 ≈ n² · k/4
+  /// bytes; when that exceeds the budget (or the baseline was built
+  /// without a store), Explain falls back to the streaming fused
+  /// pack-and-compare — bitwise-identical results, it only repacks every
+  /// pair per call. 0 disables the resident path outright.
+  std::size_t pair_code_budget_bytes = std::size_t{256} << 20;
 };
 
 /// The SimButDiff baseline (§5.2, Algorithm 2): restrict training examples
@@ -48,8 +57,15 @@ class SimButDiff {
   /// the columnar copy of `log` (and outlive this object too); the
   /// baseline then shares it instead of building its own — PerfXplain
   /// passes the Explainer's so all three techniques scan one replica.
+  /// When `store` is non-null it must be the PairCodeStore of `columns`
+  /// (the Engine passes its snapshot's): Explain then runs on the
+  /// snapshot-resident packed codes — first acquisition builds them once,
+  /// every later sequential query skips packing entirely — subject to
+  /// SimButDiffOptions::pair_code_budget_bytes. A null store keeps the
+  /// streaming fused pack-and-compare of PR 3.
   SimButDiff(const ExecutionLog* log, SimButDiffOptions options,
-             const ColumnarLog* columns = nullptr);
+             const ColumnarLog* columns = nullptr,
+             const PairCodeStore* store = nullptr);
 
   /// The columnar replica every scan of this baseline reads.
   const ColumnarLog& columns() const { return *columns_; }
@@ -105,6 +121,7 @@ class SimButDiff {
   PairSchema schema_;
   std::unique_ptr<ColumnarLog> owned_columns_;
   const ColumnarLog* columns_;
+  const PairCodeStore* store_;  ///< may be null: streaming pack only
 };
 
 }  // namespace perfxplain

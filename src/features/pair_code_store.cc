@@ -1,0 +1,135 @@
+#include "features/pair_code_store.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace perfxplain {
+
+namespace {
+
+/// Runs body(row_begin, row_end) over contiguous row stripes on
+/// `threads` workers (0 = hardware concurrency). Local to the store so
+/// the features layer does not depend on core/pair_enumeration; every
+/// (i, j) slot is written by exactly one stripe with a pure function of
+/// the immutable columns, so the built data is identical for every
+/// stripe count.
+template <typename Body>
+void ForEachRowStripeLocal(std::size_t rows, int threads, Body&& body) {
+  std::size_t stripes = threads > 0
+                            ? static_cast<std::size_t>(threads)
+                            : std::thread::hardware_concurrency();
+  if (stripes == 0) stripes = 1;
+  stripes = std::min(stripes, std::max<std::size_t>(rows, 1));
+  if (stripes <= 1) {
+    body(std::size_t{0}, rows);
+    return;
+  }
+  const std::size_t chunk = (rows + stripes - 1) / stripes;
+  std::vector<std::thread> workers;
+  workers.reserve(stripes - 1);
+  for (std::size_t b = 1; b < stripes; ++b) {
+    const std::size_t begin = b * chunk;
+    const std::size_t end = std::min(rows, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  body(std::size_t{0}, std::min(rows, chunk));
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace
+
+PairCodeStore::PairCodeStore(const ColumnarLog* columns)
+    : columns_(columns) {
+  PX_CHECK(columns != nullptr);
+}
+
+std::size_t PairCodeStore::BytesNeeded(std::size_t rows,
+                                       std::size_t features) {
+  const std::size_t words =
+      (features + kernel::kPackedFeaturesPerWord - 1) /
+      kernel::kPackedFeaturesPerWord;
+  return rows * rows * words * sizeof(std::uint64_t);
+}
+
+std::size_t PairCodeStore::bytes_per_plane() const {
+  return BytesNeeded(columns_->rows(), columns_->schema().size());
+}
+
+PairCodeStore::Plane* PairCodeStore::FindPlane(double sim_fraction) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& plane : planes_) {
+    if (plane->sim_fraction == sim_fraction) return plane.get();
+  }
+  planes_.push_back(std::make_unique<Plane>());
+  planes_.back()->sim_fraction = sim_fraction;
+  return planes_.back().get();
+}
+
+void PairCodeStore::Build(Plane* plane, int threads) const {
+  const std::size_t n = columns_->rows();
+  const std::size_t k = columns_->schema().size();
+  const std::size_t words = (k + kernel::kPackedFeaturesPerWord - 1) /
+                            kernel::kPackedFeaturesPerWord;
+  Resident& resident = plane->resident;
+  resident.rows_ = n;
+  resident.features_ = k;
+  resident.words_ = words;
+  resident.sim_fraction_ = plane->sim_fraction;
+  resident.data_.assign(n * n * words, 0);
+
+  const kernel::RawColumnTable table(*columns_);
+  const double sim = plane->sim_fraction;
+  std::uint64_t* data = resident.data_.data();
+  // Tile i (row i's n pair vectors) is filled by exactly one stripe; the
+  // diagonal is packed too so addressing stays branch-free.
+  ForEachRowStripeLocal(n, threads, [&](std::size_t begin,
+                                        std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::uint64_t* tile = data + i * n * words;
+      for (std::size_t j = 0; j < n; ++j) {
+        kernel::PackIsSameCodesRaw(table, i, j, sim, tile + j * words);
+      }
+    }
+  });
+
+  builds_.fetch_add(1, std::memory_order_acq_rel);
+  plane->built.store(true, std::memory_order_release);
+}
+
+const PairCodeStore::Resident* PairCodeStore::Acquire(
+    double sim_fraction, std::size_t max_bytes, int build_threads) const {
+  if (bytes_per_plane() > max_bytes) return nullptr;
+  Plane* plane = FindPlane(sim_fraction);
+  std::call_once(plane->once, [this, plane, build_threads] {
+    Build(plane, build_threads);
+  });
+  return &plane->resident;
+}
+
+const PairCodeStore::Resident* PairCodeStore::Peek(
+    double sim_fraction) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& plane : planes_) {
+    if (plane->sim_fraction == sim_fraction &&
+        plane->built.load(std::memory_order_acquire)) {
+      return &plane->resident;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t PairCodeStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& plane : planes_) {
+    if (plane->built.load(std::memory_order_acquire)) {
+      total += plane->resident.bytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,138 @@
+#ifndef PERFXPLAIN_FEATURES_PAIR_CODE_STORE_H_
+#define PERFXPLAIN_FEATURES_PAIR_CODE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "features/pair_feature_kernel.h"
+#include "log/columnar.h"
+
+namespace perfxplain {
+
+/// A snapshot-resident cache of every ordered pair's packed 2-bit isSame
+/// codes, so sequential SimButDiff queries skip the per-pair packing the
+/// batch path amortizes and run pure XOR + mask + popcount over resident
+/// words. One store belongs to one immutable ColumnarLog (the LogSnapshot
+/// owns it next to the columns); it is built lazily behind std::call_once
+/// on first acquisition and shared read-only by every PreparedQuery and
+/// worker thread afterwards.
+///
+/// Layout (one "plane" per similarity fraction): the n² pair vectors are
+/// row-tiled — tile i holds the n packed vectors of row i's ordered pairs
+/// (i, 0..n-1), each vector ceil(k/32) contiguous uint64 words — so the
+/// row-major pair scans the engine runs touch the store strictly
+/// sequentially and a row's tile stays cache-resident across its inner
+/// loop. The pair (i, j) lives at word offset (i*n + j) * word_count().
+///
+/// Memory: a plane costs n² * ceil(k/32) * 8 bytes ≈ n² * k/4 bytes (2
+/// bits per feature per ordered pair; the diagonal is stored too, keeping
+/// addressing branch-free). Acquire refuses to build — and refuses to
+/// return an already-built plane — when that exceeds the caller's budget,
+/// so callers under a memory cap deterministically take their streaming
+/// fallback instead (SimButDiffOptions::pair_code_budget_bytes).
+///
+/// isSame codes depend on the similarity fraction (numeric features), so
+/// planes are keyed by the exact double; engines sharing a snapshot under
+/// different fractions each get their own plane. In practice every engine
+/// over one snapshot runs the same fraction and the registry holds one.
+///
+/// Thread safety: Acquire/Peek are const and safe from any number of
+/// threads; the first concurrent acquirers of a plane rendezvous on its
+/// std::call_once and all observe the fully built data.
+class PairCodeStore {
+ public:
+  /// The built, immutable packed-code plane of one similarity fraction.
+  class Resident {
+   public:
+    std::size_t rows() const { return rows_; }
+    std::size_t features() const { return features_; }
+    /// Words per pair vector: ceil(features / kPackedFeaturesPerWord).
+    std::size_t word_count() const { return words_; }
+    double sim_fraction() const { return sim_fraction_; }
+    std::size_t bytes() const { return data_.size() * sizeof(std::uint64_t); }
+
+    /// The packed isSame codes of ordered pair (i, j): word_count() words,
+    /// field-for-field equal to kernel::PackIsSameCodes(table, i, j,
+    /// sim_fraction()).
+    const std::uint64_t* pair_words(std::size_t i, std::size_t j) const {
+      return data_.data() + (i * rows_ + j) * words_;
+    }
+
+   private:
+    friend class PairCodeStore;
+    std::size_t rows_ = 0;
+    std::size_t features_ = 0;
+    std::size_t words_ = 0;
+    double sim_fraction_ = 0.0;
+    std::vector<std::uint64_t> data_;
+  };
+
+  /// `columns` must outlive the store (the LogSnapshot owns both).
+  explicit PairCodeStore(const ColumnarLog* columns);
+
+  PairCodeStore(const PairCodeStore&) = delete;
+  PairCodeStore& operator=(const PairCodeStore&) = delete;
+
+  /// Bytes one plane of a (rows, features) log occupies once built — the
+  /// budget formula callers compare against their cap.
+  static std::size_t BytesNeeded(std::size_t rows, std::size_t features);
+
+  /// Bytes a plane of this store's log occupies.
+  std::size_t bytes_per_plane() const;
+
+  /// Returns the resident plane for `sim_fraction`, building it on first
+  /// acquisition (parallel pack over row stripes, call_once-guarded;
+  /// `build_threads` workers, 0 = hardware concurrency — striping never
+  /// changes the built words). Returns nullptr — the streaming-pack
+  /// fallback — when a plane would exceed `max_bytes`, without building
+  /// anything. The budget test depends only on (rows, features,
+  /// max_bytes), so a given caller either always runs resident or always
+  /// streams.
+  const Resident* Acquire(double sim_fraction, std::size_t max_bytes,
+                          int build_threads = 0) const;
+
+  /// The plane for `sim_fraction` if some earlier Acquire built it,
+  /// nullptr otherwise. Never builds.
+  const Resident* Peek(double sim_fraction) const;
+
+  /// True when Peek(sim_fraction) would return a plane.
+  bool warm(double sim_fraction) const {
+    return Peek(sim_fraction) != nullptr;
+  }
+
+  /// Number of planes built so far. Callers bracketing a query with this
+  /// counter learn whether the query paid a one-time build
+  /// (ExplainResponse::pair_store_built; bench::RunOnce reports it so
+  /// trajectory numbers are not polluted by build cost).
+  std::uint64_t build_count() const {
+    return builds_.load(std::memory_order_acquire);
+  }
+
+  /// Total bytes of all built planes.
+  std::size_t resident_bytes() const;
+
+ private:
+  struct Plane {
+    double sim_fraction = 0.0;
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    Resident resident;
+  };
+
+  /// Finds or creates the (unbuilt) plane entry for `sim_fraction`.
+  Plane* FindPlane(double sim_fraction) const;
+
+  void Build(Plane* plane, int threads) const;
+
+  const ColumnarLog* columns_;
+  mutable std::mutex mutex_;  ///< guards `planes_` (the registry only)
+  mutable std::vector<std::unique_ptr<Plane>> planes_;
+  mutable std::atomic<std::uint64_t> builds_{0};
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_FEATURES_PAIR_CODE_STORE_H_

@@ -24,6 +24,24 @@ void PackIsSameCodesInto(const RawColumnTable& table, std::size_t i,
   }
 }
 
+void PackIsSameCodesRaw(const RawColumnTable& table, std::size_t i,
+                        std::size_t j, double sim_fraction,
+                        std::uint64_t* words) {
+  const std::size_t k = table.size();
+  const std::size_t word_count =
+      (k + kPackedFeaturesPerWord - 1) / kPackedFeaturesPerWord;
+  std::size_t f = 0;
+  for (std::size_t w = 0; w < word_count; ++w) {
+    std::uint64_t word = 0;
+    const std::size_t word_end = std::min(k, (w + 1) * kPackedFeaturesPerWord);
+    std::size_t shift = 0;
+    for (; f < word_end; ++f, shift += 2) {
+      word |= PackedField(table.IsSame(f, i, j, sim_fraction)) << shift;
+    }
+    words[w] = word;
+  }
+}
+
 std::size_t CountPackedDisagreements(const PackedIsSameCodes& a,
                                      const PackedIsSameCodes& b) {
   PX_CHECK_EQ(a.features(), b.features());

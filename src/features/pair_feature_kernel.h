@@ -275,6 +275,15 @@ void PackIsSameCodesInto(const RawColumnTable& table, std::size_t i,
                          std::size_t j, double sim_fraction,
                          PackedIsSameCodes* packed);
 
+/// Packs the codes of pair (i, j) directly into a caller-owned word span —
+/// the storage-free primitive behind PackIsSameCodes/PackIsSameCodesInto
+/// and the PairCodeStore bulk build. `words` must hold
+/// ceil(table.size() / kPackedFeaturesPerWord) words; every word is
+/// overwritten and padding fields past the last feature are zero.
+void PackIsSameCodesRaw(const RawColumnTable& table, std::size_t i,
+                        std::size_t j, double sim_fraction,
+                        std::uint64_t* words);
+
 /// Word-level disagreement mask of two packed words: bit 2*(f mod 32) is
 /// set iff the 2-bit fields of feature f differ (XOR, fold the high bit of
 /// each field onto the low bit, mask). popcount of the mask = number of
@@ -344,6 +353,32 @@ inline std::size_t ScanPairAgainstPoi(const RawColumnTable& table,
       if (disagree > max_disagree) return kPackedRejected;
     }
     diff_masks[w] = mask_word;
+  }
+  return disagree;
+}
+
+/// Word-level agreement test of an already-packed pair against the
+/// prepacked codes of the pair of interest: XOR + mask + popcount per
+/// word, abandoning the pair once the running disagreement count exceeds
+/// `max_disagree`. This is the whole per-pair inner loop of the
+/// PairCodeStore resident path (`pair_words` points into the store) and of
+/// the batch scan (it points at a freshly repacked scratch vector). Word
+/// granularity accepts/rejects exactly as the per-call 8-feature-chunk
+/// scan does — only the wasted work differs.
+///
+/// Returns the total number of disagreeing features (<= max_disagree), or
+/// kPackedRejected on early exit. On success diff_masks[w] holds the
+/// per-word disagreement mask; on rejection its contents are unspecified.
+inline std::size_t ComparePackedAgainstPoi(const std::uint64_t* pair_words,
+                                           const PackedIsSameCodes& poi,
+                                           std::size_t max_disagree,
+                                           std::uint64_t* diff_masks) {
+  std::size_t disagree = 0;
+  for (std::size_t w = 0; w < poi.word_count(); ++w) {
+    const std::uint64_t mask = PackedDisagreeMask(pair_words[w], poi.word(w));
+    diff_masks[w] = mask;
+    disagree += static_cast<std::size_t>(PopCount(mask));
+    if (disagree > max_disagree) return kPackedRejected;
   }
   return disagree;
 }

@@ -43,6 +43,120 @@ std::vector<std::pair<std::int32_t, std::int32_t>> DiffConstantTargets(
 
 namespace {
 
+/// Branchless selection append shared by the ScanColumn overloads: the
+/// row index is written unconditionally and the cursor advances by the
+/// test result, so the loop body is straight-line and auto-vectorizable.
+template <typename Test>
+void ScanColumnWith(std::size_t rows, std::vector<std::uint32_t>& out,
+                    Test&& test) {
+  out.resize(rows);
+  std::uint32_t* dst = out.data();
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    dst[count] = static_cast<std::uint32_t>(r);
+    count += static_cast<std::size_t>(test(r));
+  }
+  out.resize(count);
+}
+
+}  // namespace
+
+void ScanColumnEqCode(const std::vector<std::int32_t>& codes,
+                      std::int32_t target, std::vector<std::uint32_t>& out) {
+  const std::int32_t* c = codes.data();
+  ScanColumnWith(codes.size(), out,
+                 [c, target](std::size_t r) { return c[r] == target; });
+}
+
+void ScanColumnPresentNeCode(const std::vector<std::int32_t>& codes,
+                             std::int32_t excluded,
+                             std::vector<std::uint32_t>& out) {
+  const std::int32_t* c = codes.data();
+  ScanColumnWith(codes.size(), out, [c, excluded](std::size_t r) {
+    return c[r] != StringInterner::kNoCode && c[r] != excluded;
+  });
+}
+
+void ScanColumnCodeIn(const std::vector<std::int32_t>& codes,
+                      const std::vector<std::int32_t>& targets,
+                      std::vector<std::uint32_t>& out) {
+  const std::int32_t* c = codes.data();
+  ScanColumnWith(codes.size(), out, [&](std::size_t r) {
+    for (std::int32_t target : targets) {
+      if (c[r] == target) return true;
+    }
+    return false;
+  });
+}
+
+void ScanColumnNumCmp(const NumericColumn& column, std::size_t rows,
+                      CompareOp cmp, double constant,
+                      std::vector<std::uint32_t>& out) {
+  ScanColumnWith(rows, out, [&](std::size_t r) {
+    return column.present.Test(r) &&
+           CompareDoubles(cmp, column.values[r], constant);
+  });
+}
+
+PairSelection CompiledPredicate::DeriveSelection(std::size_t rows) const {
+  PairSelection selection;
+  if (always_false_) return selection;
+  for (const PredInstr& instr : instrs_) {
+    switch (instr.op) {
+      case PredOp::kBaseNomEq:
+        // base nominal == c holds only when both rows carry code c.
+        ScanColumnEqCode(instr.nom_col->codes, instr.nom_target,
+                         selection.first_rows);
+        selection.second_rows = selection.first_rows;
+        selection.constrained = true;
+        return selection;
+      case PredOp::kBaseNomNe:
+        // base nominal != c needs a shared present code other than c, so
+        // each row must hold a present code != c (kNoCode target — a
+        // constant the dictionary never saw — degenerates to presence).
+        ScanColumnPresentNeCode(instr.nom_col->codes, instr.nom_target,
+                                selection.first_rows);
+        selection.second_rows = selection.first_rows;
+        selection.constrained = true;
+        return selection;
+      case PredOp::kBaseNumCmp:
+        // base numeric <cmp> c requires both rows present with the same
+        // value v and cmp(v, c); each row must itself be present with
+        // cmp(value, c). NaN passes no CompareDoubles, matching the pair
+        // test (NaN != NaN makes the base feature missing).
+        ScanColumnNumCmp(*instr.num_col, rows, instr.cmp, instr.num_const,
+                         selection.first_rows);
+        selection.second_rows = selection.first_rows;
+        selection.constrained = true;
+        return selection;
+      case PredOp::kDiffEq: {
+        // diff == "(l,r)" pins the first row to a target left code and the
+        // second row to a target right code.
+        std::vector<std::int32_t> lefts;
+        std::vector<std::int32_t> rights;
+        lefts.reserve(instr.diff_targets.size());
+        rights.reserve(instr.diff_targets.size());
+        for (const auto& [left, right] : instr.diff_targets) {
+          lefts.push_back(left);
+          rights.push_back(right);
+        }
+        ScanColumnCodeIn(instr.nom_col->codes, lefts, selection.first_rows);
+        ScanColumnCodeIn(instr.nom_col->codes, rights,
+                         selection.second_rows);
+        selection.constrained = true;
+        return selection;
+      }
+      default:
+        // isSame/compare/diff-inequality atoms relate the two rows; their
+        // only per-row consequence is presence, too weak to pay for.
+        continue;
+    }
+  }
+  return selection;
+}
+
+namespace {
+
 /// Lowers one bound atom. Unrepresentable combinations (kind mismatches,
 /// constants the dictionary has never seen for equality tests, ordering
 /// operators on nominal-valued features) compile to kAlwaysFalse — the

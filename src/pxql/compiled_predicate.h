@@ -45,6 +45,37 @@ struct PredInstr {
   std::vector<std::pair<std::int32_t, std::int32_t>> diff_targets;
 };
 
+/// Column-level selection vectors derived from one compiled predicate: a
+/// sound per-row pre-filter for the ordered-pair scans. When `constrained`
+/// is true, every ordered pair (i, j) that can satisfy the predicate has
+/// i in `first_rows` and j in `second_rows` (both ascending), so a scan
+/// may enumerate |first| × |second| candidate pairs instead of n² —
+/// pruned pairs are all unrelated and contribute to no tally, keeping
+/// results bitwise identical to the full scan. When false, no atom
+/// admitted a single-column test and callers scan all pairs.
+struct PairSelection {
+  bool constrained = false;
+  std::vector<std::uint32_t> first_rows;
+  std::vector<std::uint32_t> second_rows;
+};
+
+/// Single-column selection scans over dictionary codes / numeric columns —
+/// the ScanColumn fast path behind CompiledPredicate::DeriveSelection.
+/// Each overwrites `out` with the ascending rows passing the test, using a
+/// branchless append (out[count] = r; count += test) so the loop
+/// auto-vectorizes. Exposed for tests and reuse.
+void ScanColumnEqCode(const std::vector<std::int32_t>& codes,
+                      std::int32_t target, std::vector<std::uint32_t>& out);
+void ScanColumnPresentNeCode(const std::vector<std::int32_t>& codes,
+                             std::int32_t excluded,
+                             std::vector<std::uint32_t>& out);
+void ScanColumnCodeIn(const std::vector<std::int32_t>& codes,
+                      const std::vector<std::int32_t>& targets,
+                      std::vector<std::uint32_t>& out);
+void ScanColumnNumCmp(const NumericColumn& column, std::size_t rows,
+                      CompareOp cmp, double constant,
+                      std::vector<std::uint32_t>& out);
+
 /// A conjunction of PXQL atoms lowered to a flat opcode program over the
 /// columns of one ColumnarLog. Programs are only valid for the log (and the
 /// interner) they were compiled against.
@@ -81,6 +112,21 @@ class CompiledPredicate {
   /// compiled-against log. Exactly equivalent to Predicate::Eval over a
   /// lazy PairFeatureView, without materializing any Value.
   bool Eval(std::size_t i, std::size_t j, double sim_fraction) const;
+
+  /// Compiles the program's first deterministic atom — the first
+  /// instruction whose pair test implies a per-row, single-column
+  /// necessary condition — into selection vectors via the ScanColumn fast
+  /// path, in O(rows):
+  ///  - base atoms (kBaseNomEq/kBaseNomNe/kBaseNumCmp) require both rows
+  ///    to carry the same qualifying value, so one column scan constrains
+  ///    both sides;
+  ///  - diff-equality atoms (kDiffEq) constrain the first row to the
+  ///    target pairs' left codes and the second row to their right codes.
+  /// isSame/compare/diff-inequality atoms relate the two rows and admit no
+  /// useful single-row test; a program made only of those (or an
+  /// always-false one) returns an unconstrained selection. `rows` must be
+  /// the compiled-against log's row count.
+  PairSelection DeriveSelection(std::size_t rows) const;
 
  private:
   std::vector<PredInstr> instrs_;

@@ -341,6 +341,64 @@ TEST_F(EngineTest, ExplainBatchMatchesPerCall) {
   EXPECT_GE(produced, 5u);
 }
 
+TEST_F(EngineTest, ExplainBatchSharesPerfXplainClassificationPass) {
+  // Three PerfXplain requests of one query shape (different pairs of
+  // interest, widths and seeds) share one related-pair classification
+  // scan; a request of another shape and an auto-despite request (whose
+  // pipeline rewrites the shape mid-flight) run per-call. Everything must
+  // be bitwise identical to per-call Explain.
+  std::vector<Query> queries;
+  queries.push_back(MakeQuery(0));
+  queries.push_back(MakeQuery(7));
+  queries.push_back(MakeQuery(13));
+  queries.push_back(MakeQuery(0, "decoy_c_isSame = T"));  // other shape
+  std::vector<PreparedQuery> prepared;
+  for (const Query& query : queries) {
+    auto one = engine_.Prepare(query);
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    prepared.push_back(std::move(one).value());
+  }
+
+  std::vector<Engine::BatchItem> items;
+  for (std::size_t q = 0; q < 3; ++q) {
+    ExplainRequest request;
+    request.technique = Technique::kPerfXplain;
+    request.width = 1 + q;
+    if (q == 1) request.seed = 123;
+    items.push_back(Engine::BatchItem{&prepared[q], request});
+  }
+  ExplainRequest other_shape;
+  other_shape.technique = Technique::kPerfXplain;
+  items.push_back(Engine::BatchItem{&prepared[3], other_shape});
+  ExplainRequest auto_despite;
+  auto_despite.technique = Technique::kPerfXplain;
+  auto_despite.auto_despite = true;
+  items.push_back(Engine::BatchItem{&prepared[0], auto_despite});
+
+  const std::vector<Result<ExplainResponse>> batch =
+      engine_.ExplainBatch(items);
+  ASSERT_EQ(batch.size(), items.size());
+  std::size_t produced = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Result<ExplainResponse> per_call =
+        engine_.Explain(*items[i].prepared, items[i].request);
+    EXPECT_TRUE(SameOutcome(batch[i], per_call)) << "item " << i;
+    if (batch[i].ok()) ++produced;
+  }
+  // The three same-shape requests came from the shared scan; the lone
+  // shape and the auto-despite request did not.
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
+    EXPECT_TRUE(batch[i]->batched) << "item " << i;
+  }
+  for (std::size_t i = 3; i < items.size(); ++i) {
+    if (batch[i].ok()) {
+      EXPECT_FALSE(batch[i]->batched) << "item " << i;
+    }
+  }
+  EXPECT_GE(produced, 4u);
+}
+
 TEST_F(EngineTest, ExplainBatchThreadCountIsObservationFree) {
   std::vector<PreparedQuery> prepared;
   for (std::size_t skip : {0u, 7u, 13u}) {

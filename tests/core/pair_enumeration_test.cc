@@ -139,5 +139,137 @@ TEST_F(PairEnumerationTest, FindPairOfInterestSkips) {
   EXPECT_EQ(exhausted.status().code(), StatusCode::kNotFound);
 }
 
+/// Selection-vector pruning must be invisible in every result: the same
+/// counts, the same row-major related-pair lists, the same sampled pairs
+/// for the same seed (buffered and streaming), at several thread counts.
+class PruningEquivalenceTest : public ::testing::Test {
+ protected:
+  PruningEquivalenceTest() : log_(TinySchema()), schema_(TinySchema()) {
+    PX_CHECK(log_.Add(TinyRecord("a", 1, "red", 100)).ok());
+    PX_CHECK(log_.Add(TinyRecord("b", 1, "red", 102)).ok());
+    PX_CHECK(log_.Add(TinyRecord("c", 9, "blue", 200)).ok());
+    PX_CHECK(log_.Add(TinyRecord("d", 9, "blue", 198)).ok());
+    PX_CHECK(log_.Add(TinyRecord("e", 1, "red", 150)).ok());
+    PX_CHECK(log_.Add(TinyRecord("f", 9, "red", 95)).ok());
+  }
+
+  /// Bound query with `despite_text`, or nullopt if it cannot bind.
+  Query BoundQuery(const std::string& despite_text) {
+    Query query = GtVsSimQuery(despite_text);
+    PX_CHECK(query.Bind(schema_).ok());
+    return query;
+  }
+
+  ExecutionLog log_;
+  PairSchema schema_;
+};
+
+TEST_F(PruningEquivalenceTest, CountCollectSampleAndFindMatchUnpruned) {
+  const ColumnarLog columns(log_);
+  for (const char* despite :
+       {"color = red", "x = 1", "x >= 5", "color != red",
+        "color_diff = (red,blue)", "x_isSame = T",
+        "x_isSame = T AND color = red"}) {
+    const Query query = BoundQuery(despite);
+    const CompiledQuery compiled =
+        CompiledQuery::Compile(query, schema_, columns);
+    for (int threads : {1, 3}) {
+      EnumerationOptions pruned;
+      pruned.threads = threads;
+      EnumerationOptions unpruned = pruned;
+      unpruned.prune = false;
+
+      const RelatedCounts a =
+          CountRelatedPairs(columns, compiled, 0.10, pruned);
+      const RelatedCounts b =
+          CountRelatedPairs(columns, compiled, 0.10, unpruned);
+      EXPECT_EQ(a.observed, b.observed) << despite;
+      EXPECT_EQ(a.expected, b.expected) << despite;
+
+      const std::vector<PairRef> pruned_pairs =
+          CollectRelatedPairs(columns, compiled, 0.10, pruned);
+      const std::vector<PairRef> unpruned_pairs =
+          CollectRelatedPairs(columns, compiled, 0.10, unpruned);
+      ASSERT_EQ(pruned_pairs.size(), unpruned_pairs.size()) << despite;
+      for (std::size_t p = 0; p < pruned_pairs.size(); ++p) {
+        EXPECT_EQ(pruned_pairs[p].first, unpruned_pairs[p].first);
+        EXPECT_EQ(pruned_pairs[p].second, unpruned_pairs[p].second);
+        EXPECT_EQ(pruned_pairs[p].observed, unpruned_pairs[p].observed);
+      }
+
+      if (unpruned_pairs.empty()) continue;
+      const std::size_t poi_first = unpruned_pairs.front().first;
+      const std::size_t poi_second = unpruned_pairs.front().second;
+      // Buffered replay and (cap 0) streaming draws, both vs unpruned.
+      for (std::size_t cap : {std::size_t{1} << 21, std::size_t{0}}) {
+        EnumerationOptions pruned_cap = pruned;
+        pruned_cap.sample_buffer_cap = cap;
+        EnumerationOptions unpruned_cap = unpruned;
+        unpruned_cap.sample_buffer_cap = cap;
+        Rng rng_a(99);
+        Rng rng_b(99);
+        auto sampled_a =
+            SampleRelatedPairs(columns, compiled, poi_first, poi_second,
+                               0.10, SamplerOptions(), rng_a,
+                               /*balanced=*/true, pruned_cap);
+        auto sampled_b =
+            SampleRelatedPairs(columns, compiled, poi_first, poi_second,
+                               0.10, SamplerOptions(), rng_b,
+                               /*balanced=*/true, unpruned_cap);
+        ASSERT_EQ(sampled_a.ok(), sampled_b.ok()) << despite;
+        if (!sampled_a.ok()) continue;
+        ASSERT_EQ(sampled_a->size(), sampled_b->size())
+            << despite << " cap " << cap;
+        for (std::size_t p = 0; p < sampled_a->size(); ++p) {
+          EXPECT_EQ((*sampled_a)[p].first, (*sampled_b)[p].first);
+          EXPECT_EQ((*sampled_a)[p].second, (*sampled_b)[p].second);
+        }
+      }
+
+      // FindPairOfInterest walks the same row-major matching sequence.
+      for (std::size_t skip : {std::size_t{0}, std::size_t{1}}) {
+        auto found = FindPairOfInterest(columns, compiled, 0.10, skip);
+        Query legacy_query = query;
+        auto reference =
+            FindPairOfInterest(log_, schema_, legacy_query,
+                               PairFeatureOptions(), skip);
+        ASSERT_EQ(found.ok(), reference.ok()) << despite;
+        if (found.ok()) {
+          EXPECT_EQ(found->first, reference->first) << despite;
+          EXPECT_EQ(found->second, reference->second) << despite;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PruningEquivalenceTest, ScanPlusReplayMatchesSampleRelatedPairs) {
+  const ColumnarLog columns(log_);
+  const Query query = BoundQuery("color = red");
+  const CompiledQuery compiled =
+      CompiledQuery::Compile(query, schema_, columns);
+  const RelatedPairScan scan = ScanRelatedPairs(columns, compiled, 0.10);
+  ASSERT_FALSE(scan.overflowed);
+  ASSERT_GT(scan.counts.total(), 0u);
+  EXPECT_EQ(scan.related.size(), scan.counts.total());
+  const std::size_t poi_first = scan.related.front().first;
+  const std::size_t poi_second = scan.related.front().second;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  auto replayed = ReplaySampleDraws(scan, columns.rows(), poi_first,
+                                    poi_second, SamplerOptions(), rng_a);
+  auto direct =
+      SampleRelatedPairs(columns, compiled, poi_first, poi_second, 0.10,
+                         SamplerOptions(), rng_b);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(replayed->size(), direct->size());
+  for (std::size_t p = 0; p < replayed->size(); ++p) {
+    EXPECT_EQ((*replayed)[p].first, (*direct)[p].first);
+    EXPECT_EQ((*replayed)[p].second, (*direct)[p].second);
+    EXPECT_EQ((*replayed)[p].observed, (*direct)[p].observed);
+  }
+}
+
 }  // namespace
 }  // namespace perfxplain

@@ -1,0 +1,290 @@
+// Equivalence and concurrency tests of the snapshot-resident PairCodeStore
+// path: SimButDiff over resident packed codes must be bitwise identical to
+// the streaming fused pack-and-compare (and to the seed lazy-Value
+// implementation) on awkward logs — missing values, NaN, comma-bearing
+// nominals — at every thread count, under the memory-cap fallback, and
+// when eight threads race the store's first touch. The concurrency tests
+// run under ThreadSanitizer in CI (see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "core/pair_enumeration.h"
+#include "core/sim_but_diff.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+using testing::GtVsSimQuery;
+
+/// Randomized log with the awkward payloads (mirrors
+/// baseline_equivalence_test.cc).
+ExecutionLog AwkwardRandomLog(std::uint64_t seed, std::size_t n) {
+  Schema schema;
+  PX_CHECK(schema.Add("x", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("color", ValueKind::kNominal).ok());
+  PX_CHECK(schema.Add("y", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("duration", ValueKind::kNumeric).ok());
+  ExecutionLog log(schema);
+  Rng rng(seed);
+  const char* colors[] = {"red", "blue", "re,d"};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Value> values;
+    values.push_back(rng.Bernoulli(0.15)
+                         ? Value::Missing()
+                         : Value::Number(rng.UniformInt(0, 3)));
+    values.push_back(rng.Bernoulli(0.15)
+                         ? Value::Missing()
+                         : Value::Nominal(colors[rng.UniformInt(0, 2)]));
+    double y = rng.Uniform(0.0, 10.0);
+    if (rng.Bernoulli(0.1)) y = 0.0;
+    if (rng.Bernoulli(0.05)) y = std::nan("");
+    values.push_back(Value::Number(y));
+    values.push_back(rng.Bernoulli(0.1)
+                         ? Value::Missing()
+                         : Value::Number(rng.Uniform(50.0, 200.0)));
+    PX_CHECK(log.Add(ExecutionRecord(StrFormat("r%03zu", i),
+                                     std::move(values)))
+                 .ok());
+  }
+  return log;
+}
+
+/// Fills the query's pair-of-interest ids, or returns false.
+bool PickPair(const ExecutionLog& log, Query& query) {
+  const PairSchema schema(log.schema());
+  Query bound = query;
+  PX_CHECK(bound.Bind(schema).ok());
+  auto poi = FindPairOfInterest(log, schema, bound, PairFeatureOptions());
+  if (!poi.ok()) return false;
+  query.first_id = log.at(poi->first).id;
+  query.second_id = log.at(poi->second).id;
+  return true;
+}
+
+void ExpectSameExplanation(const Result<Explanation>& actual,
+                           const Result<Explanation>& expected,
+                           const std::string& context) {
+  ASSERT_EQ(actual.ok(), expected.ok())
+      << context << ": "
+      << (actual.ok() ? expected.status().ToString()
+                      : actual.status().ToString());
+  if (!expected.ok()) {
+    EXPECT_EQ(actual.status().code(), expected.status().code()) << context;
+    return;
+  }
+  ASSERT_EQ(actual->because.atoms().size(), expected->because.atoms().size())
+      << context;
+  for (std::size_t a = 0; a < expected->because.atoms().size(); ++a) {
+    EXPECT_EQ(actual->because.atoms()[a], expected->because.atoms()[a])
+        << context << " atom " << a;
+  }
+  ASSERT_EQ(actual->because_trace.size(), expected->because_trace.size());
+  for (std::size_t a = 0; a < expected->because_trace.size(); ++a) {
+    EXPECT_EQ(actual->because_trace[a].atom, expected->because_trace[a].atom);
+    EXPECT_EQ(actual->because_trace[a].score,
+              expected->because_trace[a].score)
+        << context << " atom " << a;
+  }
+}
+
+EngineOptions WithBudget(std::size_t budget, int threads = 0) {
+  EngineOptions options;
+  options.sim_but_diff.pair_code_budget_bytes = budget;
+  options.sim_but_diff.threads = threads;
+  return options;
+}
+
+TEST(PairCodeStoreEquivalenceTest, ResidentMatchesStreamingAndLegacy) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const ExecutionLog log = AwkwardRandomLog(seed, 40);
+    Query query = GtVsSimQuery("color_isSame = T AND x_isSame = T");
+    if (!PickPair(log, query)) continue;
+    // The legacy lazy-Value reference.
+    const SimButDiff legacy(&log, SimButDiffOptions());
+    const auto reference = legacy.ExplainLegacy(query, 3);
+
+    for (int threads : {1, 2, 5, 8}) {
+      // Resident path (default budget) vs streaming path (budget 0).
+      const Engine resident(log, WithBudget(std::size_t{256} << 20,
+                                            threads));
+      const Engine streaming(log, WithBudget(0, threads));
+      ExplainRequest request;
+      request.technique = Technique::kSimButDiff;
+      request.width = 3;
+      auto resident_prepared = resident.Prepare(query);
+      auto streaming_prepared = streaming.Prepare(query);
+      ASSERT_EQ(resident_prepared.ok(), streaming_prepared.ok());
+      if (!resident_prepared.ok()) continue;
+      auto from_resident = resident.Explain(*resident_prepared, request);
+      auto from_streaming = streaming.Explain(*streaming_prepared, request);
+      const std::string context =
+          StrFormat("seed %llu threads %d",
+                    static_cast<unsigned long long>(seed), threads);
+      EXPECT_EQ(from_resident.ok(), from_streaming.ok()) << context;
+      if (from_resident.ok()) {
+        EXPECT_TRUE(from_resident->pair_store_hit) << context;
+        EXPECT_FALSE(from_streaming->pair_store_hit) << context;
+        ExpectSameExplanation(from_resident->explanation,
+                              from_streaming->explanation, context);
+      }
+      // And both must match the seed implementation.
+      ExpectSameExplanation(
+          from_resident.ok() ? Result<Explanation>(
+                                   from_resident->explanation)
+                             : Result<Explanation>(from_resident.status()),
+          reference, context + " vs legacy");
+    }
+  }
+}
+
+TEST(PairCodeStoreEquivalenceTest, MemoryCapFallbackIsBitwise) {
+  const ExecutionLog log = AwkwardRandomLog(5, 32);
+  Query query = GtVsSimQuery("color_isSame = T");
+  ASSERT_TRUE(PickPair(log, query));
+  const std::size_t needed = PairCodeStore::BytesNeeded(
+      log.size(), log.schema().size());
+  ExplainRequest request;
+  request.technique = Technique::kSimButDiff;
+  request.width = 3;
+
+  // The exact budget engages the store; one byte less falls back.
+  const Engine exact(log, WithBudget(needed));
+  const Engine under(log, WithBudget(needed - 1));
+  auto exact_prepared = exact.Prepare(query);
+  auto under_prepared = under.Prepare(query);
+  ASSERT_TRUE(exact_prepared.ok());
+  ASSERT_TRUE(under_prepared.ok());
+  auto from_exact = exact.Explain(*exact_prepared, request);
+  auto from_under = under.Explain(*under_prepared, request);
+  ASSERT_TRUE(from_exact.ok());
+  ASSERT_TRUE(from_under.ok());
+  EXPECT_TRUE(from_exact->pair_store_hit);
+  EXPECT_TRUE(from_exact->pair_store_built);  // this call paid the build
+  EXPECT_FALSE(from_under->pair_store_hit);
+  EXPECT_FALSE(from_under->pair_store_built);
+  ExpectSameExplanation(from_exact->explanation, from_under->explanation,
+                        "cap fallback");
+
+  // Second call on the warm engine: hit without building.
+  auto warm = exact.Explain(*exact_prepared, request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->pair_store_hit);
+  EXPECT_FALSE(warm->pair_store_built);
+  ExpectSameExplanation(warm->explanation, from_exact->explanation, "warm");
+}
+
+TEST(PairCodeStoreEquivalenceTest, ConcurrentFirstTouchUnderEightThreads) {
+  const ExecutionLog log = AwkwardRandomLog(13, 36);
+  Query query = GtVsSimQuery("color_isSame = T");
+  ASSERT_TRUE(PickPair(log, query));
+  ExplainRequest request;
+  request.technique = Technique::kSimButDiff;
+  request.width = 3;
+
+  // Serial reference on its own engine.
+  const Engine reference_engine(log, WithBudget(std::size_t{256} << 20, 1));
+  auto reference_prepared = reference_engine.Prepare(query);
+  ASSERT_TRUE(reference_prepared.ok());
+  auto reference = reference_engine.Explain(*reference_prepared, request);
+  ASSERT_TRUE(reference.ok());
+
+  // Eight threads race the cold store's first touch on a fresh engine:
+  // std::call_once must hand every one of them the same fully built plane.
+  const Engine engine(log, WithBudget(std::size_t{256} << 20, 1));
+  auto prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok());
+  constexpr int kThreads = 8;
+  std::vector<Result<ExplainResponse>> results;
+  for (int t = 0; t < kThreads; ++t) {
+    results.push_back(Status::Internal("not run"));
+  }
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        results[t] = engine.Explain(*prepared, request);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  EXPECT_EQ(engine.snapshot()->pair_codes().build_count(), 1u);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(results[t].ok()) << results[t].status().ToString();
+    EXPECT_TRUE(results[t]->pair_store_hit);
+    ExpectSameExplanation(results[t]->explanation, reference->explanation,
+                          StrFormat("thread %d", t));
+  }
+}
+
+TEST(PairCodeStoreEquivalenceTest, BatchRunsOnResidentStore) {
+  const ExecutionLog log = AwkwardRandomLog(13, 36);
+  Query base = GtVsSimQuery("color_isSame = T");
+  ASSERT_TRUE(PickPair(log, base));
+  const Engine engine(log, WithBudget(std::size_t{256} << 20, 1));
+  const Engine streaming(log, WithBudget(0, 1));
+
+  // Two queries with distinct pairs of interest.
+  const PairSchema schema(log.schema());
+  Query bound = base;
+  ASSERT_TRUE(bound.Bind(schema).ok());
+  std::vector<Query> variants;
+  for (std::size_t skip : {0u, 3u}) {
+    auto poi =
+        FindPairOfInterest(log, schema, bound, PairFeatureOptions(), skip);
+    if (!poi.ok()) break;
+    Query query = base;
+    query.first_id = log.at(poi->first).id;
+    query.second_id = log.at(poi->second).id;
+    variants.push_back(query);
+  }
+  ASSERT_GE(variants.size(), 2u);
+
+  ExplainRequest request;
+  request.technique = Technique::kSimButDiff;
+  request.width = 3;
+  std::vector<PreparedQuery> prepared;
+  std::vector<PreparedQuery> prepared_streaming;
+  for (const Query& query : variants) {
+    auto one = engine.Prepare(query);
+    ASSERT_TRUE(one.ok());
+    prepared.push_back(std::move(one).value());
+    auto two = streaming.Prepare(query);
+    ASSERT_TRUE(two.ok());
+    prepared_streaming.push_back(std::move(two).value());
+  }
+  std::vector<Engine::BatchItem> items;
+  std::vector<Engine::BatchItem> items_streaming;
+  for (std::size_t q = 0; q < prepared.size(); ++q) {
+    items.push_back(Engine::BatchItem{&prepared[q], request});
+    items_streaming.push_back(
+        Engine::BatchItem{&prepared_streaming[q], request});
+  }
+  auto batch = engine.ExplainBatch(items);
+  auto batch_streaming = streaming.ExplainBatch(items_streaming);
+  for (std::size_t q = 0; q < items.size(); ++q) {
+    ASSERT_TRUE(batch[q].ok()) << batch[q].status().ToString();
+    ASSERT_TRUE(batch_streaming[q].ok());
+    EXPECT_TRUE(batch[q]->batched);
+    EXPECT_TRUE(batch[q]->pair_store_hit);
+    EXPECT_FALSE(batch_streaming[q]->pair_store_hit);
+    ExpectSameExplanation(batch[q]->explanation,
+                          batch_streaming[q]->explanation,
+                          StrFormat("batch query %zu", q));
+    // And identical to the per-call resident path.
+    auto per_call = engine.Explain(prepared[q], request);
+    ASSERT_TRUE(per_call.ok());
+    ExpectSameExplanation(batch[q]->explanation, per_call->explanation,
+                          StrFormat("batch vs per-call %zu", q));
+  }
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "common/random.h"
 #include "common/string_util.h"
@@ -207,6 +208,160 @@ TEST(CompiledPredicateRandomTest, RandomAtomsAgreeOnRandomLogs) {
       text += atoms[rng.UniformInt(0, 10)];
     }
     ExpectCompiledMatchesLegacy(log, MustPredicate(text));
+  }
+}
+
+/// Compiles `predicate` against `log` and asserts DeriveSelection is
+/// sound: every ordered pair the program accepts has its first row in
+/// first_rows and its second row in second_rows.
+void ExpectSelectionSound(const ExecutionLog& log,
+                          const Predicate& predicate) {
+  const PairSchema schema(log.schema());
+  Predicate bound = predicate;
+  ASSERT_TRUE(bound.Bind(schema).ok()) << bound.ToString();
+  const ColumnarLog columns(log);
+  const CompiledPredicate compiled =
+      CompiledPredicate::Compile(bound, schema, columns);
+  const PairSelection selection = compiled.DeriveSelection(log.size());
+  if (!selection.constrained) return;
+  const std::set<std::uint32_t> first(selection.first_rows.begin(),
+                                      selection.first_rows.end());
+  const std::set<std::uint32_t> second(selection.second_rows.begin(),
+                                       selection.second_rows.end());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    for (std::size_t j = 0; j < log.size(); ++j) {
+      if (i == j) continue;
+      if (!compiled.Eval(i, j, 0.10)) continue;
+      EXPECT_TRUE(first.count(static_cast<std::uint32_t>(i)) > 0)
+          << bound.ToString() << ": accepted pair (" << i << "," << j
+          << ") pruned on the first side";
+      EXPECT_TRUE(second.count(static_cast<std::uint32_t>(j)) > 0)
+          << bound.ToString() << ": accepted pair (" << i << "," << j
+          << ") pruned on the second side";
+    }
+  }
+}
+
+TEST_F(CompiledPredicateTest, SelectionFromBaseNominalAtom) {
+  const PairSchema schema(log_.schema());
+  Predicate bound = MustPredicate("color = b");
+  ASSERT_TRUE(bound.Bind(schema).ok());
+  const ColumnarLog columns(log_);
+  const CompiledPredicate compiled =
+      CompiledPredicate::Compile(bound, schema, columns);
+  const PairSelection selection = compiled.DeriveSelection(log_.size());
+  ASSERT_TRUE(selection.constrained);
+  // Exactly one record holds "b"; both sides select only it.
+  EXPECT_EQ(selection.first_rows, std::vector<std::uint32_t>{1});
+  EXPECT_EQ(selection.second_rows, std::vector<std::uint32_t>{1});
+  ExpectSelectionSound(log_, MustPredicate("color = b"));
+  ExpectSelectionSound(log_, MustPredicate("color != b"));
+  ExpectSelectionSound(log_, Predicate({Atom("color", CompareOp::kNe,
+                                             Value::Nominal("unseen"))}));
+}
+
+TEST_F(CompiledPredicateTest, SelectionFromBaseNumericAtom) {
+  // NaN (row 5) and missing (row 6) rows must be pruned: the base feature
+  // can never be present there.
+  for (const char* text :
+       {"num = 2", "num != 2", "num <= 1.5", "num >= 1.5", "num < 2",
+        "num > 0", "num = 0"}) {
+    ExpectSelectionSound(log_, MustPredicate(text));
+  }
+  const PairSchema schema(log_.schema());
+  Predicate bound = MustPredicate("num > 0");
+  ASSERT_TRUE(bound.Bind(schema).ok());
+  const ColumnarLog columns(log_);
+  const CompiledPredicate compiled =
+      CompiledPredicate::Compile(bound, schema, columns);
+  const PairSelection selection = compiled.DeriveSelection(log_.size());
+  ASSERT_TRUE(selection.constrained);
+  for (std::uint32_t r : selection.first_rows) {
+    EXPECT_NE(r, 5u) << "NaN row passed the num > 0 column scan";
+    EXPECT_NE(r, 6u) << "missing row passed the num > 0 column scan";
+  }
+}
+
+TEST_F(CompiledPredicateTest, SelectionFromDiffAtomIsAsymmetric) {
+  const PairSchema schema(log_.schema());
+  Predicate bound = MustPredicate("color_diff = (a,b)");
+  ASSERT_TRUE(bound.Bind(schema).ok());
+  const ColumnarLog columns(log_);
+  const CompiledPredicate compiled =
+      CompiledPredicate::Compile(bound, schema, columns);
+  const PairSelection selection = compiled.DeriveSelection(log_.size());
+  ASSERT_TRUE(selection.constrained);
+  // Rows 0 and 5 hold "a" (the left code); row 1 holds "b" (the right).
+  EXPECT_EQ(selection.first_rows, (std::vector<std::uint32_t>{0, 5}));
+  EXPECT_EQ(selection.second_rows, std::vector<std::uint32_t>{1});
+  ExpectSelectionSound(log_, MustPredicate("color_diff = (a,b)"));
+  ExpectSelectionSound(log_, MustPredicate("color_diff = (a,b,c)"));
+}
+
+TEST_F(CompiledPredicateTest, NoSelectionFromPairRelatingAtoms) {
+  const PairSchema schema(log_.schema());
+  const ColumnarLog columns(log_);
+  // isSame/compare/diff-inequality atoms admit no single-row test; the
+  // first deterministic atom of a conjunction is what prunes.
+  for (const char* text :
+       {"num_isSame = T", "num_compare = GT", "color_diff != (a,b)",
+        "num_isSame = T AND num_compare = SIM"}) {
+    Predicate bound = MustPredicate(text);
+    ASSERT_TRUE(bound.Bind(schema).ok());
+    const CompiledPredicate compiled =
+        CompiledPredicate::Compile(bound, schema, columns);
+    EXPECT_FALSE(compiled.DeriveSelection(log_.size()).constrained) << text;
+  }
+  // A later base atom still yields the selection.
+  Predicate bound = MustPredicate("num_isSame = T AND color = a");
+  ASSERT_TRUE(bound.Bind(schema).ok());
+  const CompiledPredicate compiled =
+      CompiledPredicate::Compile(bound, schema, columns);
+  EXPECT_TRUE(compiled.DeriveSelection(log_.size()).constrained);
+  ExpectSelectionSound(log_, MustPredicate("num_isSame = T AND color = a"));
+}
+
+TEST_F(CompiledPredicateTest, SelectionSoundOnRandomizedConjunctions) {
+  Rng rng(271);
+  for (int round = 0; round < 40; ++round) {
+    Schema schema;
+    PX_CHECK(schema.Add("n0", ValueKind::kNumeric).ok());
+    PX_CHECK(schema.Add("s0", ValueKind::kNominal).ok());
+    PX_CHECK(schema.Add("n1", ValueKind::kNumeric).ok());
+    ExecutionLog log(schema);
+    const char* nominal_pool[] = {"a", "b", "a,b", "c", ""};
+    const int rows = static_cast<int>(rng.UniformInt(2, 10));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Value> values;
+      for (int c = 0; c < 3; ++c) {
+        const int kind = static_cast<int>(rng.UniformInt(0, 5));
+        if (kind == 0) {
+          values.push_back(Value::Missing());
+        } else if (c == 1) {
+          values.push_back(
+              Value::Nominal(nominal_pool[rng.UniformInt(0, 4)]));
+        } else if (kind == 1) {
+          values.push_back(Value::Number(std::nan("")));
+        } else {
+          values.push_back(Value::Number(rng.UniformInt(-2, 2)));
+        }
+      }
+      PX_CHECK(log.Add(ExecutionRecord(StrFormat("t%02d", r),
+                                       std::move(values)))
+                   .ok());
+    }
+    const char* atoms[] = {
+        "n0_isSame = T",    "s0_isSame = F",     "n1_compare = GT",
+        "s0_diff = (a,b)",  "s0_diff != (a,b)",  "n0 = 1",
+        "n0 != 0",          "n1 <= 0",           "n1 >= 1",
+        "s0 = a",           "s0 != b"};
+    const int width = static_cast<int>(rng.UniformInt(1, 3));
+    std::string text;
+    for (int a = 0; a < width; ++a) {
+      if (a > 0) text += " AND ";
+      text += atoms[rng.UniformInt(0, 10)];
+    }
+    ExpectSelectionSound(log, MustPredicate(text));
   }
 }
 
