@@ -54,7 +54,7 @@ void BM_SimulateJob(benchmark::State& state) {
   px::Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        px::SimulateJob(config, cluster, stats, costs, rng));
+        px::SimulateJob(config, cluster, stats, costs, rng).value());
   }
 }
 BENCHMARK(BM_SimulateJob)->Arg(1)->Arg(4)->Arg(16);

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
 
   px::TraceOptions options;
   options.seed = 42;
-  const px::Trace trace = px::GenerateTrace(options);
+  const px::Trace trace = px::GenerateTrace(options).value();
   std::printf("\nsimulated trace: %zu jobs, %zu tasks\n",
               trace.job_log.size(), trace.task_log.size());
 

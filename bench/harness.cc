@@ -100,7 +100,7 @@ Fixture Fixture::JobLevel(const HarnessOptions& options,
   fixture.options_ = options;
   TraceOptions trace_options;
   trace_options.seed = options.trace_seed;
-  Trace trace = GenerateTrace(trace_options);
+  Trace trace = GenerateTrace(trace_options).value();
   fixture.full_log_ = std::move(trace.job_log);
   fixture.query_ = WhySlowerDespiteSameNumInstancesQuery();
   const std::string extra = poi_finder_extra.empty()
@@ -117,7 +117,7 @@ Fixture Fixture::TaskLevel(const HarnessOptions& options) {
   fixture.options_ = options;
   TraceOptions trace_options;
   trace_options.seed = options.trace_seed;
-  Trace trace = GenerateTrace(trace_options);
+  Trace trace = GenerateTrace(trace_options).value();
 
   // Keep tasks from multi-wave jobs only (where the last-task effect
   // exists), capped at task_jobs_limit jobs for tractable O(n^2) pair

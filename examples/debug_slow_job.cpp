@@ -64,7 +64,7 @@ int main() {
   options.jobs.push_back(big);
   options.jobs.push_back(small);
 
-  px::Trace trace = px::GenerateTrace(options);
+  px::Trace trace = px::GenerateTrace(options).value();
 
   // Show the puzzle.
   const auto& log = trace.job_log;

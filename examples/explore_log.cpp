@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   px::TraceOptions options;
   options.seed = 42;
   std::printf("generating the Table 2 grid (540 jobs)...\n");
-  px::Trace trace = px::GenerateTrace(options);
+  px::Trace trace = px::GenerateTrace(options).value();
   std::printf("jobs: %zu   tasks: %zu\n", trace.job_log.size(),
               trace.task_log.size());
   std::printf("excite stats: %.1f bytes/record, %.1f%% URLs, %.2f%% "

@@ -41,7 +41,7 @@ int main() {
       }
     }
   }
-  px::Trace trace = px::GenerateTrace(trace_options);
+  px::Trace trace = px::GenerateTrace(trace_options).value();
   std::printf("simulated %zu jobs (%zu tasks)\n", trace.job_log.size(),
               trace.task_log.size());
 

@@ -32,7 +32,7 @@ int main() {
         j % 2 == 0 ? "simple-groupby.pig" : "simple-filter.pig";
     options.jobs.push_back(config);
   }
-  px::Trace trace = px::GenerateTrace(options);
+  px::Trace trace = px::GenerateTrace(options).value();
 
   // Work on reduce tasks only.
   const px::Schema& schema = trace.task_log.schema();

@@ -32,7 +32,7 @@ int main() {
         j % 2 == 0 ? "simple-filter.pig" : "simple-groupby.pig";
     options.jobs.push_back(config);
   }
-  px::Trace trace = px::GenerateTrace(options);
+  px::Trace trace = px::GenerateTrace(options).value();
   std::printf("task log: %zu tasks from %zu jobs\n", trace.task_log.size(),
               trace.job_log.size());
 

@@ -1,0 +1,24 @@
+// libFuzzer harness for the Ganglia dump parser (and the CSV row parser
+// under it): arbitrary bytes must produce samples or a clean Status —
+// never crash or trip ASan/UBSan. CI runs a short smoke pass over
+// fuzz/corpus/ganglia_dump.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ingest/ganglia_dump.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto samples = perfxplain::ParseGangliaDump(text);
+  if (samples.ok()) {
+    // The table constructor must digest whatever the parser accepted.
+    perfxplain::GangliaTable table(std::move(samples).value());
+    (void)table.instance_count();
+  } else {
+    (void)samples.status().ToString();
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// libFuzzer harness for the Hadoop job-history parser: arbitrary bytes
+// must produce records or a clean Status — never crash or trip
+// ASan/UBSan. CI runs a short smoke pass over fuzz/corpus/hadoop_history.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ingest/hadoop_history.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto records = perfxplain::ParseHistory(text);
+  if (!records.ok()) {
+    (void)records.status().ToString();
+  }
+  (void)perfxplain::ParseCounters(text);
+  return 0;
+}

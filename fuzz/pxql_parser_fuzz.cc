@@ -1,0 +1,24 @@
+// libFuzzer harness for the PXQL lexer + parser: arbitrary bytes must
+// either parse into a Query or return a clean Status — never crash,
+// leak, or trip ASan/UBSan. Build with -DPERFXPLAIN_BUILD_FUZZERS=ON
+// (clang only); CI runs a short smoke pass over fuzz/corpus/pxql.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pxql/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto query = perfxplain::ParseQuery(text);
+  if (query.ok()) {
+    // A parsed query must survive its own invariants.
+    (void)query->Validate();
+    (void)query->ToString();
+  } else {
+    (void)query.status().ToString();
+  }
+  return 0;
+}

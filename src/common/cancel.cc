@@ -1,0 +1,30 @@
+#include "common/cancel.h"
+
+namespace perfxplain {
+namespace {
+
+thread_local const ExecContext* t_exec_context = nullptr;
+
+}  // namespace
+
+Status ExecContext::Interrupted() const {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("request cancelled via CancelToken");
+  }
+  if (deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *deadline) {
+    return Status::DeadlineExceeded("request deadline exceeded");
+  }
+  return Status::OK();
+}
+
+const ExecContext* CurrentExecContext() { return t_exec_context; }
+
+ScopedExecContext::ScopedExecContext(const ExecContext* context)
+    : previous_(t_exec_context) {
+  t_exec_context = context;
+}
+
+ScopedExecContext::~ScopedExecContext() { t_exec_context = previous_; }
+
+}  // namespace perfxplain

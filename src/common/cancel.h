@@ -1,0 +1,100 @@
+#ifndef PERFXPLAIN_COMMON_CANCEL_H_
+#define PERFXPLAIN_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace perfxplain {
+
+/// Shareable cooperative-cancellation flag. A caller hands the same token
+/// (via shared_ptr) to one or more requests and may flip it from any thread;
+/// work observes the flip at its next checkpoint and unwinds with
+/// StatusCode::kCancelled. Tokens are one-shot: there is no reset.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-request interruption state: an optional CancelToken plus an optional
+/// absolute deadline. Installed for the duration of a request with
+/// ScopedExecContext and consulted by ThrowIfInterrupted() checkpoints in
+/// long-running loops. The context object must outlive every thread that
+/// observes it (stripe workers are always joined before the request
+/// returns).
+struct ExecContext {
+  std::shared_ptr<const CancelToken> cancel;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// True when neither a token nor a deadline is set; installing such a
+  /// context is pointless and callers should install nullptr instead.
+  bool empty() const { return cancel == nullptr && !deadline.has_value(); }
+
+  /// OK, or kCancelled / kDeadlineExceeded when the request should stop.
+  /// Cancellation wins over an expired deadline when both hold.
+  Status Interrupted() const;
+};
+
+/// Exception used to unwind cooperative work back to the request boundary.
+/// It carries the kCancelled / kDeadlineExceeded Status verbatim; the Engine
+/// (or any other installer of an ExecContext) catches it and returns the
+/// Status. It never escapes a boundary that did not install a context,
+/// because ThrowIfInterrupted() is a no-op without one.
+class InterruptedError {
+ public:
+  explicit InterruptedError(Status status) : status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Returns the ExecContext installed on this thread, or nullptr.
+const ExecContext* CurrentExecContext();
+
+/// Installs `context` as the current thread's ExecContext for the lifetime
+/// of this object, restoring the previous one on destruction. Passing
+/// nullptr is allowed and re-establishes "no context" (zero-cost
+/// checkpoints).
+class ScopedExecContext {
+ public:
+  explicit ScopedExecContext(const ExecContext* context);
+  ~ScopedExecContext();
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  const ExecContext* previous_;
+};
+
+/// Cooperative checkpoint: throws InterruptedError when the current
+/// thread's ExecContext reports cancellation or an expired deadline. Cheap
+/// (one thread-local read) when no context is installed, so it is safe to
+/// call once per outer row / probe / tree node in hot loops. The check
+/// never alters any computed value, which is what keeps results bitwise
+/// identical whenever no interruption fires.
+inline void ThrowIfInterrupted() {
+  const ExecContext* context = CurrentExecContext();
+  if (context == nullptr) return;
+  Status status = context->Interrupted();
+  if (!status.ok()) throw InterruptedError(std::move(status));
+}
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_COMMON_CANCEL_H_

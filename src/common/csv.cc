@@ -36,6 +36,7 @@ Result<std::vector<std::string>> CsvParseRow(const std::string& line) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
+  std::size_t quote_column = 0;
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (in_quotes) {
@@ -51,6 +52,7 @@ Result<std::vector<std::string>> CsvParseRow(const std::string& line) {
       }
     } else if (c == '"') {
       in_quotes = true;
+      quote_column = i + 1;
     } else if (c == ',') {
       fields.push_back(std::move(current));
       current.clear();
@@ -61,7 +63,9 @@ Result<std::vector<std::string>> CsvParseRow(const std::string& line) {
     }
   }
   if (in_quotes) {
-    return Status::ParseError("unterminated quote in CSV row: " + line);
+    return Status::ParseError("unterminated quote (opened at column " +
+                              std::to_string(quote_column) +
+                              ") in CSV row: " + line);
   }
   fields.push_back(std::move(current));
   return fields;
@@ -85,12 +89,19 @@ Result<std::vector<std::vector<std::string>>> CsvReadFile(
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::vector<std::vector<std::string>> rows;
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line == "\r") continue;
     auto row = CsvParseRow(line);
-    if (!row.ok()) return row.status();
+    if (!row.ok()) {
+      return Status(row.status().code(), path + " line " +
+                                             std::to_string(line_number) +
+                                             ": " + row.status().message());
+    }
     rows.push_back(std::move(row).value());
   }
+  if (in.bad()) return Status::IoError("read failed: " + path);
   return rows;
 }
 

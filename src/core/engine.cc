@@ -157,28 +157,88 @@ Status Engine::CheckPrepared(const PreparedQuery& prepared) const {
   return Status::OK();
 }
 
+Status Engine::AdmitRequest(const ExplainRequest& request) const {
+  const EngineLimits& limits = options_.limits;
+  const std::size_t n = snapshot_->log().size();
+  if (limits.max_candidate_pairs > 0) {
+    const std::size_t pairs = n > 1 ? n * (n - 1) : 0;
+    if (pairs > limits.max_candidate_pairs) {
+      return Status::ResourceExhausted(
+          "request rejected: estimated " + std::to_string(pairs) +
+          " candidate ordered pairs exceeds max_candidate_pairs = " +
+          std::to_string(limits.max_candidate_pairs));
+    }
+  }
+  if (limits.max_pair_store_bytes > 0 &&
+      request.technique == Technique::kSimButDiff) {
+    // Only charged when the engine's budget would actually let the plane
+    // build; a request that streams anyway costs no store bytes.
+    const std::size_t bytes = snapshot_->pair_codes().bytes_per_plane();
+    if (bytes <= options_.sim_but_diff.pair_code_budget_bytes &&
+        bytes > limits.max_pair_store_bytes) {
+      return Status::ResourceExhausted(
+          "request rejected: estimated pair-store plane of " +
+          std::to_string(bytes) + " bytes exceeds max_pair_store_bytes = " +
+          std::to_string(limits.max_pair_store_bytes));
+    }
+  }
+  if (limits.max_training_cells > 0 &&
+      request.technique == Technique::kPerfXplain) {
+    const std::size_t cells =
+        (options_.explainer.sampler.sample_size + 1) *
+        snapshot_->pair_schema().size();
+    if (cells > limits.max_training_cells) {
+      return Status::ResourceExhausted(
+          "request rejected: estimated training matrix of " +
+          std::to_string(cells) + " cells exceeds max_training_cells = " +
+          std::to_string(limits.max_training_cells));
+    }
+  }
+  return Status::OK();
+}
+
+ExecContext Engine::MakeExecContext(const ExplainRequest& request) const {
+  ExecContext context;
+  context.cancel = request.cancel;
+  if (request.deadline_ms > 0) {
+    context.deadline =
+        Clock::now() + std::chrono::milliseconds(request.deadline_ms);
+  }
+  return context;
+}
+
 Result<ExplainResponse> Engine::Explain(const PreparedQuery& prepared,
                                         const ExplainRequest& request) const {
   PX_RETURN_IF_ERROR(CheckPrepared(prepared));
-  const PairCodeStore& store = snapshot_->pair_codes();
-  const std::uint64_t builds_before =
-      request.technique == Technique::kSimButDiff ? store.build_count() : 0;
-  const Clock::time_point start = Clock::now();
-  auto explanation = Generate(prepared, request);
-  if (!explanation.ok()) return explanation.status();
-  ExplainResponse response;
-  response.technique = request.technique;
-  response.explanation = std::move(explanation).value();
-  response.explain_ms = MsSince(start);
-  if (request.technique == Technique::kSimButDiff) {
-    response.pair_store_built = store.build_count() > builds_before;
-    response.pair_store_hit =
-        store.bytes_per_plane() <=
-            options_.sim_but_diff.pair_code_budget_bytes &&
-        store.warm(options_.sim_but_diff.pair.sim_fraction);
+  PX_RETURN_IF_ERROR(AdmitRequest(request));
+  const ExecContext exec_context = MakeExecContext(request);
+  ScopedExecContext scoped(exec_context.empty() ? nullptr : &exec_context);
+  try {
+    const PairCodeStore& store = snapshot_->pair_codes();
+    const std::uint64_t builds_before =
+        request.technique == Technique::kSimButDiff ? store.build_count() : 0;
+    const Clock::time_point start = Clock::now();
+    auto explanation = Generate(prepared, request);
+    if (!explanation.ok()) return explanation.status();
+    ExplainResponse response;
+    response.technique = request.technique;
+    response.explanation = std::move(explanation).value();
+    response.explain_ms = MsSince(start);
+    if (request.technique == Technique::kSimButDiff) {
+      response.pair_store_built = store.build_count() > builds_before;
+      response.pair_store_hit =
+          store.bytes_per_plane() <=
+              options_.sim_but_diff.pair_code_budget_bytes &&
+          store.warm(options_.sim_but_diff.pair.sim_fraction);
+    }
+    PX_RETURN_IF_ERROR(AttachEvaluation(prepared, request, &response));
+    return response;
+  } catch (const InterruptedError& interrupted) {
+    // A checkpoint fired mid-scan (or mid-build): every worker has joined
+    // and any partially built store plane was rolled back, so the shared
+    // snapshot keeps serving untouched.
+    return interrupted.status();
   }
-  PX_RETURN_IF_ERROR(AttachEvaluation(prepared, request, &response));
-  return response;
 }
 
 std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
@@ -208,7 +268,18 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
       handled[i] = true;
       continue;
     }
+    if (Status admitted = AdmitRequest(item.request); !admitted.ok()) {
+      responses[i] = admitted;
+      handled[i] = true;
+      continue;
+    }
     if (item.request.technique != Technique::kSimButDiff) continue;
+    // Requests carrying a deadline or CancelToken run per-call (through
+    // Explain, which installs their ExecContext); a shared scan has no
+    // single request whose interruption state could govern it.
+    if (item.request.deadline_ms > 0 || item.request.cancel != nullptr) {
+      continue;
+    }
     SimButDiff::PreparedBatchQuery query;
     query.bound = &item.prepared->bound();
     query.compiled = &item.prepared->compiled();
@@ -270,6 +341,10 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
     if (handled[i] || item.prepared == nullptr) continue;
     if (item.request.technique != Technique::kPerfXplain) continue;
     if (item.request.auto_despite) continue;
+    // Deadline/cancel-carrying requests run per-call (see above).
+    if (item.request.deadline_ms > 0 || item.request.cancel != nullptr) {
+      continue;
+    }
     if (!Definition1(*item.prepared).ok()) continue;  // per-call status
     const Query& bound = item.prepared->bound();
     std::size_t g = 0;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/explainer.h"
 #include "core/explanation.h"
@@ -68,12 +69,34 @@ class LogSnapshot {
   PairCodeStore pair_codes_;
 };
 
+/// Admission-control ceilings: an Engine estimates each request's cost
+/// before running it and rejects work whose estimate exceeds a configured
+/// limit with kResourceExhausted (the estimate is in the message), instead
+/// of pinning cores or OOM-ing mid-scan. 0 means unlimited. Estimates are
+/// upper bounds derived from the snapshot alone, so admission is
+/// deterministic per (snapshot, request, limits).
+struct EngineLimits {
+  /// Ceiling on the candidate ordered-pair count n·(n−1) a request's scans
+  /// may enumerate.
+  std::size_t max_candidate_pairs = 0;
+  /// Ceiling on the resident PairCodeStore plane bytes a SimButDiff
+  /// request may cause to be built (the existing budget formula,
+  /// PairCodeStore::BytesNeeded). Only charged when the engine's
+  /// pair_code_budget_bytes would actually let the plane build — a
+  /// request that would stream anyway is not rejected for store bytes.
+  std::size_t max_pair_store_bytes = 0;
+  /// Ceiling on the PerfXplain training-matrix size, estimated as
+  /// (sample_size + 1) · pair-schema width cells.
+  std::size_t max_training_cells = 0;
+};
+
 /// Per-technique tunables of one Engine. Fixed at construction; per-request
 /// variation goes through ExplainRequest instead.
 struct EngineOptions {
   ExplainerOptions explainer;
   RuleOfThumbOptions rule_of_thumb;
   SimButDiffOptions sim_but_diff;
+  EngineLimits limits;
 };
 
 /// A parsed, bound, compiled query with its pair of interest resolved —
@@ -146,6 +169,21 @@ struct ExplainRequest {
   /// Override of the enumeration worker-thread count for this request.
   /// Observation-free: results are identical for every value.
   std::optional<int> threads;
+
+  /// Soft deadline in milliseconds, measured from Explain entry; 0 = none.
+  /// Long-running loops checkpoint cooperatively and the request returns
+  /// kDeadlineExceeded once the deadline passes. Whenever no deadline
+  /// fires the result is bitwise identical to an unbounded run — the
+  /// checkpoints never alter any computed value.
+  std::int64_t deadline_ms = 0;
+
+  /// Optional shared cancellation flag. Any thread may call Cancel() at
+  /// any time; the request observes it at its next checkpoint and returns
+  /// kCancelled. The same token may be shared by many requests. Neither
+  /// cancellation nor a deadline can corrupt the shared LogSnapshot: an
+  /// interrupted PairCodeStore build is rolled back and rebuilt by the
+  /// next request.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 /// What one request produced: the explanation plus measured wall-clock
@@ -280,6 +318,15 @@ class Engine {
   /// Definition 1 under THIS engine's similarity fraction (see
   /// PreparedQuery::definition1).
   Status Definition1(const PreparedQuery& prepared) const;
+
+  /// Admission control: estimates the request's cost against
+  /// options_.limits and returns kResourceExhausted (with the estimate)
+  /// when a ceiling is exceeded.
+  Status AdmitRequest(const ExplainRequest& request) const;
+
+  /// The request's deadline/cancel state as an ExecContext; empty() when
+  /// the request sets neither.
+  ExecContext MakeExecContext(const ExplainRequest& request) const;
 
   /// The engine's ExplainerOptions with the request's width/seed/threads
   /// overrides applied — the one definition both the per-call PerfXplain

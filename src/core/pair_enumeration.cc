@@ -299,12 +299,14 @@ Result<std::vector<PairRef>> SampleRelatedPairs(
   };
   if (selection.constrained) {
     for (std::uint32_t i : selection.first_rows) {
+      ThrowIfInterrupted();
       for (std::uint32_t j : selection.second_rows) {
         draw_pair(i, j);
       }
     }
   } else {
     for (std::size_t i = 0; i < n; ++i) {
+      ThrowIfInterrupted();
       for (std::size_t j = 0; j < n; ++j) {
         draw_pair(i, j);
       }
@@ -376,12 +378,14 @@ Result<std::pair<std::size_t, std::size_t>> FindPairOfInterest(
     };
     if (selection.constrained) {
       for (std::uint32_t i : selection.first_rows) {
+        ThrowIfInterrupted();
         for (std::uint32_t j : selection.second_rows) {
           if (visit(i, j)) return *found;
         }
       }
     } else {
       for (std::size_t i = 0; i < n; ++i) {
+        ThrowIfInterrupted();
         for (std::size_t j = 0; j < n; ++j) {
           if (visit(i, j)) return *found;
         }

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "features/pair_features.h"
@@ -113,8 +114,10 @@ inline std::size_t RowStripeCount(std::size_t rows, int threads) {
 /// than one stripe is used. Stripes ascend with stripe_index, so per-stripe
 /// partial results merged in stripe order reproduce the row-major order.
 /// An exception thrown by any stripe is rethrown on the calling thread
-/// after all workers join. Shared by the counting scans here and in
-/// metrics.cc.
+/// after all workers join. The calling thread's ExecContext (if any) is
+/// re-installed in every worker, so cancellation checkpoints inside `body`
+/// see the request's token and deadline across stripe boundaries. Shared by
+/// the counting scans here and in metrics.cc.
 template <typename Body>
 void ForEachRowStripe(std::size_t rows, int threads, Body&& body) {
   const std::size_t t = RowStripeCount(rows, threads);
@@ -122,6 +125,7 @@ void ForEachRowStripe(std::size_t rows, int threads, Body&& body) {
     body(std::size_t{0}, std::size_t{0}, rows);
     return;
   }
+  const ExecContext* exec_context = CurrentExecContext();
   std::vector<std::thread> workers;
   workers.reserve(t - 1);
   std::vector<std::exception_ptr> errors(t);
@@ -130,7 +134,8 @@ void ForEachRowStripe(std::size_t rows, int threads, Body&& body) {
     const std::size_t begin = b * chunk;
     const std::size_t end = std::min(rows, begin + chunk);
     if (begin >= end) break;
-    workers.emplace_back([&body, &errors, b, begin, end] {
+    workers.emplace_back([&body, &errors, exec_context, b, begin, end] {
+      ScopedExecContext scoped(exec_context);
       try {
         body(b, begin, end);
       } catch (...) {
@@ -168,6 +173,7 @@ void ScanOrderedPairs(std::size_t rows, const EnumerationOptions& enumeration,
                      // stay in registers; store once at stripe end.
                      Partial local{};
                      for (std::size_t i = begin; i < end; ++i) {
+                       ThrowIfInterrupted();
                        for (std::size_t j = 0; j < rows; ++j) {
                          if (i != j) per_pair(local, i, j);
                        }
@@ -195,6 +201,7 @@ void ScanSelectedPairs(const PairSelection& selection,
                        std::size_t end) {
                      Partial local{};
                      for (std::size_t s = begin; s < end; ++s) {
+                       ThrowIfInterrupted();
                        const std::size_t i = first[s];
                        for (std::uint32_t j : second) {
                          if (i != j) per_pair(local, i, j);

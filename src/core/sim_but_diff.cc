@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/cancel.h"
 #include "core/pair_enumeration.h"
 #include "features/pair_feature_kernel.h"
 #include "pxql/compiled_predicate.h"
@@ -218,6 +219,7 @@ Result<Explanation> SimButDiff::ExplainPrepared(const Query& bound,
             const std::uint64_t poi_word0 =
                 words > 0 ? poi_codes.word(0) : 0;
             for (std::size_t s = begin; s < end; ++s) {
+              ThrowIfInterrupted();
               const std::size_t i = first_rows ? (*first_rows)[s] : s;
               const std::uint64_t* tile = resident->pair_words(i, 0);
               std::size_t count = 0;

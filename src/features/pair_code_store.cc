@@ -1,8 +1,10 @@
 #include "features/pair_code_store.h"
 
 #include <algorithm>
+#include <exception>
 #include <thread>
 
+#include "common/cancel.h"
 #include "common/logging.h"
 
 namespace perfxplain {
@@ -14,7 +16,10 @@ namespace {
 /// the features layer does not depend on core/pair_enumeration; every
 /// (i, j) slot is written by exactly one stripe with a pure function of
 /// the immutable columns, so the built data is identical for every
-/// stripe count.
+/// stripe count. The calling thread's ExecContext is re-installed in each
+/// worker, and an exception from any stripe (a cancellation checkpoint
+/// firing mid-build) is rethrown on the calling thread after all workers
+/// join.
 template <typename Body>
 void ForEachRowStripeLocal(std::size_t rows, int threads, Body&& body) {
   std::size_t stripes = threads > 0
@@ -26,17 +31,33 @@ void ForEachRowStripeLocal(std::size_t rows, int threads, Body&& body) {
     body(std::size_t{0}, rows);
     return;
   }
+  const ExecContext* exec_context = CurrentExecContext();
   const std::size_t chunk = (rows + stripes - 1) / stripes;
   std::vector<std::thread> workers;
   workers.reserve(stripes - 1);
+  std::vector<std::exception_ptr> errors(stripes);
   for (std::size_t b = 1; b < stripes; ++b) {
     const std::size_t begin = b * chunk;
     const std::size_t end = std::min(rows, begin + chunk);
     if (begin >= end) break;
-    workers.emplace_back([&body, begin, end] { body(begin, end); });
+    workers.emplace_back([&body, &errors, exec_context, b, begin, end] {
+      ScopedExecContext scoped(exec_context);
+      try {
+        body(begin, end);
+      } catch (...) {
+        errors[b] = std::current_exception();
+      }
+    });
   }
-  body(std::size_t{0}, std::min(rows, chunk));
+  try {
+    body(std::size_t{0}, std::min(rows, chunk));
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
   for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace
@@ -85,15 +106,25 @@ void PairCodeStore::Build(Plane* plane, int threads) const {
   std::uint64_t* data = resident.data_.data();
   // Tile i (row i's n pair vectors) is filled by exactly one stripe; the
   // diagonal is packed too so addressing stays branch-free.
-  ForEachRowStripeLocal(n, threads, [&](std::size_t begin,
-                                        std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      std::uint64_t* tile = data + i * n * words;
-      for (std::size_t j = 0; j < n; ++j) {
-        kernel::PackIsSameCodesRaw(table, i, j, sim, tile + j * words);
+  try {
+    ForEachRowStripeLocal(n, threads, [&](std::size_t begin,
+                                          std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        ThrowIfInterrupted();
+        std::uint64_t* tile = data + i * n * words;
+        for (std::size_t j = 0; j < n; ++j) {
+          kernel::PackIsSameCodesRaw(table, i, j, sim, tile + j * words);
+        }
       }
-    }
-  });
+    });
+  } catch (...) {
+    // A cancelled build must leave the plane exactly as if never
+    // attempted: drop the partial data (plane->built stays false, the
+    // once_flag is unconsumed because call_once propagates the exception),
+    // so the next Acquire rebuilds from scratch.
+    resident = Resident{};
+    throw;
+  }
 
   builds_.fetch_add(1, std::memory_order_acq_rel);
   plane->built.store(true, std::memory_order_release);

@@ -34,31 +34,50 @@ Result<std::vector<GangliaSample>> ParseGangliaDump(const std::string& text) {
   std::vector<GangliaSample> samples;
   const std::vector<std::string> lines = Split(text, '\n');
   bool saw_header = false;
+  std::size_t line_number = 0;
+  // Prefixes nested parse errors with the 1-based dump line they came
+  // from, so a corrupted multi-megabyte telemetry dump names the bad line.
+  const auto at_line = [&line_number](const Status& status,
+                                      const char* field) {
+    return Status(status.code(), "ganglia line " +
+                                     std::to_string(line_number) +
+                                     " field '" + field +
+                                     "': " + status.message());
+  };
   for (const std::string& line : lines) {
+    ++line_number;
     if (Trim(line).empty()) continue;
     if (!saw_header) {
       if (Trim(line) != "instance,hostname,time,metric,value") {
-        return Status::ParseError("unexpected ganglia dump header: " + line);
+        return Status::ParseError("ganglia line " +
+                                  std::to_string(line_number) +
+                                  ": unexpected dump header: " + line);
       }
       saw_header = true;
       continue;
     }
     auto row = CsvParseRow(line);
-    if (!row.ok()) return row.status();
+    if (!row.ok()) {
+      return Status(row.status().code(),
+                    "ganglia line " + std::to_string(line_number) + ": " +
+                        row.status().message());
+    }
     if (row->size() != 5) {
-      return Status::ParseError("ganglia row needs 5 fields: " + line);
+      return Status::ParseError(
+          "ganglia line " + std::to_string(line_number) + ": row has " +
+          std::to_string(row->size()) + " fields, expected 5: " + line);
     }
     GangliaSample sample;
     auto instance = ParseInt((*row)[0]);
-    if (!instance.ok()) return instance.status();
+    if (!instance.ok()) return at_line(instance.status(), "instance");
     sample.instance = static_cast<int>(instance.value());
     sample.hostname = (*row)[1];
     auto time = ParseDouble((*row)[2]);
-    if (!time.ok()) return time.status();
+    if (!time.ok()) return at_line(time.status(), "time");
     sample.time = time.value();
     sample.metric = (*row)[3];
     auto value = ParseDouble((*row)[4]);
-    if (!value.ok()) return value.status();
+    if (!value.ok()) return at_line(value.status(), "value");
     sample.value = value.value();
     samples.push_back(std::move(sample));
   }

@@ -102,10 +102,16 @@ Result<HistoryRecord> ParseHistoryLine(const std::string& line) {
 
 Result<std::vector<HistoryRecord>> ParseHistory(const std::string& text) {
   std::vector<HistoryRecord> records;
+  std::size_t line_number = 0;
   for (const std::string& line : Split(text, '\n')) {
+    ++line_number;
     if (Trim(line).empty()) continue;
     auto record = ParseHistoryLine(line);
-    if (!record.ok()) return record.status();
+    if (!record.ok()) {
+      return Status(record.status().code(),
+                    "history line " + std::to_string(line_number) + ": " +
+                        record.status().message());
+    }
     records.push_back(std::move(record).value());
   }
   return records;

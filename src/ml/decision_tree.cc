@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cancel.h"
 #include "ml/split.h"
 
 namespace perfxplain {
@@ -39,6 +40,7 @@ std::size_t DecisionTree::BuildEncoded(const PairSchema& schema,
                                        std::vector<std::uint32_t> rows,
                                        const TreeOptions& options,
                                        std::size_t depth) {
+  ThrowIfInterrupted();
   const std::size_t node_index = nodes_.size();
   nodes_.emplace_back();
   const std::vector<std::uint8_t>& labels = examples.labels();
@@ -104,6 +106,7 @@ std::size_t DecisionTree::Build(const PairSchema& schema,
                                 std::vector<std::size_t> indices,
                                 const TreeOptions& options,
                                 std::size_t depth) {
+  ThrowIfInterrupted();
   const std::size_t node_index = nodes_.size();
   nodes_.emplace_back();
   std::size_t positives = 0;

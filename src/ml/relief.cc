@@ -6,6 +6,7 @@
 #include <numeric>
 #include <utility>
 
+#include "common/cancel.h"
 #include "core/pair_enumeration.h"
 #include "features/pair_feature_kernel.h"
 
@@ -246,6 +247,7 @@ std::vector<double> RRelieffStripedImpl(const View& view,
         std::vector<std::pair<double, std::size_t>> distances;
         distances.reserve(n - 1);
         for (std::size_t probe = begin; probe < end; ++probe) {
+          ThrowIfInterrupted();
           const std::size_t i = order[probe];  // probe < m
           distances.clear();
           for (std::size_t j = 0; j < n; ++j) {

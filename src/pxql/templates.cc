@@ -1,16 +1,16 @@
 #include "pxql/templates.h"
 
-#include "common/logging.h"
 #include "pxql/parser.h"
 
 namespace perfxplain {
 
 namespace {
 
-Query MustParseWithIds(const std::string& text, const std::string& first_id,
-                       const std::string& second_id) {
+Result<Query> ParseWithIds(const std::string& text,
+                           const std::string& first_id,
+                           const std::string& second_id) {
   auto query = ParseQuery(text);
-  PX_CHECK(query.ok()) << query.status().ToString();
+  if (!query.ok()) return query.status();
   query->first_id = first_id;
   query->second_id = second_id;
   return std::move(query).value();
@@ -18,55 +18,55 @@ Query MustParseWithIds(const std::string& text, const std::string& first_id,
 
 }  // namespace
 
-Query DifferentDurationsExpected(const std::string& first_id,
+Result<Query> DifferentDurationsExpected(const std::string& first_id,
                                  const std::string& second_id) {
-  return MustParseWithIds(
+  return ParseWithIds(
       "OBSERVED duration_compare = SIM EXPECTED duration_compare = GT",
       first_id, second_id);
 }
 
-Query SameDurationsExpectedButFaster(const std::string& first_id,
+Result<Query> SameDurationsExpectedButFaster(const std::string& first_id,
                                      const std::string& second_id) {
-  return MustParseWithIds(
+  return ParseWithIds(
       "OBSERVED duration_compare = LT EXPECTED duration_compare = SIM",
       first_id, second_id);
 }
 
-Query SameDurationsExpectedButSlower(const std::string& first_id,
+Result<Query> SameDurationsExpectedButSlower(const std::string& first_id,
                                      const std::string& second_id) {
-  return MustParseWithIds(
+  return ParseWithIds(
       "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM",
       first_id, second_id);
 }
 
-Query SameDurationDespiteMoreInput(const std::string& first_id,
+Result<Query> SameDurationDespiteMoreInput(const std::string& first_id,
                                    const std::string& second_id) {
-  return MustParseWithIds(
+  return ParseWithIds(
       "DESPITE inputsize_compare = GT "
       "OBSERVED duration_compare = SIM EXPECTED duration_compare = GT",
       first_id, second_id);
 }
 
-Query FasterDespiteSameInputAndInstances(const std::string& first_id,
+Result<Query> FasterDespiteSameInputAndInstances(const std::string& first_id,
                                          const std::string& second_id) {
-  return MustParseWithIds(
+  return ParseWithIds(
       "DESPITE inputsize_compare = SIM AND numinstances_isSame = T "
       "OBSERVED duration_compare = LT EXPECTED duration_compare = SIM",
       first_id, second_id);
 }
 
-Query WhyLastTaskFaster(const std::string& first_task_id,
+Result<Query> WhyLastTaskFaster(const std::string& first_task_id,
                         const std::string& second_task_id) {
-  return MustParseWithIds(
+  return ParseWithIds(
       "DESPITE jobID_isSame = T AND inputsize_compare = SIM AND "
       "hostname_isSame = T "
       "OBSERVED duration_compare = LT EXPECTED duration_compare = SIM",
       first_task_id, second_task_id);
 }
 
-Query WhySlowerDespiteSameNumInstances(const std::string& first_id,
+Result<Query> WhySlowerDespiteSameNumInstances(const std::string& first_id,
                                        const std::string& second_id) {
-  return MustParseWithIds(
+  return ParseWithIds(
       "DESPITE numinstances_isSame = T AND pigscript_isSame = T "
       "OBSERVED duration_compare = GT EXPECTED duration_compare = SIM",
       first_id, second_id);

@@ -3,47 +3,51 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "pxql/query.h"
 
 namespace perfxplain {
 
 /// Ready-made PXQL queries for the question patterns the paper enumerates
 /// (§2.2, Figure 1, §6.2). Each takes the ids of the pair of interest; the
-/// returned query is unbound (call Query::Bind before use).
+/// returned query is unbound (call Query::Bind before use). Each template
+/// propagates its parse Status instead of aborting, so a template whose
+/// PXQL drifts out of sync with the grammar surfaces a ParseError with
+/// the lexer/parser context intact.
 
 /// Example 1 / Figure 1 query 1: "I expected J1 to be much slower than J2
 /// (e.g., it processed more data), but their durations were similar."
-Query DifferentDurationsExpected(const std::string& first_id,
+Result<Query> DifferentDurationsExpected(const std::string& first_id,
                                  const std::string& second_id);
 
 /// Example 2 / Figure 1 query 2: "I expected similar durations, but J1 was
 /// much faster."
-Query SameDurationsExpectedButFaster(const std::string& first_id,
+Result<Query> SameDurationsExpectedButFaster(const std::string& first_id,
                                      const std::string& second_id);
 
 /// Example 2 variant: "I expected similar durations, but J1 was much
 /// slower."
-Query SameDurationsExpectedButSlower(const std::string& first_id,
+Result<Query> SameDurationsExpectedButSlower(const std::string& first_id,
                                      const std::string& second_id);
 
 /// Example 3 / Figure 1 query 3: constrained version — "despite J1 reading
 /// much more input, the durations were similar; I expected J1 slower."
-Query SameDurationDespiteMoreInput(const std::string& first_id,
+Result<Query> SameDurationDespiteMoreInput(const std::string& first_id,
                                    const std::string& second_id);
 
 /// Example 4 / Figure 1 query 4: "despite similar input and the same
 /// number of instances, J1 was much faster; I expected similar durations."
-Query FasterDespiteSameInputAndInstances(const std::string& first_id,
+Result<Query> FasterDespiteSameInputAndInstances(const std::string& first_id,
                                          const std::string& second_id);
 
 /// §6.2 evaluation query 1 (task level): why was the last task on this
 /// instance faster, despite same job, same host, similar input?
-Query WhyLastTaskFaster(const std::string& first_task_id,
+Result<Query> WhyLastTaskFaster(const std::string& first_task_id,
                         const std::string& second_task_id);
 
 /// §6.2 evaluation query 2 (job level): why was J1 much slower, despite
 /// the same Pig script on the same number of instances?
-Query WhySlowerDespiteSameNumInstances(const std::string& first_id,
+Result<Query> WhySlowerDespiteSameNumInstances(const std::string& first_id,
                                        const std::string& second_id);
 
 }  // namespace perfxplain

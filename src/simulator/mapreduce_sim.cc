@@ -167,16 +167,17 @@ int MergePasses(int segments, int io_sort_factor) {
 
 }  // namespace
 
-SimJob SimulateJob(const JobConfig& config, const ClusterConfig& cluster,
-                   const ExciteStats& stats, const SimCostModel& costs,
-                   Rng& rng) {
+Result<SimJob> SimulateJob(const JobConfig& config,
+                           const ClusterConfig& cluster,
+                           const ExciteStats& stats,
+                           const SimCostModel& costs, Rng& rng) {
+  auto script_or = PigScriptByName(config.pig_script, stats);
+  if (!script_or.ok()) return script_or.status();
   SimJob job;
   job.config = config;
   ClusterConfig sized = cluster;
   sized.num_instances = config.num_instances;
   job.instances = MakeInstances(sized, rng);
-  auto script_or = PigScriptByName(config.pig_script, stats);
-  PX_CHECK(script_or.ok()) << script_or.status().ToString();
   job.script = std::move(script_or).value();
 
   job.start_time = config.submit_time;

@@ -99,9 +99,12 @@ struct SimCostModel {
 ///  - reduce tasks pay a shuffle cost proportional to their share of the
 ///    map output, and a merge-sort cost whose number of passes depends on
 ///    io.sort.factor.
-SimJob SimulateJob(const JobConfig& config, const ClusterConfig& cluster,
-                   const ExciteStats& stats, const SimCostModel& costs,
-                   Rng& rng);
+/// Returns InvalidArgument (propagated from PigScriptByName) when the
+/// config names an unknown Pig script, instead of aborting.
+Result<SimJob> SimulateJob(const JobConfig& config,
+                           const ClusterConfig& cluster,
+                           const ExciteStats& stats,
+                           const SimCostModel& costs, Rng& rng);
 
 }  // namespace perfxplain
 

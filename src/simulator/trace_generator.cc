@@ -192,7 +192,7 @@ ExecutionRecord JobToRecord(const Schema& schema, const SimJob& job,
   return builder.Finish(job.config.job_id);
 }
 
-Trace GenerateTrace(const TraceOptions& options) {
+Result<Trace> GenerateTrace(const TraceOptions& options) {
   Rng rng(options.seed);
   Trace trace;
   trace.job_log = ExecutionLog(MakeJobSchema());
@@ -207,17 +207,15 @@ Trace GenerateTrace(const TraceOptions& options) {
   double clock = 0.0;
   for (JobConfig& config : jobs) {
     config.submit_time = clock;
-    const SimJob job = SimulateJob(config, options.cluster, trace.stats,
-                                   options.costs, rng);
-    PX_CHECK(trace.job_log
-                 .Add(JobToRecord(trace.job_log.schema(), job,
-                                  options.epoch_offset))
-                 .ok());
+    auto job_or = SimulateJob(config, options.cluster, trace.stats,
+                              options.costs, rng);
+    if (!job_or.ok()) return job_or.status();
+    const SimJob& job = *job_or;
+    PX_RETURN_IF_ERROR(trace.job_log.Add(
+        JobToRecord(trace.job_log.schema(), job, options.epoch_offset)));
     for (const SimTask& task : job.tasks) {
-      PX_CHECK(trace.task_log
-                   .Add(TaskToRecord(trace.task_log.schema(), job, task,
-                                     options.epoch_offset))
-                   .ok());
+      PX_RETURN_IF_ERROR(trace.task_log.Add(TaskToRecord(
+          trace.task_log.schema(), job, task, options.epoch_offset)));
     }
     clock = job.finish_time + rng.Exponential(options.inter_job_gap_seconds);
   }

@@ -36,8 +36,9 @@ struct Trace {
 
 /// Runs every configured job through the simulator and converts the results
 /// into execution logs with the catalogue schemas. Deterministic in
-/// `options.seed`.
-Trace GenerateTrace(const TraceOptions& options);
+/// `options.seed`. Propagates the Status of a job config the simulator
+/// rejects (e.g. an unknown Pig script) instead of aborting.
+Result<Trace> GenerateTrace(const TraceOptions& options);
 
 /// Converts one simulated job into a job-level record (catalogue schema).
 ExecutionRecord JobToRecord(const Schema& schema, const SimJob& job,

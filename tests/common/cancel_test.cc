@@ -1,0 +1,124 @@
+#include "common/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace perfxplain {
+namespace {
+
+TEST(CancelTokenTest, StartsUncancelledAndLatches) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, VisibleAcrossThreads) {
+  auto token = std::make_shared<CancelToken>();
+  std::thread other([&token] { token->Cancel(); });
+  other.join();
+  EXPECT_TRUE(token->cancelled());
+}
+
+TEST(ExecContextTest, EmptyContextNeverInterrupts) {
+  ExecContext context;
+  EXPECT_TRUE(context.empty());
+  EXPECT_TRUE(context.Interrupted().ok());
+}
+
+TEST(ExecContextTest, CancelledTokenReportsCancelled) {
+  auto token = std::make_shared<CancelToken>();
+  ExecContext context;
+  context.cancel = token;
+  EXPECT_FALSE(context.empty());
+  EXPECT_TRUE(context.Interrupted().ok());
+  token->Cancel();
+  EXPECT_EQ(context.Interrupted().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  ExecContext context;
+  context.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(context.Interrupted().code(), StatusCode::kDeadlineExceeded);
+  context.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  EXPECT_TRUE(context.Interrupted().ok());
+}
+
+TEST(ExecContextTest, CancellationWinsOverExpiredDeadline) {
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel();
+  ExecContext context;
+  context.cancel = token;
+  context.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(context.Interrupted().code(), StatusCode::kCancelled);
+}
+
+TEST(ScopedExecContextTest, InstallsAndRestores) {
+  EXPECT_EQ(CurrentExecContext(), nullptr);
+  ExecContext outer;
+  {
+    ScopedExecContext scoped_outer(&outer);
+    EXPECT_EQ(CurrentExecContext(), &outer);
+    ExecContext inner;
+    {
+      ScopedExecContext scoped_inner(&inner);
+      EXPECT_EQ(CurrentExecContext(), &inner);
+    }
+    EXPECT_EQ(CurrentExecContext(), &outer);
+  }
+  EXPECT_EQ(CurrentExecContext(), nullptr);
+}
+
+TEST(ScopedExecContextTest, ContextIsThreadLocal) {
+  ExecContext context;
+  ScopedExecContext scoped(&context);
+  const ExecContext* seen_in_thread = &context;  // overwritten below
+  std::thread other([&seen_in_thread] {
+    seen_in_thread = CurrentExecContext();
+  });
+  other.join();
+  EXPECT_EQ(seen_in_thread, nullptr);
+  EXPECT_EQ(CurrentExecContext(), &context);
+}
+
+TEST(ThrowIfInterruptedTest, NoopWithoutContext) {
+  EXPECT_NO_THROW(ThrowIfInterrupted());
+}
+
+TEST(ThrowIfInterruptedTest, ThrowsStatusCarryingError) {
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel();
+  ExecContext context;
+  context.cancel = token;
+  ScopedExecContext scoped(&context);
+  try {
+    ThrowIfInterrupted();
+    FAIL() << "expected InterruptedError";
+  } catch (const InterruptedError& error) {
+    EXPECT_EQ(error.status().code(), StatusCode::kCancelled);
+    EXPECT_FALSE(error.status().message().empty());
+  }
+}
+
+TEST(StatusTest, NewCodesRoundTripToString) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_EQ(Status::Cancelled("x").ToString(), "Cancelled: x");
+  EXPECT_EQ(Status::DeadlineExceeded("y").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("z").code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace perfxplain

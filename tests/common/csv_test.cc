@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "common/random.h"
 
@@ -43,6 +44,16 @@ TEST(CsvRowTest, ParseToleratesCarriageReturn) {
 
 TEST(CsvRowTest, UnterminatedQuoteFails) {
   EXPECT_FALSE(CsvParseRow("\"oops").ok());
+}
+
+TEST(CsvRowTest, UnterminatedQuoteNamesItsColumn) {
+  auto row = CsvParseRow("ok,\"oops");
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kParseError);
+  // The quote opens at 1-based column 4.
+  EXPECT_NE(row.status().message().find("opened at column 4"),
+            std::string::npos)
+      << row.status().ToString();
 }
 
 TEST(CsvRowTest, RoundTripRandomFields) {
@@ -94,6 +105,18 @@ TEST_F(CsvFileTest, ReadSkipsBlankLines) {
   // The empty row encodes to an empty line which is skipped on read.
   EXPECT_EQ(read.value(),
             (std::vector<std::vector<std::string>>{{"a"}, {"b"}}));
+}
+
+TEST_F(CsvFileTest, RowErrorsCarryPathAndLineNumber) {
+  std::ofstream out(path_);
+  out << "a,b\n" << "c,\"broken\n";
+  out.close();
+  auto read = CsvReadFile(path_.string());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kParseError);
+  EXPECT_NE(read.status().message().find(path_.string()), std::string::npos)
+      << read.status().ToString();
+  EXPECT_NE(read.status().message().find("line 2"), std::string::npos);
 }
 
 TEST_F(CsvFileTest, MissingFileFails) {

@@ -76,7 +76,7 @@ TEST(RenderAtomProseTest, UnusualAtomsFallBackToPxql) {
 }
 
 TEST(RenderExplanationProseTest, FullSentenceWithDespite) {
-  Query query = WhySlowerDespiteSameNumInstances("j1", "j2");
+  Query query = WhySlowerDespiteSameNumInstances("j1", "j2").value();
   Explanation explanation;
   explanation.because = MustPredicate(
       "inputsize_compare = GT AND numinstances <= 12");
@@ -89,7 +89,7 @@ TEST(RenderExplanationProseTest, FullSentenceWithDespite) {
 }
 
 TEST(RenderExplanationProseTest, ConstrainedQueryProse) {
-  Query query = FasterDespiteSameInputAndInstances("t1", "t2");
+  Query query = FasterDespiteSameInputAndInstances("t1", "t2").value();
   Explanation explanation;
   explanation.because = MustPredicate("avg_cpu_user_compare = LT");
   const std::string prose = RenderExplanationProse(query, explanation);
@@ -101,7 +101,7 @@ TEST(RenderExplanationProseTest, ConstrainedQueryProse) {
 }
 
 TEST(RenderExplanationProseTest, GeneratedDespiteIsIncluded) {
-  Query query = SameDurationsExpectedButSlower("a", "b");
+  Query query = SameDurationsExpectedButSlower("a", "b").value();
   Explanation explanation;
   explanation.despite = MustPredicate("blocksize_isSame = T");
   explanation.because = MustPredicate("inputsize_compare = GT");
@@ -111,7 +111,7 @@ TEST(RenderExplanationProseTest, GeneratedDespiteIsIncluded) {
 }
 
 TEST(RenderExplanationProseTest, TrulyEmptyDespiteStartsWithObservation) {
-  Query query = SameDurationsExpectedButSlower("a", "b");
+  Query query = SameDurationsExpectedButSlower("a", "b").value();
   Explanation explanation;
   explanation.because = MustPredicate("inputsize_compare = GT");
   const std::string prose = RenderExplanationProse(query, explanation);

@@ -15,7 +15,7 @@ SimJob SmallJob(std::uint64_t seed = 9) {
   config.input_size_bytes = 256.0 * 1024 * 1024;
   config.block_size_bytes = 64.0 * 1024 * 1024;
   Rng rng(seed);
-  return SimulateJob(config, cluster, stats, costs, rng);
+  return SimulateJob(config, cluster, stats, costs, rng).value();
 }
 
 TEST(GangliaDumpTest, WriteParseRoundTrip) {
@@ -75,6 +75,46 @@ TEST(GangliaDumpTest, ParseRejectsMalformedInput) {
           .ok());
   EXPECT_FALSE(
       ParseGangliaDump("instance,hostname,time,metric,value\n1,h,2,m").ok());
+}
+
+TEST(GangliaDumpTest, ErrorsNameLineAndField) {
+  const std::string header = "instance,hostname,time,metric,value\n";
+
+  auto bad_value = ParseGangliaDump(header + "0,h,1,cpu_user,oops\n");
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("ganglia line 2"),
+            std::string::npos)
+      << bad_value.status().ToString();
+  EXPECT_NE(bad_value.status().message().find("field 'value'"),
+            std::string::npos);
+
+  auto bad_instance = ParseGangliaDump(header + "0,h,1,cpu_user,1\n" +
+                                       "x,h,2,cpu_user,1\n");
+  ASSERT_FALSE(bad_instance.ok());
+  EXPECT_NE(bad_instance.status().message().find("ganglia line 3"),
+            std::string::npos);
+  EXPECT_NE(bad_instance.status().message().find("field 'instance'"),
+            std::string::npos);
+
+  // Wrong arity reports the observed field count.
+  auto arity = ParseGangliaDump(header + "0,h,1,cpu_user,1,extra\n");
+  ASSERT_FALSE(arity.ok());
+  EXPECT_NE(arity.status().message().find("6 fields, expected 5"),
+            std::string::npos)
+      << arity.status().ToString();
+
+  // A duplicated header row mid-dump is a malformed data row.
+  auto duplicate_header = ParseGangliaDump(header + header);
+  ASSERT_FALSE(duplicate_header.ok());
+  EXPECT_NE(duplicate_header.status().message().find("ganglia line 2"),
+            std::string::npos);
+
+  // Missing header entirely: the first data row is named as the problem.
+  auto headerless = ParseGangliaDump("0,h,1,cpu_user,1\n");
+  ASSERT_FALSE(headerless.ok());
+  EXPECT_NE(headerless.status().message().find("unexpected dump header"),
+            std::string::npos)
+      << headerless.status().ToString();
 }
 
 TEST(GangliaDumpTest, UnknownSeriesReportsNotFound) {

@@ -53,6 +53,39 @@ TEST(HistoryRecordTest, ParseErrors) {
   EXPECT_FALSE(ParseHistoryLine("Job =\"x\" .").ok());     // empty key
 }
 
+TEST(HistoryTest, ErrorsNameTheOffendingLine) {
+  // Garbage mid-file: the error carries the 1-based line number so a
+  // multi-megabyte history names the bad line.
+  auto garbage = ParseHistory(
+      "Meta VERSION=\"1\" .\n"
+      "Job JOBID=\"j\" SUBMIT_TIME=\"1\" .\n"
+      "%%% not a history record\n");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kParseError);
+  EXPECT_NE(garbage.status().message().find("history line 3"),
+            std::string::npos)
+      << garbage.status().ToString();
+
+  // Truncation mid-record (no terminator) reports the cut line.
+  auto truncated = ParseHistory(
+      "Meta VERSION=\"1\" .\n"
+      "Job JOBID=\"j\" SUBMIT");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("history line 2"),
+            std::string::npos)
+      << truncated.status().ToString();
+}
+
+TEST(HistoryTest, ToleratesDuplicateRecords) {
+  // A duplicated line is well-formed — dedup/semantic checks are the
+  // caller's job; the parser just returns both records.
+  auto records = ParseHistory(
+      "Job JOBID=\"j\" SUBMIT_TIME=\"1\" .\n"
+      "Job JOBID=\"j\" SUBMIT_TIME=\"1\" .\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+}
+
 TEST(HistoryTest, ParseMultipleLinesSkippingBlanks) {
   auto records = ParseHistory(
       "Meta VERSION=\"1\" .\n"
@@ -91,7 +124,8 @@ TEST(WriteJobHistoryTest, ProducesParseableCompleteHistory) {
   config.input_size_bytes = 256.0 * 1024 * 1024;
   config.block_size_bytes = 64.0 * 1024 * 1024;
   Rng rng(5);
-  const SimJob job = SimulateJob(config, cluster, stats, costs, rng);
+  const SimJob job =
+      SimulateJob(config, cluster, stats, costs, rng).value();
 
   const std::string text = WriteJobHistory(job, 1000000.0);
   auto records = ParseHistory(text);

@@ -27,7 +27,7 @@ SimJob SimulateSmallJob(std::uint64_t seed = 17) {
   config.reduce_tasks_factor = 1.5;
   config.pig_script = "simple-groupby.pig";
   Rng rng(seed);
-  return SimulateJob(config, cluster, stats, costs, rng);
+  return SimulateJob(config, cluster, stats, costs, rng).value();
 }
 
 class IngestTest : public ::testing::Test {

@@ -36,7 +36,7 @@ class EndToEndTest : public ::testing::Test {
         }
       }
     }
-    trace_ = new Trace(GenerateTrace(options));
+    trace_ = new Trace(GenerateTrace(options).value());
   }
   static void TearDownTestSuite() {
     delete trace_;

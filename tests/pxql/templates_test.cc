@@ -9,13 +9,13 @@ namespace {
 
 TEST(TemplatesTest, AllTemplatesCarryIds) {
   for (const Query& query :
-       {DifferentDurationsExpected("a", "b"),
-        SameDurationsExpectedButFaster("a", "b"),
-        SameDurationsExpectedButSlower("a", "b"),
-        SameDurationDespiteMoreInput("a", "b"),
-        FasterDespiteSameInputAndInstances("a", "b"),
-        WhyLastTaskFaster("a", "b"),
-        WhySlowerDespiteSameNumInstances("a", "b")}) {
+       {DifferentDurationsExpected("a", "b").value(),
+        SameDurationsExpectedButFaster("a", "b").value(),
+        SameDurationsExpectedButSlower("a", "b").value(),
+        SameDurationDespiteMoreInput("a", "b").value(),
+        FasterDespiteSameInputAndInstances("a", "b").value(),
+        WhyLastTaskFaster("a", "b").value(),
+        WhySlowerDespiteSameNumInstances("a", "b").value()}) {
     EXPECT_EQ(query.first_id, "a");
     EXPECT_EQ(query.second_id, "b");
   }
@@ -23,13 +23,13 @@ TEST(TemplatesTest, AllTemplatesCarryIds) {
 
 TEST(TemplatesTest, AllTemplatesAreValid) {
   for (const Query& query :
-       {DifferentDurationsExpected("a", "b"),
-        SameDurationsExpectedButFaster("a", "b"),
-        SameDurationsExpectedButSlower("a", "b"),
-        SameDurationDespiteMoreInput("a", "b"),
-        FasterDespiteSameInputAndInstances("a", "b"),
-        WhyLastTaskFaster("a", "b"),
-        WhySlowerDespiteSameNumInstances("a", "b")}) {
+       {DifferentDurationsExpected("a", "b").value(),
+        SameDurationsExpectedButFaster("a", "b").value(),
+        SameDurationsExpectedButSlower("a", "b").value(),
+        SameDurationDespiteMoreInput("a", "b").value(),
+        FasterDespiteSameInputAndInstances("a", "b").value(),
+        WhyLastTaskFaster("a", "b").value(),
+        WhySlowerDespiteSameNumInstances("a", "b").value()}) {
     EXPECT_TRUE(query.Validate().ok()) << query.ToString();
   }
 }
@@ -37,37 +37,37 @@ TEST(TemplatesTest, AllTemplatesAreValid) {
 TEST(TemplatesTest, JobTemplatesBindToJobSchema) {
   PairSchema schema(MakeJobSchema());
   for (Query query :
-       {DifferentDurationsExpected("a", "b"),
-        SameDurationsExpectedButSlower("a", "b"),
-        SameDurationDespiteMoreInput("a", "b"),
-        FasterDespiteSameInputAndInstances("a", "b"),
-        WhySlowerDespiteSameNumInstances("a", "b")}) {
+       {DifferentDurationsExpected("a", "b").value(),
+        SameDurationsExpectedButSlower("a", "b").value(),
+        SameDurationDespiteMoreInput("a", "b").value(),
+        FasterDespiteSameInputAndInstances("a", "b").value(),
+        WhySlowerDespiteSameNumInstances("a", "b").value()}) {
     EXPECT_TRUE(query.Bind(schema).ok()) << query.ToString();
   }
 }
 
 TEST(TemplatesTest, TaskTemplateBindsToTaskSchema) {
   PairSchema schema(MakeTaskSchema());
-  Query query = WhyLastTaskFaster("t1", "t2");
+  Query query = WhyLastTaskFaster("t1", "t2").value();
   EXPECT_TRUE(query.Bind(schema).ok());
   // The task template references task-only features, so it must not bind
   // against the job schema.
   PairSchema job_schema(MakeJobSchema());
-  Query again = WhyLastTaskFaster("t1", "t2");
+  Query again = WhyLastTaskFaster("t1", "t2").value();
   EXPECT_FALSE(again.Bind(job_schema).ok());
 }
 
 TEST(TemplatesTest, Figure1ShapesMatchPaper) {
   // Query 1 of Figure 1: OBSERVED SIM, EXPECTED GT, no despite.
-  const Query q1 = DifferentDurationsExpected("a", "b");
+  const Query q1 = DifferentDurationsExpected("a", "b").value();
   EXPECT_TRUE(q1.despite.is_true());
   EXPECT_EQ(q1.observed.ToString(), "duration_compare = SIM");
   EXPECT_EQ(q1.expected.ToString(), "duration_compare = GT");
   // Query 3: despite inputsize GT.
-  const Query q3 = SameDurationDespiteMoreInput("a", "b");
+  const Query q3 = SameDurationDespiteMoreInput("a", "b").value();
   EXPECT_EQ(q3.despite.ToString(), "inputsize_compare = GT");
   // Evaluation query 2 despite: numinstances and pigscript same.
-  const Query q7 = WhySlowerDespiteSameNumInstances("a", "b");
+  const Query q7 = WhySlowerDespiteSameNumInstances("a", "b").value();
   EXPECT_EQ(q7.despite.width(), 2u);
 }
 

@@ -23,7 +23,7 @@ class MapReduceSimTest : public ::testing::Test {
 
   SimJob Run(const JobConfig& config, std::uint64_t seed = 7) {
     Rng rng(seed);
-    return SimulateJob(config, cluster_, stats_, costs_, rng);
+    return SimulateJob(config, cluster_, stats_, costs_, rng).value();
   }
 
   ClusterConfig cluster_;

@@ -31,14 +31,14 @@ TraceOptions SmallTrace(std::uint64_t seed = 5) {
 }
 
 TEST(TraceGeneratorTest, SchemasMatchCatalog) {
-  const Trace trace = GenerateTrace(SmallTrace());
+  const Trace trace = GenerateTrace(SmallTrace()).value();
   EXPECT_TRUE(trace.job_log.schema() == MakeJobSchema());
   EXPECT_TRUE(trace.task_log.schema() == MakeTaskSchema());
 }
 
 TEST(TraceGeneratorTest, OneJobRecordPerConfiguredJob) {
   const TraceOptions options = SmallTrace();
-  const Trace trace = GenerateTrace(options);
+  const Trace trace = GenerateTrace(options).value();
   EXPECT_EQ(trace.job_log.size(), options.jobs.size());
   for (const auto& config : options.jobs) {
     EXPECT_TRUE(trace.job_log.Find(config.job_id).ok()) << config.job_id;
@@ -46,7 +46,7 @@ TEST(TraceGeneratorTest, OneJobRecordPerConfiguredJob) {
 }
 
 TEST(TraceGeneratorTest, TaskRecordsReferenceTheirJobs) {
-  const Trace trace = GenerateTrace(SmallTrace());
+  const Trace trace = GenerateTrace(SmallTrace()).value();
   const Schema& schema = trace.task_log.schema();
   const std::size_t f_job = schema.IndexOf(feature_names::kJobId);
   std::set<std::string> jobs;
@@ -59,7 +59,7 @@ TEST(TraceGeneratorTest, TaskRecordsReferenceTheirJobs) {
 }
 
 TEST(TraceGeneratorTest, NoMissingValuesInGeneratedRecords) {
-  const Trace trace = GenerateTrace(SmallTrace());
+  const Trace trace = GenerateTrace(SmallTrace()).value();
   for (const auto& record : trace.job_log.records()) {
     for (const Value& value : record.values) {
       EXPECT_FALSE(value.is_missing()) << record.id;
@@ -73,7 +73,7 @@ TEST(TraceGeneratorTest, NoMissingValuesInGeneratedRecords) {
 }
 
 TEST(TraceGeneratorTest, JobDurationsPositiveAndPlausible) {
-  const Trace trace = GenerateTrace(SmallTrace());
+  const Trace trace = GenerateTrace(SmallTrace()).value();
   const std::size_t f_duration =
       trace.job_log.schema().IndexOf(feature_names::kDuration);
   for (const auto& record : trace.job_log.records()) {
@@ -84,7 +84,7 @@ TEST(TraceGeneratorTest, JobDurationsPositiveAndPlausible) {
 }
 
 TEST(TraceGeneratorTest, JobCountersAggregateTaskCounters) {
-  const Trace trace = GenerateTrace(SmallTrace());
+  const Trace trace = GenerateTrace(SmallTrace()).value();
   const Schema& job_schema = trace.job_log.schema();
   const Schema& task_schema = trace.task_log.schema();
   const std::size_t jf_read = job_schema.IndexOf("hdfs_bytes_read");
@@ -104,7 +104,7 @@ TEST(TraceGeneratorTest, JobCountersAggregateTaskCounters) {
 }
 
 TEST(TraceGeneratorTest, StartTimesAdvanceMonotonically) {
-  const Trace trace = GenerateTrace(SmallTrace());
+  const Trace trace = GenerateTrace(SmallTrace()).value();
   const std::size_t f_start = trace.job_log.schema().IndexOf("start_time");
   double previous = 0.0;
   for (const auto& record : trace.job_log.records()) {
@@ -115,8 +115,8 @@ TEST(TraceGeneratorTest, StartTimesAdvanceMonotonically) {
 }
 
 TEST(TraceGeneratorTest, DeterministicGivenSeed) {
-  const Trace a = GenerateTrace(SmallTrace(9));
-  const Trace b = GenerateTrace(SmallTrace(9));
+  const Trace a = GenerateTrace(SmallTrace(9)).value();
+  const Trace b = GenerateTrace(SmallTrace(9)).value();
   ASSERT_EQ(a.job_log.size(), b.job_log.size());
   for (std::size_t i = 0; i < a.job_log.size(); ++i) {
     EXPECT_EQ(a.job_log.at(i).values, b.job_log.at(i).values);
@@ -124,8 +124,8 @@ TEST(TraceGeneratorTest, DeterministicGivenSeed) {
 }
 
 TEST(TraceGeneratorTest, SeedChangesData) {
-  const Trace a = GenerateTrace(SmallTrace(1));
-  const Trace b = GenerateTrace(SmallTrace(2));
+  const Trace a = GenerateTrace(SmallTrace(1)).value();
+  const Trace b = GenerateTrace(SmallTrace(2)).value();
   const std::size_t f_duration =
       a.job_log.schema().IndexOf(feature_names::kDuration);
   bool any_different = false;
@@ -144,12 +144,12 @@ TEST(TraceGeneratorTest, EmptyJobListMeansFullTable2Grid) {
   TraceOptions options;
   options.jobs = MakeTable2Grid();
   options.jobs.resize(2);  // only simulate the first two for speed
-  const Trace trace = GenerateTrace(options);
+  const Trace trace = GenerateTrace(options).value();
   EXPECT_EQ(trace.job_log.size(), 2u);
 }
 
 TEST(TraceGeneratorTest, ReduceTaskFieldsPopulated) {
-  const Trace trace = GenerateTrace(SmallTrace());
+  const Trace trace = GenerateTrace(SmallTrace()).value();
   const Schema& schema = trace.task_log.schema();
   const std::size_t f_type = schema.IndexOf(feature_names::kTaskType);
   const std::size_t f_sort = schema.IndexOf("sorttime");

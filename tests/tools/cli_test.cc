@@ -203,7 +203,7 @@ TEST_F(CliTest, IngestRawArtifactsProducesQueryableLogs) {
   config.block_size_bytes = 64.0 * 1024 * 1024;
   px::Rng rng(3);
   const px::SimJob job =
-      px::SimulateJob(config, cluster, stats, costs, rng);
+      px::SimulateJob(config, cluster, stats, costs, rng).value();
   const std::string history_path = (dir_ / "history.log").string();
   const std::string ganglia_path = (dir_ / "ganglia.csv").string();
   {
@@ -223,6 +223,64 @@ TEST_F(CliTest, IngestRawArtifactsProducesQueryableLogs) {
       px::ExecutionLog::LoadCsv((dir_ / "job_log.csv").string());
   ASSERT_TRUE(job_log.ok());
   EXPECT_TRUE(job_log->Find("job_cli").ok());
+}
+
+TEST_F(CliTest, ExplainAcceptsUnfiredDeadline) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                    "--deadline-ms", "60000"},
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("BECAUSE"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainRejectedByAdmissionControl) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  // The 80-record log enumerates 80·79 = 6320 candidate pairs.
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                    "--max-candidate-pairs", "100"},
+                   &output),
+            1);
+  // One-line error naming the code, the estimate and the tripped limit.
+  EXPECT_NE(output.find("error"), std::string::npos) << output;
+  EXPECT_NE(output.find("ResourceExhausted"), std::string::npos) << output;
+  EXPECT_NE(output.find("6320"), std::string::npos) << output;
+  EXPECT_NE(output.find("max_candidate_pairs"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainWithGenerousLimitsSucceeds) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                    "--max-candidate-pairs", "1000000",
+                    "--max-pair-store-bytes", "1073741824",
+                    "--max-training-cells", "10000000"},
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("BECAUSE"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainRejectsNegativeRobustnessOptions) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  for (const char* option : {"--deadline-ms", "--max-candidate-pairs",
+                             "--max-pair-store-bytes",
+                             "--max-training-cells"}) {
+    std::string output;
+    EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                      option, "-5"},
+                     &output),
+              1)
+        << option;
+    EXPECT_NE(output.find("error"), std::string::npos) << option;
+  }
 }
 
 TEST_F(CliTest, MissingOptionValueFails) {

@@ -6,10 +6,13 @@ exists.
 
 Checked reference kinds:
   * path-like tokens rooted at src/, tests/, bench/, examples/, tools/,
-    docs/, or .github/ (brace groups like foo.{h,cc} are expanded, glob
-    stars are resolved with glob);
+    docs/, fuzz/, or .github/ (brace groups like foo.{h,cc} are
+    expanded, glob stars are resolved with glob);
   * BM_* google-benchmark names, which must appear in bench/*.cc;
   * example_* binary names, which must match an examples/<name>.cpp;
+  * Suite.Case test citations (e.g. EngineRobustnessTest.
+    CancelMidScanOfMultiThreadedExplain), which must be declared by a
+    TEST/TEST_F in tests/ — docs must not cite deleted tests;
   * "name" fields of BENCH_micro.json entries (stripped of /arg
     suffixes), which must be registered benchmarks — the perf history
     must not silently reference deleted timers.
@@ -26,12 +29,16 @@ import sys
 
 DOCS = ["README.md", "docs/ARCHITECTURE.md"]
 PATH_ROOTS = ("src/", "tests/", "bench/", "examples/", "tools/", "docs/",
-              ".github/")
+              "fuzz/", ".github/")
 PATH_RE = re.compile(
-    r"(?:src|tests|bench|examples|tools|docs|\.github)/"
+    r"(?:src|tests|bench|examples|tools|docs|fuzz|\.github)/"
     r"[A-Za-z0-9_./*{},\-]*[A-Za-z0-9_*}]")
 BENCH_RE = re.compile(r"\bBM_[A-Za-z0-9_]+")
 EXAMPLE_RE = re.compile(r"\bexample_[a-z0-9_]+")
+# Suite.Case citations like `CliTest.ExplainRejectedByAdmissionControl`.
+# Suites are conventionally *Test; cite on one line (no wrapping around
+# the dot) so the reference is machine-checkable.
+TEST_RE = re.compile(r"\b([A-Za-z0-9]+Test)\.([A-Za-z0-9_]+)\b")
 
 
 def expand_braces(token):
@@ -85,6 +92,15 @@ def main():
             registered_benches.update(
                 re.findall(r"BENCHMARK\((BM_[A-Za-z0-9_]+)\)", f.read()))
 
+    # (suite, case) pairs declared by TEST/TEST_F anywhere under tests/.
+    declared_tests = set()
+    for path in glob.glob("tests/**/*.cc", recursive=True):
+        with open(path, encoding="utf-8") as f:
+            declared_tests.update(
+                re.findall(r"\bTEST(?:_F)?\(\s*([A-Za-z0-9_]+)\s*,"
+                           r"\s*([A-Za-z0-9_]+)\s*\)", f.read()))
+    declared_suites = {suite for suite, _ in declared_tests}
+
     stale = []
     for doc in DOCS:
         if not os.path.exists(doc):
@@ -105,6 +121,14 @@ def main():
             source = "examples/" + name[len("example_"):] + ".cpp"
             if not os.path.exists(source):
                 stale.append((doc, name))
+        for suite, case in sorted(set(TEST_RE.findall(text))):
+            # Only police suites that exist (or existed): a dotted token
+            # whose suite is entirely unknown is likely prose or a file
+            # stem, but a known suite citing a deleted case is drift.
+            if suite in declared_suites and (suite, case) not in declared_tests:
+                stale.append((doc, f"{suite}.{case}"))
+            elif suite.endswith("Test") and suite not in declared_suites:
+                stale.append((doc, f"{suite}.{case} (unknown test suite)"))
 
     bench_json = "BENCH_micro.json"
     if os.path.exists(bench_json):

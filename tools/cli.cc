@@ -29,6 +29,8 @@ usage:
   perfxplain explain --log FILE --query PXQL [--query PXQL ...]
                      [--query-file FILE ...] [--width N] [--technique T]
                      [--auto-despite] [--prose] [--threads N]
+                     [--deadline-ms N] [--max-candidate-pairs N]
+                     [--max-pair-store-bytes N] [--max-training-cells N]
   perfxplain despite --log FILE --query PXQL [--width N] [--threads N]
   perfxplain help
 
@@ -39,6 +41,12 @@ pairs — and per-query timing is printed.
 
 --threads N sets the worker-thread count of the columnar pair enumeration
 (0 = hardware concurrency). Results are identical for every thread count.
+
+--deadline-ms N aborts an explain request that runs longer than N ms with
+a DeadlineExceeded error (0 = no deadline). The --max-* options set the
+engine's admission-control limits (EngineLimits, 0 = unlimited); a request
+whose estimated cost exceeds a limit is rejected up front with a
+ResourceExhausted error carrying the estimate.
 
 A PXQL query names its pair of interest and three predicates:
   FOR J1, J2 WHERE J1.JobID = 'job_000054' AND J2.JobID = 'job_000000'
@@ -128,7 +136,9 @@ int RunGenerate(const ParsedArgs& args, std::ostream& out) {
     options.jobs = std::move(grid);
   }
   out << "simulating trace (seed " << *seed << ")...\n";
-  const Trace trace = GenerateTrace(options);
+  auto trace_or = GenerateTrace(options);
+  if (!trace_or.ok()) return Fail(out, trace_or.status());
+  const Trace& trace = *trace_or;
   const std::string job_path = *dir + "/job_log.csv";
   const std::string task_path = *dir + "/task_log.csv";
   Status status = trace.job_log.SaveCsv(job_path);
@@ -275,6 +285,25 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
   }
   auto threads = IntOption(args, "threads", 0);
   if (!threads.ok()) return Fail(out, threads.status());
+  auto deadline_ms = IntOption(args, "deadline-ms", 0);
+  if (!deadline_ms.ok() || *deadline_ms < 0) {
+    return Fail(out, Status::InvalidArgument("--deadline-ms must be >= 0"));
+  }
+  auto max_pairs = IntOption(args, "max-candidate-pairs", 0);
+  if (!max_pairs.ok() || *max_pairs < 0) {
+    return Fail(out,
+                Status::InvalidArgument("--max-candidate-pairs must be >= 0"));
+  }
+  auto max_store = IntOption(args, "max-pair-store-bytes", 0);
+  if (!max_store.ok() || *max_store < 0) {
+    return Fail(out, Status::InvalidArgument(
+                         "--max-pair-store-bytes must be >= 0"));
+  }
+  auto max_cells = IntOption(args, "max-training-cells", 0);
+  if (!max_cells.ok() || *max_cells < 0) {
+    return Fail(out,
+                Status::InvalidArgument("--max-training-cells must be >= 0"));
+  }
 
   auto log = ExecutionLog::LoadCsv(*path);
   if (!log.ok()) return Fail(out, log.status());
@@ -284,6 +313,9 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
   options.explainer.threads = static_cast<int>(*threads);
   options.sim_but_diff.threads = static_cast<int>(*threads);
   options.rule_of_thumb.relief.threads = static_cast<int>(*threads);
+  options.limits.max_candidate_pairs = static_cast<std::size_t>(*max_pairs);
+  options.limits.max_pair_store_bytes = static_cast<std::size_t>(*max_store);
+  options.limits.max_training_cells = static_cast<std::size_t>(*max_cells);
   const Engine engine(std::move(log).value(), options);
 
   ExplainRequest request;
@@ -292,6 +324,7 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
   request.auto_despite =
       args.HasFlag("auto-despite") && technique == Technique::kPerfXplain;
   request.evaluate = true;
+  request.deadline_ms = static_cast<std::int64_t>(*deadline_ms);
 
   std::vector<PreparedQuery> prepared;
   prepared.reserve(query_texts->size());
