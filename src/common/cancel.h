@@ -16,6 +16,11 @@ namespace perfxplain {
 /// (via shared_ptr) to one or more requests and may flip it from any thread;
 /// work observes the flip at its next checkpoint and unwinds with
 /// StatusCode::kCancelled. Tokens are one-shot: there is no reset.
+///
+/// Thread safety: the one field is a std::atomic with release/acquire
+/// ordering — no lock to annotate for the thread-safety analysis; the
+/// atomic itself is the whole contract (any thread may Cancel, any
+/// thread may poll).
 class CancelToken {
  public:
   CancelToken() = default;

@@ -1,0 +1,128 @@
+#ifndef PERFXPLAIN_COMMON_THREAD_ANNOTATIONS_H_
+#define PERFXPLAIN_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+/// Clang Thread Safety Analysis annotations (PX_ prefixed) plus the
+/// annotated Mutex/MutexLock wrappers every lock in src/ must use, so the
+/// compiler — not a reviewer — proves that guarded state is only touched
+/// under its lock.
+///
+/// The analysis is static and purely compile-time: under clang with
+/// -Wthread-safety (CMake option PERFXPLAIN_THREAD_SAFETY, CI's
+/// static-analysis job builds with it as -Werror) a read or write of a
+/// PX_GUARDED_BY(mu) member outside a MutexLock of `mu` — or a call to a
+/// PX_REQUIRES(mu) function without it — is a hard build error. Under GCC
+/// (which has no such analysis) every macro expands to nothing and Mutex
+/// behaves exactly like std::mutex, so the annotations are zero-cost and
+/// portable.
+///
+/// What the analysis can and cannot see here:
+///  * Mutex-guarded state (PairCodeStore's plane registry) is fully
+///    checked: annotate the member with PX_GUARDED_BY(mutex_) and take a
+///    MutexLock in every accessor.
+///  * std::call_once-lazy members (Engine::rule_of_thumb_, a store
+///    Plane's build) and std::atomic fields are safe by construction but
+///    invisible to the analysis — there is no annotation for a once_flag.
+///    Those sites keep their documenting comments and are exercised by
+///    the TSan CI job instead; do not wrap them in a Mutex just to please
+///    the analysis (it would serialize readers that need no lock).
+///  * Join-ordered publication (ForEachRowStripe workers writing disjoint
+///    partials, joined before the merge) is likewise out of the
+///    analysis's model; the bitwise thread-invariance suites and TSan
+///    cover it.
+///
+/// tools/check_thread_safety.sh proves the gate actually fires: it
+/// compiles tests/static/thread_safety_negative.cc (a seeded unguarded
+/// access) and asserts the build FAILS, then compiles the guarded twin
+/// and asserts it succeeds.
+#if defined(__clang__) && (!defined(SWIG))
+#define PX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PX_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no analysis
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" names it in
+/// diagnostics).
+#define PX_CAPABILITY(x) PX_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction (std::lock_guard-shaped).
+#define PX_SCOPED_CAPABILITY PX_THREAD_ANNOTATION(scoped_lockable)
+
+/// The member may only be read or written while holding `x`.
+#define PX_GUARDED_BY(x) PX_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is guarded by `x`.
+#define PX_PT_GUARDED_BY(x) PX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding `...` (and does not
+/// release it).
+#define PX_REQUIRES(...) \
+  PX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires `...` and holds it on return.
+#define PX_ACQUIRE(...) PX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases `...`, which must be held on entry.
+#define PX_RELEASE(...) PX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding `...` (deadlock guard
+/// for self-locking public entry points).
+#define PX_EXCLUDES(...) PX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to data guarded by `x`.
+#define PX_RETURN_CAPABILITY(x) PX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is deliberately outside the
+/// analysis. Every use must carry a comment saying why (e.g. init code
+/// that provably runs before any thread exists).
+#define PX_NO_THREAD_SAFETY_ANALYSIS \
+  PX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace perfxplain {
+
+/// std::mutex with the capability annotation the analysis needs. Same
+/// cost, same semantics; lock()/unlock() are annotated so direct use
+/// checks too, but prefer MutexLock.
+class PX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PX_ACQUIRE() { mutex_.lock(); }
+  void unlock() PX_RELEASE() { mutex_.unlock(); }
+
+  /// The wrapped mutex, for std::condition_variable interop. Calls
+  /// through it are invisible to the analysis — annotate such sites with
+  /// PX_NO_THREAD_SAFETY_ANALYSIS and a justification.
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock over Mutex (std::lock_guard-shaped) that tells the analysis
+/// the capability is held for the scope.
+class PX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) PX_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() PX_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace perfxplain
+
+/// Short alias so annotation-heavy signatures stay readable
+/// (px::Mutex, px::MutexLock).
+namespace px = perfxplain;
+
+#endif  // PERFXPLAIN_COMMON_THREAD_ANNOTATIONS_H_

@@ -291,7 +291,25 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
     queries.push_back(query);
   }
 
-  if (batched.size() > 1) {
+  // Below this many SimButDiff requests, a batch whose snapshot store is
+  // already warm (resident plane built, within this engine's budget) runs
+  // its items per-call instead of through the shared scan: with packing
+  // already amortized by the store, the batch machinery's per-group
+  // bookkeeping outweighs the one scan it saves (0.89x at 4 queries —
+  // the ROADMAP regression this routing closes). Outputs are unchanged
+  // either way — the batch-vs-per-call suites pin the two paths bitwise —
+  // only `batched`/`explain_ms` reflect the actual route. Cold stores
+  // keep the shared scan at any size: its single pass also covers the
+  // plane's one-time build.
+  constexpr std::size_t kSmallWarmBatchCutoff = 6;
+  const bool warm_resident_store =
+      snapshot_->pair_codes().bytes_per_plane() <=
+          options_.sim_but_diff.pair_code_budget_bytes &&
+      snapshot_->pair_codes().warm(options_.sim_but_diff.pair.sim_fraction);
+  const bool route_small_warm_batch_per_call =
+      warm_resident_store && batched.size() < kSmallWarmBatchCutoff;
+
+  if (batched.size() > 1 && !route_small_warm_batch_per_call) {
     const PairCodeStore& store = snapshot_->pair_codes();
     const std::uint64_t builds_before = store.build_count();
     const Clock::time_point start = Clock::now();

@@ -344,12 +344,20 @@ class Engine {
   Result<Explanation> Generate(const PreparedQuery& prepared,
                                const ExplainRequest& request) const;
 
+  // Shared-state invariants, machine-checked where the tooling allows
+  // (see common/thread_annotations.h and docs/ARCHITECTURE.md): all
+  // members below are written only during construction and immutable
+  // afterwards — except the call_once pair, whose publication
+  // std::call_once orders. Clang Thread Safety Analysis has no
+  // annotation for once_flag-guarded members, so that handoff is proved
+  // by the TSan CI job (EngineTest's concurrent hammering) instead;
+  // never touch rule_of_thumb_ except through rule_of_thumb().
   std::shared_ptr<const LogSnapshot> snapshot_;
   EngineOptions options_;
   std::unique_ptr<Explainer> explainer_;
   std::unique_ptr<SimButDiff> sim_but_diff_;
   mutable std::once_flag rule_of_thumb_once_;
-  mutable std::unique_ptr<RuleOfThumb> rule_of_thumb_;
+  mutable std::unique_ptr<RuleOfThumb> rule_of_thumb_;  ///< via rule_of_thumb()
 };
 
 }  // namespace perfxplain

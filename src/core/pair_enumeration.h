@@ -118,6 +118,14 @@ inline std::size_t RowStripeCount(std::size_t rows, int threads) {
 /// re-installed in every worker, so cancellation checkpoints inside `body`
 /// see the request's token and deadline across stripe boundaries. Shared by
 /// the counting scans here and in metrics.cc.
+///
+/// Concurrency model (out of scope for the thread-safety analysis, which
+/// checks lock-guarded state only): workers write disjoint per-stripe
+/// partials and the join below is the sole publication point — no lock, no
+/// shared mutable state, so there is nothing to annotate. The bitwise
+/// thread-invariance suites and the TSan CI job enforce this invariant;
+/// any new shared mutable state added to a stripe body must either be a
+/// per-stripe partial merged after the join or hold an annotated px::Mutex.
 template <typename Body>
 void ForEachRowStripe(std::size_t rows, int threads, Body&& body) {
   const std::size_t t = RowStripeCount(rows, threads);

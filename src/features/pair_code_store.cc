@@ -19,7 +19,10 @@ namespace {
 /// stripe count. The calling thread's ExecContext is re-installed in each
 /// worker, and an exception from any stripe (a cancellation checkpoint
 /// firing mid-build) is rethrown on the calling thread after all workers
-/// join.
+/// join. Like core/pair_enumeration's ForEachRowStripe, the workers share
+/// no mutable state (disjoint tile ranges, join-ordered publication), so
+/// the thread-safety analysis has nothing to check here; TSan covers the
+/// handoff.
 template <typename Body>
 void ForEachRowStripeLocal(std::size_t rows, int threads, Body&& body) {
   std::size_t stripes = threads > 0
@@ -80,7 +83,7 @@ std::size_t PairCodeStore::bytes_per_plane() const {
 }
 
 PairCodeStore::Plane* PairCodeStore::FindPlane(double sim_fraction) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& plane : planes_) {
     if (plane->sim_fraction == sim_fraction) return plane.get();
   }
@@ -142,7 +145,7 @@ const PairCodeStore::Resident* PairCodeStore::Acquire(
 
 const PairCodeStore::Resident* PairCodeStore::Peek(
     double sim_fraction) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& plane : planes_) {
     if (plane->sim_fraction == sim_fraction &&
         plane->built.load(std::memory_order_acquire)) {
@@ -153,7 +156,7 @@ const PairCodeStore::Resident* PairCodeStore::Peek(
 }
 
 std::size_t PairCodeStore::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t total = 0;
   for (const auto& plane : planes_) {
     if (plane->built.load(std::memory_order_acquire)) {

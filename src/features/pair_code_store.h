@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "features/pair_feature_kernel.h"
 #include "log/columnar.h"
 
@@ -41,7 +42,11 @@ namespace perfxplain {
 ///
 /// Thread safety: Acquire/Peek are const and safe from any number of
 /// threads; the first concurrent acquirers of a plane rendezvous on its
-/// std::call_once and all observe the fully built data.
+/// std::call_once and all observe the fully built data. The plane
+/// registry is the store's one mutex-guarded member and is annotated for
+/// Clang Thread Safety Analysis (common/thread_annotations.h): touching
+/// `planes_` without `mutex_` is a compile error under
+/// -Wthread-safety.
 class PairCodeStore {
  public:
   /// The built, immutable packed-code plane of one similarity fraction.
@@ -92,11 +97,11 @@ class PairCodeStore {
   /// max_bytes), so a given caller either always runs resident or always
   /// streams.
   const Resident* Acquire(double sim_fraction, std::size_t max_bytes,
-                          int build_threads = 0) const;
+                          int build_threads = 0) const PX_EXCLUDES(mutex_);
 
   /// The plane for `sim_fraction` if some earlier Acquire built it,
   /// nullptr otherwise. Never builds.
-  const Resident* Peek(double sim_fraction) const;
+  const Resident* Peek(double sim_fraction) const PX_EXCLUDES(mutex_);
 
   /// True when Peek(sim_fraction) would return a plane.
   bool warm(double sim_fraction) const {
@@ -112,9 +117,15 @@ class PairCodeStore {
   }
 
   /// Total bytes of all built planes.
-  std::size_t resident_bytes() const;
+  std::size_t resident_bytes() const PX_EXCLUDES(mutex_);
 
  private:
+  /// One similarity fraction's plane entry. The registry mutex guards only
+  /// the `planes_` vector; a Plane's own fields are published by
+  /// std::call_once (`once` consumed exactly once, `built` flipped with
+  /// release order after the data is complete), which the thread-safety
+  /// analysis cannot model — the TSan CI job and the concurrent
+  /// first-touch tests cover that handoff instead.
   struct Plane {
     double sim_fraction = 0.0;
     std::once_flag once;
@@ -122,14 +133,17 @@ class PairCodeStore {
     Resident resident;
   };
 
-  /// Finds or creates the (unbuilt) plane entry for `sim_fraction`.
-  Plane* FindPlane(double sim_fraction) const;
+  /// Finds or creates the (unbuilt) plane entry for `sim_fraction`. The
+  /// returned Plane outlives the lock (entries are never erased; the
+  /// vector holds stable unique_ptrs), so callers may rendezvous on its
+  /// once_flag without the registry mutex.
+  Plane* FindPlane(double sim_fraction) const PX_EXCLUDES(mutex_);
 
   void Build(Plane* plane, int threads) const;
 
   const ColumnarLog* columns_;
-  mutable std::mutex mutex_;  ///< guards `planes_` (the registry only)
-  mutable std::vector<std::unique_ptr<Plane>> planes_;
+  mutable Mutex mutex_;  ///< guards `planes_` (the registry only)
+  mutable std::vector<std::unique_ptr<Plane>> planes_ PX_GUARDED_BY(mutex_);
   mutable std::atomic<std::uint64_t> builds_{0};
 };
 

@@ -179,9 +179,21 @@ Status IngestJob(const std::string& history_text,
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     const IngestedTask& task = tasks[t];
     std::vector<Value> values(task_schema.size());
+    // Feature names come from the internal catalog (feature_names::* and
+    // GangliaMetricNames()), so a miss means catalog/schema drift — but
+    // this is an ingest boundary, so even that surfaces as a Status, not
+    // an abort (pxlint:boundary). The first miss is recorded and
+    // returned after the set block.
+    Status schema_status;
     auto set = [&](const std::string& name, Value value) {
       const std::size_t i = task_schema.IndexOf(name);
-      PX_CHECK_NE(i, Schema::kNotFound) << name;
+      if (i == Schema::kNotFound) {
+        if (schema_status.ok()) {
+          schema_status = Status::Internal(
+              "task schema lacks ingested feature '" + name + "'");
+        }
+        return;
+      }
       values[i] = std::move(value);
     };
     const bool is_map = task.is_map;
@@ -236,6 +248,7 @@ Status IngestJob(const std::string& history_text,
       set("avg_" + metric, Value::Number(average));
     }
     set(feature_names::kDuration, Value::Number(task.duration()));
+    PX_RETURN_IF_ERROR(schema_status);
     PX_RETURN_IF_ERROR(
         task_log.Add(ExecutionRecord(task.task_id, std::move(values))));
   }
@@ -243,9 +256,17 @@ Status IngestJob(const std::string& history_text,
   // ---- Job record ----
   const Schema& job_schema = job_log.schema();
   std::vector<Value> values(job_schema.size());
+  // Same Status-not-abort contract as the task set above.
+  Status schema_status;
   auto set = [&](const std::string& name, Value value) {
     const std::size_t i = job_schema.IndexOf(name);
-    PX_CHECK_NE(i, Schema::kNotFound) << name;
+    if (i == Schema::kNotFound) {
+      if (schema_status.ok()) {
+        schema_status = Status::Internal(
+            "job schema lacks ingested feature '" + name + "'");
+      }
+      return;
+    }
     values[i] = std::move(value);
   };
   set(feature_names::kNumInstances, Value::Number(num_instances.value()));
@@ -316,6 +337,7 @@ Status IngestJob(const std::string& history_text,
         Value::Number(sum / static_cast<double>(task_ganglia.size())));
   }
   set(feature_names::kDuration, Value::Number(finish_time - submit_time));
+  PX_RETURN_IF_ERROR(schema_status);
   return job_log.Add(ExecutionRecord(job_id, std::move(values)));
 }
 

@@ -1,0 +1,33 @@
+// Seeded thread-safety violation: proof that the -Wthread-safety gate
+// fires. tools/check_thread_safety.sh compiles this TU with
+// `clang++ -Wthread-safety -Werror` and REQUIRES the build to fail; the
+// guarded twin (thread_safety_positive.cc) must compile clean. Neither
+// file is ever linked into any target.
+//
+// The violation mirrors the real PairCodeStore shape: a registry member
+// annotated PX_GUARDED_BY(mutex_) touched without holding the lock.
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace perfxplain {
+
+class UnguardedRegistry {
+ public:
+  // BUG (intentional): reads `planes_` without `mutex_`. Under clang
+  // -Wthread-safety this is error: reading variable 'planes_' requires
+  // holding mutex 'mutex_'.
+  std::size_t size_unlocked() const { return planes_.size(); }
+
+  void add(int plane) {
+    // BUG (intentional): writes without the lock.
+    planes_.push_back(plane);
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<int> planes_ PX_GUARDED_BY(mutex_);
+};
+
+}  // namespace perfxplain

@@ -1,0 +1,30 @@
+// Guarded twin of thread_safety_negative.cc: the same registry shape with
+// every access under a MutexLock. tools/check_thread_safety.sh compiles
+// this TU with `clang++ -Wthread-safety -Werror` and requires it to
+// SUCCEED, proving the gate's failures come from the seeded violation and
+// not from a broken include path or a miswired macro. Never linked.
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace perfxplain {
+
+class GuardedRegistry {
+ public:
+  std::size_t size() const {
+    MutexLock lock(mutex_);
+    return planes_.size();
+  }
+
+  void add(int plane) {
+    MutexLock lock(mutex_);
+    planes_.push_back(plane);
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<int> planes_ PX_GUARDED_BY(mutex_);
+};
+
+}  // namespace perfxplain

@@ -1,0 +1,20 @@
+// pxlint fixture: seeded pxlint:boundary violations — PX_CHECK and
+// abort() at an untrusted-input boundary. The linter must report BOTH
+// lines (and must NOT report the occurrences inside this comment or the
+// string literal below: PX_CHECK(false), abort()).
+#include <cstdlib>
+
+namespace perfxplain {
+
+int ParseUntrusted(const char* text) {
+  const char* message = "parser would PX_CHECK( here";  // string: no finding
+  if (text == nullptr) {
+    PX_CHECK(text != nullptr) << message;  // finding: boundary
+  }
+  if (*text == '\0') {
+    std::abort();  // finding: boundary
+  }
+  return 0;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,22 @@
+// pxlint fixture: a clean untrusted-input boundary — failures propagate
+// as Status values; the one internal check is suppressed with a
+// justified allow marker, which the linter must honor.
+#include <string>
+
+namespace perfxplain {
+
+struct Status {
+  static Status ParseError(const std::string&) { return Status{}; }
+  static Status OK() { return Status{}; }
+};
+
+Status ParseUntrusted(const char* text) {
+  if (text == nullptr) {
+    return Status::ParseError("null input");
+  }
+  // Post-validation internal invariant, justified:
+  PX_CHECK(text != nullptr);  // pxlint: allow(boundary)
+  return Status::OK();
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,36 @@
+// pxlint fixture: DecisionTree::Build is a registered long-loop entry
+// point (pxlint CHECKPOINT_REGISTRY) but this definition has no
+// ThrowIfInterrupted() checkpoint — the linter must report exactly it.
+// BuildEncoded (also registered for this file) is checkpointed and must
+// not be reported. The mention in this comment must not count:
+// ThrowIfInterrupted().
+#include <cstddef>
+
+namespace perfxplain {
+
+inline void ThrowIfInterrupted() {}
+
+class DecisionTree {
+ public:
+  std::size_t Build(std::size_t depth);
+  std::size_t BuildEncoded(std::size_t depth);
+};
+
+std::size_t DecisionTree::Build(std::size_t depth) {
+  std::size_t nodes = 0;
+  for (std::size_t d = 0; d < depth; ++d) {
+    nodes += d;  // long loop, no cooperative checkpoint: finding
+  }
+  return nodes;
+}
+
+std::size_t DecisionTree::BuildEncoded(std::size_t depth) {
+  std::size_t nodes = 0;
+  for (std::size_t d = 0; d < depth; ++d) {
+    ThrowIfInterrupted();
+    nodes += d;
+  }
+  return nodes;
+}
+
+}  // namespace perfxplain

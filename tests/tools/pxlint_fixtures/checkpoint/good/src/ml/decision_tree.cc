@@ -1,0 +1,36 @@
+// pxlint fixture: the checkpointed twin of the bad fixture — both
+// registered entry points for this file (DecisionTree::Build and
+// DecisionTree::BuildEncoded) contain a ThrowIfInterrupted() call, so
+// the checkpoint rule must pass. Same-named declarations (no body) in
+// the class must not confuse the body extractor.
+#include <cstddef>
+
+namespace perfxplain {
+
+inline void ThrowIfInterrupted() {}
+
+class DecisionTree {
+ public:
+  std::size_t Build(std::size_t depth);
+  std::size_t BuildEncoded(std::size_t depth);
+};
+
+std::size_t DecisionTree::Build(std::size_t depth) {
+  std::size_t nodes = 0;
+  for (std::size_t d = 0; d < depth; ++d) {
+    ThrowIfInterrupted();
+    nodes += d;
+  }
+  return nodes;
+}
+
+std::size_t DecisionTree::BuildEncoded(std::size_t depth) {
+  std::size_t nodes = 0;
+  for (std::size_t d = 0; d < depth; ++d) {
+    ThrowIfInterrupted();
+    nodes += d;
+  }
+  return nodes;
+}
+
+}  // namespace perfxplain

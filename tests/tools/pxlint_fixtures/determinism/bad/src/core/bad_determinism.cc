@@ -1,0 +1,22 @@
+// pxlint fixture: seeded pxlint:determinism violations in a hot-layer
+// file — a std::random_device, a wall-clock read, and a range-for over
+// an unordered container whose hash order would leak into results. The
+// linter must report all three.
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace perfxplain {
+
+double ScoreFeatures() {
+  std::random_device entropy;  // finding: determinism
+  double total = static_cast<double>(time(nullptr));  // finding
+  std::unordered_map<int, double> weights;
+  weights[static_cast<int>(entropy())] = 1.0;
+  for (const auto& entry : weights) {  // finding: hash-order iteration
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace perfxplain

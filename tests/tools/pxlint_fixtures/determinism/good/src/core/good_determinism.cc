@@ -1,0 +1,26 @@
+// pxlint fixture: the deterministic twin — seeded Rng-style randomness,
+// keyed unordered lookups (never iterated), and iteration over a sorted
+// vector. Must pass the determinism rule, including the justified allow
+// marker on the one deliberate unordered walk (order-insensitive sum).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace perfxplain {
+
+double ScoreFeatures(std::uint64_t seed,
+                     const std::vector<double>& weights) {
+  std::unordered_map<int, double> cache;
+  cache[static_cast<int>(seed % 7)] = 1.0;
+  double total = cache.count(3) > 0 ? cache.at(3) : 0.0;  // keyed: fine
+  for (double weight : weights) {  // ordered container: fine
+    total += weight;
+  }
+  double cached = 0.0;
+  for (const auto& entry : cache) {  // pxlint: allow(determinism)
+    cached += entry.second;  // commutative sum: order-insensitive
+  }
+  return total + cached;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,16 @@
+#ifndef PXLINT_FIXTURE_NOT_SELF_CONTAINED_H_
+#define PXLINT_FIXTURE_NOT_SELF_CONTAINED_H_
+
+// pxlint fixture: uses std::vector without including <vector> — compiles
+// only when some earlier include happened to pull it in. The
+// self-containment rule's generated one-include TU must fail on it.
+
+namespace perfxplain {
+
+inline std::size_t CountThings(const std::vector<int>& things) {
+  return things.size();
+}
+
+}  // namespace perfxplain
+
+#endif  // PXLINT_FIXTURE_NOT_SELF_CONTAINED_H_

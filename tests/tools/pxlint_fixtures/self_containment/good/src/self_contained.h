@@ -1,0 +1,18 @@
+#ifndef PXLINT_FIXTURE_SELF_CONTAINED_H_
+#define PXLINT_FIXTURE_SELF_CONTAINED_H_
+
+// pxlint fixture: the self-contained twin — includes everything it uses,
+// so the generated one-include TU compiles clean.
+
+#include <cstddef>
+#include <vector>
+
+namespace perfxplain {
+
+inline std::size_t CountThings(const std::vector<int>& things) {
+  return things.size();
+}
+
+}  // namespace perfxplain
+
+#endif  // PXLINT_FIXTURE_SELF_CONTAINED_H_

@@ -15,7 +15,14 @@ Checked reference kinds:
     TEST/TEST_F in tests/ — docs must not cite deleted tests;
   * "name" fields of BENCH_micro.json entries (stripped of /arg
     suffixes), which must be registered benchmarks — the perf history
-    must not silently reference deleted timers.
+    must not silently reference deleted timers;
+  * `pxlint:<name>` rule citations, which must name rules actually
+    registered in tools/pxlint.py's RULES table — docs must not promise
+    a lint that no longer runs;
+  * tools/pxlint.py's own CHECKPOINT_REGISTRY paths, which must exist in
+    the tree — pxlint deliberately skips missing files (so its fixture
+    roots work), which makes THIS check the one that catches a rename
+    silently retiring a checkpoint obligation.
 
 Run from the repository root:  python3 tools/check_docs_drift.py
 """
@@ -39,6 +46,31 @@ EXAMPLE_RE = re.compile(r"\bexample_[a-z0-9_]+")
 # Suites are conventionally *Test; cite on one line (no wrapping around
 # the dot) so the reference is machine-checkable.
 TEST_RE = re.compile(r"\b([A-Za-z0-9]+Test)\.([A-Za-z0-9_]+)\b")
+# `pxlint:<rule>` citations; the rule must exist in tools/pxlint.py.
+PXLINT_CITE_RE = re.compile(r"\bpxlint:([a-z][a-z-]*)")
+PXLINT_PY = "tools/pxlint.py"
+
+
+def pxlint_registry():
+    """Parses (rules, checkpoint_paths) out of tools/pxlint.py textually —
+    no import, so a syntax error in the linter surfaces as its own test
+    failure rather than breaking the drift check."""
+    if not os.path.exists(PXLINT_PY):
+        return set(), set()
+    with open(PXLINT_PY, encoding="utf-8") as f:
+        text = f.read()
+    rules_block = re.search(r"^RULES\s*=\s*\{(.*?)\}", text,
+                            re.MULTILINE | re.DOTALL)
+    rules = set(
+        re.findall(r'"([a-z-]+)"\s*:\s*rule_', rules_block.group(1))
+        if rules_block else [])
+    registry_block = re.search(
+        r"^CHECKPOINT_REGISTRY\s*=\s*\[(.*?)\]", text,
+        re.MULTILINE | re.DOTALL)
+    paths = set(
+        re.findall(r'\(\s*"([^"]+)"\s*,', registry_block.group(1))
+        if registry_block else [])
+    return rules, paths
 
 
 def expand_braces(token):
@@ -101,7 +133,14 @@ def main():
                            r"\s*([A-Za-z0-9_]+)\s*\)", f.read()))
     declared_suites = {suite for suite, _ in declared_tests}
 
+    pxlint_rules, checkpoint_paths = pxlint_registry()
+
     stale = []
+    # pxlint's checkpoint registry skips files missing from the linted
+    # tree; here every registered path must exist in the real repo.
+    for path in sorted(checkpoint_paths):
+        if not os.path.exists(path):
+            stale.append((PXLINT_PY, f"CHECKPOINT_REGISTRY: {path}"))
     for doc in DOCS:
         if not os.path.exists(doc):
             stale.append((doc, "(document itself is missing)"))
@@ -129,6 +168,9 @@ def main():
                 stale.append((doc, f"{suite}.{case}"))
             elif suite.endswith("Test") and suite not in declared_suites:
                 stale.append((doc, f"{suite}.{case} (unknown test suite)"))
+        for rule in sorted(set(PXLINT_CITE_RE.findall(text))):
+            if rule not in pxlint_rules:
+                stale.append((doc, f"pxlint:{rule} (unknown pxlint rule)"))
 
     bench_json = "BENCH_micro.json"
     if os.path.exists(bench_json):

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Proves the Clang Thread Safety Analysis gate actually fires.
+#
+#   1. tests/static/thread_safety_negative.cc (a seeded unguarded access to
+#      a PX_GUARDED_BY member) must FAIL to compile under
+#      -Wthread-safety -Werror;
+#   2. tests/static/thread_safety_positive.cc (the guarded twin) must
+#      compile clean under the same flags.
+#
+# Run from the repository root:  tools/check_thread_safety.sh [clang++]
+# CI's static-analysis job runs it on every push; locally it needs clang
+# (the macros are no-ops under GCC, which has no such analysis — the
+# script refuses a non-clang compiler rather than vacuously passing).
+set -u
+
+CXX="${1:-${CXX:-clang++}}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "check_thread_safety: compiler '$CXX' not found; skipping" >&2
+  echo "(the static-analysis CI job runs this with clang)" >&2
+  exit 0
+fi
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "check_thread_safety: '$CXX' is not clang; the thread-safety" >&2
+  echo "analysis only exists there. Pass a clang++ path as \$1." >&2
+  exit 1
+fi
+
+FLAGS="-std=c++17 -fsyntax-only -Isrc -Wthread-safety -Werror"
+
+echo "[1/2] negative fixture must fail: tests/static/thread_safety_negative.cc"
+if $CXX $FLAGS tests/static/thread_safety_negative.cc 2>/tmp/ts_negative.log; then
+  echo "FAIL: the seeded thread-safety violation compiled clean —" >&2
+  echo "the -Wthread-safety gate is not firing" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" /tmp/ts_negative.log; then
+  echo "FAIL: negative fixture failed for a reason other than" >&2
+  echo "thread-safety analysis:" >&2
+  cat /tmp/ts_negative.log >&2
+  exit 1
+fi
+echo "      rejected with a thread-safety diagnostic, as required"
+
+echo "[2/2] positive fixture must pass: tests/static/thread_safety_positive.cc"
+if ! $CXX $FLAGS tests/static/thread_safety_positive.cc; then
+  echo "FAIL: the guarded twin did not compile — the gate would reject" >&2
+  echo "correct code" >&2
+  exit 1
+fi
+echo "      compiled clean"
+
+echo "thread-safety gate OK: violation rejected, guarded twin accepted"
