@@ -32,9 +32,11 @@ int main(int argc, char** argv) {
     for (std::size_t width = 1; width <= 5; ++width) {
       Series generality;
       Series precision;
+      px::bench::RunReport report;
       for (int run = 0; run < options.runs; ++run) {
         const Fixture::SplitLogs logs = fixture.Split(run);
-        auto metrics = px::bench::RunOnce(fixture, logs, technique, width);
+        auto metrics = px::bench::RunOnce(fixture, logs, technique, width,
+                                          px::EngineOptions(), &report);
         if (metrics.has_value()) {
           generality.Add(metrics->generality);
           precision.Add(metrics->precision);
@@ -45,6 +47,11 @@ int main(int argc, char** argv) {
                            px::StrFormat("%.3f", generality.mean()),
                            px::StrFormat("%.3f", precision.mean())},
                           18);
+      // Serving-layer traffic of the last run (tile hit/miss/eviction,
+      // result-cache hit) — silent under the default options, where no
+      // budgeted tile pool or result cache is configured.
+      const std::string serving = report.ToString();
+      if (!serving.empty()) std::printf("  [%s]\n", serving.c_str());
     }
   }
   return 0;

@@ -465,6 +465,104 @@ void BM_SelectiveQueryPruning(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectiveQueryPruning)->Args({1, 1})->Args({0, 1});
 
+/// The buffer-pool budget sweep: a selective SimButDiff query (despite
+/// 'numinstances = 16' derives a base-atom selection of roughly n/5 hot
+/// rows — only their tiles are ever fetched) served repeatedly at
+/// pair-code budgets of 0 (streaming), 1/8, 1/4, 1/2 and a full plane.
+/// Arg = budget denominator (0 = streaming baseline, 1 = resident plane).
+/// Each engine is warmed once so the loop times steady-state serving:
+/// once the budget covers the hot set the tiles stay resident and calls
+/// run at resident-plane speed; below that the scan-resistant LRU keeps a
+/// stable prefix pinned and rebuilds the rest, so latency degrades
+/// monotonically toward streaming with no cliff in between.
+void BM_BudgetSweep(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  auto parsed = px::ParseQuery(
+      "DESPITE numinstances = 16 AND pigscript = simple-filter.pig "
+      "OBSERVED duration_compare = GT "
+      "EXPECTED duration_compare = SIM");
+  PX_CHECK(parsed.ok()) << parsed.status().ToString();
+  px::Query query = std::move(parsed).value();
+  px::PairSchema schema(fixture.log.schema());
+  px::Query bound = query;
+  PX_CHECK(bound.Bind(schema).ok());
+  auto poi = px::FindPairOfInterest(fixture.log, schema, bound,
+                                    px::PairFeatureOptions());
+  PX_CHECK(poi.ok()) << poi.status().ToString();
+  query.first_id = fixture.log.at(poi->first).id;
+  query.second_id = fixture.log.at(poi->second).id;
+
+  const std::size_t plane = px::PairCodeStore::BytesNeeded(
+      fixture.log.size(), fixture.log.schema().size());
+  const long denom = state.range(0);
+  px::EngineOptions options;
+  options.sim_but_diff.threads = 1;
+  options.sim_but_diff.pair_code_budget_bytes =
+      denom == 0 ? 0 : plane / static_cast<std::size_t>(denom);
+  px::Engine engine(fixture.log, options);
+  auto prepared = engine.Prepare(query);
+  PX_CHECK(prepared.ok());
+  px::ExplainRequest request;
+  request.technique = px::Technique::kSimButDiff;
+  request.width = 3;
+  // One warm call pays the plane or first-touch tile builds up front.
+  auto warm = engine.Explain(*prepared, request);
+  PX_CHECK(warm.ok()) << warm.status().ToString();
+  const px::PairCodeStore& store = engine.snapshot()->pair_codes();
+  const std::uint64_t hits0 = store.tile_hits();
+  const std::uint64_t misses0 = store.tile_misses();
+  for (auto _ : state) {
+    auto response = engine.Explain(*prepared, request);
+    PX_CHECK(response.ok()) << response.status().ToString();
+    benchmark::DoNotOptimize(response);
+  }
+  const std::uint64_t hits = store.tile_hits() - hits0;
+  const std::uint64_t misses = store.tile_misses() - misses0;
+  std::string label =
+      denom == 0   ? std::string("budget=0(streaming)")
+      : denom == 1 ? std::string("budget=plane(resident)")
+                   : "budget=plane/" + std::to_string(denom);
+  if (hits + misses > 0) {
+    label += px::StrFormat(" tile_hit_rate=%.0f%%",
+                           100.0 * static_cast<double>(hits) /
+                               static_cast<double>(hits + misses));
+  }
+  state.SetLabel(label);
+}
+BENCHMARK(BM_BudgetSweep)->Arg(0)->Arg(8)->Arg(4)->Arg(2)->Arg(1);
+
+/// A repeated identical Explain with the result cache on (arg 1) vs off
+/// (arg 0). The cached path answers from the keyed LRU entry without
+/// touching any scan; the uncached baseline re-runs the warm
+/// resident-store SimButDiff scan — the fastest honest comparison, so
+/// the measured ratio is a lower bound on what the cache saves against
+/// colder paths.
+void BM_ResultCacheHit(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const bool cached = state.range(0) != 0;
+  px::EngineOptions options;
+  options.sim_but_diff.threads = 1;
+  if (cached) options.result_cache_bytes = std::size_t{4} << 20;
+  px::Engine engine(fixture.log, options);
+  auto prepared = engine.Prepare(fixture.query);
+  PX_CHECK(prepared.ok());
+  px::ExplainRequest request;
+  request.technique = px::Technique::kSimButDiff;
+  request.width = 3;
+  // The warm call builds the pair-code plane and (when enabled) fills
+  // the cache, so the loop times a steady-state hit against a warm miss.
+  auto warm = engine.Explain(*prepared, request);
+  PX_CHECK(warm.ok()) << warm.status().ToString();
+  for (auto _ : state) {
+    auto response = engine.Explain(*prepared, request);
+    PX_CHECK(response.ok()) << response.status().ToString();
+    PX_CHECK(response->result_cache_hit == cached);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetLabel(cached ? "result_cache=hit" : "result_cache=off");
+}
+BENCHMARK(BM_ResultCacheHit)->Arg(1)->Arg(0);
+
 /// Ablation: precision_weight = 1.0 disables the generality term entirely
 /// (and with a single criterion the percentile normalization is moot),
 /// exposing how much of the explanation quality the blended, normalized

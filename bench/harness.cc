@@ -183,6 +183,21 @@ std::string Series::ToString() const {
   return StrFormat("%.3f +- %.3f", mean(), stddev());
 }
 
+std::string RunReport::ToString() const {
+  std::string text;
+  if (tile_hits + tile_misses + tile_evictions > 0) {
+    text += StrFormat("tiles %llu hits / %llu misses / %llu evictions",
+                      static_cast<unsigned long long>(tile_hits),
+                      static_cast<unsigned long long>(tile_misses),
+                      static_cast<unsigned long long>(tile_evictions));
+  }
+  if (result_cache_hit) {
+    if (!text.empty()) text += ", ";
+    text += "result cache hit";
+  }
+  return text;
+}
+
 std::optional<ExplanationMetrics> RunOnce(const Fixture& fixture,
                                           const Fixture::SplitLogs& logs,
                                           Technique technique,
@@ -203,6 +218,10 @@ std::optional<ExplanationMetrics> RunOnce(const Fixture& fixture,
     if (report != nullptr) {
       report->pair_store_hit = response->pair_store_hit;
       report->pair_store_built = response->pair_store_built;
+      report->result_cache_hit = response->result_cache_hit;
+      report->tile_hits = response->tile_hits;
+      report->tile_misses = response->tile_misses;
+      report->tile_evictions = response->tile_evictions;
     }
     explanation = std::move(response).value().explanation;
   }

@@ -116,6 +116,19 @@ struct Series {
 struct RunReport {
   bool pair_store_hit = false;
   bool pair_store_built = false;
+  /// True when the run was answered from the engine's ResultCache
+  /// without any scan (only with EngineOptions::result_cache_bytes set).
+  bool result_cache_hit = false;
+  /// Tile-pool traffic of a run on the buffer-pool middle path (zero on
+  /// the resident-plane and streaming paths).
+  std::uint64_t tile_hits = 0;
+  std::uint64_t tile_misses = 0;
+  std::uint64_t tile_evictions = 0;
+
+  /// "tiles 12 hits / 4 misses / 1 evictions, result cache hit" — the
+  /// human-readable tail bench binaries append to a row; empty when the
+  /// run drove no tiles and hit no cache.
+  std::string ToString() const;
 };
 
 /// Runs `technique` at `width` on the training log (through an Engine

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <atomic>
 #include <chrono>
 #include <utility>
 
@@ -16,7 +17,42 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
+/// Serializes every result-affecting field of `options` (per technique;
+/// the technique itself is a separate key segment). Thread counts and
+/// memory budgets (pair_code_budget_bytes, limits) are deliberately
+/// omitted: they move work, never results — the bitwise-equivalence
+/// suites pin that — so a result computed under one serves all.
+std::string OptionsFingerprint(const EngineOptions& options) {
+  const ExplainerOptions& px = options.explainer;
+  const RuleOfThumbOptions& rot = options.rule_of_thumb;
+  const SimButDiffOptions& sbd = options.sim_but_diff;
+  std::string fp;
+  fp += std::to_string(px.width) + ",";
+  fp += std::to_string(px.precision_weight) + ",";
+  fp += std::to_string(px.sampler.sample_size) + ",";
+  fp += std::to_string(px.pair.sim_fraction) + ",";
+  fp += std::to_string(static_cast<int>(px.level)) + ",";
+  fp += std::to_string(px.despite_width) + ",";
+  fp += std::to_string(px.despite_relevance_threshold) + ",";
+  fp += std::to_string(px.max_pairs_per_record) + ",";
+  fp += std::to_string(px.normalize_scores) + ",";
+  fp += std::to_string(px.balanced_sampling) + ",";
+  fp += std::to_string(px.seed) + ";";
+  fp += std::to_string(rot.relief.iterations) + ",";
+  fp += std::to_string(rot.relief.neighbors) + ",";
+  fp += std::to_string(rot.pair.sim_fraction) + ",";
+  fp += std::to_string(rot.seed) + ";";
+  fp += std::to_string(sbd.similarity_threshold) + ",";
+  fp += std::to_string(sbd.pair.sim_fraction);
+  return fp;
+}
+
 }  // namespace
+
+std::uint64_t LogSnapshot::NextId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 const char* TechniqueToString(Technique technique) {
   switch (technique) {
@@ -38,6 +74,12 @@ Engine::Engine(std::shared_ptr<const LogSnapshot> snapshot,
                EngineOptions options)
     : snapshot_(std::move(snapshot)), options_(std::move(options)) {
   PX_CHECK(snapshot_ != nullptr);
+  options_fingerprint_ = OptionsFingerprint(options_);
+  if (options_.result_cache != nullptr) {
+    result_cache_ = options_.result_cache;
+  } else if (options_.result_cache_bytes > 0) {
+    result_cache_ = std::make_shared<ResultCache>(options_.result_cache_bytes);
+  }
   // Every technique scans the snapshot's one columnar replica; SimButDiff
   // additionally borrows the snapshot's pair-code store so sequential
   // queries run on resident packed codes.
@@ -149,6 +191,32 @@ Result<Explanation> Engine::Generate(const PreparedQuery& prepared,
   return Status::InvalidArgument("unknown technique");
 }
 
+std::string Engine::CacheKeyFor(const PreparedQuery& prepared,
+                                const ExplainRequest& request) const {
+  const std::size_t width =
+      request.width > 0 ? request.width : options_.explainer.width;
+  const std::uint64_t seed =
+      request.seed.value_or(options_.explainer.seed);
+  std::string key = ResultCache::SnapshotPrefix(snapshot_->id());
+  key += options_fingerprint_;
+  key += "|";
+  key += TechniqueToString(request.technique);
+  key += "|";
+  key += std::to_string(width);
+  key += "|";
+  key += request.auto_despite ? "d1" : "d0";
+  key += request.evaluate ? "e1" : "e0";
+  key += "|";
+  key += std::to_string(seed);
+  key += "|";
+  key += std::to_string(prepared.poi_first());
+  key += ",";
+  key += std::to_string(prepared.poi_second());
+  key += "|";
+  key += prepared.bound().ToString();
+  return key;
+}
+
 Status Engine::CheckPrepared(const PreparedQuery& prepared) const {
   if (prepared.snapshot_ != snapshot_) {
     return Status::InvalidArgument(
@@ -171,14 +239,15 @@ Status Engine::AdmitRequest(const ExplainRequest& request) const {
   }
   if (limits.max_pair_store_bytes > 0 &&
       request.technique == Technique::kSimButDiff) {
-    // Only charged when the engine's budget would actually let the plane
-    // build; a request that streams anyway costs no store bytes.
-    const std::size_t bytes = snapshot_->pair_codes().bytes_per_plane();
-    if (bytes <= options_.sim_but_diff.pair_code_budget_bytes &&
-        bytes > limits.max_pair_store_bytes) {
+    // Charged per-frame: the plane when the engine's budget lets it
+    // build, otherwise the tile-pool frames the budget buys; a request
+    // that streams outright costs no store bytes.
+    const std::size_t bytes = snapshot_->pair_codes().ResidentBytesFor(
+        options_.sim_but_diff.pair_code_budget_bytes);
+    if (bytes > limits.max_pair_store_bytes) {
       return Status::ResourceExhausted(
-          "request rejected: estimated pair-store plane of " +
-          std::to_string(bytes) + " bytes exceeds max_pair_store_bytes = " +
+          "request rejected: estimated resident pair-store bytes of " +
+          std::to_string(bytes) + " exceeds max_pair_store_bytes = " +
           std::to_string(limits.max_pair_store_bytes));
     }
   }
@@ -211,12 +280,36 @@ Result<ExplainResponse> Engine::Explain(const PreparedQuery& prepared,
                                         const ExplainRequest& request) const {
   PX_RETURN_IF_ERROR(CheckPrepared(prepared));
   PX_RETURN_IF_ERROR(AdmitRequest(request));
+  // The cache is consulted before any scan; a hit is a finished response
+  // (only complete, successful ones are ever inserted) whose explain_ms
+  // is the lookup itself.
+  std::string cache_key;
+  if (result_cache_ != nullptr) {
+    const Clock::time_point lookup_start = Clock::now();
+    cache_key = CacheKeyFor(prepared, request);
+    if (auto cached = result_cache_->Get(cache_key); cached.has_value()) {
+      ExplainResponse response;
+      response.technique = request.technique;
+      response.explanation = std::move(cached->explanation);
+      response.metrics = std::move(cached->metrics);
+      response.explain_ms = MsSince(lookup_start);
+      response.result_cache_hit = true;
+      return response;
+    }
+  }
   const ExecContext exec_context = MakeExecContext(request);
   ScopedExecContext scoped(exec_context.empty() ? nullptr : &exec_context);
   try {
     const PairCodeStore& store = snapshot_->pair_codes();
+    const bool sim_but_diff = request.technique == Technique::kSimButDiff;
     const std::uint64_t builds_before =
-        request.technique == Technique::kSimButDiff ? store.build_count() : 0;
+        sim_but_diff ? store.build_count() : 0;
+    const std::uint64_t tile_hits_before =
+        sim_but_diff ? store.tile_hits() : 0;
+    const std::uint64_t tile_misses_before =
+        sim_but_diff ? store.tile_misses() : 0;
+    const std::uint64_t tile_evictions_before =
+        sim_but_diff ? store.tile_evictions() : 0;
     const Clock::time_point start = Clock::now();
     auto explanation = Generate(prepared, request);
     if (!explanation.ok()) return explanation.status();
@@ -224,14 +317,25 @@ Result<ExplainResponse> Engine::Explain(const PreparedQuery& prepared,
     response.technique = request.technique;
     response.explanation = std::move(explanation).value();
     response.explain_ms = MsSince(start);
-    if (request.technique == Technique::kSimButDiff) {
+    if (sim_but_diff) {
       response.pair_store_built = store.build_count() > builds_before;
       response.pair_store_hit =
           store.bytes_per_plane() <=
               options_.sim_but_diff.pair_code_budget_bytes &&
           store.warm(options_.sim_but_diff.pair.sim_fraction);
+      response.tile_hits = store.tile_hits() - tile_hits_before;
+      response.tile_misses = store.tile_misses() - tile_misses_before;
+      response.tile_evictions = store.tile_evictions() - tile_evictions_before;
     }
     PX_RETURN_IF_ERROR(AttachEvaluation(prepared, request, &response));
+    // Only a fully successful response reaches this Put: every failure —
+    // including a cancel or deadline firing mid-scan — returned above,
+    // so a partial result is never cached.
+    if (result_cache_ != nullptr) {
+      result_cache_->Put(cache_key,
+                         ResultCache::Value{response.explanation,
+                                            response.metrics});
+    }
     return response;
   } catch (const InterruptedError& interrupted) {
     // A checkpoint fired mid-scan (or mid-build): every worker has joined
@@ -251,6 +355,10 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
   // Items answered by a shared scan; everything else runs through the
   // per-call path at the bottom.
   std::vector<bool> handled(items.size(), false);
+  // Cache keys of the items consulted below, kept so the shared-scan
+  // paths can Put their finished responses (empty = not consulted here;
+  // the per-call path lets Explain handle its own caching).
+  std::vector<std::string> cache_keys(items.size());
 
   // The batch's SimButDiff requests share one ordered-pair scan.
   std::vector<std::size_t> batched;
@@ -272,6 +380,26 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
       responses[i] = admitted;
       handled[i] = true;
       continue;
+    }
+    // Cached items leave the batch before routing, so a hit is answered
+    // without joining (or triggering) any shared scan. Deadline/cancel
+    // items run per-call anyway; Explain consults the cache for them.
+    if (result_cache_ != nullptr && item.request.deadline_ms == 0 &&
+        item.request.cancel == nullptr) {
+      const Clock::time_point lookup_start = Clock::now();
+      cache_keys[i] = CacheKeyFor(*item.prepared, item.request);
+      if (auto cached = result_cache_->Get(cache_keys[i]);
+          cached.has_value()) {
+        ExplainResponse response;
+        response.technique = item.request.technique;
+        response.explanation = std::move(cached->explanation);
+        response.metrics = std::move(cached->metrics);
+        response.explain_ms = MsSince(lookup_start);
+        response.result_cache_hit = true;
+        responses[i] = std::move(response);
+        handled[i] = true;
+        continue;
+      }
     }
     if (item.request.technique != Technique::kSimButDiff) continue;
     // Requests carrying a deadline or CancelToken run per-call (through
@@ -312,6 +440,9 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
   if (batched.size() > 1 && !route_small_warm_batch_per_call) {
     const PairCodeStore& store = snapshot_->pair_codes();
     const std::uint64_t builds_before = store.build_count();
+    const std::uint64_t tile_hits_before = store.tile_hits();
+    const std::uint64_t tile_misses_before = store.tile_misses();
+    const std::uint64_t tile_evictions_before = store.tile_evictions();
     const Clock::time_point start = Clock::now();
     std::vector<Result<Explanation>> results =
         sim_but_diff_->ExplainBatch(queries, options_.sim_but_diff.threads);
@@ -322,6 +453,13 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
         store.bytes_per_plane() <=
             options_.sim_but_diff.pair_code_budget_bytes &&
         store.warm(options_.sim_but_diff.pair.sim_fraction);
+    // The scan's tile traffic is shared, not attributable per item: every
+    // batched response reports the whole batch's deltas.
+    const std::uint64_t tile_hits = store.tile_hits() - tile_hits_before;
+    const std::uint64_t tile_misses =
+        store.tile_misses() - tile_misses_before;
+    const std::uint64_t tile_evictions =
+        store.tile_evictions() - tile_evictions_before;
     for (std::size_t b = 0; b < batched.size(); ++b) {
       const std::size_t i = batched[b];
       handled[i] = true;
@@ -336,11 +474,19 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
       response.batched = true;
       response.pair_store_built = store_built;
       response.pair_store_hit = store_hit;
+      response.tile_hits = tile_hits;
+      response.tile_misses = tile_misses;
+      response.tile_evictions = tile_evictions;
       if (Status evaluated = AttachEvaluation(*items[i].prepared,
                                               items[i].request, &response);
           !evaluated.ok()) {
         responses[i] = evaluated;
         continue;
+      }
+      if (result_cache_ != nullptr && !cache_keys[i].empty()) {
+        result_cache_->Put(cache_keys[i],
+                           ResultCache::Value{response.explanation,
+                                              response.metrics});
       }
       responses[i] = std::move(response);
     }
@@ -414,12 +560,20 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
         responses[i] = evaluated;
         continue;
       }
+      if (result_cache_ != nullptr && !cache_keys[i].empty()) {
+        result_cache_->Put(cache_keys[i],
+                           ResultCache::Value{response.explanation,
+                                              response.metrics});
+      }
       responses[i] = std::move(response);
     }
   }
 
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (handled[i]) continue;
+    // Explain consults and fills the cache itself for these (the second
+    // lookup of an item already missed above is a second recorded miss —
+    // the stats are informational, not load-bearing).
     responses[i] = Explain(*items[i].prepared, items[i].request);
   }
   return responses;

@@ -13,6 +13,7 @@
 #include "core/explainer.h"
 #include "core/explanation.h"
 #include "core/metrics.h"
+#include "core/result_cache.h"
 #include "core/rule_of_thumb.h"
 #include "core/sim_but_diff.h"
 #include "features/pair_code_store.h"
@@ -44,7 +45,8 @@ const char* TechniqueToString(Technique technique);
 class LogSnapshot {
  public:
   explicit LogSnapshot(ExecutionLog log)
-      : log_(std::move(log)),
+      : id_(NextId()),
+        log_(std::move(log)),
         schema_(log_.schema()),
         columns_(log_),
         pair_codes_(&columns_) {}
@@ -52,6 +54,12 @@ class LogSnapshot {
   LogSnapshot(const LogSnapshot&) = delete;
   LogSnapshot& operator=(const LogSnapshot&) = delete;
 
+  /// Process-unique, monotonically increasing id. ResultCache keys are
+  /// prefixed with it, so results of different snapshots can never
+  /// collide and a retired snapshot's entries are droppable as one key
+  /// range (ResultCache::InvalidateSnapshot) when engines share a cache
+  /// across a snapshot rotation.
+  std::uint64_t id() const { return id_; }
   const ExecutionLog& log() const { return log_; }
   const PairSchema& pair_schema() const { return schema_; }
   const ColumnarLog& columns() const { return columns_; }
@@ -63,6 +71,9 @@ class LogSnapshot {
   const PairCodeStore& pair_codes() const { return pair_codes_; }
 
  private:
+  static std::uint64_t NextId();
+
+  std::uint64_t id_;
   ExecutionLog log_;
   PairSchema schema_;
   ColumnarLog columns_;
@@ -79,11 +90,13 @@ struct EngineLimits {
   /// Ceiling on the candidate ordered-pair count n·(n−1) a request's scans
   /// may enumerate.
   std::size_t max_candidate_pairs = 0;
-  /// Ceiling on the resident PairCodeStore plane bytes a SimButDiff
-  /// request may cause to be built (the existing budget formula,
-  /// PairCodeStore::BytesNeeded). Only charged when the engine's
-  /// pair_code_budget_bytes would actually let the plane build — a
-  /// request that would stream anyway is not rejected for store bytes.
+  /// Ceiling on the PairCodeStore bytes a SimButDiff request may cause to
+  /// be resident, charged per-frame via PairCodeStore::ResidentBytesFor:
+  /// the whole plane when the engine's pair_code_budget_bytes lets it
+  /// build, otherwise the tile-pool frames that budget buys (so a
+  /// fractional budget is charged its working set, not the plane it will
+  /// never build). A request that would stream outright costs no store
+  /// bytes and is not rejected.
   std::size_t max_pair_store_bytes = 0;
   /// Ceiling on the PerfXplain training-matrix size, estimated as
   /// (sample_size + 1) · pair-schema width cells.
@@ -97,6 +110,19 @@ struct EngineOptions {
   RuleOfThumbOptions rule_of_thumb;
   SimButDiffOptions sim_but_diff;
   EngineLimits limits;
+
+  /// Byte budget of the engine-owned ResultCache consulted before any
+  /// scan: a repeated (snapshot, query, technique, width, seed, ...)
+  /// request becomes one map lookup. 0 (the default) disables caching.
+  /// Ignored when `result_cache` is supplied.
+  std::size_t result_cache_bytes = 0;
+
+  /// An existing cache to share instead of owning one — the snapshot-
+  /// rotation pattern: engines over successive snapshots share one cache
+  /// (keys embed the snapshot id, so entries never cross over) and the
+  /// rotator calls ResultCache::InvalidateSnapshot(old->id()) to reclaim
+  /// the retired snapshot's bytes.
+  std::shared_ptr<ResultCache> result_cache;
 };
 
 /// A parsed, bound, compiled query with its pair of interest resolved —
@@ -211,6 +237,17 @@ struct ExplainResponse {
   /// polluted by build cost. Approximate under concurrency: a build
   /// finishing on another thread mid-call can also flip it.
   bool pair_store_built = false;
+  /// True when the whole response came out of the engine's ResultCache —
+  /// no scan ran and explain_ms is the lookup cost. Always false when the
+  /// engine has no cache (EngineOptions::result_cache_bytes = 0).
+  bool result_cache_hit = false;
+  /// Tile-pool traffic this request drove (SimButDiff on the buffer-pool
+  /// middle path only; all zero on the resident-plane and streaming
+  /// paths). Deltas of the store's counters bracketing the call, so
+  /// approximate under concurrency like pair_store_built.
+  std::uint64_t tile_hits = 0;
+  std::uint64_t tile_misses = 0;
+  std::uint64_t tile_evictions = 0;
 };
 
 /// The thread-safe service facade: one immutable LogSnapshot, one
@@ -248,6 +285,11 @@ class Engine {
   const PairSchema& pair_schema() const { return snapshot_->pair_schema(); }
   const EngineOptions& options() const { return options_; }
   const Explainer& explainer() const { return *explainer_; }
+  /// The engine's result cache; null when caching is disabled. Shared
+  /// with the caller that supplied EngineOptions::result_cache.
+  const std::shared_ptr<ResultCache>& result_cache() const {
+    return result_cache_;
+  }
 
   /// Parses, binds, validates and compiles the query and resolves its pair
   /// of interest — everything per-query that does not depend on the
@@ -344,6 +386,14 @@ class Engine {
   Result<Explanation> Generate(const PreparedQuery& prepared,
                                const ExplainRequest& request) const;
 
+  /// The ResultCache key of (prepared, request) under this engine:
+  /// snapshot id prefix, the options fingerprint, technique, effective
+  /// width/seed, the auto_despite/evaluate switches, the resolved pair
+  /// of interest and the bound query's PXQL text. Thread counts and
+  /// memory budgets are absent — observation-free by construction.
+  std::string CacheKeyFor(const PreparedQuery& prepared,
+                          const ExplainRequest& request) const;
+
   // Shared-state invariants, machine-checked where the tooling allows
   // (see common/thread_annotations.h and docs/ARCHITECTURE.md): all
   // members below are written only during construction and immutable
@@ -354,6 +404,12 @@ class Engine {
   // never touch rule_of_thumb_ except through rule_of_thumb().
   std::shared_ptr<const LogSnapshot> snapshot_;
   EngineOptions options_;
+  /// Every result-affecting engine option, serialized once at
+  /// construction into the middle segment of every cache key (see
+  /// CacheKeyFor) so engines with different options sharing one cache
+  /// never serve each other's results.
+  std::string options_fingerprint_;
+  std::shared_ptr<ResultCache> result_cache_;  ///< null = caching off
   std::unique_ptr<Explainer> explainer_;
   std::unique_ptr<SimButDiff> sim_but_diff_;
   mutable std::once_flag rule_of_thumb_once_;

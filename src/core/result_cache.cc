@@ -1,0 +1,121 @@
+#include "core/result_cache.h"
+
+#include <utility>
+
+namespace perfxplain {
+
+namespace {
+
+std::size_t PredicateBytes(const Predicate& predicate) {
+  std::size_t total = sizeof(Predicate);
+  for (const Atom& atom : predicate.atoms()) {
+    total += sizeof(Atom) + atom.feature().size();
+  }
+  return total;
+}
+
+std::size_t TraceBytes(const std::vector<ExplanationAtom>& trace) {
+  std::size_t total = trace.capacity() * sizeof(ExplanationAtom);
+  for (const ExplanationAtom& entry : trace) {
+    total += entry.atom.feature().size();
+  }
+  return total;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+std::string ResultCache::SnapshotPrefix(std::uint64_t snapshot_id) {
+  return std::to_string(snapshot_id) + "|";
+}
+
+std::size_t ResultCache::EstimateBytes(const std::string& key,
+                                       const Value& value) {
+  // The footprint estimate the byte budget meters: container node +
+  // key (stored twice: map node and LRU list node) + the explanation's
+  // heap allocations. Close enough that the budget means what it says;
+  // exactness is not load-bearing.
+  std::size_t total = sizeof(Entry) + 2 * key.size() + 128;
+  total += PredicateBytes(value.explanation.despite);
+  total += PredicateBytes(value.explanation.because);
+  total += TraceBytes(value.explanation.despite_trace);
+  total += TraceBytes(value.explanation.because_trace);
+  if (value.metrics.has_value()) total += sizeof(ExplanationMetrics);
+  return total;
+}
+
+std::optional<ResultCache::Value> ResultCache::Get(const std::string& key) {
+  MutexLock lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.end(), lru_, it->second.lru_pos);  // refresh to hot end
+  ++hits_;
+  return it->second.value;
+}
+
+void ResultCache::Put(const std::string& key, Value value) {
+  const std::size_t bytes = EstimateBytes(key, value);
+  if (bytes > budget_bytes_) return;  // would flush everything for nothing
+  MutexLock lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh: concurrent misses on the same key race to Put an
+    // identical value; keep the first, bump recency.
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+    return;
+  }
+  Entry entry;
+  entry.value = std::move(value);
+  entry.bytes = bytes;
+  entry.lru_pos = lru_.insert(lru_.end(), key);
+  entries_.emplace(key, std::move(entry));
+  bytes_ += bytes;
+  ++insertions_;
+  while (bytes_ > budget_bytes_) {
+    auto victim = entries_.find(lru_.front());
+    ++evictions_;
+    EraseEntry(victim);
+  }
+}
+
+std::size_t ResultCache::InvalidateSnapshot(std::uint64_t snapshot_id) {
+  const std::string prefix = SnapshotPrefix(snapshot_id);
+  MutexLock lock(mutex_);
+  // The id prefix makes a snapshot's entries one contiguous map range:
+  // walk from the first key >= "<id>|" until the prefix stops matching.
+  std::size_t dropped = 0;
+  auto it = entries_.lower_bound(prefix);
+  while (it != entries_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
+    auto next = std::next(it);
+    EraseEntry(it);
+    ++dropped;
+    it = next;
+  }
+  return dropped;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  MutexLock lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+void ResultCache::EraseEntry(std::map<std::string, Entry>::iterator it) {
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+}  // namespace perfxplain

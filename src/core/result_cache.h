@@ -1,0 +1,118 @@
+#ifndef PERFXPLAIN_CORE_RESULT_CACHE_H_
+#define PERFXPLAIN_CORE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/thread_annotations.h"
+#include "core/explanation.h"
+#include "core/metrics.h"
+
+namespace perfxplain {
+
+/// A keyed LRU cache of finished explanation results, so repeated queries
+/// from many users become one map lookup instead of an O(n²) scan — the
+/// serving-layer complement to the PairCodeStore's tile pool.
+///
+/// Keys are opaque strings the Engine composes from everything a result
+/// depends on: the snapshot id, the engine's result-affecting options
+/// fingerprint, the canonicalized bound query (its PXQL text plus the
+/// resolved pair-of-interest rows), the technique, the effective width
+/// and seed, and the auto-despite/evaluate switches. Thread count and
+/// memory budgets are deliberately absent — they are observation-free by
+/// construction (the bitwise invariance suites pin that), so a result
+/// computed at any thread count or budget serves every other.
+///
+/// Only complete, successful responses are ever inserted: a request that
+/// fails, is cancelled or exceeds its deadline mid-scan inserts nothing,
+/// so a hit is always a full answer. Eviction is LRU under a byte budget
+/// (estimated entry footprint; an entry alone exceeding the budget is
+/// simply not cached). Snapshot rotation invalidates wholesale through
+/// InvalidateSnapshot — keys are prefixed with the decimal snapshot id,
+/// so one ordered-map range erase drops every entry of a retired
+/// snapshot while other snapshots' entries (engines sharing one cache
+/// across a rotation) stay hot. Correctness never depends on
+/// invalidation: a new snapshot's keys differ by construction;
+/// invalidation only reclaims the bytes.
+///
+/// Thread safety: all methods are safe from any number of threads; one
+/// mutex guards the map, the LRU list and the counters.
+class ResultCache {
+ public:
+  /// A cached result: the explanation plus the metrics of an
+  /// evaluate=true request (evaluate-ness is part of the key, so hits
+  /// always carry exactly what the request asked for).
+  struct Value {
+    Explanation explanation;
+    std::optional<ExplanationMetrics> metrics;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// `budget_bytes` caps the estimated footprint of all entries.
+  explicit ResultCache(std::size_t budget_bytes);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The key prefix every key of `snapshot_id` must start with (Engine
+  /// uses it to compose keys; InvalidateSnapshot erases by it).
+  static std::string SnapshotPrefix(std::uint64_t snapshot_id);
+
+  /// Looks `key` up, refreshing its LRU position on a hit.
+  std::optional<Value> Get(const std::string& key) PX_EXCLUDES(mutex_);
+
+  /// Inserts (or refreshes) `key`, then evicts LRU entries until the
+  /// budget holds. An entry whose own footprint exceeds the budget is
+  /// dropped instead of flushing the whole cache.
+  void Put(const std::string& key, Value value) PX_EXCLUDES(mutex_);
+
+  /// Erases every entry of `snapshot_id` (the wholesale rotation hook).
+  /// Returns how many entries were dropped.
+  std::size_t InvalidateSnapshot(std::uint64_t snapshot_id)
+      PX_EXCLUDES(mutex_);
+
+  std::size_t budget_bytes() const { return budget_bytes_; }
+  Stats stats() const PX_EXCLUDES(mutex_);
+
+ private:
+  struct Entry {
+    Value value;
+    std::size_t bytes = 0;
+    /// Position in lru_ (most-recent at the back).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  static std::size_t EstimateBytes(const std::string& key,
+                                   const Value& value);
+
+  void EraseEntry(std::map<std::string, Entry>::iterator it)
+      PX_REQUIRES(mutex_);
+
+  const std::size_t budget_bytes_;
+  mutable Mutex mutex_;
+  /// Ordered by key, so one snapshot's entries form a contiguous
+  /// prefix range (and iteration order is deterministic — see
+  /// pxlint:determinism on unordered containers).
+  std::map<std::string, Entry> entries_ PX_GUARDED_BY(mutex_);
+  std::list<std::string> lru_ PX_GUARDED_BY(mutex_);  ///< cold front, hot back
+  std::size_t bytes_ PX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ PX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ PX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t insertions_ PX_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ PX_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_CORE_RESULT_CACHE_H_

@@ -198,7 +198,16 @@ Result<Explanation> SimButDiff::ExplainPrepared(const Query& bound,
             ? store_->Acquire(sim, options_.pair_code_budget_bytes,
                               resolved)
             : nullptr;
-    if (resident != nullptr) {
+    // Fractional budgets (one tile to just under a plane) take the
+    // buffer-pool middle path: hot row tiles pinned from the store's
+    // TilePool, misses built into a victim frame, and a row whose frame
+    // cannot be claimed packed into private scratch — every source yields
+    // the same words, so budget and eviction order are unobservable.
+    TilePool* pool =
+        resident == nullptr && store_ != nullptr
+            ? store_->AcquireTilePool(sim, options_.pair_code_budget_bytes)
+            : nullptr;
+    if (resident != nullptr || pool != nullptr) {
       const std::size_t n = columns.rows();
       const std::size_t words = poi_codes.word_count();
       const PairSelection selection = compiled.despite.DeriveSelection(n);
@@ -221,7 +230,41 @@ Result<Explanation> SimButDiff::ExplainPrepared(const Query& bound,
             for (std::size_t s = begin; s < end; ++s) {
               ThrowIfInterrupted();
               const std::size_t i = first_rows ? (*first_rows)[s] : s;
-              const std::uint64_t* tile = resident->pair_words(i, 0);
+              TilePool::TileRef ref;  // pin held through the row's scan
+              const std::uint64_t* tile = nullptr;
+              if (resident != nullptr) {
+                tile = resident->pair_words(i, 0);
+              } else {
+                // First touches admit into free frames only: once the
+                // pool is full the hottest rows stay pinned behind the
+                // scan-resistant replacer and a sweep wider than the
+                // budget cannot churn them out.
+                ref = pool->Fetch(i, TilePool::Admission::kFreeOnly);
+                if (ref.valid()) tile = ref.words();
+              }
+              if (tile == nullptr) {
+                // Cold row: stream it through the budget-zero fused
+                // classify-first pack-and-compare — cheaper than a full
+                // tile build (early exit, unrelated pairs never packed)
+                // and bitwise identical in what it tallies.
+                const std::size_t inner =
+                    second_rows ? second_rows->size() : n;
+                for (std::size_t s2 = 0; s2 < inner; ++s2) {
+                  const std::size_t j =
+                      second_rows ? (*second_rows)[s2] : s2;
+                  if (j == i) continue;
+                  if (i == poi_first && j == poi_second) continue;
+                  const PairLabel label =
+                      ClassifyPairCompiled(compiled, i, j, sim);
+                  if (label == PairLabel::kUnrelated) continue;
+                  const std::size_t disagreed = kernel::ScanPairAgainstPoi(
+                      table, i, j, sim, poi_codes, max_disagree,
+                      local.diff_masks.data());
+                  if (disagreed == kernel::kPackedRejected) continue;
+                  tally_pair(local, label);
+                }
+                continue;
+              }
               std::size_t count = 0;
               if (words == 1 && second_rows == nullptr) {
                 // The common k <= 32 shape: one word per pair, the whole
@@ -270,9 +313,9 @@ Result<Explanation> SimButDiff::ExplainPrepared(const Query& bound,
             partial[block] = std::move(local);
           });
     } else {
-      // Streaming fallback (no store, or n²·k/4 over the memory budget):
-      // the fused pack-and-compare of PR 3, classification first so
-      // unrelated pairs never pack.
+      // Streaming fallback (no store, or a budget under one row tile —
+      // the zero-budget degenerate case): the fused pack-and-compare of
+      // PR 3, classification first so unrelated pairs never pack.
       ScanDespitePairs(
           compiled.despite, columns.rows(), EnumerationOptions{threads},
           partial, [&](Tally& local, std::size_t i, std::size_t j) {
@@ -394,6 +437,12 @@ std::vector<Result<Explanation>> SimButDiff::ExplainBatch(
     std::vector<PairLabel> labels;           // per-group scratch
     std::vector<std::uint64_t> diff_masks;   // per-request scratch (words)
     std::vector<std::size_t> diff_features;  // per-request scratch
+    /// Fractional-budget path: the stripe's current pinned row tile
+    /// (shared_ptr only because the enumeration's partial vector requires
+    /// copyable tallies; each live Tally still owns one pin).
+    std::shared_ptr<TilePool::TileRef> tile_ref;
+    std::size_t tile_row = 0;
+    bool has_tile_row = false;
   };
   std::vector<Tally> partial;
   if (any_active) {
@@ -406,6 +455,14 @@ std::vector<Result<Explanation>> SimButDiff::ExplainBatch(
             ? store_->Acquire(
                   sim, options_.pair_code_budget_bytes,
                   ResolveEnumerationThreads(EnumerationOptions{threads}))
+            : nullptr;
+    // Fractional budgets pin row tiles from the store's TilePool instead:
+    // each stripe holds one pinned tile (the row it is scanning) and
+    // falls back to the per-pair lazy pack when a frame cannot be
+    // claimed — identical words from every source.
+    TilePool* pool =
+        resident == nullptr && store_ != nullptr
+            ? store_->AcquireTilePool(sim, options_.pair_code_budget_bytes)
             : nullptr;
     ScanOrderedPairs(
         columns.rows(), EnumerationOptions{threads}, partial,
@@ -437,6 +494,21 @@ std::vector<Result<Explanation>> SimButDiff::ExplainBatch(
             const PairLabel label = local.labels[request.group];
             if (label == PairLabel::kUnrelated) continue;
             if (i == request.poi_first && j == request.poi_second) continue;
+            if (pair_words == nullptr && pool != nullptr) {
+              if (!local.has_tile_row || local.tile_row != i) {
+                // Unpins the old row's tile, then pins (or builds) this
+                // row's. Free frames only: a batch sweep wider than the
+                // budget leaves the resident tiles pinned and falls back
+                // to the cheaper per-pair lazy pack below.
+                local.tile_ref = std::make_shared<TilePool::TileRef>(
+                    pool->Fetch(i, TilePool::Admission::kFreeOnly));
+                local.tile_row = i;
+                local.has_tile_row = true;
+              }
+              if (local.tile_ref->valid()) {
+                pair_words = local.tile_ref->words() + j * words;
+              }
+            }
             if (pair_words == nullptr) {
               kernel::PackIsSameCodesInto(table, i, j, sim,
                                           &local.pair_codes);

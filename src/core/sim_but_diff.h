@@ -29,12 +29,16 @@ struct SimButDiffOptions {
   /// are integer sums merged in row order.
   int threads = 0;
   /// Memory budget of the snapshot-resident PairCodeStore (set through
-  /// EngineOptions::sim_but_diff). A store plane costs
+  /// EngineOptions::sim_but_diff). A full plane costs
   /// PairCodeStore::BytesNeeded(n, k) = n² · ceil(k/32) · 8 ≈ n² · k/4
-  /// bytes; when that exceeds the budget (or the baseline was built
-  /// without a store), Explain falls back to the streaming fused
-  /// pack-and-compare — bitwise-identical results, it only repacks every
-  /// pair per call. 0 disables the resident path outright.
+  /// bytes and is built whole when it fits. A budget between one row
+  /// tile (TilePool::TileBytes = n · ceil(k/32) · 8) and a plane runs
+  /// the buffer-pool middle path instead: the budget's worth of row-tile
+  /// frames under an LRU replacer, hot rows resident and cold rows
+  /// streamed. Only a budget under one tile (or a baseline built without
+  /// a store) leaves every pair on the streaming fused pack-and-compare.
+  /// All three paths are bitwise identical — the budget only moves work,
+  /// never results. 0 disables residency outright.
   std::size_t pair_code_budget_bytes = std::size_t{256} << 20;
 };
 

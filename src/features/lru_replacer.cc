@@ -1,0 +1,57 @@
+#include "features/lru_replacer.h"
+
+#include "common/logging.h"
+
+namespace perfxplain {
+
+LruReplacer::LruReplacer(std::size_t frames)
+    : prev_(frames + 1), next_(frames + 1), tracked_(frames + 1, false) {
+  prev_[sentinel()] = sentinel();
+  next_[sentinel()] = sentinel();
+}
+
+void LruReplacer::Unlink(std::size_t frame) {
+  next_[prev_[frame]] = next_[frame];
+  prev_[next_[frame]] = prev_[frame];
+}
+
+void LruReplacer::Pin(std::size_t frame) {
+  PX_CHECK(frame < sentinel());
+  if (!tracked_[frame]) return;
+  Unlink(frame);
+  tracked_[frame] = false;
+  --size_;
+}
+
+void LruReplacer::Unpin(std::size_t frame, bool hot) {
+  PX_CHECK(frame < sentinel());
+  if (tracked_[frame]) return;
+  if (hot) {
+    // Warm end: evicted last, like plain LRU's most-recently-used slot.
+    prev_[frame] = prev_[sentinel()];
+    next_[frame] = sentinel();
+    next_[prev_[sentinel()]] = frame;
+    prev_[sentinel()] = frame;
+  } else {
+    // Cold end: the next victim — first-touch builds must not flush the
+    // re-referenced resident set (see class comment).
+    next_[frame] = next_[sentinel()];
+    prev_[frame] = sentinel();
+    prev_[next_[sentinel()]] = frame;
+    next_[sentinel()] = frame;
+  }
+  tracked_[frame] = true;
+  ++size_;
+}
+
+bool LruReplacer::Victim(std::size_t* frame) {
+  if (size_ == 0) return false;
+  const std::size_t victim = next_[sentinel()];
+  Unlink(victim);
+  tracked_[victim] = false;
+  --size_;
+  *frame = victim;
+  return true;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,65 @@
+#ifndef PERFXPLAIN_FEATURES_LRU_REPLACER_H_
+#define PERFXPLAIN_FEATURES_LRU_REPLACER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace perfxplain {
+
+/// Victim selection for a fixed set of buffer frames — the classic
+/// buffer-pool lru_replacer, specialized for TilePool's scan-heavy access
+/// pattern. A frame is *tracked* (evictable) between Unpin and the next
+/// Pin/Victim that removes it; Victim pops the cold end of an intrusive
+/// doubly-linked list over frame indexes, so every operation is O(1) with
+/// no per-operation allocation.
+///
+/// Two insertion points make the policy scan-resistant: Unpin(frame,
+/// /*hot=*/true) — a tile that was re-referenced after its build — inserts
+/// at the warm (most-recently-used) end like plain LRU, while
+/// Unpin(frame, /*hot=*/false) — a first-touch build that no later fetch
+/// has hit yet — inserts at the cold end, making the frame the next
+/// victim. Under a repeated sweep whose working set exceeds capacity this
+/// keeps a stable resident prefix and recycles one revolving frame,
+/// instead of plain LRU's zero-hit sequential flooding; once a working
+/// set fits, every frame is hot and the policy is exactly LRU.
+///
+/// Not internally synchronized: TilePool guards its replacer with the
+/// pool mutex (the member is PX_GUARDED_BY there), like every buffer-pool
+/// manager does. Purely index-based and deterministic: the victim
+/// sequence is a function of the Pin/Unpin call sequence alone.
+class LruReplacer {
+ public:
+  /// Tracks frames [0, frames); all start untracked (pinned or free).
+  explicit LruReplacer(std::size_t frames);
+
+  /// Removes `frame` from the evictable set (a fetch pinned it). No-op
+  /// when the frame is not tracked.
+  void Pin(std::size_t frame);
+
+  /// Adds `frame` to the evictable set (its pin count reached zero). Hot
+  /// frames go to the warm end, cold (never re-referenced) frames to the
+  /// cold end — see the class comment. No-op when already tracked.
+  void Unpin(std::size_t frame, bool hot);
+
+  /// Pops the cold-end victim into `*frame`. False when no frame is
+  /// evictable (all pinned or free).
+  bool Victim(std::size_t* frame);
+
+  /// Number of evictable frames.
+  std::size_t size() const { return size_; }
+
+ private:
+  /// Intrusive list over frame indexes; index frames_ is the sentinel
+  /// (sentinel->next = cold end, sentinel->prev = warm end).
+  std::size_t sentinel() const { return prev_.size() - 1; }
+  void Unlink(std::size_t frame);
+
+  std::vector<std::size_t> prev_;
+  std::vector<std::size_t> next_;
+  std::vector<bool> tracked_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_FEATURES_LRU_REPLACER_H_

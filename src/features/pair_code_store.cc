@@ -82,6 +82,38 @@ std::size_t PairCodeStore::bytes_per_plane() const {
   return BytesNeeded(columns_->rows(), columns_->schema().size());
 }
 
+std::size_t PairCodeStore::ResidentBytesFor(std::size_t max_bytes) const {
+  const std::size_t plane = bytes_per_plane();
+  if (plane <= max_bytes) return plane;
+  // plane > max_bytes >= 0 implies rows > 0 and a non-zero tile.
+  const std::size_t tile =
+      TilePool::TileBytes(columns_->rows(), columns_->schema().size());
+  const std::size_t frames =
+      std::min(columns_->rows(), max_bytes / tile);
+  return frames * tile;
+}
+
+TilePool* PairCodeStore::AcquireTilePool(double sim_fraction,
+                                         std::size_t max_bytes) const {
+  if (bytes_per_plane() <= max_bytes) return nullptr;  // resident plane path
+  const std::size_t tile =
+      TilePool::TileBytes(columns_->rows(), columns_->schema().size());
+  const std::size_t frames = std::min(columns_->rows(), max_bytes / tile);
+  if (frames == 0) return nullptr;  // streaming path
+  MutexLock lock(mutex_);
+  for (const PoolEntry& entry : pools_) {
+    if (entry.sim_fraction == sim_fraction && entry.frames == frames) {
+      return entry.pool.get();
+    }
+  }
+  PoolEntry entry;
+  entry.sim_fraction = sim_fraction;
+  entry.frames = frames;
+  entry.pool = std::make_unique<TilePool>(columns_, sim_fraction, frames);
+  pools_.push_back(std::move(entry));
+  return pools_.back().pool.get();
+}
+
 PairCodeStore::Plane* PairCodeStore::FindPlane(double sim_fraction) const {
   MutexLock lock(mutex_);
   for (const auto& plane : planes_) {
@@ -163,6 +195,28 @@ std::size_t PairCodeStore::resident_bytes() const {
       total += plane->resident.bytes();
     }
   }
+  for (const PoolEntry& entry : pools_) total += entry.pool->bytes();
+  return total;
+}
+
+std::uint64_t PairCodeStore::tile_hits() const {
+  MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const PoolEntry& entry : pools_) total += entry.pool->hits();
+  return total;
+}
+
+std::uint64_t PairCodeStore::tile_misses() const {
+  MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const PoolEntry& entry : pools_) total += entry.pool->misses();
+  return total;
+}
+
+std::uint64_t PairCodeStore::tile_evictions() const {
+  MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const PoolEntry& entry : pools_) total += entry.pool->evictions();
   return total;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/thread_annotations.h"
 #include "features/pair_feature_kernel.h"
+#include "features/tile_pool.h"
 #include "log/columnar.h"
 
 namespace perfxplain {
@@ -31,9 +32,13 @@ namespace perfxplain {
 /// Memory: a plane costs n² * ceil(k/32) * 8 bytes ≈ n² * k/4 bytes (2
 /// bits per feature per ordered pair; the diagonal is stored too, keeping
 /// addressing branch-free). Acquire refuses to build — and refuses to
-/// return an already-built plane — when that exceeds the caller's budget,
-/// so callers under a memory cap deterministically take their streaming
-/// fallback instead (SimButDiffOptions::pair_code_budget_bytes).
+/// return an already-built plane — when that exceeds the caller's budget.
+/// Budgets between one row tile and a whole plane are no longer a cliff:
+/// AcquireTilePool hands out a buffer pool of pinnable row-tile frames
+/// (TilePool) so the hottest rows stay resident at any fractional budget,
+/// and only a budget under one tile leaves callers on the streaming
+/// fallback (SimButDiffOptions::pair_code_budget_bytes; 0 keeps streaming
+/// as the degenerate case).
 ///
 /// isSame codes depend on the similarity fraction (numeric features), so
 /// planes are keyed by the exact double; engines sharing a snapshot under
@@ -88,6 +93,15 @@ class PairCodeStore {
   /// Bytes a plane of this store's log occupies.
   std::size_t bytes_per_plane() const;
 
+  /// Bytes the store would actually hold resident under `max_bytes`: the
+  /// whole plane when it fits, otherwise the tile-pool frames the budget
+  /// buys — min(rows, floor(max_bytes / TilePool::TileBytes)) frames of
+  /// one row tile each, 0 when the budget buys no frame (pure
+  /// streaming). This per-frame formula replaces the whole-plane one for
+  /// admission control: the charge is what a request can cause to be
+  /// allocated, never the plane a fractional budget will not build.
+  std::size_t ResidentBytesFor(std::size_t max_bytes) const;
+
   /// Returns the resident plane for `sim_fraction`, building it on first
   /// acquisition (parallel pack over row stripes, call_once-guarded;
   /// `build_threads` workers, 0 = hardware concurrency — striping never
@@ -98,6 +112,17 @@ class PairCodeStore {
   /// streams.
   const Resident* Acquire(double sim_fraction, std::size_t max_bytes,
                           int build_threads = 0) const PX_EXCLUDES(mutex_);
+
+  /// The tile pool serving `sim_fraction` under `max_bytes` — the
+  /// page-granular middle path between a resident plane and streaming.
+  /// Created (empty) on first acquisition and shared by every caller with
+  /// the same (fraction, frame count); the pool's frames fill and recycle
+  /// on demand as queries fetch row tiles. Returns nullptr when the whole
+  /// plane fits in `max_bytes` (callers take Acquire's resident plane
+  /// instead) or when the budget buys no frame (callers stream) — so
+  /// exactly one of the three paths applies to a given budget.
+  TilePool* AcquireTilePool(double sim_fraction, std::size_t max_bytes) const
+      PX_EXCLUDES(mutex_);
 
   /// The plane for `sim_fraction` if some earlier Acquire built it,
   /// nullptr otherwise. Never builds.
@@ -118,6 +143,13 @@ class PairCodeStore {
 
   /// Total bytes of all built planes.
   std::size_t resident_bytes() const PX_EXCLUDES(mutex_);
+
+  /// Tile-pool counters summed over every pool of this store (see
+  /// TilePool::hits/misses/evictions). ExplainResponse brackets these so
+  /// a request reports the tile traffic it drove.
+  std::uint64_t tile_hits() const PX_EXCLUDES(mutex_);
+  std::uint64_t tile_misses() const PX_EXCLUDES(mutex_);
+  std::uint64_t tile_evictions() const PX_EXCLUDES(mutex_);
 
  private:
   /// One similarity fraction's plane entry. The registry mutex guards only
@@ -141,9 +173,20 @@ class PairCodeStore {
 
   void Build(Plane* plane, int threads) const;
 
+  /// One tile pool per (fraction, frame count) an engine's budget maps
+  /// to. Entries are never erased (stable unique_ptrs, like planes_), so
+  /// the returned pool outlives the registry lock; the pool is internally
+  /// synchronized.
+  struct PoolEntry {
+    double sim_fraction = 0.0;
+    std::size_t frames = 0;
+    std::unique_ptr<TilePool> pool;
+  };
+
   const ColumnarLog* columns_;
-  mutable Mutex mutex_;  ///< guards `planes_` (the registry only)
+  mutable Mutex mutex_;  ///< guards the registries `planes_` and `pools_`
   mutable std::vector<std::unique_ptr<Plane>> planes_ PX_GUARDED_BY(mutex_);
+  mutable std::vector<PoolEntry> pools_ PX_GUARDED_BY(mutex_);
   mutable std::atomic<std::uint64_t> builds_{0};
 };
 

@@ -1,0 +1,128 @@
+#include "features/tile_pool.h"
+
+#include <mutex>
+
+#include "common/cancel.h"
+#include "common/logging.h"
+
+namespace perfxplain {
+
+TilePool::TilePool(const ColumnarLog* columns, double sim_fraction,
+                   std::size_t frames)
+    : table_(*columns),
+      sim_fraction_(sim_fraction),
+      rows_(columns->rows()),
+      words_((columns->schema().size() + kernel::kPackedFeaturesPerWord - 1) /
+             kernel::kPackedFeaturesPerWord),
+      tile_words_(rows_ * words_),
+      frame_count_(frames),
+      data_(frames * tile_words_, 0),
+      page_table_(rows_, kNoFrame),
+      frames_(frames),
+      replacer_(frames) {
+  // `columns` was dereferenced in the init list; the owning PairCodeStore
+  // validated it at its own construction.
+  PX_CHECK(frames > 0);
+  free_frames_.reserve(frames);
+  // Popped from the back, so frames are claimed in index order.
+  for (std::size_t f = frames; f > 0; --f) free_frames_.push_back(f - 1);
+}
+
+std::size_t TilePool::TileBytes(std::size_t rows, std::size_t features) {
+  const std::size_t words =
+      (features + kernel::kPackedFeaturesPerWord - 1) /
+      kernel::kPackedFeaturesPerWord;
+  return rows * words * sizeof(std::uint64_t);
+}
+
+void TilePool::BuildTile(std::size_t row, std::uint64_t* dst) const {
+  // One checkpoint per tile — the same cadence as the plane build's
+  // per-row loop, so a deadline or cancellation interrupts a cold sweep
+  // promptly.
+  ThrowIfInterrupted();
+  for (std::size_t j = 0; j < rows_; ++j) {
+    kernel::PackIsSameCodesRaw(table_, row, j, sim_fraction_,
+                               dst + j * words_);
+  }
+}
+
+// Fetch waits on cv_ through mutex_.native(), which the thread-safety
+// analysis cannot follow (common/thread_annotations.h documents this
+// interop pattern); all guarded state is still only touched while the
+// unique_lock is held, and the TSan CI job covers the build/publish
+// handoff.
+TilePool::TileRef TilePool::Fetch(std::size_t row, Admission admission)
+    PX_NO_THREAD_SAFETY_ANALYSIS {
+  PX_CHECK(row < rows_);
+  std::unique_lock<std::mutex> lock(mutex_.native());
+  for (;;) {
+    const std::int32_t mapped = page_table_[row];
+    if (mapped != kNoFrame) {
+      const std::size_t f = static_cast<std::size_t>(mapped);
+      Frame& frame = frames_[f];
+      if (frame.state == FrameState::kReady) {
+        if (frame.pin_count++ == 0) replacer_.Pin(f);
+        frame.hot = true;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return TileRef(this, f, frame_words(f));
+      }
+      // Another thread is building this row's tile; wait for its kReady
+      // publication (or for the rollback that unmaps the row).
+      cv_.wait(lock);
+      continue;
+    }
+    std::size_t frame = 0;
+    if (!free_frames_.empty()) {
+      frame = free_frames_.back();
+      free_frames_.pop_back();
+    } else if (admission == Admission::kEvict && replacer_.Victim(&frame)) {
+      page_table_[frames_[frame].row] = kNoFrame;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // No admissible frame — every frame pinned or mid-build, or the
+      // caller asked not to evict for a first touch: the caller streams
+      // this row through the packing kernels instead of blocking on
+      // capacity or flushing a resident tile.
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return TileRef();
+    }
+    Frame& claimed = frames_[frame];
+    claimed.row = row;
+    claimed.pin_count = 1;
+    claimed.state = FrameState::kBuilding;
+    claimed.hot = false;
+    page_table_[row] = static_cast<std::int32_t>(frame);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t* dst = frame_words(frame);
+    lock.unlock();
+    try {
+      BuildTile(row, dst);
+    } catch (...) {
+      // An interrupted build rolls the frame back to free exactly as if
+      // never claimed, and wakes fetchers of this row blocked on it; the
+      // next fetch rebuilds from scratch.
+      lock.lock();
+      page_table_[row] = kNoFrame;
+      claimed.state = FrameState::kFree;
+      claimed.pin_count = 0;
+      free_frames_.push_back(frame);
+      lock.unlock();
+      cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    claimed.state = FrameState::kReady;
+    lock.unlock();
+    cv_.notify_all();
+    return TileRef(this, frame, dst);
+  }
+}
+
+void TilePool::Unpin(std::size_t frame) {
+  MutexLock lock(mutex_);
+  Frame& f = frames_[frame];
+  PX_CHECK(f.pin_count > 0);
+  if (--f.pin_count == 0) replacer_.Unpin(frame, f.hot);
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,204 @@
+#ifndef PERFXPLAIN_FEATURES_TILE_POOL_H_
+#define PERFXPLAIN_FEATURES_TILE_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "features/lru_replacer.h"
+#include "features/pair_feature_kernel.h"
+#include "log/columnar.h"
+
+namespace perfxplain {
+
+/// A buffer pool of pair-code row tiles: the page-granular middle ground
+/// between the PairCodeStore's fully resident plane and its streaming
+/// fallback. One pool serves one (ColumnarLog, similarity fraction) at a
+/// fixed frame count; each frame holds one row's complete tile — the n
+/// packed isSame vectors of that row's ordered pairs (i, 0..n-1),
+/// word-for-word what Resident::pair_words(i, ·) would hold — so any
+/// budget between one tile and the whole plane keeps the hottest rows
+/// resident while cold rows stream through the bitwise-identical packing
+/// kernels.
+///
+/// Frame lifecycle (the classic buffer_pool_manager discipline): Fetch on
+/// a resident row pins its frame and returns a TileRef; a miss claims a
+/// free frame or evicts the LruReplacer's victim (only unpinned frames
+/// are evictable), builds the tile into the frame outside the pool lock,
+/// and publishes it to concurrent fetchers of the same row, who wait on
+/// the pool's condition variable rather than building twice. When every
+/// frame is pinned or mid-build, Fetch returns an invalid TileRef and the
+/// caller packs that row into private scratch — never blocking on
+/// capacity, never changing any result. TileRef unpins on destruction;
+/// a pin count reaching zero re-enters the replacer (warm if the tile was
+/// ever re-referenced after its build, cold otherwise — see LruReplacer
+/// on scan resistance).
+///
+/// A tile's content is a pure function of the immutable columns, the
+/// similarity fraction and the row, so rebuilding an evicted tile
+/// reproduces it bit for bit: eviction order, budget and thread count are
+/// never observable in explanations — the property the randomized
+/// eviction-equivalence suites pin.
+///
+/// Memory: frame_count() frames of TileBytes(rows, features) = n ·
+/// ceil(k/32) · 8 bytes each, allocated once at construction (plus O(n)
+/// page-table and O(frames) metadata); per-frame charging replaces the
+/// whole-plane formula when a budget is smaller than a plane.
+///
+/// Thread safety: Fetch and TileRef release are safe from any number of
+/// threads. The page table, frame metadata, free list and replacer are
+/// guarded by one pool mutex; tile words are written only by the frame's
+/// building thread (the frame is pinned and unmapped-for-eviction while
+/// kBuilding) and read only after a kReady transition under the mutex —
+/// the condition-variable interop sites carry
+/// PX_NO_THREAD_SAFETY_ANALYSIS per common/thread_annotations.h, and the
+/// TSan CI job covers the build/publish handoff the analysis cannot see.
+///
+/// A cancelled or deadline-expired build (ThrowIfInterrupted firing
+/// mid-pack) rolls the frame back to free and wakes waiters before the
+/// exception propagates, so the pool keeps serving and the next fetch of
+/// that row rebuilds from scratch.
+class TilePool {
+ public:
+  /// `columns` must outlive the pool (the PairCodeStore registry owns the
+  /// pool next to its planes). `frames` must be at least 1.
+  TilePool(const ColumnarLog* columns, double sim_fraction,
+           std::size_t frames);
+
+  TilePool(const TilePool&) = delete;
+  TilePool& operator=(const TilePool&) = delete;
+
+  /// Bytes one row tile of a (rows, features) log occupies — the
+  /// per-frame unit of the budget formula (a plane is rows of these).
+  static std::size_t TileBytes(std::size_t rows, std::size_t features);
+
+  /// A pinned row tile. While a valid TileRef lives, words() points at
+  /// the row's n packed pair vectors (pair (row, j) at words() + j *
+  /// word_count()) and the frame cannot be evicted. Unpins on destruction
+  /// or Release(); movable, not copyable.
+  class TileRef {
+   public:
+    TileRef() = default;
+    TileRef(TileRef&& other) noexcept { *this = std::move(other); }
+    TileRef& operator=(TileRef&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        frame_ = other.frame_;
+        words_ = other.words_;
+        other.pool_ = nullptr;
+        other.words_ = nullptr;
+      }
+      return *this;
+    }
+    TileRef(const TileRef&) = delete;
+    TileRef& operator=(const TileRef&) = delete;
+    ~TileRef() { Release(); }
+
+    bool valid() const { return pool_ != nullptr; }
+    const std::uint64_t* words() const { return words_; }
+
+    /// Unpins now (idempotent).
+    void Release() {
+      if (pool_ != nullptr) pool_->Unpin(frame_);
+      pool_ = nullptr;
+      words_ = nullptr;
+    }
+
+   private:
+    friend class TilePool;
+    TileRef(TilePool* pool, std::size_t frame, const std::uint64_t* words)
+        : pool_(pool), frame_(frame), words_(words) {}
+
+    TilePool* pool_ = nullptr;
+    std::size_t frame_ = 0;
+    const std::uint64_t* words_ = nullptr;
+  };
+
+  /// Frame-claiming policy on a miss. kEvict (the default) is the full
+  /// buffer-pool discipline: claim a free frame or evict the replacer's
+  /// victim. kFreeOnly claims only a free frame and never evicts — the
+  /// scan paths use it so that a sweep wider than the pool streams its
+  /// cold rows through the cheap fused kernels instead of churning
+  /// evict-and-rebuild cycles (a tile build packs every pair of the row
+  /// with no early exit, so rebuilding tiles that will be evicted before
+  /// reuse costs more than streaming the row ever would).
+  enum class Admission { kEvict, kFreeOnly };
+
+  /// Pins row `row`'s tile, building it into a frame claimed under
+  /// `admission` on a miss. Invalid TileRef when no frame can be claimed
+  /// (every frame pinned or mid-build, or kFreeOnly with no free frame) —
+  /// the caller streams that row. May throw InterruptedError from the
+  /// build's cancellation checkpoint; the claimed frame is rolled back
+  /// first.
+  TileRef Fetch(std::size_t row, Admission admission = Admission::kEvict);
+
+  std::size_t rows() const { return rows_; }
+  /// Words per pair vector: ceil(features / kPackedFeaturesPerWord).
+  std::size_t word_count() const { return words_; }
+  std::size_t frame_count() const { return frame_count_; }
+  double sim_fraction() const { return sim_fraction_; }
+  /// Bytes of the frame arena (frame_count() tiles, resident whether or
+  /// not currently mapped).
+  std::size_t bytes() const {
+    return data_.size() * sizeof(std::uint64_t);
+  }
+
+  /// Monotone counters: fetches served by a resident tile, fetches that
+  /// built one (misses), and tiles evicted to make room. A fetch that
+  /// found no claimable frame counts as a miss with no build.
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class FrameState : std::uint8_t { kFree, kBuilding, kReady };
+  struct Frame {
+    std::size_t row = 0;
+    std::uint32_t pin_count = 0;
+    FrameState state = FrameState::kFree;
+    /// Re-referenced after its build — decides the replacer insertion end.
+    bool hot = false;
+  };
+
+  static constexpr std::int32_t kNoFrame = -1;
+
+  std::uint64_t* frame_words(std::size_t frame) {
+    return data_.data() + frame * tile_words_;
+  }
+
+  /// Packs row `row`'s whole tile into `dst` — exactly the plane build's
+  /// per-row loop. Runs outside the pool lock.
+  void BuildTile(std::size_t row, std::uint64_t* dst) const;
+
+  void Unpin(std::size_t frame) PX_EXCLUDES(mutex_);
+
+  const kernel::RawColumnTable table_;  ///< view over the caller's columns
+  const double sim_fraction_;
+  const std::size_t rows_;
+  const std::size_t words_;       ///< per pair vector
+  const std::size_t tile_words_;  ///< per frame: rows_ * words_
+  const std::size_t frame_count_;
+  std::vector<std::uint64_t> data_;  ///< frame arena, fixed at construction
+
+  mutable Mutex mutex_;
+  std::condition_variable cv_;  ///< waits on mutex_.native(): kBuilding -> *
+  std::vector<std::int32_t> page_table_ PX_GUARDED_BY(mutex_);  ///< row->frame
+  std::vector<Frame> frames_ PX_GUARDED_BY(mutex_);
+  std::vector<std::size_t> free_frames_ PX_GUARDED_BY(mutex_);
+  LruReplacer replacer_ PX_GUARDED_BY(mutex_);
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_FEATURES_TILE_POOL_H_

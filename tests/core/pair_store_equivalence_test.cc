@@ -8,10 +8,8 @@
 
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <thread>
 
-#include "common/random.h"
 #include "common/string_util.h"
 #include "core/engine.h"
 #include "core/pair_enumeration.h"
@@ -23,37 +21,15 @@ namespace {
 
 using testing::GtVsSimQuery;
 
-/// Randomized log with the awkward payloads (mirrors
-/// baseline_equivalence_test.cc).
+/// Randomized log with the awkward payloads — the baseline shape of the
+/// shared adversarial builder (testing::AdversarialLog), which the
+/// tile-pool and result-cache suites sweep across all its shapes.
 ExecutionLog AwkwardRandomLog(std::uint64_t seed, std::size_t n) {
-  Schema schema;
-  PX_CHECK(schema.Add("x", ValueKind::kNumeric).ok());
-  PX_CHECK(schema.Add("color", ValueKind::kNominal).ok());
-  PX_CHECK(schema.Add("y", ValueKind::kNumeric).ok());
-  PX_CHECK(schema.Add("duration", ValueKind::kNumeric).ok());
-  ExecutionLog log(schema);
-  Rng rng(seed);
-  const char* colors[] = {"red", "blue", "re,d"};
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<Value> values;
-    values.push_back(rng.Bernoulli(0.15)
-                         ? Value::Missing()
-                         : Value::Number(rng.UniformInt(0, 3)));
-    values.push_back(rng.Bernoulli(0.15)
-                         ? Value::Missing()
-                         : Value::Nominal(colors[rng.UniformInt(0, 2)]));
-    double y = rng.Uniform(0.0, 10.0);
-    if (rng.Bernoulli(0.1)) y = 0.0;
-    if (rng.Bernoulli(0.05)) y = std::nan("");
-    values.push_back(Value::Number(y));
-    values.push_back(rng.Bernoulli(0.1)
-                         ? Value::Missing()
-                         : Value::Number(rng.Uniform(50.0, 200.0)));
-    PX_CHECK(log.Add(ExecutionRecord(StrFormat("r%03zu", i),
-                                     std::move(values)))
-                 .ok());
-  }
-  return log;
+  testing::AdversarialLogSpec spec;
+  spec.name = "awkward";
+  spec.seed = seed;
+  spec.rows = n;
+  return testing::AdversarialLog(spec);
 }
 
 /// Fills the query's pair-of-interest ids, or returns false.

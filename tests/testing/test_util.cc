@@ -1,5 +1,7 @@
 #include "testing/test_util.h"
 
+#include <cmath>
+
 #include "common/random.h"
 #include "common/string_util.h"
 #include "pxql/parser.h"
@@ -43,6 +45,76 @@ ExecutionLog CausalLog(std::size_t n, std::uint64_t seed) {
                  .ok());
   }
   return log;
+}
+
+ExecutionLog AdversarialLog(const AdversarialLogSpec& spec) {
+  Schema schema;
+  PX_CHECK(schema.Add("x", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("color", ValueKind::kNominal).ok());
+  PX_CHECK(schema.Add("y", ValueKind::kNumeric).ok());
+  PX_CHECK(schema.Add("duration", ValueKind::kNumeric).ok());
+  ExecutionLog log(schema);
+  Rng rng(spec.seed);
+  const char* colors[] = {"red", "blue", "re,d"};
+  for (std::size_t i = 0; i < spec.rows; ++i) {
+    std::vector<Value> values;
+    values.push_back(rng.Bernoulli(0.15)
+                         ? Value::Missing()
+                         : Value::Number(rng.UniformInt(0, 3)));
+    if (spec.giant_dictionary) {
+      values.push_back(Value::Nominal(StrFormat("word%05zu", i)));
+    } else {
+      values.push_back(rng.Bernoulli(0.15)
+                           ? Value::Missing()
+                           : Value::Nominal(colors[rng.UniformInt(0, 2)]));
+    }
+    if (spec.all_missing_column) {
+      values.push_back(Value::Missing());
+    } else {
+      double y = rng.Uniform(0.0, 10.0);
+      if (rng.Bernoulli(0.1)) y = 0.0;
+      if (rng.Bernoulli(0.05)) y = std::nan("");
+      values.push_back(Value::Number(y));
+    }
+    values.push_back(rng.Bernoulli(0.1)
+                         ? Value::Missing()
+                         : Value::Number(rng.Uniform(50.0, 200.0)));
+    const std::string id = StrFormat("r%03zu", i);
+    PX_CHECK(log.Add(ExecutionRecord(id, values)).ok());
+    if (spec.duplicated_rows) {
+      // A literally duplicate execution id must be rejected ...
+      PX_CHECK(!log.Add(ExecutionRecord(id, values)).ok());
+      // ... so the duplicate VALUES ride under a fresh id instead.
+      PX_CHECK(
+          log.Add(ExecutionRecord(StrFormat("d%03zu", i), values)).ok());
+    }
+  }
+  return log;
+}
+
+std::vector<AdversarialLogSpec> AdversarialLogSpecs() {
+  std::vector<AdversarialLogSpec> specs;
+  AdversarialLogSpec baseline;
+  baseline.name = "baseline";
+  specs.push_back(baseline);
+  AdversarialLogSpec duplicated = baseline;
+  duplicated.name = "duplicate-rows";
+  duplicated.duplicated_rows = true;
+  duplicated.rows = 12;  // doubled by the builder
+  specs.push_back(duplicated);
+  AdversarialLogSpec missing = baseline;
+  missing.name = "all-missing-column";
+  missing.all_missing_column = true;
+  specs.push_back(missing);
+  AdversarialLogSpec single = baseline;
+  single.name = "single-row";
+  single.rows = 1;
+  specs.push_back(single);
+  AdversarialLogSpec giant = baseline;
+  giant.name = "giant-dictionary";
+  giant.giant_dictionary = true;
+  specs.push_back(giant);
+  return specs;
 }
 
 Query GtVsSimQuery(const std::string& despite_text) {

@@ -34,6 +34,36 @@ ExecutionLog CausalLog(std::size_t n, std::uint64_t seed);
 /// duration_compare = SIM" with an optional despite text, bound to nothing.
 Query GtVsSimQuery(const std::string& despite_text = "");
 
+/// One adversarial log shape for the eviction-equivalence and result-cache
+/// suites — logs chosen to stress the paths a benign random log never
+/// touches (see AdversarialLogs() for the named set).
+struct AdversarialLogSpec {
+  std::string name;       ///< test-failure label
+  std::size_t rows = 24;
+  std::uint64_t seed = 7;
+  /// Every record's values appear twice under distinct ids (stresses
+  /// tie-breaking among identical pairs); the builder also verifies that a
+  /// literally duplicate execution id is rejected by ExecutionLog::Add.
+  bool duplicated_rows = false;
+  /// One numeric column is Missing in every record (a feature no pair can
+  /// ever agree on via a value).
+  bool all_missing_column = false;
+  /// The nominal column holds a distinct value per record — one giant
+  /// dictionary, so no two pairs share a nominal isSame=T via equality.
+  bool giant_dictionary = false;
+};
+
+/// Builds the log of `spec`: schema x (numeric), color (nominal),
+/// y (numeric), duration (numeric) with Missing/NaN/comma-bearing payloads
+/// sprinkled like the equivalence suites' awkward logs, reshaped per the
+/// spec's toggles. Ids are "r000".."rNNN" ("d000".. for duplicated rows).
+ExecutionLog AdversarialLog(const AdversarialLogSpec& spec);
+
+/// The named set both suites iterate: "baseline" (awkward payloads only),
+/// "duplicate-rows", "all-missing-column", "single-row" (rows = 1) and
+/// "giant-dictionary".
+std::vector<AdversarialLogSpec> AdversarialLogSpecs();
+
 /// Parses predicate text or dies.
 Predicate MustPredicate(const std::string& text);
 

@@ -31,6 +31,7 @@ usage:
                      [--auto-despite] [--prose] [--threads N]
                      [--deadline-ms N] [--max-candidate-pairs N]
                      [--max-pair-store-bytes N] [--max-training-cells N]
+                     [--pair-code-budget-bytes N] [--result-cache-bytes N]
   perfxplain despite --log FILE --query PXQL [--width N] [--threads N]
   perfxplain help
 
@@ -47,6 +48,13 @@ a DeadlineExceeded error (0 = no deadline). The --max-* options set the
 engine's admission-control limits (EngineLimits, 0 = unlimited); a request
 whose estimated cost exceeds a limit is rejected up front with a
 ResourceExhausted error carrying the estimate.
+
+--pair-code-budget-bytes N caps the memory the SimButDiff pair-code store
+may hold resident (default 256 MiB): the whole packed plane when it fits,
+a buffer pool of hot row tiles at fractional budgets, pure streaming at 0.
+Results are bitwise identical at every budget. --result-cache-bytes N
+(default 0 = off) enables a result cache of that many bytes: a repeated
+query in one invocation is answered from the cache without any scan.
 
 A PXQL query names its pair of interest and three predicates:
   FOR J1, J2 WHERE J1.JobID = 'job_000054' AND J2.JobID = 'job_000000'
@@ -262,10 +270,18 @@ void PrintResponse(std::ostream& out, const ParsedArgs& args,
         response.metrics->relevance, response.metrics->precision,
         response.metrics->generality);
   }
-  out << StrFormat("time: explain %.1f ms%s  evaluate %.1f ms\n",
+  out << StrFormat("time: explain %.1f ms%s%s  evaluate %.1f ms\n",
                    response.explain_ms,
                    response.batched ? " (amortized batch share)" : "",
+                   response.result_cache_hit ? " (result cache hit)" : "",
                    response.evaluate_ms);
+  if (response.tile_hits + response.tile_misses + response.tile_evictions >
+      0) {
+    out << StrFormat("tiles: %llu hits  %llu misses  %llu evictions\n",
+                     static_cast<unsigned long long>(response.tile_hits),
+                     static_cast<unsigned long long>(response.tile_misses),
+                     static_cast<unsigned long long>(response.tile_evictions));
+  }
 }
 
 int RunExplain(const ParsedArgs& args, std::ostream& out) {
@@ -304,6 +320,18 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
     return Fail(out,
                 Status::InvalidArgument("--max-training-cells must be >= 0"));
   }
+  auto pair_budget = IntOption(args, "pair-code-budget-bytes",
+                               static_cast<long long>(
+                                   SimButDiffOptions{}.pair_code_budget_bytes));
+  if (!pair_budget.ok() || *pair_budget < 0) {
+    return Fail(out, Status::InvalidArgument(
+                         "--pair-code-budget-bytes must be >= 0"));
+  }
+  auto cache_bytes = IntOption(args, "result-cache-bytes", 0);
+  if (!cache_bytes.ok() || *cache_bytes < 0) {
+    return Fail(out, Status::InvalidArgument(
+                         "--result-cache-bytes must be >= 0"));
+  }
 
   auto log = ExecutionLog::LoadCsv(*path);
   if (!log.ok()) return Fail(out, log.status());
@@ -316,6 +344,9 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
   options.limits.max_candidate_pairs = static_cast<std::size_t>(*max_pairs);
   options.limits.max_pair_store_bytes = static_cast<std::size_t>(*max_store);
   options.limits.max_training_cells = static_cast<std::size_t>(*max_cells);
+  options.sim_but_diff.pair_code_budget_bytes =
+      static_cast<std::size_t>(*pair_budget);
+  options.result_cache_bytes = static_cast<std::size_t>(*cache_bytes);
   const Engine engine(std::move(log).value(), options);
 
   ExplainRequest request;

@@ -90,6 +90,7 @@ CHECKPOINT_REGISTRY = [
     ("src/core/pair_enumeration.cc", "FindPairOfInterest"),
     ("src/core/sim_but_diff.cc", "SimButDiff::ExplainPrepared"),
     ("src/features/pair_code_store.cc", "PairCodeStore::Build"),
+    ("src/features/tile_pool.cc", "TilePool::BuildTile"),
     ("src/ml/relief.cc", "RRelieffStripedImpl"),
     ("src/ml/decision_tree.cc", "DecisionTree::BuildEncoded"),
     ("src/ml/decision_tree.cc", "DecisionTree::Build"),
