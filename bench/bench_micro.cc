@@ -7,7 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -16,6 +21,7 @@
 #include "harness.h"
 #include "log/catalog.h"
 #include "ml/relief.h"
+#include "serving/live_engine.h"
 #include "simulator/trace_generator.h"
 
 namespace px = perfxplain;
@@ -589,6 +595,141 @@ void BM_ScoreBlendAblation(benchmark::State& state) {
                                weight, precision, generality));
 }
 BENCHMARK(BM_ScoreBlendAblation)->Arg(100)->Arg(80)->Arg(50);
+
+/// A fresh record for the fixture schema, values borrowed from an
+/// existing row so the append stream looks like real traffic.
+px::ExecutionRecord LiveRecord(const px::ExecutionLog& log, std::size_t k) {
+  px::ExecutionRecord record = log.at(k % log.size());
+  record.id = "live_" + std::to_string(k);
+  return record;
+}
+
+/// Serving latency while ingesting (the HTAP contract): a fixed count of
+/// SimButDiff explains through a LiveEngine, with (arg 1) or without
+/// (arg 0) a writer thread appending records and a background promoter
+/// rotating snapshots every 32 staged rows. Reported as p50_ms / p99_ms
+/// counters over the explain stream — the acceptance bound is p99 while
+/// appending within 2x of the quiet baseline.
+void BM_IngestWhileServing(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const bool ingesting = state.range(0) != 0;
+  px::RotationPolicy policy;
+  policy.max_delta_rows = 32;
+  policy.promoter_poll_ms = 1;
+  px::EngineOptions options;
+  options.sim_but_diff.threads = 1;
+  px::LiveEngine live(fixture.log, options, policy);
+  px::ExplainRequest request;
+  request.technique = px::Technique::kSimButDiff;
+  request.width = 3;
+  {
+    // Warm the first generation's plane so the quiet baseline is
+    // steady-state serving, not a first-touch build.
+    auto prepared = live.Prepare(fixture.query);
+    PX_CHECK(prepared.ok());
+    auto warm = live.Explain(*prepared, request);
+    PX_CHECK(warm.ok()) << warm.status().ToString();
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  if (ingesting) {
+    live.StartPromoter();
+    writer = std::thread([&live, &fixture, &stop] {
+      // Bounded stream: the served log grows by at most ~12% so explain
+      // cost stays comparable to the quiet baseline's fixed log, paced at
+      // one record per millisecond so promotions land mid-stream.
+      const std::size_t cap = fixture.log.size() / 8;
+      for (std::size_t k = 0; k < cap && !stop.load(); ++k) {
+        PX_CHECK(live.Append(LiveRecord(fixture.log, k)).ok());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  std::vector<double> latencies_ms;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    // Re-prepare per request: rotation retires generations underneath us,
+    // and re-preparing is what a live client does.
+    auto prepared = live.Prepare(fixture.query);
+    PX_CHECK(prepared.ok());
+    auto response = live.Explain(*prepared, request);
+    PX_CHECK(response.ok()) << response.status().ToString();
+    benchmark::DoNotOptimize(response);
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  stop.store(true);
+  if (writer.joinable()) writer.join();
+  if (ingesting) live.StopPromoter();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto percentile = [&latencies_ms](double q) {
+    const std::size_t index = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[index];
+  };
+  state.counters["p50_ms"] = percentile(0.50);
+  state.counters["p99_ms"] = percentile(0.99);
+  state.SetLabel(px::StrFormat(
+      "%s rotations=%llu", ingesting ? "ingesting" : "quiet",
+      static_cast<unsigned long long>(live.rotations())));
+}
+BENCHMARK(BM_IngestWhileServing)->Arg(0)->Arg(1)->Iterations(512)
+    ->Unit(benchmark::kMillisecond);
+
+/// Incremental promotion vs cold rebuild at several delta fractions:
+/// args are {delta_percent, incremental}. One iteration builds the grown
+/// snapshot (columns + resident pair plane) either by extending the warm
+/// base generation (LogSnapshot extension ctor + AcquireSeeded) or from
+/// scratch (cold ctor + Acquire). The acceptance bound is >= 2x at a
+/// <= 25% delta; both paths are bitwise identical (the
+/// PromotionEquivalence suites pin that).
+void BM_SnapshotPromotion(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const std::size_t delta_percent =
+      static_cast<std::size_t>(state.range(0));
+  const bool incremental = state.range(1) != 0;
+  const px::ExecutionLog& full = fixture.log;
+  const std::size_t base_rows =
+      full.size() - full.size() * delta_percent / 100;
+  px::ExecutionLog base_log(full.schema());
+  for (std::size_t i = 0; i < base_rows; ++i) {
+    PX_CHECK(base_log.Add(full.at(i)).ok());
+  }
+  const double sim = px::SimButDiffOptions{}.pair.sim_fraction;
+  const std::size_t budget =
+      px::PairCodeStore::BytesNeeded(full.size(), full.schema().size());
+  const px::LogSnapshot base(std::move(base_log));
+  const px::PairCodeStore::Resident* base_plane =
+      base.pair_codes().Acquire(
+          sim,
+          px::PairCodeStore::BytesNeeded(base.log().size(),
+                                         full.schema().size()),
+          1);
+  PX_CHECK(base_plane != nullptr);
+
+  for (auto _ : state) {
+    if (incremental) {
+      const px::LogSnapshot grown(full, base);
+      benchmark::DoNotOptimize(
+          grown.pair_codes().AcquireSeeded(sim, *base_plane, budget, 1));
+    } else {
+      const px::LogSnapshot cold(full);
+      benchmark::DoNotOptimize(cold.pair_codes().Acquire(sim, budget, 1));
+    }
+  }
+  state.SetLabel(px::StrFormat("delta=%zu%% %s", delta_percent,
+                               incremental ? "incremental" : "cold"));
+}
+BENCHMARK(BM_SnapshotPromotion)
+    ->Args({5, 1})->Args({5, 0})
+    ->Args({25, 1})->Args({25, 0})
+    ->Args({50, 1})->Args({50, 0})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

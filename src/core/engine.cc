@@ -290,6 +290,7 @@ Result<ExplainResponse> Engine::Explain(const PreparedQuery& prepared,
     if (auto cached = result_cache_->Get(cache_key); cached.has_value()) {
       ExplainResponse response;
       response.technique = request.technique;
+      response.snapshot_id = snapshot_->id();
       response.explanation = std::move(cached->explanation);
       response.metrics = std::move(cached->metrics);
       response.explain_ms = MsSince(lookup_start);
@@ -315,6 +316,7 @@ Result<ExplainResponse> Engine::Explain(const PreparedQuery& prepared,
     if (!explanation.ok()) return explanation.status();
     ExplainResponse response;
     response.technique = request.technique;
+    response.snapshot_id = snapshot_->id();
     response.explanation = std::move(explanation).value();
     response.explain_ms = MsSince(start);
     if (sim_but_diff) {
@@ -392,6 +394,7 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
           cached.has_value()) {
         ExplainResponse response;
         response.technique = item.request.technique;
+        response.snapshot_id = snapshot_->id();
         response.explanation = std::move(cached->explanation);
         response.metrics = std::move(cached->metrics);
         response.explain_ms = MsSince(lookup_start);
@@ -469,6 +472,7 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
       }
       ExplainResponse response;
       response.technique = Technique::kSimButDiff;
+      response.snapshot_id = snapshot_->id();
       response.explanation = std::move(results[b]).value();
       response.explain_ms = amortized_ms;
       response.batched = true;
@@ -536,36 +540,76 @@ std::vector<Result<ExplainResponse>> Engine::ExplainBatch(
     if (scan.overflowed) continue;
     const double scan_share_ms =
         MsSince(scan_start) / static_cast<double>(group.size());
+    // Second amortization seam (the former ROADMAP carried item): within a
+    // shape group, the encoded training matrix depends only on (scan,
+    // effective seed, pair of interest) — the sampler settings, diversity
+    // cap, balanced flag and sim_fraction are engine-fixed, and
+    // per-request overrides touch only width/seed/threads. Requests
+    // agreeing on (seed, poi) therefore replay identical sampling draws
+    // and encode the identical matrix; build it once per sub-group and
+    // run only the width-dependent clause generation per request.
+    std::vector<std::vector<std::size_t>> matrix_groups;
     for (std::size_t i : group) {
       const BatchItem& item = items[i];
-      handled[i] = true;
-      const ExplainerOptions explainer_options =
-          ExplainerOptionsFor(item.request);
-      const Clock::time_point start = Clock::now();
-      auto explanation = explainer_->ExplainPreparedWithScan(
-          item.prepared->bound(), scan, item.prepared->poi_first(),
-          item.prepared->poi_second(), explainer_options);
-      if (!explanation.ok()) {
-        responses[i] = explanation.status();
-        continue;
+      const std::uint64_t seed =
+          item.request.seed.value_or(options_.explainer.seed);
+      std::size_t m = 0;
+      for (; m < matrix_groups.size(); ++m) {
+        const BatchItem& seen = items[matrix_groups[m].front()];
+        const std::uint64_t seen_seed =
+            seen.request.seed.value_or(options_.explainer.seed);
+        if (seen_seed == seed &&
+            seen.prepared->poi_first() == item.prepared->poi_first() &&
+            seen.prepared->poi_second() == item.prepared->poi_second()) {
+          break;
+        }
       }
-      ExplainResponse response;
-      response.technique = Technique::kPerfXplain;
-      response.explanation = std::move(explanation).value();
-      response.explain_ms = scan_share_ms + MsSince(start);
-      response.batched = true;
-      if (Status evaluated = AttachEvaluation(*item.prepared, item.request,
-                                              &response);
-          !evaluated.ok()) {
-        responses[i] = evaluated;
-        continue;
+      if (m == matrix_groups.size()) matrix_groups.emplace_back();
+      matrix_groups[m].push_back(i);
+    }
+    for (const std::vector<std::size_t>& matrix_group : matrix_groups) {
+      const BatchItem& lead = items[matrix_group.front()];
+      const Clock::time_point sample_start = Clock::now();
+      auto examples = explainer_->BuildEncodedExamplesFromScan(
+          lead.prepared->bound(), scan, lead.prepared->poi_first(),
+          lead.prepared->poi_second(), ExplainerOptionsFor(lead.request));
+      const double sample_share_ms =
+          MsSince(sample_start) / static_cast<double>(matrix_group.size());
+      for (std::size_t i : matrix_group) {
+        const BatchItem& item = items[i];
+        handled[i] = true;
+        if (!examples.ok()) {
+          responses[i] = examples.status();
+          continue;
+        }
+        const ExplainerOptions explainer_options =
+            ExplainerOptionsFor(item.request);
+        const Clock::time_point start = Clock::now();
+        auto explanation = explainer_->ExplainPreparedWithExamples(
+            item.prepared->bound(), examples.value(), explainer_options);
+        if (!explanation.ok()) {
+          responses[i] = explanation.status();
+          continue;
+        }
+        ExplainResponse response;
+        response.technique = Technique::kPerfXplain;
+        response.snapshot_id = snapshot_->id();
+        response.explanation = std::move(explanation).value();
+        response.explain_ms = scan_share_ms + sample_share_ms + MsSince(start);
+        response.batched = true;
+        if (Status evaluated = AttachEvaluation(*item.prepared, item.request,
+                                                &response);
+            !evaluated.ok()) {
+          responses[i] = evaluated;
+          continue;
+        }
+        if (result_cache_ != nullptr && !cache_keys[i].empty()) {
+          result_cache_->Put(cache_keys[i],
+                             ResultCache::Value{response.explanation,
+                                                response.metrics});
+        }
+        responses[i] = std::move(response);
       }
-      if (result_cache_ != nullptr && !cache_keys[i].empty()) {
-        result_cache_->Put(cache_keys[i],
-                           ResultCache::Value{response.explanation,
-                                              response.metrics});
-      }
-      responses[i] = std::move(response);
     }
   }
 

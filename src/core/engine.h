@@ -51,6 +51,24 @@ class LogSnapshot {
         columns_(log_),
         pair_codes_(&columns_) {}
 
+  /// Incremental promotion: a snapshot of `log` that extends `base`.
+  /// `log` must be base's log plus appended records — same schema, first
+  /// base.log().size() records identical and in the same order (the
+  /// delta-log promoter constructs exactly this). The columnar replica
+  /// copies base's columns and ingests only the new rows; append-only
+  /// interning keeps every dictionary code identical, so the result is
+  /// bitwise indistinguishable from LogSnapshot(log) built cold at the
+  /// cost of the delta only. The pair-code store starts cold either way
+  /// (planes build lazily); the promoter re-warms it from base's built
+  /// plane via PairCodeStore::AcquireSeeded, which copies old-row tiles
+  /// and packs only pairs touching new rows.
+  LogSnapshot(ExecutionLog log, const LogSnapshot& base)
+      : id_(NextId()),
+        log_(std::move(log)),
+        schema_(log_.schema()),
+        columns_(base.columns_, log_),
+        pair_codes_(&columns_) {}
+
   LogSnapshot(const LogSnapshot&) = delete;
   LogSnapshot& operator=(const LogSnapshot&) = delete;
 
@@ -217,6 +235,13 @@ struct ExplainRequest {
 struct ExplainResponse {
   Technique technique = Technique::kPerfXplain;
   Explanation explanation;
+
+  /// Generation id of the LogSnapshot this response was computed on
+  /// (LogSnapshot::id of the answering engine's snapshot). During a live
+  /// rotation, requests prepared before the swap drain on the old
+  /// generation while new ones run on the new — this field tells callers
+  /// which one each response observed.
+  std::uint64_t snapshot_id = 0;
 
   /// Metrics over the engine's log, when ExplainRequest::evaluate was set.
   std::optional<ExplanationMetrics> metrics;

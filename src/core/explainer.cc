@@ -414,8 +414,14 @@ Result<Explanation> Explainer::ExplainPreparedWithScan(
   auto examples = BuildEncodedExamplesFromScan(bound, scan, poi_first,
                                                poi_second, options);
   if (!examples.ok()) return examples.status();
+  return ExplainPreparedWithExamples(bound, examples.value(), options);
+}
+
+Result<Explanation> Explainer::ExplainPreparedWithExamples(
+    const Query& bound, const EncodedDataset& examples,
+    const ExplainerOptions& options) const {
   Explanation explanation;
-  EncodedClauseDataset working(examples.value(), /*target_expected=*/false);
+  EncodedClauseDataset working(examples, /*target_expected=*/false);
   explanation.because_trace =
       GenerateClauseWith(working, schema_, options, options.width,
                          ExcludedRawFeatures(bound), bound.despite.atoms());

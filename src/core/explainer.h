@@ -139,6 +139,27 @@ class Explainer {
   Result<Explanation> ExplainPreparedWithScan(
       const Query& bound, const RelatedPairScan& scan, std::size_t poi_first,
       std::size_t poi_second, const ExplainerOptions& options) const;
+
+  /// The per-request half of ExplainPreparedWithScan, split at the encoded
+  /// training matrix: serial sampling replay + diversity cap + encoding.
+  /// The matrix depends only on (scan, pair of interest, seed, sampling
+  /// options, sim_fraction) — NOT on the clause width — so ExplainBatch
+  /// builds it once per (shape, seed, poi) sub-group and feeds it to
+  /// ExplainPreparedWithExamples per request. `scan` has the same
+  /// provenance contract as ExplainPreparedWithScan.
+  Result<EncodedDataset> BuildEncodedExamplesFromScan(
+      const Query& bound_query, const RelatedPairScan& scan,
+      std::size_t poi_first, std::size_t poi_second,
+      const ExplainerOptions& options) const;
+
+  /// The clause-generation tail of ExplainPreparedWithScan over an
+  /// already-built encoded training matrix. `examples` must come from
+  /// BuildEncodedExamplesFromScan for the same bound query (any width).
+  /// ExplainPreparedWithScan == BuildEncodedExamplesFromScan +
+  /// ExplainPreparedWithExamples, bitwise.
+  Result<Explanation> ExplainPreparedWithExamples(
+      const Query& bound, const EncodedDataset& examples,
+      const ExplainerOptions& options) const;
   Result<Predicate> GenerateDespitePrepared(
       const Query& bound, std::size_t poi_first, std::size_t poi_second,
       std::size_t width, const ExplainerOptions& options) const;
@@ -196,13 +217,6 @@ class Explainer {
   /// come from `options`, not the constructor's).
   Result<EncodedDataset> BuildEncodedExamplesWith(
       const Query& bound_query, std::size_t poi_first, std::size_t poi_second,
-      const ExplainerOptions& options) const;
-
-  /// The per-request tail of BuildEncodedExamplesWith over a shared scan:
-  /// serial sampling replay (ReplaySampleDraws), diversity cap, encoding.
-  Result<EncodedDataset> BuildEncodedExamplesFromScan(
-      const Query& bound_query, const RelatedPairScan& scan,
-      std::size_t poi_first, std::size_t poi_second,
       const ExplainerOptions& options) const;
 
   const ExecutionLog* log_;

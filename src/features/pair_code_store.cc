@@ -165,6 +165,70 @@ void PairCodeStore::Build(Plane* plane, int threads) const {
   plane->built.store(true, std::memory_order_release);
 }
 
+void PairCodeStore::BuildSeeded(Plane* plane, const Resident& base,
+                                int threads) const {
+  const std::size_t n = columns_->rows();
+  const std::size_t k = columns_->schema().size();
+  const std::size_t words = (k + kernel::kPackedFeaturesPerWord - 1) /
+                            kernel::kPackedFeaturesPerWord;
+  const std::size_t base_rows = base.rows();
+  PX_CHECK_LE(base_rows, n) << "seed plane has more rows than the log";
+  PX_CHECK_EQ(base.features(), k) << "seed plane schema mismatch";
+  PX_CHECK_EQ(base.sim_fraction(), plane->sim_fraction)
+      << "seed plane similarity fraction mismatch";
+
+  Resident& resident = plane->resident;
+  resident.rows_ = n;
+  resident.features_ = k;
+  resident.words_ = words;
+  resident.sim_fraction_ = plane->sim_fraction;
+  resident.data_.assign(n * n * words, 0);
+
+  const kernel::RawColumnTable table(*columns_);
+  const double sim = plane->sim_fraction;
+  std::uint64_t* data = resident.data_.data();
+  try {
+    ForEachRowStripeLocal(n, threads, [&](std::size_t begin,
+                                          std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        ThrowIfInterrupted();
+        std::uint64_t* tile = data + i * n * words;
+        if (i < base_rows) {
+          // Old row: its old-pair prefix (i, 0..base_rows-1) is contiguous
+          // in the seed tile — copy it, then pack only the new columns.
+          std::copy_n(base.pair_words(i, 0), base_rows * words, tile);
+          for (std::size_t j = base_rows; j < n; ++j) {
+            kernel::PackIsSameCodesRaw(table, i, j, sim, tile + j * words);
+          }
+        } else {
+          for (std::size_t j = 0; j < n; ++j) {
+            kernel::PackIsSameCodesRaw(table, i, j, sim, tile + j * words);
+          }
+        }
+      }
+    });
+  } catch (...) {
+    // Same rollback contract as Build: a cancelled seeded build leaves the
+    // plane as if never attempted.
+    resident = Resident{};
+    throw;
+  }
+
+  builds_.fetch_add(1, std::memory_order_acq_rel);
+  plane->built.store(true, std::memory_order_release);
+}
+
+const PairCodeStore::Resident* PairCodeStore::AcquireSeeded(
+    double sim_fraction, const Resident& base, std::size_t max_bytes,
+    int build_threads) const {
+  if (bytes_per_plane() > max_bytes) return nullptr;
+  Plane* plane = FindPlane(sim_fraction);
+  std::call_once(plane->once, [this, plane, &base, build_threads] {
+    BuildSeeded(plane, base, build_threads);
+  });
+  return &plane->resident;
+}
+
 const PairCodeStore::Resident* PairCodeStore::Acquire(
     double sim_fraction, std::size_t max_bytes, int build_threads) const {
   if (bytes_per_plane() > max_bytes) return nullptr;

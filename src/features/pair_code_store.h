@@ -113,6 +113,21 @@ class PairCodeStore {
   const Resident* Acquire(double sim_fraction, std::size_t max_bytes,
                           int build_threads = 0) const PX_EXCLUDES(mutex_);
 
+  /// Like Acquire, but seeds the first build from `base` — the built plane
+  /// of the same similarity fraction over a row-prefix of this store's log
+  /// (the previous snapshot generation; append-only promotion never mutates
+  /// old rows). Pair vectors whose rows are both old are copied from `base`
+  /// verbatim; only vectors touching a row >= base.rows() are packed. The
+  /// result is bitwise identical to a cold Build because PackIsSameCodes is
+  /// a pure function of the two rows' immutable columns — the copy just
+  /// skips recomputing words whose inputs did not change. Budget and
+  /// call_once semantics match Acquire exactly (a plane already built cold
+  /// is returned as-is; a cancelled seeded build rolls back whole).
+  const Resident* AcquireSeeded(double sim_fraction, const Resident& base,
+                                std::size_t max_bytes,
+                                int build_threads = 0) const
+      PX_EXCLUDES(mutex_);
+
   /// The tile pool serving `sim_fraction` under `max_bytes` — the
   /// page-granular middle path between a resident plane and streaming.
   /// Created (empty) on first acquisition and shared by every caller with
@@ -172,6 +187,7 @@ class PairCodeStore {
   Plane* FindPlane(double sim_fraction) const PX_EXCLUDES(mutex_);
 
   void Build(Plane* plane, int threads) const;
+  void BuildSeeded(Plane* plane, const Resident& base, int threads) const;
 
   /// One tile pool per (fraction, frame count) an engine's budget maps
   /// to. Entries are never erased (stable unique_ptrs, like planes_), so

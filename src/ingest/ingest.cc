@@ -60,6 +60,21 @@ Result<std::map<std::string, double>> TaskGangliaAverages(
 Status IngestJob(const std::string& history_text,
                  const std::string& ganglia_text, ExecutionLog& job_log,
                  ExecutionLog& task_log) {
+  return IngestJobStream(
+      history_text, ganglia_text, job_log.schema(), task_log.schema(),
+      [&job_log](ExecutionRecord record) {
+        return job_log.Add(std::move(record));
+      },
+      [&task_log](ExecutionRecord record) {
+        return task_log.Add(std::move(record));
+      });
+}
+
+Status IngestJobStream(const std::string& history_text,
+                       const std::string& ganglia_text,
+                       const Schema& job_schema, const Schema& task_schema,
+                       const RecordSink& job_sink,
+                       const RecordSink& task_sink) {
   auto records_or = ParseHistory(history_text);
   if (!records_or.ok()) return records_or.status();
   auto samples_or = ParseGangliaDump(ganglia_text);
@@ -168,7 +183,6 @@ Status IngestJob(const std::string& history_text,
   }
 
   // ---- Task records ----
-  const Schema& task_schema = task_log.schema();
   std::vector<std::map<std::string, double>> task_ganglia;
   task_ganglia.reserve(tasks.size());
   for (const IngestedTask& task : tasks) {
@@ -250,11 +264,10 @@ Status IngestJob(const std::string& history_text,
     set(feature_names::kDuration, Value::Number(task.duration()));
     PX_RETURN_IF_ERROR(schema_status);
     PX_RETURN_IF_ERROR(
-        task_log.Add(ExecutionRecord(task.task_id, std::move(values))));
+        task_sink(ExecutionRecord(task.task_id, std::move(values))));
   }
 
   // ---- Job record ----
-  const Schema& job_schema = job_log.schema();
   std::vector<Value> values(job_schema.size());
   // Same Status-not-abort contract as the task set above.
   Status schema_status;
@@ -338,7 +351,7 @@ Status IngestJob(const std::string& history_text,
   }
   set(feature_names::kDuration, Value::Number(finish_time - submit_time));
   PX_RETURN_IF_ERROR(schema_status);
-  return job_log.Add(ExecutionRecord(job_id, std::move(values)));
+  return job_sink(ExecutionRecord(job_id, std::move(values)));
 }
 
 Status IngestJobFiles(const std::string& history_path,

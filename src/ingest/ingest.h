@@ -1,12 +1,20 @@
 #ifndef PERFXPLAIN_INGEST_INGEST_H_
 #define PERFXPLAIN_INGEST_INGEST_H_
 
+#include <functional>
 #include <string>
 
 #include "common/status.h"
 #include "log/execution_log.h"
+#include "log/schema.h"
 
 namespace perfxplain {
+
+/// Where streaming ingestion delivers each finished record. A sink may
+/// append to an ExecutionLog, stage into a live-serving delta log
+/// (LiveEngine::Append), or forward anywhere else; returning an error
+/// aborts the ingest with that status.
+using RecordSink = std::function<Status(ExecutionRecord)>;
 
 /// Builds execution-log records from the raw text artifacts a Hadoop
 /// cluster produces — a job-history file plus a Ganglia metric dump —
@@ -19,6 +27,21 @@ namespace perfxplain {
 Status IngestJob(const std::string& history_text,
                  const std::string& ganglia_text, ExecutionLog& job_log,
                  ExecutionLog& task_log);
+
+/// Streaming form of IngestJob: records are delivered to sinks as they
+/// are built instead of appended to logs — the live-ingest entry point
+/// (the sinks typically stage into a LiveEngine's delta log, so a running
+/// cluster's history files flow into the serving snapshot without a
+/// rebuild). Schemas must be the catalogue schemas, as above. Emits every
+/// task record (in history order), then the job record; the first sink
+/// error aborts and is returned, so a rejected record (e.g. a duplicate
+/// id already served) surfaces as a Status, never a crash
+/// (pxlint:boundary).
+Status IngestJobStream(const std::string& history_text,
+                       const std::string& ganglia_text,
+                       const Schema& job_schema, const Schema& task_schema,
+                       const RecordSink& job_sink,
+                       const RecordSink& task_sink);
 
 /// Convenience: reads both files from disk and ingests them.
 Status IngestJobFiles(const std::string& history_path,

@@ -12,6 +12,15 @@ StringInterner::StringInterner() {
   Intern(pair_values::kGt);
 }
 
+StringInterner StringInterner::Clone() const {
+  StringInterner clone;
+  // The default constructor pre-interns the canonical levels, which are the
+  // first entries of strings_; replaying the deque in order is idempotent
+  // for them and reproduces every code assignment exactly.
+  for (const std::string& s : strings_) clone.Intern(s);
+  return clone;
+}
+
 std::int32_t StringInterner::Intern(std::string_view s) {
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
@@ -85,6 +94,28 @@ ColumnarLog::ColumnarLog(const Schema& schema,
     PX_CHECK_EQ(record->values.size(), schema_.size())
         << "record does not match the schema";
     IngestRecord(row++, *record);
+  }
+}
+
+ColumnarLog::ColumnarLog(const ColumnarLog& base, const ExecutionLog& full_log)
+    : schema_(base.schema_),
+      rows_(full_log.size()),
+      slot_(base.slot_),
+      numeric_(base.numeric_),
+      nominal_(base.nominal_),
+      interner_(base.interner_.Clone()) {
+  PX_CHECK_GE(rows_, base.rows_) << "extension log shrank";
+  PX_CHECK_EQ(full_log.schema().size(), schema_.size())
+      << "extension log schema mismatch";
+  for (NumericColumn& column : numeric_) {
+    column.values.resize(rows_, 0.0);
+    column.present.Resize(rows_);
+  }
+  for (NominalColumn& column : nominal_) {
+    column.codes.resize(rows_, StringInterner::kNoCode);
+  }
+  for (std::size_t row = base.rows_; row < rows_; ++row) {
+    IngestRecord(row, full_log.at(row));
   }
 }
 

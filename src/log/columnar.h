@@ -34,6 +34,12 @@ class StringInterner {
   StringInterner(StringInterner&&) = default;
   StringInterner& operator=(StringInterner&&) = default;
 
+  /// Deep copy with the index rebuilt against the copied deque. Because
+  /// interning is append-only, a clone extended by the same string sequence
+  /// assigns the same codes the source would — the property that lets an
+  /// incremental ColumnarLog extension stay bitwise-equal to a cold rebuild.
+  StringInterner Clone() const;
+
   /// Returns the code of `s`, inserting it if absent.
   std::int32_t Intern(std::string_view s);
 
@@ -67,6 +73,13 @@ class PresenceBitmap {
   }
   bool Test(std::size_t row) const {
     return (words_[row >> 6] >> (row & 63)) & 1;
+  }
+
+  /// Grows the bitmap to cover `rows` rows, preserving existing bits. New
+  /// rows start absent. Shrinking is not supported.
+  void Resize(std::size_t rows) {
+    const std::size_t words = (rows + 63) / 64;
+    if (words > words_.size()) words_.resize(words, 0);
   }
 
  private:
@@ -128,6 +141,16 @@ class ColumnarLog {
   /// without constructing a lazy PairFeatureView.
   ColumnarLog(const Schema& schema,
               std::initializer_list<const ExecutionRecord*> records);
+
+  /// Incremental extension: columnar form of `full_log`, built by copying
+  /// `base`'s columns and ingesting only rows [base.rows(), full_log.size()).
+  /// Requires that `full_log` has the same schema as `base` and that its
+  /// first base.rows() records are the records `base` was built from, in the
+  /// same order (the snapshot-promotion path appends deltas after the old
+  /// log, so this holds by construction). Because the interner is append-only
+  /// and rows are ingested in log order, the result is bitwise identical to
+  /// ColumnarLog(full_log) built cold — same codes, same column contents.
+  ColumnarLog(const ColumnarLog& base, const ExecutionLog& full_log);
 
   std::size_t rows() const { return rows_; }
   const Schema& schema() const { return schema_; }

@@ -1,0 +1,311 @@
+#include "serving/live_engine.h"
+
+#include <chrono>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "common/logging.h"
+
+namespace perfxplain {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+LiveEngine::LiveEngine(ExecutionLog log, EngineOptions options,
+                       RotationPolicy policy)
+    : options_(std::move(options)), policy_(policy), delta_(log.schema()) {
+  // Successive generations must share one ResultCache so rotation can
+  // invalidate per generation; materialize the byte-budget form into a
+  // shared cache up front.
+  if (options_.result_cache == nullptr && options_.result_cache_bytes > 0) {
+    options_.result_cache =
+        std::make_shared<ResultCache>(options_.result_cache_bytes);
+  }
+  MutexLock lock(state_mutex_);
+  current_ = std::make_shared<const Engine>(
+      std::make_shared<const LogSnapshot>(std::move(log)), options_);
+}
+
+LiveEngine::~LiveEngine() { StopPromoter(); }
+
+std::shared_ptr<const Engine> LiveEngine::engine() const {
+  MutexLock lock(state_mutex_);
+  return current_;
+}
+
+std::uint64_t LiveEngine::generation() const {
+  MutexLock lock(state_mutex_);
+  return current_->snapshot()->id();
+}
+
+Status LiveEngine::Append(ExecutionRecord record) {
+  {
+    // The duplicate check against the served log and the delta append
+    // happen under the same lock the rotation's swap+commit holds, so an
+    // append observes either (old base, draining ids still reserved in
+    // the delta) or (new base containing them) — never a gap a duplicate
+    // could slip through.
+    MutexLock lock(state_mutex_);
+    if (current_->log().Find(record.id).ok()) {
+      return Status::InvalidArgument("record id '" + record.id +
+                                     "' already exists in the served log");
+    }
+    PX_RETURN_IF_ERROR(delta_.Append(std::move(record)));
+  }
+  MaybeAutoRotate();
+  return Status::OK();
+}
+
+Status LiveEngine::AppendBatch(std::vector<ExecutionRecord> records) {
+  {
+    MutexLock lock(state_mutex_);
+    for (const ExecutionRecord& record : records) {
+      if (current_->log().Find(record.id).ok()) {
+        return Status::InvalidArgument("record id '" + record.id +
+                                       "' already exists in the served log");
+      }
+    }
+    PX_RETURN_IF_ERROR(delta_.AppendBatch(std::move(records)));
+  }
+  MaybeAutoRotate();
+  return Status::OK();
+}
+
+bool LiveEngine::ShouldRotate() const {
+  const std::size_t pending = delta_.pending_rows();
+  if (pending == 0) return false;
+  if (policy_.max_delta_rows > 0 && pending >= policy_.max_delta_rows) {
+    return true;
+  }
+  return policy_.max_delta_age_ms > 0 &&
+         delta_.oldest_pending_age_ms() >= policy_.max_delta_age_ms;
+}
+
+void LiveEngine::MaybeAutoRotate() {
+  if (!ShouldRotate()) return;
+  {
+    std::lock_guard<std::mutex> lock(promoter_mutex_);
+    if (promoter_running_) {
+      // A promoter thread owns rotation; wake it instead of promoting on
+      // the appender's thread.
+      promoter_cv_.notify_one();
+      return;
+    }
+  }
+  if (auto rotated = Rotate(); !rotated.ok()) {
+    // The append itself succeeded; a failed threshold rotation leaves the
+    // deltas staged and the next trigger retries. Surfaced by counter.
+    auto_rotate_failures_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+std::shared_ptr<const Engine> LiveEngine::SwapEngine(
+    std::shared_ptr<const Engine> next) {
+  std::shared_ptr<const Engine> evicted;
+  MutexLock lock(state_mutex_);
+  retired_.push_back(current_);
+  current_ = std::move(next);
+  delta_.CommitDrain();
+  if (retired_.size() > policy_.drain_generations) {
+    evicted = std::move(retired_.front());
+    retired_.pop_front();
+  }
+  return evicted;
+}
+
+Result<RotationStats> LiveEngine::Rotate(const RotateRequest& request) {
+  MutexLock rotation_lock(rotation_mutex_);
+  const Clock::time_point start = Clock::now();
+  std::shared_ptr<const Engine> old_engine = engine();
+  RotationStats stats;
+  stats.old_snapshot_id = old_engine->snapshot()->id();
+  stats.new_snapshot_id = stats.old_snapshot_id;
+  stats.total_rows = old_engine->log().size();
+
+  std::vector<ExecutionRecord> drained = delta_.BeginDrain();
+  if (drained.empty()) {
+    delta_.AbortDrain();
+    stats.promote_ms = MsSince(start);
+    return stats;
+  }
+
+  // Promotion is admission-charged like any long request: refuse to grow
+  // the snapshot past the candidate-pair ceiling (installing it would make
+  // every subsequent request inadmissible anyway). The deltas stay staged
+  // so the caller can raise the limit and retry.
+  const std::size_t total = old_engine->log().size() + drained.size();
+  if (options_.limits.max_candidate_pairs > 0) {
+    const std::size_t pairs = total > 1 ? total * (total - 1) : 0;
+    if (pairs > options_.limits.max_candidate_pairs) {
+      delta_.AbortDrain();
+      return Status::ResourceExhausted(
+          "rotation rejected: promoting " + std::to_string(drained.size()) +
+          " rows would enumerate " + std::to_string(pairs) +
+          " candidate ordered pairs, exceeding max_candidate_pairs = " +
+          std::to_string(options_.limits.max_candidate_pairs));
+    }
+  }
+
+  ExecContext context;
+  context.cancel = request.cancel;
+  if (request.deadline_ms > 0) {
+    context.deadline =
+        Clock::now() + std::chrono::milliseconds(request.deadline_ms);
+  }
+  ScopedExecContext scoped(context.empty() ? nullptr : &context);
+  try {
+    // Fold the drained records after the served log, in append order —
+    // exactly the prefix property the incremental LogSnapshot constructor
+    // and the interner's append-only codes rely on.
+    ExecutionLog next_log = old_engine->log();
+    for (ExecutionRecord& record : drained) {
+      ThrowIfInterrupted();
+      if (Status added = next_log.Add(std::move(record)); !added.ok()) {
+        // Unreachable when Append's validation holds; fail soft anyway.
+        delta_.AbortDrain();
+        return added;
+      }
+    }
+    const std::size_t promoted = drained.size();
+    auto next_snapshot = std::make_shared<const LogSnapshot>(
+        std::move(next_log), *old_engine->snapshot());
+
+    // Re-warm the pair-code plane incrementally when the old generation's
+    // was built and the grown plane still fits the engine's budget:
+    // old-row tiles are copied, only pairs touching a new row are packed
+    // (checkpointed per row inside BuildSeeded). A cold or over-budget
+    // plane just warms lazily on first use, as on any fresh snapshot.
+    const double sim = options_.sim_but_diff.pair.sim_fraction;
+    const PairCodeStore::Resident* base_plane =
+        old_engine->snapshot()->pair_codes().Peek(sim);
+    if (base_plane != nullptr) {
+      const std::size_t budget = options_.sim_but_diff.pair_code_budget_bytes;
+      stats.pair_plane_seeded =
+          next_snapshot->pair_codes().AcquireSeeded(
+              sim, *base_plane, budget, policy_.promote_threads) != nullptr;
+    }
+
+    auto next_engine =
+        std::make_shared<const Engine>(next_snapshot, options_);
+    std::shared_ptr<const Engine> evicted = SwapEngine(std::move(next_engine));
+    rotations_.fetch_add(1, std::memory_order_acq_rel);
+
+    stats.new_snapshot_id = next_snapshot->id();
+    stats.promoted_rows = promoted;
+    stats.total_rows = next_snapshot->log().size();
+    if (options_.result_cache != nullptr) {
+      // Exactly the retired generation's entries; plus a straggler sweep
+      // of any generation that just left the drain window (its drain
+      // queries may have re-inserted results after its own retirement).
+      stats.invalidated_cache_entries =
+          options_.result_cache->InvalidateSnapshot(stats.old_snapshot_id);
+      if (evicted != nullptr) {
+        options_.result_cache->InvalidateSnapshot(
+            evicted->snapshot()->id());
+      }
+    }
+    stats.promote_ms = MsSince(start);
+    return stats;
+  } catch (const InterruptedError& interrupted) {
+    // A checkpoint fired mid-promotion: the partially built snapshot (and
+    // any partially seeded plane, rolled back by BuildSeeded) is dropped
+    // whole, the deltas stay staged, and the serving generation was never
+    // touched.
+    delta_.AbortDrain();
+    return interrupted.status();
+  }
+}
+
+void LiveEngine::StartPromoter() {
+  std::lock_guard<std::mutex> lock(promoter_mutex_);
+  if (promoter_running_) return;
+  promoter_stop_ = false;
+  promoter_running_ = true;
+  promoter_ = std::thread([this] { PromoterLoop(); });
+}
+
+void LiveEngine::StopPromoter() {
+  {
+    std::lock_guard<std::mutex> lock(promoter_mutex_);
+    if (!promoter_running_) return;
+    promoter_stop_ = true;
+  }
+  promoter_cv_.notify_all();
+  promoter_.join();
+  std::lock_guard<std::mutex> lock(promoter_mutex_);
+  promoter_running_ = false;
+}
+
+void LiveEngine::PromoterLoop() {
+#if defined(__linux__)
+  if (policy_.promoter_nice > 0) {
+    // Deprioritize this thread only: promotion is maintenance, and on a
+    // contended host an overlapping Explain should win the core. Best
+    // effort — a refusal just means fair-share scheduling.
+    setpriority(PRIO_PROCESS, static_cast<id_t>(syscall(SYS_gettid)),
+                policy_.promoter_nice);
+  }
+#endif
+  std::unique_lock<std::mutex> lock(promoter_mutex_);
+  while (!promoter_stop_) {
+    promoter_cv_.wait_for(
+        lock, std::chrono::milliseconds(policy_.promoter_poll_ms));
+    if (promoter_stop_) break;
+    lock.unlock();
+    if (ShouldRotate()) {
+      if (auto rotated = Rotate(); !rotated.ok()) {
+        auto_rotate_failures_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    lock.lock();
+  }
+}
+
+Result<PreparedQuery> LiveEngine::Prepare(const Query& query) const {
+  return engine()->Prepare(query);
+}
+
+Result<PreparedQuery> LiveEngine::PrepareText(const std::string& pxql) const {
+  return engine()->PrepareText(pxql);
+}
+
+Result<ExplainResponse> LiveEngine::Explain(
+    const PreparedQuery& prepared, const ExplainRequest& request) const {
+  std::shared_ptr<const Engine> target;
+  {
+    MutexLock lock(state_mutex_);
+    if (prepared.snapshot() == current_->snapshot()) {
+      target = current_;
+    } else {
+      for (const std::shared_ptr<const Engine>& drained : retired_) {
+        if (prepared.snapshot() == drained->snapshot()) {
+          target = drained;
+          break;
+        }
+      }
+    }
+  }
+  if (target == nullptr) {
+    return Status::InvalidArgument(
+        "PreparedQuery's snapshot generation has left the drain window; "
+        "re-prepare against the current engine");
+  }
+  // Outside the lock: a long Explain must never block appends, rotations
+  // or other queries.
+  return target->Explain(prepared, request);
+}
+
+}  // namespace perfxplain

@@ -11,6 +11,7 @@
 #include "core/formatter.h"
 #include "core/pair_enumeration.h"
 #include "log/catalog.h"
+#include "serving/live_engine.h"
 #include "ingest/ganglia_dump.h"
 #include "ingest/hadoop_history.h"
 #include "ingest/ingest.h"
@@ -32,6 +33,7 @@ usage:
                      [--deadline-ms N] [--max-candidate-pairs N]
                      [--max-pair-store-bytes N] [--max-training-cells N]
                      [--pair-code-budget-bytes N] [--result-cache-bytes N]
+                     [--append-from FILE] [--rotate-rows N]
   perfxplain despite --log FILE --query PXQL [--width N] [--threads N]
   perfxplain help
 
@@ -55,6 +57,16 @@ a buffer pool of hot row tiles at fractional budgets, pure streaming at 0.
 Results are bitwise identical at every budget. --result-cache-bytes N
 (default 0 = off) enables a result cache of that many bytes: a repeated
 query in one invocation is answered from the cache without any scan.
+
+--append-from FILE exercises live ingest end to end: the queries are
+answered on the starting snapshot, FILE's records (a CSV log sharing the
+schema) are appended through the serving delta log, the accumulated
+deltas are promoted into a fresh snapshot generation (incrementally —
+columns extend in place, only new-row pair tiles are packed), and the
+queries are re-answered on the new generation. Every response prints the
+snapshot generation that answered it. --rotate-rows N additionally
+auto-rotates whenever N records are pending (0, the default, promotes
+once after the whole file).
 
 A PXQL query names its pair of interest and three predicates:
   FOR J1, J2 WHERE J1.JobID = 'job_000054' AND J2.JobID = 'job_000000'
@@ -275,6 +287,8 @@ void PrintResponse(std::ostream& out, const ParsedArgs& args,
                    response.batched ? " (amortized batch share)" : "",
                    response.result_cache_hit ? " (result cache hit)" : "",
                    response.evaluate_ms);
+  out << StrFormat("generation: %llu\n",
+                   static_cast<unsigned long long>(response.snapshot_id));
   if (response.tile_hits + response.tile_misses + response.tile_evictions >
       0) {
     out << StrFormat("tiles: %llu hits  %llu misses  %llu evictions\n",
@@ -282,6 +296,90 @@ void PrintResponse(std::ostream& out, const ParsedArgs& args,
                      static_cast<unsigned long long>(response.tile_misses),
                      static_cast<unsigned long long>(response.tile_evictions));
   }
+}
+
+/// The --append-from flow: answer the queries on the starting snapshot,
+/// stream the file's records through the serving delta log (one by one
+/// when --rotate-rows arms the auto-rotation threshold, as one batch
+/// otherwise), promote whatever is still pending, and answer the queries
+/// again on the new generation. Each response prints the snapshot
+/// generation that served it.
+int RunExplainAppend(const ParsedArgs& args, std::ostream& out,
+                     ExecutionLog log, const EngineOptions& options,
+                     const ExplainRequest& request,
+                     const std::vector<std::string>& query_texts) {
+  auto rotate_rows = IntOption(args, "rotate-rows", 0);
+  if (!rotate_rows.ok() || *rotate_rows < 0) {
+    return Fail(out, Status::InvalidArgument("--rotate-rows must be >= 0"));
+  }
+  auto delta = ExecutionLog::LoadCsv(args.options.at("append-from"));
+  if (!delta.ok()) return Fail(out, delta.status());
+
+  RotationPolicy policy;
+  policy.max_delta_rows = static_cast<std::size_t>(*rotate_rows);
+  LiveEngine live(std::move(log), options, policy);
+
+  const auto explain_all = [&](const char* phase) {
+    int exit_code = 0;
+    for (std::size_t q = 0; q < query_texts.size(); ++q) {
+      out << "== " << phase << " query " << (q + 1) << " ==\n";
+      auto prepared = live.PrepareText(query_texts[q]);
+      if (!prepared.ok()) {
+        out << "error: " << prepared.status().ToString() << "\n\n";
+        exit_code = 1;
+        continue;
+      }
+      auto response = live.Explain(*prepared, request);
+      if (!response.ok()) {
+        out << "error: " << response.status().ToString() << "\n\n";
+        exit_code = 1;
+        continue;
+      }
+      PrintResponse(out, args, prepared->bound(), *response);
+      out << "\n";
+    }
+    return exit_code;
+  };
+
+  int exit_code = explain_all("pre-append");
+
+  std::vector<ExecutionRecord> records = delta->records();
+  const std::size_t total_appended = records.size();
+  if (*rotate_rows > 0) {
+    for (ExecutionRecord& record : records) {
+      if (Status status = live.Append(std::move(record)); !status.ok()) {
+        return Fail(out, status);
+      }
+    }
+  } else if (Status status = live.AppendBatch(std::move(records));
+             !status.ok()) {
+    return Fail(out, status);
+  }
+  out << "appended " << total_appended << " records ("
+      << live.rotations() << " auto-rotations, " << live.pending_rows()
+      << " still pending)\n";
+
+  auto stats = live.Rotate();
+  if (!stats.ok()) return Fail(out, stats.status());
+  if (stats->promoted_rows > 0) {
+    out << StrFormat(
+        "promoted %llu rows: generation %llu -> %llu  (%llu total rows, "
+        "pair plane %s, %llu cache entries invalidated, %.1f ms)\n",
+        static_cast<unsigned long long>(stats->promoted_rows),
+        static_cast<unsigned long long>(stats->old_snapshot_id),
+        static_cast<unsigned long long>(stats->new_snapshot_id),
+        static_cast<unsigned long long>(stats->total_rows),
+        stats->pair_plane_seeded ? "seeded" : "cold",
+        static_cast<unsigned long long>(stats->invalidated_cache_entries),
+        stats->promote_ms);
+  } else {
+    out << "nothing pending to promote (generation "
+        << stats->new_snapshot_id << ")\n";
+  }
+  out << "\n";
+
+  exit_code |= explain_all("post-append");
+  return exit_code;
 }
 
 int RunExplain(const ParsedArgs& args, std::ostream& out) {
@@ -347,7 +445,6 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
   options.sim_but_diff.pair_code_budget_bytes =
       static_cast<std::size_t>(*pair_budget);
   options.result_cache_bytes = static_cast<std::size_t>(*cache_bytes);
-  const Engine engine(std::move(log).value(), options);
 
   ExplainRequest request;
   request.technique = technique;
@@ -356,6 +453,13 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
       args.HasFlag("auto-despite") && technique == Technique::kPerfXplain;
   request.evaluate = true;
   request.deadline_ms = static_cast<std::int64_t>(*deadline_ms);
+
+  if (args.options.count("append-from") > 0) {
+    return RunExplainAppend(args, out, std::move(log).value(), options,
+                            request, *query_texts);
+  }
+
+  const Engine engine(std::move(log).value(), options);
 
   std::vector<PreparedQuery> prepared;
   prepared.reserve(query_texts->size());

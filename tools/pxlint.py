@@ -90,16 +90,18 @@ CHECKPOINT_REGISTRY = [
     ("src/core/pair_enumeration.cc", "FindPairOfInterest"),
     ("src/core/sim_but_diff.cc", "SimButDiff::ExplainPrepared"),
     ("src/features/pair_code_store.cc", "PairCodeStore::Build"),
+    ("src/features/pair_code_store.cc", "PairCodeStore::BuildSeeded"),
     ("src/features/tile_pool.cc", "TilePool::BuildTile"),
     ("src/ml/relief.cc", "RRelieffStripedImpl"),
     ("src/ml/decision_tree.cc", "DecisionTree::BuildEncoded"),
     ("src/ml/decision_tree.cc", "DecisionTree::Build"),
+    ("src/serving/live_engine.cc", "LiveEngine::Rotate"),
 ]
 CHECKPOINT_CALL = "ThrowIfInterrupted"
 
 # Layers whose outputs must be reproducible bit-for-bit (the bitwise
 # equivalence suites depend on it).
-DETERMINISM_DIRS = ["src/core", "src/features", "src/ml"]
+DETERMINISM_DIRS = ["src/core", "src/features", "src/ml", "src/serving"]
 DETERMINISM_BANNED = [
     (re.compile(r"\bstd::random_device\b"),
      "std::random_device is nondeterministic — route randomness through "
