@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -604,44 +605,71 @@ px::ExecutionRecord LiveRecord(const px::ExecutionLog& log, std::size_t k) {
   return record;
 }
 
+/// Fresh scratch directory under the system temp dir for the durability
+/// benchmarks; wiped first so a prior run's journal never leaks in.
+std::string BenchScratchDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("px_bench_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
 /// Serving latency while ingesting (the HTAP contract): a fixed count of
-/// SimButDiff explains through a LiveEngine, with (arg 1) or without
-/// (arg 0) a writer thread appending records and a background promoter
-/// rotating snapshots every 32 staged rows. Reported as p50_ms / p99_ms
-/// counters over the explain stream — the acceptance bound is p99 while
-/// appending within 2x of the quiet baseline.
+/// SimButDiff explains through a LiveEngine, with a writer thread
+/// appending records and a background promoter rotating snapshots every
+/// 32 staged rows. Arg 0 = quiet baseline (no writer), 1 = ingesting
+/// in-memory, 2 = ingesting with a write-ahead journal + checkpoints
+/// (--fsync batch, the crash-safe configuration). Reported as p50_ms /
+/// p99_ms counters over the explain stream — the acceptance bounds are
+/// p99 while appending within 2x of the quiet baseline, and p99 while
+/// journaling within 1.3x of it (fsync happens on the writer thread, so
+/// durability must not move the serving tail).
 void BM_IngestWhileServing(benchmark::State& state) {
   const MicroFixture& fixture = MicroFixture::Get();
-  const bool ingesting = state.range(0) != 0;
+  const int mode = static_cast<int>(state.range(0));
+  const bool ingesting = mode != 0;
   px::RotationPolicy policy;
   policy.max_delta_rows = 32;
   policy.promoter_poll_ms = 1;
   px::EngineOptions options;
   options.sim_but_diff.threads = 1;
-  px::LiveEngine live(fixture.log, options, policy);
+  std::unique_ptr<px::LiveEngine> live;
+  if (mode == 2) {
+    const std::string root = BenchScratchDir("ingest_journal");
+    px::DurabilityOptions durability;
+    durability.wal_dir = root + "/wal";
+    durability.checkpoint_dir = root + "/ckpt";
+    auto recovered =
+        px::LiveEngine::Recover(fixture.log, durability, options, policy);
+    PX_CHECK(recovered.ok()) << recovered.status().ToString();
+    live = std::move(*recovered);
+  } else {
+    live = std::make_unique<px::LiveEngine>(fixture.log, options, policy);
+  }
   px::ExplainRequest request;
   request.technique = px::Technique::kSimButDiff;
   request.width = 3;
   {
     // Warm the first generation's plane so the quiet baseline is
     // steady-state serving, not a first-touch build.
-    auto prepared = live.Prepare(fixture.query);
+    auto prepared = live->Prepare(fixture.query);
     PX_CHECK(prepared.ok());
-    auto warm = live.Explain(*prepared, request);
+    auto warm = live->Explain(*prepared, request);
     PX_CHECK(warm.ok()) << warm.status().ToString();
   }
 
   std::atomic<bool> stop{false};
   std::thread writer;
   if (ingesting) {
-    live.StartPromoter();
+    live->StartPromoter();
     writer = std::thread([&live, &fixture, &stop] {
       // Bounded stream: the served log grows by at most ~12% so explain
       // cost stays comparable to the quiet baseline's fixed log, paced at
       // one record per millisecond so promotions land mid-stream.
       const std::size_t cap = fixture.log.size() / 8;
       for (std::size_t k = 0; k < cap && !stop.load(); ++k) {
-        PX_CHECK(live.Append(LiveRecord(fixture.log, k)).ok());
+        PX_CHECK(live->Append(LiveRecord(fixture.log, k)).ok());
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     });
@@ -652,9 +680,9 @@ void BM_IngestWhileServing(benchmark::State& state) {
     const auto start = std::chrono::steady_clock::now();
     // Re-prepare per request: rotation retires generations underneath us,
     // and re-preparing is what a live client does.
-    auto prepared = live.Prepare(fixture.query);
+    auto prepared = live->Prepare(fixture.query);
     PX_CHECK(prepared.ok());
-    auto response = live.Explain(*prepared, request);
+    auto response = live->Explain(*prepared, request);
     PX_CHECK(response.ok()) << response.status().ToString();
     benchmark::DoNotOptimize(response);
     latencies_ms.push_back(
@@ -665,7 +693,7 @@ void BM_IngestWhileServing(benchmark::State& state) {
 
   stop.store(true);
   if (writer.joinable()) writer.join();
-  if (ingesting) live.StopPromoter();
+  if (ingesting) live->StopPromoter();
   std::sort(latencies_ms.begin(), latencies_ms.end());
   const auto percentile = [&latencies_ms](double q) {
     const std::size_t index = static_cast<std::size_t>(
@@ -675,10 +703,100 @@ void BM_IngestWhileServing(benchmark::State& state) {
   state.counters["p50_ms"] = percentile(0.50);
   state.counters["p99_ms"] = percentile(0.99);
   state.SetLabel(px::StrFormat(
-      "%s rotations=%llu", ingesting ? "ingesting" : "quiet",
-      static_cast<unsigned long long>(live.rotations())));
+      "%s rotations=%llu",
+      mode == 0 ? "quiet" : mode == 1 ? "ingesting" : "journaling",
+      static_cast<unsigned long long>(live->rotations())));
 }
-BENCHMARK(BM_IngestWhileServing)->Arg(0)->Arg(1)->Iterations(512)
+BENCHMARK(BM_IngestWhileServing)->Arg(0)->Arg(1)->Arg(2)->Iterations(512)
+    ->Unit(benchmark::kMillisecond);
+
+/// Journaling overhead on the append path itself: one LiveEngine::Append
+/// per iteration, no rotation. Arg 0 = no WAL (in-memory baseline),
+/// 1 = --fsync none (page cache), 2 = --fsync 64 (batched barriers),
+/// 3 = --fsync batch (every batch, the default crash-safe discipline).
+void BM_WalAppendOverhead(benchmark::State& state) {
+  const MicroFixture& fixture = MicroFixture::Get();
+  const int mode = static_cast<int>(state.range(0));
+  px::EngineOptions options;
+  options.sim_but_diff.threads = 1;
+  px::RotationPolicy policy;  // no auto-rotation: isolate the append
+  std::unique_ptr<px::LiveEngine> live;
+  if (mode == 0) {
+    live = std::make_unique<px::LiveEngine>(fixture.log, options, policy);
+  } else {
+    px::DurabilityOptions durability;
+    durability.wal_dir = BenchScratchDir("wal_append") + "/wal";
+    durability.wal.fsync = mode == 1   ? px::FsyncMode::kNone
+                           : mode == 2 ? px::FsyncMode::kEveryN
+                                       : px::FsyncMode::kEveryBatch;
+    auto recovered =
+        px::LiveEngine::Recover(fixture.log, durability, options, policy);
+    PX_CHECK(recovered.ok()) << recovered.status().ToString();
+    live = std::move(*recovered);
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    px::Status status = live->Append(LiveRecord(fixture.log, k++));
+    PX_CHECK(status.ok()) << status.ToString();
+  }
+  state.SetLabel(mode == 0   ? "no-wal"
+                 : mode == 1 ? "fsync=none"
+                 : mode == 2 ? "fsync=every64"
+                             : "fsync=batch");
+}
+BENCHMARK(BM_WalAppendOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Iterations(256)->Unit(benchmark::kMicrosecond);
+
+/// Cold-start crash recovery: LiveEngine::Recover over a checkpointed
+/// base plus a WAL tail of range(0) single-record batches. The pristine
+/// directory pair is prepared once outside timing; each iteration
+/// restores it (timing paused) and times Recover alone — checkpoint
+/// load + CRC verification, tail replay through the validated append
+/// path, and the fold-into-a-served-snapshot rotation.
+void BM_RecoveryTime(benchmark::State& state) {
+  namespace stdfs = std::filesystem;
+  const MicroFixture& fixture = MicroFixture::Get();
+  const std::size_t tail_batches = static_cast<std::size_t>(state.range(0));
+  px::EngineOptions options;
+  options.sim_but_diff.threads = 1;
+  const stdfs::path root = BenchScratchDir("recovery");
+  const stdfs::path pristine = root / "pristine";
+  {
+    px::DurabilityOptions durability;
+    durability.wal_dir = (pristine / "wal").string();
+    durability.checkpoint_dir = (pristine / "ckpt").string();
+    auto engine = px::LiveEngine::Recover(fixture.log, durability, options,
+                                          px::RotationPolicy{});
+    PX_CHECK(engine.ok()) << engine.status().ToString();
+    for (std::size_t k = 0; k < 32; ++k) {
+      PX_CHECK((*engine)->Append(LiveRecord(fixture.log, k)).ok());
+    }
+    PX_CHECK((*engine)->Rotate().ok());  // the checkpoint covers these
+    for (std::size_t k = 32; k < 32 + tail_batches; ++k) {
+      PX_CHECK((*engine)->Append(LiveRecord(fixture.log, k)).ok());
+    }
+  }
+  px::RecoveryStats stats;
+  const stdfs::path scratch = root / "scratch";
+  for (auto _ : state) {
+    state.PauseTiming();
+    stdfs::remove_all(scratch);
+    stdfs::copy(pristine, scratch, stdfs::copy_options::recursive);
+    px::DurabilityOptions durability;
+    durability.wal_dir = (scratch / "wal").string();
+    durability.checkpoint_dir = (scratch / "ckpt").string();
+    state.ResumeTiming();
+    auto engine = px::LiveEngine::Recover(fixture.log, durability, options,
+                                          px::RotationPolicy{}, &stats);
+    PX_CHECK(engine.ok()) << engine.status().ToString();
+    benchmark::DoNotOptimize(engine);
+  }
+  state.SetLabel(px::StrFormat(
+      "ckpt_rows=%llu replayed=%llu",
+      static_cast<unsigned long long>(stats.checkpoint_rows),
+      static_cast<unsigned long long>(stats.replayed_batches)));
+}
+BENCHMARK(BM_RecoveryTime)->Arg(8)->Arg(64)->Iterations(16)
     ->Unit(benchmark::kMillisecond);
 
 /// Incremental promotion vs cold rebuild at several delta fractions:

@@ -1,0 +1,59 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace perfxplain {
+
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+struct Tables {
+  // tables[k][b]: CRC contribution of byte value b at lag k (slice-by-4).
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+
+  Tables() {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+      }
+      t[0][b] = crc;
+    }
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      t[1][b] = (t[0][b] >> 8) ^ t[0][t[0][b] & 0xFFu];
+      t[2][b] = (t[1][b] >> 8) ^ t[0][t[1][b] & 0xFFu];
+      t[3][b] = (t[2][b] >> 8) ^ t[0][t[2][b] & 0xFFu];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t n) {
+  const Tables& tables = GetTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = tables.t[3][crc & 0xFFu] ^ tables.t[2][(crc >> 8) & 0xFFu] ^
+          tables.t[1][(crc >> 16) & 0xFFu] ^ tables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,33 @@
+#ifndef PERFXPLAIN_COMMON_CRC32C_H_
+#define PERFXPLAIN_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace perfxplain {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected): the checksum
+/// guarding every write-ahead-log frame and checkpoint file. Chosen over
+/// plain CRC-32 for its better burst-error detection — the same code used
+/// by iSCSI, ext4 and most storage engines, so on-disk artifacts are
+/// checkable with standard tools. Software slice-by-4 implementation;
+/// byte-order independent (input is bytes, output a plain integer that
+/// the storage layer serializes little-endian).
+
+/// Continues a running CRC over `n` more bytes. Seed a fresh checksum
+/// with crc = 0.
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t n);
+
+/// One-shot CRC of a buffer.
+inline std::uint32_t Crc32c(const void* data, std::size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+inline std::uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_COMMON_CRC32C_H_

@@ -71,13 +71,40 @@ Result<std::vector<std::string>> CsvParseRow(const std::string& line) {
   return fields;
 }
 
+std::string CsvEncodeRows(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    out += CsvEncodeRow(row);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> CsvParseText(
+    const std::string& text, const std::string& context) {
+  std::istringstream in(text);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    auto row = CsvParseRow(line);
+    if (!row.ok()) {
+      return Status(row.status().code(), context + " line " +
+                                             std::to_string(line_number) +
+                                             ": " + row.status().message());
+    }
+    rows.push_back(std::move(row).value());
+  }
+  return rows;
+}
+
 Status CsvWriteFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
-  for (const auto& row : rows) {
-    out << CsvEncodeRow(row) << '\n';
-  }
+  out << CsvEncodeRows(rows);
   out.flush();
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
@@ -87,22 +114,10 @@ Result<std::vector<std::vector<std::string>>> CsvReadFile(
     const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::vector<std::vector<std::string>> rows;
-  std::string line;
-  std::size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty() || line == "\r") continue;
-    auto row = CsvParseRow(line);
-    if (!row.ok()) {
-      return Status(row.status().code(), path + " line " +
-                                             std::to_string(line_number) +
-                                             ": " + row.status().message());
-    }
-    rows.push_back(std::move(row).value());
-  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
   if (in.bad()) return Status::IoError("read failed: " + path);
-  return rows;
+  return CsvParseText(buffer.str(), path);
 }
 
 }  // namespace perfxplain

@@ -18,6 +18,16 @@ std::string CsvEncodeRow(const std::vector<std::string>& fields);
 /// Parses one physical line into fields. Fails on unterminated quotes.
 Result<std::vector<std::string>> CsvParseRow(const std::string& line);
 
+/// Encodes all rows as one text blob, one '\n'-terminated line per row
+/// (the in-memory twin of CsvWriteFile, used by the checkpoint writer to
+/// checksum the bytes before they touch disk).
+std::string CsvEncodeRows(const std::vector<std::vector<std::string>>& rows);
+
+/// Parses a whole CSV text blob. Blank lines are skipped; errors carry
+/// `context` (a path or description) and the line number.
+Result<std::vector<std::vector<std::string>>> CsvParseText(
+    const std::string& text, const std::string& context);
+
 /// Writes all rows to `path`, overwriting it.
 Status CsvWriteFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows);

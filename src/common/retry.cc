@@ -1,0 +1,40 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/cancel.h"
+
+namespace perfxplain {
+
+Status RetryTransient(
+    const RetryOptions& options, const std::function<Status()>& op,
+    const std::function<void(std::chrono::milliseconds)>& sleep) {
+  const int attempts = std::max(1, options.max_attempts);
+  std::int64_t backoff_ms = std::max<std::int64_t>(0,
+                                                   options.initial_backoff_ms);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Between attempts only: the request's own deadline or CancelToken
+      // outranks the backoff schedule.
+      if (const ExecContext* context = CurrentExecContext()) {
+        Status interrupted = context->Interrupted();
+        if (!interrupted.ok()) return interrupted;
+      }
+      const auto pause = std::chrono::milliseconds(backoff_ms);
+      if (sleep) {
+        sleep(pause);
+      } else if (backoff_ms > 0) {
+        std::this_thread::sleep_for(pause);
+      }
+      backoff_ms = std::min(options.max_backoff_ms,
+                            std::max<std::int64_t>(1, backoff_ms * 2));
+    }
+    last = op();
+    if (last.code() != StatusCode::kUnavailable) return last;
+  }
+  return last;
+}
+
+}  // namespace perfxplain

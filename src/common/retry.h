@@ -1,0 +1,41 @@
+#ifndef PERFXPLAIN_COMMON_RETRY_H_
+#define PERFXPLAIN_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace perfxplain {
+
+/// Bounded exponential backoff for transient I/O failures at the
+/// ingest/WAL boundary. Only StatusCode::kUnavailable (the EINTR/EAGAIN
+/// class — see file_io.cc, which maps exactly those errnos) is retried;
+/// every other code is a real failure and returns immediately, so a
+/// retry loop can never mask corruption or a full disk as "try again".
+struct RetryOptions {
+  /// Total tries, the first attempt included. 1 disables retrying.
+  int max_attempts = 4;
+  /// Backoff before the first retry; doubled per retry up to the cap.
+  std::int64_t initial_backoff_ms = 1;
+  std::int64_t max_backoff_ms = 64;
+};
+
+/// Runs `op` until it returns something other than kUnavailable or the
+/// attempt budget is spent (the last transient status is then returned).
+/// Deadline-aware via the calling thread's ExecContext: between attempts
+/// the current deadline/CancelToken is consulted, and an interrupted
+/// request stops retrying and returns kDeadlineExceeded/kCancelled
+/// instead of sleeping through its own deadline. No context installed
+/// means no interruption checks, like every other checkpoint.
+///
+/// `sleep` is the backoff actuator, injectable so tests can count and
+/// fast-forward backoffs; the default really sleeps.
+Status RetryTransient(
+    const RetryOptions& options, const std::function<Status()>& op,
+    const std::function<void(std::chrono::milliseconds)>& sleep = {});
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_COMMON_RETRY_H_

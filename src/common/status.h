@@ -22,6 +22,10 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  /// A transient, retryable failure (EINTR/EAGAIN-class I/O): the
+  /// operation may succeed if simply tried again. RetryTransient
+  /// (common/retry.h) retries exactly this code and nothing else.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g., "InvalidArgument").
@@ -65,6 +69,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

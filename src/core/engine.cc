@@ -49,9 +49,22 @@ std::string OptionsFingerprint(const EngineOptions& options) {
 
 }  // namespace
 
+namespace {
+std::atomic<std::uint64_t> g_next_snapshot_id{1};
+}  // namespace
+
 std::uint64_t LogSnapshot::NextId() {
-  static std::atomic<std::uint64_t> next{1};
-  return next.fetch_add(1, std::memory_order_relaxed);
+  return g_next_snapshot_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LogSnapshot::EnsureNextIdAfter(std::uint64_t id) {
+  std::uint64_t current = g_next_snapshot_id.load(std::memory_order_relaxed);
+  while (current <= id &&
+         !g_next_snapshot_id.compare_exchange_weak(
+             current, id + 1, std::memory_order_relaxed)) {
+    // current reloaded by the failed CAS; loop until someone (us or a
+    // concurrent caller) has pushed the counter past `id`.
+  }
 }
 
 const char* TechniqueToString(Technique technique) {

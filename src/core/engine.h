@@ -78,6 +78,14 @@ class LogSnapshot {
   /// range (ResultCache::InvalidateSnapshot) when engines share a cache
   /// across a snapshot rotation.
   std::uint64_t id() const { return id_; }
+
+  /// Raises the process-wide id counter so the next snapshot gets an id
+  /// strictly greater than `id`. Recovery calls this with the persisted
+  /// checkpoint generation before building any snapshot, so generation
+  /// ids stay monotone across restarts (a recovered process must never
+  /// re-issue a generation an on-disk checkpoint already names).
+  static void EnsureNextIdAfter(std::uint64_t id);
+
   const ExecutionLog& log() const { return log_; }
   const PairSchema& pair_schema() const { return schema_; }
   const ColumnarLog& columns() const { return columns_; }

@@ -1,5 +1,7 @@
 #include "log/execution_log.h"
 
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/csv.h"
@@ -89,7 +91,7 @@ Status ExecutionLog::EnsureRecords(const ExecutionLog& source,
   return Status::OK();
 }
 
-Status ExecutionLog::SaveCsv(const std::string& path) const {
+std::string ExecutionLog::ToCsvText() const {
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> header = {"id"};
   std::vector<std::string> kinds = {"id"};
@@ -104,20 +106,22 @@ Status ExecutionLog::SaveCsv(const std::string& path) const {
     for (const auto& v : record.values) row.push_back(v.ToString());
     rows.push_back(std::move(row));
   }
-  return CsvWriteFile(path, rows);
+  return CsvEncodeRows(rows);
 }
 
-Result<ExecutionLog> ExecutionLog::LoadCsv(const std::string& path) {
-  auto rows_or = CsvReadFile(path);
+Result<ExecutionLog> ExecutionLog::FromCsvText(const std::string& text,
+                                               const std::string& context) {
+  auto rows_or = CsvParseText(text, context);
   if (!rows_or.ok()) return rows_or.status();
   const auto& rows = rows_or.value();
   if (rows.size() < 2) {
-    return Status::ParseError("log CSV needs header and kind rows: " + path);
+    return Status::ParseError("log CSV needs header and kind rows: " +
+                              context);
   }
   const auto& header = rows[0];
   const auto& kinds = rows[1];
   if (header.size() != kinds.size() || header.empty() || header[0] != "id") {
-    return Status::ParseError("malformed log CSV header: " + path);
+    return Status::ParseError("malformed log CSV header: " + context);
   }
   Schema schema;
   for (std::size_t i = 1; i < header.size(); ++i) {
@@ -136,7 +140,7 @@ Result<ExecutionLog> ExecutionLog::LoadCsv(const std::string& path) {
     const auto& row = rows[r];
     if (row.size() != header.size()) {
       return Status::ParseError("row " + std::to_string(r) +
-                                " has wrong arity in " + path);
+                                " has wrong arity in " + context);
     }
     std::vector<Value> values;
     values.reserve(row.size() - 1);
@@ -147,6 +151,24 @@ Result<ExecutionLog> ExecutionLog::LoadCsv(const std::string& path) {
     PX_RETURN_IF_ERROR(log.Add(ExecutionRecord(row[0], std::move(values))));
   }
   return log;
+}
+
+Status ExecutionLog::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << ToCsvText();
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ExecutionLog> ExecutionLog::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return FromCsvText(buffer.str(), path);
 }
 
 }  // namespace perfxplain

@@ -75,6 +75,14 @@ class ExecutionLog {
   Status SaveCsv(const std::string& path) const;
   static Result<ExecutionLog> LoadCsv(const std::string& path);
 
+  /// Same format as an in-memory text blob (the checkpoint writer
+  /// checksums these bytes before they reach disk, so what the CRC covers
+  /// is exactly what a recovery will parse). `context` labels parse
+  /// errors (a path or description).
+  std::string ToCsvText() const;
+  static Result<ExecutionLog> FromCsvText(const std::string& text,
+                                          const std::string& context);
+
  private:
   Schema schema_;
   std::vector<ExecutionRecord> records_;

@@ -53,6 +53,20 @@ Status DeltaLog::AppendBatch(std::vector<ExecutionRecord> records) {
   return Status::OK();
 }
 
+Status DeltaLog::ValidateBatch(
+    const std::vector<ExecutionRecord>& records) const {
+  MutexLock lock(mutex_);
+  std::set<std::string> batch_ids;
+  for (const ExecutionRecord& record : records) {
+    PX_RETURN_IF_ERROR(Validate(record));
+    if (!batch_ids.insert(record.id).second) {
+      return Status::InvalidArgument("record id '" + record.id +
+                                     "' appears twice in the batch");
+    }
+  }
+  return Status::OK();
+}
+
 bool DeltaLog::Contains(const std::string& id) const {
   MutexLock lock(mutex_);
   return ids_.count(id) > 0;

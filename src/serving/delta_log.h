@@ -62,6 +62,14 @@ class DeltaLog {
   Status AppendBatch(std::vector<ExecutionRecord> records)
       PX_EXCLUDES(mutex_);
 
+  /// Exactly AppendBatch's validation (schema, pending set, intra-batch
+  /// duplicates) without staging anything. The durable append path runs
+  /// this BEFORE journaling a batch, so a batch that would be rejected
+  /// never reaches the WAL — and replay re-running the same deterministic
+  /// validation reaches the same verdicts.
+  Status ValidateBatch(const std::vector<ExecutionRecord>& records) const
+      PX_EXCLUDES(mutex_);
+
   /// True when `id` is pending (staged or draining).
   bool Contains(const std::string& id) const PX_EXCLUDES(mutex_);
 

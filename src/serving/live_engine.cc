@@ -52,6 +52,13 @@ std::uint64_t LiveEngine::generation() const {
 }
 
 Status LiveEngine::Append(ExecutionRecord record) {
+  if (wal_ != nullptr) {
+    std::vector<ExecutionRecord> batch;
+    batch.push_back(std::move(record));
+    PX_RETURN_IF_ERROR(DurableStage(std::move(batch)));
+    MaybeAutoRotate();
+    return Status::OK();
+  }
   {
     // The duplicate check against the served log and the delta append
     // happen under the same lock the rotation's swap+commit holds, so an
@@ -70,6 +77,11 @@ Status LiveEngine::Append(ExecutionRecord record) {
 }
 
 Status LiveEngine::AppendBatch(std::vector<ExecutionRecord> records) {
+  if (wal_ != nullptr) {
+    PX_RETURN_IF_ERROR(DurableStage(std::move(records)));
+    MaybeAutoRotate();
+    return Status::OK();
+  }
   {
     MutexLock lock(state_mutex_);
     for (const ExecutionRecord& record : records) {
@@ -81,6 +93,40 @@ Status LiveEngine::AppendBatch(std::vector<ExecutionRecord> records) {
     PX_RETURN_IF_ERROR(delta_.AppendBatch(std::move(records)));
   }
   MaybeAutoRotate();
+  return Status::OK();
+}
+
+Status LiveEngine::DurableStage(std::vector<ExecutionRecord> records) {
+  if (records.empty()) return Status::OK();
+  MutexLock append_lock(append_mutex_);
+  {
+    // Pre-validate so a batch that would be rejected never reaches the
+    // journal: replay re-runs exactly these deterministic checks, so the
+    // WAL stays free of batches the live engine did not accept.
+    MutexLock lock(state_mutex_);
+    for (const ExecutionRecord& record : records) {
+      if (current_->log().Find(record.id).ok()) {
+        return Status::InvalidArgument("record id '" + record.id +
+                                       "' already exists in the served log");
+      }
+    }
+    PX_RETURN_IF_ERROR(delta_.ValidateBatch(records));
+  }
+  // Journal + fsync outside state_mutex_: a disk barrier must never
+  // stall Explain's engine-pointer grab or a rotation's swap. A failure
+  // here means the batch is NOT acknowledged and NOT staged — at worst
+  // uncommitted frames linger in the segment, which replay discards.
+  Result<std::uint64_t> sequence = wal_->AppendBatch(records);
+  if (!sequence.ok()) return sequence.status();
+  {
+    // Between pre-validation and staging the only mutators were other
+    // durable appends (serialized by append_mutex_) and rotations, which
+    // only move pending records into the served log — so the checks
+    // above still hold and this stage cannot introduce a duplicate.
+    MutexLock lock(state_mutex_);
+    PX_RETURN_IF_ERROR(delta_.AppendBatch(std::move(records)));
+    last_staged_seq_ = *sequence;
+  }
   return Status::OK();
 }
 
@@ -135,7 +181,17 @@ Result<RotationStats> LiveEngine::Rotate(const RotateRequest& request) {
   stats.new_snapshot_id = stats.old_snapshot_id;
   stats.total_rows = old_engine->log().size();
 
-  std::vector<ExecutionRecord> drained = delta_.BeginDrain();
+  std::vector<ExecutionRecord> drained;
+  std::uint64_t drain_through = 0;
+  {
+    // Capture the drained prefix and the WAL sequence of its last batch
+    // atomically: durable appends stage and bump last_staged_seq_ under
+    // this same lock, so `drain_through` names exactly the journaled
+    // prefix this promotion will fold in.
+    MutexLock lock(state_mutex_);
+    drained = delta_.BeginDrain();
+    drain_through = last_staged_seq_;
+  }
   if (drained.empty()) {
     delta_.AbortDrain();
     stats.promote_ms = MsSince(start);
@@ -206,6 +262,34 @@ Result<RotationStats> LiveEngine::Rotate(const RotateRequest& request) {
     stats.new_snapshot_id = next_snapshot->id();
     stats.promoted_rows = promoted;
     stats.total_rows = next_snapshot->log().size();
+
+    // Durability epilogue — everything here is fail-soft: the swap
+    // already happened, and on any failure the WAL keeps every segment,
+    // so a recovery still reconstructs exactly this state.
+    if (wal_ != nullptr) {
+      Status marked =
+          wal_->AppendDrainCommit(drain_through, next_snapshot->id());
+      if (!marked.ok() && stats.checkpoint_error.empty()) {
+        stats.checkpoint_error = marked.ToString();
+      }
+    }
+    if (durability_.checkpoint_on_rotate &&
+        !durability_.checkpoint_dir.empty()) {
+      Status written = SnapshotCheckpoint::Write(
+          durability_.checkpoint_dir, next_snapshot->log(),
+          next_snapshot->id(), drain_through, fs_);
+      if (written.ok()) {
+        stats.checkpointed = true;
+        if (wal_ != nullptr) {
+          // The checkpoint durably covers every batch through
+          // drain_through; segments wholly below it are dead weight.
+          (void)wal_->TruncateThrough(drain_through);
+        }
+      } else {
+        stats.checkpoint_error = written.ToString();
+      }
+    }
+
     if (options_.result_cache != nullptr) {
       // Exactly the retired generation's entries; plus a straggler sweep
       // of any generation that just left the drain window (its drain
@@ -227,6 +311,121 @@ Result<RotationStats> LiveEngine::Rotate(const RotateRequest& request) {
     delta_.AbortDrain();
     return interrupted.status();
   }
+}
+
+Result<std::unique_ptr<LiveEngine>> LiveEngine::Recover(
+    ExecutionLog seed_log, const DurabilityOptions& durability,
+    EngineOptions options, RotationPolicy policy, RecoveryStats* stats,
+    FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  RecoveryStats recovered;
+
+  // 1. Base state: the newest durable checkpoint, or the seed log on a
+  // fresh deployment. A damaged newest checkpoint is a hard, contextful
+  // failure — silently falling back to older state would serve answers
+  // missing acknowledged records.
+  ExecutionLog base = std::move(seed_log);
+  std::uint64_t wal_through = 0;
+  if (!durability.checkpoint_dir.empty()) {
+    Result<CheckpointContents> loaded =
+        SnapshotCheckpoint::LoadLatest(durability.checkpoint_dir, fs);
+    if (loaded.ok()) {
+      recovered.checkpoint_loaded = true;
+      recovered.checkpoint_generation = loaded->generation;
+      recovered.checkpoint_rows = loaded->log.size();
+      wal_through = loaded->wal_through;
+      base = std::move(loaded->log);
+      // Never re-issue a generation an on-disk checkpoint already names.
+      LogSnapshot::EnsureNextIdAfter(loaded->generation);
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+
+  // 2. The WAL tail past the checkpoint's cutoff. Torn tails are
+  // classified (and truncated below), corruption inside committed data
+  // fails here with file + offset context.
+  WalReplayResult replay;
+  if (!durability.wal_dir.empty()) {
+    Result<WalReplayResult> replayed =
+        WalReader::Replay(durability.wal_dir, wal_through, fs);
+    if (!replayed.ok()) return replayed.status();
+    replay = std::move(*replayed);
+    if (replay.tail_truncated) {
+      PX_RETURN_IF_ERROR(
+          fs->TruncateFile(durability.wal_dir + "/" + replay.truncated_file,
+                           replay.truncate_offset));
+      recovered.wal_tail_truncated = true;
+      recovered.truncated_file = replay.truncated_file;
+      recovered.truncate_offset = replay.truncate_offset;
+    }
+    recovered.discarded_records = replay.discarded_records;
+    LogSnapshot::EnsureNextIdAfter(replay.drained_generation);
+  }
+
+  auto engine = std::make_unique<LiveEngine>(std::move(base),
+                                             std::move(options), policy);
+  engine->durability_ = durability;
+  engine->fs_ = fs;
+
+  if (!durability.wal_dir.empty()) {
+    // New segment, sequences continuing after everything ever committed;
+    // the replayed segments become sealed history the next checkpoint
+    // can truncate.
+    Result<std::unique_ptr<WalWriter>> wal =
+        WalWriter::Open(durability.wal_dir, durability.wal,
+                        replay.last_sequence + 1, replay.segments, fs);
+    if (!wal.ok()) return wal.status();
+    engine->wal_ = std::move(*wal);
+    {
+      MutexLock lock(engine->state_mutex_);
+      engine->last_staged_seq_ = replay.last_sequence;
+    }
+
+    // 3. Re-apply the tail through the same validated path that admitted
+    // it live — without re-journaling (the batches are already durable).
+    for (WalBatch& batch : replay.batches) {
+      try {
+        ThrowIfInterrupted();
+      } catch (const InterruptedError& interrupted) {
+        return interrupted.status();
+      }
+      const std::size_t batch_records = batch.records.size();
+      Status staged;
+      {
+        MutexLock lock(engine->state_mutex_);
+        for (const ExecutionRecord& record : batch.records) {
+          if (engine->current_->log().Find(record.id).ok()) {
+            staged = Status::InvalidArgument(
+                "record id '" + record.id +
+                "' already exists in the served log");
+            break;
+          }
+        }
+        if (staged.ok()) {
+          staged = engine->delta_.AppendBatch(std::move(batch.records));
+        }
+      }
+      if (staged.ok()) {
+        recovered.replayed_batches += 1;
+        recovered.replayed_records += batch_records;
+      } else {
+        recovered.rejected_batches += 1;
+      }
+    }
+
+    // 4. Fold the replayed records into a served snapshot before
+    // returning: explanations consult the snapshot, so serving would
+    // otherwise resume blind to the replayed tail. This rotation also
+    // re-checkpoints and truncates the replayed segments.
+    if (recovered.replayed_batches > 0) {
+      Result<RotationStats> rotated = engine->Rotate();
+      if (!rotated.ok()) return rotated.status();
+    }
+  }
+
+  if (stats != nullptr) *stats = recovered;
+  return engine;
 }
 
 void LiveEngine::StartPromoter() {

@@ -16,8 +16,46 @@
 #include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "serving/delta_log.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
 
 namespace perfxplain {
+
+/// Crash-safety knobs for a LiveEngine obtained through Recover. Both
+/// directories empty = a purely in-memory engine (the plain constructor's
+/// behaviour). With a wal_dir, every accepted append batch is journaled
+/// and fsynced per WalOptions BEFORE the append returns, so an
+/// acknowledged record survives a crash; with a checkpoint_dir, each
+/// rotation durably checkpoints the promoted snapshot and truncates the
+/// WAL segments the checkpoint covers, bounding replay time.
+struct DurabilityOptions {
+  std::string wal_dir;         ///< empty = no write-ahead journal
+  std::string checkpoint_dir;  ///< empty = no snapshot checkpoints
+  WalOptions wal;
+  /// Write a checkpoint on every rotation (with a checkpoint_dir).
+  bool checkpoint_on_rotate = true;
+};
+
+/// What LiveEngine::Recover found and did.
+struct RecoveryStats {
+  bool checkpoint_loaded = false;
+  std::uint64_t checkpoint_generation = 0;
+  std::size_t checkpoint_rows = 0;
+  /// WAL tail batches re-applied through the validated append path.
+  std::size_t replayed_batches = 0;
+  std::size_t replayed_records = 0;
+  /// Journaled batches the validation path rejected on re-apply (the
+  /// same deterministic checks that admitted them live; nonzero only
+  /// when the journal and checkpoint disagree).
+  std::size_t rejected_batches = 0;
+  /// A torn tail was found and physically truncated.
+  bool wal_tail_truncated = false;
+  std::string truncated_file;
+  std::uint64_t truncate_offset = 0;
+  /// Journaled records whose commit marker never made it (in-flight at
+  /// the crash, never acknowledged).
+  std::size_t discarded_records = 0;
+};
 
 /// When the promoter folds the delta log into a fresh snapshot. Both
 /// thresholds 0 disables auto-rotation (explicit Rotate calls only).
@@ -69,6 +107,12 @@ struct RotationStats {
   /// Entries of the retired generation dropped from the shared
   /// ResultCache (0 when caching is off).
   std::size_t invalidated_cache_entries = 0;
+  /// A durable checkpoint of the new snapshot was written (engines with a
+  /// checkpoint_dir only); on success the WAL was truncated through the
+  /// drained batches. Checkpoint failures are fail-soft — the rotation
+  /// itself stands, the WAL keeps everything, and the error is here.
+  bool checkpointed = false;
+  std::string checkpoint_error;
   double promote_ms = 0.0;
 };
 
@@ -112,6 +156,24 @@ class LiveEngine {
                       RotationPolicy policy = {});
   ~LiveEngine();
 
+  /// The one way to obtain a durable LiveEngine, and the crash-recovery
+  /// entry point — on a fresh directory pair it simply starts journaling.
+  /// Loads the newest checkpoint (falling back to `seed_log` when none
+  /// exists), replays the WAL tail past the checkpoint's cutoff through
+  /// the same validated append path that admitted those batches live,
+  /// physically truncates a torn tail at the last committed batch
+  /// boundary, and folds the replayed records into a fresh snapshot
+  /// before returning — so explanations from the recovered engine are
+  /// bitwise identical to an uncrashed engine over the same acknowledged
+  /// appends. Torn tails are never fatal; corruption beyond the torn tail
+  /// (a checksum mismatch inside committed data, a damaged checkpoint)
+  /// fails with a contextful Status rather than serving silently wrong
+  /// answers. Interruptible via the calling thread's ExecContext.
+  static Result<std::unique_ptr<LiveEngine>> Recover(
+      ExecutionLog seed_log, const DurabilityOptions& durability,
+      EngineOptions options = {}, RotationPolicy policy = {},
+      RecoveryStats* stats = nullptr, FileSystem* fs = nullptr);
+
   LiveEngine(const LiveEngine&) = delete;
   LiveEngine& operator=(const LiveEngine&) = delete;
 
@@ -138,12 +200,16 @@ class LiveEngine {
   /// Stages one record behind the engine boundary. Validates arity and
   /// id uniqueness against both the served log and the pending delta.
   /// Never blocks Explain; may trigger an auto-rotation (inline when no
-  /// promoter thread runs, else by waking it).
+  /// promoter thread runs, else by waking it). On a durable engine the
+  /// record is journaled and fsynced (per WalOptions) before OK is
+  /// returned: an acknowledged append survives a crash, and a failed
+  /// journal write means NOT acknowledged — the record is not staged.
   Status Append(ExecutionRecord record)
       PX_EXCLUDES(state_mutex_, rotation_mutex_);
 
   /// All-or-nothing batch append (the streaming ingest entry points feed
-  /// this). One threshold check at the end, like one Append.
+  /// this). One threshold check at the end, like one Append; one WAL
+  /// batch (records + commit marker) on a durable engine.
   Status AppendBatch(std::vector<ExecutionRecord> records)
       PX_EXCLUDES(state_mutex_, rotation_mutex_);
 
@@ -185,6 +251,14 @@ class LiveEngine {
   void MaybeAutoRotate() PX_EXCLUDES(state_mutex_, rotation_mutex_);
   void PromoterLoop();
 
+  /// The durable append path: pre-validate under state_mutex_, journal +
+  /// fsync OUTSIDE it (a disk barrier must never stall Explain's
+  /// engine-pointer grab), then stage. append_mutex_ serializes these
+  /// triples so the WAL's batch order equals the staging order replay
+  /// reproduces.
+  Status DurableStage(std::vector<ExecutionRecord> records)
+      PX_EXCLUDES(append_mutex_, state_mutex_, rotation_mutex_);
+
   /// The one mutation of serving state: installs `next` and commits the
   /// drain in one critical section, then slides the drain window.
   /// Returns the engine that fell out of the window (released outside
@@ -195,6 +269,21 @@ class LiveEngine {
   EngineOptions options_;  ///< result_cache always set when caching is on
   const RotationPolicy policy_;
   DeltaLog delta_;
+
+  // Durability state; only Recover populates it (wal_ stays null on a
+  // plain-constructed, in-memory engine).
+  DurabilityOptions durability_;
+  FileSystem* fs_ = nullptr;
+  std::unique_ptr<WalWriter> wal_;
+
+  /// Serializes durable appends end to end (validate → journal → stage).
+  /// Never held by readers or rotations, and never held while holding
+  /// state_mutex_ across an fsync.
+  Mutex append_mutex_;
+  /// WAL sequence of the last staged batch; captured together with
+  /// BeginDrain under state_mutex_, so a drain-commit names exactly the
+  /// journaled prefix the new snapshot folded in.
+  std::uint64_t last_staged_seq_ PX_GUARDED_BY(state_mutex_) = 0;
 
   mutable Mutex state_mutex_;
   std::shared_ptr<const Engine> current_ PX_GUARDED_BY(state_mutex_);

@@ -1,0 +1,63 @@
+#ifndef PERFXPLAIN_STORAGE_CHECKPOINT_H_
+#define PERFXPLAIN_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "log/execution_log.h"
+#include "storage/file_io.h"
+
+namespace perfxplain {
+
+/// Durable snapshot checkpoints for the live-serving engine. A checkpoint
+/// captures the promoted ExecutionLog (schema included — it is the CSV's
+/// header and kind rows), the snapshot generation that produced it, and
+/// the highest WAL batch sequence folded into it; recovery loads the
+/// newest checkpoint and replays only the WAL tail past `wal_through`.
+///
+/// On-disk layout under the checkpoint directory:
+///
+///   checkpoint-NNNNNN/          one directory per generation
+///     MANIFEST                  header, per-file size + CRC32C, self-CRC
+///     log.csv                   ExecutionLog::ToCsvText bytes
+///
+/// Atomicity: contents are written into a `.tmp-NNNNNN` directory, every
+/// file fsynced, then the directory is renamed into place and the parent
+/// fsynced — a crash anywhere leaves either the previous checkpoint or
+/// the new one, never a half-written hybrid (stale tmp directories are
+/// swept on the next successful Write). The manifest checksums are
+/// computed over the exact bytes handed to the filesystem, so LoadLatest
+/// verifying them proves end-to-end that what recovery parses is what the
+/// serving process serialized.
+struct CheckpointContents {
+  std::uint64_t generation = 0;
+  /// Highest WAL batch sequence already folded into `log`; replay starts
+  /// after it.
+  std::uint64_t wal_through = 0;
+  ExecutionLog log;
+};
+
+class SnapshotCheckpoint {
+ public:
+  /// Durably writes `log` as generation `generation`, then deletes older
+  /// checkpoints and stale tmp directories (best-effort). On return the
+  /// new checkpoint is the one LoadLatest will pick, or nothing changed.
+  static Status Write(const std::string& dir, const ExecutionLog& log,
+                      std::uint64_t generation, std::uint64_t wal_through,
+                      FileSystem* fs = nullptr);
+
+  /// Loads the newest checkpoint. kNotFound when the directory holds none
+  /// (fresh deployment); any integrity failure of the newest checkpoint —
+  /// bad manifest, size or CRC mismatch, unparseable log — is a contextful
+  /// error, never a silent fallback to older state.
+  static Result<CheckpointContents> LoadLatest(const std::string& dir,
+                                               FileSystem* fs = nullptr);
+};
+
+/// "checkpoint-NNNNNN" for `generation` (zero-padded, wider if needed).
+std::string CheckpointDirName(std::uint64_t generation);
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,83 @@
+#ifndef PERFXPLAIN_STORAGE_FILE_IO_H_
+#define PERFXPLAIN_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace perfxplain {
+
+/// The file abstraction under the durability layer (WAL segments,
+/// checkpoint files). Deliberately tiny: append-only writes with explicit
+/// fsync, whole-file reads, and the directory operations the atomic
+/// checkpoint protocol needs. Everything returns Status — storage sits on
+/// the untrusted side of the error-handling contract (pxlint:boundary),
+/// so a full disk, a torn file or a vanished directory is a value, never
+/// a crash.
+///
+/// The seam exists so tests can interpose FaultFs (tests/testing), which
+/// kills writes at a chosen byte to simulate a crash mid-append; the
+/// recovery path is then exercised against exactly the bytes that
+/// survived.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends all of `data` or fails. Transient failures (EINTR/EAGAIN)
+  /// surface as kUnavailable for the caller's RetryTransient loop; a
+  /// short write after retries is an IoError.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Durability barrier (fsync). Data is crash-safe only after this
+  /// returns OK.
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens (creating if absent) `path` for appending.
+  virtual Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) = 0;
+
+  /// Reads the whole file into a string (binary).
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries of `dir`, sorted ascending.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// mkdir -p.
+  virtual Status CreateDirs(const std::string& dir) = 0;
+
+  /// Atomic rename of a file or directory (same filesystem).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// rm -rf; OK when `path` does not exist.
+  virtual Status RemoveAll(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (WAL torn-tail repair).
+  virtual Status TruncateFile(const std::string& path, std::uint64_t size) = 0;
+
+  /// fsyncs the directory itself, making renames/creates within it
+  /// durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// The process-wide POSIX filesystem.
+  static FileSystem* Default();
+};
+
+}  // namespace perfxplain
+
+#endif  // PERFXPLAIN_STORAGE_FILE_IO_H_

@@ -1,0 +1,562 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/cancel.h"
+#include "common/crc32c.h"
+
+namespace perfxplain {
+
+const char kWalMagic[9] = "PXWAL001";
+
+namespace {
+
+constexpr std::size_t kMagicBytes = 8;
+// [u32 payload_len][u8 type][u32 payload_crc][u32 header_crc]
+constexpr std::size_t kHeaderBytes = 13;
+constexpr std::size_t kHeaderCrcCovers = 9;
+
+constexpr std::uint8_t kFrameRecord = 1;
+constexpr std::uint8_t kFrameCommit = 2;
+constexpr std::uint8_t kFrameDrainCommit = 3;
+
+void PutU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t ReadU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t ReadU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+/// Bounds-checked cursor over a payload; any overrun is corruption, never
+/// undefined behaviour.
+class PayloadCursor {
+ public:
+  PayloadCursor(const std::string& data, std::size_t begin, std::size_t size)
+      : data_(data.data() + begin), size_(size) {}
+
+  bool TakeU32(std::uint32_t* out) {
+    if (size_ - pos_ < 4) return false;
+    *out = ReadU32(data_ + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool TakeU64(std::uint64_t* out) {
+    if (size_ - pos_ < 8) return false;
+    *out = ReadU64(data_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  bool TakeU8(std::uint8_t* out) {
+    if (size_ - pos_ < 1) return false;
+    *out = static_cast<std::uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+
+  bool TakeBytes(std::size_t n, std::string* out) {
+    if (size_ - pos_ < n) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void SerializeRecord(const ExecutionRecord& record, std::string& out) {
+  PutU32(out, static_cast<std::uint32_t>(record.id.size()));
+  out.append(record.id);
+  PutU32(out, static_cast<std::uint32_t>(record.values.size()));
+  for (const Value& value : record.values) {
+    PutU8(out, static_cast<std::uint8_t>(value.kind()));
+    if (value.is_numeric()) {
+      std::uint64_t bits = 0;
+      const double number = value.number();
+      std::memcpy(&bits, &number, sizeof(bits));
+      PutU64(out, bits);
+    } else if (value.is_nominal()) {
+      const std::string& text = value.nominal();
+      PutU32(out, static_cast<std::uint32_t>(text.size()));
+      out.append(text);
+    }
+  }
+}
+
+bool ParseRecord(PayloadCursor cursor, ExecutionRecord* record) {
+  std::uint32_t id_len = 0;
+  if (!cursor.TakeU32(&id_len)) return false;
+  if (!cursor.TakeBytes(id_len, &record->id)) return false;
+  std::uint32_t count = 0;
+  if (!cursor.TakeU32(&count)) return false;
+  record->values.clear();
+  record->values.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t kind = 0;
+    if (!cursor.TakeU8(&kind)) return false;
+    switch (static_cast<ValueKind>(kind)) {
+      case ValueKind::kMissing:
+        record->values.push_back(Value::Missing());
+        break;
+      case ValueKind::kNumeric: {
+        std::uint64_t bits = 0;
+        if (!cursor.TakeU64(&bits)) return false;
+        double number = 0.0;
+        std::memcpy(&number, &bits, sizeof(number));
+        record->values.push_back(Value::Number(number));
+        break;
+      }
+      case ValueKind::kNominal: {
+        std::uint32_t len = 0;
+        if (!cursor.TakeU32(&len)) return false;
+        std::string text;
+        if (!cursor.TakeBytes(len, &text)) return false;
+        record->values.push_back(Value::Nominal(std::move(text)));
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return cursor.exhausted();
+}
+
+void AppendFrame(std::string& out, std::uint8_t type,
+                 const std::string& payload) {
+  const std::size_t header_at = out.size();
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU8(out, type);
+  PutU32(out, Crc32c(payload.data(), payload.size()));
+  PutU32(out, Crc32c(out.data() + header_at, kHeaderCrcCovers));
+  out.append(payload);
+}
+
+Status CorruptAt(const std::string& file, std::uint64_t offset,
+                 const std::string& what) {
+  return Status::IoError("corrupt WAL segment '" + file + "' at offset " +
+                         std::to_string(offset) + ": " + what);
+}
+
+bool IsSegmentName(const std::string& name) {
+  return name.size() == 14 && name.compare(0, 4, "wal-") == 0 &&
+         name.compare(10, 4, ".log") == 0 &&
+         std::all_of(name.begin() + 4, name.begin() + 10,
+                     [](char c) { return c >= '0' && c <= '9'; });
+}
+
+std::uint64_t SegmentIndexOf(const std::string& name) {
+  std::uint64_t index = 0;
+  for (std::size_t i = 4; i < 10; ++i) {
+    index = index * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return index;
+}
+
+}  // namespace
+
+std::string WalSegmentFileName(std::uint64_t index) {
+  std::string digits = std::to_string(index);
+  if (digits.size() < 6) digits.insert(0, 6 - digits.size(), '0');
+  return "wal-" + digits + ".log";
+}
+
+WalWriter::WalWriter(std::string dir, WalOptions options,
+                     std::uint64_t next_sequence,
+                     std::vector<WalSegmentInfo> sealed, FileSystem* fs)
+    : dir_(std::move(dir)),
+      options_(options),
+      fs_(fs),
+      next_sequence_(next_sequence),
+      sealed_(std::move(sealed)) {}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& dir, const WalOptions& options,
+    std::uint64_t next_sequence, std::vector<WalSegmentInfo> sealed,
+    FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  if (next_sequence == 0) {
+    return Status::InvalidArgument("WAL sequences start at 1");
+  }
+  PX_RETURN_IF_ERROR(fs->CreateDirs(dir));
+  std::uint64_t max_index = 0;
+  Result<std::vector<std::string>> names = fs->ListDir(dir);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    if (IsSegmentName(name)) max_index = std::max(max_index, SegmentIndexOf(name));
+  }
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(dir, options, next_sequence, std::move(sealed), fs));
+  MutexLock lock(writer->mutex_);
+  writer->current_index_ = max_index;
+  PX_RETURN_IF_ERROR(writer->RotateSegmentLocked());
+  return writer;
+}
+
+Status WalWriter::RotateSegmentLocked() {
+  if (current_ != nullptr) {
+    // Seal the old segment: make its tail durable before anything points
+    // past it, then remember its coverage for TruncateThrough.
+    WritableFile* file = current_.get();
+    Status synced = options_.fsync == FsyncMode::kNone
+                        ? Status::OK()
+                        : RetryTransient(options_.retry,
+                                         [file] { return file->Sync(); });
+    if (!synced.ok()) return synced;
+    PX_RETURN_IF_ERROR(current_->Close());
+    sealed_.push_back(WalSegmentInfo{current_name_, current_last_sequence_});
+    current_.reset();
+  }
+  current_index_ += 1;
+  const std::string name = WalSegmentFileName(current_index_);
+  Result<std::unique_ptr<WritableFile>> file =
+      fs_->OpenForAppend(dir_ + "/" + name);
+  if (!file.ok()) return file.status();
+  current_ = std::move(*file);
+  current_name_ = name;
+  current_bytes_ = 0;
+  current_last_sequence_ = 0;
+  poisoned_ = false;
+  PX_RETURN_IF_ERROR(WriteLocked(std::string(kWalMagic, kMagicBytes)));
+  // A segment that exists but whose directory entry is not durable would
+  // vanish on power loss along with everything in it; one dir fsync per
+  // rotation closes that window.
+  PX_RETURN_IF_ERROR(current_->Sync());
+  return fs_->SyncDir(dir_);
+}
+
+Status WalWriter::WriteLocked(const std::string& data) {
+  WritableFile* file = current_.get();
+  Status written = RetryTransient(options_.retry,
+                                  [file, &data] { return file->Append(data); });
+  if (written.ok()) {
+    current_bytes_ += data.size();
+  } else {
+    poisoned_ = true;
+  }
+  return written;
+}
+
+Status WalWriter::MaybeSyncLocked() {
+  bool barrier = false;
+  switch (options_.fsync) {
+    case FsyncMode::kEveryBatch:
+      barrier = true;
+      break;
+    case FsyncMode::kEveryN:
+      batches_since_sync_ += 1;
+      barrier = batches_since_sync_ >= std::max(1, options_.fsync_every_n);
+      break;
+    case FsyncMode::kNone:
+      break;
+  }
+  if (!barrier) return Status::OK();
+  WritableFile* file = current_.get();
+  Status synced =
+      RetryTransient(options_.retry, [file] { return file->Sync(); });
+  if (synced.ok()) {
+    batches_since_sync_ = 0;
+  } else {
+    poisoned_ = true;
+  }
+  return synced;
+}
+
+Result<std::uint64_t> WalWriter::AppendBatch(
+    const std::vector<ExecutionRecord>& records) {
+  if (records.empty()) {
+    return Status::InvalidArgument("WAL batch must not be empty");
+  }
+  MutexLock lock(mutex_);
+  if (current_ == nullptr) {
+    return Status::FailedPrecondition("WAL writer has no open segment");
+  }
+  if (poisoned_ || current_bytes_ >= options_.segment_bytes) {
+    PX_RETURN_IF_ERROR(RotateSegmentLocked());
+  }
+  const std::uint64_t sequence = next_sequence_;
+  std::string frames;
+  std::string payload;
+  for (const ExecutionRecord& record : records) {
+    payload.clear();
+    SerializeRecord(record, payload);
+    AppendFrame(frames, kFrameRecord, payload);
+  }
+  payload.clear();
+  PutU64(payload, sequence);
+  PutU32(payload, static_cast<std::uint32_t>(records.size()));
+  AppendFrame(frames, kFrameCommit, payload);
+  PX_RETURN_IF_ERROR(WriteLocked(frames));
+  PX_RETURN_IF_ERROR(MaybeSyncLocked());
+  next_sequence_ = sequence + 1;
+  current_last_sequence_ = sequence;
+  return sequence;
+}
+
+Status WalWriter::AppendDrainCommit(std::uint64_t through_sequence,
+                                    std::uint64_t generation) {
+  MutexLock lock(mutex_);
+  if (current_ == nullptr) {
+    return Status::FailedPrecondition("WAL writer has no open segment");
+  }
+  if (poisoned_ || current_bytes_ >= options_.segment_bytes) {
+    PX_RETURN_IF_ERROR(RotateSegmentLocked());
+  }
+  std::string frames;
+  std::string payload;
+  PutU64(payload, through_sequence);
+  PutU64(payload, generation);
+  AppendFrame(frames, kFrameDrainCommit, payload);
+  PX_RETURN_IF_ERROR(WriteLocked(frames));
+  return MaybeSyncLocked();
+}
+
+Status WalWriter::Sync() {
+  MutexLock lock(mutex_);
+  if (current_ == nullptr) {
+    return Status::FailedPrecondition("WAL writer has no open segment");
+  }
+  WritableFile* file = current_.get();
+  Status synced =
+      RetryTransient(options_.retry, [file] { return file->Sync(); });
+  if (synced.ok()) batches_since_sync_ = 0;
+  return synced;
+}
+
+Status WalWriter::TruncateThrough(std::uint64_t sequence) {
+  MutexLock lock(mutex_);
+  std::vector<WalSegmentInfo> kept;
+  Status first_error;
+  for (const WalSegmentInfo& segment : sealed_) {
+    if (segment.last_sequence <= sequence) {
+      Status removed = fs_->RemoveFile(dir_ + "/" + segment.file_name);
+      if (removed.ok()) continue;
+      if (first_error.ok()) first_error = removed;
+    }
+    kept.push_back(segment);
+  }
+  sealed_ = std::move(kept);
+  PX_RETURN_IF_ERROR(first_error);
+  return fs_->SyncDir(dir_);
+}
+
+std::uint64_t WalWriter::next_sequence() const {
+  MutexLock lock(mutex_);
+  return next_sequence_;
+}
+
+Result<WalReplayResult> WalReader::Replay(const std::string& dir,
+                                          std::uint64_t after_sequence,
+                                          FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  WalReplayResult result;
+  Result<bool> exists = fs->FileExists(dir);
+  if (!exists.ok()) return exists.status();
+  if (!*exists) return result;
+  Result<std::vector<std::string>> names = fs->ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<std::string> segments;
+  for (const std::string& name : *names) {
+    if (IsSegmentName(name)) segments.push_back(name);
+  }
+  // ListDir sorts and the zero-padded names sort by index, so segments
+  // are already in write order.
+
+  try {
+    for (std::size_t seg = 0; seg < segments.size(); ++seg) {
+      const std::string& name = segments[seg];
+      const bool is_last = seg + 1 == segments.size();
+      Result<std::string> contents = fs->ReadFile(dir + "/" + name);
+      if (!contents.ok()) return contents.status();
+      const std::string& data = *contents;
+      WalSegmentInfo info;
+      info.file_name = name;
+
+      // A zero-length segment is benign: created (or truncated back to
+      // nothing by a previous recovery) before any frame survived.
+      if (data.empty()) {
+        result.segments.push_back(info);
+        continue;
+      }
+      if (data.size() < kMagicBytes ||
+          data.compare(0, kMagicBytes, kWalMagic, kMagicBytes) != 0) {
+        if (data.size() < kMagicBytes && is_last) {
+          // Torn during segment creation: nothing committed lives here.
+          result.tail_truncated = true;
+          result.truncated_file = name;
+          result.truncate_offset = 0;
+          result.segments.push_back(info);
+          break;
+        }
+        return CorruptAt(name, 0, "bad segment magic");
+      }
+
+      std::size_t offset = kMagicBytes;
+      // End of the last fully committed batch; a torn tail is cut here.
+      std::size_t committed_end = offset;
+      std::vector<ExecutionRecord> pending;
+      bool torn = false;
+      while (offset < data.size()) {
+        ThrowIfInterrupted();
+        if (data.size() - offset < kHeaderBytes) {
+          torn = true;  // header itself is incomplete
+          break;
+        }
+        const char* header = data.data() + offset;
+        const std::uint32_t payload_len = ReadU32(header);
+        const std::uint8_t type = static_cast<std::uint8_t>(header[4]);
+        const std::uint32_t payload_crc = ReadU32(header + 5);
+        const std::uint32_t header_crc = ReadU32(header + 9);
+        if (Crc32c(header, kHeaderCrcCovers) != header_crc) {
+          // All 13 header bytes are present, so the header write
+          // completed; a mismatch is damage, not a torn write.
+          return CorruptAt(name, offset, "frame header checksum mismatch");
+        }
+        if (data.size() - offset - kHeaderBytes < payload_len) {
+          torn = true;  // payload ran past EOF mid-write
+          break;
+        }
+        const std::size_t payload_at = offset + kHeaderBytes;
+        if (Crc32c(data.data() + payload_at, payload_len) != payload_crc) {
+          return CorruptAt(name, offset, "frame payload checksum mismatch");
+        }
+        PayloadCursor cursor(data, payload_at, payload_len);
+        switch (type) {
+          case kFrameRecord: {
+            ExecutionRecord record;
+            if (!ParseRecord(cursor, &record)) {
+              return CorruptAt(name, offset, "malformed record frame");
+            }
+            pending.push_back(std::move(record));
+            break;
+          }
+          case kFrameCommit: {
+            std::uint64_t sequence = 0;
+            std::uint32_t count = 0;
+            if (!cursor.TakeU64(&sequence) || !cursor.TakeU32(&count) ||
+                !cursor.exhausted()) {
+              return CorruptAt(name, offset, "malformed commit frame");
+            }
+            if (count != pending.size()) {
+              return CorruptAt(
+                  name, offset,
+                  "commit frame expects " + std::to_string(count) +
+                      " records but " + std::to_string(pending.size()) +
+                      " precede it");
+            }
+            if (sequence == 0) {
+              return CorruptAt(name, offset, "batch sequence 0 is invalid");
+            }
+            // Committed sequences are consecutive by construction (the
+            // writer advances next_sequence_ only on a successful
+            // commit), and segments are only deleted once a checkpoint
+            // covers them — so a gap here means a committed,
+            // acknowledged batch was destroyed. This is what makes a
+            // tolerated torn tail in a sealed segment safe: if the tear
+            // had eaten a committed batch, the next commit exposes it.
+            if (result.last_sequence != 0 &&
+                sequence != result.last_sequence + 1) {
+              return CorruptAt(
+                  name, offset,
+                  "batch sequence " + std::to_string(sequence) +
+                      " after " + std::to_string(result.last_sequence) +
+                      "; committed sequences are consecutive");
+            }
+            if (result.last_sequence == 0 &&
+                sequence > after_sequence + 1) {
+              return CorruptAt(
+                  name, offset,
+                  "first batch sequence " + std::to_string(sequence) +
+                      " but the checkpoint only covers through " +
+                      std::to_string(after_sequence) +
+                      "; committed batches are missing");
+            }
+            result.last_sequence = sequence;
+            info.last_sequence = sequence;
+            if (sequence > after_sequence) {
+              WalBatch batch;
+              batch.sequence = sequence;
+              batch.records = std::move(pending);
+              result.batches.push_back(std::move(batch));
+            }
+            pending.clear();
+            committed_end = payload_at + payload_len;
+            break;
+          }
+          case kFrameDrainCommit: {
+            std::uint64_t through = 0;
+            std::uint64_t generation = 0;
+            if (!cursor.TakeU64(&through) || !cursor.TakeU64(&generation) ||
+                !cursor.exhausted()) {
+              return CorruptAt(name, offset, "malformed drain-commit frame");
+            }
+            if (!pending.empty()) {
+              return CorruptAt(name, offset,
+                               "drain-commit amid uncommitted records");
+            }
+            result.drained_through = through;
+            result.drained_generation = generation;
+            committed_end = payload_at + payload_len;
+            break;
+          }
+          default:
+            return CorruptAt(name, offset,
+                             "unknown frame type " + std::to_string(type));
+        }
+        offset = payload_at + payload_len;
+      }
+
+      // A torn or uncommitted tail is legal in ANY segment, not just the
+      // youngest: a write failure poisons a segment mid-batch and the
+      // writer rotates onward, leaving the half-written tail sealed in
+      // place. Nothing committed can hide in such a tail — if it did,
+      // the consecutive-sequence check above fires at the next commit.
+      result.discarded_records += pending.size();
+      if (is_last && (torn || !pending.empty())) {
+        // Cut back to the last committed boundary so the next replay sees
+        // a clean journal; the discarded records were never acknowledged.
+        result.tail_truncated = true;
+        result.truncated_file = name;
+        result.truncate_offset = committed_end;
+      }
+      result.segments.push_back(info);
+    }
+  } catch (const InterruptedError& interrupted) {
+    return interrupted.status();
+  }
+  return result;
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,144 @@
+#include "common/retry.h"
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/cancel.h"
+#include "gtest/gtest.h"
+
+namespace perfxplain {
+namespace {
+
+/// An op that fails with `failure` for the first `failures` calls, then
+/// succeeds; counts invocations.
+struct FlakyOp {
+  int failures = 0;
+  Status failure = Status::Unavailable("flaky");
+  int calls = 0;
+
+  Status operator()() {
+    ++calls;
+    if (calls <= failures) return failure;
+    return Status::OK();
+  }
+};
+
+TEST(RetryTransientTest, FirstTrySuccessNeverSleeps) {
+  FlakyOp op;
+  std::vector<std::chrono::milliseconds> sleeps;
+  Status status = RetryTransient(
+      RetryOptions{}, [&] { return op(); },
+      [&](std::chrono::milliseconds p) { sleeps.push_back(p); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(op.calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTransientTest, TransientFailuresRetriedWithExponentialBackoff) {
+  FlakyOp op;
+  op.failures = 3;
+  std::vector<std::chrono::milliseconds> sleeps;
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_ms = 1;
+  options.max_backoff_ms = 64;
+  Status status = RetryTransient(
+      options, [&] { return op(); },
+      [&](std::chrono::milliseconds p) { sleeps.push_back(p); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(op.calls, 4);
+  ASSERT_EQ(sleeps.size(), 3u);
+  EXPECT_EQ(sleeps[0].count(), 1);
+  EXPECT_EQ(sleeps[1].count(), 2);
+  EXPECT_EQ(sleeps[2].count(), 4);
+}
+
+TEST(RetryTransientTest, BackoffCapsAtMax) {
+  FlakyOp op;
+  op.failures = 100;
+  std::vector<std::chrono::milliseconds> sleeps;
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.initial_backoff_ms = 8;
+  options.max_backoff_ms = 16;
+  Status status = RetryTransient(
+      options, [&] { return op(); },
+      [&](std::chrono::milliseconds p) { sleeps.push_back(p); });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(op.calls, 6);
+  ASSERT_EQ(sleeps.size(), 5u);
+  EXPECT_EQ(sleeps[0].count(), 8);
+  EXPECT_EQ(sleeps[1].count(), 16);
+  EXPECT_EQ(sleeps[4].count(), 16);
+}
+
+TEST(RetryTransientTest, ExhaustedBudgetReturnsLastTransientStatus) {
+  FlakyOp op;
+  op.failures = 100;
+  op.failure = Status::Unavailable("disk is having a moment");
+  Status status = RetryTransient(
+      RetryOptions{}, [&] { return op(); },
+      [](std::chrono::milliseconds) {});
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("having a moment"), std::string::npos);
+  EXPECT_EQ(op.calls, 4);  // default max_attempts
+}
+
+TEST(RetryTransientTest, NonTransientFailureReturnsImmediately) {
+  FlakyOp op;
+  op.failures = 100;
+  op.failure = Status::IoError("checksum mismatch");
+  std::vector<std::chrono::milliseconds> sleeps;
+  Status status = RetryTransient(
+      RetryOptions{}, [&] { return op(); },
+      [&](std::chrono::milliseconds p) { sleeps.push_back(p); });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(op.calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTransientTest, MaxAttemptsOneDisablesRetrying) {
+  FlakyOp op;
+  op.failures = 100;
+  RetryOptions options;
+  options.max_attempts = 1;
+  Status status = RetryTransient(
+      options, [&] { return op(); }, [](std::chrono::milliseconds) {});
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(op.calls, 1);
+}
+
+TEST(RetryTransientTest, CancelledRequestStopsRetryingBetweenAttempts) {
+  auto token = std::make_shared<CancelToken>();
+  token->Cancel();
+  ExecContext context;
+  context.cancel = token;
+  ScopedExecContext scoped(&context);
+
+  FlakyOp op;
+  op.failures = 100;
+  Status status = RetryTransient(
+      RetryOptions{}, [&] { return op(); }, [](std::chrono::milliseconds) {});
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  // The first attempt runs (cancellation is only checked between
+  // attempts, like every other cooperative checkpoint), but no retry does.
+  EXPECT_EQ(op.calls, 1);
+}
+
+TEST(RetryTransientTest, ExpiredDeadlineStopsRetryingBetweenAttempts) {
+  ExecContext context;
+  context.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  ScopedExecContext scoped(&context);
+
+  FlakyOp op;
+  op.failures = 100;
+  Status status = RetryTransient(
+      RetryOptions{}, [&] { return op(); }, [](std::chrono::milliseconds) {});
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(op.calls, 1);
+}
+
+}  // namespace
+}  // namespace perfxplain

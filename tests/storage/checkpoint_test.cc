@@ -1,0 +1,172 @@
+#include "storage/checkpoint.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/file_io.h"
+#include "testing/fault_fs.h"
+#include "testing/test_util.h"
+
+namespace perfxplain {
+namespace {
+
+using testing::CorruptFileByte;
+using testing::FaultFs;
+using testing::TinyRecord;
+using testing::TinySchema;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "px_ckpt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(FileSystem::Default()->RemoveAll(dir_).ok());
+  }
+
+  std::string dir_;
+
+  ExecutionLog MakeLog(int rows) {
+    ExecutionLog log(TinySchema());
+    for (int i = 0; i < rows; ++i) {
+      EXPECT_TRUE(log.Add(TinyRecord("r" + std::to_string(i), 1.0 * i,
+                                     i % 2 == 0 ? "red" : "blue",
+                                     10.0 * i))
+                      .ok());
+    }
+    return log;
+  }
+};
+
+TEST_F(CheckpointTest, WriteLoadRoundtrip) {
+  const ExecutionLog log = MakeLog(5);
+  ASSERT_TRUE(SnapshotCheckpoint::Write(dir_, log, /*generation=*/3,
+                                        /*wal_through=*/12)
+                  .ok());
+  auto loaded = SnapshotCheckpoint::LoadLatest(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->generation, 3u);
+  EXPECT_EQ(loaded->wal_through, 12u);
+  EXPECT_EQ(loaded->log.ToCsvText(), log.ToCsvText());
+}
+
+TEST_F(CheckpointTest, MissingAndEmptyDirectoriesAreNotFound) {
+  auto missing = SnapshotCheckpoint::LoadLatest(dir_ + "/nope");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(FileSystem::Default()->CreateDirs(dir_).ok());
+  auto empty = SnapshotCheckpoint::LoadLatest(dir_);
+  EXPECT_EQ(empty.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, NewestGenerationWinsAndOlderOnesAreSwept) {
+  ASSERT_TRUE(
+      SnapshotCheckpoint::Write(dir_, MakeLog(2), 2, 4).ok());
+  ASSERT_TRUE(
+      SnapshotCheckpoint::Write(dir_, MakeLog(6), 5, 9).ok());
+
+  auto loaded = SnapshotCheckpoint::LoadLatest(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->generation, 5u);
+  EXPECT_EQ(loaded->log.size(), 6u);
+
+  // The second successful Write swept the generation-2 directory.
+  auto names = FileSystem::Default()->ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+  EXPECT_EQ(names->front(), CheckpointDirName(5));
+}
+
+TEST_F(CheckpointTest, EveryCorruptedManifestByteIsDetected) {
+  ASSERT_TRUE(SnapshotCheckpoint::Write(dir_, MakeLog(4), 7, 3).ok());
+  const std::string manifest = dir_ + "/" + CheckpointDirName(7) + "/MANIFEST";
+  auto bytes = FileSystem::Default()->ReadFile(manifest);
+  ASSERT_TRUE(bytes.ok());
+  for (std::uint64_t offset = 0; offset < bytes->size(); ++offset) {
+    ASSERT_TRUE(CorruptFileByte(manifest, offset).ok());
+    auto loaded = SnapshotCheckpoint::LoadLatest(dir_);
+    EXPECT_FALSE(loaded.ok()) << "flip at manifest offset " << offset;
+    ASSERT_TRUE(CorruptFileByte(manifest, offset).ok());  // restore
+  }
+  EXPECT_TRUE(SnapshotCheckpoint::LoadLatest(dir_).ok());
+}
+
+TEST_F(CheckpointTest, CorruptedLogPayloadIsDetected) {
+  ASSERT_TRUE(SnapshotCheckpoint::Write(dir_, MakeLog(4), 7, 3).ok());
+  const std::string payload = dir_ + "/" + CheckpointDirName(7) + "/log.csv";
+  auto bytes = FileSystem::Default()->ReadFile(payload);
+  ASSERT_TRUE(bytes.ok());
+  for (std::uint64_t offset = 0; offset < bytes->size(); offset += 13) {
+    ASSERT_TRUE(CorruptFileByte(payload, offset).ok());
+    auto loaded = SnapshotCheckpoint::LoadLatest(dir_);
+    EXPECT_FALSE(loaded.ok()) << "flip at log.csv offset " << offset;
+    ASSERT_TRUE(CorruptFileByte(payload, offset).ok());
+  }
+}
+
+TEST_F(CheckpointTest, TruncatedLogPayloadIsDetected) {
+  ASSERT_TRUE(SnapshotCheckpoint::Write(dir_, MakeLog(4), 7, 3).ok());
+  const std::string payload = dir_ + "/" + CheckpointDirName(7) + "/log.csv";
+  auto bytes = FileSystem::Default()->ReadFile(payload);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      FileSystem::Default()->TruncateFile(payload, bytes->size() - 1).ok());
+  auto loaded = SnapshotCheckpoint::LoadLatest(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("log.csv"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(CheckpointTest, DeletedPayloadIsDetected) {
+  ASSERT_TRUE(SnapshotCheckpoint::Write(dir_, MakeLog(4), 7, 3).ok());
+  ASSERT_TRUE(FileSystem::Default()
+                  ->RemoveFile(dir_ + "/" + CheckpointDirName(7) + "/log.csv")
+                  .ok());
+  auto loaded = SnapshotCheckpoint::LoadLatest(dir_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(CheckpointTest, CorruptNewestIsNeverASilentFallbackToOlder) {
+  // Both generations on disk (sweep skipped by writing newest first by
+  // hand): corruption of the newest must surface, not quietly serve gen 2.
+  ASSERT_TRUE(SnapshotCheckpoint::Write(dir_, MakeLog(6), 5, 9).ok());
+  ASSERT_TRUE(SnapshotCheckpoint::Write(dir_, MakeLog(2), 2, 4).ok());
+  auto newest_exists =
+      FileSystem::Default()->FileExists(dir_ + "/" + CheckpointDirName(5));
+  ASSERT_TRUE(newest_exists.ok() && *newest_exists);
+  const std::string manifest = dir_ + "/" + CheckpointDirName(5) + "/MANIFEST";
+  ASSERT_TRUE(CorruptFileByte(manifest, 3).ok());
+  auto loaded = SnapshotCheckpoint::LoadLatest(dir_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(CheckpointTest, CrashMidWriteLeavesPreviousCheckpointServable) {
+  ASSERT_TRUE(SnapshotCheckpoint::Write(dir_, MakeLog(3), 2, 4).ok());
+
+  // Kill the write plane at a sweep of budgets across the second Write:
+  // whatever survives, LoadLatest must still serve generation 2 intact —
+  // the tmp-dir protocol never publishes a half-written checkpoint.
+  for (std::uint64_t budget = 0; budget <= 400; budget += 23) {
+    FaultFs fs(budget);
+    Status crashed =
+        SnapshotCheckpoint::Write(dir_, MakeLog(8), 6, 11, &fs);
+    if (crashed.ok()) break;  // budget outlasted the whole write
+    auto loaded = SnapshotCheckpoint::LoadLatest(dir_);
+    ASSERT_TRUE(loaded.ok())
+        << "budget " << budget << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded->generation, 2u) << "budget " << budget;
+    EXPECT_EQ(loaded->log.size(), 3u);
+  }
+
+  // And a later healthy Write recovers fully, sweeping the debris.
+  ASSERT_TRUE(SnapshotCheckpoint::Write(dir_, MakeLog(8), 6, 11).ok());
+  auto loaded = SnapshotCheckpoint::LoadLatest(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->generation, 6u);
+  auto names = FileSystem::Default()->ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u) << "stale tmp/old dirs not swept";
+}
+
+}  // namespace
+}  // namespace perfxplain

@@ -1,0 +1,48 @@
+#include "common/crc32c.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace perfxplain {
+namespace {
+
+TEST(Crc32cTest, KnownCheckValue) {
+  // The CRC-32C check value from RFC 3720 (iSCSI): crc("123456789").
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(Crc32c(""), 0u); }
+
+TEST(Crc32cTest, Rfc3720Vectors) {
+  // 32 bytes of zeros and 32 bytes of ones, from RFC 3720 appendix B.4.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposesWithOneShot) {
+  const std::string data = "write-ahead journal frame payload";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
+  const std::string data = "payload bytes under guard";
+  const std::uint32_t reference = Crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      EXPECT_NE(Crc32c(flipped), reference)
+          << "undetected flip at byte " << i << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace perfxplain

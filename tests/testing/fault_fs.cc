@@ -1,0 +1,137 @@
+#include "testing/fault_fs.h"
+
+#include <fstream>
+#include <utility>
+
+namespace perfxplain::testing {
+namespace {
+
+Status CrashedStatus(const std::string& what) {
+  return Status::IoError("simulated crash: " + what +
+                         " after write budget exhausted");
+}
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultFs* fs, std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    if (fs_->crashed()) return CrashedStatus("append");
+    const std::uint64_t allowed = fs_->TakeBudget(data.size());
+    if (allowed > 0) {
+      // The torn prefix reaches the disk even on the fatal write.
+      PX_RETURN_IF_ERROR(base_->Append(data.substr(0, allowed)));
+    }
+    if (allowed < data.size()) return CrashedStatus("append");
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fs_->crashed()) return CrashedStatus("fsync");
+    if (fs_->ConsumeTransientSyncFailure()) {
+      return Status::Unavailable("simulated transient fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultFs* fs_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+}  // namespace
+
+FaultFs::FaultFs(std::uint64_t write_budget_bytes)
+    : budget_(write_budget_bytes) {}
+
+void FaultFs::Reset(std::uint64_t write_budget_bytes) {
+  budget_ = write_budget_bytes;
+  bytes_written_ = 0;
+  crashed_ = false;
+  transient_sync_failures_ = 0;
+}
+
+bool FaultFs::ConsumeTransientSyncFailure() {
+  if (transient_sync_failures_ <= 0) return false;
+  --transient_sync_failures_;
+  return true;
+}
+
+std::uint64_t FaultFs::TakeBudget(std::uint64_t want) {
+  const std::uint64_t allowed = want <= budget_ ? want : budget_;
+  budget_ -= allowed;
+  bytes_written_ += allowed;
+  if (allowed < want) crashed_ = true;
+  return allowed;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultFs::OpenForAppend(
+    const std::string& path) {
+  if (crashed_) return CrashedStatus("open '" + path + "'");
+  auto base = FileSystem::Default()->OpenForAppend(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, std::move(base).value()));
+}
+
+Result<std::string> FaultFs::ReadFile(const std::string& path) {
+  return FileSystem::Default()->ReadFile(path);
+}
+
+Result<bool> FaultFs::FileExists(const std::string& path) {
+  return FileSystem::Default()->FileExists(path);
+}
+
+Result<std::vector<std::string>> FaultFs::ListDir(const std::string& dir) {
+  return FileSystem::Default()->ListDir(dir);
+}
+
+Status FaultFs::CreateDirs(const std::string& dir) {
+  if (crashed_) return CrashedStatus("mkdir '" + dir + "'");
+  return FileSystem::Default()->CreateDirs(dir);
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  if (crashed_) return CrashedStatus("rename '" + from + "'");
+  return FileSystem::Default()->Rename(from, to);
+}
+
+Status FaultFs::RemoveFile(const std::string& path) {
+  if (crashed_) return CrashedStatus("unlink '" + path + "'");
+  return FileSystem::Default()->RemoveFile(path);
+}
+
+Status FaultFs::RemoveAll(const std::string& path) {
+  if (crashed_) return CrashedStatus("rm -rf '" + path + "'");
+  return FileSystem::Default()->RemoveAll(path);
+}
+
+Status FaultFs::TruncateFile(const std::string& path, std::uint64_t size) {
+  if (crashed_) return CrashedStatus("truncate '" + path + "'");
+  return FileSystem::Default()->TruncateFile(path, size);
+}
+
+Status FaultFs::SyncDir(const std::string& dir) {
+  if (crashed_) return CrashedStatus("fsync dir '" + dir + "'");
+  return FileSystem::Default()->SyncDir(dir);
+}
+
+Status CorruptFileByte(const std::string& path, std::uint64_t offset) {
+  auto contents = FileSystem::Default()->ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  std::string bytes = std::move(contents).value();
+  if (offset >= bytes.size()) {
+    return Status::InvalidArgument("corrupt offset past EOF of " + path);
+  }
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0xFF);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) return Status::IoError("rewriting " + path);
+  return Status::OK();
+}
+
+}  // namespace perfxplain::testing

@@ -1,0 +1,79 @@
+#ifndef PERFXPLAIN_TESTS_TESTING_FAULT_FS_H_
+#define PERFXPLAIN_TESTS_TESTING_FAULT_FS_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/file_io.h"
+
+namespace perfxplain::testing {
+
+/// A FileSystem that forwards to FileSystem::Default() but kills the
+/// process's *write plane* after a configurable number of bytes have been
+/// appended across all files: the prefix of the fatal append that fits
+/// under the budget still reaches the real file (a torn write, exactly
+/// what a power cut leaves behind), the remainder is dropped, and every
+/// subsequent Append/Sync/Rename/TruncateFile fails with an IoError. Reads
+/// keep working so the test can then recover from the surviving bytes.
+///
+/// Sync() can also be made to fail independently (`fail_syncs`), modelling
+/// a disk that acks writes but dies on the barrier.
+class FaultFs : public FileSystem {
+ public:
+  /// `write_budget_bytes`: total bytes Append may durably write before the
+  /// simulated crash; max() means never crash.
+  explicit FaultFs(
+      std::uint64_t write_budget_bytes =
+          (std::numeric_limits<std::uint64_t>::max)());
+
+  /// Bytes appended through this filesystem so far.
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  /// True once the write budget has been exhausted (the "crash" happened).
+  bool crashed() const { return crashed_; }
+
+  /// Re-arms the filesystem with a fresh budget (for sweep loops).
+  void Reset(std::uint64_t write_budget_bytes);
+
+  /// When set, every Sync() fails with kUnavailable (a transient class the
+  /// retry loop will retry) until the countdown reaches zero.
+  void set_transient_sync_failures(int n) { transient_sync_failures_ = n; }
+
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDirs(const std::string& dir) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RemoveAll(const std::string& path) override;
+  Status TruncateFile(const std::string& path, std::uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+  /// Consumes up to `want` bytes of budget; returns how many of them may
+  /// still be written (the torn prefix). Flips `crashed_` when the budget
+  /// runs dry. Used by the WritableFiles this filesystem hands out.
+  std::uint64_t TakeBudget(std::uint64_t want);
+
+  /// Decrements and reports whether a pending transient Sync failure was
+  /// consumed (used by the WritableFiles this filesystem hands out).
+  bool ConsumeTransientSyncFailure();
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t bytes_written_ = 0;
+  bool crashed_ = false;
+  int transient_sync_failures_ = 0;
+};
+
+/// Flips one byte of `path` at `offset` (XOR 0xFF), in place.
+Status CorruptFileByte(const std::string& path, std::uint64_t offset);
+
+}  // namespace perfxplain::testing
+
+#endif  // PERFXPLAIN_TESTS_TESTING_FAULT_FS_H_

@@ -241,11 +241,13 @@ TEST_F(CliTest, ExplainRejectedByAdmissionControl) {
   Query query;
   const std::string path = WriteCausalLog(&query);
   std::string output;
-  // The 80-record log enumerates 80·79 = 6320 candidate pairs.
+  // The 80-record log enumerates 80·79 = 6320 candidate pairs. Admission
+  // rejection exits with the kResourceExhausted code (5), not generic 1,
+  // so callers can tell a budget problem from a bad query.
   EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
                     "--max-candidate-pairs", "100"},
                    &output),
-            1);
+            5);
   // One-line error naming the code, the estimate and the tripped limit.
   EXPECT_NE(output.find("error"), std::string::npos) << output;
   EXPECT_NE(output.find("ResourceExhausted"), std::string::npos) << output;
@@ -287,6 +289,116 @@ TEST_F(CliTest, MissingOptionValueFails) {
   std::string output;
   EXPECT_EQ(RunCli({"info", "--log"}, &output), 1);
   EXPECT_NE(output.find("missing value"), std::string::npos);
+}
+
+TEST_F(CliTest, ExitCodeForStatusMapsBudgetCodesDistinctly) {
+  EXPECT_EQ(cli::ExitCodeForStatus(Status::OK()), 0);
+  EXPECT_EQ(cli::ExitCodeForStatus(Status::DeadlineExceeded("late")), 3);
+  EXPECT_EQ(cli::ExitCodeForStatus(Status::Cancelled("stop")), 4);
+  EXPECT_EQ(cli::ExitCodeForStatus(Status::ResourceExhausted("big")), 5);
+  EXPECT_EQ(cli::ExitCodeForStatus(Status::InvalidArgument("bad")), 1);
+  EXPECT_EQ(cli::ExitCodeForStatus(Status::IoError("disk")), 1);
+}
+
+TEST_F(CliTest, DurableExplainJournalsAndRecoverReplays) {
+  // Split off the last 10 rows as the append stream; the pair of
+  // interest must live in the base so the pre-append query binds too.
+  const ExecutionLog full = testing::CausalLog(80, 31);
+  ExecutionLog base(full.schema());
+  ExecutionLog delta(full.schema());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    PX_CHECK((i < 70 ? base : delta).Add(full.at(i)).ok());
+  }
+  Query query = testing::GtVsSimQuery();
+  PairSchema schema(base.schema());
+  PX_CHECK(query.Bind(schema).ok());
+  auto poi = FindPairOfInterest(base, schema, query, PairFeatureOptions());
+  PX_CHECK(poi.ok());
+  query.first_id = base.at(poi->first).id;
+  query.second_id = base.at(poi->second).id;
+  const std::string base_path = (dir_ / "base.csv").string();
+  const std::string delta_path = (dir_ / "delta.csv").string();
+  PX_CHECK(base.SaveCsv(base_path).ok());
+  PX_CHECK(delta.SaveCsv(delta_path).ok());
+  const std::string wal_dir = (dir_ / "wal").string();
+  const std::string ckpt_dir = (dir_ / "ckpt").string();
+
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", base_path, "--append-from",
+                    delta_path, "--wal-dir", wal_dir, "--checkpoint-dir",
+                    ckpt_dir, "--fsync", "batch", "--print-acks",
+                    "--query", QueryText(query)},
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("ack "), std::string::npos) << output;
+  EXPECT_NE(output.find("BECAUSE"), std::string::npos) << output;
+  EXPECT_TRUE(std::filesystem::exists(wal_dir));
+  EXPECT_TRUE(std::filesystem::exists(ckpt_dir));
+
+  // Recovery (from the checkpoint; the WAL tail was truncated into it)
+  // serves all 80 rows and answers the query.
+  const std::string dump_path = (dir_ / "recovered.csv").string();
+  EXPECT_EQ(RunCli({"recover", "--log", base_path, "--wal-dir", wal_dir,
+                    "--checkpoint-dir", ckpt_dir, "--dump-log", dump_path,
+                    "--query", QueryText(query)},
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("checkpoint: generation"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("serving 80 rows"), std::string::npos) << output;
+  EXPECT_NE(output.find("BECAUSE"), std::string::npos) << output;
+  auto recovered = ExecutionLog::LoadCsv(dump_path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->ToCsvText(), full.ToCsvText());
+}
+
+TEST_F(CliTest, RecoverWalOnlyReplaysTheJournal) {
+  Query query;
+  const std::string base_path = WriteCausalLog(&query);
+  const std::string wal_dir = (dir_ / "wal_only").string();
+  std::string output;
+  // No appends ever happened: recovery of an empty journal serves the
+  // seed log as-is.
+  EXPECT_EQ(RunCli({"recover", "--log", base_path, "--wal-dir", wal_dir},
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("checkpoint: none"), std::string::npos) << output;
+  EXPECT_NE(output.find("replayed 0 batches"), std::string::npos) << output;
+  EXPECT_NE(output.find("serving 80 rows"), std::string::npos) << output;
+}
+
+TEST_F(CliTest, RecoverRequiresADurabilityDirectory) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"recover", "--log", path}, &output), 1);
+  EXPECT_NE(output.find("error"), std::string::npos) << output;
+}
+
+TEST_F(CliTest, ExplainRejectsBadFsyncMode) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                    "--append-from", path, "--wal-dir",
+                    (dir_ / "w").string(), "--fsync", "sometimes"},
+                   &output),
+            1);
+  EXPECT_NE(output.find("fsync"), std::string::npos) << output;
+}
+
+TEST_F(CliTest, ExplainRejectsDurabilityFlagsWithoutAppendStream) {
+  Query query;
+  const std::string path = WriteCausalLog(&query);
+  std::string output;
+  EXPECT_EQ(RunCli({"explain", "--log", path, "--query", QueryText(query),
+                    "--wal-dir", (dir_ / "w").string()},
+                   &output),
+            1);
+  EXPECT_NE(output.find("append-from"), std::string::npos) << output;
 }
 
 }  // namespace

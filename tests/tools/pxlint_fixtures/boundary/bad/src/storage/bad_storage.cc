@@ -1,0 +1,16 @@
+// pxlint fixture: seeded pxlint:boundary violation in durability code —
+// on-disk bytes may be torn or bit-flipped by a crash, so corruption
+// must surface as a Status, never an assert().
+#include <cassert>
+#include <cstdint>
+
+namespace perfxplain {
+
+std::uint32_t ParseFrameHeader(const unsigned char* bytes,
+                               std::uint32_t stored_crc,
+                               std::uint32_t actual_crc) {
+  assert(stored_crc == actual_crc);  // finding: boundary
+  return static_cast<std::uint32_t>(bytes[0]);
+}
+
+}  // namespace perfxplain

@@ -1,0 +1,16 @@
+// pxlint fixture: the clean twin of bad_storage.cc — frame corruption
+// is reported as a contextful error code, never a process death.
+#include <cstdint>
+
+namespace perfxplain {
+
+int ParseFrameHeader(const unsigned char* bytes, std::uint32_t stored_crc,
+                     std::uint32_t actual_crc, std::uint32_t* out) {
+  if (stored_crc != actual_crc) {
+    return 1;  // stands in for a contextful Status in the fixture tree
+  }
+  *out = static_cast<std::uint32_t>(bytes[0]);
+  return 0;
+}
+
+}  // namespace perfxplain

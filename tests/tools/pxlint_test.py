@@ -55,18 +55,22 @@ class PxlintCliTest(unittest.TestCase):
 
 
 class BoundaryRuleTest(unittest.TestCase):
-    def test_bad_fixture_fails_with_both_seeded_findings(self):
+    def test_bad_fixture_fails_with_every_seeded_finding(self):
         proc = run_pxlint("--root", fixture("boundary", "bad"),
                           "--rule", "boundary")
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
         self.assertIn("[boundary]", proc.stdout)
         self.assertIn("PX_CHECK", proc.stdout)
         self.assertIn("abort", proc.stdout)
-        # Exactly the two seeded lines: the PX_CHECK inside a comment and
-        # the "PX_CHECK(" inside a string literal must not count.
-        self.assertEqual(proc.stdout.count("[boundary]"), 2, proc.stdout)
+        self.assertIn("assert", proc.stdout)
+        # Exactly the three seeded lines: the PX_CHECK inside a comment
+        # and the "PX_CHECK(" inside a string literal must not count.
+        self.assertEqual(proc.stdout.count("[boundary]"), 3, proc.stdout)
         self.assertIn("bad_boundary.cc:12", proc.stdout)
         self.assertIn("bad_boundary.cc:15", proc.stdout)
+        # The durability layer (src/storage) is part of the boundary too:
+        # it parses on-disk bytes a crash may have torn or bit-flipped.
+        self.assertIn("bad_storage.cc:12", proc.stdout)
 
     def test_good_fixture_passes_and_honors_allow_marker(self):
         proc = run_pxlint("--root", fixture("boundary", "good"),

@@ -1,8 +1,11 @@
 #include "cli.h"
 
+#include <chrono>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/stats.h"
@@ -34,6 +37,12 @@ usage:
                      [--max-pair-store-bytes N] [--max-training-cells N]
                      [--pair-code-budget-bytes N] [--result-cache-bytes N]
                      [--append-from FILE] [--rotate-rows N]
+                     [--wal-dir DIR] [--checkpoint-dir DIR] [--fsync MODE]
+                     [--append-delay-ms N] [--print-acks]
+  perfxplain recover --log FILE [--wal-dir DIR] [--checkpoint-dir DIR]
+                     [--query PXQL ...] [--query-file FILE ...]
+                     [--dump-log FILE] [--width N] [--technique T]
+                     [--prose] [--threads N]
   perfxplain despite --log FILE --query PXQL [--width N] [--threads N]
   perfxplain help
 
@@ -67,6 +76,25 @@ queries are re-answered on the new generation. Every response prints the
 snapshot generation that answered it. --rotate-rows N additionally
 auto-rotates whenever N records are pending (0, the default, promotes
 once after the whole file).
+
+--wal-dir DIR makes the --append-from serving engine crash-safe: every
+accepted append batch is journaled to DIR and fsynced per --fsync before
+it is acknowledged. --checkpoint-dir DIR additionally checkpoints each
+promoted snapshot durably and truncates the journal the checkpoint
+covers. --fsync MODE is one of: batch (default; fsync every batch), none
+(leave durability to the OS page cache), or an integer N (fsync every N
+batches). --append-delay-ms N sleeps N ms between appended records and
+--print-acks prints "ack ID" after each acknowledged append — both exist
+for crash-injection harnesses that kill the process mid-ingest.
+
+recover opens the same --wal-dir/--checkpoint-dir pair after a crash:
+newest checkpoint loaded, WAL tail replayed through the validated append
+path, torn tail truncated at the last committed batch boundary, replayed
+records folded into a served snapshot. --dump-log FILE writes the
+recovered log as CSV; --query answers queries on the recovered engine.
+
+Exit codes: 0 success, 3 deadline exceeded, 4 cancelled, 5 rejected by
+admission control, 1 any other error.
 
 A PXQL query names its pair of interest and three predicates:
   FOR J1, J2 WHERE J1.JobID = 'job_000054' AND J2.JobID = 'job_000000'
@@ -104,7 +132,7 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     }
     const std::string name = arg.substr(2);
     // Boolean flags take no value.
-    if (name == "auto-despite" || name == "prose") {
+    if (name == "auto-despite" || name == "prose" || name == "print-acks") {
       parsed.flags.push_back(name);
       continue;
     }
@@ -135,7 +163,51 @@ Result<long long> IntOption(const ParsedArgs& args, const std::string& name,
 
 int Fail(std::ostream& out, const Status& status) {
   out << "error: " << status.ToString() << "\n";
-  return 1;
+  return ExitCodeForStatus(status);
+}
+
+/// First nonzero exit code wins (never OR codes together — 3|5 is not a
+/// meaningful code).
+int CombineExit(int a, int b) { return a != 0 ? a : b; }
+
+/// Parses --fsync: "batch" (default), "none", or a positive integer N for
+/// a barrier every N batches.
+Result<WalOptions> WalOptionsFromArgs(const ParsedArgs& args) {
+  WalOptions wal;
+  auto it = args.options.find("fsync");
+  if (it == args.options.end()) return wal;
+  const std::string lower = ToLower(it->second);
+  if (lower == "batch") {
+    wal.fsync = FsyncMode::kEveryBatch;
+    return wal;
+  }
+  if (lower == "none") {
+    wal.fsync = FsyncMode::kNone;
+    return wal;
+  }
+  auto every = ParseInt(lower);
+  if (!every.ok() || *every < 1) {
+    return Status::InvalidArgument(
+        "--fsync must be 'batch', 'none' or a positive batch count");
+  }
+  wal.fsync = FsyncMode::kEveryN;
+  wal.fsync_every_n = static_cast<int>(*every);
+  return wal;
+}
+
+Result<DurabilityOptions> DurabilityFromArgs(const ParsedArgs& args) {
+  DurabilityOptions durability;
+  if (auto it = args.options.find("wal-dir"); it != args.options.end()) {
+    durability.wal_dir = it->second;
+  }
+  if (auto it = args.options.find("checkpoint-dir");
+      it != args.options.end()) {
+    durability.checkpoint_dir = it->second;
+  }
+  auto wal = WalOptionsFromArgs(args);
+  if (!wal.ok()) return wal.status();
+  durability.wal = *wal;
+  return durability;
 }
 
 int RunGenerate(const ParsedArgs& args, std::ostream& out) {
@@ -312,12 +384,31 @@ int RunExplainAppend(const ParsedArgs& args, std::ostream& out,
   if (!rotate_rows.ok() || *rotate_rows < 0) {
     return Fail(out, Status::InvalidArgument("--rotate-rows must be >= 0"));
   }
+  auto delay_ms = IntOption(args, "append-delay-ms", 0);
+  if (!delay_ms.ok() || *delay_ms < 0) {
+    return Fail(out,
+                Status::InvalidArgument("--append-delay-ms must be >= 0"));
+  }
+  auto durability = DurabilityFromArgs(args);
+  if (!durability.ok()) return Fail(out, durability.status());
   auto delta = ExecutionLog::LoadCsv(args.options.at("append-from"));
   if (!delta.ok()) return Fail(out, delta.status());
 
   RotationPolicy policy;
   policy.max_delta_rows = static_cast<std::size_t>(*rotate_rows);
-  LiveEngine live(std::move(log), options, policy);
+  std::unique_ptr<LiveEngine> owned;
+  if (!durability->wal_dir.empty() || !durability->checkpoint_dir.empty()) {
+    // A durable engine always comes through Recover: on fresh directories
+    // it just starts journaling, after a crash it picks up where the
+    // journal left off (so re-running the same command is safe).
+    auto recovered =
+        LiveEngine::Recover(std::move(log), *durability, options, policy);
+    if (!recovered.ok()) return Fail(out, recovered.status());
+    owned = std::move(*recovered);
+  } else {
+    owned = std::make_unique<LiveEngine>(std::move(log), options, policy);
+  }
+  LiveEngine& live = *owned;
 
   const auto explain_all = [&](const char* phase) {
     int exit_code = 0;
@@ -326,13 +417,15 @@ int RunExplainAppend(const ParsedArgs& args, std::ostream& out,
       auto prepared = live.PrepareText(query_texts[q]);
       if (!prepared.ok()) {
         out << "error: " << prepared.status().ToString() << "\n\n";
-        exit_code = 1;
+        exit_code = CombineExit(exit_code,
+                                ExitCodeForStatus(prepared.status()));
         continue;
       }
       auto response = live.Explain(*prepared, request);
       if (!response.ok()) {
         out << "error: " << response.status().ToString() << "\n\n";
-        exit_code = 1;
+        exit_code = CombineExit(exit_code,
+                                ExitCodeForStatus(response.status()));
         continue;
       }
       PrintResponse(out, args, prepared->bound(), *response);
@@ -345,10 +438,24 @@ int RunExplainAppend(const ParsedArgs& args, std::ostream& out,
 
   std::vector<ExecutionRecord> records = delta->records();
   const std::size_t total_appended = records.size();
-  if (*rotate_rows > 0) {
+  // One-by-one appends when the auto-rotation threshold is armed or a
+  // crash-injection harness is pacing/observing the stream; one batch
+  // (one WAL commit) otherwise.
+  const bool one_by_one = *rotate_rows > 0 || *delay_ms > 0 ||
+                          args.HasFlag("print-acks");
+  if (one_by_one) {
     for (ExecutionRecord& record : records) {
+      const std::string id = record.id;
       if (Status status = live.Append(std::move(record)); !status.ok()) {
         return Fail(out, status);
+      }
+      if (args.HasFlag("print-acks")) {
+        // After Append returned OK the record is journaled and fsynced
+        // (per --fsync): the ack line is the harness's durability oracle.
+        out << "ack " << id << "\n" << std::flush;
+      }
+      if (*delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(*delay_ms));
       }
     }
   } else if (Status status = live.AppendBatch(std::move(records));
@@ -378,7 +485,7 @@ int RunExplainAppend(const ParsedArgs& args, std::ostream& out,
   }
   out << "\n";
 
-  exit_code |= explain_all("post-append");
+  exit_code = CombineExit(exit_code, explain_all("post-append"));
   return exit_code;
 }
 
@@ -458,6 +565,14 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
     return RunExplainAppend(args, out, std::move(log).value(), options,
                             request, *query_texts);
   }
+  for (const char* durable_only : {"wal-dir", "checkpoint-dir", "fsync"}) {
+    if (args.options.count(durable_only) > 0) {
+      return Fail(out, Status::InvalidArgument(
+                           std::string("--") + durable_only +
+                           " journals the append stream and needs "
+                           "--append-from"));
+    }
+  }
 
   const Engine engine(std::move(log).value(), options);
 
@@ -493,10 +608,110 @@ int RunExplain(const ParsedArgs& args, std::ostream& out) {
         << bound.second_id << ") ==\n";
     if (!responses[q].ok()) {
       out << "error: " << responses[q].status().ToString() << "\n\n";
-      exit_code = 1;
+      exit_code = CombineExit(exit_code,
+                              ExitCodeForStatus(responses[q].status()));
       continue;
     }
     PrintResponse(out, args, bound, *responses[q]);
+    out << "\n";
+  }
+  return exit_code;
+}
+
+int RunRecover(const ParsedArgs& args, std::ostream& out) {
+  auto path = RequireOption(args, "log");
+  if (!path.ok()) return Fail(out, path.status());
+  auto durability = DurabilityFromArgs(args);
+  if (!durability.ok()) return Fail(out, durability.status());
+  if (durability->wal_dir.empty() && durability->checkpoint_dir.empty()) {
+    return Fail(out, Status::InvalidArgument(
+                         "recover needs --wal-dir and/or --checkpoint-dir"));
+  }
+  auto width = IntOption(args, "width", 3);
+  if (!width.ok() || *width < 1) {
+    return Fail(out, Status::InvalidArgument("--width must be >= 1"));
+  }
+  auto threads = IntOption(args, "threads", 0);
+  if (!threads.ok()) return Fail(out, threads.status());
+  Technique technique = Technique::kPerfXplain;
+  if (args.options.count("technique") > 0) {
+    auto parsed = TechniqueFromName(args.options.at("technique"));
+    if (!parsed.ok()) return Fail(out, parsed.status());
+    technique = parsed.value();
+  }
+
+  auto log = ExecutionLog::LoadCsv(*path);
+  if (!log.ok()) return Fail(out, log.status());
+
+  EngineOptions options;
+  options.explainer.width = static_cast<std::size_t>(*width);
+  options.explainer.threads = static_cast<int>(*threads);
+  options.sim_but_diff.threads = static_cast<int>(*threads);
+  options.rule_of_thumb.relief.threads = static_cast<int>(*threads);
+
+  RecoveryStats stats;
+  auto recovered = LiveEngine::Recover(std::move(log).value(), *durability,
+                                       options, RotationPolicy{}, &stats);
+  if (!recovered.ok()) return Fail(out, recovered.status());
+  LiveEngine& live = **recovered;
+
+  if (stats.checkpoint_loaded) {
+    out << "checkpoint: generation " << stats.checkpoint_generation << " ("
+        << stats.checkpoint_rows << " rows)\n";
+  } else {
+    out << "checkpoint: none (seeded from " << *path << ")\n";
+  }
+  out << "wal: replayed " << stats.replayed_batches << " batches ("
+      << stats.replayed_records << " records), rejected "
+      << stats.rejected_batches << ", discarded uncommitted "
+      << stats.discarded_records << "\n";
+  if (stats.wal_tail_truncated) {
+    out << "wal: torn tail truncated at " << stats.truncated_file
+        << " offset " << stats.truncate_offset << "\n";
+  }
+  const std::shared_ptr<const Engine> engine = live.engine();
+  out << "serving " << engine->log().size() << " rows at generation "
+      << engine->snapshot()->id() << "\n";
+
+  if (auto it = args.options.find("dump-log"); it != args.options.end()) {
+    if (Status saved = engine->log().SaveCsv(it->second); !saved.ok()) {
+      return Fail(out, saved);
+    }
+    out << "wrote " << it->second << "\n";
+  }
+
+  std::vector<std::string> query_texts;
+  for (const auto& [name, value] : args.ordered) {
+    if (name != "query" && name != "query-file") continue;
+    auto collected = CollectQueryTexts(args);
+    if (!collected.ok()) return Fail(out, collected.status());
+    query_texts = std::move(collected).value();
+    break;
+  }
+
+  ExplainRequest request;
+  request.technique = technique;
+  request.width = static_cast<std::size_t>(*width);
+  request.evaluate = true;
+
+  int exit_code = 0;
+  for (std::size_t q = 0; q < query_texts.size(); ++q) {
+    out << "== recovered query " << (q + 1) << " ==\n";
+    auto prepared = live.PrepareText(query_texts[q]);
+    if (!prepared.ok()) {
+      out << "error: " << prepared.status().ToString() << "\n\n";
+      exit_code = CombineExit(exit_code,
+                              ExitCodeForStatus(prepared.status()));
+      continue;
+    }
+    auto response = live.Explain(*prepared, request);
+    if (!response.ok()) {
+      out << "error: " << response.status().ToString() << "\n\n";
+      exit_code = CombineExit(exit_code,
+                              ExitCodeForStatus(response.status()));
+      continue;
+    }
+    PrintResponse(out, args, prepared->bound(), *response);
     out << "\n";
   }
   return exit_code;
@@ -530,6 +745,21 @@ int RunDespite(const ParsedArgs& args, std::ostream& out) {
 
 }  // namespace
 
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kDeadlineExceeded:
+      return 3;
+    case StatusCode::kCancelled:
+      return 4;
+    case StatusCode::kResourceExhausted:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
 int Run(const std::vector<std::string>& args, std::ostream& out) {
   auto parsed = ParseArgs(args);
   if (!parsed.ok()) {
@@ -545,6 +775,7 @@ int Run(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "ingest") return RunIngest(*parsed, out);
   if (command == "info") return RunInfo(*parsed, out);
   if (command == "explain") return RunExplain(*parsed, out);
+  if (command == "recover") return RunRecover(*parsed, out);
   if (command == "despite") return RunDespite(*parsed, out);
   out << "error: unknown command '" << command << "'\n" << kUsage;
   return 1;

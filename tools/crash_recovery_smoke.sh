@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: SIGKILL the CLI mid-journaled-ingest at several
+# points, recover each time, and verify that
+#
+#   1. every append acknowledged before the kill survived recovery
+#      (the WAL fsync-before-ack contract),
+#   2. the recovered rows are exactly the base log plus a gap-free
+#      prefix of the delta stream (batch-atomic commits, no holes), and
+#   3. the recovered engine answers the probe query with BECAUSE lines
+#      identical to a never-crashed engine serving the same rows.
+#
+# The unit tests cover the same contracts with an in-process fault
+# filesystem; this script is the end-to-end twin with a real `kill -9`
+# across a process boundary, which is what CI runs on every push.
+#
+# usage: tools/crash_recovery_smoke.sh path/to/perfxplain_cli [workdir]
+set -euo pipefail
+
+CLI=${1:?usage: crash_recovery_smoke.sh path/to/perfxplain_cli [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+
+fail() { echo "crash_recovery_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== workdir: $WORK"
+"$CLI" generate --out "$WORK" --jobs 24 >/dev/null
+
+# Split the generated log into a base snapshot and a delta stream to
+# journal, keeping the header + kinds rows on both halves.
+BASE="$WORK/base.csv" DELTA="$WORK/delta.csv"
+python3 - "$WORK/job_log.csv" "$BASE" "$DELTA" <<'EOF'
+import sys
+src, base, delta = sys.argv[1:4]
+lines = open(src).read().splitlines(keepends=True)
+prefix, rows = lines[:2], lines[2:]
+split = len(rows) // 2
+open(base, "w").writelines(prefix + rows[:split])
+open(delta, "w").writelines(prefix + rows[split:])
+EOF
+
+# Probe for a pair of base jobs that satisfies OBSERVED GT / EXPECTED
+# SIM — the generated trace varies job durations, so one always exists.
+mapfile -t IDS < <(tail -n +3 "$BASE" | cut -d, -f1)
+QUERY=""
+for a in "${IDS[@]}"; do
+  for b in "${IDS[@]}"; do
+    [ "$a" = "$b" ] && continue
+    q="FOR J1, J2 WHERE J1.JobID = '$a' AND J2.JobID = '$b'"
+    q="$q OBSERVED duration_compare = GT EXPECTED duration_compare = SIM"
+    if "$CLI" explain --log "$BASE" --query "$q" >/dev/null 2>&1; then
+      QUERY="$q"
+      break 2
+    fi
+  done
+done
+[ -n "$QUERY" ] || fail "no satisfiable probe pair in the base log"
+echo "== probe query: $QUERY"
+
+# Poll the crash run's output until it has acknowledged at least $2
+# appends, then return; the caller kills the process at that point.
+wait_for_acks() {
+  local file=$1 want=$2 i
+  for i in $(seq 1 400); do
+    if [ "$(grep -c '^ack ' "$file" 2>/dev/null || true)" -ge "$want" ]; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  return 1
+}
+
+# Kill after 2 acks (before the first rotation), after 5 (between
+# checkpoints) and after 9 (late, several checkpoints down).
+for want_acks in 2 5 9; do
+  WAL="$WORK/wal-$want_acks" CKPT="$WORK/ckpt-$want_acks"
+  OUT="$WORK/crash-$want_acks.out"
+  rm -rf "$WAL" "$CKPT"
+
+  "$CLI" explain --log "$BASE" --query "$QUERY" \
+    --append-from "$DELTA" --rotate-rows 3 \
+    --wal-dir "$WAL" --checkpoint-dir "$CKPT" --fsync batch \
+    --append-delay-ms 50 --print-acks >"$OUT" 2>&1 &
+  pid=$!
+  wait_for_acks "$OUT" "$want_acks" || fail "ingest never reached $want_acks acks"
+  kill -9 "$pid"
+  wait "$pid" 2>/dev/null || true
+
+  mapfile -t ACKED < <(grep '^ack ' "$OUT" | awk '{print $2}')
+  echo "== killed after ${#ACKED[@]} acks; recovering"
+
+  RECOVERED_CSV="$WORK/recovered-$want_acks.csv"
+  RECOVER_OUT="$WORK/recover-$want_acks.out"
+  "$CLI" recover --log "$BASE" --wal-dir "$WAL" --checkpoint-dir "$CKPT" \
+    --query "$QUERY" --dump-log "$RECOVERED_CSV" >"$RECOVER_OUT" \
+    || { cat "$RECOVER_OUT"; fail "recover exited nonzero"; }
+  grep -E '^(checkpoint|wal):' "$RECOVER_OUT" | sed 's/^/   /'
+
+  # (1) + (2): acked ids all present, and the recovered rows are the
+  # base log plus a gap-free prefix of the delta stream. Emits the
+  # uncrashed-reference log for (3).
+  EXPECTED_CSV="$WORK/expected-$want_acks.csv"
+  python3 - "$BASE" "$DELTA" "$RECOVERED_CSV" "$EXPECTED_CSV" \
+      "${ACKED[@]+${ACKED[@]}}" <<'EOF'
+import sys
+base, delta, recovered, expected = sys.argv[1:5]
+acked = sys.argv[5:]
+def rows(path):
+    lines = open(path).read().splitlines(keepends=True)
+    return lines[:2], lines[2:]
+prefix, base_rows = rows(base)
+_, delta_rows = rows(delta)
+_, got_rows = rows(recovered)
+ident = lambda line: line.split(",", 1)[0]
+got = [ident(r) for r in got_rows]
+missing = [i for i in acked if i not in got]
+if missing:
+    sys.exit(f"acknowledged appends lost in recovery: {missing}")
+extra = got[len(base_rows):]
+want_prefix = [ident(r) for r in delta_rows[:len(extra)]]
+if got[:len(base_rows)] != [ident(r) for r in base_rows] or \
+        extra != want_prefix:
+    sys.exit(f"recovered rows are not base + a delta prefix: {extra}")
+open(expected, "w").writelines(
+    prefix + base_rows + delta_rows[:len(extra)])
+print(f"   recovered {len(extra)} delta rows "
+      f"({len(acked)} were acknowledged)")
+EOF
+
+  # (3): a never-crashed engine serving the same rows must produce the
+  # same BECAUSE lines as the recovered engine.
+  CLEAN_OUT="$WORK/clean-$want_acks.out"
+  "$CLI" explain --log "$EXPECTED_CSV" --query "$QUERY" >"$CLEAN_OUT"
+  diff <(grep BECAUSE "$CLEAN_OUT") <(grep BECAUSE "$RECOVER_OUT") \
+    || fail "recovered explanation differs from the uncrashed reference"
+done
+
+echo "crash_recovery_smoke: OK"

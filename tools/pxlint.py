@@ -67,6 +67,11 @@ BOUNDARY_GLOBS = [
     "src/pxql/lexer.*",
     "src/pxql/parser.*",
     "src/pxql/templates.*",
+    # Durability code parses on-disk bytes that may be torn or bit-flipped
+    # by a crash: corruption must surface as a contextful Status, never a
+    # process death.
+    "src/storage/*.h",
+    "src/storage/*.cc",
 ]
 BOUNDARY_BANNED = [
     (re.compile(r"\bPX_CHECK(?:_[A-Z]+)?\b"),
@@ -96,6 +101,8 @@ CHECKPOINT_REGISTRY = [
     ("src/ml/decision_tree.cc", "DecisionTree::BuildEncoded"),
     ("src/ml/decision_tree.cc", "DecisionTree::Build"),
     ("src/serving/live_engine.cc", "LiveEngine::Rotate"),
+    ("src/serving/live_engine.cc", "LiveEngine::Recover"),
+    ("src/storage/wal.cc", "WalReader::Replay"),
 ]
 CHECKPOINT_CALL = "ThrowIfInterrupted"
 
