@@ -1,5 +1,6 @@
 #include "serving/live_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -369,17 +370,25 @@ Result<std::unique_ptr<LiveEngine>> LiveEngine::Recover(
   engine->fs_ = fs;
 
   if (!durability.wal_dir.empty()) {
-    // New segment, sequences continuing after everything ever committed;
-    // the replayed segments become sealed history the next checkpoint
-    // can truncate.
+    // New segment, sequences continuing after everything the durable
+    // state has ever named — not just the journal's highest commit. A
+    // checkpoint's truncation can delete every commit-bearing segment
+    // (leaving, say, only a drain-commit marker), so the journal alone
+    // may remember nothing while the checkpoint covers through N;
+    // restarting numbering below N+1 would make the next recovery
+    // silently filter freshly acknowledged batches as already covered
+    // by the checkpoint. The replayed segments become sealed history
+    // the next checkpoint can truncate.
+    const std::uint64_t durable_through = std::max(
+        {replay.last_sequence, wal_through, replay.drained_through});
     Result<std::unique_ptr<WalWriter>> wal =
         WalWriter::Open(durability.wal_dir, durability.wal,
-                        replay.last_sequence + 1, replay.segments, fs);
+                        durable_through + 1, replay.segments, fs);
     if (!wal.ok()) return wal.status();
     engine->wal_ = std::move(*wal);
     {
       MutexLock lock(engine->state_mutex_);
-      engine->last_staged_seq_ = replay.last_sequence;
+      engine->last_staged_seq_ = durable_through;
     }
 
     // 3. Re-apply the tail through the same validated path that admitted

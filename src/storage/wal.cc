@@ -91,6 +91,8 @@ class PayloadCursor {
 
   bool exhausted() const { return pos_ == size_; }
 
+  std::size_t remaining() const { return size_ - pos_; }
+
  private:
   const char* data_;
   std::size_t size_;
@@ -123,7 +125,11 @@ bool ParseRecord(PayloadCursor cursor, ExecutionRecord* record) {
   std::uint32_t count = 0;
   if (!cursor.TakeU32(&count)) return false;
   record->values.clear();
-  record->values.reserve(count);
+  // The count is untrusted bytes: every value needs at least its kind
+  // byte, so bounding the reservation by the remaining payload turns a
+  // wild (or CRC-colliding) count into a parse failure below instead of
+  // a multi-gigabyte bad_alloc here.
+  record->values.reserve(std::min<std::size_t>(count, cursor.remaining()));
   for (std::uint32_t i = 0; i < count; ++i) {
     std::uint8_t kind = 0;
     if (!cursor.TakeU8(&kind)) return false;
@@ -171,15 +177,20 @@ Status CorruptAt(const std::string& file, std::uint64_t offset,
 }
 
 bool IsSegmentName(const std::string& name) {
-  return name.size() == 14 && name.compare(0, 4, "wal-") == 0 &&
-         name.compare(10, 4, ".log") == 0 &&
-         std::all_of(name.begin() + 4, name.begin() + 10,
+  // "wal-" + digits + ".log". Indices are zero-padded to 6 digits but
+  // rotation past 999999 widens the run, so accept any digit count that
+  // still fits a u64 (19 digits) — a fixed width would make replay and
+  // the max-index scan silently ignore high-index segments.
+  if (name.size() < 9 || name.size() > 4 + 19 + 4) return false;
+  if (name.compare(0, 4, "wal-") != 0) return false;
+  if (name.compare(name.size() - 4, 4, ".log") != 0) return false;
+  return std::all_of(name.begin() + 4, name.end() - 4,
                      [](char c) { return c >= '0' && c <= '9'; });
 }
 
 std::uint64_t SegmentIndexOf(const std::string& name) {
   std::uint64_t index = 0;
-  for (std::size_t i = 4; i < 10; ++i) {
+  for (std::size_t i = 4; i + 4 < name.size(); ++i) {
     index = index * 10 + static_cast<std::uint64_t>(name[i] - '0');
   }
   return index;
@@ -319,9 +330,21 @@ Result<std::uint64_t> WalWriter::AppendBatch(
   PutU32(payload, static_cast<std::uint32_t>(records.size()));
   AppendFrame(frames, kFrameCommit, payload);
   PX_RETURN_IF_ERROR(WriteLocked(frames));
-  PX_RETURN_IF_ERROR(MaybeSyncLocked());
+  // The write succeeded, so the commit frame for `sequence` is in the
+  // file (if not yet durable) — the sequence is consumed NOW, even if
+  // the barrier below fails. Were it reused, the retry's commit frame
+  // would duplicate this one and replay would refuse the whole journal
+  // as corrupt ("committed sequences are consecutive"). A duplicate
+  // cannot arise from the write-failure path above: the commit frame is
+  // the suffix of `frames`, so a failed append never completes it. And
+  // a burned sequence cannot leave a durable gap: rotation fsyncs this
+  // poisoned segment before sealing it, so no later sequence commits
+  // until this one's fate is on disk. The batch is simply never
+  // acknowledged; like any torn write, it may or may not survive a
+  // crash, and replay handles both.
   next_sequence_ = sequence + 1;
   current_last_sequence_ = sequence;
+  PX_RETURN_IF_ERROR(MaybeSyncLocked());
   return sequence;
 }
 
@@ -391,8 +414,13 @@ Result<WalReplayResult> WalReader::Replay(const std::string& dir,
   for (const std::string& name : *names) {
     if (IsSegmentName(name)) segments.push_back(name);
   }
-  // ListDir sorts and the zero-padded names sort by index, so segments
-  // are already in write order.
+  // Write order is numeric index order, which diverges from ListDir's
+  // lexicographic order once indices outgrow the 6-digit zero padding
+  // ("wal-1000000.log" sorts before "wal-999999.log").
+  std::sort(segments.begin(), segments.end(),
+            [](const std::string& a, const std::string& b) {
+              return SegmentIndexOf(a) < SegmentIndexOf(b);
+            });
 
   try {
     for (std::size_t seg = 0; seg < segments.size(); ++seg) {
@@ -410,16 +438,22 @@ Result<WalReplayResult> WalReader::Replay(const std::string& dir,
         result.segments.push_back(info);
         continue;
       }
-      if (data.size() < kMagicBytes ||
-          data.compare(0, kMagicBytes, kWalMagic, kMagicBytes) != 0) {
-        if (data.size() < kMagicBytes && is_last) {
-          // Torn during segment creation: nothing committed lives here.
+      if (data.size() < kMagicBytes) {
+        // Torn during segment creation: the magic write died partway, so
+        // nothing committed lives here. Like any torn tail this is legal
+        // in ANY segment — the writer poisons the stub and rotates
+        // onward, sealing it in place — and the consecutive-sequence
+        // check below would expose a committed batch it had destroyed.
+        // Only the youngest stub needs the truncate-back bookkeeping.
+        if (is_last) {
           result.tail_truncated = true;
           result.truncated_file = name;
           result.truncate_offset = 0;
-          result.segments.push_back(info);
-          break;
         }
+        result.segments.push_back(info);
+        continue;
+      }
+      if (data.compare(0, kMagicBytes, kWalMagic, kMagicBytes) != 0) {
         return CorruptAt(name, 0, "bad segment magic");
       }
 

@@ -126,10 +126,15 @@ class WalWriter {
 
   /// Journals `records` as one batch-atomic unit (record frames + commit
   /// marker), applies the fsync discipline, and returns the batch
-  /// sequence. On any failure the batch is NOT committed — the caller
-  /// must not acknowledge it — and the current segment is poisoned: the
-  /// next append rotates to a fresh segment so a half-written tail is
-  /// never extended.
+  /// sequence. On any failure the caller must NOT acknowledge the batch,
+  /// and the current segment is poisoned: the next append rotates to a
+  /// fresh segment so a half-written tail is never extended. A failure
+  /// while writing the frames leaves the sequence unconsumed (the commit
+  /// marker cannot have reached the file whole); a failure at the fsync
+  /// barrier AFTER the frames were written burns the sequence — the
+  /// commit marker is in the file, so reusing its sequence would produce
+  /// a duplicate that replay must refuse — and the unacknowledged batch,
+  /// like any torn write, may or may not survive a crash.
   Result<std::uint64_t> AppendBatch(const std::vector<ExecutionRecord>& records)
       PX_EXCLUDES(mutex_);
 
@@ -191,7 +196,9 @@ class WalReader {
                                         FileSystem* fs = nullptr);
 };
 
-/// "wal-NNNNNN.log" for segment `index` (1-based, zero-padded).
+/// "wal-NNNNNN.log" for segment `index` (1-based, zero-padded to six
+/// digits, widening naturally past 999999 — replay orders segments by
+/// numeric index, not file name).
 std::string WalSegmentFileName(std::uint64_t index);
 
 /// The 8-byte segment magic, exposed for tests that craft journals.

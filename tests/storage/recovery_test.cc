@@ -319,6 +319,43 @@ TEST_F(RecoveryTest, DeletedCheckpointPayloadRefusesLoudly) {
       << recovered.status().ToString();
 }
 
+TEST_F(RecoveryTest, SequencesContinuePastAFullyTruncatedJournal) {
+  // A checkpoint's truncation can delete every commit-bearing segment,
+  // leaving a journal that remembers only a drain-commit marker. The
+  // recovered writer must keep numbering batches past the checkpoint's
+  // coverage: restarting from 1 would make the NEXT recovery silently
+  // filter freshly acknowledged, fsynced batches out as already covered
+  // by the checkpoint — the worst possible failure, quiet loss.
+  DurabilityOptions durability = Durability();
+  durability.wal.segment_bytes = 1;  // every append seals its own segment
+  {
+    auto live = LiveEngine::Recover(seed_, durability, SerialOptions());
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    ASSERT_TRUE((*live)->AppendBatch(batches_[0]).ok());
+    ASSERT_TRUE((*live)->AppendBatch(batches_[1]).ok());
+    auto rotated = (*live)->Rotate();
+    ASSERT_TRUE(rotated.ok());
+    ASSERT_TRUE(rotated->checkpointed) << rotated->checkpoint_error;
+  }
+  {
+    RecoveryStats stats;
+    auto live = LiveEngine::Recover(seed_, durability, SerialOptions(),
+                                    RotationPolicy{}, &stats);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    EXPECT_TRUE(stats.checkpoint_loaded);
+    EXPECT_EQ(stats.replayed_batches, 0u);
+    ASSERT_TRUE((*live)->AppendBatch(batches_[2]).ok());
+    ASSERT_TRUE((*live)->AppendBatch(batches_[3]).ok());
+  }  // crash before any rotation: the new batches live only in the WAL
+  RecoveryStats stats;
+  auto recovered = LiveEngine::Recover(seed_, durability, SerialOptions(),
+                                       RotationPolicy{}, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(stats.replayed_batches, 2u);
+  EXPECT_EQ((*recovered)->engine()->log().ToCsvText(),
+            ReferenceLog(4).ToCsvText());
+}
+
 TEST_F(RecoveryTest, RecoveryHonoursCancellation) {
   {
     auto live = LiveEngine::Recover(seed_, Durability(), SerialOptions());

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32c.h"
 #include "gtest/gtest.h"
 #include "storage/file_io.h"
 #include "testing/fault_fs.h"
@@ -396,6 +397,130 @@ TEST_F(WalTest, TruncateThroughDeletesOnlyCoveredSealedSegments) {
   // indistinguishable from destroyed committed batches — replay refuses.
   auto blind = WalReader::Replay(dir_);
   ASSERT_FALSE(blind.ok());
+}
+
+TEST_F(WalTest, SyncFailureBurnsTheSequenceInsteadOfReusingIt) {
+  // The frames (commit marker included) reach the file, then the fsync
+  // barrier dies past the retry budget. The batch is not acknowledged,
+  // but its commit frame exists on disk — the sequence must be burned,
+  // not reused: a retry under the same number would write a second
+  // commit frame for sequence 1 and the journal would replay as corrupt
+  // ("committed sequences are consecutive") forever after.
+  FaultFs fs;
+  auto writer = WalWriter::Open(dir_, WalOptions{}, 1, {}, &fs);
+  ASSERT_TRUE(writer.ok());
+  fs.set_transient_sync_failures(100);  // outlives the retry budget
+  ASSERT_FALSE((*writer)->AppendBatch(Batch(0, 2)).ok());
+  fs.set_transient_sync_failures(0);  // the disk comes back
+
+  auto retried = (*writer)->AppendBatch(Batch(2, 2));
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(*retried, 2u);
+
+  // The unacknowledged batch 1 happens to have survived (its bytes were
+  // written, only the barrier failed); replay must accept the journal
+  // either way — never refuse it as a duplicate-sequence fork.
+  auto replay = WalReader::Replay(dir_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->batches.size(), 2u);
+  EXPECT_EQ(replay->batches[0].sequence, 1u);
+  EXPECT_EQ(replay->batches[1].sequence, 2u);
+  ExpectSameRecords(replay->batches[1].records, Batch(2, 2));
+}
+
+TEST_F(WalTest, ShortStubSegmentMidJournalIsTornNotCorrupt) {
+  // A write failure during segment creation can leave a stub shorter
+  // than the magic sealed mid-journal (poison, rotate onward). That stub
+  // holds nothing committed and must replay as torn, not corruption —
+  // the consecutive-sequence invariant still guards real loss.
+  WalOptions options;
+  options.segment_bytes = 1;  // every append seals into its own segment
+  {
+    auto writer = WalWriter::Open(dir_, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendBatch(Batch(0, 2)).ok());
+    ASSERT_TRUE((*writer)->AppendBatch(Batch(2, 2)).ok());
+  }
+  // Segment 1 held only its magic; tear it back to 3 bytes.
+  ASSERT_TRUE(FileSystem::Default()->TruncateFile(SegmentPath(1), 3).ok());
+
+  auto replay = WalReader::Replay(dir_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->batches.size(), 2u);
+  EXPECT_EQ(replay->last_sequence, 2u);
+  EXPECT_FALSE(replay->tail_truncated);  // the stub is not the youngest
+}
+
+TEST_F(WalTest, SegmentIndicesPastSixDigitsReplayInNumericOrder) {
+  // Past index 999999 the file names widen to seven digits and stop
+  // sorting lexicographically ("wal-1000000.log" < "wal-999999.log").
+  // Such segments must neither vanish from replay nor be visited out of
+  // order, and a reopened writer must number new segments above them.
+  WalOptions options;
+  options.segment_bytes = 1;
+  {
+    auto writer = WalWriter::Open(dir_, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendBatch(Batch(0, 2)).ok());  // segment 2
+    ASSERT_TRUE((*writer)->AppendBatch(Batch(2, 2)).ok());  // segment 3
+  }
+  FileSystem* fs = FileSystem::Default();
+  ASSERT_TRUE(fs->Rename(SegmentPath(2), SegmentPath(999999)).ok());
+  ASSERT_TRUE(fs->Rename(SegmentPath(3), SegmentPath(1000000)).ok());
+
+  auto replay = WalReader::Replay(dir_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->batches.size(), 2u);
+  EXPECT_EQ(replay->batches[0].sequence, 1u);
+  EXPECT_EQ(replay->batches[1].sequence, 2u);
+
+  auto writer = WalWriter::Open(dir_, options, replay->last_sequence + 1,
+                                replay->segments);
+  ASSERT_TRUE(writer.ok());
+  auto exists = fs->FileExists(SegmentPath(1000001));
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(*exists);
+  ASSERT_TRUE((*writer)->AppendBatch(Batch(4, 2)).ok());
+
+  auto again = WalReader::Replay(dir_);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->batches.size(), 3u);
+  EXPECT_EQ(again->batches[2].sequence, 3u);
+  ExpectSameRecords(again->batches[2].records, Batch(4, 2));
+}
+
+TEST_F(WalTest, HugeValueCountIsCorruptionNotBadAlloc) {
+  // A crafted (or 1-in-2^32 CRC-colliding) record frame can carry a
+  // value count near 4 billion with both checksums valid; parsing must
+  // bound its allocation by the payload size and report corruption, not
+  // die in std::bad_alloc attempting a multi-hundred-GB reservation.
+  auto put_u32 = [](std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  };
+  std::string payload;
+  put_u32(payload, 1);  // id length
+  payload.push_back('x');
+  put_u32(payload, 0xFFFFFFFFu);  // value count: ~4 billion
+  std::string frame;
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.push_back(static_cast<char>(1));  // kFrameRecord
+  put_u32(frame, Crc32c(payload.data(), payload.size()));
+  put_u32(frame, Crc32c(frame.data(), 9));
+  frame += payload;
+
+  ASSERT_TRUE(FileSystem::Default()->CreateDirs(dir_).ok());
+  auto file = FileSystem::Default()->OpenForAppend(SegmentPath(1));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(kWalMagic, 8) + frame).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto replay = WalReader::Replay(dir_);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.status().ToString().find("malformed record frame"),
+            std::string::npos)
+      << replay.status().ToString();
 }
 
 TEST_F(WalTest, ReopenedJournalNumbersNewSegmentsAfterExisting) {
